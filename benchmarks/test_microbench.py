@@ -1,0 +1,113 @@
+"""Microbenchmarks of the hot kernels.
+
+These pin the performance-critical building blocks (conflict-matrix
+construction, matching, DSATUR, per-join recoding, spatial queries,
+despreading) so regressions are visible in ``--benchmark-compare`` runs.
+Unlike the figure benches these use pytest-benchmark's normal
+multi-round timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cdma.spreading import despread, spread
+from repro.cdma.walsh import walsh_codes
+from repro.coloring.dsatur import dsatur_color_matrix
+from repro.geometry.grid_index import UniformGridIndex
+from repro.matching.bipartite import WeightedBipartiteGraph
+from repro.matching.hungarian import hungarian_matching, solve_max_weight_dense
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.strategies.minim import MinimStrategy, plan_local_matching_recode
+from repro.topology.builder import build_digraph
+from repro.topology.conflicts import conflict_matrix
+
+
+@pytest.fixture(scope="module")
+def big_adjacency():
+    rng = np.random.default_rng(0)
+    adj = rng.random((250, 250)) < 0.15
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def test_conflict_matrix_250(benchmark, big_adjacency):
+    out = benchmark(conflict_matrix, big_adjacency)
+    assert out.shape == (250, 250)
+
+
+def test_dsatur_150(benchmark):
+    rng = np.random.default_rng(1)
+    adj = rng.random((150, 150)) < 0.1
+    np.fill_diagonal(adj, False)
+    conflicts = conflict_matrix(adj)
+    colors = benchmark(dsatur_color_matrix, conflicts)
+    assert colors.min() >= 1
+
+
+def test_hungarian_60x80(benchmark):
+    rng = np.random.default_rng(2)
+    w = np.where(rng.random((60, 80)) < 0.4, rng.integers(1, 10, (60, 80)), 0).astype(float)
+    pairs = benchmark(solve_max_weight_dense, w)
+    assert pairs
+
+
+def test_join_recode_throughput(benchmark):
+    """One RecodeOnJoin in a 100-node network (the per-event hot path)."""
+    rng = np.random.default_rng(3)
+    configs = sample_configs(100, rng)
+    net = AdHocNetwork(MinimStrategy())
+    for cfg in configs[:-1]:
+        net.join(cfg)
+    last = configs[-1]
+    net.graph.add_node(last)
+
+    def recode():
+        return plan_local_matching_recode(net.graph, net.assignment, last.node_id)
+
+    plan = benchmark(recode)
+    assert last.node_id in plan.changes
+
+
+def test_grid_index_vs_brute_force(benchmark):
+    """Disc query through the grid index (compare with the brute bench)."""
+    rng = np.random.default_rng(4)
+    pts = rng.uniform(0, 1000, (5000, 2))
+    idx = UniformGridIndex(25.0)
+    for i, (x, y) in enumerate(pts):
+        idx.insert(i, float(x), float(y))
+    got = benchmark(idx.query_disc, 500.0, 500.0, 25.0)
+    diff = pts - np.array([500.0, 500.0])
+    want = int((np.einsum("ij,ij->i", diff, diff) <= 25.0**2).sum())
+    assert len(got) == want
+
+
+def test_brute_force_disc_query(benchmark):
+    rng = np.random.default_rng(4)
+    pts = rng.uniform(0, 1000, (5000, 2))
+
+    def brute():
+        diff = pts - np.array([500.0, 500.0])
+        return np.flatnonzero(np.einsum("ij,ij->i", diff, diff) <= 25.0**2)
+
+    assert len(benchmark(brute)) >= 0
+
+
+def test_despread_throughput(benchmark):
+    codes = walsh_codes(64)
+    rng = np.random.default_rng(5)
+    bits = rng.integers(0, 2, 512)
+    chips = spread(bits, codes[7])
+
+    def roundtrip():
+        return despread(chips, codes[7])
+
+    corr = benchmark(roundtrip)
+    assert np.allclose(np.abs(corr), 1.0)
+
+
+def test_bulk_digraph_build_200(benchmark):
+    rng = np.random.default_rng(6)
+    configs = sample_configs(200, rng)
+    g = benchmark(build_digraph, configs)
+    assert len(g) == 200

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Physical-layer demo: why CA1/CA2 coloring equals collision freedom.
+
+The paper treats "orthogonal codes eliminate collisions" as an axiom.
+This demo exercises the actual Walsh-code machinery:
+
+1. every transmitter spreads a payload with its assigned code and all
+   transmit *simultaneously*;
+2. with a CA1/CA2-valid assignment, every silent receiver decodes every
+   in-range transmitter perfectly;
+3. corrupting one code (forcing a hidden conflict) garbles packets at
+   the shared receiver.
+
+Run:  python examples/cdma_phy_demo.py
+"""
+
+import numpy as np
+
+from repro import AdHocNetwork, MinimStrategy, sample_configs
+from repro.cdma import Codebook, simulate_slot
+from repro.cdma.spreading import despread, spread
+from repro.cdma.walsh import walsh_codes
+
+SEED = 5
+
+
+def show_orthogonality() -> None:
+    print("=" * 64)
+    print("Walsh codes: exact multi-user separation")
+    print("=" * 64)
+    codes = walsh_codes(8)
+    rng = np.random.default_rng(SEED)
+    payloads = rng.integers(0, 2, (3, 8))
+    mixed = sum(spread(payloads[u], codes[u + 1]) for u in range(3))
+    for u in range(3):
+        corr = despread(mixed, codes[u + 1])
+        decoded = (corr > 0).astype(int)
+        ok = (decoded == payloads[u]).all()
+        print(f"user {u + 1}: sent {payloads[u].tolist()} -> "
+              f"correlations {np.round(corr, 2).tolist()} ok={ok}")
+    print()
+
+
+def network_slot_demo() -> None:
+    print("=" * 64)
+    print("Network slot: valid assignment vs corrupted assignment")
+    print("=" * 64)
+    rng = np.random.default_rng(SEED)
+    net = AdHocNetwork(MinimStrategy())
+    for cfg in sample_configs(25, rng):
+        net.join(cfg)
+    print(f"{len(net.graph)} nodes, max code {net.max_color()}, "
+          f"codebook chips/bit = {Codebook.for_max_color(net.max_color()).chip_length}")
+
+    transmitters = net.node_ids()[::2]
+    payloads = {tx: rng.integers(0, 2, 8).tolist() for tx in transmitters}
+    reports = simulate_slot(net.graph, net.assignment, payloads)
+    silent = [r for r in reports if r.receiver not in payloads]
+    print(f"\nvalid assignment, {len(transmitters)} simultaneous transmitters:")
+    print(f"  receptions at silent receivers: {len(silent)}, "
+          f"all decoded = {all(r.success for r in silent)}")
+    busy = [r for r in reports if r.receiver in payloads]
+    print(f"  primary collisions at transmitting receivers: "
+          f"{sum(r.reason == 'primary_collision' for r in busy)} (expected: half-duplex)")
+
+    # Corrupt: give one transmitter a code already used by a peer that
+    # shares one of its receivers.
+    corrupt = net.assignment.copy()
+    victim = None
+    for rx in net.node_ids():
+        senders = [tx for tx in transmitters if net.graph.has_edge(tx, rx)]
+        if len(senders) >= 2 and rx not in payloads:
+            victim = (senders[0], senders[1], rx)
+            corrupt.assign(senders[1], corrupt[senders[0]])
+            break
+    assert victim, "no shared receiver found — rerun with another seed"
+    a, b, rx = victim
+    reports = simulate_slot(net.graph, corrupt, payloads)
+    garbled = [r for r in reports if not r.success and r.reason == "hidden_collision"]
+    print(f"\ncorrupted assignment (nodes {a} and {b} share a code, both reach {rx}):")
+    print(f"  hidden collisions now: {len(garbled)} "
+          f"(e.g. {garbled[0].transmitter}->{garbled[0].receiver})")
+    print("\nconclusion: CA1/CA2-valid coloring <=> collision-free slots.")
+
+
+if __name__ == "__main__":
+    show_orthogonality()
+    network_slot_demo()

@@ -1,0 +1,13 @@
+"""Analysis: experiment series, statistics, tables and shape checks."""
+
+from repro.analysis.series import ExperimentSeries
+from repro.analysis.shape_checks import ShapeCheck, check_all
+from repro.analysis.stats import mean_and_ci, summarize
+
+__all__ = [
+    "ExperimentSeries",
+    "ShapeCheck",
+    "check_all",
+    "mean_and_ci",
+    "summarize",
+]

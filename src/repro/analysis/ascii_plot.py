@@ -1,0 +1,77 @@
+"""Terminal line plots for experiment series.
+
+No plotting dependency is available offline, so the CLI and examples
+render series as ASCII charts — good enough to eyeball the figure
+shapes the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot", "plot_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    curves: Mapping[str, Sequence[float]],
+    x_values: Sequence[float],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """Render named curves over shared x values as an ASCII chart.
+
+    Each curve gets a marker; later curves overwrite earlier ones on
+    collisions.  Returns the chart as a string (no trailing newline).
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    n_pts = len(x_values)
+    if n_pts < 1 or any(len(c) != n_pts for c in curves.values()):
+        raise ValueError("curves and x_values must share a positive length")
+
+    all_vals = [v for c in curves.values() for v in c]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for ci, (name, ys) in enumerate(curves.items()):
+        marker = _MARKERS[ci % len(_MARKERS)]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((hi - y) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(curves)
+    )
+    lines.append(legend)
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        prefix = f"{y_val:>9.1f} |" if r % 4 == 0 or r == height - 1 else f"{'':>9} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>9} +" + "-" * width)
+    lines.append(f"{'':>11}{x_lo:<12g}{x_label:^{max(width - 24, 1)}}{x_hi:>12g}")
+    return "\n".join(lines)
+
+
+def plot_series(series, metric: str, **kwargs) -> str:
+    """ASCII chart of one :class:`ExperimentSeries` metric."""
+    curves = {s: series.series(metric, s) for s in series.strategies()}
+    return ascii_plot(
+        curves,
+        series.x_values,
+        title=kwargs.pop("title", f"[{series.experiment}] {metric}"),
+        x_label=series.x_label,
+        **kwargs,
+    )

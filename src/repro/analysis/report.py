@@ -1,0 +1,65 @@
+"""EXPERIMENTS-style markdown report generation.
+
+Turns a collection of :class:`~repro.analysis.series.ExperimentSeries`
+plus their shape-check verdicts into the paper-vs-measured markdown that
+``EXPERIMENTS.md`` records.  Used by the CLI's ``--out`` mode and by the
+maintainer script that refreshes the committed report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.series import ExperimentSeries
+from repro.analysis.shape_checks import ShapeCheck
+
+__all__ = ["PanelReport", "render_report"]
+
+
+@dataclass
+class PanelReport:
+    """One figure panel: series slice + the paper's claim about it."""
+
+    panel: str  # e.g. "Fig 10(a)"
+    metric: str
+    series: ExperimentSeries
+    paper_claim: str
+    checks: Sequence[ShapeCheck] = field(default_factory=tuple)
+
+    def to_markdown(self) -> str:
+        """Markdown section: heading, paper claim, table, check list."""
+        lines = [
+            f"### {self.panel} — `{self.metric}` "
+            f"({self.series.runs} runs per point)",
+            "",
+            f"**Paper:** {self.paper_claim}",
+            "",
+            self.series.to_markdown(self.metric),
+        ]
+        if self.checks:
+            lines.append("")
+            lines.append("Shape checks:")
+            for c in self.checks:
+                mark = "x" if c.passed else " "
+                detail = f" — {c.detail}" if (not c.passed and c.detail) else ""
+                lines.append(f"- [{mark}] {c.claim}{detail}")
+        return "\n".join(lines)
+
+
+def render_report(
+    title: str,
+    preamble: str,
+    panels: Sequence[PanelReport],
+) -> str:
+    """Full markdown document for a set of panels."""
+    parts = [f"# {title}", "", preamble.strip(), ""]
+    current_experiment = None
+    for p in panels:
+        if p.series.experiment != current_experiment:
+            current_experiment = p.series.experiment
+            parts.append(f"## {current_experiment}")
+            parts.append("")
+        parts.append(p.to_markdown())
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,86 @@
+"""Experiment series containers and table rendering.
+
+An :class:`ExperimentSeries` holds, for one experiment, the mean value
+of each metric for each strategy at each x-value — i.e. exactly one of
+the paper's figure panels per (metric) slice.  Rendering produces the
+rows the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentSeries"]
+
+
+@dataclass
+class ExperimentSeries:
+    """Averaged results of one experiment.
+
+    Attributes
+    ----------
+    experiment:
+        Short id, e.g. ``"fig10-join"``.
+    x_label:
+        Name of the swept parameter (``"N"``, ``"raisefactor"``, ...).
+    x_values:
+        The sweep points.
+    metrics:
+        ``metric -> strategy -> [mean at each x]``.
+    runs:
+        Number of runs each mean aggregates.
+    """
+
+    experiment: str
+    x_label: str
+    x_values: list[float]
+    metrics: dict[str, dict[str, list[float]]]
+    runs: int
+    notes: str = ""
+    stderr: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def strategies(self) -> list[str]:
+        """Strategy names present (stable order of first metric)."""
+        first = next(iter(self.metrics.values()), {})
+        return list(first)
+
+    def series(self, metric: str, strategy: str) -> list[float]:
+        """The mean series for one (metric, strategy) pair."""
+        return self.metrics[metric][strategy]
+
+    def value_at(self, metric: str, strategy: str, x: float) -> float:
+        """Mean of ``metric`` for ``strategy`` at sweep point ``x``."""
+        i = self.x_values.index(x)
+        return self.metrics[metric][strategy][i]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def table(self, metric: str, *, fmt: str = "{:>10.2f}") -> str:
+        """ASCII table of one metric: one row per x, one column per strategy."""
+        strategies = list(self.metrics[metric])
+        header = f"{self.x_label:>10} | " + " ".join(f"{s:>10}" for s in strategies)
+        rule = "-" * len(header)
+        lines = [f"[{self.experiment}] {metric} (mean of {self.runs} runs)", header, rule]
+        for i, x in enumerate(self.x_values):
+            row = f"{x:>10g} | " + " ".join(
+                fmt.format(self.metrics[metric][s][i]) for s in strategies
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+    def to_markdown(self, metric: str) -> str:
+        """Markdown table of one metric (for EXPERIMENTS.md)."""
+        strategies = list(self.metrics[metric])
+        lines = [
+            "| " + self.x_label + " | " + " | ".join(strategies) + " |",
+            "|" + "---|" * (len(strategies) + 1),
+        ]
+        for i, x in enumerate(self.x_values):
+            cells = " | ".join(f"{self.metrics[metric][s][i]:.2f}" for s in strategies)
+            lines.append(f"| {x:g} | {cells} |")
+        return "\n".join(lines)
+
+    def render_all(self) -> str:
+        """All metric tables, blank-line separated."""
+        return "\n\n".join(self.table(m) for m in self.metrics)

@@ -1,0 +1,52 @@
+"""Small statistics helpers for run aggregation."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["mean_and_ci", "summarize", "Summary"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation and a normal-approximation 95% CI."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+
+def mean_and_ci(values: Sequence[float], *, z: float = 1.96) -> Summary:
+    """Mean with a z-based confidence interval (default 95%).
+
+    With a single observation the CI degenerates to the point itself.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return Summary(1, mean, 0.0, mean, mean)
+    std = float(arr.std(ddof=1))
+    half = z * std / math.sqrt(arr.size)
+    return Summary(int(arr.size), mean, std, mean - half, mean + half)
+
+
+def summarize(per_run: np.ndarray, axis: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """``(mean, standard error)`` of ``per_run`` along ``axis``.
+
+    Standard error is 0 when there is a single run.
+    """
+    arr = np.asarray(per_run, dtype=np.float64)
+    mean = arr.mean(axis=axis)
+    n = arr.shape[axis]
+    if n <= 1:
+        return mean, np.zeros_like(mean)
+    sem = arr.std(axis=axis, ddof=1) / math.sqrt(n)
+    return mean, sem

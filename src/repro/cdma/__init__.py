@@ -1,0 +1,27 @@
+"""CDMA physical layer: orthogonal codes, spreading, and packet reception.
+
+The paper treats CDMA abstractly: orthogonal codes eliminate collisions,
+so code assignment reduces to conflict-graph coloring.  This package
+realizes the abstraction so the claim is *demonstrated* rather than
+assumed: Walsh–Hadamard codes, BPSK chip spreading, a superposition
+channel over the ad-hoc digraph, and a packet-reception simulator in
+which a CA1/CA2-valid assignment yields zero garbled packets and
+violations yield concrete collisions.
+"""
+
+from repro.cdma.channel import received_signal
+from repro.cdma.codebook import Codebook
+from repro.cdma.phy import ReceptionReport, simulate_slot
+from repro.cdma.spreading import despread, spread
+from repro.cdma.walsh import hadamard_matrix, walsh_codes
+
+__all__ = [
+    "Codebook",
+    "ReceptionReport",
+    "despread",
+    "hadamard_matrix",
+    "received_signal",
+    "simulate_slot",
+    "spread",
+    "walsh_codes",
+]

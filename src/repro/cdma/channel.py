@@ -1,0 +1,51 @@
+"""The superposition channel over the ad-hoc digraph.
+
+A receiver hears the chip-synchronous sum of every in-range
+transmitter's stream (unit-disc gain: in range contributes 1, out of
+range 0 — the paper's interference model), optionally with additive
+white Gaussian noise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import CodebookError
+from repro.types import NodeId
+
+__all__ = ["received_signal"]
+
+
+def received_signal(
+    streams: Mapping[NodeId, np.ndarray],
+    reachers: set[NodeId],
+    *,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Superpose the chip streams of ``reachers`` at one receiver.
+
+    Parameters
+    ----------
+    streams:
+        Transmitter id -> chip stream (all equal length).
+    reachers:
+        The transmitters whose signal reaches this receiver (its
+        in-neighbors among the transmitting set).
+    noise_std:
+        AWGN standard deviation (0 = noiseless).
+    """
+    lengths = {len(s) for s in streams.values()}
+    if len(lengths) > 1:
+        raise CodebookError(f"chip streams must share a length, got {sorted(lengths)}")
+    length = lengths.pop() if lengths else 0
+    out = np.zeros(length, dtype=np.float64)
+    for tx in reachers:
+        out += streams[tx]
+    if noise_std > 0.0:
+        if rng is None:
+            raise CodebookError("noise_std > 0 requires an rng")
+        out += rng.normal(0.0, noise_std, size=length)
+    return out

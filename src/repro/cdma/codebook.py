@@ -1,0 +1,62 @@
+"""Color-to-code mapping.
+
+The recoding layer hands out positive integer codes; transmitter
+hardware realizes code ``c`` as Walsh code row ``c - 1``.  A codebook
+has a fixed chip length — the hardware limit motivating the paper's
+goal 1 ("the hardware of a node can be designed to transmit on only
+some maximum number of codes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cdma.walsh import next_power_of_two, walsh_codes
+from repro.errors import CodebookError
+from repro.types import Color
+
+__all__ = ["Codebook"]
+
+
+class Codebook:
+    """A fixed family of orthogonal Walsh codes indexed by color.
+
+    Parameters
+    ----------
+    capacity:
+        Number of distinct colors supported (chip length is the next
+        power of two).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CodebookError(f"capacity must be >= 1, got {capacity}")
+        self._codes = walsh_codes(capacity, length=next_power_of_two(capacity))
+        self._capacity = capacity
+
+    @classmethod
+    def for_max_color(cls, max_color: int) -> "Codebook":
+        """A codebook just large enough for colors ``1..max_color``."""
+        return cls(max(max_color, 1))
+
+    @property
+    def capacity(self) -> int:
+        """Largest color this codebook can realize."""
+        return self._capacity
+
+    @property
+    def chip_length(self) -> int:
+        """Chips per bit (the spreading factor)."""
+        return int(self._codes.shape[1])
+
+    def code_for(self, color: Color) -> np.ndarray:
+        """The ±1 chip sequence realizing ``color`` (1-based)."""
+        if not (1 <= color <= self._capacity):
+            raise CodebookError(
+                f"color {color} outside codebook capacity 1..{self._capacity}"
+            )
+        return self._codes[color - 1]
+
+    def are_orthogonal(self, a: Color, b: Color) -> bool:
+        """Whether two colors map to orthogonal codes (true iff distinct)."""
+        return bool(np.dot(self.code_for(a), self.code_for(b)) == 0) if a != b else False

@@ -1,0 +1,50 @@
+"""BPSK chip spreading and correlation despreading (vectorized)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodebookError
+
+__all__ = ["spread", "despread", "bits_to_symbols", "symbols_to_bits"]
+
+
+def bits_to_symbols(bits: np.ndarray) -> np.ndarray:
+    """Map {0, 1} bits to BPSK symbols {-1, +1} (0 -> -1)."""
+    b = np.asarray(bits)
+    if not np.isin(b, (0, 1)).all():
+        raise CodebookError("bits must be 0/1")
+    return (b.astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+def symbols_to_bits(symbols: np.ndarray) -> np.ndarray:
+    """Hard-decision demap: positive -> 1, non-positive -> 0."""
+    return (np.asarray(symbols) > 0).astype(np.int8)
+
+
+def spread(bits: np.ndarray, code: np.ndarray) -> np.ndarray:
+    """Spread a bit vector over a ±1 chip code.
+
+    Returns a float64 chip stream of length ``len(bits) * len(code)``:
+    the outer product of BPSK symbols and code chips, flattened.
+    """
+    symbols = bits_to_symbols(bits).astype(np.float64)
+    c = np.asarray(code, dtype=np.float64)
+    return np.outer(symbols, c).ravel()
+
+
+def despread(chips: np.ndarray, code: np.ndarray) -> np.ndarray:
+    """Correlate a received chip stream against ``code``.
+
+    Returns per-bit correlation values normalized by the code length:
+    for a clean signal spread with the same code the values are exactly
+    ±1; orthogonal interferers contribute exactly 0.
+    """
+    c = np.asarray(code, dtype=np.float64)
+    x = np.asarray(chips, dtype=np.float64)
+    if x.size % c.size != 0:
+        raise CodebookError(
+            f"chip stream length {x.size} is not a multiple of code length {c.size}"
+        )
+    frames = x.reshape(-1, c.size)
+    return frames @ c / c.size

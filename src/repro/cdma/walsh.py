@@ -1,0 +1,51 @@
+"""Walsh–Hadamard orthogonal code generation.
+
+Walsh codes are the rows of a Hadamard matrix of order ``2^k``: mutually
+orthogonal ±1 chip sequences — the paper's "orthogonal codes" realized
+concretely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodebookError
+
+__all__ = ["hadamard_matrix", "walsh_codes", "next_power_of_two"]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= max(n, 1)``."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def hadamard_matrix(order: int) -> np.ndarray:
+    """The Sylvester-construction Hadamard matrix of the given order.
+
+    ``order`` must be a power of two (including 1).  Entries are ±1
+    ``int8``; rows are mutually orthogonal with ``H @ H.T = order * I``.
+    """
+    if order < 1 or (order & (order - 1)) != 0:
+        raise CodebookError(f"Hadamard order must be a power of two, got {order}")
+    h = np.array([[1]], dtype=np.int8)
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]]).astype(np.int8)
+    return h
+
+
+def walsh_codes(n_codes: int, *, length: int | None = None) -> np.ndarray:
+    """The first ``n_codes`` Walsh codes as a ``(n_codes, length)`` array.
+
+    ``length`` defaults to the smallest power of two that fits
+    ``n_codes``.  Row ``i`` is code index ``i`` (0-based); the codebook
+    layer maps the paper's 1-based colors onto rows.
+    """
+    if n_codes < 1:
+        raise CodebookError(f"need at least one code, got {n_codes}")
+    if length is None:
+        length = next_power_of_two(n_codes)
+    if length < n_codes:
+        raise CodebookError(f"length {length} cannot host {n_codes} orthogonal codes")
+    return hadamard_matrix(length)[:n_codes]

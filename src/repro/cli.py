@@ -1,0 +1,157 @@
+"""Command-line interface: regenerate the paper's figures as tables.
+
+Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
+
+    minim-cdma fig10 --runs 10
+    minim-cdma fig11 --runs 10 --n 100
+    minim-cdma fig12 --runs 10 --rounds 10
+    minim-cdma all   --runs 5 --out results/
+
+Each command prints the metric tables corresponding to the figure's
+panels and the paper's shape checks; ``--out DIR`` additionally writes
+markdown tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.series import ExperimentSeries
+from repro.analysis.shape_checks import check_all
+from repro.sim.experiments import (
+    run_join_experiment,
+    run_movement_disp_experiment,
+    run_movement_rounds_experiment,
+    run_power_experiment,
+    run_range_sweep_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--runs", type=int, default=None, help="runs per data point (default 5; paper used 100)"
+    )
+    common.add_argument("--seed", type=int, default=2001, help="master seed")
+    common.add_argument(
+        "--processes", type=int, default=None, help="process-pool size for run fan-out"
+    )
+    common.add_argument("--out", type=Path, default=None, help="directory for markdown tables")
+
+    parser = argparse.ArgumentParser(
+        prog="minim-cdma",
+        description="Reproduce the evaluation of Gupta (2001), 'Minimal CDMA "
+        "Recoding Strategies in Power-Controlled Ad-Hoc Wireless Networks'.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p10 = sub.add_parser("fig10", parents=[common], help="node-join experiment (Fig 10 a-f)")
+    p10.add_argument("--n-values", type=int, nargs="+", default=[40, 60, 80, 100, 120])
+    p10.add_argument("--avg-ranges", type=float, nargs="+", default=[5, 15, 25, 35, 45, 55, 65])
+    p10.add_argument("--skip-range-sweep", action="store_true")
+
+    p11 = sub.add_parser("fig11", parents=[common], help="power-increase experiment (Fig 11 a-c)")
+    p11.add_argument("--n", type=int, default=100)
+    p11.add_argument("--raisefactors", type=float, nargs="+", default=[1, 2, 3, 4, 5, 6])
+
+    p12 = sub.add_parser("fig12", parents=[common], help="movement experiment (Fig 12 a-d)")
+    p12.add_argument("--n", type=int, default=40)
+    p12.add_argument("--rounds", type=int, default=10)
+    p12.add_argument("--maxdisp", type=float, default=40.0)
+    p12.add_argument("--maxdisps", type=float, nargs="+", default=[0, 10, 20, 40, 60, 80])
+
+    sub.add_parser("all", parents=[common], help="run every experiment with defaults")
+    return parser
+
+
+def _emit(series: ExperimentSeries, kind: str | None, out: Path | None) -> None:
+    print(series.render_all())
+    print()
+    if kind is not None:
+        for check in check_all(kind, series):
+            print(check)
+        print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{series.experiment}.md"
+        blocks = [f"## {series.experiment} ({series.runs} runs)"]
+        for metric in series.metrics:
+            blocks.append(f"### {metric}\n\n{series.to_markdown(metric)}")
+        path.write_text("\n\n".join(blocks) + "\n")
+        print(f"wrote {path}")
+
+
+def _run_fig10(args: argparse.Namespace) -> None:
+    common = dict(runs=args.runs, seed=args.seed, processes=args.processes)
+    _emit(run_join_experiment(tuple(args.n_values), **common), "join", args.out)
+    if not getattr(args, "skip_range_sweep", False):
+        _emit(run_range_sweep_experiment(tuple(args.avg_ranges), **common), None, args.out)
+
+
+def _run_fig11(args: argparse.Namespace) -> None:
+    series = run_power_experiment(
+        tuple(args.raisefactors),
+        n=args.n,
+        runs=args.runs,
+        seed=args.seed,
+        processes=args.processes,
+    )
+    _emit(series, "power", args.out)
+
+
+def _run_fig12(args: argparse.Namespace) -> None:
+    common = dict(runs=args.runs, seed=args.seed, processes=args.processes)
+    _emit(
+        run_movement_disp_experiment(tuple(args.maxdisps), n=args.n, **common),
+        None,
+        args.out,
+    )
+    _emit(
+        run_movement_rounds_experiment(
+            args.rounds, maxdisp=args.maxdisp, n=args.n, **common
+        ),
+        "move",
+        args.out,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig10":
+        _run_fig10(args)
+    elif args.command == "fig11":
+        _run_fig11(args)
+    elif args.command == "fig12":
+        _run_fig12(args)
+    elif args.command == "all":
+        ns = argparse.Namespace(
+            runs=args.runs,
+            seed=args.seed,
+            processes=args.processes,
+            out=args.out,
+            n_values=[40, 60, 80, 100, 120],
+            avg_ranges=[5, 15, 25, 35, 45, 55, 65],
+            skip_range_sweep=False,
+            n=100,
+            raisefactors=[1, 2, 3, 4, 5, 6],
+            rounds=10,
+            maxdisp=40.0,
+            maxdisps=[0, 10, 20, 40, 60, 80],
+        )
+        _run_fig10(ns)
+        _run_fig11(ns)
+        ns.n = 40
+        _run_fig12(ns)
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Coloring substrate: code assignments, verification and heuristics.
+
+Codes ("colors") are positive integers.  A valid TOCA assignment is a
+proper coloring of the CA1 ∪ CA2 conflict graph
+(:mod:`repro.topology.conflicts`).  This package provides the assignment
+container, an exact CA1/CA2 violation finder, constraint queries used by
+the recoding strategies, and centralized coloring heuristics, including
+the BBB baseline used by the paper's evaluation.
+"""
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.bbb import bbb_coloring
+from repro.coloring.bounds import clique_lower_bound, greedy_clique
+from repro.coloring.constraints import forbidden_colors, lowest_available_color
+from repro.coloring.dsatur import dsatur_coloring
+from repro.coloring.greedy import first_fit_coloring
+from repro.coloring.smallest_last import smallest_last_coloring, smallest_last_order
+from repro.coloring.verify import Violation, assert_valid, find_violations, is_valid
+
+__all__ = [
+    "CodeAssignment",
+    "Violation",
+    "assert_valid",
+    "bbb_coloring",
+    "clique_lower_bound",
+    "dsatur_coloring",
+    "find_violations",
+    "first_fit_coloring",
+    "forbidden_colors",
+    "greedy_clique",
+    "is_valid",
+    "lowest_available_color",
+    "smallest_last_coloring",
+    "smallest_last_order",
+]

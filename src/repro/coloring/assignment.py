@@ -1,0 +1,140 @@
+"""The network-wide code assignment container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import UncoloredNodeError
+from repro.types import Color, NodeId, validate_color
+
+__all__ = ["CodeAssignment"]
+
+
+class CodeAssignment:
+    """Mutable mapping from node id to assigned code (positive int).
+
+    A thin, validating wrapper over a dict, with the operations the
+    recoding machinery needs: max code index, color classes, and diffs
+    between assignments (the paper's "number of recodings" metric counts
+    entries of the diff).
+    """
+
+    __slots__ = ("_codes",)
+
+    def __init__(self, codes: Mapping[NodeId, Color] | None = None) -> None:
+        self._codes: dict[NodeId, Color] = {}
+        if codes:
+            for node, color in codes.items():
+                self.assign(node, color)
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, node: NodeId) -> Color:
+        try:
+            return self._codes[node]
+        except KeyError:
+            raise UncoloredNodeError(node) from None
+
+    def get(self, node: NodeId, default: Color | None = None) -> Color | None:
+        """Code of ``node`` or ``default`` if unassigned."""
+        return self._codes.get(node, default)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._codes
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(sorted(self._codes))
+
+    def items(self) -> list[tuple[NodeId, Color]]:
+        """``(node, code)`` pairs, ascending by node id."""
+        return sorted(self._codes.items())
+
+    def nodes(self) -> list[NodeId]:
+        """Assigned node ids, ascending."""
+        return sorted(self._codes)
+
+    def as_dict(self) -> dict[NodeId, Color]:
+        """A plain-dict copy of the assignment."""
+        return dict(self._codes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CodeAssignment):
+            return self._codes == other._codes
+        if isinstance(other, Mapping):
+            return self._codes == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{v}: {c}" for v, c in self.items())
+        return f"CodeAssignment({{{body}}})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, node: NodeId, color: Color) -> None:
+        """Set ``node``'s code; validates that the code is a positive int."""
+        self._codes[node] = validate_color(color)
+
+    def unassign(self, node: NodeId) -> Color:
+        """Remove ``node``'s code (e.g., on leave); returns the old code."""
+        try:
+            return self._codes.pop(node)
+        except KeyError:
+            raise UncoloredNodeError(node) from None
+
+    def apply(self, changes: Mapping[NodeId, Color]) -> None:
+        """Assign every ``node -> code`` in ``changes``."""
+        for node, color in changes.items():
+            self.assign(node, color)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def max_color(self) -> int:
+        """The maximum code index in use; 0 when empty.
+
+        This is the paper's first performance metric ("maximum color
+        index assigned in the network").
+        """
+        return max(self._codes.values(), default=0)
+
+    def colors_of(self, nodes: Iterable[NodeId]) -> list[Color]:
+        """Codes of ``nodes`` (all must be assigned), in iteration order."""
+        return [self[v] for v in nodes]
+
+    def color_classes(self) -> dict[Color, set[NodeId]]:
+        """Map each in-use code to the set of nodes holding it."""
+        classes: dict[Color, set[NodeId]] = {}
+        for node, color in self._codes.items():
+            classes.setdefault(color, set()).add(node)
+        return classes
+
+    def used_colors(self) -> set[Color]:
+        """The set of codes currently in use."""
+        return set(self._codes.values())
+
+    def copy(self) -> "CodeAssignment":
+        """An independent copy."""
+        fresh = CodeAssignment()
+        fresh._codes = dict(self._codes)
+        return fresh
+
+    def diff(self, other: "CodeAssignment") -> dict[NodeId, tuple[Color | None, Color | None]]:
+        """Changes from ``self`` (old) to ``other`` (new).
+
+        Returns ``{node: (old, new)}`` for every node whose code differs;
+        ``None`` stands for "not assigned".  ``len(diff)`` is the number
+        of recodings between the two assignments, counting first
+        assignments and removals.
+        """
+        out: dict[NodeId, tuple[Color | None, Color | None]] = {}
+        for node in set(self._codes) | set(other._codes):
+            old = self._codes.get(node)
+            new = other._codes.get(node)
+            if old != new:
+                out[node] = (old, new)
+        return out

@@ -1,0 +1,63 @@
+"""Constraint queries used by the recoding strategies.
+
+During recoding, a node's *constraints* (paper section 2) are the colors
+it cannot take because some conflicting node already holds them.  The
+``exclude`` parameter lets strategies ignore nodes that are being
+recolored in the same operation (e.g., the ``V1`` set of RecodeOnJoin).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Set
+
+from repro.coloring.assignment import CodeAssignment
+from repro.topology.conflicts import conflict_neighbors
+from repro.topology.digraph import AdHocDigraph
+from repro.types import Color, NodeId
+
+__all__ = ["forbidden_colors", "lowest_available_color", "constraining_nodes"]
+
+
+def constraining_nodes(
+    graph: AdHocDigraph,
+    node: NodeId,
+    *,
+    exclude: Set[NodeId] = frozenset(),
+) -> set[NodeId]:
+    """Conflict neighbors of ``node`` outside ``exclude``."""
+    return {v for v in conflict_neighbors(graph, node) if v not in exclude}
+
+
+def forbidden_colors(
+    graph: AdHocDigraph,
+    assignment: CodeAssignment,
+    node: NodeId,
+    *,
+    exclude: Set[NodeId] = frozenset(),
+) -> set[Color]:
+    """Colors ``node`` cannot take, given the current assignment.
+
+    These are the colors of its conflict neighbors, ignoring neighbors in
+    ``exclude`` (and neighbors with no assigned code, e.g. mid-protocol).
+    """
+    out: set[Color] = set()
+    for v in conflict_neighbors(graph, node):
+        if v in exclude:
+            continue
+        c = assignment.get(v)
+        if c is not None:
+            out.add(c)
+    return out
+
+
+def lowest_available_color(forbidden: Iterable[Color]) -> Color:
+    """The smallest positive integer not in ``forbidden``.
+
+    This is the "lowest available color" selection rule used both by
+    ``RecodeOnPowIncrease`` (Fig 5, step 3) and by the CP baseline.
+    """
+    taken = set(forbidden)
+    c = 1
+    while c in taken:
+        c += 1
+    return c

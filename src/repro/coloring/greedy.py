@@ -1,0 +1,57 @@
+"""First-fit greedy coloring of the conflict graph."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.coloring.assignment import CodeAssignment
+from repro.topology.conflicts import conflict_matrix
+from repro.topology.digraph import AdHocDigraph
+from repro.types import NodeId
+
+__all__ = ["first_fit_coloring", "greedy_color_matrix"]
+
+
+def greedy_color_matrix(conflicts: np.ndarray, order: Sequence[int]) -> np.ndarray:
+    """First-fit colors (1-based) for a conflict matrix in ``order``.
+
+    ``order`` is a permutation of matrix indices; node ``order[0]`` gets
+    color 1, later nodes get the smallest color not used by their already
+    colored conflict neighbors.
+    """
+    n = conflicts.shape[0]
+    colors = np.zeros(n, dtype=np.int64)
+    for i in order:
+        neighbor_colors = colors[conflicts[i]]
+        used = set(int(c) for c in neighbor_colors[neighbor_colors > 0])
+        c = 1
+        while c in used:
+            c += 1
+        colors[i] = c
+    return colors
+
+
+def first_fit_coloring(
+    graph: AdHocDigraph,
+    order: Sequence[NodeId] | None = None,
+) -> CodeAssignment:
+    """Greedy first-fit coloring of ``graph``'s conflict graph.
+
+    Parameters
+    ----------
+    order:
+        Node ids in coloring order; defaults to ascending id.
+    """
+    ids, adj = graph.adjacency()
+    conflicts = conflict_matrix(adj)
+    index = {v: i for i, v in enumerate(ids)}
+    if order is None:
+        idx_order = list(range(len(ids)))
+    else:
+        idx_order = [index[v] for v in order]
+        if len(idx_order) != len(ids):
+            raise ValueError("order must cover every node exactly once")
+    colors = greedy_color_matrix(conflicts, idx_order)
+    return CodeAssignment({ids[i]: int(colors[i]) for i in range(len(ids))})

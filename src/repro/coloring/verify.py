@@ -1,0 +1,107 @@
+"""Exact CA1 / CA2 violation detection.
+
+``find_violations`` is the ground-truth correctness oracle used
+throughout the test suite and by :func:`assert_valid` guards in the
+simulator.  It is vectorized over the adjacency matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.coloring.assignment import CodeAssignment
+from repro.errors import ColoringConflictError, UncoloredNodeError
+from repro.topology.digraph import AdHocDigraph
+from repro.types import NodeId
+
+__all__ = ["Violation", "find_violations", "is_valid", "assert_valid"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single constraint violation.
+
+    ``kind == "CA1"``: ``nodes == (src, dst)`` are an edge with equal
+    codes.  ``kind == "CA2"``: ``nodes == (u, v)`` both transmit to
+    ``receiver`` with equal codes.
+    """
+
+    kind: Literal["CA1", "CA2"]
+    nodes: tuple[NodeId, NodeId]
+    receiver: NodeId | None = None
+
+    def __str__(self) -> str:
+        u, v = self.nodes
+        if self.kind == "CA1":
+            return f"CA1: edge {u}->{v} with equal codes"
+        return f"CA2: {u} and {v} both reach {self.receiver} with equal codes"
+
+
+def find_violations(graph: AdHocDigraph, assignment: CodeAssignment) -> list[Violation]:
+    """All CA1 and CA2 violations of ``assignment`` on ``graph``.
+
+    Every node in the graph must be assigned a code, otherwise
+    :class:`UncoloredNodeError` is raised.  Violations are reported once
+    per unordered pair, deterministically ordered.
+    """
+    ids, adj = graph.adjacency()
+    n = len(ids)
+    if n == 0:
+        return []
+    colors = np.empty(n, dtype=np.int64)
+    for i, v in enumerate(ids):
+        c = assignment.get(v)
+        if c is None:
+            raise UncoloredNodeError(v)
+        colors[i] = c
+
+    same = colors[:, None] == colors[None, :]
+    violations: list[Violation] = []
+
+    # CA1: any edge whose endpoints share a code.
+    ca1 = adj & same
+    for i, j in zip(*np.nonzero(ca1)):
+        violations.append(Violation("CA1", (ids[int(i)], ids[int(j)])))
+
+    # CA2: per receiver column, duplicated codes among its in-neighbors.
+    seen_pairs: set[tuple[NodeId, NodeId, NodeId]] = set()
+    for k in range(n):
+        senders = np.flatnonzero(adj[:, k])
+        if len(senders) < 2:
+            continue
+        sender_colors = colors[senders]
+        order = np.argsort(sender_colors, kind="stable")
+        sorted_colors = sender_colors[order]
+        dup_mask = sorted_colors[1:] == sorted_colors[:-1]
+        if not dup_mask.any():
+            continue
+        sorted_senders = senders[order]
+        for t in np.flatnonzero(dup_mask):
+            u = ids[int(sorted_senders[t])]
+            v = ids[int(sorted_senders[t + 1])]
+            if u > v:
+                u, v = v, u
+            key = (u, v, ids[k])
+            if key not in seen_pairs:
+                seen_pairs.add(key)
+                violations.append(Violation("CA2", (u, v), receiver=ids[k]))
+
+    violations.sort(key=lambda w: (w.kind, w.nodes, -1 if w.receiver is None else w.receiver))
+    return violations
+
+
+def is_valid(graph: AdHocDigraph, assignment: CodeAssignment) -> bool:
+    """Whether ``assignment`` satisfies CA1 and CA2 on ``graph``."""
+    return not find_violations(graph, assignment)
+
+
+def assert_valid(graph: AdHocDigraph, assignment: CodeAssignment) -> None:
+    """Raise :class:`ColoringConflictError` listing violations, if any."""
+    violations = find_violations(graph, assignment)
+    if violations:
+        preview = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise ColoringConflictError(f"{len(violations)} violation(s): {preview}{more}")

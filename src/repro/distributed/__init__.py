@@ -1,0 +1,38 @@
+"""Distributed runtime: message-driven executions of the recoding protocols.
+
+The strategies in :mod:`repro.strategies` are *oracle* implementations:
+they compute the recoding outcome directly from the global graph.  The
+paper's algorithms, however, are distributed — "communication only local
+to the event ... no central coordination".  This package provides the
+message-passing executions:
+
+* :mod:`~repro.distributed.bus` — FIFO message bus with delivery and
+  accounting.
+* :mod:`~repro.distributed.join_protocol` — RecodeOnJoin / RecodeOnMove
+  as run by node ``n``: constraint collection from its from-neighbors
+  (steps 1-2 of Fig 3), local matching, color dissemination with acks
+  (step 6).
+* :mod:`~repro.distributed.cp_protocol` — CP's identifier-ordered
+  selection as synchronous rounds of local-maximum elections.
+
+Tests assert the message-driven executions produce byte-identical
+recodings to the oracle strategies; the distributed-overhead bench
+compares their message and round counts.
+"""
+
+from repro.distributed.bus import MessageBus
+from repro.distributed.cp_protocol import run_distributed_cp_join
+from repro.distributed.join_protocol import run_distributed_join
+from repro.distributed.message import Message, MessageKind
+from repro.distributed.power_protocol import run_distributed_power_increase
+from repro.distributed.runtime import ProtocolStats
+
+__all__ = [
+    "Message",
+    "MessageBus",
+    "MessageKind",
+    "ProtocolStats",
+    "run_distributed_cp_join",
+    "run_distributed_join",
+    "run_distributed_power_increase",
+]

@@ -1,0 +1,81 @@
+"""FIFO message bus with delivery accounting.
+
+The bus models a reliable, order-preserving network (the paper's
+termination theorems assume "messages are eventually delivered").
+Protocols enqueue messages and a driver loop pops them in global FIFO
+order, dispatching to per-node handlers.  The bus counts every send,
+overall and per kind — the raw material for the distributed-overhead
+bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.distributed.message import Message, MessageKind
+from repro.errors import ProtocolError
+from repro.types import NodeId
+
+__all__ = ["MessageBus"]
+
+#: A handler consumes a message and may emit replies.
+Handler = Callable[[Message], Iterable[Message]]
+
+
+class MessageBus:
+    """Reliable FIFO transport between node agents."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Message] = deque()
+        self._handlers: dict[NodeId, Handler] = {}
+        self.sent_total = 0
+        self.sent_by_kind: dict[MessageKind, int] = {}
+
+    def register(self, node_id: NodeId, handler: Handler) -> None:
+        """Attach the message handler for ``node_id``."""
+        if node_id in self._handlers:
+            raise ProtocolError(f"node {node_id} already registered on the bus")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach ``node_id``'s handler (e.g., on leave)."""
+        self._handlers.pop(node_id, None)
+
+    def send(self, msg: Message) -> None:
+        """Enqueue ``msg`` for delivery."""
+        self._queue.append(msg)
+        self.sent_total += 1
+        self.sent_by_kind[msg.kind] = self.sent_by_kind.get(msg.kind, 0) + 1
+
+    def send_all(self, msgs: Iterable[Message]) -> None:
+        """Enqueue several messages in order."""
+        for m in msgs:
+            self.send(m)
+
+    def pending(self) -> int:
+        """Number of undelivered messages."""
+        return len(self._queue)
+
+    def run_to_quiescence(self, *, max_deliveries: int = 1_000_000) -> int:
+        """Deliver messages (FIFO) until the queue drains.
+
+        Returns the number of deliveries.  ``max_deliveries`` guards
+        against protocol livelock; exceeding it raises
+        :class:`ProtocolError`.
+        """
+        delivered = 0
+        while self._queue:
+            if delivered >= max_deliveries:
+                raise ProtocolError(
+                    f"protocol did not quiesce within {max_deliveries} deliveries"
+                )
+            msg = self._queue.popleft()
+            handler = self._handlers.get(msg.dst)
+            if handler is None:
+                raise ProtocolError(f"message to unregistered node: {msg}")
+            replies = handler(msg)
+            if replies:
+                self.send_all(replies)
+            delivered += 1
+        return delivered

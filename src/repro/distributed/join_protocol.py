@@ -1,0 +1,198 @@
+"""Message-driven ``RecodeOnJoin`` / ``RecodeOnMove``.
+
+The paper's protocol is *locally centralized* at the (re)configuring
+node ``n`` (section 4.1): ``n`` collects constraints from its
+from-neighbors (Fig 3 steps 1-2), solves the matching itself, then
+disseminates the new colors and agrees on the switch point (step 6).
+
+This module executes exactly that over the message bus.  Node ``n``'s
+computation consumes only message payloads; each queried agent answers
+from its own neighborhood state (the graph object stands in for the
+radio layer and for the cached constraint lists that nodes maintain via
+HELLO exchanges in [3] and this paper).
+
+Messages:
+
+* ``CONSTRAINT_REQUEST`` to every in-neighbor (step 1) and every
+  out-only neighbor (step 2 — they relay the co-transmitter colors that
+  constrain ``n`` through CA2 at their position);
+* ``CONSTRAINT_REPLY`` with colors and constraints;
+* ``SET_COLOR`` / ``COLOR_ACK`` / ``COMMIT`` (step 6).
+
+Three phases: collect → disseminate → commit, so ``rounds == 3`` when
+any neighbor recodes, else 1.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import forbidden_colors
+from repro.distributed.bus import MessageBus
+from repro.distributed.message import Message, MessageKind
+from repro.distributed.runtime import ProtocolStats
+from repro.errors import ProtocolError
+from repro.strategies.minim.join import solve_v1_assignment
+from repro.topology.neighborhoods import join_partition
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["run_distributed_join"]
+
+
+def run_distributed_join(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    node: NodeId,
+    *,
+    old_color_weight: int = 3,
+    fresh_color_weight: int = 1,
+) -> ProtocolStats:
+    """Execute RecodeOnJoin/RecodeOnMove for ``node`` over a message bus.
+
+    ``graph`` must already contain ``node`` at its (new) position.  The
+    returned :class:`ProtocolStats.changes` matches the oracle
+    :func:`repro.strategies.minim.plan_local_matching_recode` outcome
+    (tests assert equality); ``assignment`` is not mutated.
+    """
+    part = join_partition(graph, node)
+    members = sorted(part.in_neighbors)
+    v1_list = members + [node]
+    v1_set = frozenset(v1_list)
+    out_only = sorted(part.three)
+
+    bus = MessageBus()
+    member_replies: dict[NodeId, dict] = {}
+    relay_replies: dict[NodeId, dict] = {}
+    acks: set[NodeId] = set()
+    committed: set[NodeId] = set()
+
+    def member_handler(u: NodeId):
+        def handle(msg: Message):
+            if msg.kind is MessageKind.CONSTRAINT_REQUEST:
+                v1 = frozenset(msg.payload["v1"])
+                # Answered from u's own neighborhood state: its color,
+                # the colors its external conflict neighbors pin down,
+                # and — when u also receives from n (u in 2n) — the
+                # co-transmitters at u that constrain n via CA2.
+                payload = {
+                    "color": assignment[u],
+                    "constraints": sorted(
+                        forbidden_colors(graph, assignment, u, exclude=v1)
+                    ),
+                    "co_transmitters": [
+                        (w, assignment[w])
+                        for w in graph.in_neighbors(u)
+                        if w != node
+                    ],
+                }
+                return [Message(u, node, MessageKind.CONSTRAINT_REPLY, payload)]
+            if msg.kind is MessageKind.SET_COLOR:
+                return [
+                    Message(u, node, MessageKind.COLOR_ACK, {"color": msg.payload["color"]})
+                ]
+            if msg.kind is MessageKind.COMMIT:
+                committed.add(u)
+                return []
+            raise ProtocolError(f"member {u}: unexpected {msg}")
+
+        return handle
+
+    def out_neighbor_handler(v: NodeId):
+        def handle(msg: Message):
+            if msg.kind is MessageKind.CONSTRAINT_REQUEST:
+                # v constrains n via CA1 (edge n -> v) and relays its
+                # other in-neighbors, which constrain n via CA2 at v.
+                payload = {
+                    "color": assignment[v],
+                    "co_transmitters": [
+                        (w, assignment[w])
+                        for w in graph.in_neighbors(v)
+                        if w != node
+                    ],
+                }
+                return [Message(v, node, MessageKind.CONSTRAINT_REPLY, payload)]
+            raise ProtocolError(f"out-neighbor {v}: unexpected {msg}")
+
+        return handle
+
+    def n_handler(msg: Message):
+        if msg.kind is MessageKind.CONSTRAINT_REPLY:
+            if "constraints" in msg.payload:
+                member_replies[msg.src] = msg.payload
+            else:
+                relay_replies[msg.src] = msg.payload
+            return []
+        if msg.kind is MessageKind.COLOR_ACK:
+            acks.add(msg.src)
+            return []
+        raise ProtocolError(f"initiator {node}: unexpected {msg}")
+
+    for u in members:
+        bus.register(u, member_handler(u))
+    for v in out_only:
+        bus.register(v, out_neighbor_handler(v))
+    bus.register(node, n_handler)
+
+    # Phase 1: constraint collection (Fig 3 steps 1-2).
+    rounds = 1
+    v1_payload = {"v1": sorted(v1_set)}
+    for u in members:
+        bus.send(Message(node, u, MessageKind.CONSTRAINT_REQUEST, v1_payload))
+    for v in out_only:
+        bus.send(Message(node, v, MessageKind.CONSTRAINT_REQUEST, {}))
+    bus.run_to_quiescence()
+    if set(member_replies) != set(members) or set(relay_replies) != set(out_only):
+        raise ProtocolError("constraint collection incomplete")
+
+    # Assemble n's external constraints from the payloads alone:
+    # CA1 with out-only neighbors, CA2 with non-V1 co-transmitters at
+    # every receiver of n (members in 2n relayed theirs too).
+    n_external: set[Color] = {relay_replies[v]["color"] for v in out_only}
+    for payload in relay_replies.values():
+        for w, c in payload["co_transmitters"]:
+            if w not in v1_set:
+                n_external.add(c)
+    for u in members:
+        if u in part.two:  # n transmits into u, so u's senders conflict with n
+            for w, c in member_replies[u]["co_transmitters"]:
+                if w not in v1_set:
+                    n_external.add(c)
+
+    old_colors: dict[NodeId, Color | None] = {
+        u: member_replies[u]["color"] for u in members
+    }
+    old_colors[node] = assignment.get(node)
+    constraints: dict[NodeId, set[Color]] = {
+        u: set(member_replies[u]["constraints"]) for u in members
+    }
+    constraints[node] = n_external
+
+    new_colors, _max_seen = solve_v1_assignment(
+        v1_list,
+        old_colors,
+        constraints,
+        old_color_weight=old_color_weight,
+        fresh_color_weight=fresh_color_weight,
+    )
+    changes = {
+        u: (old_colors.get(u), c) for u, c in new_colors.items() if old_colors.get(u) != c
+    }
+
+    # Phase 2: dissemination + acks (Fig 3 step 6).
+    recoded_members = [u for u in changes if u != node]
+    if recoded_members:
+        rounds += 1
+        for u in recoded_members:
+            bus.send(Message(node, u, MessageKind.SET_COLOR, {"color": new_colors[u]}))
+        bus.run_to_quiescence()
+        if acks != set(recoded_members):
+            raise ProtocolError("dissemination incomplete")
+        # Phase 3: commit ("agreeing on when to change color").
+        rounds += 1
+        for u in recoded_members:
+            bus.send(Message(node, u, MessageKind.COMMIT, {}))
+        bus.run_to_quiescence()
+        if committed != set(recoded_members):
+            raise ProtocolError("commit incomplete")
+
+    return ProtocolStats(messages=bus.sent_total, rounds=rounds, changes=changes)

@@ -1,0 +1,48 @@
+"""Protocol message types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import NodeId
+
+__all__ = ["Message", "MessageKind"]
+
+
+class MessageKind(enum.Enum):
+    """Message vocabulary of the recoding protocols."""
+
+    #: n -> u: "send me your color and external constraints" (Fig 3 steps 1-2).
+    CONSTRAINT_REQUEST = "constraint_request"
+    #: u -> n: color + constraint payload.
+    CONSTRAINT_REPLY = "constraint_reply"
+    #: n -> u: "your new color is c, switch at commit".
+    SET_COLOR = "set_color"
+    #: u -> n: acknowledgment of SET_COLOR.
+    COLOR_ACK = "color_ack"
+    #: n -> everyone concerned: commit point reached ("agreeing on when
+    #: to change color", Fig 3 step 6).
+    COMMIT = "commit"
+    #: CP: a reselecting node announces it is still uncolored.
+    CP_UNCOLORED_ANNOUNCE = "cp_uncolored_announce"
+    #: CP: a node announces its newly selected color to its vicinity.
+    CP_COLOR_ANNOUNCE = "cp_color_announce"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One directed protocol message.
+
+    ``payload`` is a small dict of plain values; the bus never inspects
+    it.
+    """
+
+    src: NodeId
+    dst: NodeId
+    kind: MessageKind
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}: {self.src} -> {self.dst}"

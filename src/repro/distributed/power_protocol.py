@@ -1,0 +1,105 @@
+"""Message-driven ``RecodeOnPowIncrease``.
+
+Fig 5's protocol as run by the boosting node ``n``: collect the new
+constraints from the nodes it now reaches (one request + reply per
+out-neighbor — each replies with its color and the colors of its other
+in-neighbors, which constrain ``n`` through CA2), then recode locally
+and announce the new color if the old one conflicts.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import lowest_available_color
+from repro.distributed.bus import MessageBus
+from repro.distributed.message import Message, MessageKind
+from repro.distributed.runtime import ProtocolStats
+from repro.errors import ProtocolError
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["run_distributed_power_increase"]
+
+
+def run_distributed_power_increase(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    node: NodeId,
+) -> ProtocolStats:
+    """Execute RecodeOnPowIncrease for ``node`` over a message bus.
+
+    ``graph`` must already reflect the enlarged range.  The returned
+    changes equal the oracle
+    :func:`repro.strategies.minim.plan_power_increase` outcome (tests
+    assert equality); ``assignment`` is not mutated.
+    """
+    out_neighbors = sorted(graph.out_neighbors(node))
+    in_neighbors = sorted(graph.in_neighbors(node))
+
+    bus = MessageBus()
+    constraints: set[Color] = set()
+    replies: set[NodeId] = set()
+    committed: set[NodeId] = set()
+
+    def receiver_handler(v: NodeId):
+        def handle(msg: Message):
+            if msg.kind is MessageKind.CONSTRAINT_REQUEST:
+                payload = {
+                    "color": assignment[v],
+                    "co_transmitters": [
+                        (w, assignment[w])
+                        for w in graph.in_neighbors(v)
+                        if w != node
+                    ],
+                }
+                return [Message(v, node, MessageKind.CONSTRAINT_REPLY, payload)]
+            if msg.kind is MessageKind.COMMIT:
+                committed.add(v)
+                return []
+            raise ProtocolError(f"receiver {v}: unexpected {msg}")
+
+        return handle
+
+    def n_handler(msg: Message):
+        if msg.kind is MessageKind.CONSTRAINT_REPLY:
+            replies.add(msg.src)
+            constraints.add(msg.payload["color"])  # CA1 with the receiver
+            for _w, c in msg.payload["co_transmitters"]:
+                constraints.add(c)  # CA2 at the receiver
+            return []
+        raise ProtocolError(f"initiator {node}: unexpected {msg}")
+
+    for v in out_neighbors:
+        bus.register(v, receiver_handler(v))
+    for v in in_neighbors:
+        if v not in out_neighbors:
+            bus.register(v, receiver_handler(v))
+    bus.register(node, n_handler)
+
+    # Phase 1: constraint collection from every node n now reaches.
+    for v in out_neighbors:
+        bus.send(Message(node, v, MessageKind.CONSTRAINT_REQUEST, {}))
+    bus.run_to_quiescence()
+    if replies != set(out_neighbors):
+        raise ProtocolError("constraint collection incomplete")
+    # In-neighbors constrain n via CA1 too; their colors are already in
+    # n's local state (it hears them), so no messages are needed.
+    for v in in_neighbors:
+        constraints.add(assignment[v])
+
+    current = assignment[node]
+    rounds = 1
+    changes: dict[NodeId, tuple[Color | None, Color]] = {}
+    if current in constraints:
+        new = lowest_available_color(constraints)
+        changes[node] = (current, new)
+        # Phase 2: announce the change to everyone who must track it.
+        rounds += 1
+        audience = sorted(set(out_neighbors) | set(in_neighbors))
+        for v in audience:
+            bus.send(Message(node, v, MessageKind.COMMIT, {"color": new}))
+        bus.run_to_quiescence()
+        if committed != set(audience):
+            raise ProtocolError("announcement incomplete")
+
+    return ProtocolStats(messages=bus.sent_total, rounds=rounds, changes=changes)

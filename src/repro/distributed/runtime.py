@@ -1,0 +1,30 @@
+"""Shared protocol-run bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Color, NodeId
+
+__all__ = ["ProtocolStats"]
+
+
+@dataclass(frozen=True)
+class ProtocolStats:
+    """Cost accounting of one distributed protocol run.
+
+    Attributes
+    ----------
+    messages:
+        Total messages sent on the bus.
+    rounds:
+        Synchronous rounds (CP) or protocol phases (join: collect /
+        disseminate / commit).
+    changes:
+        The recoding outcome, identical in shape to
+        :attr:`repro.strategies.base.RecodeResult.changes`.
+    """
+
+    messages: int
+    rounds: int
+    changes: dict[NodeId, tuple[Color | None, Color]]

@@ -1,0 +1,25 @@
+"""Network reconfiguration events (paper section 2).
+
+Nodes can join, leave, move, and raise or lower their transmission
+range.  Events are immutable value objects applied through
+:class:`repro.sim.network.AdHocNetwork`.
+"""
+
+from repro.events.base import (
+    Event,
+    JoinEvent,
+    LeaveEvent,
+    MoveEvent,
+    PowerChangeEvent,
+)
+from repro.events.sequence import EventLog, plan_parallel_join_batches
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "JoinEvent",
+    "LeaveEvent",
+    "MoveEvent",
+    "PowerChangeEvent",
+    "plan_parallel_join_batches",
+]

@@ -1,0 +1,74 @@
+"""Event value types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.topology.node import NodeConfig
+from repro.types import NodeId
+
+__all__ = ["JoinEvent", "LeaveEvent", "MoveEvent", "PowerChangeEvent", "Event"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinEvent:
+    """A new node connects to the network with the given configuration."""
+
+    config: NodeConfig
+
+    @property
+    def kind(self) -> str:
+        """Event kind tag (``"join"``)."""
+        return "join"
+
+    @property
+    def node_id(self) -> NodeId:
+        """Id of the joining node."""
+        return self.config.node_id
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveEvent:
+    """A node disconnects from the network."""
+
+    node_id: NodeId
+
+    @property
+    def kind(self) -> str:
+        """Event kind tag (``"leave"``)."""
+        return "leave"
+
+
+@dataclass(frozen=True, slots=True)
+class MoveEvent:
+    """A node relocates to ``(x, y)`` in one discrete step."""
+
+    node_id: NodeId
+    x: float
+    y: float
+
+    @property
+    def kind(self) -> str:
+        """Event kind tag (``"move"``)."""
+        return "move"
+
+
+@dataclass(frozen=True, slots=True)
+class PowerChangeEvent:
+    """A node sets its transmission range to ``new_range``.
+
+    Whether this is a power *increase* or *decrease* depends on the
+    node's current range and is classified when the event is applied.
+    """
+
+    node_id: NodeId
+    new_range: float
+
+    @property
+    def kind(self) -> str:
+        """Event kind tag (``"power"``)."""
+        return "power"
+
+
+Event = Union[JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent]

@@ -1,0 +1,92 @@
+"""Concurrent execution of far-apart joins (Theorem 4.1.10).
+
+"The algorithm supports simultaneous additions of new nodes when any
+two of them are at least 5 hops apart."  The batch executor makes that
+executable: all joins of a batch are inserted, each ``RecodeOnJoin``
+plan is computed against the *pre-batch* assignment (as concurrent
+initiators would), and only then are all plans committed together.  A
+cross-plan consistency check (overlapping ``V1`` sets) rejects batches
+that were not actually safe, independent of the hop heuristic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.coloring.assignment import CodeAssignment
+from repro.errors import InvalidEventError
+from repro.events.base import JoinEvent
+from repro.strategies.base import RecodeResult
+from repro.strategies.minim.join import plan_local_matching_recode
+from repro.topology.digraph import AdHocDigraph
+from repro.types import Color, NodeId
+
+__all__ = ["BatchJoinOutcome", "execute_join_batch"]
+
+
+@dataclass(frozen=True)
+class BatchJoinOutcome:
+    """Result of committing one concurrent join batch."""
+
+    results: list[RecodeResult]
+    changes: dict[NodeId, tuple[Color | None, Color]]
+
+    @property
+    def recode_count(self) -> int:
+        """Total recodings across the batch."""
+        return len(self.changes)
+
+
+def execute_join_batch(
+    graph: AdHocDigraph,
+    assignment: CodeAssignment,
+    batch: Sequence[JoinEvent],
+    *,
+    old_color_weight: int = 3,
+    fresh_color_weight: int = 1,
+) -> BatchJoinOutcome:
+    """Insert and recode all joins of ``batch`` concurrently.
+
+    Mutates ``graph`` and ``assignment``.  Raises
+    :class:`InvalidEventError` if two plans touch a common node (the
+    batch was not independent — e.g. the >= 5 hops precondition from
+    :func:`repro.events.sequence.plan_parallel_join_batches` was not
+    planned first).
+    """
+    # Phase 1: all joiners appear in the topology.
+    for ev in batch:
+        graph.add_node(ev.config)
+
+    # Phase 2: every initiator plans against the pre-batch assignment.
+    plans = []
+    claimed: dict[NodeId, NodeId] = {}
+    for ev in batch:
+        plan = plan_local_matching_recode(
+            graph,
+            assignment,
+            ev.config.node_id,
+            old_color_weight=old_color_weight,
+            fresh_color_weight=fresh_color_weight,
+        )
+        for touched in plan.v1:
+            owner = claimed.get(touched)
+            if owner is not None:
+                raise InvalidEventError(
+                    f"concurrent joins {owner} and {ev.config.node_id} both "
+                    f"recode node {touched}; batch is not independent"
+                )
+            claimed[touched] = ev.config.node_id
+        plans.append(plan)
+
+    # Phase 3: commit all plans.
+    changes: dict[NodeId, tuple[Color | None, Color]] = {}
+    results = []
+    for ev, plan in zip(batch, plans):
+        for node, (old, new) in plan.changes.items():
+            assignment.assign(node, new)
+            changes[node] = (old, new)
+        results.append(
+            RecodeResult("join", ev.config.node_id, plan.changes, messages=plan.messages)
+        )
+    return BatchJoinOutcome(results=results, changes=changes)

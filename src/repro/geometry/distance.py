@@ -1,0 +1,51 @@
+"""Vectorized Euclidean distance kernels.
+
+These are the hot paths of topology maintenance; they are fully
+vectorized (no per-pair Python loops) per the scientific-python
+optimization guidance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["distances_from", "pairwise_distances", "within_disc"]
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Return the dense ``(n, n)`` Euclidean distance matrix.
+
+    Uses broadcasting (``(n,1,2) - (1,n,2)``); memory is O(n^2), which is
+    fine at the paper's scales (N <= a few hundred).
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distances_from(positions: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Return the ``(n,)`` vector of distances from ``point`` to each row.
+
+    ``point`` is a length-2 array-like.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    p = np.asarray(point, dtype=np.float64).reshape(2)
+    diff = pos - p
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def within_disc(
+    positions: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+) -> np.ndarray:
+    """Boolean mask of rows of ``positions`` within ``radius`` of ``center``.
+
+    The disc is closed (``<=``), matching the paper's edge rule
+    ``d_ij <= r_i``.  Comparison is done on squared distances to avoid the
+    square root.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    c = np.asarray(center, dtype=np.float64).reshape(2)
+    diff = pos - c
+    return np.einsum("ij,ij->i", diff, diff) <= float(radius) * float(radius)

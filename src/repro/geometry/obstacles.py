@@ -1,0 +1,93 @@
+"""Rectangular obstacles and line-of-sight tests.
+
+The paper notes the model "can be easily generalized for the
+non-free-space propagation case where, due to obstacles, although
+``d_ij <= r_i``, ``(v_i, v_j)`` is not an edge" (section 2).  This module
+provides that generalization: axis-aligned rectangular obstacles that
+block the line of sight between two points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RectObstacle", "segment_intersects_rect", "los_mask"]
+
+
+@dataclass(frozen=True)
+class RectObstacle:
+    """Axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``.
+
+    A transmission is blocked when the open segment between transmitter
+    and receiver passes through the rectangle's interior.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.x_min < self.x_max and self.y_min < self.y_max):
+            raise ConfigurationError(
+                f"degenerate obstacle: ({self.x_min}, {self.y_min}) .. ({self.x_max}, {self.y_max})"
+            )
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies inside the closed rectangle."""
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+
+def segment_intersects_rect(p: np.ndarray, q: np.ndarray, rect: RectObstacle) -> bool:
+    """Whether segment ``p->q`` intersects the closed rectangle ``rect``.
+
+    Uses the slab (Liang–Barsky) clipping test: the segment intersects the
+    rectangle iff the parameter interval where it is inside all four slabs
+    is non-empty.
+    """
+    p = np.asarray(p, dtype=np.float64).reshape(2)
+    q = np.asarray(q, dtype=np.float64).reshape(2)
+    d = q - p
+    t0, t1 = 0.0, 1.0
+    for axis, (lo, hi) in enumerate(((rect.x_min, rect.x_max), (rect.y_min, rect.y_max))):
+        if d[axis] == 0.0:
+            if p[axis] < lo or p[axis] > hi:
+                return False
+            continue
+        ta = (lo - p[axis]) / d[axis]
+        tb = (hi - p[axis]) / d[axis]
+        if ta > tb:
+            ta, tb = tb, ta
+        t0 = max(t0, ta)
+        t1 = min(t1, tb)
+        if t0 > t1:
+            return False
+    return True
+
+
+def los_mask(
+    source: np.ndarray,
+    targets: np.ndarray,
+    obstacles: tuple[RectObstacle, ...],
+) -> np.ndarray:
+    """Boolean mask: which ``targets`` have line of sight from ``source``.
+
+    ``targets`` is ``(n, 2)``.  With no obstacles every entry is True.
+    This is a per-target Python loop over a typically tiny obstacle list;
+    obstacle scenarios are illustrative, not hot paths.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    out = np.ones(len(targets), dtype=bool)
+    if not obstacles:
+        return out
+    src = np.asarray(source, dtype=np.float64).reshape(2)
+    for i, tgt in enumerate(targets):
+        for rect in obstacles:
+            if segment_intersects_rect(src, tgt, rect):
+                out[i] = False
+                break
+    return out

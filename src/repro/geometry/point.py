@@ -1,0 +1,110 @@
+"""Position-array helpers.
+
+Positions are always ``(n, 2)`` ``float64`` arrays internally.  These
+helpers normalize user input, generate random placements/movements for the
+paper's experiments, and apply displacements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "as_position_array",
+    "displace",
+    "random_directions",
+    "random_positions",
+]
+
+
+def as_position_array(points: Iterable[Sequence[float]] | np.ndarray) -> np.ndarray:
+    """Coerce ``points`` to a ``(n, 2)`` float64 array.
+
+    Accepts any iterable of ``(x, y)`` pairs or an array already of the
+    right shape.  A single point must still be wrapped: ``[(x, y)]``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the input cannot be interpreted as 2-D points or contains
+        non-finite coordinates.
+    """
+    arr = np.asarray(list(points) if not isinstance(points, np.ndarray) else points, dtype=np.float64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ConfigurationError(f"expected (n, 2) positions, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError("positions must be finite")
+    return arr
+
+
+def random_positions(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    width: float = 100.0,
+    height: float = 100.0,
+) -> np.ndarray:
+    """Sample ``n`` positions uniformly over a ``width x height`` rectangle.
+
+    This is the paper's generator: "choosing their x and y coordinates
+    independently and uniformly from the interval [0, 100]" (section 5.1).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    if width <= 0 or height <= 0:
+        raise ConfigurationError("area dimensions must be positive")
+    pos = rng.random((n, 2))
+    pos[:, 0] *= width
+    pos[:, 1] *= height
+    return pos
+
+
+def random_directions(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``n`` unit vectors with angles uniform in ``[0, 2*pi)``.
+
+    Used by the movement experiment ("moved ... in a random direction in
+    the x-y plane", section 5.3).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    theta = rng.random(n) * (2.0 * np.pi)
+    return np.stack([np.cos(theta), np.sin(theta)], axis=1)
+
+
+def displace(
+    positions: np.ndarray,
+    directions: np.ndarray,
+    magnitudes: np.ndarray | float,
+    *,
+    clip_to: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Return ``positions + magnitudes * directions`` (new array).
+
+    Parameters
+    ----------
+    positions, directions:
+        ``(n, 2)`` arrays; ``directions`` need not be normalized.
+    magnitudes:
+        Scalar or ``(n,)`` array of displacement lengths.
+    clip_to:
+        Optional ``(width, height)``; when given, the result is clamped to
+        ``[0, width] x [0, height]`` so nodes stay inside the simulation
+        area (the paper's arena is the 100 x 100 square).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    mags = np.asarray(magnitudes, dtype=np.float64)
+    if mags.ndim == 1:
+        mags = mags[:, None]
+    out = positions + mags * directions
+    if clip_to is not None:
+        width, height = clip_to
+        np.clip(out[:, 0], 0.0, width, out=out[:, 0])
+        np.clip(out[:, 1], 0.0, height, out=out[:, 1])
+    return out

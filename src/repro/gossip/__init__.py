@@ -1,0 +1,6 @@
+"""Gossip-based code compaction (the paper's section 6 future work)."""
+
+from repro.gossip.compaction import CompactionResult, gossip_compaction
+from repro.gossip.kempe import kempe_compaction
+
+__all__ = ["CompactionResult", "gossip_compaction", "kempe_compaction"]

@@ -1,0 +1,128 @@
+"""Kempe-style pairwise color exchange for deeper quiet-period compaction.
+
+:mod:`repro.gossip.compaction` only lets a node *descend* to a free
+lower color, which stalls when the top-color holder's low colors are all
+taken.  The classic escape is a **Kempe exchange**: two conflicting
+nodes (or a node and a color class) swap colors when the swap is locally
+consistent.  We implement the simplest distributed-plausible form:
+
+* a *swap* between two conflict-neighbors ``u`` (high color) and ``v``
+  (low color) is applied when recoloring ``u -> c_v`` and ``v -> c_u``
+  violates no constraint of either — a 2-node gossip transaction;
+* a swap is kept only when it *unlocks* a descent (the peer that
+  inherited the high color immediately drops below it), so
+  every accepted transaction strictly decreases ``(max color, number of
+  top-color holders, Σ colors)`` lexicographically and the process
+  terminates.
+
+This remains within the paper's §6 brief ("maximize the network-wide
+code reuse by using a local gossiping strategy") while strictly
+dominating the descent-only compaction (tests assert it never ends
+worse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import forbidden_colors, lowest_available_color
+from repro.gossip.compaction import CompactionResult, gossip_compaction
+from repro.topology.conflicts import conflict_neighbors
+from repro.topology.static import DigraphLike
+from repro.types import NodeId
+
+__all__ = ["kempe_compaction"]
+
+_MAX_PASSES = 100
+
+
+def _try_swap_then_descend(
+    graph: DigraphLike,
+    work: CodeAssignment,
+    u: NodeId,
+) -> tuple[bool, int]:
+    """Try a swap at top-holder ``u`` that shrinks the color sum.
+
+    Returns ``(changed, messages)``.
+    """
+    messages = 0
+    cu = work[u]
+    neighbors = sorted(conflict_neighbors(graph, u))
+    messages += 2 * len(neighbors)  # u gossips state with its neighborhood
+    for v in neighbors:
+        cv = work[v]
+        if cv >= cu:
+            continue
+        # Would u fit at cv and v at cu, given everyone else?
+        u_forbidden = forbidden_colors(graph, work, u, exclude={v})
+        v_forbidden = forbidden_colors(graph, work, v, exclude={u})
+        if cv in u_forbidden or cu in v_forbidden:
+            continue
+        # Tentatively swap, then see whether u can now descend strictly
+        # below its original color (otherwise the swap is pointless
+        # churn and is rolled back).
+        work.assign(u, cv)
+        work.assign(v, cu)
+        messages += 2  # the swap transaction
+        after = lowest_available_color(forbidden_colors(graph, work, v))
+        if after < cu:
+            work.assign(v, after)
+            messages += len(conflict_neighbors(graph, v))  # announce
+            return True, messages
+        work.assign(u, cu)
+        work.assign(v, cv)
+        messages += 2  # rollback notification
+    return False, messages
+
+
+def kempe_compaction(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    *,
+    rng: np.random.Generator | None = None,
+    max_rounds: int = _MAX_PASSES,
+) -> CompactionResult:
+    """Descent compaction strengthened with pairwise Kempe swaps.
+
+    Alternates: (1) run plain descent gossip to quiescence; (2) for each
+    current top-color holder, attempt one swap-then-descend transaction.
+    Stops when a full alternation changes nothing.  The result's
+    ``max_color`` is never worse than plain
+    :func:`~repro.gossip.compaction.gossip_compaction`.
+    """
+    base = gossip_compaction(graph, assignment, rng=rng, max_rounds=max_rounds)
+    work = base.assignment.copy()
+    messages = base.messages
+    series = list(base.max_color_series)
+    rounds = base.rounds
+
+    for _ in range(max_rounds):
+        rounds += 1
+        top = work.max_color()
+        holders = sorted(v for v, c in work.items() if c == top)
+        changed = False
+        for u in holders:
+            swapped, msg = _try_swap_then_descend(graph, work, u)
+            messages += msg
+            changed = changed or swapped
+        if changed:
+            # Swaps may open descents elsewhere; re-run plain gossip.
+            follow = gossip_compaction(graph, work, rng=rng, max_rounds=max_rounds)
+            work = follow.assignment
+            messages += follow.messages
+            rounds += follow.rounds
+        series.append(work.max_color())
+        if not changed:
+            break
+
+    recolors = {
+        v: (assignment[v], c) for v, c in work.items() if assignment[v] != c
+    }
+    return CompactionResult(
+        assignment=work,
+        recolors=recolors,
+        rounds=rounds,
+        messages=messages,
+        max_color_series=series,
+    )

@@ -1,0 +1,104 @@
+"""Maximum-weight bipartite matching via shortest augmenting paths.
+
+This is a from-scratch Jonker–Volgenant-style implementation of the
+Hungarian method on a dense cost matrix with dual potentials, O(n^2 m)
+for ``n`` left and ``m`` right vertices.
+
+Unmatched vertices are allowed: the cost matrix is padded with ``n``
+zero-weight dummy columns so every left vertex can always be "assigned",
+and dummy / forbidden assignments are dropped from the result.  Because
+all real edge weights are strictly positive, the optimal padded solution
+restricted to real edges is exactly the maximum-weight matching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.bipartite import MatchingResult, WeightedBipartiteGraph
+
+__all__ = ["hungarian_matching", "solve_max_weight_dense"]
+
+_INF = np.inf
+
+
+def solve_max_weight_dense(weights: np.ndarray) -> list[tuple[int, int]]:
+    """Maximum-weight matching of a dense weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, m)`` array; entries ``<= 0`` mark forbidden pairs, positive
+        entries are edge weights.
+
+    Returns
+    -------
+    list of ``(row, col)`` matched index pairs (rows ascending).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    n, m = w.shape
+    if n == 0 or m == 0 or not (w > 0).any():
+        return []
+
+    # Min-cost square-free formulation: cost = -weight for allowed pairs,
+    # 0 for forbidden pairs and for the n dummy columns.  Minimizing cost
+    # over row-perfect assignments maximizes matched weight; dummy and
+    # forbidden picks cost 0 i.e. "leave unmatched".
+    cost = np.zeros((n, m + n), dtype=np.float64)
+    cost[:, :m] = np.where(w > 0, -w, 0.0)
+
+    m_tot = m + n
+    # 1-based JV arrays: p[j] = row matched to column j (0 = none).
+    u = np.zeros(n + 1, dtype=np.float64)
+    v = np.zeros(m_tot + 1, dtype=np.float64)
+    p = np.zeros(m_tot + 1, dtype=np.int64)
+    way = np.zeros(m_tot + 1, dtype=np.int64)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(m_tot + 1, _INF, dtype=np.float64)
+        used = np.zeros(m_tot + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            # Vectorized relaxation over unused columns.
+            free = ~used[1:]
+            cols = np.flatnonzero(free) + 1
+            cur = cost[i0 - 1, cols - 1] - u[i0] - v[cols]
+            better = cur < minv[cols]
+            upd = cols[better]
+            minv[upd] = cur[better]
+            way[upd] = j0
+            j1 = cols[np.argmin(minv[cols])]
+            delta = minv[j1]
+            # Update potentials.
+            used_cols = np.flatnonzero(used)
+            u[p[used_cols]] += delta
+            v[used_cols] -= delta
+            minv[cols] -= delta
+            j0 = int(j1)
+            if p[j0] == 0:
+                break
+        # Unwind the augmenting path.
+        while j0 != 0:
+            j1 = int(way[j0])
+            p[j0] = p[j1]
+            j0 = j1
+
+    pairs: list[tuple[int, int]] = []
+    for j in range(1, m + 1):  # dummy columns j > m are ignored
+        i = int(p[j])
+        if i != 0 and w[i - 1, j - 1] > 0:
+            pairs.append((i - 1, j - 1))
+    pairs.sort()
+    return pairs
+
+
+def hungarian_matching(graph: WeightedBipartiteGraph) -> MatchingResult:
+    """Maximum-weight matching of ``graph`` (see module docstring)."""
+    w = graph.weight_matrix()
+    pairs_idx = solve_max_weight_dense(w)
+    pairs = {graph.left[i]: graph.right[j] for i, j in pairs_idx}
+    total = float(sum(w[i, j] for i, j in pairs_idx))
+    return MatchingResult(pairs=pairs, total_weight=total)

@@ -1,0 +1,24 @@
+"""Simulation harness: networks, workloads, and the paper's experiments."""
+
+from repro.sim.metrics import EventRecord, MetricsCollector, MetricsSnapshot
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.sim.rng import rng_from, spawn_seeds
+from repro.sim.workloads import (
+    join_workload,
+    movement_rounds,
+    power_raise_workload,
+)
+
+__all__ = [
+    "AdHocNetwork",
+    "EventRecord",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "join_workload",
+    "movement_rounds",
+    "power_raise_workload",
+    "rng_from",
+    "sample_configs",
+    "spawn_seeds",
+]

@@ -1,0 +1,106 @@
+"""Per-event metric collection.
+
+The paper's two performance metrics (section 5): the maximum color index
+assigned in the network, and the total number of recodings.  We
+additionally track protocol messages (an extension metric used by the
+distributed-overhead bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.strategies.base import RecodeResult
+from repro.types import NodeId
+
+__all__ = ["EventRecord", "MetricsCollector", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One applied event's metrics."""
+
+    kind: str
+    node: NodeId
+    recodings: int
+    messages: int
+    max_color_after: int
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Cumulative totals at a point in time; use ``delta`` for phases."""
+
+    events: int
+    total_recodings: int
+    total_messages: int
+    max_color: int
+
+    def delta(self, later: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Change from this snapshot to ``later`` (the paper's Δ metrics).
+
+        ``max_color`` in the result is the signed difference of max color
+        indices; the other fields are counts accumulated in between.
+        """
+        return MetricsSnapshot(
+            events=later.events - self.events,
+            total_recodings=later.total_recodings - self.total_recodings,
+            total_messages=later.total_messages - self.total_messages,
+            max_color=later.max_color - self.max_color,
+        )
+
+
+class MetricsCollector:
+    """Accumulates :class:`EventRecord` entries for a network's lifetime."""
+
+    def __init__(self) -> None:
+        self.records: list[EventRecord] = []
+        self._total_recodings = 0
+        self._total_messages = 0
+        self._max_color = 0
+
+    def record(self, result: RecodeResult, max_color_after: int) -> None:
+        """Record the outcome of one applied event."""
+        self.records.append(
+            EventRecord(
+                kind=result.event_kind,
+                node=result.node,
+                recodings=result.recode_count,
+                messages=result.messages,
+                max_color_after=max_color_after,
+            )
+        )
+        self._total_recodings += result.recode_count
+        self._total_messages += result.messages
+        self._max_color = max_color_after
+
+    @property
+    def total_recodings(self) -> int:
+        """Total recodings across all recorded events."""
+        return self._total_recodings
+
+    @property
+    def total_messages(self) -> int:
+        """Total protocol messages across all recorded events."""
+        return self._total_messages
+
+    @property
+    def max_color(self) -> int:
+        """Max color index after the most recent event (0 if none)."""
+        return self._max_color
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Immutable view of the current totals."""
+        return MetricsSnapshot(
+            events=len(self.records),
+            total_recodings=self._total_recodings,
+            total_messages=self._total_messages,
+            max_color=self._max_color,
+        )
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Number of events recorded per kind."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out

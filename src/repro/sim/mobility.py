@@ -1,0 +1,123 @@
+"""Mobility models generating discrete move events.
+
+The paper's movement experiment uses uniform random jumps; richer
+scenarios (the conference example, ad-hoc vehicle fleets) call for the
+classic **random waypoint** model: each node picks a destination
+uniformly in the arena, walks toward it in discrete steps of its own
+speed, pauses, then picks the next destination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.events.base import MoveEvent
+from repro.topology.node import NodeConfig
+from repro.types import NodeId
+
+__all__ = ["RandomWaypointModel"]
+
+
+@dataclass
+class _WalkerState:
+    x: float
+    y: float
+    dest_x: float
+    dest_y: float
+    speed: float
+    pause_left: int
+
+
+class RandomWaypointModel:
+    """Random-waypoint mobility over a rectangular arena.
+
+    Parameters
+    ----------
+    configs:
+        Initial node configurations (positions seed the walkers).
+    rng:
+        Randomness source (destinations, speeds, pauses).
+    speed_range:
+        Per-leg speed interval (distance units per step).
+    pause_steps:
+        Steps spent paused on arrival before choosing a new waypoint.
+    area:
+        Arena ``(width, height)``.
+
+    Each call to :meth:`step` advances every walker once and returns the
+    corresponding :class:`MoveEvent` list (ascending node id); nodes
+    mid-pause emit no event.
+    """
+
+    def __init__(
+        self,
+        configs: list[NodeConfig],
+        rng: np.random.Generator,
+        *,
+        speed_range: tuple[float, float] = (1.0, 5.0),
+        pause_steps: int = 0,
+        area: tuple[float, float] = (100.0, 100.0),
+    ) -> None:
+        lo, hi = speed_range
+        if not (0 < lo <= hi):
+            raise ConfigurationError(f"need 0 < min speed <= max speed, got {speed_range}")
+        if pause_steps < 0:
+            raise ConfigurationError(f"pause_steps must be >= 0, got {pause_steps}")
+        self._rng = rng
+        self._area = area
+        self._speed_range = speed_range
+        self._pause_steps = pause_steps
+        self._walkers: dict[NodeId, _WalkerState] = {}
+        for cfg in sorted(configs, key=lambda c: c.node_id):
+            self._walkers[cfg.node_id] = _WalkerState(
+                x=cfg.x,
+                y=cfg.y,
+                dest_x=cfg.x,
+                dest_y=cfg.y,
+                speed=0.0,
+                pause_left=0,
+            )
+            self._pick_waypoint(cfg.node_id)
+
+    # ------------------------------------------------------------------
+    def position_of(self, node_id: NodeId) -> tuple[float, float]:
+        """Current position of a walker."""
+        w = self._walkers[node_id]
+        return (w.x, w.y)
+
+    def _pick_waypoint(self, node_id: NodeId) -> None:
+        w = self._walkers[node_id]
+        width, height = self._area
+        w.dest_x = float(self._rng.uniform(0.0, width))
+        w.dest_y = float(self._rng.uniform(0.0, height))
+        w.speed = float(self._rng.uniform(*self._speed_range))
+
+    def step(self) -> list[MoveEvent]:
+        """Advance every walker one step; return their move events."""
+        events: list[MoveEvent] = []
+        for node_id in sorted(self._walkers):
+            w = self._walkers[node_id]
+            if w.pause_left > 0:
+                w.pause_left -= 1
+                continue
+            dx, dy = w.dest_x - w.x, w.dest_y - w.y
+            dist = math.hypot(dx, dy)
+            if dist <= w.speed:
+                w.x, w.y = w.dest_x, w.dest_y
+                w.pause_left = self._pause_steps
+                self._pick_waypoint(node_id)
+            else:
+                w.x += w.speed * dx / dist
+                w.y += w.speed * dy / dist
+            events.append(MoveEvent(node_id, w.x, w.y))
+        return events
+
+    def run(self, steps: int) -> list[list[MoveEvent]]:
+        """``steps`` successive rounds of movement."""
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        return [self.step() for _ in range(steps)]

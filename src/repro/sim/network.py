@@ -1,0 +1,149 @@
+"""The simulation facade: topology + assignment + strategy + metrics.
+
+``AdHocNetwork`` owns the event loop contract (paper section 2): events
+are applied one at a time; the topology mutation happens first, then the
+strategy computes recodes, then the assignment is updated and metrics
+recorded.  With ``validate=True`` every event is followed by a full
+CA1/CA2 check (used heavily in tests).
+"""
+
+from __future__ import annotations
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.verify import assert_valid
+from repro.errors import ConnectivityError, InvalidEventError
+from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+from repro.sim.metrics import MetricsCollector
+from repro.strategies.base import RecodeResult, RecodingStrategy
+from repro.topology.conflicts import conflict_neighbors
+from repro.topology.connectivity import has_minimal_connectivity
+from repro.topology.digraph import AdHocDigraph
+from repro.topology.node import NodeConfig
+from repro.topology.propagation import PropagationModel
+from repro.types import NodeId
+
+__all__ = ["AdHocNetwork"]
+
+
+class AdHocNetwork:
+    """A live power-controlled ad-hoc network under a recoding strategy.
+
+    Parameters
+    ----------
+    strategy:
+        The recoding strategy invoked after every topology change.
+    propagation:
+        Propagation model (default free space).
+    validate:
+        When True, assert CA1/CA2 validity after every event (slow;
+        meant for tests).
+    enforce_connectivity:
+        When True, reject reconfigurations that violate the paper's
+        Minimal Connectivity assumption.
+    """
+
+    def __init__(
+        self,
+        strategy: RecodingStrategy,
+        *,
+        propagation: PropagationModel | None = None,
+        validate: bool = False,
+        enforce_connectivity: bool = False,
+    ) -> None:
+        self.graph = AdHocDigraph(propagation)
+        self.assignment = CodeAssignment()
+        self.strategy = strategy
+        self.metrics = MetricsCollector()
+        self.validate = validate
+        self.enforce_connectivity = enforce_connectivity
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(self, event: Event) -> RecodeResult:
+        """Apply one reconfiguration event and recode per the strategy."""
+        if isinstance(event, JoinEvent):
+            return self.join(event.config)
+        if isinstance(event, LeaveEvent):
+            return self.leave(event.node_id)
+        if isinstance(event, MoveEvent):
+            return self.move(event.node_id, event.x, event.y)
+        if isinstance(event, PowerChangeEvent):
+            return self.set_range(event.node_id, event.new_range)
+        raise InvalidEventError(f"unknown event type {type(event).__name__}")
+
+    def join(self, cfg: NodeConfig) -> RecodeResult:
+        """A new node connects (paper section 4.1)."""
+        self.graph.add_node(cfg)
+        self._check_connectivity(cfg.node_id, "join")
+        result = self.strategy.on_join(self.graph, self.assignment, cfg.node_id)
+        return self._commit(result)
+
+    def leave(self, node_id: NodeId) -> RecodeResult:
+        """A node disconnects (paper section 4.3)."""
+        old_color = self.assignment.unassign(node_id)
+        self.graph.remove_node(node_id)
+        result = self.strategy.on_leave(self.graph, self.assignment, node_id, old_color)
+        return self._commit(result)
+
+    def move(self, node_id: NodeId, x: float, y: float) -> RecodeResult:
+        """A node relocates in one discrete step (paper section 4.4)."""
+        self.graph.move_node(node_id, x, y)
+        self._check_connectivity(node_id, "move")
+        result = self.strategy.on_move(self.graph, self.assignment, node_id)
+        return self._commit(result)
+
+    def set_range(self, node_id: NodeId, new_range: float) -> RecodeResult:
+        """A node changes transmission power (paper sections 4.2 / 4.3).
+
+        Equal-range "changes" are treated as decreases (no new
+        constraints arise), i.e. no recoding.
+        """
+        old_range = self.graph.range_of(node_id)
+        old_conflicts = conflict_neighbors(self.graph, node_id)
+        self.graph.set_range(node_id, new_range)
+        self._check_connectivity(node_id, "power change")
+        result = self.strategy.on_power_change(
+            self.graph,
+            self.assignment,
+            node_id,
+            increased=new_range > old_range,
+            old_conflict_neighbors=old_conflicts,
+        )
+        return self._commit(result)
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def max_color(self) -> int:
+        """Maximum code index currently assigned."""
+        return self.assignment.max_color()
+
+    def node_ids(self) -> list[NodeId]:
+        """Current node ids, ascending."""
+        return self.graph.node_ids()
+
+    def is_valid(self) -> bool:
+        """Whether the current assignment satisfies CA1 and CA2."""
+        from repro.coloring.verify import is_valid
+
+        return is_valid(self.graph, self.assignment)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _commit(self, result: RecodeResult) -> RecodeResult:
+        for node, (_old, new) in result.changes.items():
+            self.assignment.assign(node, new)
+        self.metrics.record(result, self.assignment.max_color())
+        if self.validate:
+            assert_valid(self.graph, self.assignment)
+        return result
+
+    def _check_connectivity(self, node_id: NodeId, action: str) -> None:
+        if self.enforce_connectivity and len(self.graph) > 1:
+            if not has_minimal_connectivity(self.graph, node_id):
+                raise ConnectivityError(
+                    f"{action} of node {node_id} violates Minimal Connectivity "
+                    "(needs at least one in- and one out-neighbor)"
+                )

@@ -1,0 +1,54 @@
+"""Random network generation (paper section 5).
+
+"These experiments were carried out on random ad-hoc networks generated
+on a 2 dimensional space 100 units x 100 units square"; positions are
+uniform over the square and transmission ranges uniform in
+``(minr, maxr)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.topology.node import NodeConfig
+
+__all__ = ["sample_configs", "DEFAULT_AREA", "DEFAULT_MIN_RANGE", "DEFAULT_MAX_RANGE"]
+
+#: The paper's arena: a 100 x 100 square.
+DEFAULT_AREA: tuple[float, float] = (100.0, 100.0)
+#: Default range interval used by Fig 10(a-c), Fig 11 and Fig 12.
+DEFAULT_MIN_RANGE = 20.5
+DEFAULT_MAX_RANGE = 30.5
+
+
+def sample_configs(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    area: tuple[float, float] = DEFAULT_AREA,
+    min_range: float = DEFAULT_MIN_RANGE,
+    max_range: float = DEFAULT_MAX_RANGE,
+    id_start: int = 1,
+) -> list[NodeConfig]:
+    """Sample ``n`` node configurations per the paper's generator.
+
+    Ids are consecutive starting at ``id_start`` (1 by default, matching
+    the paper's 1-based node numbering).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    if not (0 < min_range <= max_range):
+        raise ConfigurationError(
+            f"need 0 < min_range <= max_range, got ({min_range}, {max_range})"
+        )
+    width, height = area
+    if width <= 0 or height <= 0:
+        raise ConfigurationError(f"area must be positive, got {area}")
+    xs = rng.uniform(0.0, width, size=n)
+    ys = rng.uniform(0.0, height, size=n)
+    ranges = rng.uniform(min_range, max_range, size=n)
+    return [
+        NodeConfig(id_start + i, float(xs[i]), float(ys[i]), float(ranges[i]))
+        for i in range(n)
+    ]

@@ -1,0 +1,30 @@
+"""Seeded randomness utilities.
+
+All experiment randomness flows from a single master seed through
+``numpy.random.SeedSequence.spawn``, so results are bit-identical across
+process counts and run orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from", "spawn_seeds"]
+
+
+def rng_from(seed: int | np.random.SeedSequence | np.random.Generator) -> np.random.Generator:
+    """A ``numpy.random.Generator`` from a seed, seed sequence or generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(master_seed: int, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child seed sequences of ``master_seed``.
+
+    Child ``i`` is always the same for a given master seed, regardless
+    of how many siblings are spawned or in which order they are used.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return np.random.SeedSequence(master_seed).spawn(n)

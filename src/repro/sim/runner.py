@@ -1,0 +1,70 @@
+"""Run fan-out utilities.
+
+Experiments average each data point over many independent runs (the
+paper uses 100).  ``parallel_map`` optionally spreads runs across
+processes; because every run's randomness derives from its own
+``SeedSequence`` child, results are identical for any process count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "resolve_runs"]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    processes: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]``, optionally across processes.
+
+    ``processes in (None, 0, 1)`` runs serially.  For multi-process use,
+    ``fn`` and the items must be picklable (the experiment runners use
+    module-level functions and plain tuples).
+    """
+    items = list(items)
+    if not processes or processes <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(fn, items))
+
+
+def resolve_runs(runs: int | None, default: int, env_value: str | None) -> int:
+    """Resolve a run count from explicit argument, env override, default.
+
+    Priority: explicit ``runs`` > ``env_value`` (e.g. ``REPRO_RUNS``) >
+    ``default``.
+    """
+    if runs is not None:
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
+        return runs
+    if env_value:
+        parsed = int(env_value)
+        if parsed < 1:
+            raise ValueError(f"run-count env override must be >= 1, got {parsed}")
+        return parsed
+    return default
+
+
+def chunk_evenly(items: Sequence[T], chunks: int) -> list[list[T]]:
+    """Split ``items`` into ``chunks`` contiguous near-equal pieces."""
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    n = len(items)
+    out: list[list[T]] = []
+    base, extra = divmod(n, chunks)
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out

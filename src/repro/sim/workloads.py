@@ -1,0 +1,86 @@
+"""Workload generators for the paper's three experiments.
+
+A workload is a list of events.  Workloads are generated once per run
+and replayed against every strategy's network, so all strategies see
+byte-identical event sequences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.events.base import JoinEvent, MoveEvent, PowerChangeEvent
+from repro.topology.node import NodeConfig
+
+__all__ = ["join_workload", "power_raise_workload", "movement_rounds"]
+
+
+def join_workload(configs: Sequence[NodeConfig]) -> list[JoinEvent]:
+    """Sequential joins of ``configs`` in order (experiment 5.1)."""
+    return [JoinEvent(cfg) for cfg in configs]
+
+
+def power_raise_workload(
+    configs: Sequence[NodeConfig],
+    raisefactor: float,
+    rng: np.random.Generator,
+    *,
+    fraction: float = 0.5,
+) -> list[PowerChangeEvent]:
+    """Range increases for a random ``fraction`` of nodes (experiment 5.2).
+
+    "half of the N nodes in the ad-hoc network were randomly chosen and
+    their power ranges increased by a factor of raisefactor."  Events
+    come in the sampled (random) order.
+    """
+    if raisefactor < 1.0:
+        raise ConfigurationError(f"raisefactor must be >= 1, got {raisefactor}")
+    if not (0.0 <= fraction <= 1.0):
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    k = int(len(configs) * fraction)
+    chosen = rng.choice(len(configs), size=k, replace=False)
+    return [
+        PowerChangeEvent(configs[int(i)].node_id, configs[int(i)].tx_range * raisefactor)
+        for i in chosen
+    ]
+
+
+def movement_rounds(
+    configs: Sequence[NodeConfig],
+    rounds: int,
+    maxdisp: float,
+    rng: np.random.Generator,
+    *,
+    area: tuple[float, float] = (100.0, 100.0),
+) -> list[list[MoveEvent]]:
+    """``rounds`` rounds of node movement (experiment 5.3).
+
+    Each round moves every node once, in ascending id order, "in a
+    random direction in the x-y plane by a displacement chosen uniformly
+    in the interval [0, maxdisp]".  Positions evolve across rounds
+    (round ``t+1`` displaces from round ``t``'s position) and are
+    clamped to the simulation area.
+    """
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be non-negative, got {rounds}")
+    if maxdisp < 0:
+        raise ConfigurationError(f"maxdisp must be non-negative, got {maxdisp}")
+    ordered = sorted(configs, key=lambda c: c.node_id)
+    pos = {c.node_id: (c.x, c.y) for c in ordered}
+    width, height = area
+    out: list[list[MoveEvent]] = []
+    for _ in range(rounds):
+        round_events: list[MoveEvent] = []
+        for cfg in ordered:
+            theta = rng.uniform(0.0, 2.0 * np.pi)
+            disp = rng.uniform(0.0, maxdisp)
+            x0, y0 = pos[cfg.node_id]
+            x = min(max(x0 + disp * np.cos(theta), 0.0), width)
+            y = min(max(y0 + disp * np.sin(theta), 0.0), height)
+            pos[cfg.node_id] = (x, y)
+            round_events.append(MoveEvent(cfg.node_id, float(x), float(y)))
+        out.append(round_events)
+    return out

@@ -1,0 +1,31 @@
+"""Recoding strategies.
+
+Three families, matching the paper's evaluation:
+
+* :class:`~repro.strategies.minim.MinimStrategy` — the paper's
+  contribution: provably minimal recoding for every event type.
+* :class:`~repro.strategies.cp.CPStrategy` — the Chlamtac–Pinter
+  baseline [3] as described in paper sections 3-4.
+* :class:`~repro.strategies.bbb_global.BBBGlobalStrategy` — recolor the
+  whole network with the centralized BBB heuristic at every event.
+
+All strategies implement :class:`~repro.strategies.base.RecodingStrategy`
+and return :class:`~repro.strategies.base.RecodeResult` objects; they
+never mutate the assignment themselves (the network facade applies the
+returned changes).
+"""
+
+from repro.strategies.ablation import GreedySequentialStrategy
+from repro.strategies.base import RecodeResult, RecodingStrategy
+from repro.strategies.bbb_global import BBBGlobalStrategy
+from repro.strategies.cp import CPStrategy
+from repro.strategies.minim import MinimStrategy
+
+__all__ = [
+    "BBBGlobalStrategy",
+    "CPStrategy",
+    "GreedySequentialStrategy",
+    "MinimStrategy",
+    "RecodeResult",
+    "RecodingStrategy",
+]

@@ -1,0 +1,84 @@
+"""Ablation strategy: greedy sequential reassignment instead of matching.
+
+``GreedySequentialStrategy`` handles joins and moves by walking ``V1``
+in ascending id order (the initiating node last): each node keeps its
+old color when still consistent with fixed outsiders and already
+processed peers, otherwise takes the lowest available color.  It is
+still *minimal* (the first holder of each duplicated class keeps its
+color) but forgoes the matching's optimal palette reuse — the ablation
+bench compares the resulting max color index against Minim's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import forbidden_colors, lowest_available_color
+from repro.strategies.base import RecodeResult, RecodingStrategy
+from repro.strategies.minim.power import plan_power_increase
+from repro.topology.neighborhoods import join_partition
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["GreedySequentialStrategy"]
+
+
+class GreedySequentialStrategy(RecodingStrategy):
+    """Keep-or-lowest-available sequential recoding of ``V1``."""
+
+    name = "GreedySeq"
+
+    def _plan_local(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        event_kind: str,
+    ) -> RecodeResult:
+        part = join_partition(graph, node_id)
+        v1 = frozenset(part.v1)
+        order = sorted(part.in_neighbors) + [node_id]
+        processed: dict[NodeId, Color] = {}
+        changes: dict[NodeId, tuple[Color | None, Color]] = {}
+        for u in order:
+            fixed = forbidden_colors(graph, assignment, u, exclude=v1)
+            taken = fixed | set(processed.values())
+            old = assignment.get(u)
+            if old is not None and old not in taken:
+                processed[u] = old
+                continue
+            new = lowest_available_color(taken)
+            processed[u] = new
+            changes[u] = (old, new)
+        messages = 2 * len(part.in_neighbors) + sum(1 for u in changes if u != node_id)
+        return RecodeResult(event_kind, node_id, changes, messages=messages)
+
+    def on_join(self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId) -> RecodeResult:
+        return self._plan_local(graph, assignment, node_id, "join")
+
+    def on_leave(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        old_color: Color,
+    ) -> RecodeResult:
+        return RecodeResult("leave", node_id, {}, messages=0)
+
+    def on_move(self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId) -> RecodeResult:
+        return self._plan_local(graph, assignment, node_id, "move")
+
+    def on_power_change(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        *,
+        increased: bool,
+        old_conflict_neighbors: Set[NodeId],
+    ) -> RecodeResult:
+        if not increased:
+            return RecodeResult("power_decrease", node_id, {}, messages=0)
+        plan = plan_power_increase(graph, assignment, node_id)
+        return RecodeResult("power_increase", node_id, plan.changes, messages=plan.messages)

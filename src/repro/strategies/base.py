@@ -1,0 +1,119 @@
+"""Strategy interface and recode-result value type."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Set
+from dataclasses import dataclass, field
+
+from repro.coloring.assignment import CodeAssignment
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["RecodeResult", "RecodingStrategy"]
+
+
+@dataclass(frozen=True)
+class RecodeResult:
+    """Outcome of handling one network event.
+
+    Attributes
+    ----------
+    event_kind:
+        ``"join" | "leave" | "move" | "power_increase" | "power_decrease"``.
+    node:
+        The initiating node (the one that joined / left / moved / changed
+        power).
+    changes:
+        ``{node: (old_color, new_color)}`` for every node whose code
+        changed, including first assignments (``old_color is None``).
+        Entries always satisfy ``old != new``.
+    messages:
+        Number of protocol messages the recoding required (oracle-mode
+        strategies report an analytic estimate; the distributed runtime
+        reports exact counts).
+    """
+
+    event_kind: str
+    node: NodeId
+    changes: dict[NodeId, tuple[Color | None, Color]] = field(default_factory=dict)
+    messages: int = 0
+
+    @property
+    def recode_count(self) -> int:
+        """Number of recodings this event caused (the paper's metric).
+
+        A node counts when it ends with "a new color different from its
+        old one"; a joining node's first assignment counts (Fig 4 counts
+        node 8).
+        """
+        return len(self.changes)
+
+    @property
+    def recoded_nodes(self) -> list[NodeId]:
+        """Ids of recoded nodes, ascending."""
+        return sorted(self.changes)
+
+    def new_color_of(self, node: NodeId) -> Color | None:
+        """The node's new color if this event recoded it, else ``None``."""
+        entry = self.changes.get(node)
+        return entry[1] if entry else None
+
+
+class RecodingStrategy(ABC):
+    """One recoding algorithm per event type (paper section 2).
+
+    Contract: the topology mutation has *already been applied* to
+    ``graph`` when a handler runs (the joining node is inserted, the
+    mover relocated, the range updated, the leaver removed).  Handlers
+    return the color changes needed to restore CA1/CA2; they must not
+    mutate ``assignment``.
+    """
+
+    #: Human-readable name used in metrics and experiment tables.
+    name: str = "strategy"
+
+    @abstractmethod
+    def on_join(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+    ) -> RecodeResult:
+        """Recode after ``node_id`` joined (already inserted, uncolored)."""
+
+    @abstractmethod
+    def on_leave(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        old_color: Color,
+    ) -> RecodeResult:
+        """Recode after ``node_id`` left (already removed and uncolored)."""
+
+    @abstractmethod
+    def on_move(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+    ) -> RecodeResult:
+        """Recode after ``node_id`` moved (already relocated, still colored)."""
+
+    @abstractmethod
+    def on_power_change(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        *,
+        increased: bool,
+        old_conflict_neighbors: Set[NodeId],
+    ) -> RecodeResult:
+        """Recode after ``node_id`` changed its range (already applied).
+
+        ``old_conflict_neighbors`` is the node's conflict set *before*
+        the change — the CP power extension recodes exactly the nodes
+        that gained a constraint with ``node_id``.
+        """

@@ -1,0 +1,15 @@
+"""The CP (Chlamtac–Pinter [3]) baseline strategy family."""
+
+from repro.strategies.cp.join import plan_cp_join
+from repro.strategies.cp.move import plan_cp_move
+from repro.strategies.cp.power import plan_cp_power_increase
+from repro.strategies.cp.selection import reselect_colors
+from repro.strategies.cp.strategy import CPStrategy
+
+__all__ = [
+    "CPStrategy",
+    "plan_cp_join",
+    "plan_cp_move",
+    "plan_cp_power_increase",
+    "reselect_colors",
+]

@@ -1,0 +1,85 @@
+"""CP join recoding (paper section 3).
+
+"The new node and its 1-hop neighbors exchange information ...  All
+pairs of nodes 1 hop away from the new node which have the same colors
+violate CA2 and have to select new colors."  CP originates in the
+symmetric-link model of [3], so "1 hop away" is the undirected
+neighborhood: *all* members of duplicated color classes among the
+joiner's in- and out-neighbors re-select (unlike Minim, which recodes
+all but one holder per genuinely conflicting class) — along with ``n``
+itself.  Selection follows the identifier-ordered
+lowest-available-color rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coloring.assignment import CodeAssignment
+from repro.strategies.cp.selection import reselect_colors
+from repro.topology.neighborhoods import join_partition
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["CPPlan", "plan_cp_join", "duplicated_members"]
+
+
+@dataclass(frozen=True)
+class CPPlan:
+    """Outcome of a CP recoding: the reselect set and resulting changes."""
+
+    node: NodeId
+    reselect: frozenset[NodeId]
+    new_colors: dict[NodeId, Color]
+    changes: dict[NodeId, tuple[Color | None, Color]]
+    messages: int
+
+
+def duplicated_members(
+    assignment: CodeAssignment,
+    members: frozenset[NodeId],
+) -> set[NodeId]:
+    """Members of ``members`` whose color is shared with another member."""
+    classes: dict[Color, list[NodeId]] = {}
+    for u in members:
+        classes.setdefault(assignment[u], []).append(u)
+    return {u for nodes in classes.values() if len(nodes) > 1 for u in nodes}
+
+
+def plan_cp_join(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    node: NodeId,
+    *,
+    highest_first: bool = True,
+    vicinity_colors: bool = False,
+) -> CPPlan:
+    """Plan the CP recode for joined ``node`` (already in ``graph``)."""
+    part = join_partition(graph, node)
+    members = part.in_neighbors | part.out_neighbors
+    reselect = duplicated_members(assignment, members) | {node}
+    new_colors = reselect_colors(
+        graph,
+        assignment,
+        reselect,
+        highest_first=highest_first,
+        vicinity_colors=vicinity_colors,
+    )
+    changes = {
+        u: (assignment.get(u), c) for u, c in new_colors.items() if assignment.get(u) != c
+    }
+    # Analytic message count: the joining node exchanges color/constraint
+    # state with each 1-hop neighbor (request + reply), then every node
+    # that actually changed color announces it to its 2-hop vicinity
+    # proxies (one message per undirected neighbor).
+    degree = len(set(graph.in_neighbors(node)) | set(graph.out_neighbors(node)))
+    announce = sum(
+        len(set(graph.in_neighbors(u)) | set(graph.out_neighbors(u))) for u in changes
+    )
+    return CPPlan(
+        node=node,
+        reselect=frozenset(reselect),
+        new_colors=new_colors,
+        changes=changes,
+        messages=2 * degree + announce,
+    )

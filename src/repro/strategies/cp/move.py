@@ -1,0 +1,56 @@
+"""CP move recoding: a leave followed by a join (paper sections 3, 4.4).
+
+"The CP strategy for handling recoding on node movement is to treat it
+as a pair of consecutive events where the moving node n leaves and joins
+the network."  The leave recodes nobody; the join then runs with ``n``
+uncolored, so ``n`` always re-selects — the reason CP pays at least one
+(potential) recode per move while ``RecodeOnMove`` usually pays none.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.assignment import CodeAssignment
+from repro.strategies.cp.join import CPPlan, plan_cp_join
+from repro.topology.static import DigraphLike
+from repro.types import NodeId
+
+__all__ = ["plan_cp_move"]
+
+
+def plan_cp_move(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    node: NodeId,
+    *,
+    highest_first: bool = True,
+    vicinity_colors: bool = False,
+) -> CPPlan:
+    """Plan the CP recode for moved ``node`` (already relocated).
+
+    ``assignment`` still holds the mover's pre-move color; the leave
+    phase discards it (the join phase sees ``node`` uncolored), and the
+    mover's re-selected color counts as a recoding only if it differs
+    from the pre-move color.
+    """
+    as_left = assignment.copy()
+    as_left.unassign(node)
+    plan = plan_cp_join(
+        graph,
+        as_left,
+        node,
+        highest_first=highest_first,
+        vicinity_colors=vicinity_colors,
+    )
+    # Recompute the change set against the true (pre-move) colors.
+    changes = {
+        u: (assignment.get(u), c)
+        for u, c in plan.new_colors.items()
+        if assignment.get(u) != c
+    }
+    return CPPlan(
+        node=node,
+        reselect=plan.reselect,
+        new_colors=plan.new_colors,
+        changes=changes,
+        messages=plan.messages,
+    )

@@ -1,0 +1,63 @@
+"""CP power-increase recoding (the paper's extension, section 4.2).
+
+"When a node n increases its power range, all nodes up to two hops away
+from n that now have a new constraint (due to either CA1 or CA2) with n
+and the same old color as n (and thus have a conflict with n), consider
+themselves for recoding.  These nodes, along with n, do so in a
+distributed fashion in increasing or decreasing order of their
+identities."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+from repro.coloring.assignment import CodeAssignment
+from repro.strategies.cp.join import CPPlan
+from repro.strategies.cp.selection import reselect_colors
+from repro.topology.conflicts import conflict_neighbors
+from repro.topology.static import DigraphLike
+from repro.types import NodeId
+
+__all__ = ["plan_cp_power_increase"]
+
+
+def plan_cp_power_increase(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    node: NodeId,
+    old_conflict_neighbors: Set[NodeId],
+    *,
+    highest_first: bool = True,
+    vicinity_colors: bool = False,
+) -> CPPlan:
+    """Plan the CP recode after ``node`` increased its range.
+
+    ``graph`` must already reflect the enlarged range;
+    ``old_conflict_neighbors`` is the node's conflict set before it.
+    """
+    own = assignment[node]
+    new_conflicts = conflict_neighbors(graph, node) - set(old_conflict_neighbors)
+    duplicates = {w for w in new_conflicts if assignment[w] == own}
+    reselect = duplicates | {node}
+    new_colors = reselect_colors(
+        graph,
+        assignment,
+        reselect,
+        highest_first=highest_first,
+        vicinity_colors=vicinity_colors,
+    )
+    changes = {
+        u: (assignment.get(u), c) for u, c in new_colors.items() if assignment.get(u) != c
+    }
+    degree = len(set(graph.in_neighbors(node)) | set(graph.out_neighbors(node)))
+    announce = sum(
+        len(set(graph.in_neighbors(u)) | set(graph.out_neighbors(u))) for u in changes
+    )
+    return CPPlan(
+        node=node,
+        reselect=frozenset(reselect),
+        new_colors=new_colors,
+        changes=changes,
+        messages=2 * degree + announce,
+    )

@@ -1,0 +1,77 @@
+"""CP's identifier-ordered color reselection.
+
+Paper section 3: nodes needing new colors each wait until they are "the
+highest ... -identity node in its vicinity (defined by itself and nodes
+up to 2 hops away from it) that has not yet been assigned a color", then
+select "the lowest available color".
+
+Two unassigned nodes outside each other's 2-hop vicinities share no
+constraints, so the distributed execution is equivalent to processing
+the reselect set sequentially in descending identifier order — which is
+what this oracle implementation does.  (The message-driven version lives
+in :mod:`repro.distributed.cp_protocol` and is tested equivalent.)
+
+What counts as "taken" for a selecting node is governed by
+``vicinity_colors``:
+
+* ``False`` (default) — the colors of the node's *conflict neighbors*
+  (CA1 ∪ CA2), i.e. the constraint lists the CP nodes maintain ("respect
+  for constraints ensures that no conflicts arise", section 3).  This is
+  the variant whose color usage reproduces the paper's Fig 11
+  comparison.
+* ``True`` — the conservative reading: every color held within 2
+  undirected hops.  Strictly safe but wasteful; kept for the robustness
+  ablation.
+
+Both variants are safe: conflict neighbors are always within 2
+undirected hops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import lowest_available_color
+from repro.topology.conflicts import conflict_neighbors
+from repro.topology.neighborhoods import k_hop_neighbors
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["reselect_colors"]
+
+
+def reselect_colors(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    reselect: Set[NodeId],
+    *,
+    highest_first: bool = True,
+    vicinity_colors: bool = False,
+) -> dict[NodeId, Color]:
+    """New colors for every node in ``reselect`` under the CP rule.
+
+    All ``reselect`` nodes start uncolored (their old colors place no
+    constraints); other nodes keep their current colors.  Each reselect
+    node, in descending (default) identifier order, takes the lowest
+    color not *taken* around it (see module docstring for the two
+    takenness variants).
+
+    A node may land back on its old color — the caller decides whether
+    that counts as a recoding (it does not, per the section 5 metric).
+    """
+    working: dict[NodeId, Color] = {
+        v: c for v, c in assignment.items() if v not in reselect
+    }
+    order = sorted(reselect, reverse=highest_first)
+    out: dict[NodeId, Color] = {}
+    for u in order:
+        if vicinity_colors:
+            around = k_hop_neighbors(graph, u, 2)
+        else:
+            around = conflict_neighbors(graph, u)
+        taken = {working[v] for v in around if v in working}
+        color = lowest_available_color(taken)
+        working[u] = color
+        out[u] = color
+    return out

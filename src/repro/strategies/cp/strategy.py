@@ -1,0 +1,99 @@
+"""The CP strategy facade."""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+from repro.coloring.assignment import CodeAssignment
+from repro.strategies.base import RecodeResult, RecodingStrategy
+from repro.strategies.cp.join import plan_cp_join
+from repro.strategies.cp.move import plan_cp_move
+from repro.strategies.cp.power import plan_cp_power_increase
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["CPStrategy"]
+
+
+class CPStrategy(RecodingStrategy):
+    """The Chlamtac–Pinter recoding baseline [3].
+
+    Parameters
+    ----------
+    highest_first:
+        Identifier ordering of reselection ("increasing or decreasing
+        order of their identities"); the paper's examples use
+        highest-first, the default.
+    vicinity_colors:
+        When True, selecting nodes avoid every color within 2 undirected
+        hops (the conservative reading) instead of only true conflict
+        constraints.  See :mod:`repro.strategies.cp.selection`.
+    """
+
+    name = "CP"
+
+    def __init__(self, *, highest_first: bool = True, vicinity_colors: bool = False) -> None:
+        self._highest_first = highest_first
+        self._vicinity_colors = vicinity_colors
+
+    def on_join(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+    ) -> RecodeResult:
+        plan = plan_cp_join(
+            graph,
+            assignment,
+            node_id,
+            highest_first=self._highest_first,
+            vicinity_colors=self._vicinity_colors,
+        )
+        return RecodeResult("join", node_id, plan.changes, messages=plan.messages)
+
+    def on_leave(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        old_color: Color,
+    ) -> RecodeResult:
+        # "When a node leaves the network, its neighbors update their
+        # lists ... No recoding is required in this case."
+        return RecodeResult("leave", node_id, {}, messages=0)
+
+    def on_move(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+    ) -> RecodeResult:
+        plan = plan_cp_move(
+            graph,
+            assignment,
+            node_id,
+            highest_first=self._highest_first,
+            vicinity_colors=self._vicinity_colors,
+        )
+        return RecodeResult("move", node_id, plan.changes, messages=plan.messages)
+
+    def on_power_change(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        *,
+        increased: bool,
+        old_conflict_neighbors: Set[NodeId],
+    ) -> RecodeResult:
+        if not increased:
+            return RecodeResult("power_decrease", node_id, {}, messages=0)
+        plan = plan_cp_power_increase(
+            graph,
+            assignment,
+            node_id,
+            old_conflict_neighbors,
+            highest_first=self._highest_first,
+            vicinity_colors=self._vicinity_colors,
+        )
+        return RecodeResult("power_increase", node_id, plan.changes, messages=plan.messages)

@@ -1,0 +1,19 @@
+"""The Minim strategy family (the paper's contribution, section 4)."""
+
+from repro.strategies.minim.join import (
+    LocalRecodePlan,
+    minimal_join_bound,
+    minimal_move_bound,
+    plan_local_matching_recode,
+)
+from repro.strategies.minim.power import plan_power_increase
+from repro.strategies.minim.strategy import MinimStrategy
+
+__all__ = [
+    "LocalRecodePlan",
+    "MinimStrategy",
+    "minimal_join_bound",
+    "minimal_move_bound",
+    "plan_local_matching_recode",
+    "plan_power_increase",
+]

@@ -1,0 +1,56 @@
+"""``RecodeOnPowIncrease`` — paper Fig 5.
+
+A power increase only adds out-edges at ``n``, so every new CA1/CA2
+constraint involves ``n`` itself (section 4.2).  The minimal recoding is
+therefore: recode nothing if ``n``'s color still satisfies its
+constraints, otherwise recode exactly ``n`` to the lowest available
+color.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import forbidden_colors, lowest_available_color
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
+
+__all__ = ["PowerRecodePlan", "plan_power_increase"]
+
+
+@dataclass(frozen=True)
+class PowerRecodePlan:
+    """Outcome of a power-increase recode.
+
+    ``changes`` is empty or ``{n: (old, new)}``.  ``messages`` counts the
+    constraint collection (one request + reply per out-neighbor) plus the
+    announcement of the new color to the conflict neighborhood when a
+    recode happens.
+    """
+
+    node: NodeId
+    changes: dict[NodeId, tuple[Color | None, Color]]
+    messages: int
+
+
+def plan_power_increase(
+    graph: DigraphLike,
+    assignment: CodeAssignment,
+    node: NodeId,
+) -> PowerRecodePlan:
+    """Plan the minimal recode after ``node`` increased its range.
+
+    ``graph`` must already reflect the enlarged range.
+    """
+    forbidden = forbidden_colors(graph, assignment, node)
+    current = assignment[node]
+    collection = 2 * len(graph.out_neighbors(node))
+    if current not in forbidden:
+        return PowerRecodePlan(node=node, changes={}, messages=collection)
+    new = lowest_available_color(forbidden)
+    return PowerRecodePlan(
+        node=node,
+        changes={node: (current, new)},
+        messages=collection + 1,
+    )

@@ -1,0 +1,58 @@
+"""Topology substrate: the power-controlled ad-hoc network model.
+
+The paper (section 2) models the network as a dynamic digraph
+``G = (V, E)`` whose vertices carry a position and a maximum transmission
+range, with an edge ``vi -> vj`` iff ``d(vi, vj) <= r_i``.  This package
+implements that model:
+
+* :class:`~repro.topology.node.NodeConfig` — a node's configuration.
+* :class:`~repro.topology.digraph.AdHocDigraph` — the dynamic digraph with
+  incremental join / leave / move / set-range updates.
+* :mod:`~repro.topology.propagation` — free-space and obstructed
+  propagation models (the paper's non-free-space generalization).
+* :mod:`~repro.topology.conflicts` — the CA1 ∪ CA2 conflict graph.
+* :mod:`~repro.topology.neighborhoods` — the ``1n/2n/3n/4n`` partition of
+  Fig 2 and k-hop neighborhoods.
+* :mod:`~repro.topology.connectivity` — the Minimal Connectivity
+  assumption and reachability helpers.
+"""
+
+from repro.topology.builder import build_digraph
+from repro.topology.conflicts import (
+    are_conflicting,
+    conflict_degree,
+    conflict_matrix,
+    conflict_neighbors,
+)
+from repro.topology.connectivity import (
+    has_minimal_connectivity,
+    undirected_hop_distances,
+    weakly_connected_components,
+)
+from repro.topology.digraph import AdHocDigraph
+from repro.topology.neighborhoods import JoinPartition, join_partition, k_hop_neighbors
+from repro.topology.node import NodeConfig
+from repro.topology.propagation import (
+    FreeSpacePropagation,
+    ObstructedPropagation,
+    PropagationModel,
+)
+
+__all__ = [
+    "AdHocDigraph",
+    "FreeSpacePropagation",
+    "JoinPartition",
+    "NodeConfig",
+    "ObstructedPropagation",
+    "PropagationModel",
+    "are_conflicting",
+    "build_digraph",
+    "conflict_degree",
+    "conflict_matrix",
+    "conflict_neighbors",
+    "has_minimal_connectivity",
+    "join_partition",
+    "k_hop_neighbors",
+    "undirected_hop_distances",
+    "weakly_connected_components",
+]

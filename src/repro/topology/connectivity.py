@@ -1,0 +1,56 @@
+"""Connectivity predicates.
+
+The paper's **Minimal Connectivity** assumption (section 2): a node may
+only take a configuration in which some node is within its transmission
+range (an out-neighbor exists) and it is within some node's transmission
+range (an in-neighbor exists).
+"""
+
+from __future__ import annotations
+
+from repro.topology.digraph import AdHocDigraph
+from repro.types import NodeId
+
+__all__ = [
+    "has_minimal_connectivity",
+    "undirected_hop_distances",
+    "weakly_connected_components",
+]
+
+
+def has_minimal_connectivity(graph: AdHocDigraph, node_id: NodeId) -> bool:
+    """Whether ``node_id`` satisfies the Minimal Connectivity assumption.
+
+    True iff the node has at least one in-neighbor and at least one
+    out-neighbor in its current configuration.
+    """
+    return graph.in_degree(node_id) > 0 and graph.out_degree(node_id) > 0
+
+
+def undirected_hop_distances(graph: AdHocDigraph, src: NodeId) -> dict[NodeId, int]:
+    """Hop distances from ``src`` over the undirected support of the graph.
+
+    Thin alias for :meth:`AdHocDigraph.undirected_hop_distances`, exposed
+    here so callers needing only connectivity semantics do not reach into
+    the digraph class.
+    """
+    return graph.undirected_hop_distances(src)
+
+
+def weakly_connected_components(graph: AdHocDigraph) -> list[set[NodeId]]:
+    """Connected components of the undirected support, largest first.
+
+    Ties between equal-sized components break on the smallest member id
+    so the output is deterministic.
+    """
+    remaining = set(graph.node_ids())
+    components: list[set[NodeId]] = []
+    while remaining:
+        seed = min(remaining)
+        comp = set(graph.undirected_hop_distances(seed))
+        comp.add(seed)
+        comp &= remaining
+        components.append(comp)
+        remaining -= comp
+    components.sort(key=lambda c: (-len(c), min(c)))
+    return components

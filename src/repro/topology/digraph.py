@@ -1,0 +1,316 @@
+"""Dynamic ad-hoc digraph with incremental reconfiguration updates.
+
+``AdHocDigraph`` maintains the directed graph induced by node
+configurations under a propagation model.  It is the single source of
+truth for topology; strategies and simulators query it, never raw arrays.
+
+Implementation notes (per the hpc-parallel guides):
+
+* Positions, ranges and the boolean adjacency matrix live in dense NumPy
+  arrays with amortized-doubling capacity so joins are O(N) not O(N^2).
+* Removal swap-deletes the last slot into the vacated one, keeping the
+  active block contiguous (cache-friendly row/column operations).
+* All neighbor queries return id lists sorted ascending for determinism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.topology.node import NodeConfig
+from repro.topology.propagation import FreeSpacePropagation, PropagationModel
+from repro.types import NodeId
+
+__all__ = ["AdHocDigraph"]
+
+_INITIAL_CAPACITY = 16
+
+
+class AdHocDigraph:
+    """The power-controlled ad-hoc network digraph (paper section 2).
+
+    Edge rule: ``u -> v`` iff the propagation model says ``u``'s
+    transmission covers ``v`` (free space: ``d(u, v) <= r_u``).
+
+    Parameters
+    ----------
+    propagation:
+        Propagation model; defaults to the paper's free-space disc.
+    """
+
+    def __init__(self, propagation: PropagationModel | None = None) -> None:
+        self._prop: PropagationModel = propagation if propagation is not None else FreeSpacePropagation()
+        cap = _INITIAL_CAPACITY
+        self._pos = np.zeros((cap, 2), dtype=np.float64)
+        self._range = np.zeros(cap, dtype=np.float64)
+        self._adj = np.zeros((cap, cap), dtype=bool)
+        self._ids: list[NodeId] = []  # index -> id, for the active block
+        self._index: dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def propagation(self) -> PropagationModel:
+        """The propagation model edges are computed under."""
+        return self._prop
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._index
+
+    def node_ids(self) -> list[NodeId]:
+        """All node ids, ascending."""
+        return sorted(self._index)
+
+    def config(self, node_id: NodeId) -> NodeConfig:
+        """The current configuration of ``node_id``."""
+        i = self._idx(node_id)
+        return NodeConfig(node_id, float(self._pos[i, 0]), float(self._pos[i, 1]), float(self._range[i]))
+
+    def configs(self) -> list[NodeConfig]:
+        """All node configurations, ascending by id."""
+        return [self.config(v) for v in self.node_ids()]
+
+    def position_of(self, node_id: NodeId) -> tuple[float, float]:
+        """The ``(x, y)`` position of ``node_id``."""
+        i = self._idx(node_id)
+        return (float(self._pos[i, 0]), float(self._pos[i, 1]))
+
+    def range_of(self, node_id: NodeId) -> float:
+        """The transmission range of ``node_id``."""
+        return float(self._range[self._idx(node_id)])
+
+    # ------------------------------------------------------------------
+    # Edge queries
+    # ------------------------------------------------------------------
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether the directed edge ``src -> dst`` exists."""
+        return bool(self._adj[self._idx(src), self._idx(dst)])
+
+    def out_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Nodes within ``node_id``'s transmission range (sorted)."""
+        i = self._idx(node_id)
+        n = len(self._ids)
+        return sorted(self._ids[j] for j in np.flatnonzero(self._adj[i, :n]))
+
+    def in_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Nodes whose transmissions reach ``node_id`` (sorted)."""
+        i = self._idx(node_id)
+        n = len(self._ids)
+        return sorted(self._ids[j] for j in np.flatnonzero(self._adj[:n, i]))
+
+    def undirected_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Union of in- and out-neighbors (sorted)."""
+        i = self._idx(node_id)
+        n = len(self._ids)
+        mask = self._adj[i, :n] | self._adj[:n, i]
+        return sorted(self._ids[j] for j in np.flatnonzero(mask))
+
+    def out_degree(self, node_id: NodeId) -> int:
+        """Number of out-neighbors."""
+        i = self._idx(node_id)
+        return int(self._adj[i, : len(self._ids)].sum())
+
+    def in_degree(self, node_id: NodeId) -> int:
+        """Number of in-neighbors."""
+        i = self._idx(node_id)
+        return int(self._adj[: len(self._ids), i].sum())
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """Iterate all directed edges as ``(src, dst)`` id pairs."""
+        n = len(self._ids)
+        rows, cols = np.nonzero(self._adj[:n, :n])
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            yield (self._ids[r], self._ids[c])
+
+    def edge_count(self) -> int:
+        """Total number of directed edges."""
+        n = len(self._ids)
+        return int(self._adj[:n, :n].sum())
+
+    def adjacency(self) -> tuple[list[NodeId], np.ndarray]:
+        """``(ids, A)`` where ``A[i, j]`` == edge ``ids[i] -> ids[j]``.
+
+        ``ids`` is ascending; ``A`` is a copy safe to mutate.  This is the
+        entry point for vectorized consumers (conflict-matrix builds,
+        whole-network recoloring).
+        """
+        order = sorted(range(len(self._ids)), key=lambda j: self._ids[j])
+        ids = [self._ids[j] for j in order]
+        n = len(self._ids)
+        block = self._adj[:n, :n]
+        perm = np.asarray(order, dtype=np.intp)
+        return ids, block[np.ix_(perm, perm)].copy()
+
+    def positions_and_ranges(self) -> tuple[list[NodeId], np.ndarray, np.ndarray]:
+        """``(ids, positions, ranges)`` aligned arrays, ids ascending."""
+        order = sorted(range(len(self._ids)), key=lambda j: self._ids[j])
+        ids = [self._ids[j] for j in order]
+        perm = np.asarray(order, dtype=np.intp)
+        return ids, self._pos[perm].copy(), self._range[perm].copy()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, cfg: NodeConfig) -> None:
+        """Join ``cfg`` to the network, creating its in/out edges."""
+        if cfg.node_id in self._index:
+            raise DuplicateNodeError(cfg.node_id)
+        n = len(self._ids)
+        self._ensure_capacity(n + 1)
+        self._pos[n] = (cfg.x, cfg.y)
+        self._range[n] = cfg.tx_range
+        self._ids.append(cfg.node_id)
+        self._index[cfg.node_id] = n
+        self._recompute_row(n)
+        self._recompute_col(n)
+
+    def remove_node(self, node_id: NodeId) -> NodeConfig:
+        """Remove ``node_id`` and all incident edges; returns its config."""
+        cfg = self.config(node_id)
+        i = self._index.pop(node_id)
+        last = len(self._ids) - 1
+        if i != last:
+            # Swap-delete: move the last slot into i.
+            self._pos[i] = self._pos[last]
+            self._range[i] = self._range[last]
+            self._adj[i, : last + 1] = self._adj[last, : last + 1]
+            self._adj[: last + 1, i] = self._adj[: last + 1, last]
+            self._adj[i, i] = False
+            moved = self._ids[last]
+            self._ids[i] = moved
+            self._index[moved] = i
+        self._ids.pop()
+        self._adj[last, : last + 1] = False
+        self._adj[: last + 1, last] = False
+        return cfg
+
+    def move_node(self, node_id: NodeId, x: float, y: float) -> None:
+        """Relocate ``node_id``; recomputes its out- and in-edges."""
+        i = self._idx(node_id)
+        self._pos[i] = (float(x), float(y))
+        self._recompute_row(i)
+        self._recompute_col(i)
+
+    def set_range(self, node_id: NodeId, tx_range: float) -> None:
+        """Change ``node_id``'s transmission range; recomputes out-edges.
+
+        In-edges are unaffected: whether *others* reach this node depends
+        only on their ranges.
+        """
+        if tx_range <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"tx_range must be positive, got {tx_range}")
+        i = self._idx(node_id)
+        self._range[i] = float(tx_range)
+        self._recompute_row(i)
+
+    def copy(self) -> "AdHocDigraph":
+        """Deep copy (same propagation model object, copied arrays)."""
+        g = AdHocDigraph.__new__(AdHocDigraph)
+        g._prop = self._prop
+        g._pos = self._pos.copy()
+        g._range = self._range.copy()
+        g._adj = self._adj.copy()
+        g._ids = list(self._ids)
+        g._index = dict(self._index)
+        return g
+
+    # ------------------------------------------------------------------
+    # Graph algorithms
+    # ------------------------------------------------------------------
+    def conflict_neighbor_ids(self, node_id: NodeId) -> set[NodeId]:
+        """Nodes conflicting with ``node_id`` under CA1 ∪ CA2.
+
+        CA1: an edge in either direction; CA2: a common out-neighbor.
+        Computed on the internal arrays without copying the adjacency
+        matrix — this is the hot query of every recoding strategy.
+        """
+        i = self._idx(node_id)
+        n = len(self._ids)
+        a = self._adj[:n, :n]
+        mask = a[i] | a[:, i]
+        out = a[i]
+        if out.any():
+            mask = mask | a[:, out].any(axis=1)
+        mask[i] = False
+        return {self._ids[j] for j in np.flatnonzero(mask)}
+
+    def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
+        """BFS hop counts from ``src`` over the undirected support.
+
+        Unreachable nodes are absent from the result.  Used for the
+        k-hop vicinities of the CP strategy and for the >= 5 hops apart
+        condition of parallel joins (Theorem 4.1.10).
+        """
+        n = len(self._ids)
+        i = self._idx(src)
+        undirected = self._adj[:n, :n] | self._adj[:n, :n].T
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[i] = 0
+        frontier = np.zeros(n, dtype=bool)
+        frontier[i] = True
+        hops = 0
+        while frontier.any():
+            hops += 1
+            reached = undirected[frontier].any(axis=0)
+            fresh = reached & (dist < 0)
+            dist[fresh] = hops
+            frontier = fresh
+        return {self._ids[j]: int(dist[j]) for j in range(n) if dist[j] >= 0}
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` (test/example interop only)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for cfg in self.configs():
+            g.add_node(cfg.node_id, x=cfg.x, y=cfg.y, tx_range=cfg.tx_range)
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _idx(self, node_id: NodeId) -> int:
+        try:
+            return self._index[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = len(self._range)
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        pos = np.zeros((new_cap, 2), dtype=np.float64)
+        rng = np.zeros(new_cap, dtype=np.float64)
+        adj = np.zeros((new_cap, new_cap), dtype=bool)
+        n = len(self._ids)
+        pos[:n] = self._pos[:n]
+        rng[:n] = self._range[:n]
+        adj[:n, :n] = self._adj[:n, :n]
+        self._pos, self._range, self._adj = pos, rng, adj
+
+    def _recompute_row(self, i: int) -> None:
+        """Out-edges of slot ``i``: which targets does it cover?"""
+        n = len(self._ids)
+        mask = self._prop.coverage(self._pos[i], float(self._range[i]), self._pos[:n])
+        mask[i] = False
+        self._adj[i, :n] = mask
+
+    def _recompute_col(self, i: int) -> None:
+        """In-edges of slot ``i``: which sources cover it?"""
+        n = len(self._ids)
+        mask = self._prop.covered_by(self._pos[i], self._pos[:n], self._range[:n])
+        mask[i] = False
+        self._adj[:n, i] = mask

@@ -1,0 +1,88 @@
+"""Neighborhood structure around a (re)configuring node.
+
+Implements the ``1n / 2n / 3n / 4n`` partition of Fig 2 in the paper:
+when node ``n`` is present in the digraph, the remaining nodes split into
+
+* ``1n`` — in-neighbors only (they reach ``n``; ``n`` does not reach them),
+* ``2n`` — bidirectional neighbors,
+* ``3n`` — out-neighbors only (``n`` reaches them; they do not reach ``n``),
+* ``4n`` — no edges with ``n`` in either direction.
+
+The recoding strategies operate on ``V1 = 1n ∪ 2n ∪ {n}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.digraph import AdHocDigraph
+from repro.types import NodeId
+
+__all__ = ["JoinPartition", "join_partition", "k_hop_neighbors", "vicinity"]
+
+
+@dataclass(frozen=True)
+class JoinPartition:
+    """The Fig-2 partition of the network around a node ``n``."""
+
+    node: NodeId
+    one: frozenset[NodeId]
+    two: frozenset[NodeId]
+    three: frozenset[NodeId]
+    four: frozenset[NodeId]
+
+    @property
+    def v1(self) -> frozenset[NodeId]:
+        """``V1 = 1n ∪ 2n ∪ {n}`` — the recoding candidate set."""
+        return self.one | self.two | {self.node}
+
+    @property
+    def in_neighbors(self) -> frozenset[NodeId]:
+        """All nodes with an edge into ``n`` (``1n ∪ 2n``)."""
+        return self.one | self.two
+
+    @property
+    def out_neighbors(self) -> frozenset[NodeId]:
+        """All nodes ``n`` has an edge to (``2n ∪ 3n``)."""
+        return self.two | self.three
+
+
+def join_partition(graph: AdHocDigraph, node_id: NodeId) -> JoinPartition:
+    """Partition all other nodes into ``1n/2n/3n/4n`` relative to ``node_id``.
+
+    ``node_id`` must already be present in ``graph`` (for a join, call
+    after inserting the node; for a move, after relocating it).
+    """
+    into = set(graph.in_neighbors(node_id))
+    outof = set(graph.out_neighbors(node_id))
+    both = into & outof
+    one = into - both
+    three = outof - both
+    everyone = set(graph.node_ids()) - {node_id}
+    four = everyone - into - outof
+    return JoinPartition(
+        node=node_id,
+        one=frozenset(one),
+        two=frozenset(both),
+        three=frozenset(three),
+        four=frozenset(four),
+    )
+
+
+def k_hop_neighbors(graph: AdHocDigraph, node_id: NodeId, k: int) -> set[NodeId]:
+    """Nodes within ``k`` undirected hops of ``node_id`` (excluding it).
+
+    The CP baseline constrains color choices by the colors "taken by any
+    of its 1 hop and 2 hop neighbors"; this is that set with ``k = 2``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    dist = graph.undirected_hop_distances(node_id)
+    return {v for v, d in dist.items() if 0 < d <= k}
+
+
+def vicinity(graph: AdHocDigraph, node_id: NodeId, k: int = 2) -> set[NodeId]:
+    """``{node_id} ∪ k_hop_neighbors`` — the node's k-hop vicinity."""
+    out = k_hop_neighbors(graph, node_id, k)
+    out.add(node_id)
+    return out

@@ -1,0 +1,75 @@
+"""Node configuration value type.
+
+A node's *configuration* (paper section 2) is its position ``(x, y)``
+plus its maximum transmission power range ``r``.  Configurations are
+immutable; reconfiguration events produce new instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId
+
+__all__ = ["NodeConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeConfig:
+    """A mobile node: identifier, 2-D position and transmission range.
+
+    Attributes
+    ----------
+    node_id:
+        Integer identifier.  The CP baseline breaks ties by identifier,
+        so ids must be unique network-wide.
+    x, y:
+        Position coordinates.
+    tx_range:
+        Maximum transmission power range ``r_i``: every node within this
+        (closed) distance hears, or is interfered with by, this node's
+        transmissions.
+    """
+
+    node_id: NodeId
+    x: float
+    y: float
+    tx_range: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.node_id, int) or isinstance(self.node_id, bool):
+            raise ConfigurationError(f"node_id must be an int, got {self.node_id!r}")
+        for name, value in (("x", self.x), ("y", self.y), ("tx_range", self.tx_range)):
+            if not math.isfinite(value):
+                raise ConfigurationError(f"{name} must be finite, got {value!r}")
+        if self.tx_range <= 0:
+            raise ConfigurationError(f"tx_range must be positive, got {self.tx_range}")
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """The node's ``(x, y)`` position."""
+        return (self.x, self.y)
+
+    def moved_to(self, x: float, y: float) -> "NodeConfig":
+        """A copy of this configuration at a new position."""
+        return replace(self, x=float(x), y=float(y))
+
+    def with_range(self, tx_range: float) -> "NodeConfig":
+        """A copy of this configuration with a new transmission range."""
+        return replace(self, tx_range=float(tx_range))
+
+    def distance_to(self, other: "NodeConfig") -> float:
+        """Euclidean distance between this node and ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def reaches(self, other: "NodeConfig") -> bool:
+        """Free-space edge rule: ``d(self, other) <= self.tx_range``.
+
+        Self-loops are excluded (a node trivially "reaches" itself but the
+        digraph has no self edges).
+        """
+        if self.node_id == other.node_id:
+            return False
+        return self.distance_to(other) <= self.tx_range

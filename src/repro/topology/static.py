@@ -1,0 +1,190 @@
+"""Explicit-edge digraph with the same query interface as AdHocDigraph.
+
+The paper's worked examples (Figs 1, 4, 6, 7, 9) are given as digraphs,
+not coordinate sets.  The recoding strategies only query graph
+*structure* (never geometry), so they accept any object satisfying
+:class:`DigraphLike`; ``StaticDigraph`` is the explicit-edge
+implementation used by those examples and by graph-level tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.types import NodeId
+
+__all__ = ["DigraphLike", "StaticDigraph"]
+
+
+@runtime_checkable
+class DigraphLike(Protocol):
+    """Structural queries the recoding strategies rely on."""
+
+    def node_ids(self) -> list[NodeId]:
+        """All node ids, ascending."""
+        ...  # pragma: no cover - protocol
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether the directed edge ``src -> dst`` exists."""
+        ...  # pragma: no cover - protocol
+
+    def in_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Sources of edges into ``node_id`` (sorted)."""
+        ...  # pragma: no cover - protocol
+
+    def out_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Targets of edges out of ``node_id`` (sorted)."""
+        ...  # pragma: no cover - protocol
+
+    def adjacency(self) -> tuple[list[NodeId], np.ndarray]:
+        """``(ids, boolean adjacency)`` with ids ascending."""
+        ...  # pragma: no cover - protocol
+
+    def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
+        """BFS hop counts from ``src`` over the undirected support."""
+        ...  # pragma: no cover - protocol
+
+
+class StaticDigraph:
+    """A digraph over explicit node ids and directed edges."""
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] = (),
+        edges: Iterable[tuple[NodeId, NodeId]] = (),
+    ) -> None:
+        self._succ: dict[NodeId, set[NodeId]] = {}
+        self._pred: dict[NodeId, set[NodeId]] = {}
+        for v in nodes:
+            self.add_node(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId) -> None:
+        """Add an isolated node; duplicate ids raise."""
+        if node_id in self._succ:
+            raise DuplicateNodeError(node_id)
+        self._succ[node_id] = set()
+        self._pred[node_id] = set()
+
+    def add_edge(self, src: NodeId, dst: NodeId) -> None:
+        """Add a directed edge, creating endpoints as needed."""
+        if src == dst:
+            raise ValueError("self-loops are not allowed")
+        for v in (src, dst):
+            if v not in self._succ:
+                self.add_node(v)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_edge(self, src: NodeId, dst: NodeId) -> None:
+        """Remove a directed edge; missing edges raise ``KeyError``."""
+        self._succ[src].remove(dst)
+        self._pred[dst].remove(src)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node and all incident edges."""
+        if node_id not in self._succ:
+            raise UnknownNodeError(node_id)
+        for dst in self._succ.pop(node_id):
+            self._pred[dst].discard(node_id)
+        for src in self._pred.pop(node_id):
+            self._succ[src].discard(node_id)
+
+    # ------------------------------------------------------------------
+    # DigraphLike interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._succ
+
+    def node_ids(self) -> list[NodeId]:
+        """All node ids, ascending."""
+        return sorted(self._succ)
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether ``src -> dst`` exists."""
+        if src not in self._succ:
+            raise UnknownNodeError(src)
+        if dst not in self._succ:
+            raise UnknownNodeError(dst)
+        return dst in self._succ[src]
+
+    def in_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Sources of edges into ``node_id`` (sorted)."""
+        try:
+            return sorted(self._pred[node_id])
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def out_neighbors(self, node_id: NodeId) -> list[NodeId]:
+        """Targets of edges out of ``node_id`` (sorted)."""
+        try:
+            return sorted(self._succ[node_id])
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
+        """All directed edges (sorted)."""
+        for u in sorted(self._succ):
+            for v in sorted(self._succ[u]):
+                yield (u, v)
+
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    def adjacency(self) -> tuple[list[NodeId], np.ndarray]:
+        """``(ids, A)`` with ids ascending; ``A`` boolean adjacency."""
+        ids = self.node_ids()
+        index = {v: i for i, v in enumerate(ids)}
+        adj = np.zeros((len(ids), len(ids)), dtype=bool)
+        for u, succ in self._succ.items():
+            i = index[u]
+            for v in succ:
+                adj[i, index[v]] = True
+        return ids, adj
+
+    def conflict_neighbor_ids(self, node_id: NodeId) -> set[NodeId]:
+        """Nodes conflicting with ``node_id`` under CA1 ∪ CA2."""
+        if node_id not in self._succ:
+            raise UnknownNodeError(node_id)
+        out: set[NodeId] = set(self._succ[node_id]) | set(self._pred[node_id])
+        for receiver in self._succ[node_id]:
+            out |= self._pred[receiver]
+        out.discard(node_id)
+        return out
+
+    def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
+        """BFS hop counts over the undirected support from ``src``."""
+        if src not in self._succ:
+            raise UnknownNodeError(src)
+        dist = {src: 0}
+        frontier = [src]
+        hops = 0
+        while frontier:
+            hops += 1
+            nxt: list[NodeId] = []
+            for u in frontier:
+                for v in self._succ[u] | self._pred[u]:
+                    if v not in dist:
+                        dist[v] = hops
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def copy(self) -> "StaticDigraph":
+        """Independent copy."""
+        g = StaticDigraph()
+        g._succ = {v: set(s) for v, s in self._succ.items()}
+        g._pred = {v: set(p) for v, p in self._pred.items()}
+        return g

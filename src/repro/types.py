@@ -1,0 +1,41 @@
+"""Shared type aliases and small value types.
+
+The paper models mobiles as graph nodes identified by integers, and CDMA
+codes as positive integers (``color`` and ``code`` are used
+interchangeably).  We keep both as plain ``int`` for speed and expose the
+aliases for documentation value.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+#: Identifier of a mobile node. The CP baseline orders nodes by identifier,
+#: so identifiers must be totally ordered; we use ints.
+NodeId: TypeAlias = int
+
+#: A CDMA code / graph color. Codes are positive integers starting at 1,
+#: exactly as in the paper ("each code modeled as a positive integer").
+Color: TypeAlias = int
+
+#: A 2-D position. Stored as a ``(x, y)`` float tuple at API boundaries;
+#: internally positions live in ``(n, 2)`` NumPy arrays.
+Position: TypeAlias = tuple[float, float]
+
+#: Sentinel color meaning "no code assigned".
+NO_COLOR: Color = 0
+
+
+def validate_color(color: int) -> Color:
+    """Return ``color`` if it is a valid code (positive int), else raise.
+
+    Raises
+    ------
+    ValueError
+        If ``color`` is not a positive integer.
+    """
+    if not isinstance(color, (int,)) or isinstance(color, bool):
+        raise ValueError(f"color must be an int, got {color!r}")
+    if color < 1:
+        raise ValueError(f"color must be a positive integer, got {color}")
+    return color

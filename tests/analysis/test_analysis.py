@@ -1,0 +1,117 @@
+"""Tests for analysis: stats, series, shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import ExperimentSeries
+from repro.analysis.shape_checks import (
+    ShapeCheck,
+    check_all,
+    check_join_shapes,
+    check_move_shapes,
+    check_power_shapes,
+)
+from repro.analysis.stats import mean_and_ci, summarize
+
+
+class TestStats:
+    def test_mean_and_ci_basics(self):
+        s = mean_and_ci([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.ci_low < 2.0 < s.ci_high
+        assert s.n == 3
+
+    def test_single_observation(self):
+        s = mean_and_ci([5.0])
+        assert s.mean == s.ci_low == s.ci_high == 5.0
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+    def test_summarize_shapes(self):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        mean, sem = summarize(data)
+        assert mean.shape == (4,) and sem.shape == (4,)
+        assert np.allclose(mean, data.mean(axis=0))
+
+    def test_summarize_single_run(self):
+        data = np.ones((1, 3))
+        _, sem = summarize(data)
+        assert (sem == 0).all()
+
+
+def fake_series(minim, cp, bbb, metric="recodings"):
+    return ExperimentSeries(
+        experiment="test",
+        x_label="N",
+        x_values=[1.0, 2.0],
+        metrics={
+            metric: {"Minim": minim, "CP": cp, "BBB": bbb},
+            "max_color": {"Minim": [3, 4], "CP": [3, 5], "BBB": [3, 4]},
+        },
+        runs=1,
+    )
+
+
+class TestShapeChecks:
+    def test_join_all_pass(self):
+        s = fake_series([10, 20], [12, 25], [50, 90])
+        checks = check_join_shapes(s)
+        assert all(c.passed for c in checks)
+
+    def test_join_detects_minim_regression(self):
+        s = fake_series([30, 20], [12, 25], [50, 90])
+        checks = check_join_shapes(s)
+        failed = [c for c in checks if not c.passed]
+        assert failed and "Minim <= CP" in failed[0].claim
+        assert "N=1" in failed[0].detail
+
+    def test_power_checks(self):
+        s = ExperimentSeries(
+            experiment="p",
+            x_label="rf",
+            x_values=[2.0],
+            metrics={
+                "delta_recodings": {"Minim": [5], "CP": [20], "BBB": [100]},
+                "delta_max_color": {"Minim": [8], "CP": [5], "BBB": [4]},
+            },
+            runs=1,
+        )
+        assert all(c.passed for c in check_power_shapes(s))
+
+    def test_move_checks(self):
+        s = ExperimentSeries(
+            experiment="m",
+            x_label="round",
+            x_values=[1.0, 2.0],
+            metrics={
+                "delta_recodings": {"Minim": [5, 10], "CP": [20, 45], "BBB": [100, 220]},
+                "delta_max_color": {"Minim": [2, 3], "CP": [1, 0], "BBB": [0, -1]},
+            },
+            runs=1,
+        )
+        assert all(c.passed for c in check_move_shapes(s))
+
+    def test_check_all_dispatch(self):
+        s = fake_series([10, 20], [12, 25], [50, 90])
+        assert check_all("join", s)
+        with pytest.raises(ValueError):
+            check_all("bogus", s)
+
+    def test_shapecheck_str(self):
+        assert "PASS" in str(ShapeCheck("c", True))
+        assert "FAIL" in str(ShapeCheck("c", False, detail="boom"))
+
+
+class TestSeriesAccessors:
+    def test_value_at(self):
+        s = fake_series([10, 20], [12, 25], [50, 90])
+        assert s.value_at("recodings", "CP", 2.0) == 25
+        with pytest.raises(ValueError):
+            s.value_at("recodings", "CP", 99.0)
+
+    def test_strategies_order(self):
+        s = fake_series([10, 20], [12, 25], [50, 90])
+        assert s.strategies() == ["Minim", "CP", "BBB"]

@@ -1,0 +1,47 @@
+"""Tests for the ASCII plotter."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot, plot_series
+from repro.analysis.series import ExperimentSeries
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"a": [1, 2, 3]}, [0, 1, 2], title="T", x_label="n")
+        assert "T" in out
+        assert "o=a" in out
+        assert out.count("\n") >= 18
+
+    def test_markers_distinct(self):
+        out = ascii_plot({"a": [1, 2], "b": [2, 1]}, [0, 1])
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_flat_curve_no_crash(self):
+        out = ascii_plot({"a": [5, 5, 5]}, [0, 1, 2])
+        assert "o" in out
+
+    def test_single_point(self):
+        out = ascii_plot({"a": [3]}, [7])
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({}, [1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2]}, [1])
+
+    def test_plot_series(self):
+        s = ExperimentSeries(
+            experiment="e",
+            x_label="N",
+            x_values=[1.0, 2.0],
+            metrics={"m": {"Minim": [1, 2], "CP": [2, 4]}},
+            runs=1,
+        )
+        out = plot_series(s, "m")
+        assert "[e] m" in out
+        assert "o=Minim" in out and "x=CP" in out

@@ -1,0 +1,56 @@
+"""Tests for the markdown report generator."""
+
+from repro.analysis.report import PanelReport, render_report
+from repro.analysis.series import ExperimentSeries
+from repro.analysis.shape_checks import ShapeCheck
+
+
+def series(name="fig10-join"):
+    return ExperimentSeries(
+        experiment=name,
+        x_label="N",
+        x_values=[10.0, 20.0],
+        metrics={"recodings": {"Minim": [11.0, 22.0], "CP": [14.0, 30.0]}},
+        runs=3,
+    )
+
+
+class TestPanelReport:
+    def test_markdown_contains_table_and_claim(self):
+        panel = PanelReport(
+            panel="Fig 10(b)",
+            metric="recodings",
+            series=series(),
+            paper_claim="Minim below CP.",
+            checks=[ShapeCheck("Minim <= CP", True)],
+        )
+        md = panel.to_markdown()
+        assert "### Fig 10(b)" in md
+        assert "**Paper:** Minim below CP." in md
+        assert "| N | Minim | CP |" in md
+        assert "- [x] Minim <= CP" in md
+
+    def test_failed_check_includes_detail(self):
+        panel = PanelReport(
+            panel="P",
+            metric="recodings",
+            series=series(),
+            paper_claim="c",
+            checks=[ShapeCheck("claim", False, detail="boom")],
+        )
+        assert "- [ ] claim — boom" in panel.to_markdown()
+
+
+class TestRenderReport:
+    def test_groups_by_experiment(self):
+        panels = [
+            PanelReport("A", "recodings", series("exp-one"), "claim a"),
+            PanelReport("B", "recodings", series("exp-one"), "claim b"),
+            PanelReport("C", "recodings", series("exp-two"), "claim c"),
+        ]
+        doc = render_report("Title", "Intro text.", panels)
+        assert doc.startswith("# Title")
+        assert doc.count("## exp-one") == 1
+        assert doc.count("## exp-two") == 1
+        assert doc.index("### A") < doc.index("### B") < doc.index("### C")
+        assert doc.endswith("\n")

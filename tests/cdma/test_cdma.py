@@ -1,0 +1,120 @@
+"""Tests for the CDMA physical layer: Walsh codes, spreading, codebook."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cdma.codebook import Codebook
+from repro.cdma.spreading import bits_to_symbols, despread, spread, symbols_to_bits
+from repro.cdma.walsh import hadamard_matrix, next_power_of_two, walsh_codes
+from repro.errors import CodebookError
+
+
+class TestWalsh:
+    @pytest.mark.parametrize("order", [1, 2, 4, 8, 16, 64])
+    def test_orthogonality(self, order):
+        h = hadamard_matrix(order)
+        gram = h.astype(np.int64) @ h.astype(np.int64).T
+        assert (gram == order * np.eye(order, dtype=np.int64)).all()
+
+    def test_entries_pm1(self):
+        h = hadamard_matrix(8)
+        assert set(np.unique(h)) == {-1, 1}
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 12, -4])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(CodebookError):
+            hadamard_matrix(bad)
+
+    def test_walsh_codes_default_length(self):
+        codes = walsh_codes(5)
+        assert codes.shape == (5, 8)
+
+    def test_walsh_codes_explicit_length_too_small(self):
+        with pytest.raises(CodebookError):
+            walsh_codes(5, length=4)
+
+    @given(st.integers(1, 300))
+    def test_next_power_of_two(self, n):
+        p = next_power_of_two(n)
+        assert p >= n and (p & (p - 1)) == 0
+        assert p // 2 < n
+
+
+class TestSpreading:
+    def test_bits_symbols_roundtrip(self):
+        bits = np.array([0, 1, 1, 0])
+        assert (symbols_to_bits(bits_to_symbols(bits)) == bits).all()
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(CodebookError):
+            bits_to_symbols(np.array([0, 2]))
+
+    def test_spread_despread_roundtrip(self):
+        code = walsh_codes(4)[2]
+        bits = np.array([1, 0, 0, 1, 1])
+        corr = despread(spread(bits, code), code)
+        assert (symbols_to_bits(corr) == bits).all()
+        assert np.allclose(np.abs(corr), 1.0)
+
+    def test_orthogonal_interferer_invisible(self):
+        codes = walsh_codes(4)
+        bits_a = np.array([1, 0, 1])
+        bits_b = np.array([0, 0, 1])
+        mixed = spread(bits_a, codes[1]) + spread(bits_b, codes[2])
+        assert (symbols_to_bits(despread(mixed, codes[1])) == bits_a).all()
+        assert (symbols_to_bits(despread(mixed, codes[2])) == bits_b).all()
+
+    def test_same_code_interferer_garbles(self):
+        code = walsh_codes(4)[1]
+        mixed = spread(np.array([1, 0]), code) + spread(np.array([0, 1]), code)
+        corr = despread(mixed, code)
+        assert np.allclose(corr, 0.0)  # opposite symbols cancel exactly
+
+    def test_length_mismatch_rejected(self):
+        code = walsh_codes(4)[0]
+        with pytest.raises(CodebookError):
+            despread(np.zeros(5), code)
+
+    @given(st.integers(0, 1000))
+    def test_random_multiuser_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        n_users = int(rng.integers(1, 8))
+        codes = walsh_codes(8)
+        payloads = rng.integers(0, 2, (n_users, 6))
+        mixed = sum(spread(payloads[u], codes[u]) for u in range(n_users))
+        for u in range(n_users):
+            got = symbols_to_bits(despread(mixed, codes[u]))
+            assert (got == payloads[u]).all()
+
+
+class TestCodebook:
+    def test_capacity_and_chip_length(self):
+        cb = Codebook(5)
+        assert cb.capacity == 5
+        assert cb.chip_length == 8
+
+    def test_color_out_of_range(self):
+        cb = Codebook(4)
+        with pytest.raises(CodebookError):
+            cb.code_for(0)
+        with pytest.raises(CodebookError):
+            cb.code_for(5)
+
+    def test_for_max_color(self):
+        assert Codebook.for_max_color(9).capacity == 9
+        assert Codebook.for_max_color(0).capacity == 1
+
+    def test_distinct_colors_orthogonal(self):
+        cb = Codebook(8)
+        for a in range(1, 9):
+            for b in range(1, 9):
+                if a != b:
+                    assert cb.are_orthogonal(a, b)
+                else:
+                    assert not cb.are_orthogonal(a, b)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CodebookError):
+            Codebook(0)

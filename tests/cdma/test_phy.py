@@ -1,0 +1,110 @@
+"""Tests for packet-slot reception: valid TOCA assignment <=> no garbling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cdma.phy import simulate_slot
+from repro.coloring.assignment import CodeAssignment
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.strategies.minim import MinimStrategy
+from repro.topology.static import StaticDigraph
+
+
+def minim_network(seed: int, n: int = 20) -> AdHocNetwork:
+    rng = np.random.default_rng(seed)
+    net = AdHocNetwork(MinimStrategy())
+    for cfg in sample_configs(n, rng):
+        net.join(cfg)
+    return net
+
+
+class TestValidAssignmentDecodes:
+    @given(st.integers(0, 500))
+    def test_silent_receivers_decode_everything(self, seed):
+        net = minim_network(seed, n=15)
+        rng = np.random.default_rng(seed)
+        transmitters = [v for v in net.node_ids() if rng.random() < 0.4]
+        payloads = {
+            tx: rng.integers(0, 2, 6).tolist() for tx in transmitters
+        }
+        reports = simulate_slot(net.graph, net.assignment, payloads)
+        for r in reports:
+            if r.receiver not in payloads:  # silent receiver
+                assert r.success, (r.transmitter, r.receiver, r.reason)
+
+    def test_all_transmit_primary_collisions_only(self):
+        net = minim_network(1, n=12)
+        payloads = {v: [1, 0, 1] for v in net.node_ids()}
+        reports = simulate_slot(net.graph, net.assignment, payloads)
+        assert reports  # dense enough to have edges
+        assert all(r.reason == "primary_collision" for r in reports)
+
+
+class TestInvalidAssignmentGarbles:
+    def test_hidden_collision_detected(self):
+        # 1 -> 3 <- 2 with equal colors: receiver 3 cannot separate them.
+        g = StaticDigraph(edges=[(1, 3), (2, 3)])
+        a = CodeAssignment({1: 1, 2: 1, 3: 2})
+        reports = simulate_slot(g, a, {1: [1, 0], 2: [0, 1]})
+        at3 = [r for r in reports if r.receiver == 3]
+        assert len(at3) == 2
+        assert all(r.reason == "hidden_collision" and not r.success for r in at3)
+
+    def test_hidden_collision_even_with_identical_payloads(self):
+        # Equal payloads superpose to a decodable-looking wave, but the
+        # streams are still inseparable -> flagged as hidden collision.
+        g = StaticDigraph(edges=[(1, 3), (2, 3)])
+        a = CodeAssignment({1: 1, 2: 1, 3: 2})
+        reports = simulate_slot(g, a, {1: [1, 0], 2: [1, 0]})
+        at3 = [r for r in reports if r.receiver == 3]
+        assert all(not r.success for r in at3)
+
+    def test_distinct_codes_same_receiver_fine(self):
+        g = StaticDigraph(edges=[(1, 3), (2, 3)])
+        a = CodeAssignment({1: 1, 2: 2, 3: 3})
+        reports = simulate_slot(g, a, {1: [1, 0], 2: [0, 1]})
+        assert all(r.success for r in reports if r.receiver == 3)
+
+
+class TestApi:
+    def test_empty_transmitters(self):
+        g = StaticDigraph(nodes=[1])
+        assert simulate_slot(g, CodeAssignment({1: 1}), {}) == []
+
+    def test_unequal_payload_lengths_rejected(self):
+        g = StaticDigraph(edges=[(1, 2)])
+        a = CodeAssignment({1: 1, 2: 2})
+        with pytest.raises(ValueError):
+            simulate_slot(g, a, {1: [1], 2: [1, 0]})
+
+    def test_noise_requires_rng(self):
+        from repro.cdma.channel import received_signal
+        from repro.errors import CodebookError
+
+        with pytest.raises(CodebookError):
+            received_signal({1: np.zeros(4)}, {1}, noise_std=0.5)
+
+    def test_mild_noise_still_decodes(self):
+        g = StaticDigraph(edges=[(1, 2)])
+        a = CodeAssignment({1: 1, 2: 2})
+        from repro.cdma.codebook import Codebook
+
+        reports = simulate_slot(
+            g,
+            a,
+            {1: [1, 0, 1, 1]},
+            codebook=Codebook(8),  # spreading gain 8
+            noise_std=0.1,
+            rng=np.random.default_rng(0),
+        )
+        assert all(r.success for r in reports)
+
+    def test_reports_deterministic_order(self):
+        net = minim_network(2, n=10)
+        payloads = {v: [1, 1] for v in net.node_ids()[:4]}
+        a = simulate_slot(net.graph, net.assignment, payloads)
+        b = simulate_slot(net.graph, net.assignment, payloads)
+        assert a == b

@@ -1,0 +1,96 @@
+"""Tests for CodeAssignment."""
+
+import pytest
+
+from repro.coloring.assignment import CodeAssignment
+from repro.errors import UncoloredNodeError
+
+
+class TestMappingBehaviour:
+    def test_construct_from_dict(self):
+        a = CodeAssignment({1: 2, 2: 1})
+        assert a[1] == 2 and a[2] == 1
+        assert len(a) == 2
+
+    def test_missing_raises_uncolored(self):
+        a = CodeAssignment()
+        with pytest.raises(UncoloredNodeError):
+            a[5]
+
+    def test_get_default(self):
+        assert CodeAssignment().get(5) is None
+        assert CodeAssignment({5: 3}).get(5) == 3
+
+    def test_iteration_sorted(self):
+        a = CodeAssignment({3: 1, 1: 2, 2: 3})
+        assert list(a) == [1, 2, 3]
+        assert a.items() == [(1, 2), (2, 3), (3, 1)]
+        assert a.nodes() == [1, 2, 3]
+
+    def test_equality_with_dict(self):
+        assert CodeAssignment({1: 1}) == {1: 1}
+        assert CodeAssignment({1: 1}) == CodeAssignment({1: 1})
+        assert CodeAssignment({1: 1}) != CodeAssignment({1: 2})
+
+    def test_repr_sorted(self):
+        assert repr(CodeAssignment({2: 5, 1: 3})) == "CodeAssignment({1: 3, 2: 5})"
+
+
+class TestMutation:
+    def test_assign_validates(self):
+        a = CodeAssignment()
+        with pytest.raises(ValueError):
+            a.assign(1, 0)
+        with pytest.raises(ValueError):
+            a.assign(1, -1)
+
+    def test_unassign_returns_old(self):
+        a = CodeAssignment({1: 7})
+        assert a.unassign(1) == 7
+        assert 1 not in a
+
+    def test_unassign_missing_raises(self):
+        with pytest.raises(UncoloredNodeError):
+            CodeAssignment().unassign(1)
+
+    def test_apply(self):
+        a = CodeAssignment({1: 1})
+        a.apply({1: 2, 2: 3})
+        assert a == {1: 2, 2: 3}
+
+
+class TestQueries:
+    def test_max_color_empty(self):
+        assert CodeAssignment().max_color() == 0
+
+    def test_max_color(self):
+        assert CodeAssignment({1: 3, 2: 7, 3: 1}).max_color() == 7
+
+    def test_color_classes(self):
+        a = CodeAssignment({1: 1, 2: 1, 3: 2})
+        assert a.color_classes() == {1: {1, 2}, 2: {3}}
+
+    def test_used_colors(self):
+        assert CodeAssignment({1: 5, 2: 5, 3: 2}).used_colors() == {2, 5}
+
+    def test_colors_of(self):
+        a = CodeAssignment({1: 4, 2: 6})
+        assert a.colors_of([2, 1]) == [6, 4]
+
+    def test_copy_independent(self):
+        a = CodeAssignment({1: 1})
+        b = a.copy()
+        b.assign(1, 2)
+        assert a[1] == 1
+
+
+class TestDiff:
+    def test_counts_changes_additions_removals(self):
+        old = CodeAssignment({1: 1, 2: 2, 3: 3})
+        new = CodeAssignment({1: 1, 2: 5, 4: 1})
+        d = old.diff(new)
+        assert d == {2: (2, 5), 3: (3, None), 4: (None, 1)}
+
+    def test_empty_diff(self):
+        a = CodeAssignment({1: 1})
+        assert a.diff(a.copy()) == {}

@@ -1,0 +1,80 @@
+"""Tests for constraint queries."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import (
+    constraining_nodes,
+    forbidden_colors,
+    lowest_available_color,
+)
+from repro.topology.conflicts import conflict_neighbors
+from tests.conftest import make_colored_network
+
+
+class TestLowestAvailable:
+    def test_empty(self):
+        assert lowest_available_color([]) == 1
+
+    def test_gap(self):
+        assert lowest_available_color({1, 2, 4, 5}) == 3
+
+    def test_contiguous(self):
+        assert lowest_available_color({1, 2, 3}) == 4
+
+    @given(st.sets(st.integers(1, 50), max_size=30))
+    def test_result_not_forbidden_and_minimal(self, forbidden):
+        c = lowest_available_color(forbidden)
+        assert c not in forbidden
+        assert all(k in forbidden for k in range(1, c))
+
+
+class TestForbiddenColors:
+    def test_matches_conflict_neighbor_colors(self, small_network):
+        g, a = small_network.graph, small_network.assignment
+        for v in g.node_ids():
+            expected = {a[u] for u in conflict_neighbors(g, v)}
+            assert forbidden_colors(g, a, v) == expected
+
+    def test_exclude_removes_constraints(self, small_network):
+        g, a = small_network.graph, small_network.assignment
+        v = g.node_ids()[0]
+        nbrs = conflict_neighbors(g, v)
+        if not nbrs:
+            return
+        excluded = {next(iter(nbrs))}
+        full = forbidden_colors(g, a, v)
+        reduced = forbidden_colors(g, a, v, exclude=excluded)
+        assert reduced <= full
+        rest = {a[u] for u in nbrs - excluded}
+        assert reduced == rest
+
+    def test_unassigned_neighbors_ignored(self, small_network):
+        g = small_network.graph
+        a = small_network.assignment.copy()
+        v = g.node_ids()[0]
+        nbrs = conflict_neighbors(g, v)
+        if not nbrs:
+            return
+        dropped = next(iter(nbrs))
+        a.unassign(dropped)
+        assert forbidden_colors(g, a, v) == {
+            a[u] for u in nbrs if u != dropped
+        }
+
+    def test_own_color_never_forbidden_in_valid_assignment(self, small_network):
+        g, a = small_network.graph, small_network.assignment
+        for v in g.node_ids():
+            assert a[v] not in forbidden_colors(g, a, v)
+
+
+class TestConstrainingNodes:
+    def test_equals_conflict_neighbors_minus_exclude(self, small_network):
+        g = small_network.graph
+        v = g.node_ids()[0]
+        nbrs = conflict_neighbors(g, v)
+        assert constraining_nodes(g, v) == nbrs
+        if nbrs:
+            one = {next(iter(nbrs))}
+            assert constraining_nodes(g, v, exclude=one) == nbrs - one

@@ -1,0 +1,105 @@
+"""Tests for the coloring heuristics: first-fit, DSATUR, smallest-last, BBB."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coloring.bbb import bbb_coloring
+from repro.coloring.bounds import clique_lower_bound, receiver_clique_bound
+from repro.coloring.dsatur import dsatur_coloring
+from repro.coloring.greedy import first_fit_coloring
+from repro.coloring.smallest_last import smallest_last_coloring, smallest_last_order
+from repro.coloring.verify import is_valid
+from repro.topology.conflicts import conflict_matrix
+from tests.conftest import make_random_graph
+
+HEURISTICS = [first_fit_coloring, dsatur_coloring, smallest_last_coloring, bbb_coloring]
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS, ids=lambda h: h.__name__)
+class TestAllHeuristics:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_proper_colorings(self, heuristic, seed):
+        g = make_random_graph(seed=seed, n=30)
+        a = heuristic(g)
+        assert set(a.nodes()) == set(g.node_ids())
+        assert is_valid(g, a)
+
+    def test_empty_graph(self, heuristic):
+        g = make_random_graph(seed=0, n=0)
+        assert heuristic(g).max_color() == 0
+
+    def test_single_node(self, heuristic):
+        g = make_random_graph(seed=0, n=1)
+        assert heuristic(g).max_color() == 1
+
+    def test_at_least_clique_bound(self, heuristic):
+        g = make_random_graph(seed=9, n=25)
+        assert heuristic(g).max_color() >= clique_lower_bound(g)
+
+    def test_deterministic(self, heuristic):
+        g = make_random_graph(seed=4, n=20)
+        assert heuristic(g) == heuristic(g)
+
+
+class TestRelativeQuality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bbb_no_worse_than_first_fit(self, seed):
+        g = make_random_graph(seed=seed, n=40)
+        assert bbb_coloring(g).max_color() <= first_fit_coloring(g).max_color()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bbb_is_min_of_dsatur_and_smallest_last(self, seed):
+        g = make_random_graph(seed=seed, n=35)
+        best = min(
+            dsatur_coloring(g).max_color(), smallest_last_coloring(g).max_color()
+        )
+        assert bbb_coloring(g).max_color() == best
+
+
+class TestFirstFitOrder:
+    def test_custom_order_respected(self):
+        g = make_random_graph(seed=3, n=10)
+        order = sorted(g.node_ids(), reverse=True)
+        a = first_fit_coloring(g, order=order)
+        assert is_valid(g, a)
+        assert a[order[0]] == 1  # first in order always gets color 1
+
+    def test_partial_order_rejected(self):
+        g = make_random_graph(seed=3, n=5)
+        with pytest.raises(ValueError):
+            first_fit_coloring(g, order=g.node_ids()[:-1])
+
+
+class TestSmallestLastOrder:
+    def test_is_permutation(self):
+        g = make_random_graph(seed=5, n=20)
+        ids, adj = g.adjacency()
+        order = smallest_last_order(conflict_matrix(adj))
+        assert sorted(order) == list(range(len(ids)))
+
+    @given(st.integers(0, 50))
+    def test_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        adj = rng.random((n, n)) < 0.3
+        np.fill_diagonal(adj, False)
+        c = conflict_matrix(adj)
+        order = smallest_last_order(c)
+        assert sorted(order) == list(range(n))
+
+
+class TestBounds:
+    def test_receiver_bound_on_star(self, line_graph):
+        # Node 2 hears from 1 and 3 -> clique {2, 1, 3} of size 3.
+        assert receiver_clique_bound(line_graph) >= 3
+
+    def test_clique_bound_at_least_receiver_bound(self):
+        g = make_random_graph(seed=6, n=25)
+        assert clique_lower_bound(g) >= receiver_clique_bound(g)
+
+    def test_empty(self):
+        g = make_random_graph(seed=0, n=0)
+        assert clique_lower_bound(g) == 0
+        assert receiver_clique_bound(g) == 0

@@ -1,0 +1,79 @@
+"""Tests for the CA1/CA2 violation finder."""
+
+import pytest
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.verify import Violation, assert_valid, find_violations, is_valid
+from repro.errors import ColoringConflictError, UncoloredNodeError
+from repro.topology.builder import build_digraph
+from repro.topology.node import NodeConfig
+from tests.conftest import make_colored_network
+
+
+def cfg(i, x, r=12.0):
+    return NodeConfig(i, float(x), 0.0, tx_range=float(r))
+
+
+class TestCA1:
+    def test_edge_same_color_flagged(self, line_graph):
+        a = CodeAssignment({1: 1, 2: 1, 3: 2, 4: 3, 5: 4})
+        vs = find_violations(line_graph, a)
+        assert any(v.kind == "CA1" and set(v.nodes) == {1, 2} for v in vs)
+
+    def test_edge_distinct_colors_ok(self, line_graph):
+        a = CodeAssignment({1: 1, 2: 2, 3: 1, 4: 2, 5: 1})
+        # Line with range 12: only adjacent nodes share edges, but
+        # CA2 applies: 1 and 3 both reach 2 -> conflict.
+        vs = find_violations(line_graph, a)
+        assert all(v.kind == "CA2" for v in vs)
+
+
+class TestCA2:
+    def test_hidden_collision_flagged(self, line_graph):
+        a = CodeAssignment({1: 1, 2: 2, 3: 1, 4: 3, 5: 4})
+        vs = find_violations(line_graph, a)
+        assert any(
+            v.kind == "CA2" and v.nodes == (1, 3) and v.receiver == 2 for v in vs
+        )
+
+    def test_valid_line_coloring(self, line_graph):
+        a = CodeAssignment({1: 1, 2: 2, 3: 3, 4: 1, 5: 2})
+        assert is_valid(line_graph, a)
+
+    def test_duplicate_pairs_reported_once_per_receiver(self):
+        # 1 and 2 both reach 3 and both reach 4 -> two violations (one
+        # per receiver), each pair reported once.
+        g = build_digraph(
+            [cfg(1, 0, r=30), cfg(2, 20, r=30), cfg(3, 10, r=5), cfg(4, 15, r=5)]
+        )
+        a = CodeAssignment({1: 1, 2: 1, 3: 2, 4: 3})
+        vs = [v for v in find_violations(g, a) if v.kind == "CA2"]
+        receivers = {v.receiver for v in vs}
+        assert receivers == {3, 4}
+        assert all(v.nodes == (1, 2) for v in vs)
+
+
+class TestApi:
+    def test_uncolored_node_raises(self, line_graph):
+        with pytest.raises(UncoloredNodeError):
+            find_violations(line_graph, CodeAssignment({1: 1}))
+
+    def test_empty_graph_valid(self):
+        g = build_digraph([])
+        assert is_valid(g, CodeAssignment())
+
+    def test_assert_valid_raises_with_summary(self, line_graph):
+        a = CodeAssignment({1: 1, 2: 1, 3: 1, 4: 1, 5: 1})
+        with pytest.raises(ColoringConflictError, match="CA1"):
+            assert_valid(line_graph, a)
+
+    def test_assert_valid_passes(self, small_network):
+        assert_valid(small_network.graph, small_network.assignment)
+
+    def test_violation_str(self):
+        assert "CA1" in str(Violation("CA1", (1, 2)))
+        assert "reach 3" in str(Violation("CA2", (1, 2), receiver=3))
+
+    def test_deterministic_order(self, line_graph):
+        a = CodeAssignment({1: 1, 2: 1, 3: 1, 4: 1, 5: 1})
+        assert find_violations(line_graph, a) == find_violations(line_graph, a)

@@ -1,0 +1,44 @@
+"""Tests for the distributed power-increase protocol."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.power_protocol import run_distributed_power_increase
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.strategies.minim import MinimStrategy, plan_power_increase
+
+
+def boosted_network(seed: int, factor: float, n: int = 16):
+    """A Minim network with one node's range already enlarged."""
+    rng = np.random.default_rng(seed)
+    net = AdHocNetwork(MinimStrategy(), validate=True)
+    for cfg in sample_configs(n, rng):
+        net.join(cfg)
+    v = int(rng.choice(net.node_ids()))
+    net.graph.set_range(v, net.graph.range_of(v) * factor)
+    return net, v
+
+
+class TestEquivalence:
+    @given(st.integers(0, 2_000), st.floats(1.2, 4.0))
+    @settings(max_examples=20)
+    def test_matches_oracle(self, seed, factor):
+        net, v = boosted_network(seed, factor)
+        oracle = plan_power_increase(net.graph, net.assignment, v)
+        stats = run_distributed_power_increase(net.graph, net.assignment, v)
+        assert stats.changes == oracle.changes
+
+    def test_rounds(self):
+        net, v = boosted_network(3, 3.0)
+        stats = run_distributed_power_increase(net.graph, net.assignment, v)
+        assert stats.rounds in (1, 2)
+        # At least a request and a reply per out-neighbor.
+        assert stats.messages >= 2 * net.graph.out_degree(v)
+
+    def test_assignment_untouched(self):
+        net, v = boosted_network(4, 2.5)
+        before = net.assignment.copy()
+        run_distributed_power_increase(net.graph, net.assignment, v)
+        assert net.assignment == before

@@ -1,0 +1,73 @@
+"""Tests for the concurrent join batch executor (Theorem 4.1.10)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.verify import is_valid
+from repro.errors import InvalidEventError
+from repro.events.base import JoinEvent
+from repro.events.parallel import execute_join_batch
+from repro.events.sequence import plan_parallel_join_batches
+from repro.sim.network import AdHocNetwork
+from repro.strategies.minim import MinimStrategy
+from repro.topology.node import NodeConfig
+
+
+def chain_network(length: int = 20) -> AdHocNetwork:
+    net = AdHocNetwork(MinimStrategy(), validate=True)
+    for i in range(length):
+        net.join(NodeConfig(i, 10.0 * i, 0.0, tx_range=12.0))
+    return net
+
+
+FAR_JOINS = [
+    JoinEvent(NodeConfig(100, 5.0, 5.0, tx_range=12.0)),
+    JoinEvent(NodeConfig(101, 185.0, 5.0, tx_range=12.0)),
+]
+CLOSE_JOINS = [
+    JoinEvent(NodeConfig(100, 5.0, 5.0, tx_range=12.0)),
+    JoinEvent(NodeConfig(101, 15.0, 5.0, tx_range=12.0)),
+]
+
+
+class TestBatchExecution:
+    def test_batch_matches_sequential(self):
+        batch_net = chain_network()
+        seq_net = chain_network()
+        outcome = execute_join_batch(batch_net.graph, batch_net.assignment, FAR_JOINS)
+        for ev in FAR_JOINS:
+            seq_net.apply(ev)
+        assert batch_net.assignment == seq_net.assignment
+        assert is_valid(batch_net.graph, batch_net.assignment)
+        assert outcome.recode_count == sum(r.recode_count for r in outcome.results)
+
+    def test_overlapping_batch_rejected(self):
+        net = chain_network()
+        with pytest.raises(InvalidEventError, match="not independent"):
+            execute_join_batch(net.graph, net.assignment, CLOSE_JOINS)
+
+    def test_planner_output_always_executes(self):
+        rng = np.random.default_rng(0)
+        net = chain_network()
+        joins = [
+            JoinEvent(
+                NodeConfig(
+                    200 + i,
+                    float(rng.uniform(0, 190)),
+                    float(rng.uniform(0, 30)),
+                    tx_range=12.0,
+                )
+            )
+            for i in range(6)
+        ]
+        batches = plan_parallel_join_batches(net.graph, joins)
+        for batch in batches:
+            execute_join_batch(net.graph, net.assignment, batch)
+        assert is_valid(net.graph, net.assignment)
+        assert all(200 + i in net.graph for i in range(6))
+
+    def test_empty_batch(self):
+        net = chain_network(3)
+        outcome = execute_join_batch(net.graph, net.assignment, [])
+        assert outcome.recode_count == 0
+        assert outcome.results == []

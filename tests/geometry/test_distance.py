@@ -1,0 +1,72 @@
+"""Tests for repro.geometry.distance."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.distance import distances_from, pairwise_distances, within_disc
+
+finite_coords = st.floats(-1000, 1000)
+
+
+def positions(n_min=1, n_max=12):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(n_min, n_max), st.just(2)),
+        elements=finite_coords,
+    )
+
+
+class TestPairwiseDistances:
+    def test_small_example(self):
+        pos = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(pos)
+        assert np.allclose(d, [[0.0, 5.0], [5.0, 0.0]])
+
+    @given(positions())
+    def test_symmetric_zero_diagonal(self, pos):
+        d = pairwise_distances(pos)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    @given(positions(n_min=3, n_max=8))
+    def test_triangle_inequality(self, pos):
+        d = pairwise_distances(pos)
+        n = len(pos)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-7
+
+    @given(positions())
+    def test_matches_brute_force(self, pos):
+        d = pairwise_distances(pos)
+        for i in range(len(pos)):
+            for j in range(len(pos)):
+                expected = np.hypot(*(pos[i] - pos[j]))
+                assert np.isclose(d[i, j], expected)
+
+
+class TestDistancesFrom:
+    @given(positions(), st.tuples(finite_coords, finite_coords))
+    def test_matches_pairwise(self, pos, point):
+        d = distances_from(pos, np.array(point))
+        for i in range(len(pos)):
+            assert np.isclose(d[i], np.hypot(pos[i, 0] - point[0], pos[i, 1] - point[1]))
+
+
+class TestWithinDisc:
+    def test_boundary_is_inclusive(self):
+        # The paper's edge rule is d_ij <= r_i.
+        pos = np.array([[3.0, 4.0]])
+        assert within_disc(pos, np.zeros(2), 5.0)[0]
+        assert not within_disc(pos, np.zeros(2), 4.999999)[0]
+
+    @given(positions(), st.floats(0, 100))
+    def test_matches_distance_comparison(self, pos, radius):
+        mask = within_disc(pos, np.zeros(2), radius)
+        d = distances_from(pos, np.zeros(2))
+        # Compare with a small tolerance band to dodge sqrt rounding at
+        # the exact boundary.
+        assert ((d <= radius) == mask)[np.abs(d - radius) > 1e-9].all()

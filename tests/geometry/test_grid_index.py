@@ -1,0 +1,109 @@
+"""Tests for the uniform-grid spatial index."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.geometry.grid_index import UniformGridIndex
+
+
+def brute_force_disc(points: dict, x: float, y: float, r: float) -> set:
+    return {
+        i for i, (px, py) in points.items() if (px - x) ** 2 + (py - y) ** 2 <= r * r
+    }
+
+
+class TestBasics:
+    def test_insert_query(self):
+        idx = UniformGridIndex(10.0)
+        idx.insert(1, 5.0, 5.0)
+        idx.insert(2, 50.0, 50.0)
+        assert set(idx.query_disc(0.0, 0.0, 10.0)) == {1}
+        assert len(idx) == 2
+        assert 1 in idx and 3 not in idx
+
+    def test_insert_existing_moves(self):
+        idx = UniformGridIndex(10.0)
+        idx.insert(1, 0.0, 0.0)
+        idx.insert(1, 90.0, 90.0)
+        assert len(idx) == 1
+        assert idx.query_disc(90.0, 90.0, 1.0) == [1]
+
+    def test_remove(self):
+        idx = UniformGridIndex(10.0)
+        idx.insert(1, 0.0, 0.0)
+        idx.remove(1)
+        assert len(idx) == 0
+        assert idx.query_disc(0.0, 0.0, 100.0) == []
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownNodeError):
+            UniformGridIndex(1.0).remove(9)
+
+    def test_move_unknown_raises(self):
+        with pytest.raises(UnknownNodeError):
+            UniformGridIndex(1.0).move(9, 0.0, 0.0)
+
+    def test_move_across_cells(self):
+        idx = UniformGridIndex(10.0)
+        idx.insert(1, 1.0, 1.0)
+        idx.move(1, 95.0, 95.0)
+        assert idx.query_disc(1.0, 1.0, 5.0) == []
+        assert idx.query_disc(95.0, 95.0, 5.0) == [1]
+        assert idx.position_of(1) == (95.0, 95.0)
+
+    def test_negative_coordinates_supported(self):
+        idx = UniformGridIndex(10.0)
+        idx.insert(1, -25.0, -3.0)
+        assert idx.query_disc(-25.0, -3.0, 0.5) == [1]
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            UniformGridIndex(0.0)
+
+    def test_negative_radius_rejected(self):
+        idx = UniformGridIndex(1.0)
+        with pytest.raises(ConfigurationError):
+            idx.query_disc(0.0, 0.0, -1.0)
+
+    def test_iteration(self):
+        idx = UniformGridIndex(5.0)
+        for i in range(4):
+            idx.insert(i, float(i), 0.0)
+        assert sorted(idx) == [0, 1, 2, 3]
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+            min_size=0,
+            max_size=40,
+        ),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(0, 150),
+        st.floats(0.5, 40),
+    )
+    def test_query_matches_brute_force(self, pts, qx, qy, radius, cell):
+        idx = UniformGridIndex(cell)
+        points = {}
+        for i, (x, y) in enumerate(pts):
+            idx.insert(i, x, y)
+            points[i] = (x, y)
+        got = set(idx.query_disc(qx, qy, radius))
+        want = brute_force_disc(points, qx, qy, radius)
+        assert got == want
+
+    @given(st.integers(0, 30), st.floats(1, 20))
+    def test_count_equals_query_length(self, n, cell):
+        rng = np.random.default_rng(n)
+        idx = UniformGridIndex(cell)
+        for i in range(n):
+            x, y = rng.uniform(0, 100, 2)
+            idx.insert(i, float(x), float(y))
+        assert idx.query_disc_count(50.0, 50.0, 30.0) == len(
+            idx.query_disc(50.0, 50.0, 30.0)
+        )

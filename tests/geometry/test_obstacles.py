@@ -1,0 +1,77 @@
+"""Tests for obstacles and line-of-sight."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.obstacles import RectObstacle, los_mask, segment_intersects_rect
+
+
+@pytest.fixture
+def wall():
+    return RectObstacle(4.0, -10.0, 6.0, 10.0)
+
+
+class TestRectObstacle:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RectObstacle(1.0, 0.0, 1.0, 5.0)
+
+    def test_contains(self, wall):
+        assert wall.contains(5.0, 0.0)
+        assert not wall.contains(3.9, 0.0)
+
+
+class TestSegmentIntersection:
+    def test_crossing_segment(self, wall):
+        assert segment_intersects_rect(np.array([0, 0.0]), np.array([10, 0.0]), wall)
+
+    def test_parallel_miss(self, wall):
+        assert not segment_intersects_rect(
+            np.array([0, 20.0]), np.array([10, 20.0]), wall
+        )
+
+    def test_segment_stops_short(self, wall):
+        assert not segment_intersects_rect(np.array([0, 0.0]), np.array([3, 0.0]), wall)
+
+    def test_endpoint_inside(self, wall):
+        assert segment_intersects_rect(np.array([5, 0.0]), np.array([20, 0.0]), wall)
+
+    def test_fully_inside(self, wall):
+        assert segment_intersects_rect(
+            np.array([4.5, 1.0]), np.array([5.5, -1.0]), wall
+        )
+
+    def test_diagonal_grazes_corner(self, wall):
+        # Passes exactly through the corner (4, 10): closed rectangles
+        # treat that as an intersection.
+        assert segment_intersects_rect(np.array([0, 6.0]), np.array([8, 14.0]), wall)
+
+    def test_vertical_segment(self, wall):
+        assert segment_intersects_rect(np.array([5, -20.0]), np.array([5, 20.0]), wall)
+        assert not segment_intersects_rect(np.array([2, -20.0]), np.array([2, 20.0]), wall)
+
+
+class TestLosMask:
+    def test_no_obstacles_all_visible(self):
+        targets = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert los_mask(np.zeros(2), targets, ()).all()
+
+    def test_wall_blocks_some(self, wall):
+        targets = np.array([[10.0, 0.0], [0.0, 5.0], [-3.0, 0.0]])
+        mask = los_mask(np.zeros(2), targets, (wall,))
+        assert mask.tolist() == [False, True, True]
+
+    def test_symmetry(self, wall):
+        a = np.array([0.0, 0.0])
+        b = np.array([10.0, 3.0])
+        ab = los_mask(a, b.reshape(1, 2), (wall,))[0]
+        ba = los_mask(b, a.reshape(1, 2), (wall,))[0]
+        assert ab == ba
+
+    def test_multiple_obstacles_any_blocks(self):
+        r1 = RectObstacle(2, -1, 3, 1)
+        r2 = RectObstacle(20, -1, 21, 1)
+        targets = np.array([[10.0, 0.0], [30.0, 0.0]])
+        mask = los_mask(np.zeros(2), targets, (r1, r2))
+        assert mask.tolist() == [False, False]

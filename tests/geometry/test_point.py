@@ -1,0 +1,107 @@
+"""Tests for repro.geometry.point."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import (
+    as_position_array,
+    displace,
+    random_directions,
+    random_positions,
+)
+
+
+class TestAsPositionArray:
+    def test_from_list_of_tuples(self):
+        arr = as_position_array([(1.0, 2.0), (3.0, 4.0)])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_from_ndarray_passthrough_values(self):
+        src = np.array([[0.0, 1.0]])
+        assert (as_position_array(src) == src).all()
+
+    def test_empty(self):
+        assert as_position_array([]).shape == (0, 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            as_position_array([(1.0, 2.0, 3.0)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            as_position_array([(np.nan, 0.0)])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            as_position_array([(np.inf, 0.0)])
+
+
+class TestRandomPositions:
+    def test_within_area(self):
+        pos = random_positions(500, np.random.default_rng(0), width=50, height=20)
+        assert pos.shape == (500, 2)
+        assert (pos[:, 0] >= 0).all() and (pos[:, 0] <= 50).all()
+        assert (pos[:, 1] >= 0).all() and (pos[:, 1] <= 20).all()
+
+    def test_deterministic_per_seed(self):
+        a = random_positions(10, np.random.default_rng(7))
+        b = random_positions(10, np.random.default_rng(7))
+        assert (a == b).all()
+
+    def test_zero_nodes(self):
+        assert random_positions(0, np.random.default_rng(0)).shape == (0, 2)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            random_positions(-1, np.random.default_rng(0))
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ConfigurationError):
+            random_positions(3, np.random.default_rng(0), width=0)
+
+
+class TestRandomDirections:
+    def test_unit_norm(self):
+        d = random_directions(200, np.random.default_rng(1))
+        norms = np.sqrt((d**2).sum(axis=1))
+        assert np.allclose(norms, 1.0)
+
+    def test_covers_all_quadrants(self):
+        d = random_directions(400, np.random.default_rng(2))
+        assert (d[:, 0] > 0).any() and (d[:, 0] < 0).any()
+        assert (d[:, 1] > 0).any() and (d[:, 1] < 0).any()
+
+
+class TestDisplace:
+    def test_scalar_magnitude(self):
+        pos = np.array([[0.0, 0.0], [1.0, 1.0]])
+        dirs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = displace(pos, dirs, 2.0)
+        assert np.allclose(out, [[2.0, 0.0], [1.0, 3.0]])
+
+    def test_vector_magnitudes(self):
+        pos = np.zeros((2, 2))
+        dirs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = displace(pos, dirs, np.array([1.0, 5.0]))
+        assert np.allclose(out, [[1.0, 0.0], [0.0, 5.0]])
+
+    def test_does_not_mutate_input(self):
+        pos = np.zeros((1, 2))
+        displace(pos, np.array([[1.0, 0.0]]), 1.0)
+        assert (pos == 0).all()
+
+    def test_clipping(self):
+        pos = np.array([[99.0, 1.0]])
+        out = displace(pos, np.array([[1.0, -1.0]]), 10.0, clip_to=(100.0, 100.0))
+        assert np.allclose(out, [[100.0, 0.0]])
+
+    @given(st.floats(0, 10), st.floats(0, 2 * np.pi))
+    def test_displacement_distance_matches_magnitude(self, mag, theta):
+        pos = np.array([[50.0, 50.0]])
+        d = np.array([[np.cos(theta), np.sin(theta)]])
+        out = displace(pos, d, mag)
+        assert np.isclose(np.linalg.norm(out - pos), mag, atol=1e-9)

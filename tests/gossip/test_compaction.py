@@ -1,0 +1,98 @@
+"""Tests for gossip compaction (paper section 6 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import forbidden_colors, lowest_available_color
+from repro.coloring.verify import is_valid
+from repro.gossip import gossip_compaction
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.sim.workloads import power_raise_workload
+from repro.strategies.minim import MinimStrategy
+from repro.topology.static import StaticDigraph
+
+
+def loaded_network(seed: int, n: int = 30) -> AdHocNetwork:
+    """Joins followed by power raises — leaves compactable slack."""
+    rng = np.random.default_rng(seed)
+    configs = sample_configs(n, rng)
+    net = AdHocNetwork(MinimStrategy())
+    for cfg in configs:
+        net.join(cfg)
+    for ev in power_raise_workload(configs, 2.5, rng):
+        net.apply(ev)
+    return net
+
+
+class TestInvariants:
+    @given(st.integers(0, 300))
+    def test_validity_preserved(self, seed):
+        net = loaded_network(seed, n=15)
+        res = gossip_compaction(net.graph, net.assignment)
+        assert is_valid(net.graph, res.assignment)
+
+    @given(st.integers(0, 300))
+    def test_max_color_non_increasing_series(self, seed):
+        net = loaded_network(seed, n=15)
+        res = gossip_compaction(net.graph, net.assignment)
+        series = res.max_color_series
+        assert series == sorted(series, reverse=True)
+        assert res.assignment.max_color() <= net.max_color()
+
+    @given(st.integers(0, 200))
+    def test_quiescent_fixpoint(self, seed):
+        # After convergence, no node can unilaterally descend.
+        net = loaded_network(seed, n=12)
+        res = gossip_compaction(net.graph, net.assignment)
+        a = res.assignment
+        for v in net.node_ids():
+            lowest = lowest_available_color(forbidden_colors(net.graph, a, v))
+            assert lowest >= a[v] or lowest == a[v]
+
+    def test_input_not_mutated(self):
+        net = loaded_network(7)
+        before = net.assignment.copy()
+        gossip_compaction(net.graph, net.assignment)
+        assert net.assignment == before
+
+
+class TestBehaviour:
+    def test_compacts_an_artificially_inflated_coloring(self):
+        g = StaticDigraph(edges=[(1, 2), (2, 1)])
+        a = CodeAssignment({1: 5, 2: 9})
+        res = gossip_compaction(g, a)
+        assert res.assignment.max_color() == 2
+        assert res.recolors[1] == (5, 1)
+        assert res.recolors[2] == (9, 2)
+
+    def test_already_compact_noop(self):
+        g = StaticDigraph(edges=[(1, 2), (2, 1)])
+        a = CodeAssignment({1: 1, 2: 2})
+        res = gossip_compaction(g, a)
+        assert res.recolors == {}
+        assert res.rounds == 1
+
+    def test_random_order_still_converges(self):
+        net = loaded_network(3)
+        res = gossip_compaction(net.graph, net.assignment, rng=np.random.default_rng(0))
+        assert is_valid(net.graph, res.assignment)
+        assert res.assignment.max_color() <= net.max_color()
+
+    def test_max_rounds_cap(self):
+        net = loaded_network(5)
+        res = gossip_compaction(net.graph, net.assignment, max_rounds=1)
+        assert res.rounds == 1
+
+    def test_invalid_max_rounds(self):
+        net = loaded_network(5)
+        with pytest.raises(ValueError):
+            gossip_compaction(net.graph, net.assignment, max_rounds=0)
+
+    def test_messages_accounted(self):
+        net = loaded_network(6)
+        res = gossip_compaction(net.graph, net.assignment)
+        assert res.messages > 0

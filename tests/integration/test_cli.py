@@ -1,0 +1,70 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_fig10_defaults(self):
+        args = build_parser().parse_args(["fig10"])
+        assert args.command == "fig10"
+        assert args.n_values == [40, 60, 80, 100, 120]
+
+    def test_common_flags_after_subcommand(self):
+        args = build_parser().parse_args(["fig11", "--runs", "3", "--seed", "9"])
+        assert args.runs == 3 and args.seed == 9
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_fig11_prints_tables_and_checks(self, capsys):
+        rc = main(["fig11", "--runs", "1", "--n", "15", "--raisefactors", "1", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "delta_max_color" in out
+        assert "delta_recodings" in out
+        assert "PASS" in out or "FAIL" in out
+
+    def test_fig12_runs(self, capsys):
+        rc = main(
+            [
+                "fig12",
+                "--runs",
+                "1",
+                "--n",
+                "10",
+                "--rounds",
+                "2",
+                "--maxdisps",
+                "0",
+                "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig12-move-disp" in out
+        assert "fig12-move-rounds" in out
+
+    def test_fig10_writes_markdown(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fig10",
+                "--runs",
+                "1",
+                "--n-values",
+                "8",
+                "12",
+                "--skip-range-sweep",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        written = list(tmp_path.glob("*.md"))
+        assert len(written) == 1
+        text = written[0].read_text()
+        assert "max_color" in text and "| N |" in text

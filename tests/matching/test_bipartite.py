@@ -1,0 +1,89 @@
+"""Tests for the bipartite graph model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.matching.bipartite import MatchingResult, WeightedBipartiteGraph
+
+
+@pytest.fixture
+def graph():
+    g = WeightedBipartiteGraph(left=["a", "b"], right=[1, 2, 3])
+    g.add_edge("a", 1, 3.0)
+    g.add_edge("b", 1, 1.0)
+    g.add_edge("b", 2, 1.0)
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_left_rejected(self):
+        with pytest.raises(MatchingError):
+            WeightedBipartiteGraph(left=["a", "a"], right=[1])
+
+    def test_duplicate_right_rejected(self):
+        with pytest.raises(MatchingError):
+            WeightedBipartiteGraph(left=["a"], right=[1, 1])
+
+    def test_add_vertices(self):
+        g = WeightedBipartiteGraph()
+        g.add_left("x")
+        g.add_right(9)
+        g.add_edge("x", 9, 2.0)
+        assert g.has_edge("x", 9)
+        with pytest.raises(MatchingError):
+            g.add_left("x")
+        with pytest.raises(MatchingError):
+            g.add_right(9)
+
+
+class TestEdges:
+    def test_weight_lookup(self, graph):
+        assert graph.weight("a", 1) == 3.0
+        assert graph.weight("a", 2) is None
+
+    def test_nonpositive_weight_rejected(self, graph):
+        with pytest.raises(MatchingError):
+            graph.add_edge("a", 2, 0.0)
+        with pytest.raises(MatchingError):
+            graph.add_edge("a", 2, -1.0)
+
+    def test_unknown_endpoints_rejected(self, graph):
+        with pytest.raises(MatchingError):
+            graph.add_edge("zz", 1, 1.0)
+        with pytest.raises(MatchingError):
+            graph.add_edge("a", 99, 1.0)
+
+    def test_weight_matrix(self, graph):
+        m = graph.weight_matrix()
+        assert m.shape == (2, 3)
+        assert m[0, 0] == 3.0 and m[1, 0] == 1.0 and m[1, 1] == 1.0
+        assert m[0, 1] == 0.0  # forbidden marked 0
+
+    def test_edge_count(self, graph):
+        assert graph.edge_count() == 3
+        assert len(list(graph.edges())) == 3
+
+
+class TestMatchingResult:
+    def test_validate_ok(self, graph):
+        r = MatchingResult(pairs={"a": 1, "b": 2}, total_weight=4.0)
+        r.validate_against(graph)
+
+    def test_validate_rejects_non_edge(self, graph):
+        r = MatchingResult(pairs={"a": 2}, total_weight=1.0)
+        with pytest.raises(MatchingError, match="not an edge"):
+            r.validate_against(graph)
+
+    def test_validate_rejects_shared_right(self, graph):
+        r = MatchingResult(pairs={"a": 1, "b": 1}, total_weight=4.0)
+        with pytest.raises(MatchingError, match="twice"):
+            r.validate_against(graph)
+
+    def test_validate_rejects_wrong_weight(self, graph):
+        r = MatchingResult(pairs={"a": 1}, total_weight=99.0)
+        with pytest.raises(MatchingError, match="inconsistent"):
+            r.validate_against(graph)
+
+    def test_cardinality(self):
+        assert MatchingResult(pairs={"a": 1, "b": 2}, total_weight=0.0).cardinality == 2

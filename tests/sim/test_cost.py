@@ -1,0 +1,68 @@
+"""Tests for the disruption cost model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cost import DisruptionModel
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.sim.workloads import movement_rounds
+from repro.strategies.base import RecodeResult
+from repro.strategies.cp import CPStrategy
+from repro.strategies.minim import MinimStrategy
+
+
+class TestAnalyze:
+    def test_empty(self):
+        report = DisruptionModel().analyze([])
+        assert report.total_stall == 0.0
+        assert report.worst_node is None
+        assert report.disrupted_nodes == 0
+
+    def test_counts_and_penalties(self):
+        model = DisruptionModel(recode_penalty=2.0, sync_penalty=0.5)
+        results = [
+            RecodeResult("join", 1, {1: (None, 1)}),
+            RecodeResult("move", 2, {2: (1, 3), 5: (2, 4)}),
+            RecodeResult("leave", 3, {}),  # no sync barrier when no recode
+        ]
+        report = model.analyze(results)
+        assert report.per_node == {1: 1, 2: 1, 5: 1}
+        assert report.total_stall == pytest.approx(2.0 * 3 + 0.5 * 2)
+        assert report.events == 3
+
+    def test_worst_node(self):
+        model = DisruptionModel()
+        results = [
+            RecodeResult("move", 2, {7: (1, 2)}),
+            RecodeResult("move", 2, {7: (2, 3), 8: (1, 4)}),
+        ]
+        assert model.analyze(results).worst_node == (7, 2)
+
+
+class TestStrategyComparison:
+    def test_minim_disrupts_less_than_cp_under_mobility(self):
+        rng = np.random.default_rng(5)
+        configs = sample_configs(25, rng)
+        trace = movement_rounds(configs, 4, 35.0, np.random.default_rng(6))
+        stalls = {}
+        for name, strategy in [("Minim", MinimStrategy()), ("CP", CPStrategy())]:
+            net = AdHocNetwork(strategy)
+            results = [net.join(cfg) for cfg in configs]
+            results.clear()  # compare mobility-phase disruption only
+            for rd in trace:
+                for ev in rd:
+                    results.append(net.apply(ev))
+            report = DisruptionModel().analyze(results)
+            stalls[name] = report.total_stall
+        assert stalls["Minim"] < stalls["CP"]
+
+    def test_network_level_matches_per_result_totals(self):
+        rng = np.random.default_rng(7)
+        configs = sample_configs(12, rng)
+        net = AdHocNetwork(MinimStrategy())
+        results = [net.join(cfg) for cfg in configs]
+        model = DisruptionModel()
+        assert model.analyze_network(net).total_stall == pytest.approx(
+            model.analyze(results).total_stall
+        )

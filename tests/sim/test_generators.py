@@ -1,0 +1,144 @@
+"""Tests for random network generation, workloads and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.random_networks import sample_configs
+from repro.sim.rng import rng_from, spawn_seeds
+from repro.sim.workloads import (
+    join_workload,
+    movement_rounds,
+    power_raise_workload,
+)
+
+
+class TestSampleConfigs:
+    def test_paper_parameters(self):
+        rng = np.random.default_rng(0)
+        cfgs = sample_configs(100, rng)
+        assert len(cfgs) == 100
+        assert all(0 <= c.x <= 100 and 0 <= c.y <= 100 for c in cfgs)
+        assert all(20.5 <= c.tx_range <= 30.5 for c in cfgs)
+        assert [c.node_id for c in cfgs] == list(range(1, 101))
+
+    def test_custom_id_start(self):
+        cfgs = sample_configs(3, np.random.default_rng(0), id_start=10)
+        assert [c.node_id for c in cfgs] == [10, 11, 12]
+
+    def test_deterministic(self):
+        a = sample_configs(5, np.random.default_rng(3))
+        b = sample_configs(5, np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ConfigurationError):
+            sample_configs(1, np.random.default_rng(0), min_range=0.0)
+        with pytest.raises(ConfigurationError):
+            sample_configs(1, np.random.default_rng(0), min_range=5.0, max_range=4.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            sample_configs(-1, np.random.default_rng(0))
+
+
+class TestJoinWorkload:
+    def test_order_preserved(self):
+        cfgs = sample_configs(5, np.random.default_rng(0))
+        events = join_workload(cfgs)
+        assert [e.config for e in events] == cfgs
+
+
+class TestPowerRaiseWorkload:
+    def test_half_of_nodes_by_default(self):
+        cfgs = sample_configs(10, np.random.default_rng(0))
+        events = power_raise_workload(cfgs, 2.0, np.random.default_rng(1))
+        assert len(events) == 5
+        by_id = {c.node_id: c for c in cfgs}
+        for ev in events:
+            assert ev.new_range == pytest.approx(by_id[ev.node_id].tx_range * 2.0)
+
+    def test_no_duplicate_nodes(self):
+        cfgs = sample_configs(20, np.random.default_rng(0))
+        events = power_raise_workload(cfgs, 3.0, np.random.default_rng(1))
+        ids = [e.node_id for e in events]
+        assert len(ids) == len(set(ids))
+
+    def test_fraction(self):
+        cfgs = sample_configs(10, np.random.default_rng(0))
+        assert len(power_raise_workload(cfgs, 2.0, np.random.default_rng(0), fraction=0.3)) == 3
+
+    def test_invalid_raisefactor(self):
+        cfgs = sample_configs(4, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            power_raise_workload(cfgs, 0.5, np.random.default_rng(0))
+
+    def test_invalid_fraction(self):
+        cfgs = sample_configs(4, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            power_raise_workload(cfgs, 2.0, np.random.default_rng(0), fraction=1.5)
+
+
+class TestMovementRounds:
+    def test_rounds_structure(self):
+        cfgs = sample_configs(6, np.random.default_rng(0))
+        rounds = movement_rounds(cfgs, 3, 40.0, np.random.default_rng(1))
+        assert len(rounds) == 3
+        for rd in rounds:
+            assert [e.node_id for e in rd] == [c.node_id for c in cfgs]
+
+    def test_positions_stay_in_area(self):
+        cfgs = sample_configs(10, np.random.default_rng(0))
+        for rd in movement_rounds(cfgs, 5, 80.0, np.random.default_rng(1)):
+            for ev in rd:
+                assert 0.0 <= ev.x <= 100.0 and 0.0 <= ev.y <= 100.0
+
+    def test_displacement_bounded(self):
+        cfgs = sample_configs(8, np.random.default_rng(0))
+        pos = {c.node_id: (c.x, c.y) for c in cfgs}
+        for rd in movement_rounds(cfgs, 4, 15.0, np.random.default_rng(1)):
+            for ev in rd:
+                x0, y0 = pos[ev.node_id]
+                # clamping can only shrink the step
+                assert np.hypot(ev.x - x0, ev.y - y0) <= 15.0 + 1e-9
+                pos[ev.node_id] = (ev.x, ev.y)
+
+    def test_zero_disp_keeps_positions(self):
+        cfgs = sample_configs(4, np.random.default_rng(0))
+        rounds = movement_rounds(cfgs, 2, 0.0, np.random.default_rng(1))
+        for rd in rounds:
+            for ev, cfg in zip(rd, cfgs):
+                assert (ev.x, ev.y) == (cfg.x, cfg.y)
+
+    def test_invalid_params(self):
+        cfgs = sample_configs(2, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            movement_rounds(cfgs, -1, 10.0, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            movement_rounds(cfgs, 1, -5.0, np.random.default_rng(0))
+
+
+class TestRng:
+    def test_rng_from_int(self):
+        assert rng_from(3).random() == rng_from(3).random()
+
+    def test_rng_from_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_from(g) is g
+
+    def test_spawn_seeds_stable(self):
+        a = spawn_seeds(42, 5)
+        b = spawn_seeds(42, 5)
+        assert [s.entropy for s in a] == [s.entropy for s in b]
+        assert len(a) == 5
+
+    def test_spawn_seeds_prefix_stable(self):
+        # Child i does not depend on how many siblings are spawned.
+        a = spawn_seeds(42, 3)
+        b = spawn_seeds(42, 10)
+        for x, y in zip(a, b):
+            assert np.random.default_rng(x).random() == np.random.default_rng(y).random()
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)

@@ -1,0 +1,79 @@
+"""Tests for the random-waypoint mobility model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.mobility import RandomWaypointModel
+from repro.sim.random_networks import sample_configs
+
+
+def model(seed=0, n=8, **kwargs):
+    rng = np.random.default_rng(seed)
+    return RandomWaypointModel(sample_configs(n, rng), rng, **kwargs), n
+
+
+class TestRandomWaypoint:
+    def test_step_emits_sorted_events(self):
+        m, n = model()
+        events = m.step()
+        assert len(events) == n
+        ids = [e.node_id for e in events]
+        assert ids == sorted(ids)
+
+    def test_positions_stay_in_arena(self):
+        m, _ = model(speed_range=(5.0, 20.0))
+        for _ in range(200):
+            for ev in m.step():
+                assert 0.0 <= ev.x <= 100.0 and 0.0 <= ev.y <= 100.0
+
+    def test_step_length_bounded_by_speed(self):
+        m, _ = model(speed_range=(2.0, 4.0))
+        prev = {v: m.position_of(v) for v in range(1, 9)}
+        for _ in range(50):
+            for ev in m.step():
+                x0, y0 = prev[ev.node_id]
+                assert math.hypot(ev.x - x0, ev.y - y0) <= 4.0 + 1e-9
+                prev[ev.node_id] = (ev.x, ev.y)
+
+    def test_pause_suppresses_events(self):
+        # Huge speed: every step arrives, then pauses.
+        m, n = model(speed_range=(500.0, 500.0), pause_steps=2)
+        first = m.step()
+        assert len(first) == n  # everyone arrives somewhere
+        second = m.step()
+        assert len(second) == 0  # all paused
+        third = m.step()
+        assert len(third) == 0
+        fourth = m.step()
+        assert len(fourth) == n  # pause over
+
+    def test_walkers_eventually_move_far(self):
+        m, _ = model(speed_range=(5.0, 10.0))
+        start = m.position_of(1)
+        m.run(100)
+        end = m.position_of(1)
+        assert math.hypot(end[0] - start[0], end[1] - start[1]) > 1.0
+
+    def test_run_shape(self):
+        m, _ = model()
+        rounds = m.run(5)
+        assert len(rounds) == 5
+
+    def test_deterministic(self):
+        m1, _ = model(seed=3)
+        m2, _ = model(seed=3)
+        assert m1.run(10) == m2.run(10)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        cfgs = sample_configs(2, rng)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(cfgs, rng, speed_range=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(cfgs, rng, pause_steps=-1)
+        m = RandomWaypointModel(cfgs, rng)
+        with pytest.raises(ConfigurationError):
+            m.run(-1)

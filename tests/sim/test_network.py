@@ -1,0 +1,97 @@
+"""Tests for the AdHocNetwork facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConnectivityError, InvalidEventError, UnknownNodeError
+from repro.events.base import JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.strategies.minim import MinimStrategy
+from repro.topology.node import NodeConfig
+
+
+class TestEventDispatch:
+    def test_apply_routes_all_kinds(self):
+        net = AdHocNetwork(MinimStrategy(), validate=True)
+        cfg1 = NodeConfig(1, 0.0, 0.0, tx_range=20.0)
+        cfg2 = NodeConfig(2, 10.0, 0.0, tx_range=20.0)
+        assert net.apply(JoinEvent(cfg1)).event_kind == "join"
+        assert net.apply(JoinEvent(cfg2)).event_kind == "join"
+        assert net.apply(MoveEvent(2, 12.0, 0.0)).event_kind == "move"
+        assert net.apply(PowerChangeEvent(2, 25.0)).event_kind == "power_increase"
+        assert net.apply(PowerChangeEvent(2, 22.0)).event_kind == "power_decrease"
+        assert net.apply(LeaveEvent(2)).event_kind == "leave"
+
+    def test_unknown_event_type(self):
+        net = AdHocNetwork(MinimStrategy())
+        with pytest.raises(InvalidEventError):
+            net.apply("not an event")  # type: ignore[arg-type]
+
+    def test_equal_range_is_noop_decrease(self):
+        net = AdHocNetwork(MinimStrategy())
+        net.join(NodeConfig(1, 0.0, 0.0, tx_range=20.0))
+        result = net.apply(PowerChangeEvent(1, 20.0))
+        assert result.event_kind == "power_decrease"
+        assert result.changes == {}
+
+    def test_leave_unknown_raises(self):
+        net = AdHocNetwork(MinimStrategy())
+        with pytest.raises((UnknownNodeError, KeyError)):
+            net.leave(7)
+
+
+class TestBookkeeping:
+    def test_metrics_accumulate(self):
+        rng = np.random.default_rng(0)
+        net = AdHocNetwork(MinimStrategy())
+        for cfg in sample_configs(10, rng):
+            net.join(cfg)
+        assert len(net.metrics.records) == 10
+        assert net.metrics.counts_by_kind() == {"join": 10}
+        assert net.metrics.max_color == net.max_color()
+        assert net.metrics.total_recodings >= 10  # every join assigns
+
+    def test_assignment_covers_exactly_live_nodes(self):
+        rng = np.random.default_rng(1)
+        net = AdHocNetwork(MinimStrategy(), validate=True)
+        configs = sample_configs(8, rng)
+        for cfg in configs:
+            net.join(cfg)
+        net.leave(configs[3].node_id)
+        assert set(net.assignment.nodes()) == set(net.node_ids())
+
+    def test_snapshot_delta(self):
+        rng = np.random.default_rng(2)
+        net = AdHocNetwork(MinimStrategy())
+        configs = sample_configs(10, rng)
+        for cfg in configs[:5]:
+            net.join(cfg)
+        snap = net.metrics.snapshot()
+        for cfg in configs[5:]:
+            net.join(cfg)
+        delta = snap.delta(net.metrics.snapshot())
+        assert delta.events == 5
+        assert delta.total_recodings >= 5
+
+
+class TestConnectivityEnforcement:
+    def test_isolated_join_rejected_when_enforced(self):
+        net = AdHocNetwork(MinimStrategy(), enforce_connectivity=True)
+        net.join(NodeConfig(1, 0.0, 0.0, tx_range=10.0))
+        net.join(NodeConfig(2, 5.0, 0.0, tx_range=10.0))
+        with pytest.raises(ConnectivityError):
+            net.join(NodeConfig(3, 500.0, 500.0, tx_range=10.0))
+
+    def test_connected_join_allowed_when_enforced(self):
+        net = AdHocNetwork(MinimStrategy(), enforce_connectivity=True)
+        net.join(NodeConfig(1, 0.0, 0.0, tx_range=10.0))
+        net.join(NodeConfig(2, 5.0, 0.0, tx_range=10.0))
+        net.join(NodeConfig(3, 8.0, 0.0, tx_range=10.0))
+        assert len(net.graph) == 3
+
+    def test_default_is_permissive(self):
+        net = AdHocNetwork(MinimStrategy())
+        net.join(NodeConfig(1, 0.0, 0.0, tx_range=10.0))
+        net.join(NodeConfig(2, 500.0, 0.0, tx_range=10.0))
+        assert len(net.graph) == 2

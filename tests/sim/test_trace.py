@@ -1,0 +1,81 @@
+"""Tests for event-trace serialization and replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events.base import JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.sim.trace import (
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    replay,
+    save_trace,
+)
+from repro.sim.workloads import join_workload, movement_rounds
+from repro.strategies.minim import MinimStrategy
+from repro.topology.node import NodeConfig
+
+ALL_EVENTS = [
+    JoinEvent(NodeConfig(1, 2.0, 3.0, tx_range=4.0)),
+    LeaveEvent(1),
+    MoveEvent(2, 5.0, 6.0),
+    PowerChangeEvent(3, 7.5),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+    def test_dict_roundtrip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(ALL_EVENTS, path, note="unit test")
+        loaded = load_trace(path)
+        assert loaded == ALL_EVENTS
+        doc = json.loads(path.read_text())
+        assert doc["note"] == "unit test"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            event_from_dict({"kind": "explode"})
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v999.json"
+        path.write_text(
+            json.dumps({"format": "minim-cdma-trace", "version": 999, "events": []})
+        )
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestReplay:
+    def test_replay_reproduces_live_run(self, tmp_path):
+        rng = np.random.default_rng(5)
+        configs = sample_configs(12, rng)
+        events = list(join_workload(configs))
+        for rd in movement_rounds(configs, 2, 30.0, rng):
+            events.extend(rd)
+
+        live = AdHocNetwork(MinimStrategy())
+        replay(events, live)
+
+        path = tmp_path / "t.json"
+        save_trace(events, path)
+        replayed = AdHocNetwork(MinimStrategy())
+        results = replay(load_trace(path), replayed)
+
+        assert replayed.assignment == live.assignment
+        assert len(results) == len(events)
+        assert replayed.metrics.total_recodings == live.metrics.total_recodings

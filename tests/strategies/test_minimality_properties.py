@@ -1,0 +1,105 @@
+"""Property-based tests of the paper's minimality theorems.
+
+Theorem 4.1.8: ``RecodeOnJoin`` achieves the Lemma 4.1.1 bound.
+Theorem 4.2.3: ``RecodeOnPowIncrease`` recodes at most ``n`` itself.
+Theorem 4.4.4: ``RecodeOnMove`` achieves the move bound.
+Theorems 4.3.x: leaves and power decreases never recode.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.verify import is_valid
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import sample_configs
+from repro.strategies.minim import (
+    MinimStrategy,
+    minimal_join_bound,
+    minimal_move_bound,
+)
+from repro.topology.node import NodeConfig
+
+seeds = st.integers(0, 10_000)
+sizes = st.integers(2, 28)
+
+
+def joined_network(seed: int, n: int) -> AdHocNetwork:
+    rng = np.random.default_rng(seed)
+    net = AdHocNetwork(MinimStrategy(), validate=True)
+    for cfg in sample_configs(n, rng, min_range=15.0, max_range=45.0):
+        net.join(cfg)
+    return net
+
+
+class TestJoinMinimality:
+    @given(seeds, sizes)
+    def test_every_join_hits_the_bound(self, seed, n):
+        rng = np.random.default_rng(seed)
+        net = AdHocNetwork(MinimStrategy(), validate=True)
+        for cfg in sample_configs(n, rng, min_range=15.0, max_range=45.0):
+            net.graph.add_node(cfg)
+            bound = minimal_join_bound(net.graph, net.assignment, cfg.node_id)
+            net.graph.remove_node(cfg.node_id)
+            result = net.join(cfg)
+            assert result.recode_count == bound
+
+    @given(seeds)
+    def test_non_neighbors_never_recoded(self, seed):
+        net = joined_network(seed, 12)
+        cfg = NodeConfig(999, 50.0, 50.0, tx_range=25.0)
+        net.graph.add_node(cfg)
+        from repro.topology.neighborhoods import join_partition
+
+        v1 = join_partition(net.graph, 999).v1
+        net.graph.remove_node(999)
+        result = net.join(cfg)
+        assert set(result.changes) <= set(v1)
+
+
+class TestPowerMinimality:
+    @given(seeds, st.floats(1.1, 4.0))
+    def test_increase_recodes_at_most_n(self, seed, factor):
+        net = joined_network(seed, 12)
+        rng = np.random.default_rng(seed + 1)
+        v = int(rng.choice(net.node_ids()))
+        result = net.set_range(v, net.graph.range_of(v) * factor)
+        assert set(result.changes) <= {v}
+        assert result.event_kind == "power_increase"
+
+    @given(seeds)
+    def test_decrease_never_recodes(self, seed):
+        net = joined_network(seed, 10)
+        rng = np.random.default_rng(seed + 2)
+        v = int(rng.choice(net.node_ids()))
+        result = net.set_range(v, net.graph.range_of(v) * 0.5)
+        assert result.changes == {}
+        assert net.is_valid()
+
+
+class TestMoveMinimality:
+    @given(seeds)
+    def test_move_hits_the_move_bound(self, seed):
+        net = joined_network(seed, 12)
+        rng = np.random.default_rng(seed + 3)
+        v = int(rng.choice(net.node_ids()))
+        x, y = float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+        net.graph.move_node(v, x, y)
+        bound = minimal_move_bound(net.graph, net.assignment, v)
+        old_pos = None
+        # revert, then apply through the controller
+        # (position unknown pre-move; recompute via configs)
+        net.graph.move_node(v, x, y)  # idempotent: already there
+        result = net.strategy.on_move(net.graph, net.assignment, v)
+        assert len(result.changes) == bound
+        for node, (_old, new) in result.changes.items():
+            net.assignment.assign(node, new)
+        assert is_valid(net.graph, net.assignment)
+
+    @given(seeds)
+    def test_leave_never_recodes(self, seed):
+        net = joined_network(seed, 8)
+        v = net.node_ids()[0]
+        result = net.leave(v)
+        assert result.changes == {}
+        assert net.is_valid()

@@ -1,0 +1,124 @@
+"""Brute-force verification of Theorem 4.1.9 (optimality among minimal).
+
+On small instances we enumerate *every* correct recoding that (a) only
+recolors ``V1 = 1n ∪ 2n ∪ {n}``, (b) achieves the minimal recoding
+bound, and check that no such adversary ends with a smaller maximum
+color index than ``RecodeOnJoin``.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import forbidden_colors
+from repro.coloring.verify import find_violations
+from repro.sim.random_networks import sample_configs
+from repro.strategies.minim import (
+    minimal_join_bound,
+    plan_local_matching_recode,
+)
+from repro.strategies.minim.strategy import MinimStrategy
+from repro.sim.network import AdHocNetwork
+from repro.topology.neighborhoods import join_partition
+from repro.topology.static import StaticDigraph
+
+
+def brute_force_best_minimal(graph, assignment, node) -> int:
+    """Min possible max-color over all minimal local recodings."""
+    part = join_partition(graph, node)
+    v1 = sorted(part.v1)
+    others_max = max(
+        (assignment[v] for v in graph.node_ids() if v not in part.v1), default=0
+    )
+    bound = minimal_join_bound(graph, assignment, node)
+    # Candidate palette: everything up to a safe ceiling.
+    ceiling = max(
+        [others_max]
+        + [assignment[u] for u in part.in_neighbors]
+        + [len(v1) + others_max]
+    ) + len(v1)
+    best = None
+    constraints = {
+        u: forbidden_colors(graph, assignment, u, exclude=part.v1) for u in v1
+    }
+    olds = {u: assignment.get(u) for u in v1}
+    for combo in itertools.product(range(1, ceiling + 1), repeat=len(v1)):
+        if len(set(combo)) != len(combo):
+            continue  # V1 must be pairwise distinct
+        recodes = sum(1 for u, c in zip(v1, combo) if olds[u] != c)
+        if recodes != bound:
+            continue
+        if any(c in constraints[u] for u, c in zip(v1, combo)):
+            continue
+        candidate = CodeAssignment(
+            {v: assignment[v] for v in graph.node_ids() if v not in part.v1}
+        )
+        for u, c in zip(v1, combo):
+            candidate.assign(u, c)
+        if find_violations(graph, candidate):
+            continue
+        max_color = candidate.max_color()
+        if best is None or max_color < best:
+            best = max_color
+    assert best is not None, "no minimal recoding exists?!"
+    return best
+
+
+def apply_plan(assignment, plan) -> CodeAssignment:
+    out = assignment.copy()
+    for u, (_old, c) in plan.changes.items():
+        out.assign(u, c)
+    return out
+
+
+class TestOptimalityAmongMinimalStatic:
+    @pytest.mark.parametrize(
+        "member_colors, external",
+        [
+            ([1, 1], {}),
+            ([1, 2, 2], {}),
+            ([3, 3, 3], {}),
+            ([1, 2], {1: {2}}),  # member 1 externally blocked from color 2
+            ([2, 2, 1], {2: {1}}),
+            ([1, 1, 2, 2], {}),
+        ],
+    )
+    def test_star_instances(self, member_colors, external):
+        g = StaticDigraph()
+        a = CodeAssignment()
+        ext_id = 100
+        for i, c in enumerate(member_colors, start=1):
+            g.add_node(i)
+            a.assign(i, c)
+            for blocked in external.get(i, ()):  # external node forcing a constraint
+                g.add_node(ext_id)
+                g.add_edge(ext_id, i)
+                g.add_edge(i, ext_id)
+                a.assign(ext_id, blocked)
+                ext_id += 1
+        assert not find_violations(g, a)  # pre-join assignment valid
+        g.add_node(0)
+        for i in range(1, len(member_colors) + 1):
+            g.add_edge(i, 0)
+        plan = plan_local_matching_recode(g, a, 0)
+        ours = apply_plan(a, plan).max_color()
+        best = brute_force_best_minimal(g, a, 0)
+        assert ours == best
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_geometric_joins(self, seed):
+        rng = np.random.default_rng(seed)
+        net = AdHocNetwork(MinimStrategy(), validate=True)
+        for cfg in sample_configs(6, rng, min_range=30.0, max_range=60.0):
+            net.join(cfg)
+        joiner = sample_configs(1, rng, min_range=30.0, max_range=60.0, id_start=50)[0]
+        net.graph.add_node(joiner)
+        part = join_partition(net.graph, joiner.node_id)
+        if len(part.v1) > 5:
+            pytest.skip("brute force too large")
+        plan = plan_local_matching_recode(net.graph, net.assignment, joiner.node_id)
+        ours = apply_plan(net.assignment, plan).max_color()
+        best = brute_force_best_minimal(net.graph, net.assignment, joiner.node_id)
+        assert ours == best

@@ -1,0 +1,188 @@
+"""Exact reproductions of the paper's worked examples (Figs 4, 6, 7, 9).
+
+Fig 4's topology is reconstructed from the constraints the paper states
+(old/new color triples, the bipartite graph of Fig 4(b), and both
+captions); the others are built to satisfy the paper's stated traces.
+"""
+
+import pytest
+
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.verify import is_valid
+from repro.sim.network import AdHocNetwork
+from repro.strategies.bbb_global import BBBGlobalStrategy
+from repro.strategies.cp import CPStrategy, plan_cp_join
+from repro.strategies.minim import (
+    MinimStrategy,
+    minimal_join_bound,
+    plan_local_matching_recode,
+)
+from repro.topology.node import NodeConfig
+from repro.topology.static import StaticDigraph
+
+
+@pytest.fixture
+def fig4():
+    """Fig 4(a): node 8 joins; in-neighbors {1,2,3,6,7} with old colors
+    1:2, 2:3, 3:1, 4:3, 5:3, 6:1, 7:2."""
+    graph = StaticDigraph(
+        nodes=[1, 2, 3, 4, 5, 6, 7],
+        edges=[(1, 2), (3, 4), (5, 6), (7, 4)],
+    )
+    colors = CodeAssignment({1: 2, 2: 3, 3: 1, 4: 3, 5: 3, 6: 1, 7: 2})
+    assert is_valid_static(graph, colors)
+    # Node 8 joins: hears 1, 2, 3, 6, 7; reaches 2.
+    graph.add_node(8)
+    for u in (1, 2, 3, 6, 7):
+        graph.add_edge(u, 8)
+    graph.add_edge(8, 2)
+    return graph, colors
+
+
+def is_valid_static(graph, assignment) -> bool:
+    from repro.coloring.verify import find_violations
+
+    return not find_violations(graph, assignment)  # type: ignore[arg-type]
+
+
+class TestFig4Join:
+    def test_minim_recodes_exactly_as_figure(self, fig4):
+        graph, colors = fig4
+        plan = plan_local_matching_recode(graph, colors, 8)
+        # Fig 4: Minim's new colors (old, new): 6: 1->4, 7: 2->5, 8: ->6.
+        assert plan.changes == {6: (1, 4), 7: (2, 5), 8: (None, 6)}
+        assert plan.max_color_seen == 3  # bipartite palette of Fig 4(b)
+        assert len(plan.changes) == 3  # "causes only 3 recodings"
+        assert len(plan.changes) == minimal_join_bound(graph, colors, 8)
+
+    def test_minim_result_valid_with_max_color_6(self, fig4):
+        graph, colors = fig4
+        plan = plan_local_matching_recode(graph, colors, 8)
+        colors.apply({u: c for u, (_o, c) in plan.changes.items()})
+        assert is_valid_static(graph, colors)
+        assert colors.max_color() == 6
+
+    def test_cp_recodes_exactly_as_figure(self, fig4):
+        graph, colors = fig4
+        plan = plan_cp_join(graph, colors, 8)
+        # Fig 4 CP column: 1: 2->6, 3: 1->5, 6: 1->4, 7 keeps 2, 8 -> 1.
+        assert plan.changes == {1: (2, 6), 3: (1, 5), 6: (1, 4), 8: (None, 1)}
+        assert len(plan.changes) == 4  # "causes 4 of them"
+        assert plan.new_colors[7] == 2  # re-selected but unchanged
+
+    def test_cp_result_valid_with_max_color_6(self, fig4):
+        graph, colors = fig4
+        plan = plan_cp_join(graph, colors, 8)
+        colors.apply({u: c for u, (_o, c) in plan.changes.items()})
+        assert is_valid_static(graph, colors)
+        # "Both end up using the same maximum color index after the join
+        # event (6)."
+        assert colors.max_color() == 6
+
+
+@pytest.fixture
+def fig6_network():
+    """Fig 6 analogue: node 5 raises power; constraints become (1, 2, 3).
+
+    Node 5 (color 3) hears 1 and 2; nodes 6, 7 (both color 3) sit in
+    range of 5's raised power.  Built geometrically so the power event
+    drives real topology recomputation.
+    """
+
+    def build(strategy):
+        net = AdHocNetwork(strategy, validate=True)
+        net.graph.add_node(NodeConfig(5, 50.0, 50.0, tx_range=5.0))
+        net.assignment.assign(5, 3)
+        for cfg, color in [
+            (NodeConfig(1, 50.0, 70.0, tx_range=25.0), 1),
+            (NodeConfig(2, 50.0, 30.0, tx_range=25.0), 2),
+            (NodeConfig(6, 70.0, 50.0, tx_range=15.0), 3),
+            (NodeConfig(7, 30.0, 50.0, tx_range=15.0), 3),
+        ]:
+            net.graph.add_node(cfg)
+            net.assignment.assign(cfg.node_id, color)
+        assert is_valid(net.graph, net.assignment)
+        return net
+
+    return build
+
+
+class TestFig6PowerIncrease:
+    def test_minim_one_recode_max_4(self, fig6_network):
+        net = fig6_network(MinimStrategy())
+        result = net.set_range(5, 30.0)
+        # "RecodeOnPowIncrease causes only 1 new recoding" to the lowest
+        # available color (4); max color index ends at 4.
+        assert result.changes == {5: (3, 4)}
+        assert net.max_color() == 4
+
+    def test_cp_two_recodes_max_5(self, fig6_network):
+        # The Fig 6 CP trace follows the conservative 2-hop-vicinity
+        # reading of the selection rule (see strategies/cp/selection.py).
+        net = fig6_network(CPStrategy(vicinity_colors=True))
+        result = net.set_range(5, 30.0)
+        # "CP causes 2 nodes to be assigned different new colors" and
+        # "ends up with ... 5": 6 recodes 3->4, then 5 recodes 3->5;
+        # node 7 re-selects its old color.
+        assert result.changes == {6: (3, 4), 5: (3, 5)}
+        assert net.max_color() == 5
+
+
+class TestFig7PowerDecrease:
+    @pytest.mark.parametrize(
+        "strategy", [MinimStrategy(), CPStrategy()], ids=["Minim", "CP"]
+    )
+    def test_no_recoding_needed(self, fig6_network, strategy):
+        net = fig6_network(strategy)
+        result = net.set_range(5, 2.0)
+        assert result.changes == {}
+        assert result.event_kind == "power_decrease"
+        assert net.is_valid()
+
+
+@pytest.fixture
+def fig9_network():
+    """Fig 9 analogue: node 2 (color 3) moves next to nodes colored
+    1, 2, 3, forcing exactly one recode (2: 3 -> 4) under both
+    strategies."""
+
+    def build(strategy):
+        net = AdHocNetwork(strategy, validate=True)
+        # Destination cluster at (100, 0): mutually in range.
+        for cfg, color in [
+            (NodeConfig(4, 100.0, 10.0, tx_range=25.0), 1),
+            (NodeConfig(5, 100.0, -10.0, tx_range=25.0), 2),
+            (NodeConfig(6, 110.0, 0.0, tx_range=25.0), 3),
+            # The mover starts far away next to node 7.
+            (NodeConfig(2, 0.0, 0.0, tx_range=15.0), 3),
+            (NodeConfig(7, 0.0, 10.0, tx_range=15.0), 1),
+        ]:
+            net.graph.add_node(cfg)
+            net.assignment.assign(cfg.node_id, color)
+        assert is_valid(net.graph, net.assignment)
+        return net
+
+    return build
+
+
+class TestFig9Move:
+    def test_minim_single_recode_max_4(self, fig9_network):
+        net = fig9_network(MinimStrategy())
+        result = net.move(2, 100.0, 0.0)
+        # "Both RecodeOnMove and the CP strategies cause 1 new recoding
+        # and end up with 4 as the maximum color index."
+        assert result.changes == {2: (3, 4)}
+        assert net.max_color() == 4
+
+    def test_cp_single_recode_max_4(self, fig9_network):
+        net = fig9_network(CPStrategy())
+        result = net.move(2, 100.0, 0.0)
+        assert result.changes == {2: (3, 4)}
+        assert net.max_color() == 4
+
+    def test_members_keep_their_colors(self, fig9_network):
+        net = fig9_network(MinimStrategy())
+        net.move(2, 100.0, 0.0)
+        assert net.assignment[4] == 1
+        assert net.assignment[5] == 2
+        assert net.assignment[6] == 3

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.ConnectivityError,
+            errors.ColoringConflictError,
+            errors.MatchingError,
+            errors.InvalidEventError,
+            errors.ProtocolError,
+            errors.CodebookError,
+            errors.DuplicateNodeError,
+            errors.UnknownNodeError,
+            errors.UncoloredNodeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_unknown_node_is_also_key_error(self):
+        # So dict-style call sites can catch KeyError uniformly.
+        assert issubclass(errors.UnknownNodeError, KeyError)
+        assert issubclass(errors.UncoloredNodeError, KeyError)
+
+    def test_unknown_node_message(self):
+        err = errors.UnknownNodeError(17)
+        assert "17" in str(err)
+        assert err.node_id == 17
+
+    def test_duplicate_node_message(self):
+        err = errors.DuplicateNodeError(3)
+        assert "3" in str(err)
+
+    def test_uncolored_node_message(self):
+        assert "9" in str(errors.UncoloredNodeError(9))

@@ -1,0 +1,31 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import NO_COLOR, validate_color
+
+
+class TestValidateColor:
+    def test_accepts_positive_int(self):
+        assert validate_color(1) == 1
+        assert validate_color(999) == 999
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_color(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_color(-3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError, match="int"):
+            validate_color(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError, match="int"):
+            validate_color(2.0)
+
+    def test_no_color_sentinel_is_not_a_valid_color(self):
+        with pytest.raises(ValueError):
+            validate_color(NO_COLOR)

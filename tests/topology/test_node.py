@@ -1,0 +1,69 @@
+"""Tests for NodeConfig."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.node import NodeConfig
+
+
+class TestValidation:
+    def test_valid(self):
+        cfg = NodeConfig(1, 3.0, 4.0, tx_range=5.0)
+        assert cfg.position == (3.0, 4.0)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(1, 0.0, 0.0, tx_range=0.0)
+        with pytest.raises(ConfigurationError):
+            NodeConfig(1, 0.0, 0.0, tx_range=-2.0)
+
+    def test_rejects_nan_coordinates(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(1, float("nan"), 0.0, tx_range=1.0)
+
+    def test_rejects_inf_range(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(1, 0.0, 0.0, tx_range=float("inf"))
+
+    def test_rejects_non_int_id(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig("a", 0.0, 0.0, tx_range=1.0)  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            NodeConfig(True, 0.0, 0.0, tx_range=1.0)
+
+    def test_frozen(self):
+        cfg = NodeConfig(1, 0.0, 0.0, tx_range=1.0)
+        with pytest.raises(AttributeError):
+            cfg.x = 5.0  # type: ignore[misc]
+
+
+class TestDerivedOps:
+    def test_moved_to(self):
+        cfg = NodeConfig(1, 0.0, 0.0, tx_range=1.0)
+        moved = cfg.moved_to(7.0, 8.0)
+        assert moved.position == (7.0, 8.0)
+        assert moved.node_id == 1 and moved.tx_range == 1.0
+        assert cfg.position == (0.0, 0.0)  # original untouched
+
+    def test_with_range(self):
+        cfg = NodeConfig(1, 0.0, 0.0, tx_range=1.0)
+        assert cfg.with_range(9.0).tx_range == 9.0
+
+    def test_with_range_validates(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(1, 0.0, 0.0, tx_range=1.0).with_range(-1.0)
+
+    def test_distance_to(self):
+        a = NodeConfig(1, 0.0, 0.0, tx_range=1.0)
+        b = NodeConfig(2, 3.0, 4.0, tx_range=1.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_reaches_inclusive_boundary(self):
+        a = NodeConfig(1, 0.0, 0.0, tx_range=5.0)
+        b = NodeConfig(2, 3.0, 4.0, tx_range=1.0)
+        assert a.reaches(b)  # d == r exactly
+        assert not b.reaches(a)
+
+    def test_reaches_excludes_self(self):
+        a = NodeConfig(1, 0.0, 0.0, tx_range=5.0)
+        assert not a.reaches(a)

@@ -1,0 +1,93 @@
+"""Tests for the explicit-edge StaticDigraph."""
+
+import pytest
+
+from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.topology.static import DigraphLike, StaticDigraph
+
+
+@pytest.fixture
+def fig1_graph():
+    """The digraph of the paper's Fig 1(b): 4 nodes + joiner 5."""
+    return StaticDigraph(
+        nodes=[1, 2, 3, 4, 5],
+        edges=[(1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3), (4, 2), (5, 4)],
+    )
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, fig1_graph):
+        assert fig1_graph.node_ids() == [1, 2, 3, 4, 5]
+        assert fig1_graph.has_edge(5, 4) and not fig1_graph.has_edge(4, 5)
+        assert fig1_graph.edge_count() == 8
+
+    def test_edge_creates_nodes(self):
+        g = StaticDigraph(edges=[(7, 9)])
+        assert g.node_ids() == [7, 9]
+
+    def test_duplicate_node_rejected(self):
+        g = StaticDigraph(nodes=[1])
+        with pytest.raises(DuplicateNodeError):
+            g.add_node(1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            StaticDigraph(edges=[(1, 1)])
+
+    def test_satisfies_protocol(self, fig1_graph):
+        assert isinstance(fig1_graph, DigraphLike)
+
+
+class TestQueries:
+    def test_neighbors(self, fig1_graph):
+        assert fig1_graph.out_neighbors(4) == [2, 3]
+        assert fig1_graph.in_neighbors(4) == [3, 5]
+
+    def test_unknown_raises(self, fig1_graph):
+        with pytest.raises(UnknownNodeError):
+            fig1_graph.in_neighbors(42)
+        with pytest.raises(UnknownNodeError):
+            fig1_graph.has_edge(1, 42)
+
+    def test_adjacency_matches_edges(self, fig1_graph):
+        ids, adj = fig1_graph.adjacency()
+        for i, u in enumerate(ids):
+            for j, v in enumerate(ids):
+                assert adj[i, j] == fig1_graph.has_edge(u, v)
+
+    def test_hop_distances(self, fig1_graph):
+        d = fig1_graph.undirected_hop_distances(5)
+        assert d == {5: 0, 4: 1, 2: 2, 3: 2, 1: 3}
+
+    def test_conflict_neighbors_fig1(self, fig1_graph):
+        # Fig 1(c): constraints include 1-2, 2-3, 3-4, 2-4 (edges) and
+        # common-receiver pairs.
+        assert 2 in fig1_graph.conflict_neighbor_ids(1)
+        # 1 and 3 both transmit into 2 -> hidden conflict.
+        assert 3 in fig1_graph.conflict_neighbor_ids(1)
+        # 5 and 3 both transmit into 4.
+        assert 3 in fig1_graph.conflict_neighbor_ids(5)
+        assert 4 in fig1_graph.conflict_neighbor_ids(5)
+        # 1 is not in conflict with 5 (no edge, no common receiver).
+        assert 1 not in fig1_graph.conflict_neighbor_ids(5)
+
+
+class TestMutation:
+    def test_remove_edge(self, fig1_graph):
+        fig1_graph.remove_edge(5, 4)
+        assert not fig1_graph.has_edge(5, 4)
+
+    def test_remove_node(self, fig1_graph):
+        fig1_graph.remove_node(2)
+        assert 2 not in fig1_graph
+        assert fig1_graph.out_neighbors(1) == []
+        assert fig1_graph.in_neighbors(3) == [4]
+
+    def test_remove_unknown_raises(self, fig1_graph):
+        with pytest.raises(UnknownNodeError):
+            fig1_graph.remove_node(42)
+
+    def test_copy_independent(self, fig1_graph):
+        g2 = fig1_graph.copy()
+        g2.remove_node(1)
+        assert 1 in fig1_graph and 1 not in g2
