@@ -1,0 +1,33 @@
+"""Event-loop bench: grid/incremental fast path vs the dense hatch.
+
+Times the strategy-independent event loop (topology mutation + V1
+conflict derivation) in both conflict-maintenance modes, mirroring what
+``minim-cdma bench`` reports, so `--benchmark-compare` runs track the
+fast path's advantage over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.events.base import JoinEvent
+from repro.sim.bench import drive_event_loop
+from repro.sim.random_networks import sample_configs
+
+N = 120
+SEED = 2001
+
+
+@pytest.fixture(scope="module")
+def join_trace():
+    rng = np.random.default_rng(SEED)
+    return [JoinEvent(c) for c in sample_configs(N, rng)]
+
+
+def test_eventloop_join_grid(benchmark, join_trace):
+    wall = benchmark(drive_event_loop, join_trace, dense_conflicts=False)
+    assert wall > 0.0
+
+
+def test_eventloop_join_dense(benchmark, join_trace):
+    wall = benchmark(drive_event_loop, join_trace, dense_conflicts=True)
+    assert wall > 0.0

@@ -14,8 +14,7 @@ from repro.cdma.spreading import despread, spread
 from repro.cdma.walsh import walsh_codes
 from repro.coloring.dsatur import dsatur_color_matrix
 from repro.geometry.grid_index import UniformGridIndex
-from repro.matching.bipartite import WeightedBipartiteGraph
-from repro.matching.hungarian import hungarian_matching, solve_max_weight_dense
+from repro.matching.hungarian import solve_max_weight_dense
 from repro.sim.network import AdHocNetwork
 from repro.sim.random_networks import sample_configs
 from repro.strategies.minim import MinimStrategy, plan_local_matching_recode

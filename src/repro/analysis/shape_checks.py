@@ -14,7 +14,13 @@ from dataclasses import dataclass
 
 from repro.analysis.series import ExperimentSeries
 
-__all__ = ["ShapeCheck", "check_join_shapes", "check_power_shapes", "check_move_shapes", "check_all"]
+__all__ = [
+    "ShapeCheck",
+    "check_all",
+    "check_join_shapes",
+    "check_move_shapes",
+    "check_power_shapes",
+]
 
 
 @dataclass(frozen=True)
@@ -55,7 +61,9 @@ def _dominates(
     )
 
 
-def check_join_shapes(series: ExperimentSeries, *, color_tolerance: float = 2.0) -> list[ShapeCheck]:
+def check_join_shapes(
+    series: ExperimentSeries, *, color_tolerance: float = 2.0
+) -> list[ShapeCheck]:
     """Fig 10 claims: recodings Minim <= CP << BBB; colors BBB <= Minim <= CP."""
     checks = [
         _dominates(series, "recodings", "Minim", "CP"),
@@ -78,7 +86,9 @@ def check_join_shapes(series: ExperimentSeries, *, color_tolerance: float = 2.0)
     return checks
 
 
-def check_power_shapes(series: ExperimentSeries, *, color_tolerance: float = 1.0) -> list[ShapeCheck]:
+def check_power_shapes(
+    series: ExperimentSeries, *, color_tolerance: float = 1.0
+) -> list[ShapeCheck]:
     """Fig 11 claims: Δrecodings Minim << CP << BBB; Δcolors CP <= Minim.
 
     The paper calls out that CP beats Minim on max color here (section
@@ -91,7 +101,9 @@ def check_power_shapes(series: ExperimentSeries, *, color_tolerance: float = 1.0
     ]
 
 
-def check_move_shapes(series: ExperimentSeries, *, color_tolerance: float = 6.0) -> list[ShapeCheck]:
+def check_move_shapes(
+    series: ExperimentSeries, *, color_tolerance: float = 6.0
+) -> list[ShapeCheck]:
     """Fig 12 claims: Δrecodings Minim << CP << BBB; Δcolors within a few.
 
     The paper's Fig 12(b): Minim trails CP "by at most a couple of

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate the paper's figures as tables.
+"""Command-line interface: figures, scenarios, and the event-loop bench.
 
 Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
 
@@ -6,10 +6,16 @@ Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
     minim-cdma fig11 --runs 10 --n 100
     minim-cdma fig12 --runs 10 --rounds 10
     minim-cdma all   --runs 5 --out results/
+    minim-cdma scenario --list
+    minim-cdma scenario poisson-cluster --runs 5
+    minim-cdma bench --runs 3 --n 120
 
-Each command prints the metric tables corresponding to the figure's
-panels and the paper's shape checks; ``--out DIR`` additionally writes
-markdown tables.
+``fig10``/``fig11``/``fig12``/``all`` reproduce the paper's evaluation;
+``scenario`` runs a registered workload from the declarative catalog;
+``bench`` times the topology event loop (grid fast path vs the
+``REPRO_DENSE`` hatch) and writes ``BENCH_eventloop.json``.  Each
+experiment command prints metric tables plus shape checks; ``--out DIR``
+additionally writes markdown tables.
 """
 
 from __future__ import annotations
@@ -66,6 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
     p12.add_argument("--maxdisps", type=float, nargs="+", default=[0, 10, 20, 40, 60, 80])
 
     sub.add_parser("all", parents=[common], help="run every experiment with defaults")
+
+    ps = sub.add_parser("scenario", parents=[common], help="run a registered scenario sweep")
+    ps.add_argument("name", nargs="?", default=None, help="registered scenario name")
+    ps.add_argument("--list", action="store_true", help="list the scenario catalog and exit")
+    ps.add_argument(
+        "--strategies", nargs="+", default=None, help="strategy subset (default: the spec's)"
+    )
+
+    pb = sub.add_parser("bench", help="time the event loop (grid fast path vs REPRO_DENSE)")
+    pb.add_argument("--runs", type=int, default=3, help="timing repetitions per trace")
+    pb.add_argument("--n", type=int, default=120, help="node count for the benchmark traces")
+    pb.add_argument(
+        "--scenario", default="random-waypoint", help="registered scenario for the second trace"
+    )
+    pb.add_argument("--seed", type=int, default=2001, help="trace-generation seed")
+    pb.add_argument(
+        "--out", type=Path, default=None, help="output path (default BENCH_eventloop.json)"
+    )
     return parser
 
 
@@ -120,9 +144,67 @@ def _run_fig12(args: argparse.Namespace) -> None:
     )
 
 
+def _run_scenario_cmd(args: argparse.Namespace) -> int:
+    from repro.sim.registry import available_scenarios, get_scenario
+    from repro.sim.scenarios import run_scenario
+
+    if args.list or args.name is None:
+        print("registered scenarios:")
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            sweep = ", ".join(f"{v:g}" for v in spec.sweep_values)
+            print(f"  {name:<18} {spec.description}")
+            print(f"  {'':<18} sweep {spec.sweep_axis} in [{sweep}]")
+        return 0 if args.list else 2
+    from repro.errors import ConfigurationError
+
+    try:
+        series = run_scenario(
+            args.name,
+            runs=args.runs,
+            seed=args.seed,
+            strategies=args.strategies,
+            processes=args.processes,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit(series, None, args.out)
+    return 0
+
+
+def _run_bench_cmd(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.sim.bench import run_event_loop_bench, write_bench_json
+
+    try:
+        entries = run_event_loop_bench(
+            n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = f"{'scenario':<18} {'n':>5} {'mode':>6} {'events':>7} {'ev/sec':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for e in entries:
+        speedup = f"{e['speedup_vs_dense']:.2f}x" if "speedup_vs_dense" in e else ""
+        print(
+            f"{e['scenario']:<18} {e['n']:>5} {e['mode']:>6} {e['events']:>7} "
+            f"{e['events_per_sec']:>10.0f} {speedup:>8}"
+        )
+    path = write_bench_json(entries, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _run_scenario_cmd(args)
+    if args.command == "bench":
+        return _run_bench_cmd(args)
     if args.command == "fig10":
         _run_fig10(args)
     elif args.command == "fig11":

@@ -21,7 +21,7 @@ from repro.coloring.assignment import CodeAssignment
 from repro.coloring.dsatur import dsatur_color_matrix
 from repro.coloring.greedy import greedy_color_matrix
 from repro.coloring.smallest_last import smallest_last_order
-from repro.topology.conflicts import conflict_matrix
+from repro.topology.conflicts import conflict_adjacency
 from repro.topology.digraph import AdHocDigraph
 
 __all__ = ["bbb_coloring"]
@@ -33,8 +33,7 @@ def bbb_coloring(graph: AdHocDigraph) -> CodeAssignment:
     Runs DSATUR and smallest-last greedy, returning the assignment with
     the smaller maximum color (ties prefer DSATUR).  Deterministic.
     """
-    ids, adj = graph.adjacency()
-    conflicts = conflict_matrix(adj)
+    ids, conflicts = conflict_adjacency(graph)
     dsatur = dsatur_color_matrix(conflicts)
     sl = greedy_color_matrix(conflicts, smallest_last_order(conflicts))
     ds_max = int(dsatur.max()) if len(dsatur) else 0

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.conflicts import conflict_matrix
+from repro.topology.conflicts import conflict_adjacency
 from repro.topology.digraph import AdHocDigraph
 from repro.types import NodeId
 
@@ -54,11 +54,10 @@ def clique_lower_bound(graph: AdHocDigraph) -> int:
     Seeds the greedy extension from the handful of highest conflict-degree
     vertices; combined with :func:`receiver_clique_bound`.
     """
-    ids, adj = graph.adjacency()
+    ids, conflicts = conflict_adjacency(graph)
     n = len(ids)
     if n == 0:
         return 0
-    conflicts = conflict_matrix(adj)
     bound = receiver_clique_bound(graph)
     degrees = conflicts.sum(axis=1)
     seeds = np.argsort(-degrees, kind="stable")[: min(8, n)]
@@ -69,10 +68,9 @@ def clique_lower_bound(graph: AdHocDigraph) -> int:
 
 def clique_nodes(graph: AdHocDigraph) -> list[NodeId]:
     """A concrete clique witnessing :func:`clique_lower_bound`'s greedy part."""
-    ids, adj = graph.adjacency()
+    ids, conflicts = conflict_adjacency(graph)
     if not ids:
         return []
-    conflicts = conflict_matrix(adj)
     degrees = conflicts.sum(axis=1)
     best: list[int] = []
     seeds = np.argsort(-degrees, kind="stable")[: min(8, len(ids))]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coloring.assignment import CodeAssignment
-from repro.topology.conflicts import conflict_matrix
+from repro.topology.conflicts import conflict_adjacency
 from repro.topology.digraph import AdHocDigraph
 
 __all__ = ["dsatur_coloring", "dsatur_color_matrix"]
@@ -42,6 +42,6 @@ def dsatur_color_matrix(conflicts: np.ndarray) -> np.ndarray:
 
 def dsatur_coloring(graph: AdHocDigraph) -> CodeAssignment:
     """DSATUR coloring of ``graph``'s CA1 ∪ CA2 conflict graph."""
-    ids, adj = graph.adjacency()
-    colors = dsatur_color_matrix(conflict_matrix(adj))
+    ids, conflicts = conflict_adjacency(graph)
+    colors = dsatur_color_matrix(conflicts)
     return CodeAssignment({ids[i]: int(colors[i]) for i in range(len(ids))})

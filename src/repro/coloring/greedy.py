@@ -7,7 +7,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.coloring.assignment import CodeAssignment
-from repro.topology.conflicts import conflict_matrix
+from repro.topology.conflicts import conflict_adjacency
 from repro.topology.digraph import AdHocDigraph
 from repro.types import NodeId
 
@@ -44,8 +44,7 @@ def first_fit_coloring(
     order:
         Node ids in coloring order; defaults to ascending id.
     """
-    ids, adj = graph.adjacency()
-    conflicts = conflict_matrix(adj)
+    ids, conflicts = conflict_adjacency(graph)
     index = {v: i for i, v in enumerate(ids)}
     if order is None:
         idx_order = list(range(len(ids)))

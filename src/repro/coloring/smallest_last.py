@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.coloring.assignment import CodeAssignment
 from repro.coloring.greedy import greedy_color_matrix
-from repro.topology.conflicts import conflict_matrix
+from repro.topology.conflicts import conflict_adjacency
 from repro.topology.digraph import AdHocDigraph
 from repro.types import NodeId
 
@@ -41,14 +41,12 @@ def smallest_last_order(conflicts: np.ndarray) -> list[int]:
 
 def smallest_last_coloring(graph: AdHocDigraph) -> CodeAssignment:
     """Greedy coloring of the conflict graph in smallest-last order."""
-    ids, adj = graph.adjacency()
-    conflicts = conflict_matrix(adj)
+    ids, conflicts = conflict_adjacency(graph)
     colors = greedy_color_matrix(conflicts, smallest_last_order(conflicts))
     return CodeAssignment({ids[i]: int(colors[i]) for i in range(len(ids))})
 
 
 def smallest_last_node_order(graph: AdHocDigraph) -> list[NodeId]:
     """Smallest-last order expressed in node ids."""
-    ids, adj = graph.adjacency()
-    conflicts = conflict_matrix(adj)
+    ids, conflicts = conflict_adjacency(graph)
     return [ids[i] for i in smallest_last_order(conflicts)]

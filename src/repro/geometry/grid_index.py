@@ -18,6 +18,9 @@ from repro.errors import ConfigurationError, UnknownNodeError
 
 __all__ = ["UniformGridIndex"]
 
+#: Cell-enumeration guard ring (see :meth:`UniformGridIndex.candidates_in_box`).
+_GUARD_CELLS = 1
+
 
 class UniformGridIndex:
     """Point index over a uniform grid of square cells.
@@ -106,32 +109,56 @@ class UniformGridIndex:
             self._cells.setdefault(new_cell, set()).add(item_id)
         self._points[item_id] = (float(x), float(y))
 
+    def copy(self) -> "UniformGridIndex":
+        """Independent copy (same cell size, copied cells and points)."""
+        g = UniformGridIndex(self._cell_size)
+        g._cells = {cell: set(members) for cell, members in self._cells.items()}
+        g._points = dict(self._points)
+        return g
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def candidates_in_box(self, x: float, y: float, radius: float) -> list[int]:
+        """Ids of all items in cells overlapping the disc's bounding box.
+
+        A cheap *superset* of :meth:`query_disc` (no distance filtering):
+        callers that already hold aligned position arrays can run their
+        own vectorized exact filter without touching the per-item dict.
+        One extra cell ring guards the exact-boundary corner cases (e.g.
+        squared distances that underflow to 0.0 for points a denormal
+        away from the query on the other side of a cell border).
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        cs = self._cell_size
+        cx_lo = math.floor((x - radius) / cs) - _GUARD_CELLS
+        cx_hi = math.floor((x + radius) / cs) + _GUARD_CELLS
+        cy_lo = math.floor((y - radius) / cs) - _GUARD_CELLS
+        cy_hi = math.floor((y + radius) / cs) + _GUARD_CELLS
+        candidates: list[int] = []
+        cells = self._cells
+        if (cx_hi - cx_lo + 1) * (cy_hi - cy_lo + 1) > len(cells):
+            # Huge query relative to the occupancy: scanning the occupied
+            # cells beats enumerating the (mostly empty) cell lattice.
+            for (cx, cy), members in cells.items():
+                if cx_lo <= cx <= cx_hi and cy_lo <= cy <= cy_hi:
+                    candidates.extend(members)
+            return candidates
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                members = cells.get((cx, cy))
+                if members:
+                    candidates.extend(members)
+        return candidates
+
     def query_disc(self, x: float, y: float, radius: float) -> list[int]:
         """Return ids of all items within ``radius`` (closed) of ``(x, y)``.
 
         Candidates are gathered from the overlapping cells, then filtered
         exactly with a vectorized squared-distance test.
         """
-        if radius < 0:
-            raise ConfigurationError(f"radius must be non-negative, got {radius}")
-        cs = self._cell_size
-        # One extra cell ring guards the exact-boundary corner cases
-        # (e.g. squared distances that underflow to 0.0 for points a
-        # denormal away from the query on the other side of a cell
-        # border); the exact distance filter below discards the rest.
-        cx_lo = math.floor((x - radius) / cs) - 1
-        cx_hi = math.floor((x + radius) / cs) + 1
-        cy_lo = math.floor((y - radius) / cs) - 1
-        cy_hi = math.floor((y + radius) / cs) + 1
-        candidates: list[int] = []
-        for cx in range(cx_lo, cx_hi + 1):
-            for cy in range(cy_lo, cy_hi + 1):
-                members = self._cells.get((cx, cy))
-                if members:
-                    candidates.extend(members)
+        candidates = self.candidates_in_box(x, y, radius)
         if not candidates:
             return []
         pts = np.asarray([self._points[i] for i in candidates], dtype=np.float64)

@@ -33,7 +33,9 @@ def as_position_array(points: Iterable[Sequence[float]] | np.ndarray) -> np.ndar
         If the input cannot be interpreted as 2-D points or contains
         non-finite coordinates.
     """
-    arr = np.asarray(list(points) if not isinstance(points, np.ndarray) else points, dtype=np.float64)
+    arr = np.asarray(
+        list(points) if not isinstance(points, np.ndarray) else points, dtype=np.float64
+    )
     if arr.size == 0:
         return arr.reshape(0, 2)
     if arr.ndim != 2 or arr.shape[1] != 2:

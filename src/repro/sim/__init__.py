@@ -1,9 +1,19 @@
-"""Simulation harness: networks, workloads, and the paper's experiments."""
+"""Simulation harness: networks, workloads, scenarios and experiments."""
 
 from repro.sim.metrics import EventRecord, MetricsCollector, MetricsSnapshot
 from repro.sim.network import AdHocNetwork
 from repro.sim.random_networks import sample_configs
+from repro.sim.registry import available_scenarios, get_scenario, register_scenario
 from repro.sim.rng import rng_from, spawn_seeds
+from repro.sim.scenarios import (
+    ChurnSpec,
+    MobilitySpec,
+    PlacementSpec,
+    PowerSpec,
+    ScenarioSpec,
+    run_scenario,
+    scenario_trace,
+)
 from repro.sim.workloads import (
     join_workload,
     movement_rounds,
@@ -12,13 +22,23 @@ from repro.sim.workloads import (
 
 __all__ = [
     "AdHocNetwork",
+    "ChurnSpec",
     "EventRecord",
     "MetricsCollector",
     "MetricsSnapshot",
+    "MobilitySpec",
+    "PlacementSpec",
+    "PowerSpec",
+    "ScenarioSpec",
+    "available_scenarios",
+    "get_scenario",
     "join_workload",
     "movement_rounds",
     "power_raise_workload",
+    "register_scenario",
     "rng_from",
+    "run_scenario",
     "sample_configs",
+    "scenario_trace",
     "spawn_seeds",
 ]

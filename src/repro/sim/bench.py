@@ -1,0 +1,124 @@
+"""Event-loop benchmark: grid/incremental fast path vs the dense hatch.
+
+``minim-cdma bench`` times the strategy-independent core of the
+simulator — topology mutation plus the conflict-set derivation every
+recoding strategy consumes (the conflict sets of the event node and its
+in-neighbors, i.e. the ``V1`` of Fig 3) — over two traces:
+
+* the paper's join sweep at ``--n`` nodes, and
+* one registered scenario's full event trace (default
+  ``random-waypoint``, re-based to ``--n`` nodes so moves dominate).
+
+Each trace runs once per mode: the grid-accelerated incremental
+conflict maintenance (default) and the ``REPRO_DENSE=1`` escape hatch
+that re-derives the dense conflict matrix per event.  Results land in
+``BENCH_eventloop.json`` (one entry per trace × mode with ``scenario``,
+``n``, ``wall_seconds``, ``events_per_sec``) so the perf trajectory is
+machine-readable from CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+from repro.sim.random_networks import sample_configs
+from repro.sim.registry import get_scenario
+from repro.topology.digraph import AdHocDigraph
+
+__all__ = ["drive_event_loop", "run_event_loop_bench", "write_bench_json"]
+
+_DEFAULT_OUT = Path("BENCH_eventloop.json")
+
+
+def drive_event_loop(events: list[Event], *, dense_conflicts: bool) -> float:
+    """Apply ``events`` to a fresh digraph; return the wall seconds.
+
+    Per event, after the topology mutation, the conflict sets of the
+    event node and its in-neighbors are derived — the exact queries a
+    recoding strategy issues as its first step (constraint collection
+    over ``V1``), so both modes answer the same workload.
+    """
+    graph = AdHocDigraph(dense_conflicts=dense_conflicts)
+    start = time.perf_counter()
+    for ev in events:
+        if isinstance(ev, JoinEvent):
+            graph.add_node(ev.config)
+        elif isinstance(ev, MoveEvent):
+            graph.move_node(ev.node_id, ev.x, ev.y)
+        elif isinstance(ev, PowerChangeEvent):
+            graph.set_range(ev.node_id, ev.new_range)
+        elif isinstance(ev, LeaveEvent):
+            graph.remove_node(ev.node_id)
+            continue  # nothing to recode around a departed node
+        for u in graph.in_neighbors(ev.node_id):
+            graph.conflict_neighbor_ids(u)
+        graph.conflict_neighbor_ids(ev.node_id)
+    return time.perf_counter() - start
+
+
+def _traces(n: int, scenario: str, seed: int) -> list[tuple[str, int, list[Event]]]:
+    """The benchmark traces: ``(label, n, events)`` triples."""
+    from repro.sim.scenarios import resolve_sweep, scenario_trace
+
+    rng = np.random.default_rng(seed)
+    join_events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng)]
+    spec = get_scenario(scenario)
+    spec = resolve_sweep(replace(spec, n=n), spec.sweep_values[-1])
+    _, scen_events = scenario_trace(spec, np.random.default_rng(seed + 1))
+    return [("fig10-join", n, join_events), (spec.name, spec.n, scen_events)]
+
+
+def run_event_loop_bench(
+    *,
+    n: int = 120,
+    runs: int = 3,
+    scenario: str = "random-waypoint",
+    seed: int = 2001,
+) -> list[dict]:
+    """Time all traces in both modes; return the result entries.
+
+    Each entry is ``{scenario, n, mode, events, runs, wall_seconds,
+    events_per_sec}`` with ``wall_seconds`` the median over ``runs``
+    repetitions; grid-mode entries additionally carry
+    ``speedup_vs_dense``.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    entries: list[dict] = []
+    for label, trace_n, events in _traces(n, scenario, seed):
+        timings: dict[str, float] = {}
+        for mode, dense in (("grid", False), ("dense", True)):
+            drive_event_loop(events, dense_conflicts=dense)  # warmup
+            wall = float(
+                np.median([drive_event_loop(events, dense_conflicts=dense) for _ in range(runs)])
+            )
+            timings[mode] = wall
+            entries.append(
+                {
+                    "scenario": label,
+                    "n": trace_n,
+                    "mode": mode,
+                    "events": len(events),
+                    "runs": runs,
+                    "wall_seconds": wall,
+                    "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+                }
+            )
+        grid_entry = entries[-2]
+        grid_entry["speedup_vs_dense"] = timings["dense"] / timings["grid"]
+    return entries
+
+
+def write_bench_json(entries: list[dict], out: Path | None = None) -> Path:
+    """Write bench entries to ``out`` (default ``BENCH_eventloop.json``)."""
+    path = _DEFAULT_OUT if out is None else out
+    if path.parent != Path():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    return path

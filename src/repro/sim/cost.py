@@ -13,7 +13,7 @@ terms (stall time, worst-disrupted node) instead of raw recode counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.network import AdHocNetwork
 from repro.strategies.base import RecodeResult

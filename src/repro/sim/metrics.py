@@ -8,7 +8,7 @@ distributed-overhead bench).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.strategies.base import RecodeResult
 from repro.types import NodeId

@@ -40,6 +40,10 @@ class AdHocNetwork:
     enforce_connectivity:
         When True, reject reconfigurations that violate the paper's
         Minimal Connectivity assumption.
+    dense_conflicts:
+        Forwarded to :class:`AdHocDigraph`: ``True`` forces the dense
+        per-event conflict derivation, ``False`` the grid-accelerated
+        incremental one, ``None`` consults ``REPRO_DENSE``.
     """
 
     def __init__(
@@ -49,8 +53,9 @@ class AdHocNetwork:
         propagation: PropagationModel | None = None,
         validate: bool = False,
         enforce_connectivity: bool = False,
+        dense_conflicts: bool | None = None,
     ) -> None:
-        self.graph = AdHocDigraph(propagation)
+        self.graph = AdHocDigraph(propagation, dense_conflicts=dense_conflicts)
         self.assignment = CodeAssignment()
         self.strategy = strategy
         self.metrics = MetricsCollector()

@@ -1,0 +1,53 @@
+"""Scenario registry: look up declarative scenario specs by name.
+
+The registry is a plain name -> :class:`~repro.sim.scenarios.ScenarioSpec`
+mapping.  Built-in scenarios register themselves when
+:mod:`repro.sim.scenarios` is imported; the lookup helpers trigger that
+import lazily so ``get_scenario("dense-urban")`` always works without
+callers having to know where the catalog lives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.sim.scenarios import ScenarioSpec
+
+__all__ = ["available_scenarios", "get_scenario", "register_scenario"]
+
+_REGISTRY: dict[str, "ScenarioSpec"] = {}
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in catalog so it registers itself (idempotent)."""
+    import repro.sim.scenarios  # noqa: F401  (import side effect: registration)
+
+
+def register_scenario(spec: "ScenarioSpec") -> "ScenarioSpec":
+    """Add ``spec`` to the registry; duplicate names raise.
+
+    Returns the spec so catalog modules can register at definition site.
+    """
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> "ScenarioSpec":
+    """The registered spec for ``name``; unknown names list the catalog."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ConfigurationError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def available_scenarios() -> list[str]:
+    """Names of all registered scenarios, ascending."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -15,7 +15,7 @@ from typing import TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "resolve_runs"]
+__all__ = ["chunk_evenly", "parallel_map", "resolve_runs"]
 
 
 def parallel_map(

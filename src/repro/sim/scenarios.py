@@ -1,0 +1,510 @@
+"""Declarative scenario engine: placement × mobility × churn × power.
+
+The paper's evaluation replays five fixed sweeps.  This module opens the
+workload space explored by the follow-on literature — clustered
+deployments (Liu et al., *Optimal Discrete Power Control in
+Poisson-Clustered Ad Hoc Networks*) and cross-layer dynamics (Comaniciu
+& Poor, *Energy Efficient Hierarchical Cross-Layer Design*) — behind a
+single declarative :class:`ScenarioSpec`:
+
+* **placement** — how node positions are drawn (uniform, Thomas-process
+  Poisson clusters, hotspot);
+* **mobility** — post-join movement (random waypoint, uniform jumps);
+* **churn** — leave/rejoin cycles with uniform or hotspot re-placement;
+* **power** — a raisefactor schedule over a random node fraction;
+* **strategies** and a **sweep axis** with its values.
+
+Specs are frozen dataclasses, picklable, and registered by name in
+:mod:`repro.sim.registry`; :func:`run_scenario` is the experiment driver
+(same shape as the ``run_*_experiment`` functions, fanning runs out via
+:func:`repro.sim.runner.parallel_map`), and ``minim-cdma scenario``
+exposes the catalog on the command line.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.events.base import Event, JoinEvent, LeaveEvent
+from repro.sim.experiments import (
+    _ABS_METRICS,
+    DEFAULT_STRATEGIES,
+    _series_from,
+    make_strategy,
+)
+from repro.sim.mobility import RandomWaypointModel
+from repro.sim.network import AdHocNetwork
+from repro.sim.random_networks import (
+    DEFAULT_AREA,
+    DEFAULT_MAX_RANGE,
+    DEFAULT_MIN_RANGE,
+    sample_configs,
+)
+from repro.sim.registry import get_scenario, register_scenario
+from repro.sim.runner import parallel_map, resolve_runs
+from repro.sim.workloads import movement_rounds, power_raise_workload
+from repro.topology.node import NodeConfig
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "ChurnSpec",
+    "MobilitySpec",
+    "PlacementSpec",
+    "PowerSpec",
+    "ScenarioSpec",
+    "place_nodes",
+    "resolve_sweep",
+    "run_scenario",
+    "scenario_trace",
+]
+
+_DEFAULT_RUNS = 5
+_DEFAULT_SEED = 2001
+
+
+# ----------------------------------------------------------------------
+# Spec dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlacementSpec:
+    """How initial node positions are drawn.
+
+    ``kind``: ``"uniform"`` (the paper's generator),
+    ``"poisson-cluster"`` (Thomas process: Poisson-many uniform parents,
+    Gaussian scatter of ``cluster_sigma`` around a parent chosen per
+    node), or ``"hotspot"`` (``hotspot_fraction`` of nodes inside a
+    central disc of ``hotspot_radius``, the rest uniform).
+    """
+
+    kind: str = "uniform"
+    cluster_rate: float = 4.0
+    cluster_sigma: float = 8.0
+    hotspot_fraction: float = 0.7
+    hotspot_radius: float = 20.0
+
+    _KINDS = ("uniform", "poisson-cluster", "hotspot")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(f"placement kind must be one of {self._KINDS}")
+        if not (0.0 <= self.hotspot_fraction <= 1.0):
+            raise ConfigurationError(
+                f"hotspot_fraction must be in [0, 1], got {self.hotspot_fraction}"
+            )
+        if self.cluster_rate <= 0 or self.cluster_sigma <= 0:
+            raise ConfigurationError("cluster_rate and cluster_sigma must be positive")
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Post-join movement: ``"none"``, ``"waypoint"`` or ``"jumps"``.
+
+    ``"waypoint"`` runs :class:`~repro.sim.mobility.RandomWaypointModel`
+    for ``steps`` rounds with per-leg speeds in
+    ``[speed_min, speed_max]``; ``"jumps"`` replays the paper's uniform
+    random jumps (``maxdisp``) for ``steps`` rounds.
+    """
+
+    kind: str = "none"
+    steps: int = 0
+    speed_min: float = 1.0
+    speed_max: float = 5.0
+    pause_steps: int = 0
+    maxdisp: float = 40.0
+
+    _KINDS = ("none", "waypoint", "jumps")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(f"mobility kind must be one of {self._KINDS}")
+        if self.steps < 0:
+            raise ConfigurationError(f"mobility steps must be >= 0, got {self.steps}")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Leave/rejoin cycles: ``"none"``, ``"uniform"`` or ``"hotspot"``.
+
+    Each of ``cycles`` rounds picks ``fraction`` of the nodes to leave
+    and rejoin; ``"uniform"`` re-places them uniformly over the arena,
+    ``"hotspot"`` inside a central disc of ``hotspot_radius`` (crowd
+    convergence).
+    """
+
+    kind: str = "none"
+    cycles: int = 0
+    fraction: float = 0.2
+    hotspot_radius: float = 25.0
+
+    _KINDS = ("none", "uniform", "hotspot")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(f"churn kind must be one of {self._KINDS}")
+        if not (0.0 <= self.fraction <= 1.0):
+            raise ConfigurationError(f"churn fraction must be in [0, 1], got {self.fraction}")
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Power schedule: ``"none"`` or ``"raise"``.
+
+    ``"raise"`` multiplies the ranges of a random ``fraction`` of nodes
+    by ``raisefactor`` (the paper's experiment 5.2 perturbation).
+    """
+
+    kind: str = "none"
+    raisefactor: float = 2.0
+    fraction: float = 0.5
+
+    _KINDS = ("none", "raise")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(f"power kind must be one of {self._KINDS}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully declarative simulation scenario.
+
+    The event trace of one run is: sequential joins of the placed nodes,
+    then mobility rounds, then churn cycles, then the power schedule.
+    ``sweep_axis`` names the spec field the x-axis varies
+    (``n`` / ``avg_range`` / ``steps`` / ``maxdisp`` / ``fraction`` /
+    ``cycles`` / ``raisefactor``) over ``sweep_values``.
+    """
+
+    name: str
+    description: str
+    n: int = 100
+    min_range: float = DEFAULT_MIN_RANGE
+    max_range: float = DEFAULT_MAX_RANGE
+    area: tuple[float, float] = DEFAULT_AREA
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
+    mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    power: PowerSpec = field(default_factory=PowerSpec)
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES
+    sweep_axis: str = "n"
+    sweep_values: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if not (0 < self.min_range <= self.max_range):
+            raise ConfigurationError(
+                f"need 0 < min_range <= max_range, got ({self.min_range}, {self.max_range})"
+            )
+        if self.sweep_axis not in _SWEEP_AXES:
+            raise ConfigurationError(
+                f"sweep_axis must be one of {tuple(_SWEEP_AXES)}, got {self.sweep_axis!r}"
+            )
+        if not self.strategies:
+            raise ConfigurationError("scenario needs at least one strategy")
+
+
+# ----------------------------------------------------------------------
+# Sweep resolution
+# ----------------------------------------------------------------------
+def _sweep_n(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    return replace(spec, n=int(v))
+
+
+def _sweep_avg_range(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    spread = spec.max_range - spec.min_range
+    return replace(spec, min_range=v - spread / 2.0, max_range=v + spread / 2.0)
+
+
+def _sweep_steps(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    return replace(spec, mobility=replace(spec.mobility, steps=int(v)))
+
+
+def _sweep_maxdisp(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    return replace(spec, mobility=replace(spec.mobility, maxdisp=float(v)))
+
+
+def _sweep_fraction(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    return replace(spec, churn=replace(spec.churn, fraction=float(v)))
+
+
+def _sweep_cycles(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    return replace(spec, churn=replace(spec.churn, cycles=int(v)))
+
+
+def _sweep_raisefactor(spec: ScenarioSpec, v: float) -> ScenarioSpec:
+    return replace(spec, power=replace(spec.power, raisefactor=float(v)))
+
+
+_SWEEP_AXES = {
+    "n": _sweep_n,
+    "avg_range": _sweep_avg_range,
+    "steps": _sweep_steps,
+    "maxdisp": _sweep_maxdisp,
+    "fraction": _sweep_fraction,
+    "cycles": _sweep_cycles,
+    "raisefactor": _sweep_raisefactor,
+}
+
+
+def resolve_sweep(spec: ScenarioSpec, value: float) -> ScenarioSpec:
+    """``spec`` with its sweep axis pinned to ``value``."""
+    return _SWEEP_AXES[spec.sweep_axis](spec, value)
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+def _hotspot_points(
+    count: int, area: tuple[float, float], radius: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform samples from the central disc, clipped to the arena."""
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=count)
+    r = radius * np.sqrt(rng.uniform(0.0, 1.0, size=count))
+    cx, cy = area[0] / 2.0, area[1] / 2.0
+    xs = np.clip(cx + r * np.cos(theta), 0.0, area[0])
+    ys = np.clip(cy + r * np.sin(theta), 0.0, area[1])
+    return np.stack([xs, ys], axis=1)
+
+
+def place_nodes(spec: ScenarioSpec, rng: np.random.Generator) -> list[NodeConfig]:
+    """Sample ``spec.n`` node configurations per the placement model.
+
+    Ids are ``1..n``; ranges are uniform in ``[min_range, max_range]``
+    for every placement kind (only the position law varies).
+    """
+    p = spec.placement
+    n = spec.n
+    width, height = spec.area
+    if p.kind == "uniform":
+        return sample_configs(
+            n, rng, area=spec.area, min_range=spec.min_range, max_range=spec.max_range
+        )
+    if p.kind == "poisson-cluster":
+        # Thomas process, conditioned on n points total: Poisson-many
+        # uniform parents, each node scattered (Gaussian) around a
+        # uniformly chosen parent.
+        parents = max(1, int(rng.poisson(p.cluster_rate)))
+        px = rng.uniform(0.0, width, size=parents)
+        py = rng.uniform(0.0, height, size=parents)
+        which = rng.integers(0, parents, size=n)
+        xs = np.clip(px[which] + rng.normal(0.0, p.cluster_sigma, size=n), 0.0, width)
+        ys = np.clip(py[which] + rng.normal(0.0, p.cluster_sigma, size=n), 0.0, height)
+    else:  # hotspot
+        k = int(round(n * p.hotspot_fraction))
+        hot = _hotspot_points(k, spec.area, p.hotspot_radius, rng)
+        xs = np.concatenate([hot[:, 0], rng.uniform(0.0, width, size=n - k)])
+        ys = np.concatenate([hot[:, 1], rng.uniform(0.0, height, size=n - k)])
+    ranges = rng.uniform(spec.min_range, spec.max_range, size=n)
+    return [
+        NodeConfig(i + 1, float(xs[i]), float(ys[i]), float(ranges[i])) for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Event-trace construction
+# ----------------------------------------------------------------------
+def _mobility_events(
+    spec: ScenarioSpec, configs: list[NodeConfig], rng: np.random.Generator
+) -> list[Event]:
+    m = spec.mobility
+    if m.kind == "none" or m.steps == 0:
+        return []
+    if m.kind == "jumps":
+        rounds = movement_rounds(configs, m.steps, m.maxdisp, rng, area=spec.area)
+        return [ev for round_events in rounds for ev in round_events]
+    model = RandomWaypointModel(
+        configs,
+        rng,
+        speed_range=(m.speed_min, m.speed_max),
+        pause_steps=m.pause_steps,
+        area=spec.area,
+    )
+    return [ev for round_events in model.run(m.steps) for ev in round_events]
+
+
+def _churn_events(
+    spec: ScenarioSpec, configs: list[NodeConfig], rng: np.random.Generator
+) -> list[Event]:
+    c = spec.churn
+    if c.kind == "none" or c.cycles == 0:
+        return []
+    events: list[Event] = []
+    by_id = {cfg.node_id: cfg for cfg in configs}
+    k = int(round(len(configs) * c.fraction))
+    for _ in range(c.cycles):
+        chosen = rng.choice(len(configs), size=k, replace=False)
+        leavers = [configs[int(i)].node_id for i in chosen]
+        events.extend(LeaveEvent(v) for v in leavers)
+        if c.kind == "hotspot":
+            pts = _hotspot_points(k, spec.area, c.hotspot_radius, rng)
+        else:
+            pts = np.stack(
+                [
+                    rng.uniform(0.0, spec.area[0], size=k),
+                    rng.uniform(0.0, spec.area[1], size=k),
+                ],
+                axis=1,
+            )
+        for j, v in enumerate(leavers):
+            cfg = by_id[v]
+            events.append(JoinEvent(cfg.moved_to(float(pts[j, 0]), float(pts[j, 1]))))
+    return events
+
+
+def scenario_trace(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> tuple[list[NodeConfig], list[Event]]:
+    """One run's ``(configs, events)`` for an already-resolved spec.
+
+    The trace is: sequential joins, mobility rounds, churn cycles, power
+    schedule — deterministic given ``rng``'s state, so every strategy
+    replays a byte-identical event sequence.
+    """
+    configs = place_nodes(spec, rng)
+    events: list[Event] = [JoinEvent(cfg) for cfg in configs]
+    events.extend(_mobility_events(spec, configs, rng))
+    events.extend(_churn_events(spec, configs, rng))
+    if spec.power.kind == "raise":
+        events.extend(
+            power_raise_workload(
+                configs, spec.power.raisefactor, rng, fraction=spec.power.fraction
+            )
+        )
+    return configs, events
+
+
+# ----------------------------------------------------------------------
+# Experiment driver
+# ----------------------------------------------------------------------
+def _scenario_task(args: tuple) -> list[tuple[float, float, float]]:
+    spec, value, seed = args
+    resolved = resolve_sweep(spec, value)
+    _, events = scenario_trace(resolved, np.random.default_rng(seed))
+    out = []
+    for name in resolved.strategies:
+        net = AdHocNetwork(make_strategy(name))
+        for ev in events:
+            net.apply(ev)
+        out.append(
+            (
+                float(net.max_color()),
+                float(net.metrics.total_recodings),
+                float(net.metrics.total_messages),
+            )
+        )
+    return out
+
+
+def run_scenario(
+    scenario: ScenarioSpec | str,
+    *,
+    runs: int | None = None,
+    seed: int = _DEFAULT_SEED,
+    strategies: Sequence[str] | None = None,
+    processes: int | None = None,
+):
+    """Run a scenario sweep and return its ``ExperimentSeries``.
+
+    ``scenario`` is a spec or a registered name.  Each sweep value is
+    averaged over ``runs`` independent random traces (``REPRO_RUNS``
+    overrides the default of 5), fanned out with ``parallel_map`` like
+    every other experiment driver.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if strategies is not None:
+        spec = replace(spec, strategies=tuple(strategies))
+    if not spec.sweep_values:
+        raise ConfigurationError(f"scenario {spec.name!r} has no sweep values")
+    runs = resolve_runs(runs, _DEFAULT_RUNS, os.environ.get("REPRO_RUNS"))
+    point_seeds = np.random.SeedSequence(seed).spawn(len(spec.sweep_values))
+    tasks = [
+        (spec, value, run_seed)
+        for i, value in enumerate(spec.sweep_values)
+        for run_seed in point_seeds[i].spawn(runs)
+    ]
+    raw = parallel_map(_scenario_task, tasks, processes=processes)
+    data = np.asarray(raw, dtype=np.float64).reshape(
+        len(spec.sweep_values), runs, len(spec.strategies), len(_ABS_METRICS)
+    )
+    return _series_from(
+        f"scenario-{spec.name}",
+        spec.sweep_axis,
+        list(spec.sweep_values),
+        data,
+        spec.strategies,
+        _ABS_METRICS,
+        runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in catalog
+# ----------------------------------------------------------------------
+#: The registered built-in scenarios (the paper's join sweep plus six
+#: workloads the paper cannot express).
+BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = tuple(
+    register_scenario(spec)
+    for spec in (
+        ScenarioSpec(
+            name="paper-join",
+            description="The paper's Fig 10(a-c) sweep: uniform placement, sequential joins.",
+            sweep_axis="n",
+            sweep_values=(40, 60, 80, 100, 120),
+        ),
+        ScenarioSpec(
+            name="poisson-cluster",
+            description="Thomas-process clustered placement (Poisson parents, Gaussian scatter).",
+            placement=PlacementSpec(kind="poisson-cluster", cluster_rate=5.0, cluster_sigma=8.0),
+            sweep_axis="n",
+            sweep_values=(40, 80, 120),
+        ),
+        ScenarioSpec(
+            name="random-waypoint",
+            description="Random-waypoint mobility rounds after a uniform join phase.",
+            n=40,
+            mobility=MobilitySpec(kind="waypoint", steps=4, speed_min=2.0, speed_max=8.0),
+            sweep_axis="steps",
+            sweep_values=(2, 4, 8),
+        ),
+        ScenarioSpec(
+            name="uniform-churn",
+            description="Leave/rejoin cycles with uniform re-placement over the arena.",
+            n=60,
+            churn=ChurnSpec(kind="uniform", cycles=2, fraction=0.2),
+            sweep_axis="fraction",
+            sweep_values=(0.1, 0.2, 0.4),
+        ),
+        ScenarioSpec(
+            name="hotspot-churn",
+            description="Leave/rejoin cycles converging into a central hotspot disc.",
+            n=60,
+            churn=ChurnSpec(kind="hotspot", cycles=2, fraction=0.2, hotspot_radius=20.0),
+            sweep_axis="fraction",
+            sweep_values=(0.1, 0.2, 0.4),
+        ),
+        ScenarioSpec(
+            name="dense-urban",
+            description="Dense short-range deployment: many nodes, ranges 8-12 units.",
+            min_range=8.0,
+            max_range=12.0,
+            sweep_axis="n",
+            sweep_values=(80, 120, 160),
+        ),
+        ScenarioSpec(
+            name="sparse-long-range",
+            description="Sparse long-range deployment: few nodes, ranges 45-60 units.",
+            min_range=45.0,
+            max_range=60.0,
+            sweep_axis="n",
+            sweep_values=(16, 24, 32),
+        ),
+    )
+)

@@ -54,7 +54,9 @@ class GreedySequentialStrategy(RecodingStrategy):
         messages = 2 * len(part.in_neighbors) + sum(1 for u in changes if u != node_id)
         return RecodeResult(event_kind, node_id, changes, messages=messages)
 
-    def on_join(self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId) -> RecodeResult:
+    def on_join(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId
+    ) -> RecodeResult:
         return self._plan_local(graph, assignment, node_id, "join")
 
     def on_leave(
@@ -66,7 +68,9 @@ class GreedySequentialStrategy(RecodingStrategy):
     ) -> RecodeResult:
         return RecodeResult("leave", node_id, {}, messages=0)
 
-    def on_move(self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId) -> RecodeResult:
+    def on_move(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId
+    ) -> RecodeResult:
         return self._plan_local(graph, assignment, node_id, "move")
 
     def on_power_change(

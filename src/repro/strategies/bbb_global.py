@@ -44,7 +44,9 @@ class BBBGlobalStrategy(RecodingStrategy):
         messages = 2 * len(graph.node_ids())
         return RecodeResult(event_kind, node_id, changes, messages=messages)
 
-    def on_join(self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId) -> RecodeResult:
+    def on_join(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId
+    ) -> RecodeResult:
         return self._recolor(graph, assignment, "join", node_id)
 
     def on_leave(
@@ -56,7 +58,9 @@ class BBBGlobalStrategy(RecodingStrategy):
     ) -> RecodeResult:
         return self._recolor(graph, assignment, "leave", node_id)
 
-    def on_move(self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId) -> RecodeResult:
+    def on_move(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId
+    ) -> RecodeResult:
         return self._recolor(graph, assignment, "move", node_id)
 
     def on_power_change(

@@ -20,6 +20,7 @@ implements that model:
 from repro.topology.builder import build_digraph
 from repro.topology.conflicts import (
     are_conflicting,
+    conflict_adjacency,
     conflict_degree,
     conflict_matrix,
     conflict_neighbors,
@@ -47,6 +48,7 @@ __all__ = [
     "PropagationModel",
     "are_conflicting",
     "build_digraph",
+    "conflict_adjacency",
     "conflict_degree",
     "conflict_matrix",
     "conflict_neighbors",

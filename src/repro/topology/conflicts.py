@@ -20,6 +20,7 @@ from repro.types import NodeId
 
 __all__ = [
     "are_conflicting",
+    "conflict_adjacency",
     "conflict_degree",
     "conflict_matrix",
     "conflict_neighbors",
@@ -44,6 +45,23 @@ def conflict_matrix(adjacency: np.ndarray) -> np.ndarray:
     conflicts = a | a.T | common_out
     np.fill_diagonal(conflicts, False)
     return conflicts
+
+
+def conflict_adjacency(graph) -> tuple[list[NodeId], np.ndarray]:
+    """``(ids, C)`` — the full conflict matrix of ``graph``, ids ascending.
+
+    Delegates to the graph's native ``conflict_adjacency`` when available
+    (:class:`AdHocDigraph` assembles it from incrementally maintained
+    CA2 counters without a matmul); otherwise derives it densely from
+    the exported adjacency matrix.  Whole-network consumers — the BBB
+    recolor, coloring heuristics, clique bounds — should call this
+    instead of ``conflict_matrix(graph.adjacency()[1])``.
+    """
+    native = getattr(graph, "conflict_adjacency", None)
+    if native is not None:
+        return native()
+    ids, adj = graph.adjacency()
+    return ids, conflict_matrix(adj)
 
 
 def conflict_neighbors(graph, node_id: NodeId) -> set[NodeId]:

@@ -11,15 +11,39 @@ Implementation notes (per the hpc-parallel guides):
 * Removal swap-deletes the last slot into the vacated one, keeping the
   active block contiguous (cache-friendly row/column operations).
 * All neighbor queries return id lists sorted ascending for determinism.
+
+Two conflict-maintenance modes exist, selected at construction (or by
+the ``REPRO_DENSE`` environment variable):
+
+* **Incremental (default).**  A :class:`UniformGridIndex` over node
+  positions narrows edge recomputation after a join / move / power
+  change to the grid cells a transmission disc can reach, and a dense
+  counter matrix ``C2[u, v] = |out(u) ∩ out(v)|`` is updated from the
+  edge deltas of each event.  Conflict queries then read one row:
+  ``CA1 ∪ CA2 = A[u] | A[:, u] | (C2[u] > 0)`` — no matmul, no scan of
+  unrelated nodes' discs.
+* **Dense (``REPRO_DENSE=1`` or ``dense_conflicts=True``).**  The
+  original behavior: every event rescans all N nodes, and conflict sets
+  are re-derived from the canonical dense expression
+  ``A | Aᵀ | (A·Aᵀ > 0)`` (:func:`repro.topology.conflicts.conflict_matrix`)
+  once per event.  Kept as the obviously-correct escape hatch and as the
+  oracle the equivalence tests compare against.
+
+The grid fast path is only engaged when the propagation model declares
+``disc_bounded = True`` (coverage is a subset of the transmission disc,
+true for the free-space and obstructed models); other models fall back
+to full scans while keeping the incremental conflict counters.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterator
 
 import numpy as np
 
 from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.geometry.grid_index import UniformGridIndex
 from repro.topology.node import NodeConfig
 from repro.topology.propagation import FreeSpacePropagation, PropagationModel
 from repro.types import NodeId
@@ -27,6 +51,14 @@ from repro.types import NodeId
 __all__ = ["AdHocDigraph"]
 
 _INITIAL_CAPACITY = 16
+#: Rebuild the spatial grid when a range exceeds this multiple of the
+#: cell size, so disc queries keep touching O(1) cells as power grows.
+_REGRID_FACTOR = 4.0
+
+
+def _dense_from_env() -> bool:
+    """Whether ``REPRO_DENSE`` requests the dense escape hatch."""
+    return os.environ.get("REPRO_DENSE", "") not in ("", "0")
 
 
 class AdHocDigraph:
@@ -39,16 +71,44 @@ class AdHocDigraph:
     ----------
     propagation:
         Propagation model; defaults to the paper's free-space disc.
+    dense_conflicts:
+        ``True`` forces the dense per-event conflict derivation,
+        ``False`` the grid-accelerated incremental one.  ``None``
+        (default) consults the ``REPRO_DENSE`` environment variable.
+    grid_cell_size:
+        Explicit spatial-grid cell size.  Default: sized from observed
+        transmission ranges (a disc query then touches O(1) cells).
     """
 
-    def __init__(self, propagation: PropagationModel | None = None) -> None:
-        self._prop: PropagationModel = propagation if propagation is not None else FreeSpacePropagation()
+    def __init__(
+        self,
+        propagation: PropagationModel | None = None,
+        *,
+        dense_conflicts: bool | None = None,
+        grid_cell_size: float | None = None,
+    ) -> None:
+        self._prop: PropagationModel = (
+            propagation if propagation is not None else FreeSpacePropagation()
+        )
+        if dense_conflicts is None:
+            dense_conflicts = _dense_from_env()
+        self._dense = bool(dense_conflicts)
         cap = _INITIAL_CAPACITY
         self._pos = np.zeros((cap, 2), dtype=np.float64)
         self._range = np.zeros(cap, dtype=np.float64)
         self._adj = np.zeros((cap, cap), dtype=bool)
         self._ids: list[NodeId] = []  # index -> id, for the active block
+        self._ida = np.zeros(cap, dtype=np.int64)  # slot-aligned ids (hot queries)
         self._index: dict[NodeId, int] = {}
+        # Incremental mode: CA2 witness counts C2[u, v] = |out(u) ∩ out(v)|.
+        self._c2 = None if self._dense else np.zeros((cap, cap), dtype=np.int32)
+        self._use_grid = (not self._dense) and bool(getattr(self._prop, "disc_bounded", False))
+        self._grid: UniformGridIndex | None = None
+        self._grid_cell = grid_cell_size
+        # Dense mode: conflict matrix re-derived once per topology version.
+        self._version = 0
+        self._cm_cache: np.ndarray | None = None
+        self._cm_version = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -57,6 +117,16 @@ class AdHocDigraph:
     def propagation(self) -> PropagationModel:
         """The propagation model edges are computed under."""
         return self._prop
+
+    @property
+    def dense_conflicts(self) -> bool:
+        """Whether this graph runs the dense (escape-hatch) conflict path."""
+        return self._dense
+
+    @property
+    def grid_index(self) -> UniformGridIndex | None:
+        """The spatial index backing the fast path (``None`` if unused)."""
+        return self._grid
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -71,7 +141,9 @@ class AdHocDigraph:
     def config(self, node_id: NodeId) -> NodeConfig:
         """The current configuration of ``node_id``."""
         i = self._idx(node_id)
-        return NodeConfig(node_id, float(self._pos[i, 0]), float(self._pos[i, 1]), float(self._range[i]))
+        return NodeConfig(
+            node_id, float(self._pos[i, 0]), float(self._pos[i, 1]), float(self._range[i])
+        )
 
     def configs(self) -> list[NodeConfig]:
         """All node configurations, ascending by id."""
@@ -97,20 +169,20 @@ class AdHocDigraph:
         """Nodes within ``node_id``'s transmission range (sorted)."""
         i = self._idx(node_id)
         n = len(self._ids)
-        return sorted(self._ids[j] for j in np.flatnonzero(self._adj[i, :n]))
+        return sorted(self._ida[:n][self._adj[i, :n]].tolist())
 
     def in_neighbors(self, node_id: NodeId) -> list[NodeId]:
         """Nodes whose transmissions reach ``node_id`` (sorted)."""
         i = self._idx(node_id)
         n = len(self._ids)
-        return sorted(self._ids[j] for j in np.flatnonzero(self._adj[:n, i]))
+        return sorted(self._ida[:n][self._adj[:n, i]].tolist())
 
     def undirected_neighbors(self, node_id: NodeId) -> list[NodeId]:
         """Union of in- and out-neighbors (sorted)."""
         i = self._idx(node_id)
         n = len(self._ids)
         mask = self._adj[i, :n] | self._adj[:n, i]
-        return sorted(self._ids[j] for j in np.flatnonzero(mask))
+        return sorted(self._ida[:n][mask].tolist())
 
     def out_degree(self, node_id: NodeId) -> int:
         """Number of out-neighbors."""
@@ -162,20 +234,42 @@ class AdHocDigraph:
         """Join ``cfg`` to the network, creating its in/out edges."""
         if cfg.node_id in self._index:
             raise DuplicateNodeError(cfg.node_id)
-        n = len(self._ids)
-        self._ensure_capacity(n + 1)
-        self._pos[n] = (cfg.x, cfg.y)
-        self._range[n] = cfg.tx_range
+        n = len(self._ids) + 1
+        self._ensure_capacity(n)
+        i = n - 1
+        self._pos[i] = (cfg.x, cfg.y)
+        self._range[i] = cfg.tx_range
         self._ids.append(cfg.node_id)
-        self._index[cfg.node_id] = n
-        self._recompute_row(n)
-        self._recompute_col(n)
+        self._ida[i] = cfg.node_id
+        self._index[cfg.node_id] = i
+        if self._use_grid:
+            self._grid_insert(cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
+        if self._dense:
+            self._recompute_row(i)
+            self._recompute_col(i)
+        else:
+            self._apply_row_delta(i, self._coverage_mask(i))
+            self._apply_col_delta(i, self._covered_mask(i))
+        self._version += 1
 
     def remove_node(self, node_id: NodeId) -> NodeConfig:
         """Remove ``node_id`` and all incident edges; returns its config."""
         cfg = self.config(node_id)
-        i = self._index.pop(node_id)
-        last = len(self._ids) - 1
+        n = len(self._ids)
+        i = self._index[node_id]
+        c2 = self._c2
+        if c2 is not None:
+            # The receiver clique at i dissolves: every pair of its
+            # in-neighbors loses one common-out-neighbor witness.  Pairs
+            # involving i itself vanish with its row/column below.
+            src = np.flatnonzero(self._adj[:n, i])
+            if src.size > 1:
+                c2[np.ix_(src, src)] -= 1
+                c2[src, src] += 1
+        if self._grid is not None:
+            self._grid.remove(node_id)
+        self._index.pop(node_id)
+        last = n - 1
         if i != last:
             # Swap-delete: move the last slot into i.
             self._pos[i] = self._pos[last]
@@ -183,20 +277,36 @@ class AdHocDigraph:
             self._adj[i, : last + 1] = self._adj[last, : last + 1]
             self._adj[: last + 1, i] = self._adj[: last + 1, last]
             self._adj[i, i] = False
+            if c2 is not None:
+                c2[i, : last + 1] = c2[last, : last + 1]
+                c2[: last + 1, i] = c2[: last + 1, last]
+                c2[i, i] = 0
             moved = self._ids[last]
             self._ids[i] = moved
+            self._ida[i] = moved
             self._index[moved] = i
         self._ids.pop()
         self._adj[last, : last + 1] = False
         self._adj[: last + 1, last] = False
+        if c2 is not None:
+            c2[last, : last + 1] = 0
+            c2[: last + 1, last] = 0
+        self._version += 1
         return cfg
 
     def move_node(self, node_id: NodeId, x: float, y: float) -> None:
         """Relocate ``node_id``; recomputes its out- and in-edges."""
         i = self._idx(node_id)
         self._pos[i] = (float(x), float(y))
-        self._recompute_row(i)
-        self._recompute_col(i)
+        if self._grid is not None:
+            self._grid.move(node_id, float(x), float(y))
+        if self._dense:
+            self._recompute_row(i)
+            self._recompute_col(i)
+        else:
+            self._apply_row_delta(i, self._coverage_mask(i))
+            self._apply_col_delta(i, self._covered_mask(i))
+        self._version += 1
 
     def set_range(self, node_id: NodeId, tx_range: float) -> None:
         """Change ``node_id``'s transmission range; recomputes out-edges.
@@ -210,17 +320,32 @@ class AdHocDigraph:
             raise ConfigurationError(f"tx_range must be positive, got {tx_range}")
         i = self._idx(node_id)
         self._range[i] = float(tx_range)
-        self._recompute_row(i)
+        if self._grid is not None:
+            self._maybe_regrid(float(tx_range))
+        if self._dense:
+            self._recompute_row(i)
+        else:
+            self._apply_row_delta(i, self._coverage_mask(i))
+        self._version += 1
 
     def copy(self) -> "AdHocDigraph":
         """Deep copy (same propagation model object, copied arrays)."""
         g = AdHocDigraph.__new__(AdHocDigraph)
         g._prop = self._prop
+        g._dense = self._dense
         g._pos = self._pos.copy()
         g._range = self._range.copy()
         g._adj = self._adj.copy()
         g._ids = list(self._ids)
+        g._ida = self._ida.copy()
         g._index = dict(self._index)
+        g._c2 = None if self._c2 is None else self._c2.copy()
+        g._use_grid = self._use_grid
+        g._grid = None if self._grid is None else self._grid.copy()
+        g._grid_cell = self._grid_cell
+        g._version = self._version
+        g._cm_cache = None
+        g._cm_version = -1
         return g
 
     # ------------------------------------------------------------------
@@ -230,18 +355,42 @@ class AdHocDigraph:
         """Nodes conflicting with ``node_id`` under CA1 ∪ CA2.
 
         CA1: an edge in either direction; CA2: a common out-neighbor.
-        Computed on the internal arrays without copying the adjacency
-        matrix — this is the hot query of every recoding strategy.
+        This is the hot query of every recoding strategy.  Incremental
+        mode reads the maintained counter row; dense mode reads the
+        per-event conflict matrix re-derived by
+        :func:`repro.topology.conflicts.conflict_matrix`.
         """
         i = self._idx(node_id)
         n = len(self._ids)
-        a = self._adj[:n, :n]
-        mask = a[i] | a[:, i]
-        out = a[i]
-        if out.any():
-            mask = mask | a[:, out].any(axis=1)
-        mask[i] = False
-        return {self._ids[j] for j in np.flatnonzero(mask)}
+        if self._dense:
+            mask = self._dense_conflict_block()[i]
+        else:
+            a = self._adj
+            mask = a[i, :n] | a[:n, i] | (self._c2[i, :n] > 0)
+            mask[i] = False
+        return set(self._ida[:n][mask].tolist())
+
+    def conflict_adjacency(self) -> tuple[list[NodeId], np.ndarray]:
+        """``(ids, C)`` — the symmetric CA1 ∪ CA2 conflict matrix.
+
+        ``ids`` is ascending; ``C`` is a copy safe to mutate.  The
+        incremental mode assembles it from the maintained CA2 counters
+        in O(N²) boolean work (no matmul); the dense mode returns the
+        per-event re-derivation.  Whole-network consumers (the BBB
+        recolor, clique bounds) use this instead of
+        ``conflict_matrix(adjacency())``.
+        """
+        n = len(self._ids)
+        order = sorted(range(n), key=lambda j: self._ids[j])
+        ids = [self._ids[j] for j in order]
+        if self._dense:
+            block = self._dense_conflict_block()
+        else:
+            a = self._adj[:n, :n]
+            block = a | a.T | (self._c2[:n, :n] > 0)
+            np.fill_diagonal(block, False)
+        perm = np.asarray(order, dtype=np.intp)
+        return ids, block[np.ix_(perm, perm)].copy()
 
     def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
         """BFS hop counts from ``src`` over the undirected support.
@@ -299,17 +448,150 @@ class AdHocDigraph:
         pos[:n] = self._pos[:n]
         rng[:n] = self._range[:n]
         adj[:n, :n] = self._adj[:n, :n]
-        self._pos, self._range, self._adj = pos, rng, adj
+        ida = np.zeros(new_cap, dtype=np.int64)
+        ida[:n] = self._ida[:n]
+        self._pos, self._range, self._adj, self._ida = pos, rng, adj, ida
+        if self._c2 is not None:
+            c2 = np.zeros((new_cap, new_cap), dtype=np.int32)
+            c2[:n, :n] = self._c2[:n, :n]
+            self._c2 = c2
+
+    # -- spatial grid ---------------------------------------------------
+    def _grid_insert(self, node_id: NodeId, x: float, y: float, tx_range: float) -> None:
+        """Insert into the spatial index, creating/resizing it as needed."""
+        if self._grid is None:
+            cell = self._grid_cell if self._grid_cell is not None else float(tx_range)
+            self._grid = UniformGridIndex(cell)
+        self._grid.insert(node_id, float(x), float(y))
+        self._maybe_regrid(float(tx_range))
+
+    def _maybe_regrid(self, tx_range: float) -> None:
+        """Rebuild the grid when ranges outgrow the cell size.
+
+        Keeps a disc query touching O(1) cells even as transmission
+        power rises (e.g. the paper's raisefactor sweep).  Rebuilds are
+        O(N) and only triggered by a new maximum range, so the cost
+        amortizes away.
+        """
+        if self._grid_cell is not None:  # explicit cell size wins
+            return
+        grid = self._grid
+        if grid is not None and tx_range > _REGRID_FACTOR * grid.cell_size:
+            rebuilt = UniformGridIndex(tx_range)
+            for item in grid:
+                rebuilt.insert(item, *grid.position_of(item))
+            self._grid = rebuilt
+
+    def _candidate_slots(self, i: int, radius: float) -> np.ndarray | None:
+        """Slots of nodes within ``radius`` of slot ``i`` (grid superset).
+
+        ``None`` means the grid is unavailable (dense mode, non-disc
+        propagation, or an empty graph) and the caller must scan all N.
+        """
+        if not self._use_grid or self._grid is None:
+            return None
+        x, y = self._pos[i]
+        ids = self._grid.candidates_in_box(float(x), float(y), radius)
+        index = self._index
+        return np.asarray([index[v] for v in ids], dtype=np.intp)
+
+    # -- edge-mask computation ------------------------------------------
+    def _coverage_mask(self, i: int) -> np.ndarray:
+        """Out-edge mask of slot ``i`` (which targets does it cover?)."""
+        n = len(self._ids)
+        r = float(self._range[i])
+        cand = self._candidate_slots(i, r)
+        if cand is None:
+            mask = self._prop.coverage(self._pos[i], r, self._pos[:n]).copy()
+        else:
+            mask = np.zeros(n, dtype=bool)
+            if cand.size:
+                covered = self._prop.coverage(self._pos[i], r, self._pos[cand])
+                mask[cand[covered]] = True
+        mask[i] = False
+        return mask
+
+    def _covered_mask(self, i: int) -> np.ndarray:
+        """In-edge mask of slot ``i`` (which sources cover it?).
+
+        The grid query uses the current maximum range as its radius: any
+        source whose disc reaches ``i`` lies within that distance.
+        """
+        n = len(self._ids)
+        cand = self._candidate_slots(i, float(self._range[:n].max())) if n else None
+        if cand is None:
+            mask = self._prop.covered_by(self._pos[i], self._pos[:n], self._range[:n]).copy()
+        else:
+            mask = np.zeros(n, dtype=bool)
+            if cand.size:
+                covered = self._prop.covered_by(
+                    self._pos[i], self._pos[cand], self._range[cand]
+                )
+                mask[cand[covered]] = True
+        mask[i] = False
+        return mask
+
+    # -- incremental CA2 maintenance ------------------------------------
+    def _apply_row_delta(self, i: int, new_row: np.ndarray) -> None:
+        """Replace slot ``i``'s out-edges, updating the CA2 counters.
+
+        When ``i`` starts (stops) covering a receiver ``w``, every other
+        in-neighbor of ``w`` gains (loses) one common-out-neighbor
+        witness with ``i`` — counted vectorized from ``w``'s column.
+        """
+        n = len(self._ids)
+        a = self._adj
+        old_row = a[i, :n]
+        added = np.flatnonzero(new_row & ~old_row)
+        removed = np.flatnonzero(old_row & ~new_row)
+        if added.size or removed.size:
+            cnt = a[:n, added].sum(axis=1, dtype=np.int32)
+            cnt -= a[:n, removed].sum(axis=1, dtype=np.int32)
+            cnt[i] = 0  # no (i, i) pair; i's own row is the one changing
+            c2 = self._c2
+            c2[i, :n] += cnt
+            c2[:n, i] += cnt
+        a[i, :n] = new_row
+
+    def _apply_col_delta(self, i: int, new_col: np.ndarray) -> None:
+        """Replace slot ``i``'s in-edges, updating the CA2 counters.
+
+        The in-neighbors of receiver ``i`` form a CA2 clique: retract
+        the old clique's witness counts, assert the new one's.
+        """
+        n = len(self._ids)
+        a = self._adj
+        c2 = self._c2
+        old = np.flatnonzero(a[:n, i])
+        new = np.flatnonzero(new_col)
+        if old.size > 1:
+            c2[np.ix_(old, old)] -= 1
+            c2[old, old] += 1
+        if new.size > 1:
+            c2[np.ix_(new, new)] += 1
+            c2[new, new] -= 1
+        a[:n, i] = new_col
+
+    # -- dense escape hatch ---------------------------------------------
+    def _dense_conflict_block(self) -> np.ndarray:
+        """The dense conflict matrix, re-derived once per topology version."""
+        if self._cm_version != self._version:
+            from repro.topology.conflicts import conflict_matrix
+
+            n = len(self._ids)
+            self._cm_cache = conflict_matrix(self._adj[:n, :n])
+            self._cm_version = self._version
+        return self._cm_cache
 
     def _recompute_row(self, i: int) -> None:
-        """Out-edges of slot ``i``: which targets does it cover?"""
+        """Out-edges of slot ``i`` by full scan (dense mode)."""
         n = len(self._ids)
         mask = self._prop.coverage(self._pos[i], float(self._range[i]), self._pos[:n])
         mask[i] = False
         self._adj[i, :n] = mask
 
     def _recompute_col(self, i: int) -> None:
-        """In-edges of slot ``i``: which sources cover it?"""
+        """In-edges of slot ``i`` by full scan (dense mode)."""
         n = len(self._ids)
         mask = self._prop.covered_by(self._pos[i], self._pos[:n], self._range[:n])
         mask[i] = False

@@ -9,7 +9,7 @@ implements that with rectangular obstacles and line-of-sight tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -52,7 +52,14 @@ class PropagationModel(Protocol):
 
 @dataclass(frozen=True)
 class FreeSpacePropagation:
-    """The paper's base model: closed disc of radius ``src_range``."""
+    """The paper's base model: closed disc of radius ``src_range``.
+
+    ``disc_bounded`` declares that coverage never exceeds the
+    transmission disc, which lets :class:`~repro.topology.digraph.AdHocDigraph`
+    prefilter edge recomputation through its spatial grid index.
+    """
+
+    disc_bounded: ClassVar[bool] = True
 
     def coverage(
         self,
@@ -86,8 +93,12 @@ class ObstructedPropagation:
     """Disc propagation filtered by line-of-sight around obstacles.
 
     A target is covered iff it is within range *and* the straight segment
-    from source to target does not cross any obstacle.
+    from source to target does not cross any obstacle.  Coverage is a
+    subset of the free-space disc, so the grid fast path stays sound
+    (``disc_bounded``).
     """
+
+    disc_bounded: ClassVar[bool] = True
 
     obstacles: tuple[RectObstacle, ...] = field(default_factory=tuple)
 

@@ -3,14 +3,12 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.coloring.assignment import CodeAssignment
 from repro.coloring.constraints import (
     constraining_nodes,
     forbidden_colors,
     lowest_available_color,
 )
 from repro.topology.conflicts import conflict_neighbors
-from tests.conftest import make_colored_network
 
 
 class TestLowestAvailable:

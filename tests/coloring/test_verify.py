@@ -7,7 +7,6 @@ from repro.coloring.verify import Violation, assert_valid, find_violations, is_v
 from repro.errors import ColoringConflictError, UncoloredNodeError
 from repro.topology.builder import build_digraph
 from repro.topology.node import NodeConfig
-from tests.conftest import make_colored_network
 
 
 def cfg(i, x, r=12.0):

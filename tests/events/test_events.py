@@ -1,6 +1,5 @@
 """Tests for event ADTs, logs and parallel-join batching."""
 
-import numpy as np
 import pytest
 
 from repro.events.base import JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent

@@ -107,3 +107,39 @@ class TestAgainstBruteForce:
         assert idx.query_disc_count(50.0, 50.0, 30.0) == len(
             idx.query_disc(50.0, 50.0, 30.0)
         )
+
+    @given(st.integers(0, 40), st.floats(0.5, 30), st.floats(0, 80))
+    def test_candidates_are_a_superset_of_the_disc(self, n, cell, radius):
+        rng = np.random.default_rng(n + 1)
+        idx = UniformGridIndex(cell)
+        for i in range(n):
+            x, y = rng.uniform(0, 100, 2)
+            idx.insert(i, float(x), float(y))
+        candidates = set(idx.candidates_in_box(50.0, 50.0, radius))
+        assert candidates >= set(idx.query_disc(50.0, 50.0, radius))
+
+
+class TestCandidatesAndCopy:
+    def test_candidates_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformGridIndex(1.0).candidates_in_box(0.0, 0.0, -2.0)
+
+    def test_huge_query_falls_back_to_occupied_cells(self):
+        # Tiny cells + huge radius: the bounding box spans far more cells
+        # than are occupied, so the occupancy scan must kick in and still
+        # return every item.
+        idx = UniformGridIndex(0.25)
+        for i in range(12):
+            idx.insert(i, float(i), float(i))
+        assert sorted(idx.candidates_in_box(5.0, 5.0, 5000.0)) == list(range(12))
+
+    def test_copy_is_independent(self):
+        idx = UniformGridIndex(10.0)
+        idx.insert(1, 5.0, 5.0)
+        idx.insert(2, 50.0, 50.0)
+        dup = idx.copy()
+        dup.remove(1)
+        dup.move(2, 5.0, 5.0)
+        assert 1 in idx and idx.position_of(2) == (50.0, 50.0)
+        assert 1 not in dup and dup.position_of(2) == (5.0, 5.0)
+        assert dup.cell_size == idx.cell_size

@@ -1,5 +1,7 @@
 """Tests for the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +20,22 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig10", "--runs", "1"],
+            ["fig11", "--runs", "1"],
+            ["fig12", "--runs", "1"],
+            ["all", "--runs", "1"],
+            ["scenario", "dense-urban", "--runs", "1"],
+            ["scenario", "--list"],
+            ["bench", "--runs", "1"],
+        ],
+    )
+    def test_every_subcommand_parses_with_runs_1(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.command == argv[0]
 
 
 class TestMain:
@@ -68,3 +86,59 @@ class TestMain:
         assert len(written) == 1
         text = written[0].read_text()
         assert "max_color" in text and "| N |" in text
+
+
+class TestScenarioCommand:
+    def test_list_prints_catalog(self, capsys):
+        rc = main(["scenario", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("poisson-cluster", "hotspot-churn", "dense-urban"):
+            assert name in out
+
+    def test_missing_name_lists_and_fails(self, capsys):
+        rc = main(["scenario"])
+        assert rc == 2
+        assert "registered scenarios" in capsys.readouterr().out
+
+    def test_unknown_name_prints_clean_error(self, capsys):
+        rc = main(["scenario", "no-such-scenario", "--runs", "1"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown scenario" in err and "dense-urban" in err
+
+    def test_scenario_runs_tiny_sweep(self, capsys):
+        rc = main(["scenario", "sparse-long-range", "--runs", "1", "--strategies", "Minim"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scenario-sparse-long-range" in out
+        assert "max_color" in out
+
+    def test_scenario_writes_markdown(self, tmp_path, capsys):
+        rc = main(
+            [
+                "scenario",
+                "sparse-long-range",
+                "--runs",
+                "1",
+                "--strategies",
+                "Minim",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "scenario-sparse-long-range.md").exists()
+
+
+class TestBenchCommand:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_eventloop.json"
+        rc = main(["bench", "--runs", "1", "--n", "24", "--out", str(out_path)])
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert "fig10-join" in printed and "speedup" in printed
+        entries = json.loads(out_path.read_text())
+        assert {e["mode"] for e in entries} == {"grid", "dense"}
+        for e in entries:
+            assert {"scenario", "n", "wall_seconds", "events_per_sec"} <= set(e)

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 from repro.distributed import run_distributed_join
 from repro.sim.network import AdHocNetwork
 from repro.sim.random_networks import sample_configs
-from repro.strategies.minim import MinimStrategy, plan_local_matching_recode
+from repro.strategies.minim import MinimStrategy
 from repro.topology.node import NodeConfig
 
 

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.network import AdHocNetwork
-from repro.sim.random_networks import sample_configs
 from repro.sim.experiments import make_strategy
 from repro.topology.node import NodeConfig
 

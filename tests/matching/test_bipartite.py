@@ -1,6 +1,5 @@
 """Tests for the bipartite graph model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import MatchingError

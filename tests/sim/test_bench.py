@@ -1,0 +1,50 @@
+"""The event-loop benchmark harness and its JSON artifact."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.events.base import JoinEvent
+from repro.sim.bench import drive_event_loop, run_event_loop_bench, write_bench_json
+from repro.sim.random_networks import sample_configs
+
+
+class TestDrive:
+    def test_drive_runs_both_modes(self):
+        events = [JoinEvent(c) for c in sample_configs(15, np.random.default_rng(0))]
+        assert drive_event_loop(events, dense_conflicts=False) > 0.0
+        assert drive_event_loop(events, dense_conflicts=True) > 0.0
+
+
+class TestBenchHarness:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return run_event_loop_bench(n=24, runs=1, seed=5)
+
+    def test_entry_schema(self, entries):
+        assert len(entries) == 4  # 2 traces x 2 modes
+        for e in entries:
+            assert {"scenario", "n", "mode", "events", "wall_seconds", "events_per_sec"} <= set(e)
+            assert e["events_per_sec"] > 0
+            assert e["wall_seconds"] > 0
+
+    def test_traces_and_modes_present(self, entries):
+        assert {e["scenario"] for e in entries} == {"fig10-join", "random-waypoint"}
+        assert {e["mode"] for e in entries} == {"grid", "dense"}
+
+    def test_speedup_on_grid_entries(self, entries):
+        grid = [e for e in entries if e["mode"] == "grid"]
+        assert all("speedup_vs_dense" in e and e["speedup_vs_dense"] > 0 for e in grid)
+        assert all("speedup_vs_dense" not in e for e in entries if e["mode"] == "dense")
+
+    def test_json_written(self, entries, tmp_path):
+        path = write_bench_json(entries, tmp_path / "BENCH_eventloop.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(entries))  # round-trips losslessly
+
+    def test_bad_runs_rejected(self):
+        with pytest.raises(ValueError):
+            run_event_loop_bench(n=8, runs=0)

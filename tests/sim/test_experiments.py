@@ -1,6 +1,5 @@
 """Tests for the experiment runners (small instances)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.series import ExperimentSeries

@@ -1,7 +1,6 @@
 """Tests for the CP baseline strategy."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -9,7 +8,7 @@ from repro.coloring.assignment import CodeAssignment
 from repro.sim.network import AdHocNetwork
 from repro.strategies.cp import CPStrategy, plan_cp_join, reselect_colors
 from repro.strategies.cp.join import duplicated_members
-from repro.strategies.minim import MinimStrategy, minimal_join_bound
+from repro.strategies.minim import minimal_join_bound
 from repro.sim.random_networks import sample_configs
 from repro.topology.static import StaticDigraph
 

@@ -1,10 +1,8 @@
 """Unit tests for the Minim strategy algorithms."""
 
-import numpy as np
 import pytest
 
 from repro.coloring.assignment import CodeAssignment
-from repro.coloring.constraints import forbidden_colors
 from repro.sim.network import AdHocNetwork
 from repro.strategies.minim import (
     MinimStrategy,
@@ -15,7 +13,6 @@ from repro.strategies.minim import (
 )
 from repro.topology.node import NodeConfig
 from repro.topology.static import StaticDigraph
-from tests.conftest import make_colored_network
 
 
 def star_join(colors_of_members):

@@ -7,7 +7,7 @@ Theorems 4.3.x: leaves and power decreases never recode.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.coloring.verify import is_valid

@@ -10,7 +10,6 @@ import pytest
 from repro.coloring.assignment import CodeAssignment
 from repro.coloring.verify import is_valid
 from repro.sim.network import AdHocNetwork
-from repro.strategies.bbb_global import BBBGlobalStrategy
 from repro.strategies.cp import CPStrategy, plan_cp_join
 from repro.strategies.minim import (
     MinimStrategy,
