@@ -1,0 +1,72 @@
+"""CI gate: compare a fresh event-loop bench against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_eventloop.json --fresh bench-fresh.json [--min-ratio 0.5]
+
+Entries are matched by ``(scenario, mode)`` and compared on
+``events_per_sec``.  The gate fails (exit 1) when any matched entry
+drops below ``min-ratio`` times the committed baseline — loose enough
+to absorb runner-hardware variance, tight enough to catch an event-loop
+fast path silently falling back to dense scans (those regressions are
+2-4x, not 2x variance).  Entries present on only one side are reported
+but do not fail the gate (bench coverage may grow PR over PR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _by_key(entries: list[dict]) -> dict[tuple[str, str], dict]:
+    return {(e["scenario"], e["mode"]): e for e in entries}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        help="fail when fresh events/sec < min-ratio * baseline (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _by_key(json.loads(args.baseline.read_text()))
+    fresh = _by_key(json.loads(args.fresh.read_text()))
+
+    failures: list[str] = []
+    for key in sorted(baseline.keys() | fresh.keys()):
+        scenario, mode = key
+        if key not in baseline or key not in fresh:
+            side = "baseline" if key not in baseline else "fresh run"
+            print(f"note: {scenario}/{mode} missing from {side}; skipping")
+            continue
+        base_eps = baseline[key]["events_per_sec"]
+        fresh_eps = fresh[key]["events_per_sec"]
+        ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
+        verdict = "ok" if ratio >= args.min_ratio else "REGRESSION"
+        print(
+            f"{scenario:<22} {mode:>12}: baseline {base_eps:>10.0f} ev/s, "
+            f"fresh {fresh_eps:>10.0f} ev/s ({ratio:.2f}x) {verdict}"
+        )
+        if ratio < args.min_ratio:
+            failures.append(f"{scenario}/{mode} at {ratio:.2f}x (< {args.min_ratio}x)")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

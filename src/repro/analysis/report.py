@@ -3,18 +3,25 @@
 Turns a collection of :class:`~repro.analysis.series.ExperimentSeries`
 plus their shape-check verdicts into the paper-vs-measured markdown that
 ``EXPERIMENTS.md`` records.  Used by the CLI's ``--out`` mode and by the
-maintainer script that refreshes the committed report.
+maintainer script that refreshes the committed report.  Panels can be
+built from live series or loaded back out of a sweep's
+:class:`~repro.sim.results.ResultsStore` (:func:`panels_from_store`),
+so reports are reproducible from persisted artifacts alone.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.series import ExperimentSeries
 from repro.analysis.shape_checks import ShapeCheck
 
-__all__ = ["PanelReport", "render_report"]
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.sim.results import ResultsStore
+
+__all__ = ["PanelReport", "panels_from_store", "render_report"]
 
 
 @dataclass
@@ -45,6 +52,33 @@ class PanelReport:
                 detail = f" — {c.detail}" if (not c.passed and c.detail) else ""
                 lines.append(f"- [{mark}] {c.claim}{detail}")
         return "\n".join(lines)
+
+
+def panels_from_store(
+    store: "ResultsStore",
+    panel_specs: Sequence[tuple[str, str, str, str]],
+) -> list[PanelReport]:
+    """Build panels from a results store instead of in-memory series.
+
+    ``panel_specs`` entries are ``(experiment_id, panel, metric,
+    paper_claim)``; each experiment id must have an assembled series in
+    the store (written by a previous ``run_sweep(..., store=...)``).
+    Raises :class:`~repro.errors.ConfigurationError` for missing ids.
+    """
+    series_cache: dict[str, ExperimentSeries] = {}
+    panels: list[PanelReport] = []
+    for experiment_id, panel, metric, claim in panel_specs:
+        if experiment_id not in series_cache:
+            series_cache[experiment_id] = store.load_series(experiment_id)
+        panels.append(
+            PanelReport(
+                panel=panel,
+                metric=metric,
+                series=series_cache[experiment_id],
+                paper_claim=claim,
+            )
+        )
+    return panels
 
 
 def render_report(

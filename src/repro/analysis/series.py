@@ -3,14 +3,33 @@
 An :class:`ExperimentSeries` holds, for one experiment, the mean value
 of each metric for each strategy at each x-value — i.e. exactly one of
 the paper's figure panels per (metric) slice.  Rendering produces the
-rows the benchmark harness prints.
+rows the benchmark harness prints.  Series round-trip losslessly
+through plain dicts / JSON files, which is how the results store
+(:mod:`repro.sim.results`) persists and reloads them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
-__all__ = ["ExperimentSeries"]
+__all__ = ["ExperimentSeries", "write_json_atomic"]
+
+
+def write_json_atomic(path: Path | str, payload) -> Path:
+    """Write ``payload`` as JSON via write-then-rename.
+
+    The single JSON-persistence primitive of the results machinery:
+    readers never observe partial files, even if the writer dies
+    mid-write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
 
 
 @dataclass
@@ -52,6 +71,35 @@ class ExperimentSeries:
         """Mean of ``metric`` for ``strategy`` at sweep point ``x``."""
         i = self.x_values.index(x)
         return self.metrics[metric][strategy][i]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain JSON-able dict (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSeries":
+        """Rebuild a series from :meth:`to_dict` output."""
+        return cls(
+            experiment=data["experiment"],
+            x_label=data["x_label"],
+            x_values=[float(x) for x in data["x_values"]],
+            metrics=data["metrics"],
+            runs=int(data["runs"]),
+            notes=data.get("notes", ""),
+            stderr=data.get("stderr", {}),
+        )
+
+    def save(self, path: Path | str) -> Path:
+        """Write the series to ``path`` as JSON (atomically)."""
+        return write_json_atomic(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ExperimentSeries":
+        """Read a series previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
 
     # ------------------------------------------------------------------
     # Rendering

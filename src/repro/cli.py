@@ -5,17 +5,23 @@ Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
     minim-cdma fig10 --runs 10
     minim-cdma fig11 --runs 10 --n 100
     minim-cdma fig12 --runs 10 --rounds 10
-    minim-cdma all   --runs 5 --out results/
+    minim-cdma all   --runs 5 --out results/ --results results-store/
     minim-cdma scenario --list
     minim-cdma scenario poisson-cluster --runs 5
     minim-cdma bench --runs 3 --n 120
 
-``fig10``/``fig11``/``fig12``/``all`` reproduce the paper's evaluation;
-``scenario`` runs a registered workload from the declarative catalog;
-``bench`` times the topology event loop (grid fast path vs the
-``REPRO_DENSE`` hatch) and writes ``BENCH_eventloop.json``.  Each
-experiment command prints metric tables plus shape checks; ``--out DIR``
-additionally writes markdown tables.
+``fig10``/``fig11``/``fig12``/``all`` reproduce the paper's evaluation
+and ``scenario`` runs a registered workload from the declarative
+catalog; all five figure sweeps and every scenario route through the
+same unified orchestrator (:func:`repro.sim.sweep.run_sweep`), which
+replays each workload single-pass against all strategies.  With
+``--results DIR`` completed sweep points are persisted to a
+:class:`~repro.sim.results.ResultsStore` and re-invocations resume from
+cache.  ``bench`` times the topology event loop (grid fast path vs the
+``REPRO_DENSE`` hatch) plus shared vs per-strategy multi-strategy
+replay, and writes ``BENCH_eventloop.json``.  Each experiment command
+prints metric tables plus shape checks; ``--out DIR`` additionally
+writes markdown tables.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.sim.experiments import (
     run_power_experiment,
     run_range_sweep_experiment,
 )
+from repro.sim.results import ResultsStore
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None, help="process-pool size for run fan-out"
     )
     common.add_argument("--out", type=Path, default=None, help="directory for markdown tables")
+    common.add_argument(
+        "--results",
+        type=Path,
+        default=None,
+        help="results-store directory (persists sweep points; re-runs resume from cache)",
+    )
+    common.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every point even when the results store already has it",
+    )
 
     parser = argparse.ArgumentParser(
         prog="minim-cdma",
@@ -80,11 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies", nargs="+", default=None, help="strategy subset (default: the spec's)"
     )
 
-    pb = sub.add_parser("bench", help="time the event loop (grid fast path vs REPRO_DENSE)")
+    pb = sub.add_parser(
+        "bench", help="time the event loop (grid vs REPRO_DENSE, shared vs per-strategy replay)"
+    )
     pb.add_argument("--runs", type=int, default=3, help="timing repetitions per trace")
     pb.add_argument("--n", type=int, default=120, help="node count for the benchmark traces")
     pb.add_argument(
         "--scenario", default="random-waypoint", help="registered scenario for the second trace"
+    )
+    pb.add_argument(
+        "--lanes", type=int, default=3, help="strategy lanes for the replay comparison"
     )
     pb.add_argument("--seed", type=int, default=2001, help="trace-generation seed")
     pb.add_argument(
@@ -93,8 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _store_of(args: argparse.Namespace) -> ResultsStore | None:
+    return ResultsStore(args.results) if args.results is not None else None
+
+
 def _emit(series: ExperimentSeries, kind: str | None, out: Path | None) -> None:
     print(series.render_all())
+    if series.notes:
+        print(f"[{series.experiment}] {series.notes}")
     print()
     if kind is not None:
         for check in check_all(kind, series):
@@ -110,26 +139,30 @@ def _emit(series: ExperimentSeries, kind: str | None, out: Path | None) -> None:
         print(f"wrote {path}")
 
 
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        runs=args.runs,
+        seed=args.seed,
+        processes=args.processes,
+        store=_store_of(args),
+        resume=not args.no_resume,
+    )
+
+
 def _run_fig10(args: argparse.Namespace) -> None:
-    common = dict(runs=args.runs, seed=args.seed, processes=args.processes)
+    common = _sweep_kwargs(args)
     _emit(run_join_experiment(tuple(args.n_values), **common), "join", args.out)
     if not getattr(args, "skip_range_sweep", False):
         _emit(run_range_sweep_experiment(tuple(args.avg_ranges), **common), None, args.out)
 
 
 def _run_fig11(args: argparse.Namespace) -> None:
-    series = run_power_experiment(
-        tuple(args.raisefactors),
-        n=args.n,
-        runs=args.runs,
-        seed=args.seed,
-        processes=args.processes,
-    )
+    series = run_power_experiment(tuple(args.raisefactors), n=args.n, **_sweep_kwargs(args))
     _emit(series, "power", args.out)
 
 
 def _run_fig12(args: argparse.Namespace) -> None:
-    common = dict(runs=args.runs, seed=args.seed, processes=args.processes)
+    common = _sweep_kwargs(args)
     _emit(
         run_movement_disp_experiment(tuple(args.maxdisps), n=args.n, **common),
         None,
@@ -146,7 +179,7 @@ def _run_fig12(args: argparse.Namespace) -> None:
 
 def _run_scenario_cmd(args: argparse.Namespace) -> int:
     from repro.sim.registry import available_scenarios, get_scenario
-    from repro.sim.scenarios import run_scenario
+    from repro.sim.sweep import run_sweep
 
     if args.list or args.name is None:
         print("registered scenarios:")
@@ -159,12 +192,14 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
 
     try:
-        series = run_scenario(
+        series = run_sweep(
             args.name,
             runs=args.runs,
             seed=args.seed,
             strategies=args.strategies,
             processes=args.processes,
+            store=_store_of(args),
+            resume=not args.no_resume,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -175,22 +210,27 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
 
 def _run_bench_cmd(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
-    from repro.sim.bench import run_event_loop_bench, write_bench_json
+    from repro.sim.bench import run_event_loop_bench, run_replay_bench, write_bench_json
 
     try:
         entries = run_event_loop_bench(
             n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
         )
+        entries.extend(run_replay_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    header = f"{'scenario':<18} {'n':>5} {'mode':>6} {'events':>7} {'ev/sec':>10} {'speedup':>8}"
+    header = f"{'scenario':<22} {'n':>5} {'mode':>12} {'events':>7} {'ev/sec':>10} {'speedup':>8}"
     print(header)
     print("-" * len(header))
     for e in entries:
-        speedup = f"{e['speedup_vs_dense']:.2f}x" if "speedup_vs_dense" in e else ""
+        speedup = ""
+        if "speedup_vs_dense" in e:
+            speedup = f"{e['speedup_vs_dense']:.2f}x"
+        elif "speedup_vs_per_strategy" in e:
+            speedup = f"{e['speedup_vs_per_strategy']:.2f}x"
         print(
-            f"{e['scenario']:<18} {e['n']:>5} {e['mode']:>6} {e['events']:>7} "
+            f"{e['scenario']:<22} {e['n']:>5} {e['mode']:>12} {e['events']:>7} "
             f"{e['events_per_sec']:>10.0f} {speedup:>8}"
         )
     path = write_bench_json(entries, args.out)
@@ -217,6 +257,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             processes=args.processes,
             out=args.out,
+            results=args.results,
+            no_resume=args.no_resume,
             n_values=[40, 60, 80, 100, 120],
             avg_ranges=[5, 15, 25, 35, 45, 55, 65],
             skip_range_sweep=False,

@@ -1,9 +1,10 @@
 """Simulation harness: networks, workloads, scenarios and experiments."""
 
 from repro.sim.metrics import EventRecord, MetricsCollector, MetricsSnapshot
-from repro.sim.network import AdHocNetwork
+from repro.sim.network import AdHocNetwork, MultiStrategyReplay, StrategyLane
 from repro.sim.random_networks import sample_configs
 from repro.sim.registry import available_scenarios, get_scenario, register_scenario
+from repro.sim.results import ResultsStore
 from repro.sim.rng import rng_from, spawn_seeds
 from repro.sim.scenarios import (
     ChurnSpec,
@@ -11,9 +12,12 @@ from repro.sim.scenarios import (
     PlacementSpec,
     PowerSpec,
     ScenarioSpec,
+    TracePhases,
     run_scenario,
+    scenario_phases,
     scenario_trace,
 )
+from repro.sim.sweep import SweepSpec, build_sweep, run_sweep
 from repro.sim.workloads import (
     join_workload,
     movement_rounds,
@@ -27,10 +31,16 @@ __all__ = [
     "MetricsCollector",
     "MetricsSnapshot",
     "MobilitySpec",
+    "MultiStrategyReplay",
     "PlacementSpec",
     "PowerSpec",
+    "ResultsStore",
     "ScenarioSpec",
+    "StrategyLane",
+    "SweepSpec",
+    "TracePhases",
     "available_scenarios",
+    "build_sweep",
     "get_scenario",
     "join_workload",
     "movement_rounds",
@@ -38,7 +48,9 @@ __all__ = [
     "register_scenario",
     "rng_from",
     "run_scenario",
+    "run_sweep",
     "sample_configs",
+    "scenario_phases",
     "scenario_trace",
     "spawn_seeds",
 ]

@@ -1,4 +1,4 @@
-"""Event-loop benchmark: grid/incremental fast path vs the dense hatch.
+"""Event-loop benchmarks: conflict maintenance modes and replay sharing.
 
 ``minim-cdma bench`` times the strategy-independent core of the
 simulator — topology mutation plus the conflict-set derivation every
@@ -11,27 +11,53 @@ in-neighbors, i.e. the ``V1`` of Fig 3) — over two traces:
 
 Each trace runs once per mode: the grid-accelerated incremental
 conflict maintenance (default) and the ``REPRO_DENSE=1`` escape hatch
-that re-derives the dense conflict matrix per event.  Results land in
-``BENCH_eventloop.json`` (one entry per trace × mode with ``scenario``,
-``n``, ``wall_seconds``, ``events_per_sec``) so the perf trajectory is
-machine-readable from CI artifacts.
+that re-derives the dense conflict matrix per event.
+
+A second comparison (:func:`run_replay_bench`) times what the unified
+sweep pipeline deduplicates: replaying one workload against several
+strategy lanes.  ``per-strategy`` rebuilds an
+:class:`~repro.sim.network.AdHocNetwork` per lane — the pre-pipeline
+pattern, paying topology mutation and conflict-delta computation once
+*per strategy* — while ``shared`` drives one
+:class:`~repro.sim.network.MultiStrategyReplay` that pays them once per
+event and fans the delta out to all lanes.  Lanes run the first-fit
+floor common to every recoding strategy (read the event node's conflict
+set, commit a color, record metrics), so the comparison isolates the
+replay core; full-strategy sweeps add per-lane matching/recolor work on
+top that no replay can share.
+
+Results land in ``BENCH_eventloop.json`` (one entry per trace × mode
+with ``scenario``, ``n``, ``wall_seconds``, ``events_per_sec``) so the
+perf trajectory is machine-readable from CI artifacts.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from collections.abc import Set
 from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
+from repro.coloring.assignment import CodeAssignment
+from repro.coloring.constraints import lowest_available_color
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+from repro.sim.network import AdHocNetwork, MultiStrategyReplay
 from repro.sim.random_networks import sample_configs
 from repro.sim.registry import get_scenario
+from repro.strategies.base import RecodeResult, RecodingStrategy
 from repro.topology.digraph import AdHocDigraph
+from repro.topology.static import DigraphLike
+from repro.types import Color, NodeId
 
-__all__ = ["drive_event_loop", "run_event_loop_bench", "write_bench_json"]
+__all__ = [
+    "drive_event_loop",
+    "run_event_loop_bench",
+    "run_replay_bench",
+    "write_bench_json",
+]
 
 _DEFAULT_OUT = Path("BENCH_eventloop.json")
 
@@ -112,6 +138,128 @@ def run_event_loop_bench(
             )
         grid_entry = entries[-2]
         grid_entry["speedup_vs_dense"] = timings["dense"] / timings["grid"]
+    return entries
+
+
+class _FirstFitLane(RecodingStrategy):
+    """The per-event floor shared by all recoding strategies.
+
+    On every event it reads the initiating node's conflict set and
+    keeps/claims the lowest consistent color — i.e. exactly the
+    constraint collection + commit step that Minim, CP and BBB all
+    perform before their strategy-specific optimization.  Used by the
+    replay bench so the shared/per-strategy comparison measures the
+    replay core rather than matching/recolor cost.
+    """
+
+    name = "FirstFit"
+
+    def _first_fit(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId, kind: str
+    ) -> RecodeResult:
+        taken = set()
+        for u in graph.conflict_neighbor_ids(node_id):
+            color = assignment.get(u)
+            if color is not None:
+                taken.add(color)
+        old = assignment.get(node_id)
+        if old is not None and old not in taken:
+            return RecodeResult(kind, node_id, {})
+        new = lowest_available_color(taken)
+        return RecodeResult(kind, node_id, {node_id: (old, new)})
+
+    def on_join(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId
+    ) -> RecodeResult:
+        return self._first_fit(graph, assignment, node_id, "join")
+
+    def on_leave(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        old_color: Color,
+    ) -> RecodeResult:
+        return RecodeResult("leave", node_id, {})
+
+    def on_move(
+        self, graph: DigraphLike, assignment: CodeAssignment, node_id: NodeId
+    ) -> RecodeResult:
+        return self._first_fit(graph, assignment, node_id, "move")
+
+    def on_power_change(
+        self,
+        graph: DigraphLike,
+        assignment: CodeAssignment,
+        node_id: NodeId,
+        *,
+        increased: bool,
+        old_conflict_neighbors: Set[NodeId],
+    ) -> RecodeResult:
+        kind = "power_increase" if increased else "power_decrease"
+        if not increased:
+            return RecodeResult(kind, node_id, {})
+        return self._first_fit(graph, assignment, node_id, kind)
+
+
+def _drive_per_strategy(events: list[Event], lanes: int) -> float:
+    """Replay ``events`` once per lane on independent networks."""
+    start = time.perf_counter()
+    for _ in range(lanes):
+        net = AdHocNetwork(_FirstFitLane())
+        for ev in events:
+            net.apply(ev)
+    return time.perf_counter() - start
+
+
+def _drive_shared(events: list[Event], lanes: int) -> float:
+    """Replay ``events`` single-pass against ``lanes`` strategy lanes."""
+    start = time.perf_counter()
+    replay = MultiStrategyReplay([_FirstFitLane() for _ in range(lanes)])
+    replay.run(events)
+    return time.perf_counter() - start
+
+
+def run_replay_bench(
+    *,
+    n: int = 120,
+    runs: int = 3,
+    lanes: int = 3,
+    seed: int = 2001,
+) -> list[dict]:
+    """Time shared vs per-strategy replay of the N-node join sweep.
+
+    Returns two entries (modes ``per-strategy`` and ``shared``) shaped
+    like the event-loop bench's; the shared entry carries
+    ``speedup_vs_per_strategy`` — the events/sec ratio the single-pass
+    multi-strategy replay achieves over rebuilding a network per
+    strategy.  ``wall_seconds`` is the median over ``runs`` repetitions.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    rng = np.random.default_rng(seed)
+    events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng)]
+    entries: list[dict] = []
+    timings: dict[str, float] = {}
+    for mode, drive in (("per-strategy", _drive_per_strategy), ("shared", _drive_shared)):
+        drive(events, lanes)  # warmup
+        wall = float(np.median([drive(events, lanes) for _ in range(runs)]))
+        timings[mode] = wall
+        entries.append(
+            {
+                "scenario": "multi-strategy-replay",
+                "n": n,
+                "mode": mode,
+                "lanes": lanes,
+                "events": len(events),
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+            }
+        )
+    entries[-1]["speedup_vs_per_strategy"] = timings["per-strategy"] / timings["shared"]
     return entries
 
 

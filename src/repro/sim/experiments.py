@@ -1,8 +1,9 @@
-"""The paper's evaluation experiments (section 5).
+"""The paper's evaluation experiments (section 5) as sweep specs.
 
-Each function reproduces one sweep and returns an
-:class:`~repro.analysis.series.ExperimentSeries` whose metric slices
-correspond to figure panels:
+Each function reproduces one figure sweep by specializing the matching
+registered scenario (see :mod:`repro.sim.scenarios`) and handing it to
+the unified orchestrator (:func:`repro.sim.sweep.run_sweep`), which
+replays every workload single-pass against all strategies:
 
 * :func:`run_join_experiment` — Fig 10(a-c): N sequential joins.
 * :func:`run_range_sweep_experiment` — Fig 10(d-f): average-range sweep.
@@ -13,33 +14,27 @@ correspond to figure panels:
 Every data point is averaged over ``runs`` independent random networks
 (paper: 100; default here: 5, overridable via the ``REPRO_RUNS``
 environment variable or the ``runs`` argument).  Workloads are generated
-once per run and replayed identically against every strategy.  All
-per-run task functions are module-level so ``processes=k`` can fan runs
-out over a process pool.
+once per run and replayed identically against every strategy; passing a
+:class:`~repro.sim.results.ResultsStore` makes re-invocations resume
+from completed points.
 """
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
-
-import numpy as np
+from dataclasses import replace
 
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
-from repro.sim.network import AdHocNetwork
-from repro.sim.random_networks import (
-    DEFAULT_MAX_RANGE,
-    DEFAULT_MIN_RANGE,
-    sample_configs,
-)
-from repro.sim.runner import parallel_map, resolve_runs
-from repro.sim.workloads import join_workload, movement_rounds, power_raise_workload
-from repro.strategies.ablation import GreedySequentialStrategy
-from repro.strategies.base import RecodingStrategy
-from repro.strategies.bbb_global import BBBGlobalStrategy
-from repro.strategies.cp import CPStrategy
-from repro.strategies.minim import MinimStrategy
+from repro.sim.random_networks import DEFAULT_MAX_RANGE, DEFAULT_MIN_RANGE
+from repro.sim.registry import get_scenario
+from repro.sim.results import ResultsStore
+from repro.sim.scenarios import MobilitySpec, PowerSpec
+from repro.sim.sweep import run_sweep
+
+# Re-exported for backward compatibility: the strategy catalog lives in
+# repro.strategies now.
+from repro.strategies import DEFAULT_STRATEGIES, make_strategy
 
 __all__ = [
     "DEFAULT_STRATEGIES",
@@ -51,69 +46,12 @@ __all__ = [
     "run_range_sweep_experiment",
 ]
 
-#: The paper's three contenders, in its plotting order.
-DEFAULT_STRATEGIES: tuple[str, ...] = ("Minim", "CP", "BBB")
-
-#: Metric names of the absolute experiments (join / range sweep).
-_ABS_METRICS = ("max_color", "recodings", "messages")
-#: Metric names of the delta experiments (power / movement).
-_DELTA_METRICS = ("delta_max_color", "delta_recodings", "delta_messages")
-
-_DEFAULT_RUNS = 5
 _DEFAULT_SEED = 2001
-
-
-def make_strategy(name: str) -> RecodingStrategy:
-    """Instantiate a strategy by its experiment-table name.
-
-    Recognized: ``Minim``, ``CP``, ``BBB``, ``GreedySeq`` and the
-    weight-ablation variant ``Minim/w1`` (old-color weight 1).
-    """
-    if name == "Minim":
-        return MinimStrategy()
-    if name == "CP":
-        return CPStrategy()
-    if name == "BBB":
-        return BBBGlobalStrategy()
-    if name == "GreedySeq":
-        return GreedySequentialStrategy()
-    if name == "Minim/w1":
-        return MinimStrategy(old_color_weight=1)
-    raise ConfigurationError(f"unknown strategy name {name!r}")
-
-
-def _env_runs() -> str | None:
-    return os.environ.get("REPRO_RUNS")
-
-
-def _built_network(strategy_name: str, configs) -> AdHocNetwork:
-    """A network with all of ``configs`` joined under the strategy."""
-    net = AdHocNetwork(make_strategy(strategy_name))
-    for ev in join_workload(configs):
-        net.apply(ev)
-    return net
 
 
 # ----------------------------------------------------------------------
 # Experiment 5.1 — node join (Fig 10 a-c) and range sweep (Fig 10 d-f)
 # ----------------------------------------------------------------------
-def _join_task(args: tuple) -> list[tuple[float, float, float]]:
-    n, seed, min_range, max_range, strategies = args
-    rng = np.random.default_rng(seed)
-    configs = sample_configs(n, rng, min_range=min_range, max_range=max_range)
-    out = []
-    for name in strategies:
-        net = _built_network(name, configs)
-        out.append(
-            (
-                float(net.max_color()),
-                float(net.metrics.total_recodings),
-                float(net.metrics.total_messages),
-            )
-        )
-    return out
-
-
 def run_join_experiment(
     n_values: Sequence[int] = (40, 60, 80, 100, 120),
     *,
@@ -123,20 +61,18 @@ def run_join_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
+    store: ResultsStore | None = None,
+    resume: bool = True,
 ) -> ExperimentSeries:
     """Fig 10(a-c): N nodes join one by one; final metrics vs N."""
-    runs = resolve_runs(runs, _DEFAULT_RUNS, _env_runs())
-    point_seeds = np.random.SeedSequence(seed).spawn(len(n_values))
-    tasks = [
-        (n, run_seed, min_range, max_range, tuple(strategies))
-        for i, n in enumerate(n_values)
-        for run_seed in point_seeds[i].spawn(runs)
-    ]
-    raw = parallel_map(_join_task, tasks, processes=processes)
-    data = np.asarray(raw, dtype=np.float64).reshape(
-        len(n_values), runs, len(strategies), len(_ABS_METRICS)
+    spec = replace(
+        get_scenario("fig10-join"),
+        min_range=min_range,
+        max_range=max_range,
+        strategies=tuple(strategies),
+        sweep_values=tuple(float(n) for n in n_values),
     )
-    return _series_from("fig10-join", "N", list(n_values), data, strategies, _ABS_METRICS, runs)
+    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
 
 
 def run_range_sweep_experiment(
@@ -148,55 +84,35 @@ def run_range_sweep_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
+    store: ResultsStore | None = None,
+    resume: bool = True,
 ) -> ExperimentSeries:
     """Fig 10(d-f): fixed N, sweep the average transmission range.
 
     The paper fixes ``maxr − minr = 5``; ``avg_ranges`` are the midpoints
     ``(minr + maxr) / 2``.
     """
-    runs = resolve_runs(runs, _DEFAULT_RUNS, _env_runs())
-    point_seeds = np.random.SeedSequence(seed).spawn(len(avg_ranges))
-    tasks = []
-    for i, avg in enumerate(avg_ranges):
-        lo, hi = avg - spread / 2.0, avg + spread / 2.0
-        if lo <= 0:
+    if spread <= 0:
+        raise ConfigurationError(f"range spread must be positive, got {spread}")
+    for avg in avg_ranges:
+        if avg - spread / 2.0 <= 0:
             raise ConfigurationError(f"avg range {avg} too small for spread {spread}")
-        for run_seed in point_seeds[i].spawn(runs):
-            tasks.append((n, run_seed, lo, hi, tuple(strategies)))
-    raw = parallel_map(_join_task, tasks, processes=processes)
-    data = np.asarray(raw, dtype=np.float64).reshape(
-        len(avg_ranges), runs, len(strategies), len(_ABS_METRICS)
+    spec = replace(
+        get_scenario("fig10-range"),
+        n=n,
+        # The sweep re-centers [min_range, max_range] on each average;
+        # only their difference (the spread) carries through.
+        min_range=1.5 * spread,
+        max_range=2.5 * spread,
+        strategies=tuple(strategies),
+        sweep_values=tuple(float(a) for a in avg_ranges),
     )
-    return _series_from(
-        "fig10-range", "avgR", list(avg_ranges), data, strategies, _ABS_METRICS, runs
-    )
+    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
 
 
 # ----------------------------------------------------------------------
 # Experiment 5.2 — power range increase (Fig 11 a-c)
 # ----------------------------------------------------------------------
-def _power_task(args: tuple) -> list[tuple[float, float, float]]:
-    n, seed, min_range, max_range, raisefactor, fraction, strategies = args
-    cfg_seed, raise_seed = seed.spawn(2)
-    configs = sample_configs(
-        n, np.random.default_rng(cfg_seed), min_range=min_range, max_range=max_range
-    )
-    events = power_raise_workload(
-        configs, raisefactor, np.random.default_rng(raise_seed), fraction=fraction
-    )
-    out = []
-    for name in strategies:
-        net = _built_network(name, configs)
-        before = net.metrics.snapshot()
-        for ev in events:
-            net.apply(ev)
-        delta = before.delta(net.metrics.snapshot())
-        out.append(
-            (float(delta.max_color), float(delta.total_recodings), float(delta.total_messages))
-        )
-    return out
-
-
 def run_power_experiment(
     raisefactors: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0),
     *,
@@ -208,56 +124,31 @@ def run_power_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
+    store: ResultsStore | None = None,
+    resume: bool = True,
 ) -> ExperimentSeries:
     """Fig 11(a-c): raise a random half's ranges by ``raisefactor``.
 
     Per the paper, each run starts from the post-join network of
     experiment 5.1 (N=100, same range interval) and reports deltas
-    relative to it.  The same run seed is reused across raisefactors, so
-    every sweep point perturbs the same base networks.
+    relative to it.  Run seeds are paired across raisefactors, so every
+    sweep point perturbs the same base networks.
     """
-    runs = resolve_runs(runs, _DEFAULT_RUNS, _env_runs())
-    run_seeds = np.random.SeedSequence(seed).spawn(runs)
-    tasks = [
-        (n, run_seeds[r].spawn(1)[0], min_range, max_range, rf, fraction, tuple(strategies))
-        for rf in raisefactors
-        for r in range(runs)
-    ]
-    raw = parallel_map(_power_task, tasks, processes=processes)
-    data = np.asarray(raw, dtype=np.float64).reshape(
-        len(raisefactors), runs, len(strategies), len(_DELTA_METRICS)
+    spec = replace(
+        get_scenario("fig11-power"),
+        n=n,
+        min_range=min_range,
+        max_range=max_range,
+        power=PowerSpec(kind="raise", fraction=fraction),
+        strategies=tuple(strategies),
+        sweep_values=tuple(float(rf) for rf in raisefactors),
     )
-    return _series_from(
-        "fig11-power", "raisefactor", list(raisefactors), data, strategies, _DELTA_METRICS, runs
-    )
+    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
 
 
 # ----------------------------------------------------------------------
 # Experiment 5.3 — node movement (Fig 12 a-d)
 # ----------------------------------------------------------------------
-def _move_disp_task(args: tuple) -> list[tuple[float, float, float]]:
-    n, seed, min_range, max_range, maxdisp, rounds, strategies = args
-    cfg_seed, move_seed = seed.spawn(2)
-    configs = sample_configs(
-        n, np.random.default_rng(cfg_seed), min_range=min_range, max_range=max_range
-    )
-    all_rounds = movement_rounds(
-        configs, rounds, maxdisp, np.random.default_rng(move_seed)
-    )
-    out = []
-    for name in strategies:
-        net = _built_network(name, configs)
-        before = net.metrics.snapshot()
-        for round_events in all_rounds:
-            for ev in round_events:
-                net.apply(ev)
-        delta = before.delta(net.metrics.snapshot())
-        out.append(
-            (float(delta.max_color), float(delta.total_recodings), float(delta.total_messages))
-        )
-    return out
-
-
 def run_movement_disp_experiment(
     maxdisps: Sequence[float] = (0.0, 10.0, 20.0, 40.0, 60.0, 80.0),
     *,
@@ -269,55 +160,24 @@ def run_movement_disp_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
+    store: ResultsStore | None = None,
+    resume: bool = True,
 ) -> ExperimentSeries:
     """Fig 12(a): one round of moves, sweeping the max displacement.
 
-    The same run seed is reused across ``maxdisps`` so each sweep point
-    scales the *same* random walks.
+    Run seeds are paired across ``maxdisps`` so each sweep point scales
+    the *same* random walks.
     """
-    runs = resolve_runs(runs, _DEFAULT_RUNS, _env_runs())
-    run_seeds = np.random.SeedSequence(seed).spawn(runs)
-    tasks = [
-        (n, run_seeds[r].spawn(1)[0], min_range, max_range, d, rounds, tuple(strategies))
-        for d in maxdisps
-        for r in range(runs)
-    ]
-    raw = parallel_map(_move_disp_task, tasks, processes=processes)
-    data = np.asarray(raw, dtype=np.float64).reshape(
-        len(maxdisps), runs, len(strategies), len(_DELTA_METRICS)
+    spec = replace(
+        get_scenario("fig12-move-disp"),
+        n=n,
+        min_range=min_range,
+        max_range=max_range,
+        mobility=MobilitySpec(kind="jumps", steps=rounds),
+        strategies=tuple(strategies),
+        sweep_values=tuple(float(d) for d in maxdisps),
     )
-    return _series_from(
-        "fig12-move-disp", "maxdisp", list(maxdisps), data, strategies, _DELTA_METRICS, runs
-    )
-
-
-def _move_rounds_task(args: tuple) -> list[list[tuple[float, float, float]]]:
-    n, seed, min_range, max_range, maxdisp, round_count, strategies = args
-    cfg_seed, move_seed = seed.spawn(2)
-    configs = sample_configs(
-        n, np.random.default_rng(cfg_seed), min_range=min_range, max_range=max_range
-    )
-    all_rounds = movement_rounds(
-        configs, round_count, maxdisp, np.random.default_rng(move_seed)
-    )
-    out: list[list[tuple[float, float, float]]] = []
-    for name in strategies:
-        net = _built_network(name, configs)
-        before = net.metrics.snapshot()
-        per_round: list[tuple[float, float, float]] = []
-        for round_events in all_rounds:
-            for ev in round_events:
-                net.apply(ev)
-            delta = before.delta(net.metrics.snapshot())
-            per_round.append(
-                (
-                    float(delta.max_color),
-                    float(delta.total_recodings),
-                    float(delta.total_messages),
-                )
-            )
-        out.append(per_round)
-    return out
+    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
 
 
 def run_movement_rounds_experiment(
@@ -331,60 +191,17 @@ def run_movement_rounds_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
+    store: ResultsStore | None = None,
+    resume: bool = True,
 ) -> ExperimentSeries:
     """Fig 12(b-d): cumulative deltas after each of ``round_count`` rounds."""
-    runs = resolve_runs(runs, _DEFAULT_RUNS, _env_runs())
-    run_seeds = np.random.SeedSequence(seed).spawn(runs)
-    tasks = [
-        (n, run_seeds[r].spawn(1)[0], min_range, max_range, maxdisp, round_count, tuple(strategies))
-        for r in range(runs)
-    ]
-    raw = parallel_map(_move_rounds_task, tasks, processes=processes)
-    # raw: runs x strategies x rounds x metrics -> rounds x runs x strategies x metrics
-    data = np.asarray(raw, dtype=np.float64).transpose(2, 0, 1, 3)
-    return _series_from(
-        "fig12-move-rounds",
-        "round",
-        [float(r) for r in range(1, round_count + 1)],
-        data,
-        strategies,
-        _DELTA_METRICS,
-        runs,
+    spec = replace(
+        get_scenario("fig12-move-rounds"),
+        n=n,
+        min_range=min_range,
+        max_range=max_range,
+        mobility=MobilitySpec(kind="jumps", maxdisp=maxdisp),
+        strategies=tuple(strategies),
+        sweep_values=(float(round_count),),
     )
-
-
-# ----------------------------------------------------------------------
-# Shared assembly
-# ----------------------------------------------------------------------
-def _series_from(
-    experiment: str,
-    x_label: str,
-    x_values: list[float],
-    data: np.ndarray,
-    strategies: Sequence[str],
-    metric_names: Sequence[str],
-    runs: int,
-) -> ExperimentSeries:
-    """Assemble an :class:`ExperimentSeries` from a (x, run, strategy,
-    metric) tensor."""
-    means = data.mean(axis=1)
-    if runs > 1:
-        sems = data.std(axis=1, ddof=1) / np.sqrt(runs)
-    else:
-        sems = np.zeros_like(means)
-    metrics = {
-        m: {s: means[:, si, mi].tolist() for si, s in enumerate(strategies)}
-        for mi, m in enumerate(metric_names)
-    }
-    stderr = {
-        m: {s: sems[:, si, mi].tolist() for si, s in enumerate(strategies)}
-        for mi, m in enumerate(metric_names)
-    }
-    return ExperimentSeries(
-        experiment=experiment,
-        x_label=x_label,
-        x_values=[float(x) for x in x_values],
-        metrics=metrics,
-        runs=runs,
-        stderr=stderr,
-    )
+    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)

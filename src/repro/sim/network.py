@@ -1,31 +1,131 @@
-"""The simulation facade: topology + assignment + strategy + metrics.
+"""The simulation core: shared topology + per-strategy assignment state.
 
-``AdHocNetwork`` owns the event loop contract (paper section 2): events
-are applied one at a time; the topology mutation happens first, then the
-strategy computes recodes, then the assignment is updated and metrics
-recorded.  With ``validate=True`` every event is followed by a full
-CA1/CA2 check (used heavily in tests).
+The event loop contract (paper section 2) is: events are applied one at
+a time; the topology mutation happens first, then the strategy computes
+recodes, then the assignment is updated and metrics recorded.  This
+module splits those responsibilities:
+
+* :class:`~repro.topology.digraph.AdHocDigraph` owns the topology and
+  produces a :class:`~repro.topology.digraph.TopologyDelta` per event
+  (via ``apply_event``);
+* :class:`StrategyLane` owns everything per-strategy — the
+  :class:`CodeAssignment`, the :class:`MetricsCollector`, and the
+  dispatch of a delta to the right strategy handler;
+* :class:`AdHocNetwork` composes one graph with one lane (the classic
+  single-strategy facade, API unchanged);
+* :class:`MultiStrategyReplay` composes one graph with *many* lanes:
+  each event's topology mutation and conflict-delta computation run
+  once and fan out to every lane — the single-pass replay that the
+  experiment pipeline uses to compare strategies on identical
+  workloads without re-deriving topology per strategy.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 from repro.coloring.assignment import CodeAssignment
 from repro.coloring.verify import assert_valid
-from repro.errors import ConnectivityError, InvalidEventError
+from repro.errors import ConfigurationError, ConnectivityError
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
 from repro.sim.metrics import MetricsCollector
 from repro.strategies.base import RecodeResult, RecodingStrategy
-from repro.topology.conflicts import conflict_neighbors
 from repro.topology.connectivity import has_minimal_connectivity
-from repro.topology.digraph import AdHocDigraph
+from repro.topology.digraph import AdHocDigraph, TopologyDelta
 from repro.topology.node import NodeConfig
 from repro.topology.propagation import PropagationModel
 from repro.types import NodeId
 
-__all__ = ["AdHocNetwork"]
+__all__ = ["AdHocNetwork", "MultiStrategyReplay", "StrategyLane"]
 
 
-class AdHocNetwork:
+class StrategyLane:
+    """One strategy's private state riding a shared topology.
+
+    A lane owns the :class:`CodeAssignment` and
+    :class:`MetricsCollector` of exactly one strategy.  It never mutates
+    the graph: :meth:`react` consumes a :class:`TopologyDelta` produced
+    by the graph's ``apply_event`` and turns it into color changes,
+    which makes any number of lanes safely shareable over one digraph.
+    """
+
+    __slots__ = ("strategy", "assignment", "metrics", "validate")
+
+    def __init__(self, strategy: RecodingStrategy, *, validate: bool = False) -> None:
+        self.strategy = strategy
+        self.assignment = CodeAssignment()
+        self.metrics = MetricsCollector()
+        self.validate = validate
+
+    @property
+    def name(self) -> str:
+        """The lane's strategy name (used in experiment tables)."""
+        return self.strategy.name
+
+    def react(self, graph: AdHocDigraph, delta: TopologyDelta) -> RecodeResult:
+        """Handle one applied event: recode, commit, record metrics."""
+        kind = delta.kind
+        strategy = self.strategy
+        if kind == "join":
+            result = strategy.on_join(graph, self.assignment, delta.node_id)
+        elif kind == "leave":
+            old_color = self.assignment.unassign(delta.node_id)
+            result = strategy.on_leave(graph, self.assignment, delta.node_id, old_color)
+        elif kind == "move":
+            result = strategy.on_move(graph, self.assignment, delta.node_id)
+        elif kind in ("power_increase", "power_decrease"):
+            result = strategy.on_power_change(
+                graph,
+                self.assignment,
+                delta.node_id,
+                increased=kind == "power_increase",
+                old_conflict_neighbors=set(delta.old_conflicts),
+            )
+        else:  # pragma: no cover - apply_event only emits the kinds above
+            raise ConfigurationError(f"unknown delta kind {kind!r}")
+        for node, (_old, new) in result.changes.items():
+            self.assignment.assign(node, new)
+        self.metrics.record(result, self.assignment.max_color())
+        if self.validate:
+            assert_valid(graph, self.assignment)
+        return result
+
+
+class _TopologyOwner:
+    """Shared plumbing of the single- and multi-lane facades: one graph,
+    one connectivity policy, one event entry point."""
+
+    def __init__(
+        self,
+        *,
+        propagation: PropagationModel | None,
+        enforce_connectivity: bool,
+        dense_conflicts: bool | None,
+    ) -> None:
+        self.graph = AdHocDigraph(propagation, dense_conflicts=dense_conflicts)
+        self.enforce_connectivity = enforce_connectivity
+
+    def _advance_topology(self, event: Event) -> TopologyDelta:
+        """Apply ``event`` to the shared graph and police connectivity."""
+        delta = self.graph.apply_event(event)
+        if delta.kind != "leave":
+            self._check_connectivity(delta.node_id, delta.kind)
+        return delta
+
+    def node_ids(self) -> list[NodeId]:
+        """Current node ids, ascending."""
+        return self.graph.node_ids()
+
+    def _check_connectivity(self, node_id: NodeId, action: str) -> None:
+        if self.enforce_connectivity and len(self.graph) > 1:
+            if not has_minimal_connectivity(self.graph, node_id):
+                raise ConnectivityError(
+                    f"{action} of node {node_id} violates Minimal Connectivity "
+                    "(needs at least one in- and one out-neighbor)"
+                )
+
+
+class AdHocNetwork(_TopologyOwner):
     """A live power-controlled ad-hoc network under a recoding strategy.
 
     Parameters
@@ -55,48 +155,65 @@ class AdHocNetwork:
         enforce_connectivity: bool = False,
         dense_conflicts: bool | None = None,
     ) -> None:
-        self.graph = AdHocDigraph(propagation, dense_conflicts=dense_conflicts)
-        self.assignment = CodeAssignment()
-        self.strategy = strategy
-        self.metrics = MetricsCollector()
-        self.validate = validate
-        self.enforce_connectivity = enforce_connectivity
+        super().__init__(
+            propagation=propagation,
+            enforce_connectivity=enforce_connectivity,
+            dense_conflicts=dense_conflicts,
+        )
+        self.lane = StrategyLane(strategy, validate=validate)
+
+    # ------------------------------------------------------------------
+    # Lane delegation (the pre-split public attributes)
+    # ------------------------------------------------------------------
+    @property
+    def strategy(self) -> RecodingStrategy:
+        """The lane's recoding strategy."""
+        return self.lane.strategy
+
+    @property
+    def assignment(self) -> CodeAssignment:
+        """The lane's current code assignment."""
+        return self.lane.assignment
+
+    @assignment.setter
+    def assignment(self, value: CodeAssignment) -> None:
+        # Compaction workflows (gossip / Kempe) swap in a recolored
+        # assignment wholesale; the lane adopts it.
+        self.lane.assignment = value
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The lane's metrics collector."""
+        return self.lane.metrics
+
+    @property
+    def validate(self) -> bool:
+        """Whether every event is followed by a full CA1/CA2 check."""
+        return self.lane.validate
+
+    @validate.setter
+    def validate(self, value: bool) -> None:
+        self.lane.validate = value
 
     # ------------------------------------------------------------------
     # Event application
     # ------------------------------------------------------------------
     def apply(self, event: Event) -> RecodeResult:
         """Apply one reconfiguration event and recode per the strategy."""
-        if isinstance(event, JoinEvent):
-            return self.join(event.config)
-        if isinstance(event, LeaveEvent):
-            return self.leave(event.node_id)
-        if isinstance(event, MoveEvent):
-            return self.move(event.node_id, event.x, event.y)
-        if isinstance(event, PowerChangeEvent):
-            return self.set_range(event.node_id, event.new_range)
-        raise InvalidEventError(f"unknown event type {type(event).__name__}")
+        delta = self._advance_topology(event)
+        return self.lane.react(self.graph, delta)
 
     def join(self, cfg: NodeConfig) -> RecodeResult:
         """A new node connects (paper section 4.1)."""
-        self.graph.add_node(cfg)
-        self._check_connectivity(cfg.node_id, "join")
-        result = self.strategy.on_join(self.graph, self.assignment, cfg.node_id)
-        return self._commit(result)
+        return self.apply(JoinEvent(cfg))
 
     def leave(self, node_id: NodeId) -> RecodeResult:
         """A node disconnects (paper section 4.3)."""
-        old_color = self.assignment.unassign(node_id)
-        self.graph.remove_node(node_id)
-        result = self.strategy.on_leave(self.graph, self.assignment, node_id, old_color)
-        return self._commit(result)
+        return self.apply(LeaveEvent(node_id))
 
     def move(self, node_id: NodeId, x: float, y: float) -> RecodeResult:
         """A node relocates in one discrete step (paper section 4.4)."""
-        self.graph.move_node(node_id, x, y)
-        self._check_connectivity(node_id, "move")
-        result = self.strategy.on_move(self.graph, self.assignment, node_id)
-        return self._commit(result)
+        return self.apply(MoveEvent(node_id, x, y))
 
     def set_range(self, node_id: NodeId, new_range: float) -> RecodeResult:
         """A node changes transmission power (paper sections 4.2 / 4.3).
@@ -104,51 +221,78 @@ class AdHocNetwork:
         Equal-range "changes" are treated as decreases (no new
         constraints arise), i.e. no recoding.
         """
-        old_range = self.graph.range_of(node_id)
-        old_conflicts = conflict_neighbors(self.graph, node_id)
-        self.graph.set_range(node_id, new_range)
-        self._check_connectivity(node_id, "power change")
-        result = self.strategy.on_power_change(
-            self.graph,
-            self.assignment,
-            node_id,
-            increased=new_range > old_range,
-            old_conflict_neighbors=old_conflicts,
-        )
-        return self._commit(result)
+        return self.apply(PowerChangeEvent(node_id, new_range))
 
     # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------
     def max_color(self) -> int:
         """Maximum code index currently assigned."""
-        return self.assignment.max_color()
-
-    def node_ids(self) -> list[NodeId]:
-        """Current node ids, ascending."""
-        return self.graph.node_ids()
+        return self.lane.assignment.max_color()
 
     def is_valid(self) -> bool:
         """Whether the current assignment satisfies CA1 and CA2."""
         from repro.coloring.verify import is_valid
 
-        return is_valid(self.graph, self.assignment)
+        return is_valid(self.graph, self.lane.assignment)
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _commit(self, result: RecodeResult) -> RecodeResult:
-        for node, (_old, new) in result.changes.items():
-            self.assignment.assign(node, new)
-        self.metrics.record(result, self.assignment.max_color())
-        if self.validate:
-            assert_valid(self.graph, self.assignment)
-        return result
 
-    def _check_connectivity(self, node_id: NodeId, action: str) -> None:
-        if self.enforce_connectivity and len(self.graph) > 1:
-            if not has_minimal_connectivity(self.graph, node_id):
-                raise ConnectivityError(
-                    f"{action} of node {node_id} violates Minimal Connectivity "
-                    "(needs at least one in- and one out-neighbor)"
-                )
+class MultiStrategyReplay(_TopologyOwner):
+    """Replay one event stream against many strategies in a single pass.
+
+    The paper's evaluation compares strategies on *identical* workloads.
+    Rebuilding an :class:`AdHocNetwork` per strategy re-derives the same
+    topology mutations and conflict deltas once per strategy; this class
+    applies each event to one shared :class:`AdHocDigraph` exactly once
+    and fans the resulting :class:`TopologyDelta` out to a
+    :class:`StrategyLane` per strategy.  Because strategies only read
+    the graph (the handler contract forbids topology mutation) and the
+    graph memoizes derived conflict queries per topology version, every
+    lane sees byte-identical inputs to an independent replay — pinned by
+    ``tests/sim/test_replay.py``.
+
+    Parameters
+    ----------
+    strategies:
+        The per-lane strategy instances (one lane each, in order).
+    propagation, validate, enforce_connectivity, dense_conflicts:
+        As for :class:`AdHocNetwork`; ``validate`` applies to all lanes.
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[RecodingStrategy],
+        *,
+        propagation: PropagationModel | None = None,
+        validate: bool = False,
+        enforce_connectivity: bool = False,
+        dense_conflicts: bool | None = None,
+    ) -> None:
+        if not strategies:
+            raise ConfigurationError("MultiStrategyReplay needs at least one strategy")
+        super().__init__(
+            propagation=propagation,
+            enforce_connectivity=enforce_connectivity,
+            dense_conflicts=dense_conflicts,
+        )
+        self.lanes = [StrategyLane(s, validate=validate) for s in strategies]
+
+    def lane(self, name: str) -> StrategyLane:
+        """The lane whose strategy is named ``name`` (first match)."""
+        for lane in self.lanes:
+            if lane.name == name:
+                return lane
+        known = ", ".join(lane.name for lane in self.lanes)
+        raise ConfigurationError(f"no lane named {name!r}; lanes: {known}")
+
+    def apply(self, event: Event) -> list[RecodeResult]:
+        """Apply one event: mutate topology once, react in every lane."""
+        delta = self._advance_topology(event)
+        graph = self.graph
+        return [lane.react(graph, delta) for lane in self.lanes]
+
+    def run(self, events: Iterable[Event]) -> "MultiStrategyReplay":
+        """Apply ``events`` in order; returns self for chaining."""
+        for event in events:
+            self.apply(event)
+        return self

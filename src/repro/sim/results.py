@@ -1,0 +1,176 @@
+"""Structured, resumable results store for experiment sweeps.
+
+A sweep writes three kinds of artifact under one root directory:
+
+* ``points/<key>.json`` — one artifact per (sweep point, run), keyed by
+  a content hash of the fully resolved point spec plus the run's seed.
+  Because keys depend only on *what was computed*, re-invoking an
+  identical sweep finds every point already present and skips the
+  computation (resume / caching); enlarging ``runs`` or appending sweep
+  values recomputes only the missing points.
+* ``sweeps/<sweep-key>.json`` — the run manifest: the spec, run count,
+  seed, the point keys it covers, how many were computed vs served
+  from cache on the last invocation, and an embedded copy of the
+  assembled series (content-keyed, so it is never clobbered by a later
+  sweep reusing the same experiment id).
+* ``series/<experiment-id>.json`` — the **most recently assembled**
+  :class:`~repro.analysis.series.ExperimentSeries` for that experiment
+  id, reloadable by :meth:`ResultsStore.load_series` (used by the
+  analysis/report layer instead of keeping results only in memory).
+  This slot is latest-wins by design — re-running ``fig10-join`` with
+  different runs/strategies replaces it; the per-sweep copy inside the
+  manifest remains addressable by sweep key.
+
+Layout and hashing are deliberately dependency-free (plain JSON files)
+so stores can be rsynced, diffed and garbage-collected with ordinary
+tools.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.analysis.series import ExperimentSeries
+    from repro.sim.scenarios import ScenarioSpec
+
+__all__ = ["ResultsStore", "seed_token", "spec_digest"]
+
+#: Bump when the artifact schema changes incompatibly; part of every key
+#: so stale stores never satisfy a lookup from newer code.
+_SCHEMA_VERSION = 1
+
+
+def _canonical(obj: Any) -> str:
+    """Deterministic JSON for hashing (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def spec_digest(spec: "ScenarioSpec", extra: dict | None = None) -> str:
+    """Stable content hash of a scenario spec (plus optional context).
+
+    Two specs hash equal iff every field — placement, mobility, churn,
+    power, strategies, sweep configuration, measure — is equal, so a
+    digest names one exact computation.
+    """
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "spec": dataclasses.asdict(spec),
+        "extra": extra or {},
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()[:20]
+
+
+def seed_token(seed) -> str:
+    """A stable string identity for a run seed.
+
+    Accepts ints and ``numpy.random.SeedSequence`` objects (identified
+    by entropy + spawn key, i.e. their reproducible derivation path —
+    not by object identity).
+    """
+    entropy = getattr(seed, "entropy", None)
+    if entropy is not None:
+        spawn_key = tuple(getattr(seed, "spawn_key", ()))
+        return f"ss-{entropy}-{'.'.join(map(str, spawn_key)) or 'root'}"
+    return f"int-{int(seed)}"
+
+
+class ResultsStore:
+    """Filesystem-backed sweep results with point-level resume.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first write.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Point artifacts
+    # ------------------------------------------------------------------
+    def point_key(self, point_spec: "ScenarioSpec", seed) -> str:
+        """The artifact key of one (resolved point spec, run seed) pair."""
+        return spec_digest(point_spec, extra={"seed": seed_token(seed)})
+
+    def point_path(self, key: str) -> Path:
+        """Where the artifact for ``key`` lives."""
+        return self.root / "points" / f"{key}.json"
+
+    def load_point(self, key: str) -> Any | None:
+        """The stored result payload for ``key``, or ``None`` if absent."""
+        path = self.point_path(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())["result"]
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ConfigurationError(f"corrupt results artifact {path}: {exc}") from exc
+
+    def save_point(self, key: str, result: Any, *, context: dict | None = None) -> Path:
+        """Persist one point result (with provenance context) atomically."""
+        path = self.point_path(key)
+        payload = {"schema": _SCHEMA_VERSION, "context": context or {}, "result": result}
+        return self._write_json(path, payload)
+
+    # ------------------------------------------------------------------
+    # Sweep manifests
+    # ------------------------------------------------------------------
+    def manifest_path(self, sweep_key: str) -> Path:
+        """Where the manifest for ``sweep_key`` lives."""
+        return self.root / "sweeps" / f"{sweep_key}.json"
+
+    def save_manifest(self, sweep_key: str, manifest: dict) -> Path:
+        """Persist a sweep's run manifest."""
+        return self._write_json(self.manifest_path(sweep_key), manifest)
+
+    def load_manifest(self, sweep_key: str) -> dict | None:
+        """The manifest for ``sweep_key``, or ``None`` if absent."""
+        path = self.manifest_path(sweep_key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # Assembled series
+    # ------------------------------------------------------------------
+    def series_path(self, experiment_id: str) -> Path:
+        """Where the assembled series for ``experiment_id`` lives."""
+        return self.root / "series" / f"{experiment_id}.json"
+
+    def save_series(self, series: "ExperimentSeries") -> Path:
+        """Persist an assembled series under its experiment id."""
+        return self._write_json(self.series_path(series.experiment), series.to_dict())
+
+    def load_series(self, experiment_id: str) -> "ExperimentSeries":
+        """Load a previously assembled series by experiment id."""
+        from repro.analysis.series import ExperimentSeries
+
+        path = self.series_path(experiment_id)
+        if not path.exists():
+            known = sorted(p.stem for p in self.root.glob("series/*.json"))
+            raise ConfigurationError(
+                f"no stored series {experiment_id!r} under {self.root} "
+                f"(stored: {', '.join(known) or '<none>'})"
+            )
+        return ExperimentSeries.from_dict(json.loads(path.read_text()))
+
+    def list_series(self) -> list[str]:
+        """Experiment ids with an assembled series, ascending."""
+        return sorted(p.stem for p in self.root.glob("series/*.json"))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _write_json(self, path: Path, payload: Any) -> Path:
+        """Write-then-rename so readers never observe partial files."""
+        from repro.analysis.series import write_json_atomic
+
+        return write_json_atomic(path, payload)

@@ -12,6 +12,8 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import TypeVar
 
+from repro.errors import ConfigurationError
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -48,7 +50,13 @@ def resolve_runs(runs: int | None, default: int, env_value: str | None) -> int:
             raise ValueError(f"runs must be >= 1, got {runs}")
         return runs
     if env_value:
-        parsed = int(env_value)
+        try:
+            parsed = int(env_value)
+        except ValueError:
+            raise ConfigurationError(
+                f"run-count env override must be an integer, got {env_value!r} "
+                "(set e.g. REPRO_RUNS=10)"
+            ) from None
         if parsed < 1:
             raise ValueError(f"run-count env override must be >= 1, got {parsed}")
         return parsed

@@ -12,18 +12,23 @@ single declarative :class:`ScenarioSpec`:
 * **mobility** — post-join movement (random waypoint, uniform jumps);
 * **churn** — leave/rejoin cycles with uniform or hotspot re-placement;
 * **power** — a raisefactor schedule over a random node fraction;
-* **strategies** and a **sweep axis** with its values.
+* **strategies**, a **sweep axis** with its values, and a **measure**
+  (end-state metrics, deltas from the post-join baseline, or per-round
+  cumulative deltas).
 
 Specs are frozen dataclasses, picklable, and registered by name in
-:mod:`repro.sim.registry`; :func:`run_scenario` is the experiment driver
-(same shape as the ``run_*_experiment`` functions, fanning runs out via
-:func:`repro.sim.runner.parallel_map`), and ``minim-cdma scenario``
-exposes the catalog on the command line.
+:mod:`repro.sim.registry`.  A spec's one-run workload is produced by
+:func:`scenario_phases` as a *phased* trace — the baseline join phase
+followed by perturbation rounds — which is what the unified sweep
+orchestrator (:func:`repro.sim.sweep.run_sweep`) replays single-pass
+against every strategy.  The paper's five figure sweeps are themselves
+registered scenarios (``fig10-join`` … ``fig12-move-rounds``), so every
+experiment — paper figures and the extended catalog alike — runs
+through the same pipeline.
 """
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
@@ -31,23 +36,16 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.events.base import Event, JoinEvent, LeaveEvent
-from repro.sim.experiments import (
-    _ABS_METRICS,
-    DEFAULT_STRATEGIES,
-    _series_from,
-    make_strategy,
-)
 from repro.sim.mobility import RandomWaypointModel
-from repro.sim.network import AdHocNetwork
 from repro.sim.random_networks import (
     DEFAULT_AREA,
     DEFAULT_MAX_RANGE,
     DEFAULT_MIN_RANGE,
     sample_configs,
 )
-from repro.sim.registry import get_scenario, register_scenario
-from repro.sim.runner import parallel_map, resolve_runs
+from repro.sim.registry import register_scenario
 from repro.sim.workloads import movement_rounds, power_raise_workload
+from repro.strategies import DEFAULT_STRATEGIES
 from repro.topology.node import NodeConfig
 
 __all__ = [
@@ -57,14 +55,18 @@ __all__ = [
     "PlacementSpec",
     "PowerSpec",
     "ScenarioSpec",
+    "TracePhases",
     "place_nodes",
     "resolve_sweep",
     "run_scenario",
+    "scenario_phases",
     "scenario_trace",
 ]
 
-_DEFAULT_RUNS = 5
 _DEFAULT_SEED = 2001
+
+#: Valid ``ScenarioSpec.measure`` values.
+MEASURES = ("absolute", "delta", "delta_rounds")
 
 
 # ----------------------------------------------------------------------
@@ -173,11 +175,29 @@ class PowerSpec:
 class ScenarioSpec:
     """A fully declarative simulation scenario.
 
-    The event trace of one run is: sequential joins of the placed nodes,
-    then mobility rounds, then churn cycles, then the power schedule.
-    ``sweep_axis`` names the spec field the x-axis varies
-    (``n`` / ``avg_range`` / ``steps`` / ``maxdisp`` / ``fraction`` /
-    ``cycles`` / ``raisefactor``) over ``sweep_values``.
+    The event trace of one run is: sequential joins of the placed nodes
+    (the *baseline* phase), then mobility rounds, churn cycles and the
+    power schedule (the *perturbation* rounds).  ``sweep_axis`` names
+    the spec field the x-axis varies (``n`` / ``avg_range`` / ``steps``
+    / ``maxdisp`` / ``fraction`` / ``cycles`` / ``raisefactor``) over
+    ``sweep_values``.
+
+    ``measure`` selects what each data point reports:
+
+    * ``"absolute"`` — end-state totals (max color / recodings /
+      messages), the Fig 10 style;
+    * ``"delta"`` — change from the post-baseline snapshot to the end
+      of the trace (Fig 11 / Fig 12(a) style);
+    * ``"delta_rounds"`` — cumulative deltas sampled after *each*
+      perturbation round of a single trace (Fig 12(b-d) style); the
+      sweep must then have exactly one value and the series x-axis is
+      the round number.
+
+    ``paired_runs`` reuses the same per-run seeds across sweep values,
+    so each sweep point perturbs the same base networks (the paper does
+    this for the raisefactor and maxdisp sweeps).  ``experiment_id``
+    overrides the series id (default ``scenario-<name>``) and
+    ``x_label`` the series x-axis label (default the sweep axis).
     """
 
     name: str
@@ -193,6 +213,10 @@ class ScenarioSpec:
     strategies: tuple[str, ...] = DEFAULT_STRATEGIES
     sweep_axis: str = "n"
     sweep_values: tuple[float, ...] = ()
+    measure: str = "absolute"
+    paired_runs: bool = False
+    experiment_id: str = ""
+    x_label: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -207,8 +231,22 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"sweep_axis must be one of {tuple(_SWEEP_AXES)}, got {self.sweep_axis!r}"
             )
+        if self.measure not in MEASURES:
+            raise ConfigurationError(f"measure must be one of {MEASURES}, got {self.measure!r}")
         if not self.strategies:
             raise ConfigurationError("scenario needs at least one strategy")
+
+    @property
+    def series_id(self) -> str:
+        """The experiment id its series carry (``scenario-<name>`` default)."""
+        return self.experiment_id or f"scenario-{self.name}"
+
+    @property
+    def series_x_label(self) -> str:
+        """The series x-axis label (sweep axis or round counter)."""
+        if self.x_label:
+            return self.x_label
+        return "round" if self.measure == "delta_rounds" else self.sweep_axis
 
 
 # ----------------------------------------------------------------------
@@ -311,15 +349,39 @@ def place_nodes(spec: ScenarioSpec, rng: np.random.Generator) -> list[NodeConfig
 # ----------------------------------------------------------------------
 # Event-trace construction
 # ----------------------------------------------------------------------
-def _mobility_events(
+@dataclass(frozen=True)
+class TracePhases:
+    """One run's workload, split into measurement phases.
+
+    ``baseline`` is the sequential join phase every experiment starts
+    from; ``rounds`` are the perturbation checkpoints that follow (one
+    entry per mobility round / churn cycle, plus one for the power
+    schedule).  Delta measures snapshot metrics after ``baseline``;
+    ``delta_rounds`` additionally samples after every round.
+    """
+
+    configs: tuple[NodeConfig, ...]
+    baseline: tuple[Event, ...]
+    rounds: tuple[tuple[Event, ...], ...]
+
+    @property
+    def events(self) -> list[Event]:
+        """The flat event sequence (baseline + all rounds, in order)."""
+        out: list[Event] = list(self.baseline)
+        for round_events in self.rounds:
+            out.extend(round_events)
+        return out
+
+
+def _mobility_rounds(
     spec: ScenarioSpec, configs: list[NodeConfig], rng: np.random.Generator
-) -> list[Event]:
+) -> list[list[Event]]:
     m = spec.mobility
     if m.kind == "none" or m.steps == 0:
         return []
     if m.kind == "jumps":
         rounds = movement_rounds(configs, m.steps, m.maxdisp, rng, area=spec.area)
-        return [ev for round_events in rounds for ev in round_events]
+        return [list(round_events) for round_events in rounds]
     model = RandomWaypointModel(
         configs,
         rng,
@@ -327,22 +389,23 @@ def _mobility_events(
         pause_steps=m.pause_steps,
         area=spec.area,
     )
-    return [ev for round_events in model.run(m.steps) for ev in round_events]
+    return [list(round_events) for round_events in model.run(m.steps)]
 
 
-def _churn_events(
+def _churn_rounds(
     spec: ScenarioSpec, configs: list[NodeConfig], rng: np.random.Generator
-) -> list[Event]:
+) -> list[list[Event]]:
     c = spec.churn
     if c.kind == "none" or c.cycles == 0:
         return []
-    events: list[Event] = []
+    rounds: list[list[Event]] = []
     by_id = {cfg.node_id: cfg for cfg in configs}
     k = int(round(len(configs) * c.fraction))
     for _ in range(c.cycles):
+        cycle: list[Event] = []
         chosen = rng.choice(len(configs), size=k, replace=False)
         leavers = [configs[int(i)].node_id for i in chosen]
-        events.extend(LeaveEvent(v) for v in leavers)
+        cycle.extend(LeaveEvent(v) for v in leavers)
         if c.kind == "hotspot":
             pts = _hotspot_points(k, spec.area, c.hotspot_radius, rng)
         else:
@@ -355,54 +418,53 @@ def _churn_events(
             )
         for j, v in enumerate(leavers):
             cfg = by_id[v]
-            events.append(JoinEvent(cfg.moved_to(float(pts[j, 0]), float(pts[j, 1]))))
-    return events
+            cycle.append(JoinEvent(cfg.moved_to(float(pts[j, 0]), float(pts[j, 1]))))
+        rounds.append(cycle)
+    return rounds
+
+
+def scenario_phases(spec: ScenarioSpec, rng: np.random.Generator) -> TracePhases:
+    """One run's phased workload for an already-resolved spec.
+
+    The trace is: sequential joins (baseline), then one round per
+    mobility step, one per churn cycle, and one for the power schedule —
+    deterministic given ``rng``'s state, so every strategy replays a
+    byte-identical event sequence.
+    """
+    configs = place_nodes(spec, rng)
+    baseline: list[Event] = [JoinEvent(cfg) for cfg in configs]
+    rounds: list[list[Event]] = _mobility_rounds(spec, configs, rng)
+    rounds.extend(_churn_rounds(spec, configs, rng))
+    if spec.power.kind == "raise":
+        rounds.append(
+            list(
+                power_raise_workload(
+                    configs, spec.power.raisefactor, rng, fraction=spec.power.fraction
+                )
+            )
+        )
+    return TracePhases(
+        configs=tuple(configs),
+        baseline=tuple(baseline),
+        rounds=tuple(tuple(r) for r in rounds),
+    )
 
 
 def scenario_trace(
     spec: ScenarioSpec, rng: np.random.Generator
 ) -> tuple[list[NodeConfig], list[Event]]:
-    """One run's ``(configs, events)`` for an already-resolved spec.
+    """One run's flat ``(configs, events)`` for an already-resolved spec.
 
-    The trace is: sequential joins, mobility rounds, churn cycles, power
-    schedule — deterministic given ``rng``'s state, so every strategy
-    replays a byte-identical event sequence.
+    Convenience wrapper over :func:`scenario_phases` for consumers that
+    do not care about phase boundaries (benchmarks, trace archiving).
     """
-    configs = place_nodes(spec, rng)
-    events: list[Event] = [JoinEvent(cfg) for cfg in configs]
-    events.extend(_mobility_events(spec, configs, rng))
-    events.extend(_churn_events(spec, configs, rng))
-    if spec.power.kind == "raise":
-        events.extend(
-            power_raise_workload(
-                configs, spec.power.raisefactor, rng, fraction=spec.power.fraction
-            )
-        )
-    return configs, events
+    phases = scenario_phases(spec, rng)
+    return list(phases.configs), phases.events
 
 
 # ----------------------------------------------------------------------
-# Experiment driver
+# Experiment driver (delegates to the unified sweep orchestrator)
 # ----------------------------------------------------------------------
-def _scenario_task(args: tuple) -> list[tuple[float, float, float]]:
-    spec, value, seed = args
-    resolved = resolve_sweep(spec, value)
-    _, events = scenario_trace(resolved, np.random.default_rng(seed))
-    out = []
-    for name in resolved.strategies:
-        net = AdHocNetwork(make_strategy(name))
-        for ev in events:
-            net.apply(ev)
-        out.append(
-            (
-                float(net.max_color()),
-                float(net.metrics.total_recodings),
-                float(net.metrics.total_messages),
-            )
-        )
-    return out
-
-
 def run_scenario(
     scenario: ScenarioSpec | str,
     *,
@@ -410,49 +472,95 @@ def run_scenario(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] | None = None,
     processes: int | None = None,
+    store=None,
+    resume: bool = True,
 ):
     """Run a scenario sweep and return its ``ExperimentSeries``.
 
-    ``scenario`` is a spec or a registered name.  Each sweep value is
-    averaged over ``runs`` independent random traces (``REPRO_RUNS``
-    overrides the default of 5), fanned out with ``parallel_map`` like
-    every other experiment driver.
+    ``scenario`` is a spec or a registered name.  This is a thin alias
+    of :func:`repro.sim.sweep.run_sweep` — every scenario, paper figure
+    or extended workload, goes through the same single-pass
+    multi-strategy orchestrator (and, when ``store`` is given, the same
+    resumable results store).
     """
-    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
-    if strategies is not None:
-        spec = replace(spec, strategies=tuple(strategies))
-    if not spec.sweep_values:
-        raise ConfigurationError(f"scenario {spec.name!r} has no sweep values")
-    runs = resolve_runs(runs, _DEFAULT_RUNS, os.environ.get("REPRO_RUNS"))
-    point_seeds = np.random.SeedSequence(seed).spawn(len(spec.sweep_values))
-    tasks = [
-        (spec, value, run_seed)
-        for i, value in enumerate(spec.sweep_values)
-        for run_seed in point_seeds[i].spawn(runs)
-    ]
-    raw = parallel_map(_scenario_task, tasks, processes=processes)
-    data = np.asarray(raw, dtype=np.float64).reshape(
-        len(spec.sweep_values), runs, len(spec.strategies), len(_ABS_METRICS)
-    )
-    return _series_from(
-        f"scenario-{spec.name}",
-        spec.sweep_axis,
-        list(spec.sweep_values),
-        data,
-        spec.strategies,
-        _ABS_METRICS,
-        runs,
+    from repro.sim.sweep import run_sweep
+
+    return run_sweep(
+        scenario,
+        runs=runs,
+        seed=seed,
+        strategies=strategies,
+        processes=processes,
+        store=store,
+        resume=resume,
     )
 
 
 # ----------------------------------------------------------------------
 # Built-in catalog
 # ----------------------------------------------------------------------
-#: The registered built-in scenarios (the paper's join sweep plus six
-#: workloads the paper cannot express).
+#: The registered built-in scenarios: the paper's five figure sweeps
+#: plus seven workloads the paper cannot express.
 BUILTIN_SCENARIOS: tuple[ScenarioSpec, ...] = tuple(
     register_scenario(spec)
     for spec in (
+        # -- the paper's evaluation (section 5) as sweep specs ---------
+        ScenarioSpec(
+            name="fig10-join",
+            description="Paper Fig 10(a-c): N nodes join one by one; final metrics vs N.",
+            experiment_id="fig10-join",
+            x_label="N",
+            sweep_axis="n",
+            sweep_values=(40, 60, 80, 100, 120),
+        ),
+        ScenarioSpec(
+            name="fig10-range",
+            description="Paper Fig 10(d-f): fixed N, sweep the average transmission range.",
+            experiment_id="fig10-range",
+            x_label="avgR",
+            n=100,
+            min_range=17.5,
+            max_range=22.5,  # spread maxr - minr = 5, per the paper
+            sweep_axis="avg_range",
+            sweep_values=(5.0, 15.0, 25.0, 35.0, 45.0, 55.0, 65.0),
+        ),
+        ScenarioSpec(
+            name="fig11-power",
+            description="Paper Fig 11(a-c): raise a random half's ranges by raisefactor.",
+            experiment_id="fig11-power",
+            x_label="raisefactor",
+            n=100,
+            power=PowerSpec(kind="raise", fraction=0.5),
+            sweep_axis="raisefactor",
+            sweep_values=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0),
+            measure="delta",
+            paired_runs=True,
+        ),
+        ScenarioSpec(
+            name="fig12-move-disp",
+            description="Paper Fig 12(a): one round of moves, sweeping the max displacement.",
+            experiment_id="fig12-move-disp",
+            x_label="maxdisp",
+            n=40,
+            mobility=MobilitySpec(kind="jumps", steps=1, maxdisp=40.0),
+            sweep_axis="maxdisp",
+            sweep_values=(0.0, 10.0, 20.0, 40.0, 60.0, 80.0),
+            measure="delta",
+            paired_runs=True,
+        ),
+        ScenarioSpec(
+            name="fig12-move-rounds",
+            description="Paper Fig 12(b-d): cumulative deltas after each movement round.",
+            experiment_id="fig12-move-rounds",
+            x_label="round",
+            n=40,
+            mobility=MobilitySpec(kind="jumps", steps=10, maxdisp=40.0),
+            sweep_axis="steps",
+            sweep_values=(10,),
+            measure="delta_rounds",
+            paired_runs=True,
+        ),
+        # -- extended workloads beyond the paper ------------------------
         ScenarioSpec(
             name="paper-join",
             description="The paper's Fig 10(a-c) sweep: uniform placement, sequential joins.",

@@ -1,0 +1,318 @@
+"""The unified experiment orchestrator: one pipeline for every sweep.
+
+Every evaluation in this repo — the paper's five figure experiments and
+each registered extended scenario — runs through :func:`run_sweep`:
+
+1. the scenario spec is resolved once per sweep value (axis × value),
+2. per-run seeds are derived from one master ``SeedSequence`` (paired
+   across sweep values when the spec asks for it),
+3. each (point, run) pair becomes one task; tasks already present in
+   the :class:`~repro.sim.results.ResultsStore` are served from cache,
+   the rest are fanned out through
+   :func:`~repro.sim.runner.parallel_map`,
+4. a task replays the point's phased workload *single-pass* against all
+   strategies with :class:`~repro.sim.network.MultiStrategyReplay` —
+   topology mutation and conflict-delta computation happen once per
+   event, not once per strategy,
+5. results are assembled into an
+   :class:`~repro.analysis.series.ExperimentSeries` (and persisted to
+   the store together with a run manifest when one is given).
+
+:class:`SweepSpec` is the frozen execution plan (scenario × runs ×
+seed); the legacy ``run_*_experiment`` functions in
+:mod:`repro.sim.experiments` are now thin builders of such plans.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.series import ExperimentSeries
+from repro.errors import ConfigurationError
+from repro.sim.network import MultiStrategyReplay
+from repro.sim.registry import get_scenario
+from repro.sim.results import ResultsStore, seed_token, spec_digest
+from repro.sim.runner import parallel_map, resolve_runs
+from repro.sim.scenarios import ScenarioSpec, resolve_sweep, scenario_phases
+from repro.strategies import make_strategy
+
+__all__ = ["SweepSpec", "build_sweep", "run_sweep"]
+
+#: Metric names of the absolute measure (end-state totals).
+ABS_METRICS = ("max_color", "recodings", "messages")
+#: Metric names of the delta measures (change from the join baseline).
+DELTA_METRICS = ("delta_max_color", "delta_recodings", "delta_messages")
+
+_DEFAULT_RUNS = 5
+_DEFAULT_SEED = 2001
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A fully resolved sweep execution plan.
+
+    ``points[i]`` is the scenario with its sweep axis pinned to
+    ``scenario.sweep_values[i]``; ``seeds[i][r]`` is the
+    ``SeedSequence`` driving run ``r`` of point ``i``.  With
+    ``scenario.paired_runs`` the seed rows are identical across points,
+    so every sweep value perturbs the same base networks.
+    """
+
+    scenario: ScenarioSpec
+    points: tuple[ScenarioSpec, ...]
+    seeds: tuple[tuple[np.random.SeedSequence, ...], ...]
+    runs: int
+    seed: int
+
+    @property
+    def sweep_key(self) -> str:
+        """Content hash naming this exact sweep (spec × runs × seed)."""
+        return spec_digest(self.scenario, extra={"runs": self.runs, "seed": self.seed})
+
+    def tasks(self) -> list[tuple[int, int, ScenarioSpec, np.random.SeedSequence]]:
+        """All (point index, run index, point spec, seed) work items."""
+        return [
+            (i, r, point, self.seeds[i][r])
+            for i, point in enumerate(self.points)
+            for r in range(self.runs)
+        ]
+
+
+def build_sweep(
+    scenario: ScenarioSpec | str,
+    *,
+    runs: int | None = None,
+    seed: int = _DEFAULT_SEED,
+    strategies: Sequence[str] | None = None,
+    env_runs: str | None = None,
+) -> SweepSpec:
+    """Resolve a scenario (or registered name) into a :class:`SweepSpec`.
+
+    Raises :class:`ConfigurationError` for empty sweeps, invalid
+    resolved points (e.g. a range sweep value driving ``min_range``
+    non-positive) and ``delta_rounds`` measures with more than one
+    sweep value — all *before* any computation starts.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if strategies is not None:
+        spec = replace(spec, strategies=tuple(strategies))
+    if not spec.sweep_values:
+        raise ConfigurationError(f"scenario {spec.name!r} has no sweep values")
+    if spec.measure == "delta_rounds" and len(spec.sweep_values) != 1:
+        raise ConfigurationError(
+            "delta_rounds scenarios sweep within one trace and need exactly "
+            f"one sweep value, got {spec.sweep_values}"
+        )
+    runs = resolve_runs(runs, _DEFAULT_RUNS, env_runs)
+    points = tuple(resolve_sweep(spec, value) for value in spec.sweep_values)
+    master = np.random.SeedSequence(seed)
+    if spec.paired_runs:
+        row = tuple(master.spawn(runs))
+        seeds = tuple(row for _ in points)
+    else:
+        point_seqs = master.spawn(len(points))
+        seeds = tuple(tuple(point_seqs[i].spawn(runs)) for i in range(len(points)))
+    return SweepSpec(scenario=spec, points=points, seeds=seeds, runs=runs, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Per-point replay (runs in worker processes; must stay module-level)
+# ----------------------------------------------------------------------
+def _replay_point(args: tuple) -> list:
+    """Compute one (point, run): single-pass multi-strategy replay.
+
+    Returns, per strategy, either one ``[max_color, recodings,
+    messages]`` triple (absolute / delta measures) or one triple per
+    perturbation round (``delta_rounds``).  When a store root is given
+    the artifact is persisted *here*, in the worker, so every completed
+    point survives an interrupted sweep (resume recovers it even if the
+    orchestrating process never returns from the fan-out).
+    """
+    point, seed, store_root, key, context = args
+    result = _compute_point(point, seed)
+    if store_root is not None:
+        ResultsStore(store_root).save_point(key, result, context=context)
+    return result
+
+
+def _compute_point(point: ScenarioSpec, seed) -> list:
+    phases = scenario_phases(point, np.random.default_rng(seed))
+    replay = MultiStrategyReplay([make_strategy(name) for name in point.strategies])
+    for event in phases.baseline:
+        replay.apply(event)
+    if point.measure == "absolute":
+        for round_events in phases.rounds:
+            for event in round_events:
+                replay.apply(event)
+        return [
+            [
+                float(lane.assignment.max_color()),
+                float(lane.metrics.total_recodings),
+                float(lane.metrics.total_messages),
+            ]
+            for lane in replay.lanes
+        ]
+    baselines = [lane.metrics.snapshot() for lane in replay.lanes]
+    if point.measure == "delta":
+        for round_events in phases.rounds:
+            for event in round_events:
+                replay.apply(event)
+        return [_delta_triple(before, lane) for before, lane in zip(baselines, replay.lanes)]
+    # delta_rounds: cumulative deltas sampled after every round.
+    out: list[list[list[float]]] = [[] for _ in replay.lanes]
+    for round_events in phases.rounds:
+        for event in round_events:
+            replay.apply(event)
+        for i, (before, lane) in enumerate(zip(baselines, replay.lanes)):
+            out[i].append(_delta_triple(before, lane))
+    return out
+
+
+def _delta_triple(before, lane) -> list[float]:
+    delta = before.delta(lane.metrics.snapshot())
+    return [
+        float(delta.max_color),
+        float(delta.total_recodings),
+        float(delta.total_messages),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def run_sweep(
+    scenario: ScenarioSpec | str,
+    *,
+    runs: int | None = None,
+    seed: int = _DEFAULT_SEED,
+    strategies: Sequence[str] | None = None,
+    processes: int | None = None,
+    store: ResultsStore | None = None,
+    resume: bool = True,
+) -> ExperimentSeries:
+    """Run one sweep through the unified pipeline; return its series.
+
+    ``scenario`` is a spec or registered name; ``runs`` defaults to 5
+    (``REPRO_RUNS`` overrides).  With a ``store``, completed points are
+    loaded instead of recomputed (unless ``resume=False``), fresh
+    points are persisted as they land, and the assembled series plus a
+    run manifest are written.  The series ``notes`` field records the
+    computed/cached split of this invocation.
+    """
+    import os
+
+    sweep = build_sweep(
+        scenario,
+        runs=runs,
+        seed=seed,
+        strategies=strategies,
+        env_runs=os.environ.get("REPRO_RUNS"),
+    )
+    spec = sweep.scenario
+    tasks = sweep.tasks()
+
+    results: dict[tuple[int, int], list] = {}
+    pending: list[tuple] = []
+    pending_index: list[tuple[int, int]] = []
+    keys: dict[tuple[int, int], str] = {}
+    for i, r, point, point_seed in tasks:
+        key = None
+        context = None
+        if store is not None:
+            key = keys[(i, r)] = store.point_key(point, point_seed)
+            if resume:
+                cached = store.load_point(key)
+                if cached is not None:
+                    results[(i, r)] = cached
+                    continue
+            context = {
+                "experiment": spec.series_id,
+                "scenario": spec.name,
+                "sweep_axis": spec.sweep_axis,
+                "sweep_value": spec.sweep_values[i],
+                "run": r,
+                "seed": seed_token(point_seed),
+                "measure": spec.measure,
+                "strategies": list(point.strategies),
+            }
+        store_root = None if store is None else str(store.root)
+        pending.append((point, point_seed, store_root, key, context))
+        pending_index.append((i, r))
+
+    fresh = parallel_map(_replay_point, pending, processes=processes)
+    for (i, r), result in zip(pending_index, fresh):
+        results[(i, r)] = result
+
+    series = _assemble_series(sweep, results)
+    computed, cached = len(pending), len(tasks) - len(pending)
+    series.notes = f"{computed} points computed, {cached} from cache"
+    if store is not None:
+        store.save_series(series)
+        store.save_manifest(
+            sweep.sweep_key,
+            {
+                "experiment": spec.series_id,
+                "scenario": spec.name,
+                "measure": spec.measure,
+                "sweep_axis": spec.sweep_axis,
+                "sweep_values": list(spec.sweep_values),
+                "strategies": list(spec.strategies),
+                "runs": sweep.runs,
+                "seed": sweep.seed,
+                "points": [keys[(i, r)] for i, r, _, _ in tasks],
+                "computed": computed,
+                "cached": cached,
+                "series_path": str(store.series_path(spec.series_id)),
+                # The series/<id>.json slot is latest-wins; this copy is
+                # keyed by the sweep's content hash and never clobbered.
+                "series": series.to_dict(),
+            },
+        )
+    return series
+
+
+def _assemble_series(sweep: SweepSpec, results: dict[tuple[int, int], list]) -> ExperimentSeries:
+    """Fold point results into an :class:`ExperimentSeries`."""
+    spec = sweep.scenario
+    runs = sweep.runs
+    strategies = spec.strategies
+    if spec.measure == "delta_rounds":
+        # results[(0, r)][strategy][round][metric]
+        raw = [results[(0, r)] for r in range(runs)]
+        data = np.asarray(raw, dtype=np.float64)  # run, strategy, round, metric
+        if data.ndim != 4:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} produced no perturbation rounds to sample"
+            )
+        data = data.transpose(2, 0, 1, 3)  # round, run, strategy, metric
+        x_values = [float(t) for t in range(1, data.shape[0] + 1)]
+        metric_names = DELTA_METRICS
+    else:
+        raw = [[results[(i, r)] for r in range(runs)] for i in range(len(sweep.points))]
+        data = np.asarray(raw, dtype=np.float64)  # x, run, strategy, metric
+        x_values = [float(v) for v in spec.sweep_values]
+        metric_names = DELTA_METRICS if spec.measure == "delta" else ABS_METRICS
+    means = data.mean(axis=1)
+    if runs > 1:
+        sems = data.std(axis=1, ddof=1) / np.sqrt(runs)
+    else:
+        sems = np.zeros_like(means)
+    metrics = {
+        m: {s: means[:, si, mi].tolist() for si, s in enumerate(strategies)}
+        for mi, m in enumerate(metric_names)
+    }
+    stderr = {
+        m: {s: sems[:, si, mi].tolist() for si, s in enumerate(strategies)}
+        for mi, m in enumerate(metric_names)
+    }
+    return ExperimentSeries(
+        experiment=spec.series_id,
+        x_label=spec.series_x_label,
+        x_values=x_values,
+        metrics=metrics,
+        runs=runs,
+        stderr=stderr,
+    )

@@ -15,6 +15,7 @@ never mutate the assignment themselves (the network facade applies the
 returned changes).
 """
 
+from repro.errors import ConfigurationError
 from repro.strategies.ablation import GreedySequentialStrategy
 from repro.strategies.base import RecodeResult, RecodingStrategy
 from repro.strategies.bbb_global import BBBGlobalStrategy
@@ -24,8 +25,32 @@ from repro.strategies.minim import MinimStrategy
 __all__ = [
     "BBBGlobalStrategy",
     "CPStrategy",
+    "DEFAULT_STRATEGIES",
     "GreedySequentialStrategy",
     "MinimStrategy",
     "RecodeResult",
     "RecodingStrategy",
+    "make_strategy",
 ]
+
+#: The paper's three contenders, in its plotting order.
+DEFAULT_STRATEGIES: tuple[str, ...] = ("Minim", "CP", "BBB")
+
+
+def make_strategy(name: str) -> RecodingStrategy:
+    """Instantiate a strategy by its experiment-table name.
+
+    Recognized: ``Minim``, ``CP``, ``BBB``, ``GreedySeq`` and the
+    weight-ablation variant ``Minim/w1`` (old-color weight 1).
+    """
+    if name == "Minim":
+        return MinimStrategy()
+    if name == "CP":
+        return CPStrategy()
+    if name == "BBB":
+        return BBBGlobalStrategy()
+    if name == "GreedySeq":
+        return GreedySequentialStrategy()
+    if name == "Minim/w1":
+        return MinimStrategy(old_color_weight=1)
+    raise ConfigurationError(f"unknown strategy name {name!r}")

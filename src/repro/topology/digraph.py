@@ -38,19 +38,27 @@ to full scans while keeping the incremental conflict counters.
 from __future__ import annotations
 
 import os
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.errors import DuplicateNodeError, InvalidEventError, UnknownNodeError
 from repro.geometry.grid_index import UniformGridIndex
 from repro.topology.node import NodeConfig
 from repro.topology.propagation import FreeSpacePropagation, PropagationModel
 from repro.types import NodeId
 
-__all__ = ["AdHocDigraph"]
+if TYPE_CHECKING:  # pragma: no cover - type-only; events imports topology.node
+    from repro.events.base import Event
+
+__all__ = ["AdHocDigraph", "TopologyDelta"]
 
 _INITIAL_CAPACITY = 16
+#: Memo key of the assembled conflict-adjacency pair (node ids are ints,
+#: so a string key can never collide with a per-node conflict-set entry).
+_CONFLICT_ADJ_KEY = "conflict_adjacency"
 #: Rebuild the spatial grid when a range exceeds this multiple of the
 #: cell size, so disc queries keep touching O(1) cells as power grows.
 _REGRID_FACTOR = 4.0
@@ -59,6 +67,40 @@ _REGRID_FACTOR = 4.0
 def _dense_from_env() -> bool:
     """Whether ``REPRO_DENSE`` requests the dense escape hatch."""
     return os.environ.get("REPRO_DENSE", "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """The strategy-independent record of one applied topology event.
+
+    Produced by :meth:`AdHocDigraph.apply_event` *after* the mutation is
+    committed, a delta carries everything a recoding strategy's event
+    handler needs beyond the post-event graph itself: the event kind
+    (power changes are classified increase/decrease here, where the old
+    range is still known) and the pre-event conflict set of the node for
+    power increases (the CP extension recodes exactly the nodes that
+    *gained* a constraint).
+
+    Because deltas capture only graph-derived state, one delta stream
+    can be fanned out to any number of per-strategy assignment states —
+    the topology mutation and conflict-delta computation run once, not
+    once per strategy.
+    """
+
+    #: Event kind after classification:
+    #: ``"join" | "leave" | "move" | "power_increase" | "power_decrease"``.
+    kind: str
+    #: The initiating node (joined / left / moved / changed power).
+    node_id: NodeId
+    #: Topology version after this event was applied.
+    version: int
+    #: The removed node's last configuration (``leave`` only).
+    removed_config: NodeConfig | None = None
+    #: Transmission range before the change (power events only).
+    old_range: float | None = None
+    #: CA1 ∪ CA2 conflict set of ``node_id`` *before* the event
+    #: (power events only).
+    old_conflicts: frozenset[NodeId] = field(default_factory=frozenset)
 
 
 class AdHocDigraph:
@@ -109,6 +151,11 @@ class AdHocDigraph:
         self._version = 0
         self._cm_cache: np.ndarray | None = None
         self._cm_version = -1
+        # Per-version memo of derived conflict queries.  Multi-strategy
+        # replay issues the same queries once per strategy between two
+        # topology events; the memo makes repeats O(1).
+        self._memo: dict = {}
+        self._memo_version = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -328,6 +375,55 @@ class AdHocDigraph:
             self._apply_row_delta(i, self._coverage_mask(i))
         self._version += 1
 
+    # ------------------------------------------------------------------
+    # Event replay
+    # ------------------------------------------------------------------
+    def apply_event(self, event: "Event") -> TopologyDelta:
+        """Apply one reconfiguration event; return its conflict delta.
+
+        The returned :class:`TopologyDelta` captures the pre-event state
+        handlers need (old range and old conflict set for power changes,
+        the removed configuration for leaves), so per-strategy consumers
+        never re-derive topology work.  This is the single mutation
+        entry point of the replay pipeline: the event loop applies each
+        event exactly once here and fans the delta out to every
+        strategy's assignment state.
+        """
+        from repro.events.base import JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+
+        if isinstance(event, JoinEvent):
+            self.add_node(event.config)
+            return TopologyDelta("join", event.node_id, self._version)
+        if isinstance(event, LeaveEvent):
+            removed = self.remove_node(event.node_id)
+            return TopologyDelta("leave", event.node_id, self._version, removed_config=removed)
+        if isinstance(event, MoveEvent):
+            self.move_node(event.node_id, event.x, event.y)
+            return TopologyDelta("move", event.node_id, self._version)
+        if isinstance(event, PowerChangeEvent):
+            old_range = self.range_of(event.node_id)
+            old_conflicts = frozenset(self.conflict_neighbor_ids(event.node_id))
+            self.set_range(event.node_id, event.new_range)
+            kind = "power_increase" if event.new_range > old_range else "power_decrease"
+            return TopologyDelta(
+                kind,
+                event.node_id,
+                self._version,
+                old_range=old_range,
+                old_conflicts=old_conflicts,
+            )
+        raise InvalidEventError(f"unknown event type {type(event).__name__}")
+
+    def replay_events(self, events: Iterable["Event"]) -> Iterator[TopologyDelta]:
+        """Lazily apply ``events`` in order, yielding one delta each.
+
+        The replayable conflict-delta stream: consumers iterate deltas
+        while the graph advances underneath, so per-event derived state
+        (conflict sets, the memo) is always for the just-applied event.
+        """
+        for event in events:
+            yield self.apply_event(event)
+
     def copy(self) -> "AdHocDigraph":
         """Deep copy (same propagation model object, copied arrays)."""
         g = AdHocDigraph.__new__(AdHocDigraph)
@@ -346,6 +442,8 @@ class AdHocDigraph:
         g._version = self._version
         g._cm_cache = None
         g._cm_version = -1
+        g._memo = {}
+        g._memo_version = -1
         return g
 
     # ------------------------------------------------------------------
@@ -358,17 +456,24 @@ class AdHocDigraph:
         This is the hot query of every recoding strategy.  Incremental
         mode reads the maintained counter row; dense mode reads the
         per-event conflict matrix re-derived by
-        :func:`repro.topology.conflicts.conflict_matrix`.
+        :func:`repro.topology.conflicts.conflict_matrix`.  Results are
+        memoized per topology version, so replaying one event against
+        many strategies derives each conflict set once.
         """
-        i = self._idx(node_id)
-        n = len(self._ids)
-        if self._dense:
-            mask = self._dense_conflict_block()[i]
-        else:
-            a = self._adj
-            mask = a[i, :n] | a[:n, i] | (self._c2[i, :n] > 0)
-            mask[i] = False
-        return set(self._ida[:n][mask].tolist())
+        memo = self._query_memo()
+        cached = memo.get(node_id)
+        if cached is None:
+            i = self._idx(node_id)
+            n = len(self._ids)
+            if self._dense:
+                mask = self._dense_conflict_block()[i]
+            else:
+                a = self._adj
+                mask = a[i, :n] | a[:n, i] | (self._c2[i, :n] > 0)
+                mask[i] = False
+            cached = frozenset(self._ida[:n][mask].tolist())
+            memo[node_id] = cached
+        return set(cached)
 
     def conflict_adjacency(self) -> tuple[list[NodeId], np.ndarray]:
         """``(ids, C)`` — the symmetric CA1 ∪ CA2 conflict matrix.
@@ -378,19 +483,26 @@ class AdHocDigraph:
         in O(N²) boolean work (no matmul); the dense mode returns the
         per-event re-derivation.  Whole-network consumers (the BBB
         recolor, clique bounds) use this instead of
-        ``conflict_matrix(adjacency())``.
+        ``conflict_matrix(adjacency())``.  The assembled matrix is
+        memoized per topology version (callers receive fresh copies).
         """
-        n = len(self._ids)
-        order = sorted(range(n), key=lambda j: self._ids[j])
-        ids = [self._ids[j] for j in order]
-        if self._dense:
-            block = self._dense_conflict_block()
-        else:
-            a = self._adj[:n, :n]
-            block = a | a.T | (self._c2[:n, :n] > 0)
-            np.fill_diagonal(block, False)
-        perm = np.asarray(order, dtype=np.intp)
-        return ids, block[np.ix_(perm, perm)].copy()
+        memo = self._query_memo()
+        cached = memo.get(_CONFLICT_ADJ_KEY)
+        if cached is None:
+            n = len(self._ids)
+            order = sorted(range(n), key=lambda j: self._ids[j])
+            ids = [self._ids[j] for j in order]
+            if self._dense:
+                block = self._dense_conflict_block()
+            else:
+                a = self._adj[:n, :n]
+                block = a | a.T | (self._c2[:n, :n] > 0)
+                np.fill_diagonal(block, False)
+            perm = np.asarray(order, dtype=np.intp)
+            cached = (ids, block[np.ix_(perm, perm)])
+            memo[_CONFLICT_ADJ_KEY] = cached
+        ids, block = cached
+        return list(ids), block.copy()
 
     def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
         """BFS hop counts from ``src`` over the undirected support.
@@ -428,6 +540,13 @@ class AdHocDigraph:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _query_memo(self) -> dict:
+        """The derived-query memo for the current topology version."""
+        if self._memo_version != self._version:
+            self._memo = {}
+            self._memo_version = self._version
+        return self._memo
+
     def _idx(self, node_id: NodeId) -> int:
         try:
             return self._index[node_id]

@@ -138,7 +138,10 @@ class TestBenchCommand:
         printed = capsys.readouterr().out
         assert rc == 0
         assert "fig10-join" in printed and "speedup" in printed
+        assert "multi-strategy-replay" in printed
         entries = json.loads(out_path.read_text())
-        assert {e["mode"] for e in entries} == {"grid", "dense"}
+        assert {e["mode"] for e in entries} == {"grid", "dense", "per-strategy", "shared"}
         for e in entries:
             assert {"scenario", "n", "wall_seconds", "events_per_sec"} <= set(e)
+        shared = [e for e in entries if e["mode"] == "shared"]
+        assert len(shared) == 1 and shared[0]["speedup_vs_per_strategy"] > 0

@@ -74,6 +74,36 @@ class TestBookkeeping:
         assert delta.events == 5
         assert delta.total_recodings >= 5
 
+    def test_snapshot_delta_max_color_is_signed(self):
+        # max_color in a delta is a signed difference: when the palette
+        # shrinks between snapshots the delta must go negative, while
+        # the count fields only ever accumulate.
+        from repro.sim.metrics import MetricsSnapshot
+
+        before = MetricsSnapshot(events=3, total_recodings=4, total_messages=9, max_color=7)
+        after = MetricsSnapshot(events=5, total_recodings=6, total_messages=12, max_color=5)
+        delta = before.delta(after)
+        assert delta.max_color == -2
+        assert delta.events == 2
+        assert delta.total_recodings == 2
+        assert delta.total_messages == 3
+
+    def test_leave_can_shrink_max_color_delta(self):
+        # A real network path to a negative delta: color the clique,
+        # snapshot, then remove nodes until the top color disappears.
+        net = AdHocNetwork(MinimStrategy())
+        for cfg in [
+            NodeConfig(1, 0.0, 0.0, tx_range=20.0),
+            NodeConfig(2, 5.0, 0.0, tx_range=20.0),
+            NodeConfig(3, 10.0, 0.0, tx_range=20.0),
+        ]:
+            net.join(cfg)
+        snap = net.metrics.snapshot()
+        net.leave(3)
+        net.leave(2)
+        delta = snap.delta(net.metrics.snapshot())
+        assert delta.max_color < 0
+
 
 class TestConnectivityEnforcement:
     def test_isolated_join_rejected_when_enforced(self):

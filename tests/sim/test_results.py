@@ -1,0 +1,153 @@
+"""The results store: artifacts, manifests, series, and sweep resume."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import ExperimentSeries
+from repro.errors import ConfigurationError
+from repro.sim.registry import get_scenario
+from repro.sim.results import ResultsStore, seed_token, spec_digest
+from repro.sim.sweep import build_sweep, run_sweep
+
+
+def tiny_spec():
+    from dataclasses import replace
+
+    return replace(
+        get_scenario("paper-join"),
+        n=8,
+        strategies=("Minim",),
+        sweep_values=(6.0, 8.0),
+    )
+
+
+class TestKeys:
+    def test_spec_digest_stable_and_sensitive(self):
+        spec = tiny_spec()
+        assert spec_digest(spec) == spec_digest(spec)
+        from dataclasses import replace
+
+        assert spec_digest(spec) != spec_digest(replace(spec, n=9))
+        assert spec_digest(spec) != spec_digest(spec, extra={"runs": 3})
+
+    def test_seed_token_int_and_seedsequence(self):
+        assert seed_token(7) == "int-7"
+        root = np.random.SeedSequence(5)
+        child = root.spawn(2)[1]
+        assert seed_token(root) == "ss-5-root"
+        assert seed_token(child) == "ss-5-1"
+        # identity follows the derivation path, not the object
+        assert seed_token(np.random.SeedSequence(5).spawn(2)[1]) == seed_token(child)
+
+
+class TestStoreIO:
+    def test_point_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.load_point("abc") is None
+        store.save_point("abc", [[1.0, 2.0, 3.0]], context={"run": 0})
+        assert store.load_point("abc") == [[1.0, 2.0, 3.0]]
+        payload = json.loads(store.point_path("abc").read_text())
+        assert payload["context"] == {"run": 0}
+
+    def test_corrupt_point_raises(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.point_path("bad").parent.mkdir(parents=True)
+        store.point_path("bad").write_text("{not json")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            store.load_point("bad")
+
+    def test_series_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        series = ExperimentSeries(
+            experiment="exp-x",
+            x_label="N",
+            x_values=[1.0, 2.0],
+            metrics={"recodings": {"Minim": [1.0, 2.0]}},
+            runs=2,
+            stderr={"recodings": {"Minim": [0.1, 0.2]}},
+        )
+        store.save_series(series)
+        loaded = store.load_series("exp-x")
+        assert loaded == series
+        assert store.list_series() == ["exp-x"]
+
+    def test_missing_series_lists_catalog(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ConfigurationError, match="no stored series"):
+            store.load_series("nope")
+
+
+class TestSweepResume:
+    def test_identical_rerun_hits_cache_entirely(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec()
+        first = run_sweep(spec, runs=2, seed=3, store=store)
+        assert "4 points computed, 0 from cache" in first.notes
+        second = run_sweep(spec, runs=2, seed=3, store=store)
+        assert "0 points computed, 4 from cache" in second.notes
+        assert first.metrics == second.metrics
+        assert first.x_values == second.x_values
+
+    def test_extending_runs_recomputes_only_new_points(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec()
+        run_sweep(spec, runs=1, seed=3, store=store)
+        grown = run_sweep(spec, runs=2, seed=3, store=store)
+        # runs=1 wrote points for run 0; runs=2 reuses them (same seed
+        # derivation path) and computes only run 1.
+        assert "2 points computed, 2 from cache" in grown.notes
+
+    def test_no_resume_recomputes(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec()
+        run_sweep(spec, runs=1, seed=3, store=store)
+        again = run_sweep(spec, runs=1, seed=3, store=store, resume=False)
+        assert "2 points computed, 0 from cache" in again.notes
+
+    def test_cache_is_spec_sensitive(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec()
+        run_sweep(spec, runs=1, seed=3, store=store)
+        other_seed = run_sweep(spec, runs=1, seed=4, store=store)
+        assert "2 points computed" in other_seed.notes
+
+    def test_points_persist_independently_of_sweep_completion(self, tmp_path):
+        # Points are saved by the workers as they land (also across a
+        # real process pool), so a sweep that dies before assembling its
+        # series still leaves resumable artifacts: wiping the manifest
+        # and series must not force recomputation.
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec()
+        run_sweep(spec, runs=1, seed=3, store=store, processes=2)
+        for artifact in list(tmp_path.glob("sweeps/*")) + list(tmp_path.glob("series/*")):
+            artifact.unlink()
+        again = run_sweep(spec, runs=1, seed=3, store=store)
+        assert "0 points computed, 2 from cache" in again.notes
+
+    def test_manifest_written(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec()
+        run_sweep(spec, runs=2, seed=3, store=store)
+        sweep = build_sweep(spec, runs=2, seed=3)
+        manifest = store.load_manifest(sweep.sweep_key)
+        assert manifest is not None
+        assert manifest["computed"] == 4 and manifest["cached"] == 0
+        assert len(manifest["points"]) == 4
+        for key in manifest["points"]:
+            assert store.point_path(key).exists()
+
+    def test_cached_series_loadable_for_reports(self, tmp_path):
+        from repro.analysis.report import panels_from_store, render_report
+
+        store = ResultsStore(tmp_path)
+        run_sweep(tiny_spec(), runs=1, seed=3, store=store)
+        panels = panels_from_store(
+            store,
+            [("scenario-paper-join", "Fig X", "max_color", "colors stay bounded")],
+        )
+        doc = render_report("T", "intro", panels)
+        assert "scenario-paper-join" in doc and "max_color" in doc

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro.sim.runner as runner
+from repro.errors import ConfigurationError
 from repro.sim.runner import chunk_evenly, parallel_map, resolve_runs
 
 
@@ -52,6 +53,13 @@ class TestResolveRuns:
             resolve_runs(0, 5, None)
         with pytest.raises(ValueError):
             resolve_runs(None, 5, "0")
+
+    def test_non_numeric_env_raises_configuration_error(self):
+        # e.g. REPRO_RUNS=ten must not surface as a bare ValueError
+        with pytest.raises(ConfigurationError, match="'ten'"):
+            resolve_runs(None, 5, "ten")
+        with pytest.raises(ConfigurationError, match="REPRO_RUNS"):
+            resolve_runs(None, 5, "3.5")
 
 
 class TestParallelMap:
