@@ -3,7 +3,8 @@
 Usage::
 
     python benchmarks/check_bench_regression.py \
-        --baseline BENCH_eventloop.json --fresh bench-fresh.json [--min-ratio 0.5]
+        --baseline BENCH_eventloop.json --fresh bench-fresh.json [--min-ratio 0.5] \
+        [--min-speedup speedup_vs_cold=1.2 --min-speedup speedup_vs_per_strategy=1.2]
 
 Entries are matched by ``(scenario, mode)`` and compared on
 ``events_per_sec``.  The gate fails (exit 1) when any matched entry
@@ -12,6 +13,13 @@ to absorb runner-hardware variance, tight enough to catch an event-loop
 fast path silently falling back to dense scans (those regressions are
 2-4x, not 2x variance).  Entries present on only one side are reported
 but do not fail the gate (bench coverage may grow PR over PR).
+
+``--min-speedup FIELD=MIN`` (repeatable) additionally gates the fresh
+run's *intra-run* speedup ratios — e.g. the warm-start-vs-cold-rebuild
+and shared-vs-per-strategy replay comparisons — which are measured on
+one machine in one process and therefore hold a much tighter floor than
+cross-run throughput: every fresh entry carrying ``FIELD`` must report
+at least ``MIN``.
 """
 
 from __future__ import annotations
@@ -36,7 +44,25 @@ def main(argv: list[str] | None = None) -> int:
         default=0.5,
         help="fail when fresh events/sec < min-ratio * baseline (default 0.5)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="FIELD=MIN",
+        help="fail when a fresh entry's FIELD speedup is below MIN "
+        "(repeatable, e.g. speedup_vs_cold=1.2)",
+    )
     args = parser.parse_args(argv)
+
+    speedup_floors: dict[str, float] = {}
+    for item in args.min_speedup:
+        field, _, minimum = item.partition("=")
+        if not field or not minimum:
+            parser.error(f"--min-speedup expects FIELD=MIN, got {item!r}")
+        try:
+            speedup_floors[field] = float(minimum)
+        except ValueError:
+            parser.error(f"--min-speedup minimum must be a number, got {item!r}")
 
     baseline = _by_key(json.loads(args.baseline.read_text()))
     fresh = _by_key(json.loads(args.fresh.read_text()))
@@ -58,6 +84,29 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ratio < args.min_ratio:
             failures.append(f"{scenario}/{mode} at {ratio:.2f}x (< {args.min_ratio}x)")
+
+    floors_matched = dict.fromkeys(speedup_floors, 0)
+    for key in sorted(fresh):
+        entry = fresh[key]
+        scenario, mode = key
+        for field, minimum in speedup_floors.items():
+            if field not in entry:
+                continue
+            floors_matched[field] += 1
+            value = entry[field]
+            verdict = "ok" if value >= minimum else "REGRESSION"
+            print(
+                f"{scenario:<22} {mode:>12}: {field} {value:.2f}x "
+                f"(floor {minimum:.2f}x) {verdict}"
+            )
+            if value < minimum:
+                failures.append(f"{scenario}/{mode} {field} at {value:.2f}x (< {minimum}x)")
+    for field, matched in floors_matched.items():
+        if matched == 0:
+            # an unmatched floor means the bench stopped emitting the
+            # field (or the CI arg is typo'd) — the gate must not
+            # silently become a no-op
+            failures.append(f"--min-speedup {field}: no fresh entry carries this field")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

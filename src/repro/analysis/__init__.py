@@ -1,13 +1,16 @@
-"""Analysis: experiment series, statistics, tables and shape checks."""
+"""Analysis: experiment series, statistics, tables, plots and checks."""
 
+from repro.analysis.plot import HAVE_MATPLOTLIB, panels_to_figure
 from repro.analysis.series import ExperimentSeries
 from repro.analysis.shape_checks import ShapeCheck, check_all
 from repro.analysis.stats import mean_and_ci, summarize
 
 __all__ = [
     "ExperimentSeries",
+    "HAVE_MATPLOTLIB",
     "ShapeCheck",
     "check_all",
     "mean_and_ci",
+    "panels_to_figure",
     "summarize",
 ]

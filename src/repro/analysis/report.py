@@ -5,8 +5,9 @@ plus their shape-check verdicts into the paper-vs-measured markdown that
 ``EXPERIMENTS.md`` records.  Used by the CLI's ``--out`` mode and by the
 maintainer script that refreshes the committed report.  Panels can be
 built from live series or loaded back out of a sweep's
-:class:`~repro.sim.results.ResultsStore` (:func:`panels_from_store`),
-so reports are reproducible from persisted artifacts alone.
+:class:`~repro.sim.results.ResultsBackend` — JSON directory or SQLite
+file alike (:func:`panels_from_store`), so reports are reproducible
+from persisted artifacts alone.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from repro.analysis.series import ExperimentSeries
 from repro.analysis.shape_checks import ShapeCheck
 
 if TYPE_CHECKING:  # pragma: no cover - type-only
-    from repro.sim.results import ResultsStore
+    from repro.sim.results import ResultsBackend
 
 __all__ = ["PanelReport", "panels_from_store", "render_report"]
 
@@ -55,7 +56,7 @@ class PanelReport:
 
 
 def panels_from_store(
-    store: "ResultsStore",
+    store: "ResultsBackend",
     panel_specs: Sequence[tuple[str, str, str, str]],
 ) -> list[PanelReport]:
     """Build panels from a results store instead of in-memory series.

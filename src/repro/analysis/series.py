@@ -22,11 +22,17 @@ def write_json_atomic(path: Path | str, payload) -> Path:
 
     The single JSON-persistence primitive of the results machinery:
     readers never observe partial files, even if the writer dies
-    mid-write.
+    mid-write.  The temp name is unique per writer, so concurrent
+    processes racing the same destination (workers saving an
+    at-least-once duplicate) each rename a complete file — last write
+    wins, no window where the destination is missing or partial.
     """
+    import os
+    import uuid
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp")
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     tmp.replace(path)
     return path

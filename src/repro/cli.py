@@ -1,4 +1,4 @@
-"""Command-line interface: figures, scenarios, and the event-loop bench.
+"""Command-line interface: figures, scenarios, workers, stores, bench.
 
 Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
 
@@ -8,6 +8,11 @@ Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
     minim-cdma all   --runs 5 --out results/ --results results-store/
     minim-cdma scenario --list
     minim-cdma scenario poisson-cluster --runs 5
+    minim-cdma scenario uniform-churn --results store.sqlite --executor worker
+    minim-cdma worker --results store.sqlite
+    minim-cdma store ls store.sqlite
+    minim-cdma store compact results-store/
+    minim-cdma store migrate results-store/ store.sqlite
     minim-cdma bench --runs 3 --n 120
 
 ``fig10``/``fig11``/``fig12``/``all`` reproduce the paper's evaluation
@@ -15,13 +20,18 @@ and ``scenario`` runs a registered workload from the declarative
 catalog; all five figure sweeps and every scenario route through the
 same unified orchestrator (:func:`repro.sim.sweep.run_sweep`), which
 replays each workload single-pass against all strategies.  With
-``--results DIR`` completed sweep points are persisted to a
-:class:`~repro.sim.results.ResultsStore` and re-invocations resume from
-cache.  ``bench`` times the topology event loop (grid fast path vs the
-``REPRO_DENSE`` hatch) plus shared vs per-strategy multi-strategy
-replay, and writes ``BENCH_eventloop.json``.  Each experiment command
-prints metric tables plus shape checks; ``--out DIR`` additionally
-writes markdown tables.
+``--results PATH`` completed sweep points are persisted to a results
+backend (JSON directory or SQLite file, sniffed from the path —
+``--store-backend`` forces one) and re-invocations resume from cache.
+``--executor worker`` publishes a sweep's tasks into the shared store
+so any number of ``minim-cdma worker`` processes (or hosts sharing the
+store) drain them concurrently.  ``store`` inspects (``ls``), folds a
+JSON directory into one SQLite table (``compact``) or copies between
+backends (``migrate``).  ``bench`` times the topology event loop (grid
+fast path vs the ``REPRO_DENSE`` hatch), shared vs per-strategy
+multi-strategy replay, and cold vs warm-start paired sweeps, writing
+``BENCH_eventloop.json``.  Each experiment command prints metric tables
+plus shape checks; ``--out DIR`` additionally writes markdown tables.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from repro.sim.experiments import (
     run_power_experiment,
     run_range_sweep_experiment,
 )
-from repro.sim.results import ResultsStore
+from repro.sim.results import ResultsBackend, open_backend
 
 __all__ = ["main", "build_parser"]
 
@@ -59,12 +69,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--results",
         type=Path,
         default=None,
-        help="results-store directory (persists sweep points; re-runs resume from cache)",
+        help="results store (JSON directory or SQLite file; persists sweep "
+        "points and re-runs resume from cache)",
+    )
+    common.add_argument(
+        "--store-backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="results-backend kind (default: sniff from the --results path)",
     )
     common.add_argument(
         "--no-resume",
         action="store_true",
         help="recompute every point even when the results store already has it",
+    )
+    common.add_argument(
+        "--executor",
+        choices=("serial", "process", "worker"),
+        default=None,
+        help="execution layer (default: process pool when --processes > 1, else "
+        "serial; worker publishes tasks into the shared --results store)",
+    )
+    common.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable baseline forking for paired delta sweeps (results are "
+        "identical either way)",
     )
 
     parser = argparse.ArgumentParser(
@@ -98,8 +128,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategies", nargs="+", default=None, help="strategy subset (default: the spec's)"
     )
 
+    pw = sub.add_parser("worker", help="drain sweep tasks from a shared results store")
+    pw.add_argument("--results", type=Path, required=True, help="the shared results store")
+    pw.add_argument(
+        "--store-backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="results-backend kind (default: sniff from the --results path)",
+    )
+    pw.add_argument(
+        "--poll", type=float, default=0.2, help="seconds between queue scans (default 0.2)"
+    )
+    pw.add_argument(
+        "--max-idle",
+        type=float,
+        default=10.0,
+        help="exit after this many seconds without finding work (default 10)",
+    )
+    pw.add_argument("--once", action="store_true", help="one queue scan, then exit (no idle wait)")
+
+    pst = sub.add_parser("store", help="inspect / compact / migrate a results store")
+    pst.add_argument("action", choices=("ls", "compact", "migrate"))
+    pst.add_argument("path", type=Path, help="the store (JSON directory or SQLite file)")
+    pst.add_argument(
+        "dest", type=Path, nargs="?", default=None, help="migration target (migrate only)"
+    )
+    pst.add_argument(
+        "--store-backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="backend kind of PATH (default: sniff)",
+    )
+    pst.add_argument(
+        "--dest-backend",
+        choices=("auto", "json", "sqlite"),
+        default="auto",
+        help="backend kind of DEST (default: sniff)",
+    )
+
     pb = sub.add_parser(
-        "bench", help="time the event loop (grid vs REPRO_DENSE, shared vs per-strategy replay)"
+        "bench",
+        help="time the event loop (grid vs REPRO_DENSE, shared vs per-strategy "
+        "replay, cold vs warm-start sweeps)",
     )
     pb.add_argument("--runs", type=int, default=3, help="timing repetitions per trace")
     pb.add_argument("--n", type=int, default=120, help="node count for the benchmark traces")
@@ -116,8 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _store_of(args: argparse.Namespace) -> ResultsStore | None:
-    return ResultsStore(args.results) if args.results is not None else None
+def _store_of(args: argparse.Namespace) -> ResultsBackend | None:
+    if args.results is None:
+        return None
+    return open_backend(args.results, getattr(args, "store_backend", "auto"))
 
 
 def _emit(series: ExperimentSeries, kind: str | None, out: Path | None) -> None:
@@ -146,6 +218,8 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         processes=args.processes,
         store=_store_of(args),
         resume=not args.no_resume,
+        executor=getattr(args, "executor", None),
+        warm_start=False if getattr(args, "no_warm_start", False) else None,
     )
 
 
@@ -192,15 +266,7 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
 
     try:
-        series = run_sweep(
-            args.name,
-            runs=args.runs,
-            seed=args.seed,
-            strategies=args.strategies,
-            processes=args.processes,
-            store=_store_of(args),
-            resume=not args.no_resume,
-        )
+        series = run_sweep(args.name, strategies=args.strategies, **_sweep_kwargs(args))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -210,13 +276,21 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
 
 def _run_bench_cmd(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
-    from repro.sim.bench import run_event_loop_bench, run_replay_bench, write_bench_json
+    from repro.sim.bench import (
+        run_event_loop_bench,
+        run_replay_bench,
+        run_warmstart_bench,
+        write_bench_json,
+    )
 
     try:
         entries = run_event_loop_bench(
             n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
         )
         entries.extend(run_replay_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
+        entries.extend(
+            run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed)
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -225,10 +299,10 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     print("-" * len(header))
     for e in entries:
         speedup = ""
-        if "speedup_vs_dense" in e:
-            speedup = f"{e['speedup_vs_dense']:.2f}x"
-        elif "speedup_vs_per_strategy" in e:
-            speedup = f"{e['speedup_vs_per_strategy']:.2f}x"
+        for field in ("speedup_vs_dense", "speedup_vs_per_strategy", "speedup_vs_cold"):
+            if field in e:
+                speedup = f"{e[field]:.2f}x"
+                break
         print(
             f"{e['scenario']:<22} {e['n']:>5} {e['mode']:>12} {e['events']:>7} "
             f"{e['events_per_sec']:>10.0f} {speedup:>8}"
@@ -238,6 +312,65 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_worker_cmd(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.sim.executor import run_worker
+
+    backend = open_backend(args.results, args.store_backend)
+    print(f"worker draining {backend.kind} store {backend.locator}")
+    try:
+        computed = run_worker(backend, poll=args.poll, max_idle=args.max_idle, once=args.once)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker exiting: computed {computed} task group(s)")
+    return 0
+
+
+def _run_store_cmd(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.sim.results import JsonDirBackend, migrate_store
+
+    backend = open_backend(args.path, args.store_backend)
+    try:
+        if args.action == "ls":
+            info = backend.describe()
+            print(f"{info['backend']} store {info['locator']}")
+            for field in ("points", "manifests", "tasks", "claims"):
+                print(f"  {field:<10} {info[field]}")
+            print(f"  {'series':<10} {len(info['series'])}")
+            for experiment_id in info["series"]:
+                print(f"    {experiment_id}")
+            return 0
+        if args.action == "compact":
+            if not isinstance(backend, JsonDirBackend):
+                backend.compact()
+                print(f"vacuumed {backend.locator}")
+                return 0
+            points = len(backend.list_points())
+            compacted = backend.compact()
+            print(
+                f"compacted {points} point file(s) from {backend.locator} "
+                f"into {compacted.locator}"
+            )
+            return 0
+        # migrate
+        if args.dest is None:
+            print("error: migrate needs a DEST path", file=sys.stderr)
+            return 2
+        dest = open_backend(args.dest, args.dest_backend)
+        counts = migrate_store(backend, dest)
+        print(
+            f"migrated {counts['points']} point(s), {counts['manifests']} "
+            f"manifest(s), {counts['series']} series from {backend.locator} "
+            f"({backend.kind}) to {dest.locator} ({dest.kind})"
+        )
+        return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -245,6 +378,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scenario_cmd(args)
     if args.command == "bench":
         return _run_bench_cmd(args)
+    if args.command == "worker":
+        return _run_worker_cmd(args)
+    if args.command == "store":
+        return _run_store_cmd(args)
     if args.command == "fig10":
         _run_fig10(args)
     elif args.command == "fig11":
@@ -258,7 +395,10 @@ def main(argv: list[str] | None = None) -> int:
             processes=args.processes,
             out=args.out,
             results=args.results,
+            store_backend=args.store_backend,
             no_resume=args.no_resume,
+            executor=args.executor,
+            no_warm_start=args.no_warm_start,
             n_values=[40, 60, 80, 100, 120],
             avg_ranges=[5, 15, 25, 35, 45, 55, 65],
             skip_range_sweep=False,

@@ -1,10 +1,25 @@
 """Simulation harness: networks, workloads, scenarios and experiments."""
 
+from repro.sim.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskGroup,
+    WorkerExecutor,
+    run_worker,
+)
 from repro.sim.metrics import EventRecord, MetricsCollector, MetricsSnapshot
 from repro.sim.network import AdHocNetwork, MultiStrategyReplay, StrategyLane
 from repro.sim.random_networks import sample_configs
 from repro.sim.registry import available_scenarios, get_scenario, register_scenario
-from repro.sim.results import ResultsStore
+from repro.sim.results import (
+    JsonDirBackend,
+    ResultsBackend,
+    ResultsStore,
+    SqliteBackend,
+    migrate_store,
+    open_backend,
+)
 from repro.sim.rng import rng_from, spawn_seeds
 from repro.sim.scenarios import (
     ChurnSpec,
@@ -17,7 +32,7 @@ from repro.sim.scenarios import (
     scenario_phases,
     scenario_trace,
 )
-from repro.sim.sweep import SweepSpec, build_sweep, run_sweep
+from repro.sim.sweep import SweepSpec, build_sweep, plan_tasks, run_sweep
 from repro.sim.workloads import (
     join_workload,
     movement_rounds,
@@ -28,27 +43,39 @@ __all__ = [
     "AdHocNetwork",
     "ChurnSpec",
     "EventRecord",
+    "Executor",
+    "JsonDirBackend",
     "MetricsCollector",
     "MetricsSnapshot",
     "MobilitySpec",
     "MultiStrategyReplay",
     "PlacementSpec",
     "PowerSpec",
+    "ProcessExecutor",
+    "ResultsBackend",
     "ResultsStore",
     "ScenarioSpec",
+    "SerialExecutor",
+    "SqliteBackend",
     "StrategyLane",
     "SweepSpec",
+    "TaskGroup",
     "TracePhases",
+    "WorkerExecutor",
     "available_scenarios",
     "build_sweep",
     "get_scenario",
     "join_workload",
+    "migrate_store",
     "movement_rounds",
+    "open_backend",
+    "plan_tasks",
     "power_raise_workload",
     "register_scenario",
     "rng_from",
     "run_scenario",
     "run_sweep",
+    "run_worker",
     "sample_configs",
     "scenario_phases",
     "scenario_trace",

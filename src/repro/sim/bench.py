@@ -26,6 +26,12 @@ set, commit a color, record metrics), so the comparison isolates the
 replay core; full-strategy sweeps add per-lane matching/recolor work on
 top that no replay can share.
 
+A third comparison (:func:`run_warmstart_bench`) times what snapshot
+warm starts save on paired delta sweeps: ``cold`` rebuilds the shared
+baseline network for every sweep value, ``warm`` builds it once and
+replays each value's perturbation round on a
+:meth:`~repro.sim.network.MultiStrategyReplay.fork`.
+
 Results land in ``BENCH_eventloop.json`` (one entry per trace × mode
 with ``scenario``, ``n``, ``wall_seconds``, ``events_per_sec``) so the
 perf trajectory is machine-readable from CI artifacts.
@@ -56,6 +62,7 @@ __all__ = [
     "drive_event_loop",
     "run_event_loop_bench",
     "run_replay_bench",
+    "run_warmstart_bench",
     "write_bench_json",
 ]
 
@@ -260,6 +267,88 @@ def run_replay_bench(
             }
         )
     entries[-1]["speedup_vs_per_strategy"] = timings["per-strategy"] / timings["shared"]
+    return entries
+
+
+def _drive_cold_sweep(baseline: list[Event], rounds: list[list[Event]], lanes: int) -> float:
+    """Rebuild the baseline network for every sweep value (pre-warm-start)."""
+    start = time.perf_counter()
+    for round_events in rounds:
+        replay = MultiStrategyReplay([_FirstFitLane() for _ in range(lanes)])
+        replay.run(baseline)
+        replay.run(round_events)
+    return time.perf_counter() - start
+
+
+def _drive_warm_sweep(baseline: list[Event], rounds: list[list[Event]], lanes: int) -> float:
+    """Build the baseline once; fork it per sweep value (warm start)."""
+    start = time.perf_counter()
+    base = MultiStrategyReplay([_FirstFitLane() for _ in range(lanes)])
+    base.run(baseline)
+    for round_events in rounds:
+        base.fork().run(round_events)
+    return time.perf_counter() - start
+
+
+def run_warmstart_bench(
+    *,
+    n: int = 100,
+    runs: int = 3,
+    sweep_points: int = 5,
+    lanes: int = 3,
+    seed: int = 2001,
+) -> list[dict]:
+    """Time cold-rebuild vs snapshot-fork replay of a paired delta sweep.
+
+    The workload mirrors the fig11-style paired sweeps: one shared
+    baseline join phase of ``n`` nodes, then one power-raise
+    perturbation round per sweep value.  ``cold`` rebuilds the baseline
+    network per value (the pre-warm-start pipeline); ``warm`` builds it
+    once and replays each value's round on a
+    :meth:`~repro.sim.network.MultiStrategyReplay.fork`.  Both entries
+    report the *logical* event count of the sweep (values × trace
+    length), so their ``events_per_sec`` ratio equals
+    ``speedup_vs_cold`` on the warm entry.  ``wall_seconds`` is the
+    median over ``runs`` repetitions.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if sweep_points < 1:
+        raise ValueError(f"sweep_points must be >= 1, got {sweep_points}")
+    from repro.sim.workloads import power_raise_workload
+
+    rng = np.random.default_rng(seed)
+    configs = sample_configs(n, rng)
+    baseline: list[Event] = [JoinEvent(c) for c in configs]
+    rounds = [
+        list(
+            power_raise_workload(
+                configs, 1.5 + k, np.random.default_rng(seed + 1 + k), fraction=0.5
+            )
+        )
+        for k in range(sweep_points)
+    ]
+    logical_events = sum(len(baseline) + len(r) for r in rounds)
+    entries: list[dict] = []
+    timings: dict[str, float] = {}
+    for mode, drive in (("cold", _drive_cold_sweep), ("warm", _drive_warm_sweep)):
+        drive(baseline, rounds, lanes)  # warmup
+        wall = float(np.median([drive(baseline, rounds, lanes) for _ in range(runs)]))
+        timings[mode] = wall
+        entries.append(
+            {
+                "scenario": "warmstart-delta-sweep",
+                "n": n,
+                "mode": mode,
+                "lanes": lanes,
+                "sweep_points": sweep_points,
+                "events": logical_events,
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": logical_events / wall if wall > 0 else float("inf"),
+            }
+        )
+    entries[-1]["speedup_vs_cold"] = timings["cold"] / timings["warm"]
     return entries
 
 

@@ -1,0 +1,624 @@
+"""The sweep execution layer: pluggable executors over task groups.
+
+:func:`repro.sim.sweep.run_sweep` splits a sweep into four stages —
+**plan** (resolve every (point, run) into a content-addressed
+:class:`TaskGroup`), **claim** (serve cached points from the results
+backend), **execute** (this module), **collect** (assemble the series).
+The execute stage is pluggable behind the :class:`Executor` protocol:
+
+* :class:`SerialExecutor` — in-process loop (the default);
+* :class:`ProcessExecutor` — fan-out across a local process pool via
+  :func:`repro.sim.runner.parallel_map`;
+* :class:`WorkerExecutor` — publish task descriptors into the shared
+  results backend and let any number of ``minim-cdma worker`` processes
+  (or hosts sharing the store over a filesystem) claim and drain them,
+  with lease-based at-least-once semantics.  The orchestrator drains
+  the queue itself too, so a sweep completes even with zero external
+  workers.
+
+Every executor runs the same computation kernel on the same serialized
+task payloads, so a sweep produces an identical
+:class:`~repro.analysis.series.ExperimentSeries` for the same
+spec + seed regardless of executor (pinned by
+``tests/sim/test_executor.py``).
+
+A :class:`TaskGroup` usually holds one (point, run).  Paired delta
+sweeps (``paired_runs`` + ``measure="delta"``) group *all* sweep points
+of one run seed into a single warm-start group: the shared baseline
+network is built once and each point replays only its perturbation
+rounds from a :meth:`~repro.sim.network.MultiStrategyReplay.fork` —
+byte-equivalent to a cold rebuild (``tests/sim/test_warmstart.py``) and
+measurably faster (``minim-cdma bench``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.network import MultiStrategyReplay
+from repro.sim.results import DEFAULT_CLAIM_TTL, ResultsBackend, open_backend
+from repro.sim.runner import parallel_map
+from repro.sim.scenarios import (
+    ScenarioSpec,
+    TracePhases,
+    scenario_from_dict,
+    scenario_phases,
+)
+from repro.strategies import make_strategy
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskGroup",
+    "WorkerExecutor",
+    "compute_group",
+    "group_from_payload",
+    "group_payload",
+    "resolve_executor",
+    "run_worker",
+]
+
+_PAYLOAD_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskGroup:
+    """One executable unit of a sweep: one or more points on one seed.
+
+    ``indices[m]`` is the ``(point index, run index)`` of member ``m``,
+    ``points[m]`` its fully resolved spec and ``keys[m]`` its
+    content-addressed artifact key.  All members share ``seed`` (a
+    group either holds a single (point, run) or the whole paired row of
+    one run).  With ``warm`` the members share their baseline phase:
+    the base network is built once and each member replays only its
+    perturbation rounds from a fork.
+    """
+
+    indices: tuple[tuple[int, int], ...]
+    points: tuple[ScenarioSpec, ...]
+    seed: np.random.SeedSequence
+    keys: tuple[str, ...]
+    contexts: tuple[dict, ...]
+    warm: bool = False
+
+    def __post_init__(self) -> None:
+        if not (len(self.indices) == len(self.points) == len(self.keys) == len(self.contexts)):
+            raise ConfigurationError("TaskGroup member tuples must be parallel")
+        if not self.indices:
+            raise ConfigurationError("TaskGroup needs at least one member")
+
+    @property
+    def key(self) -> str:
+        """Content-addressed identity of the whole group.
+
+        Singleton groups reuse their member's point key; larger groups
+        hash the member keys, so the same pending work always maps to
+        the same queue slot.
+        """
+        if len(self.keys) == 1:
+            return self.keys[0]
+        digest = hashlib.sha256("+".join(self.keys).encode()).hexdigest()[:20]
+        return f"grp-{digest}"
+
+
+def group_payload(group: TaskGroup) -> dict:
+    """The JSON-able task descriptor of a group (worker-queue wire format).
+
+    Self-contained: resolved point specs (``dataclasses.asdict`` trees)
+    plus the seed's derivation identity (entropy + spawn key), so any
+    worker process can recompute the group from the descriptor alone.
+    """
+    import dataclasses
+
+    return {
+        "schema": _PAYLOAD_SCHEMA,
+        "indices": [list(ix) for ix in group.indices],
+        "points": [dataclasses.asdict(p) for p in group.points],
+        "seed": {"entropy": group.seed.entropy, "spawn_key": list(group.seed.spawn_key)},
+        "keys": list(group.keys),
+        "contexts": list(group.contexts),
+        "warm": group.warm,
+    }
+
+
+def group_from_payload(payload: dict) -> TaskGroup:
+    """Rebuild a :class:`TaskGroup` from :func:`group_payload` output."""
+    schema = payload.get("schema")
+    if schema != _PAYLOAD_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported task-descriptor schema {schema!r} (this worker speaks "
+            f"{_PAYLOAD_SCHEMA}; upgrade the older side)"
+        )
+    try:
+        seed = np.random.SeedSequence(
+            entropy=payload["seed"]["entropy"],
+            spawn_key=tuple(payload["seed"]["spawn_key"]),
+        )
+        return TaskGroup(
+            indices=tuple((int(i), int(r)) for i, r in payload["indices"]),
+            points=tuple(scenario_from_dict(p) for p in payload["points"]),
+            seed=seed,
+            keys=tuple(payload["keys"]),
+            contexts=tuple(payload["contexts"]),
+            warm=bool(payload.get("warm", False)),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed task descriptor: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Computation kernel (runs in orchestrators, pool processes and workers)
+# ----------------------------------------------------------------------
+def _measure_rounds(replay: MultiStrategyReplay, phases: TracePhases, measure: str) -> list:
+    """Replay the perturbation rounds on a post-baseline network.
+
+    Returns, per strategy lane, either one ``[max_color, recodings,
+    messages]`` triple (absolute / delta measures) or one triple per
+    perturbation round (``delta_rounds``).
+    """
+    if measure == "absolute":
+        for round_events in phases.rounds:
+            for event in round_events:
+                replay.apply(event)
+        return [
+            [
+                float(lane.assignment.max_color()),
+                float(lane.metrics.total_recodings),
+                float(lane.metrics.total_messages),
+            ]
+            for lane in replay.lanes
+        ]
+    baselines = [lane.metrics.snapshot() for lane in replay.lanes]
+    if measure == "delta":
+        for round_events in phases.rounds:
+            for event in round_events:
+                replay.apply(event)
+        return [_delta_triple(before, lane) for before, lane in zip(baselines, replay.lanes)]
+    # delta_rounds: cumulative deltas sampled after every round.
+    out: list[list[list[float]]] = [[] for _ in replay.lanes]
+    for round_events in phases.rounds:
+        for event in round_events:
+            replay.apply(event)
+        for i, (before, lane) in enumerate(zip(baselines, replay.lanes)):
+            out[i].append(_delta_triple(before, lane))
+    return out
+
+
+def _delta_triple(before, lane) -> list[float]:
+    delta = before.delta(lane.metrics.snapshot())
+    return [
+        float(delta.max_color),
+        float(delta.total_recodings),
+        float(delta.total_messages),
+    ]
+
+
+def _compute_point(point: ScenarioSpec, seed) -> list:
+    """Cold-compute one (point, run): baseline replay + measurement."""
+    phases = scenario_phases(point, np.random.default_rng(seed))
+    replay = MultiStrategyReplay([make_strategy(name) for name in point.strategies])
+    for event in phases.baseline:
+        replay.apply(event)
+    return _measure_rounds(replay, phases, point.measure)
+
+
+def compute_group(group: TaskGroup, on_member=None) -> list[list]:
+    """Compute every member of a group; returns results in member order.
+
+    Warm groups build the shared baseline network once, then fork it per
+    member and replay only that member's perturbation rounds.  A member
+    whose baseline phase diverges from the group's (a sweep axis that
+    turned out to affect placement after all) falls back to a cold
+    rebuild, so warm grouping can never change results — only skip
+    redundant work.
+
+    ``on_member(index, result)``, when given, fires after each member
+    completes — the hook drain loops use to persist points and renew
+    their lease incrementally instead of once at the end.
+    """
+    results: list[list] = []
+
+    def _landed(out: list) -> list:
+        if on_member is not None:
+            on_member(len(results), out)
+        results.append(out)
+        return out
+
+    if not group.warm or len(group.points) == 1:
+        for point in group.points:
+            _landed(_compute_point(point, group.seed))
+        return results
+    phase_list = [
+        scenario_phases(point, np.random.default_rng(group.seed)) for point in group.points
+    ]
+    base_phases = phase_list[0]
+    base = MultiStrategyReplay([make_strategy(name) for name in group.points[0].strategies])
+    for event in base_phases.baseline:
+        base.apply(event)
+    base_strategies = group.points[0].strategies
+    for point, phases in zip(group.points, phase_list):
+        if phases.baseline == base_phases.baseline and point.strategies == base_strategies:
+            _landed(_measure_rounds(base.fork(), phases, point.measure))
+        else:  # divergent baseline: cold fallback keeps results identical
+            _landed(_compute_point(point, group.seed))
+    return results
+
+
+def _claimed_compute(
+    backend: ResultsBackend, group: TaskGroup, gkey: str, owner: str
+) -> list[list]:
+    """Compute a claimed group, persisting and renewing as members land.
+
+    Each member's point is saved the moment it completes and the group's
+    lease is renewed, so long groups (a warm run row under a slow
+    strategy) neither lose finished work on a crash nor go stale and get
+    re-claimed by an idle peer mid-computation.
+    """
+
+    def landed(m: int, out: list) -> None:
+        backend.save_point(group.keys[m], out, context=group.contexts[m])
+        backend.renew_claim(gkey, owner)
+
+    return compute_group(group, on_member=landed)
+
+
+def _execute_group_task(args: tuple) -> list[list]:
+    """Module-level pool target: recompute one group from its payload.
+
+    Each member's result is persisted *here*, in the executing process,
+    the moment it completes — so every finished point of a
+    partially-computed warm group survives an interrupted sweep (resume
+    recovers it even if the orchestrator never returns from the
+    fan-out).
+    """
+    payload, locator = args
+    group = group_from_payload(payload)
+    if locator is None:
+        return compute_group(group)
+    backend = _reopen(locator)
+
+    def landed(m: int, out: list) -> None:
+        backend.save_point(group.keys[m], out, context=group.contexts[m])
+
+    return compute_group(group, on_member=landed)
+
+
+def _reopen(locator: tuple[str, str]) -> ResultsBackend:
+    """Re-open the orchestrator's backend in a child process.
+
+    The locator carries the backend *kind* alongside the path, so a
+    forced kind (``open_backend(path, "json")`` on a ``.sqlite``-named
+    directory, say) survives the round trip instead of being re-sniffed
+    into the wrong backend.
+    """
+    path, kind = locator
+    return open_backend(path, kind)
+
+
+def _locator_of(backend: ResultsBackend | None) -> tuple[str, str] | None:
+    return None if backend is None else (backend.locator, backend.kind)
+
+
+def _collect(groups: Sequence[TaskGroup], outs_per_group) -> dict[tuple[int, int], list]:
+    results: dict[tuple[int, int], list] = {}
+    for group, outs in zip(groups, outs_per_group):
+        results.update(zip(group.indices, outs))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+@runtime_checkable
+class Executor(Protocol):
+    """The execute-stage contract of the sweep pipeline.
+
+    ``execute`` receives the pending (non-cached) task groups and the
+    results backend (``None`` for store-less sweeps) and returns a
+    result per ``(point index, run index)``.  Implementations must
+    persist computed points to the backend as they land and must return
+    results identical to a serial in-process computation.  With
+    ``resume=False`` every given group must be *computed*, never served
+    from artifacts that happen to pre-exist in the backend.
+    """
+
+    #: Executor name recorded in sweep manifests.
+    name: str
+
+    def execute(
+        self,
+        groups: Sequence[TaskGroup],
+        *,
+        backend: ResultsBackend | None,
+        resume: bool = True,
+    ) -> dict[tuple[int, int], list]:
+        """Compute all groups; return ``{(point, run): result}``."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Compute every group in-process, in order (the default)."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        groups: Sequence[TaskGroup],
+        *,
+        backend: ResultsBackend | None,
+        resume: bool = True,
+    ) -> dict[tuple[int, int], list]:
+        """Run each group through the shared payload round-trip, serially."""
+        locator = _locator_of(backend)
+        outs = [_execute_group_task((group_payload(g), locator)) for g in groups]
+        return _collect(groups, outs)
+
+
+class ProcessExecutor:
+    """Fan groups out across a local process pool.
+
+    Parameters
+    ----------
+    processes:
+        Pool size; ``None``/``0``/``1`` degrade to serial execution
+        (matching :func:`repro.sim.runner.parallel_map`).
+    """
+
+    name = "process"
+
+    def __init__(self, processes: int | None = None) -> None:
+        self.processes = processes
+
+    def execute(
+        self,
+        groups: Sequence[TaskGroup],
+        *,
+        backend: ResultsBackend | None,
+        resume: bool = True,
+    ) -> dict[tuple[int, int], list]:
+        """Map groups over the pool; order (and results) are deterministic."""
+        locator = _locator_of(backend)
+        tasks = [(group_payload(g), locator) for g in groups]
+        outs = parallel_map(_execute_group_task, tasks, processes=self.processes)
+        return _collect(groups, outs)
+
+
+class WorkerExecutor:
+    """Drain a sweep through the shared store's task queue.
+
+    ``execute`` publishes every pending group as a task descriptor in
+    the results backend, then participates in the drain itself: it
+    repeatedly claims unowned tasks (lease files / lease rows with a
+    TTL) and computes them, while collecting points that external
+    ``minim-cdma worker`` processes save concurrently.  Any number of
+    workers — other processes, other hosts sharing the store — can join
+    and leave at any time; abandoned leases expire after ``claim_ttl``
+    seconds and are re-claimed, giving at-least-once completion.
+
+    Parameters
+    ----------
+    poll:
+        Seconds between queue scans while waiting on external workers.
+    claim_ttl:
+        Lease lifetime; a claim older than this counts as abandoned.
+    drain:
+        When ``False`` the orchestrator only publishes and waits —
+        useful to measure pure worker throughput; requires at least one
+        external worker to make progress.
+    max_wait:
+        Upper bound on waiting *without any progress* before the sweep
+        errors out (the deadline resets every time a group completes).
+    """
+
+    name = "worker"
+
+    def __init__(
+        self,
+        *,
+        poll: float = 0.1,
+        claim_ttl: float = DEFAULT_CLAIM_TTL,
+        drain: bool = True,
+        max_wait: float = 600.0,
+    ) -> None:
+        self.poll = poll
+        self.claim_ttl = claim_ttl
+        self.drain = drain
+        self.max_wait = max_wait
+
+    def execute(
+        self,
+        groups: Sequence[TaskGroup],
+        *,
+        backend: ResultsBackend | None,
+        resume: bool = True,
+    ) -> dict[tuple[int, int], list]:
+        """Publish groups to the store queue and drain until complete.
+
+        With ``resume=False`` pre-existing artifacts must not satisfy
+        the sweep, so the queue protocol (whose completion signal *is*
+        "the points exist") cannot be used: the orchestrator computes
+        every group itself, overwriting stale artifacts — same results,
+        honest recomputation.
+        """
+        if backend is None:
+            raise ConfigurationError(
+                "WorkerExecutor needs a results store (run_sweep(..., store=...)): "
+                "the store is the queue workers share"
+            )
+        owner = f"orchestrator-{os.getpid()}"
+        if not resume:
+            outs = [_claimed_compute(backend, g, g.key, owner) for g in groups]
+            return _collect(groups, outs)
+        for group in groups:
+            backend.save_task(group.key, group_payload(group))
+        missing = {group.key: group for group in groups}
+        results: dict[tuple[int, int], list] = {}
+        deadline = time.monotonic() + self.max_wait
+        last_present = -1
+        while missing:
+            progressed = False
+            # one batched probe per poll: completed members of every
+            # still-missing group (cheap on SQLite's bulk path)
+            present = backend.load_points([k for g in missing.values() for k in g.keys])
+            for gkey, group in list(missing.items()):
+                outs: list[list] | None = None
+                if all(key in present for key in group.keys):
+                    outs = [present[key] for key in group.keys]
+                elif self.drain and backend.try_claim(gkey, owner, ttl=self.claim_ttl):
+                    try:
+                        # Double-check under the claim (a worker may have
+                        # landed the points since the probe above).
+                        outs = _load_group_points(backend, group)
+                        if outs is None:
+                            outs = _claimed_compute(backend, group, gkey, owner)
+                    finally:
+                        backend.release_claim(gkey)
+                if outs is not None:
+                    backend.delete_task(gkey)
+                    results.update(zip(group.indices, outs))
+                    del missing[gkey]
+                    progressed = True
+            if progressed or len(present) != last_present:
+                # max_wait bounds time *without progress* — and progress
+                # includes individual members landed by a worker still
+                # mid-group, so a long healthy drain never trips the
+                # stall detector while leases keep renewing
+                deadline = time.monotonic() + self.max_wait
+            last_present = len(present)
+            if missing and not progressed:
+                if time.monotonic() > deadline:
+                    raise ConfigurationError(
+                        f"worker sweep stalled: {len(missing)} task(s) incomplete after "
+                        f"{self.max_wait:.0f}s (are any workers draining {backend.locator}?)"
+                    )
+                time.sleep(self.poll)
+        return results
+
+
+def _load_group_points(backend: ResultsBackend, group: TaskGroup) -> list[list] | None:
+    """All member results if every one is stored, else ``None``."""
+    outs: list[list] = []
+    for key in group.keys:
+        out = backend.load_point(key)
+        if out is None:
+            return None
+        outs.append(out)
+    return outs
+
+
+# ----------------------------------------------------------------------
+# The worker loop (``minim-cdma worker``)
+# ----------------------------------------------------------------------
+def run_worker(
+    backend: ResultsBackend,
+    *,
+    poll: float = 0.2,
+    max_idle: float = 10.0,
+    claim_ttl: float = DEFAULT_CLAIM_TTL,
+    once: bool = False,
+    owner: str | None = None,
+) -> int:
+    """Drain published task groups from a shared results backend.
+
+    The loop of a ``minim-cdma worker`` process: scan the queue, claim
+    an unowned task, recompute it from its descriptor, persist the
+    member points, delete the task, release the claim.  Tasks whose
+    points already exist (computed by a faster peer) are cleaned up
+    without recomputation.  An undecodable descriptor (wrong schema,
+    tampered payload) is reported once and skipped — one poison task
+    must not kill the whole fleet.  Returns the number of groups this
+    worker computed; exits after ``max_idle`` seconds without finding
+    work (or after one scan with ``once``).
+    """
+    owner = owner or f"worker-{os.getpid()}"
+    computed = 0
+    idle_since: float | None = None
+    poisoned: set[str] = set()
+    while True:
+        worked = False
+        for gkey in backend.pending_task_keys():
+            if gkey in poisoned:
+                continue
+            payload = backend.load_task(gkey)
+            if payload is None:
+                continue  # finished (and deleted) by a peer mid-scan
+            try:
+                group = group_from_payload(payload)
+            except ConfigurationError as exc:
+                poisoned.add(gkey)
+                print(f"worker: skipping undecodable task {gkey}: {exc}")
+                continue
+            if _load_group_points(backend, group) is not None:
+                backend.delete_task(gkey)
+                worked = True
+                continue
+            if not backend.try_claim(gkey, owner, ttl=claim_ttl):
+                continue
+            try:
+                # Double-check under the claim: a peer may have finished
+                # between the scan and the claim (shrinks, but cannot
+                # close, the at-least-once duplicate window).
+                if _load_group_points(backend, group) is None:
+                    _claimed_compute(backend, group, gkey, owner)
+                    computed += 1
+                backend.delete_task(gkey)
+            finally:
+                backend.release_claim(gkey)
+            worked = True
+        if once:
+            return computed
+        now = time.monotonic()
+        if worked:
+            idle_since = None
+            continue
+        if idle_since is None:
+            idle_since = now
+        elif now - idle_since >= max_idle:
+            return computed
+        time.sleep(poll)
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+_EXECUTOR_NAMES = ("serial", "process", "worker")
+
+
+def resolve_executor(executor: "Executor | str | None", processes: int | None) -> "Executor":
+    """Resolve the ``executor``/``processes`` arguments to an instance.
+
+    ``None`` keeps the historical behavior: a process pool when
+    ``processes`` asks for one, else serial.  Strings name the built-in
+    executors; instances pass through.  Asking for ``"process"``
+    without a pool size means "use the machine": it defaults to the CPU
+    count rather than silently degrading to a serial loop.
+    """
+    if executor is None:
+        if processes and processes > 1:
+            return ProcessExecutor(processes)
+        return SerialExecutor()
+    if isinstance(executor, str):
+        if executor == "serial":
+            return SerialExecutor()
+        if executor == "process":
+            return ProcessExecutor(processes if processes is not None else os.cpu_count())
+        if executor == "worker":
+            return WorkerExecutor()
+        raise ConfigurationError(
+            f"unknown executor {executor!r} (expected one of {_EXECUTOR_NAMES})"
+        )
+    if isinstance(executor, Executor):
+        return executor
+    raise ConfigurationError(f"not an executor: {executor!r}")

@@ -27,8 +27,9 @@ from dataclasses import replace
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
 from repro.sim.random_networks import DEFAULT_MAX_RANGE, DEFAULT_MIN_RANGE
+from repro.sim.executor import Executor
 from repro.sim.registry import get_scenario
-from repro.sim.results import ResultsStore
+from repro.sim.results import ResultsBackend
 from repro.sim.scenarios import MobilitySpec, PowerSpec
 from repro.sim.sweep import run_sweep
 
@@ -61,8 +62,10 @@ def run_join_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
-    store: ResultsStore | None = None,
+    store: ResultsBackend | None = None,
     resume: bool = True,
+    executor: Executor | str | None = None,
+    warm_start: bool | None = None,
 ) -> ExperimentSeries:
     """Fig 10(a-c): N nodes join one by one; final metrics vs N."""
     spec = replace(
@@ -72,7 +75,16 @@ def run_join_experiment(
         strategies=tuple(strategies),
         sweep_values=tuple(float(n) for n in n_values),
     )
-    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
+    return run_sweep(
+        spec,
+        runs=runs,
+        seed=seed,
+        processes=processes,
+        store=store,
+        resume=resume,
+        executor=executor,
+        warm_start=warm_start,
+    )
 
 
 def run_range_sweep_experiment(
@@ -84,8 +96,10 @@ def run_range_sweep_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
-    store: ResultsStore | None = None,
+    store: ResultsBackend | None = None,
     resume: bool = True,
+    executor: Executor | str | None = None,
+    warm_start: bool | None = None,
 ) -> ExperimentSeries:
     """Fig 10(d-f): fixed N, sweep the average transmission range.
 
@@ -107,7 +121,16 @@ def run_range_sweep_experiment(
         strategies=tuple(strategies),
         sweep_values=tuple(float(a) for a in avg_ranges),
     )
-    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
+    return run_sweep(
+        spec,
+        runs=runs,
+        seed=seed,
+        processes=processes,
+        store=store,
+        resume=resume,
+        executor=executor,
+        warm_start=warm_start,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -124,8 +147,10 @@ def run_power_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
-    store: ResultsStore | None = None,
+    store: ResultsBackend | None = None,
     resume: bool = True,
+    executor: Executor | str | None = None,
+    warm_start: bool | None = None,
 ) -> ExperimentSeries:
     """Fig 11(a-c): raise a random half's ranges by ``raisefactor``.
 
@@ -143,7 +168,16 @@ def run_power_experiment(
         strategies=tuple(strategies),
         sweep_values=tuple(float(rf) for rf in raisefactors),
     )
-    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
+    return run_sweep(
+        spec,
+        runs=runs,
+        seed=seed,
+        processes=processes,
+        store=store,
+        resume=resume,
+        executor=executor,
+        warm_start=warm_start,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -160,8 +194,10 @@ def run_movement_disp_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
-    store: ResultsStore | None = None,
+    store: ResultsBackend | None = None,
     resume: bool = True,
+    executor: Executor | str | None = None,
+    warm_start: bool | None = None,
 ) -> ExperimentSeries:
     """Fig 12(a): one round of moves, sweeping the max displacement.
 
@@ -177,7 +213,16 @@ def run_movement_disp_experiment(
         strategies=tuple(strategies),
         sweep_values=tuple(float(d) for d in maxdisps),
     )
-    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
+    return run_sweep(
+        spec,
+        runs=runs,
+        seed=seed,
+        processes=processes,
+        store=store,
+        resume=resume,
+        executor=executor,
+        warm_start=warm_start,
+    )
 
 
 def run_movement_rounds_experiment(
@@ -191,8 +236,10 @@ def run_movement_rounds_experiment(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     processes: int | None = None,
-    store: ResultsStore | None = None,
+    store: ResultsBackend | None = None,
     resume: bool = True,
+    executor: Executor | str | None = None,
+    warm_start: bool | None = None,
 ) -> ExperimentSeries:
     """Fig 12(b-d): cumulative deltas after each of ``round_count`` rounds."""
     spec = replace(
@@ -204,4 +251,13 @@ def run_movement_rounds_experiment(
         strategies=tuple(strategies),
         sweep_values=(float(round_count),),
     )
-    return run_sweep(spec, runs=runs, seed=seed, processes=processes, store=store, resume=resume)
+    return run_sweep(
+        spec,
+        runs=runs,
+        seed=seed,
+        processes=processes,
+        store=store,
+        resume=resume,
+        executor=executor,
+        warm_start=warm_start,
+    )

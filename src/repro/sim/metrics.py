@@ -89,6 +89,21 @@ class MetricsCollector:
         """Max color index after the most recent event (0 if none)."""
         return self._max_color
 
+    def clone(self) -> "MetricsCollector":
+        """An independent copy (records list and totals).
+
+        Used by warm-start forks: the fork keeps accumulating on its own
+        collector while the base network's history stays frozen.
+        ``EventRecord`` entries are immutable, so a shallow list copy is
+        a full decouple.
+        """
+        fresh = MetricsCollector()
+        fresh.records = list(self.records)
+        fresh._total_recodings = self._total_recodings
+        fresh._total_messages = self._total_messages
+        fresh._max_color = self._max_color
+        return fresh
+
     def snapshot(self) -> MetricsSnapshot:
         """Immutable view of the current totals."""
         return MetricsSnapshot(

@@ -62,6 +62,18 @@ class StrategyLane:
         """The lane's strategy name (used in experiment tables)."""
         return self.strategy.name
 
+    def fork(self) -> "StrategyLane":
+        """An independent lane continuing from this lane's current state.
+
+        The strategy object is shared (strategies are stateless between
+        events — configuration only); the assignment and metrics are
+        deep-copied so the fork and the original diverge freely.
+        """
+        clone = StrategyLane(self.strategy, validate=self.validate)
+        clone.assignment = self.assignment.copy()
+        clone.metrics = self.metrics.clone()
+        return clone
+
     def react(self, graph: AdHocDigraph, delta: TopologyDelta) -> RecodeResult:
         """Handle one applied event: recode, commit, record metrics."""
         kind = delta.kind
@@ -284,6 +296,23 @@ class MultiStrategyReplay(_TopologyOwner):
                 return lane
         known = ", ".join(lane.name for lane in self.lanes)
         raise ConfigurationError(f"no lane named {name!r}; lanes: {known}")
+
+    def fork(self) -> "MultiStrategyReplay":
+        """An independent replay continuing from the current state.
+
+        The snapshot/warm-start primitive of paired delta sweeps: build
+        the shared baseline network once, then fork it per sweep value
+        and replay only that value's perturbation rounds.  The graph is
+        deep-copied (:meth:`AdHocDigraph.copy`) and every lane's
+        assignment/metrics state is forked, so the continuation is
+        byte-equivalent to replaying the whole trace cold — pinned by
+        ``tests/sim/test_warmstart.py``.
+        """
+        clone = MultiStrategyReplay.__new__(MultiStrategyReplay)
+        clone.graph = self.graph.copy()
+        clone.enforce_connectivity = self.enforce_connectivity
+        clone.lanes = [lane.fork() for lane in self.lanes]
+        return clone
 
     def apply(self, event: Event) -> list[RecodeResult]:
         """Apply one event: mutate topology once, react in every lane."""

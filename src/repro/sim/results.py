@@ -1,36 +1,54 @@
-"""Structured, resumable results store for experiment sweeps.
+"""Pluggable results backends for experiment sweeps.
 
-A sweep writes three kinds of artifact under one root directory:
+A sweep persists four kinds of artifact through one
+:class:`ResultsBackend`:
 
-* ``points/<key>.json`` — one artifact per (sweep point, run), keyed by
-  a content hash of the fully resolved point spec plus the run's seed.
-  Because keys depend only on *what was computed*, re-invoking an
-  identical sweep finds every point already present and skips the
-  computation (resume / caching); enlarging ``runs`` or appending sweep
-  values recomputes only the missing points.
-* ``sweeps/<sweep-key>.json`` — the run manifest: the spec, run count,
-  seed, the point keys it covers, how many were computed vs served
-  from cache on the last invocation, and an embedded copy of the
-  assembled series (content-keyed, so it is never clobbered by a later
-  sweep reusing the same experiment id).
-* ``series/<experiment-id>.json`` — the **most recently assembled**
-  :class:`~repro.analysis.series.ExperimentSeries` for that experiment
-  id, reloadable by :meth:`ResultsStore.load_series` (used by the
-  analysis/report layer instead of keeping results only in memory).
-  This slot is latest-wins by design — re-running ``fig10-join`` with
-  different runs/strategies replaces it; the per-sweep copy inside the
-  manifest remains addressable by sweep key.
+* **points** — one artifact per (sweep point, run), keyed by a content
+  hash of the fully resolved point spec plus the run's seed.  Because
+  keys depend only on *what was computed*, re-invoking an identical
+  sweep finds every point already present and skips the computation
+  (resume / caching); enlarging ``runs`` or appending sweep values
+  recomputes only the missing points.
+* **manifests** — one run manifest per sweep (content-keyed by the
+  sweep's spec × runs × seed hash): the spec, the point keys it covers,
+  the computed/cached split of the last invocation, and an embedded
+  copy of the assembled series.
+* **series** — the most recently assembled
+  :class:`~repro.analysis.series.ExperimentSeries` per experiment id
+  (latest-wins by design; the per-sweep copy inside the manifest stays
+  addressable by sweep key).
+* **tasks + claims** — the shared work queue of the worker executor
+  (:mod:`repro.sim.executor`): pending task descriptors plus lease
+  claims with a TTL, giving multiple worker processes (or hosts on a
+  shared filesystem) at-least-once draining of one sweep.
 
-Layout and hashing are deliberately dependency-free (plain JSON files)
-so stores can be rsynced, diffed and garbage-collected with ordinary
-tools.
+Two backends implement the interface:
+
+* :class:`JsonDirBackend` (the historical ``ResultsStore``) — plain
+  JSON files under one root directory, rsyncable and diffable with
+  ordinary tools.  Claims are ``O_EXCL`` lease files.
+* :class:`SqliteBackend` — one stdlib-``sqlite3`` file holding every
+  artifact kind as a table, for sweeps with 10⁴+ points where a
+  directory of tiny JSON files stops scaling.  Claims are
+  ``INSERT OR IGNORE`` rows.
+
+:func:`open_backend` resolves a path (or locator string) to the right
+backend, :func:`migrate_store` copies any backend into any other, and
+:meth:`JsonDirBackend.compact` folds a JSON directory store into a
+single SQLite table in place.
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import hashlib
 import json
+import os
+import sqlite3
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -40,11 +58,30 @@ if TYPE_CHECKING:  # pragma: no cover - type-only
     from repro.analysis.series import ExperimentSeries
     from repro.sim.scenarios import ScenarioSpec
 
-__all__ = ["ResultsStore", "seed_token", "spec_digest"]
+__all__ = [
+    "JsonDirBackend",
+    "ResultsBackend",
+    "ResultsStore",
+    "SqliteBackend",
+    "migrate_store",
+    "open_backend",
+    "point_key",
+    "seed_token",
+    "spec_digest",
+]
 
 #: Bump when the artifact schema changes incompatibly; part of every key
 #: so stale stores never satisfy a lookup from newer code.
 _SCHEMA_VERSION = 1
+
+#: Default lease lifetime: a claim older than this counts as abandoned
+#: (its worker died) and may be re-claimed by anyone.
+DEFAULT_CLAIM_TTL = 60.0
+
+#: The SQLite file a compacted JSON store folds into (and the marker
+#: :func:`open_backend` sniffs to route a directory to SQLite).
+_SQLITE_BASENAME = "store.sqlite"
+_SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
 
 def _canonical(obj: Any) -> str:
@@ -81,8 +118,235 @@ def seed_token(seed) -> str:
     return f"int-{int(seed)}"
 
 
-class ResultsStore:
-    """Filesystem-backed sweep results with point-level resume.
+def point_key(point_spec: "ScenarioSpec", seed) -> str:
+    """The artifact key of one (resolved point spec, run seed) pair."""
+    return spec_digest(point_spec, extra={"seed": seed_token(seed)})
+
+
+class ResultsBackend(abc.ABC):
+    """Storage interface every sweep artifact flows through.
+
+    Concrete backends implement the raw record operations; the shared
+    point/series conveniences (payload wrapping, missing-series errors,
+    content keys) live here so all backends behave identically.
+    """
+
+    #: String that re-opens this backend in another process via
+    #: :func:`open_backend` (a directory for JSON, a file for SQLite).
+    locator: str
+
+    #: Short backend kind tag (``"json"`` / ``"sqlite"``).
+    kind: str
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def point_key(self, point_spec: "ScenarioSpec", seed) -> str:
+        """The artifact key of one (resolved point spec, run seed) pair."""
+        return point_key(point_spec, seed)
+
+    # ------------------------------------------------------------------
+    # Point artifacts
+    # ------------------------------------------------------------------
+    def load_point(self, key: str) -> Any | None:
+        """The stored result payload for ``key``, or ``None`` if absent."""
+        record = self.load_point_record(key)
+        if record is None:
+            return None
+        try:
+            return record["result"]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"corrupt results artifact {self.point_locator(key)}: {exc}"
+            ) from exc
+
+    def save_point(self, key: str, result: Any, *, context: dict | None = None) -> None:
+        """Persist one point result (with provenance context) atomically.
+
+        Saves are idempotent: the key is a content hash of the
+        computation, so concurrent workers racing the same point write
+        identical payloads and last-write-wins is safe.
+        """
+        self.save_point_record(
+            key, {"schema": _SCHEMA_VERSION, "context": context or {}, "result": result}
+        )
+
+    def load_points(self, keys: "list[str]") -> dict[str, Any]:
+        """``{key: result}`` for every stored key in ``keys``.
+
+        Absent keys are omitted.  The batched cache probe of the claim
+        stage and the worker drain loop; backends with a cheaper bulk
+        path (SQLite) override the default per-key loop.
+        """
+        out: dict[str, Any] = {}
+        for key in keys:
+            result = self.load_point(key)
+            if result is not None:
+                out[key] = result
+        return out
+
+    def point_locator(self, key: str) -> str:
+        """Human-readable location of one point artifact (error messages)."""
+        return f"{self.locator}::points/{key}"
+
+    @abc.abstractmethod
+    def load_point_record(self, key: str) -> dict | None:
+        """The full stored record for ``key`` (schema/context/result)."""
+
+    @abc.abstractmethod
+    def save_point_record(self, key: str, record: dict) -> None:
+        """Persist one full point record atomically."""
+
+    @abc.abstractmethod
+    def list_points(self) -> list[str]:
+        """All stored point keys, ascending (compaction / migration)."""
+
+    # ------------------------------------------------------------------
+    # Sweep manifests
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def save_manifest(self, sweep_key: str, manifest: dict) -> None:
+        """Persist a sweep's run manifest."""
+
+    @abc.abstractmethod
+    def load_manifest(self, sweep_key: str) -> dict | None:
+        """The manifest for ``sweep_key``, or ``None`` if absent."""
+
+    @abc.abstractmethod
+    def list_manifests(self) -> list[str]:
+        """All stored sweep keys, ascending."""
+
+    # ------------------------------------------------------------------
+    # Assembled series
+    # ------------------------------------------------------------------
+    def save_series(self, series: "ExperimentSeries") -> None:
+        """Persist an assembled series under its experiment id."""
+        self.save_series_dict(series.experiment, series.to_dict())
+
+    def load_series(self, experiment_id: str) -> "ExperimentSeries":
+        """Load a previously assembled series by experiment id."""
+        from repro.analysis.series import ExperimentSeries
+
+        data = self.load_series_dict(experiment_id)
+        if data is None:
+            known = self.list_series()
+            raise ConfigurationError(
+                f"no stored series {experiment_id!r} under {self.locator} "
+                f"(stored: {', '.join(known) or '<none>'})"
+            )
+        return ExperimentSeries.from_dict(data)
+
+    @abc.abstractmethod
+    def save_series_dict(self, experiment_id: str, data: dict) -> None:
+        """Persist one assembled series as a plain dict."""
+
+    @abc.abstractmethod
+    def load_series_dict(self, experiment_id: str) -> dict | None:
+        """The stored series dict for ``experiment_id``, or ``None``."""
+
+    @abc.abstractmethod
+    def list_series(self) -> list[str]:
+        """Experiment ids with an assembled series, ascending."""
+
+    # ------------------------------------------------------------------
+    # Worker queue: tasks + claims
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def save_task(self, key: str, payload: dict) -> None:
+        """Publish one pending task descriptor under ``key``."""
+
+    @abc.abstractmethod
+    def load_task(self, key: str) -> dict | None:
+        """The pending task descriptor for ``key``, or ``None``."""
+
+    @abc.abstractmethod
+    def delete_task(self, key: str) -> None:
+        """Remove a task descriptor (no-op when already gone)."""
+
+    @abc.abstractmethod
+    def pending_task_keys(self) -> list[str]:
+        """Keys of all published task descriptors, ascending."""
+
+    @abc.abstractmethod
+    def try_claim(self, key: str, owner: str, *, ttl: float = DEFAULT_CLAIM_TTL) -> bool:
+        """Atomically claim ``key`` for ``owner``; ``True`` on success.
+
+        A claim older than ``ttl`` seconds counts as abandoned and is
+        broken, so a worker that died mid-computation never wedges the
+        queue (at-least-once semantics: the point may then be computed
+        twice, which is safe because saves are idempotent).
+        """
+
+    @abc.abstractmethod
+    def renew_claim(self, key: str, owner: str) -> None:
+        """Refresh a held claim's timestamp (no-op when absent).
+
+        Drain loops call this as each group member completes, so a
+        lease only goes stale when its holder stops making progress for
+        a whole TTL — not merely because the group is large.
+        """
+
+    @abc.abstractmethod
+    def release_claim(self, key: str) -> None:
+        """Release a claim (no-op when absent)."""
+
+    @abc.abstractmethod
+    def list_claims(self) -> list[str]:
+        """Keys currently under claim, ascending."""
+
+    # ------------------------------------------------------------------
+    # Introspection / migration
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Artifact counts for ``minim-cdma store ls``."""
+        return {
+            "backend": self.kind,
+            "locator": self.locator,
+            "points": len(self.list_points()),
+            "manifests": len(self.list_manifests()),
+            "series": self.list_series(),
+            "tasks": len(self.pending_task_keys()),
+            "claims": len(self.list_claims()),
+        }
+
+    def migrate_to(self, dst: "ResultsBackend") -> dict:
+        """Copy every artifact into ``dst``; returns copy counts."""
+        return migrate_store(self, dst)
+
+
+def migrate_store(src: ResultsBackend, dst: ResultsBackend) -> dict:
+    """Copy all points, manifests and series from ``src`` into ``dst``.
+
+    Pending tasks and claims are transient queue state and are *not*
+    migrated.  Returns ``{"points": n, "manifests": n, "series": n}``.
+    """
+    counts = {"points": 0, "manifests": 0, "series": 0}
+    for key in src.list_points():
+        record = src.load_point_record(key)
+        if record is not None:
+            dst.save_point_record(key, record)
+            counts["points"] += 1
+    for sweep_key in src.list_manifests():
+        manifest = src.load_manifest(sweep_key)
+        if manifest is not None:
+            dst.save_manifest(sweep_key, manifest)
+            counts["manifests"] += 1
+    for experiment_id in src.list_series():
+        data = src.load_series_dict(experiment_id)
+        if data is not None:
+            dst.save_series_dict(experiment_id, data)
+            counts["series"] += 1
+    return counts
+
+
+class JsonDirBackend(ResultsBackend):
+    """Filesystem-backed results: one JSON file per artifact.
+
+    Layout under ``root``: ``points/<key>.json``,
+    ``sweeps/<sweep-key>.json``, ``series/<experiment-id>.json``,
+    ``tasks/<key>.json`` and ``claims/<key>.lease``.  All writes go
+    through write-then-rename, so concurrent readers (and workers on a
+    shared filesystem) never observe partial files.
 
     Parameters
     ----------
@@ -90,35 +354,38 @@ class ResultsStore:
         Store directory; created on first write.
     """
 
+    kind = "json"
+
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
+
+    @property
+    def locator(self) -> str:
+        """The store directory (re-opens via :func:`open_backend`)."""
+        return str(self.root)
 
     # ------------------------------------------------------------------
     # Point artifacts
     # ------------------------------------------------------------------
-    def point_key(self, point_spec: "ScenarioSpec", seed) -> str:
-        """The artifact key of one (resolved point spec, run seed) pair."""
-        return spec_digest(point_spec, extra={"seed": seed_token(seed)})
-
     def point_path(self, key: str) -> Path:
         """Where the artifact for ``key`` lives."""
         return self.root / "points" / f"{key}.json"
 
-    def load_point(self, key: str) -> Any | None:
-        """The stored result payload for ``key``, or ``None`` if absent."""
-        path = self.point_path(key)
-        if not path.exists():
-            return None
-        try:
-            return json.loads(path.read_text())["result"]
-        except (json.JSONDecodeError, KeyError) as exc:
-            raise ConfigurationError(f"corrupt results artifact {path}: {exc}") from exc
+    def point_locator(self, key: str) -> str:
+        """The point artifact's filesystem path."""
+        return str(self.point_path(key))
 
-    def save_point(self, key: str, result: Any, *, context: dict | None = None) -> Path:
-        """Persist one point result (with provenance context) atomically."""
-        path = self.point_path(key)
-        payload = {"schema": _SCHEMA_VERSION, "context": context or {}, "result": result}
-        return self._write_json(path, payload)
+    def load_point_record(self, key: str) -> dict | None:
+        """Read one point record, wrapping corrupt JSON with its path."""
+        return self._read_json(self.point_path(key), "results artifact")
+
+    def save_point_record(self, key: str, record: dict) -> None:
+        """Write one point record atomically."""
+        self._write_json(self.point_path(key), record)
+
+    def list_points(self) -> list[str]:
+        """Stored point keys, ascending."""
+        return sorted(p.stem for p in self.root.glob("points/*.json"))
 
     # ------------------------------------------------------------------
     # Sweep manifests
@@ -127,16 +394,17 @@ class ResultsStore:
         """Where the manifest for ``sweep_key`` lives."""
         return self.root / "sweeps" / f"{sweep_key}.json"
 
-    def save_manifest(self, sweep_key: str, manifest: dict) -> Path:
+    def save_manifest(self, sweep_key: str, manifest: dict) -> None:
         """Persist a sweep's run manifest."""
-        return self._write_json(self.manifest_path(sweep_key), manifest)
+        self._write_json(self.manifest_path(sweep_key), manifest)
 
     def load_manifest(self, sweep_key: str) -> dict | None:
         """The manifest for ``sweep_key``, or ``None`` if absent."""
-        path = self.manifest_path(sweep_key)
-        if not path.exists():
-            return None
-        return json.loads(path.read_text())
+        return self._read_json(self.manifest_path(sweep_key), "sweep manifest")
+
+    def list_manifests(self) -> list[str]:
+        """Stored sweep keys, ascending."""
+        return sorted(p.stem for p in self.root.glob("sweeps/*.json"))
 
     # ------------------------------------------------------------------
     # Assembled series
@@ -145,32 +413,399 @@ class ResultsStore:
         """Where the assembled series for ``experiment_id`` lives."""
         return self.root / "series" / f"{experiment_id}.json"
 
-    def save_series(self, series: "ExperimentSeries") -> Path:
-        """Persist an assembled series under its experiment id."""
-        return self._write_json(self.series_path(series.experiment), series.to_dict())
+    def save_series_dict(self, experiment_id: str, data: dict) -> None:
+        """Persist one assembled series dict."""
+        self._write_json(self.series_path(experiment_id), data)
 
-    def load_series(self, experiment_id: str) -> "ExperimentSeries":
-        """Load a previously assembled series by experiment id."""
-        from repro.analysis.series import ExperimentSeries
-
-        path = self.series_path(experiment_id)
-        if not path.exists():
-            known = sorted(p.stem for p in self.root.glob("series/*.json"))
-            raise ConfigurationError(
-                f"no stored series {experiment_id!r} under {self.root} "
-                f"(stored: {', '.join(known) or '<none>'})"
-            )
-        return ExperimentSeries.from_dict(json.loads(path.read_text()))
+    def load_series_dict(self, experiment_id: str) -> dict | None:
+        """Read one series dict, wrapping corrupt JSON with its path."""
+        return self._read_json(self.series_path(experiment_id), "series artifact")
 
     def list_series(self) -> list[str]:
         """Experiment ids with an assembled series, ascending."""
         return sorted(p.stem for p in self.root.glob("series/*.json"))
 
     # ------------------------------------------------------------------
+    # Worker queue: tasks + claims
+    # ------------------------------------------------------------------
+    def task_path(self, key: str) -> Path:
+        """Where the task descriptor for ``key`` lives."""
+        return self.root / "tasks" / f"{key}.json"
+
+    def save_task(self, key: str, payload: dict) -> None:
+        """Publish one pending task descriptor."""
+        self._write_json(self.task_path(key), payload)
+
+    def load_task(self, key: str) -> dict | None:
+        """The pending task descriptor for ``key``, or ``None``."""
+        return self._read_json(self.task_path(key), "task descriptor")
+
+    def delete_task(self, key: str) -> None:
+        """Remove a task descriptor (idempotent)."""
+        self.task_path(key).unlink(missing_ok=True)
+
+    def pending_task_keys(self) -> list[str]:
+        """Keys of all published task descriptors, ascending."""
+        return sorted(p.stem for p in self.root.glob("tasks/*.json"))
+
+    def claim_path(self, key: str) -> Path:
+        """Where the lease file for ``key`` lives."""
+        return self.root / "claims" / f"{key}.lease"
+
+    def try_claim(self, key: str, owner: str, *, ttl: float = DEFAULT_CLAIM_TTL) -> bool:
+        """Claim via ``O_CREAT|O_EXCL`` lease file; breaks stale leases.
+
+        Creation itself is atomic; only *stale-lease breaking* races.
+        After creating a lease the owner is read back and verified,
+        which catches a concurrent breaker unlinking our fresh file —
+        but two breakers interleaved across the whole break/create
+        window can still each see their own name and both win.  Claims
+        are therefore a work-dedup lever, not a mutual-exclusion
+        guarantee: duplicates stay possible (at-least-once) and stay
+        safe, because point saves are idempotent and content-keyed.
+        Callers needing hard exclusivity must not build it on leases.
+        """
+        path = self.claim_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                if attempt:
+                    return False
+                try:
+                    stale = (time.time() - path.stat().st_mtime) > ttl
+                except FileNotFoundError:
+                    continue  # holder released between open and stat; retry
+                if not stale:
+                    return False
+                path.unlink(missing_ok=True)  # break the abandoned lease
+                continue
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"owner": owner, "claimed_at": time.time()}, fh)
+            return self._claim_owner(path) == owner
+        return False  # pragma: no cover - loop always returns
+
+    def _claim_owner(self, path: Path) -> str | None:
+        try:
+            return json.loads(path.read_text()).get("owner")
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def renew_claim(self, key: str, owner: str) -> None:
+        """Bump the lease mtime while still held by ``owner``."""
+        path = self.claim_path(key)
+        if self._claim_owner(path) == owner:
+            try:
+                os.utime(path)
+            except FileNotFoundError:  # released concurrently: nothing to renew
+                pass
+
+    def release_claim(self, key: str) -> None:
+        """Remove the lease file (idempotent)."""
+        self.claim_path(key).unlink(missing_ok=True)
+
+    def list_claims(self) -> list[str]:
+        """Keys currently under claim, ascending."""
+        return sorted(p.stem for p in self.root.glob("claims/*.lease"))
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> "SqliteBackend":
+        """Fold this directory store into one SQLite table set, in place.
+
+        Creates ``<root>/store.sqlite`` holding every point, manifest
+        and series, then removes the per-artifact JSON files.  Because
+        :func:`open_backend` routes a directory containing
+        ``store.sqlite`` to :class:`SqliteBackend`, existing
+        ``--results <root>`` invocations keep resolving (and resuming)
+        transparently after compaction.
+        """
+        import shutil
+
+        dst = SqliteBackend(self.root / _SQLITE_BASENAME)
+        migrate_store(self, dst)
+        for sub in ("points", "sweeps", "series", "tasks", "claims"):
+            shutil.rmtree(self.root / sub, ignore_errors=True)
+        return dst
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _read_json(self, path: Path, what: str) -> dict | None:
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"corrupt {what} {path}: {exc}") from exc
+
     def _write_json(self, path: Path, payload: Any) -> Path:
         """Write-then-rename so readers never observe partial files."""
         from repro.analysis.series import write_json_atomic
 
         return write_json_atomic(path, payload)
+
+
+#: Backwards-compatible alias: the pre-refactor store class name.
+ResultsStore = JsonDirBackend
+
+
+class SqliteBackend(ResultsBackend):
+    """Single-file SQLite results store (stdlib ``sqlite3`` only).
+
+    One table per artifact kind (``points`` / ``manifests`` / ``series``
+    / ``tasks`` / ``claims``), each a key → JSON-payload row.  Intended
+    for 10⁴+-point sweeps where a directory of tiny JSON files stops
+    scaling, and as the shared store of multi-process worker drains
+    (SQLite's file locking serializes writers; every operation is one
+    short transaction on its own connection, so backends are trivially
+    picklable across process pools).
+
+    Parameters
+    ----------
+    path:
+        The database file.  A directory is accepted and resolves to
+        ``<dir>/store.sqlite`` (the compaction layout).
+    """
+
+    kind = "sqlite"
+
+    _TABLES = ("points", "manifests", "series", "tasks")
+
+    def __init__(self, path: Path | str) -> None:
+        path = Path(path)
+        if path.is_dir() or (not path.exists() and not path.suffix):
+            path = path / _SQLITE_BASENAME
+        self.path = path
+        self._schema_ready = False
+
+    @property
+    def locator(self) -> str:
+        """The database file path (re-opens via :func:`open_backend`)."""
+        return str(self.path)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """One short transaction on a fresh connection (always closed).
+
+        A connection per operation keeps the backend free of open
+        handles, hence picklable and safe to share across process pools
+        and forked workers; SQLite's file locking (with a 30 s busy
+        timeout) serializes concurrent writers.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            if not self._schema_ready:
+                # once per backend instance, not per operation: the
+                # tables persist in the file, and hot paths (cache
+                # probes, drain polls) open thousands of connections
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS artifacts ("
+                    " kind TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+                    " PRIMARY KEY (kind, key))"
+                )
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS claims ("
+                    " key TEXT PRIMARY KEY, owner TEXT NOT NULL, claimed_at REAL NOT NULL)"
+                )
+                self._schema_ready = True
+            with conn:  # commit on success, roll back on error
+                yield conn
+        finally:
+            conn.close()
+
+    # -- generic key/JSON rows ------------------------------------------
+    def _get(self, kind: str, key: str) -> dict | None:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM artifacts WHERE kind = ? AND key = ?", (kind, key)
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"corrupt {kind} row {key!r} in {self.path}: {exc}") from exc
+
+    def _put(self, kind: str, key: str, payload: dict) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts (kind, key, payload) VALUES (?, ?, ?)",
+                (kind, key, json.dumps(payload, sort_keys=True)),
+            )
+
+    def _keys(self, kind: str) -> list[str]:
+        if not self.path.exists():
+            return []
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT key FROM artifacts WHERE kind = ? ORDER BY key", (kind,)
+            ).fetchall()
+        return [r[0] for r in rows]
+
+    def _delete(self, kind: str, key: str) -> None:
+        if not self.path.exists():
+            return
+        with self._connect() as conn:
+            conn.execute("DELETE FROM artifacts WHERE kind = ? AND key = ?", (kind, key))
+
+    # -- points ----------------------------------------------------------
+    def load_point_record(self, key: str) -> dict | None:
+        """Read one point record row."""
+        if not self.path.exists():
+            return None
+        return self._get("points", key)
+
+    def save_point_record(self, key: str, record: dict) -> None:
+        """Upsert one point record row."""
+        self._put("points", key, record)
+
+    def list_points(self) -> list[str]:
+        """Stored point keys, ascending."""
+        return self._keys("points")
+
+    def load_points(self, keys: list[str]) -> dict[str, object]:
+        """Bulk point fetch: one ``IN`` query per chunk of 500 keys."""
+        if not keys or not self.path.exists():
+            return {}
+        out: dict[str, object] = {}
+        with self._connect() as conn:
+            for start in range(0, len(keys), 500):
+                chunk = keys[start : start + 500]
+                marks = ",".join("?" for _ in chunk)
+                rows = conn.execute(
+                    "SELECT key, payload FROM artifacts WHERE kind = 'points' "
+                    f"AND key IN ({marks})",  # marks is "?,?,..." placeholders only
+                    chunk,
+                ).fetchall()
+                for key, payload in rows:
+                    try:
+                        out[key] = json.loads(payload)["result"]
+                    except (json.JSONDecodeError, KeyError) as exc:
+                        raise ConfigurationError(
+                            f"corrupt points row {key!r} in {self.path}: {exc}"
+                        ) from exc
+        return out
+
+    # -- manifests -------------------------------------------------------
+    def save_manifest(self, sweep_key: str, manifest: dict) -> None:
+        """Upsert a sweep's run manifest row."""
+        self._put("manifests", sweep_key, manifest)
+
+    def load_manifest(self, sweep_key: str) -> dict | None:
+        """The manifest row for ``sweep_key``, or ``None``."""
+        if not self.path.exists():
+            return None
+        return self._get("manifests", sweep_key)
+
+    def list_manifests(self) -> list[str]:
+        """Stored sweep keys, ascending."""
+        return self._keys("manifests")
+
+    # -- series ----------------------------------------------------------
+    def save_series_dict(self, experiment_id: str, data: dict) -> None:
+        """Upsert one assembled series row."""
+        self._put("series", experiment_id, data)
+
+    def load_series_dict(self, experiment_id: str) -> dict | None:
+        """The stored series dict for ``experiment_id``, or ``None``."""
+        if not self.path.exists():
+            return None
+        return self._get("series", experiment_id)
+
+    def list_series(self) -> list[str]:
+        """Experiment ids with an assembled series, ascending."""
+        return self._keys("series")
+
+    # -- tasks + claims --------------------------------------------------
+    def save_task(self, key: str, payload: dict) -> None:
+        """Publish one pending task descriptor row."""
+        self._put("tasks", key, payload)
+
+    def load_task(self, key: str) -> dict | None:
+        """The pending task descriptor for ``key``, or ``None``."""
+        if not self.path.exists():
+            return None
+        return self._get("tasks", key)
+
+    def delete_task(self, key: str) -> None:
+        """Remove a task descriptor row (idempotent)."""
+        self._delete("tasks", key)
+
+    def pending_task_keys(self) -> list[str]:
+        """Keys of all published task descriptors, ascending."""
+        return self._keys("tasks")
+
+    def try_claim(self, key: str, owner: str, *, ttl: float = DEFAULT_CLAIM_TTL) -> bool:
+        """Claim via ``INSERT OR IGNORE``; stale rows are purged first."""
+        now = time.time()
+        with self._connect() as conn:
+            conn.execute("DELETE FROM claims WHERE key = ? AND claimed_at < ?", (key, now - ttl))
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO claims (key, owner, claimed_at) VALUES (?, ?, ?)",
+                (key, owner, now),
+            )
+            return cur.rowcount == 1
+
+    def renew_claim(self, key: str, owner: str) -> None:
+        """Bump the claim row's timestamp while still held by ``owner``."""
+        if not self.path.exists():
+            return
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE claims SET claimed_at = ? WHERE key = ? AND owner = ?",
+                (time.time(), key, owner),
+            )
+
+    def release_claim(self, key: str) -> None:
+        """Delete the claim row (idempotent)."""
+        if not self.path.exists():
+            return
+        with self._connect() as conn:
+            conn.execute("DELETE FROM claims WHERE key = ?", (key,))
+
+    def list_claims(self) -> list[str]:
+        """Keys currently under claim, ascending."""
+        if not self.path.exists():
+            return []
+        with self._connect() as conn:
+            rows = conn.execute("SELECT key FROM claims ORDER BY key").fetchall()
+        return [r[0] for r in rows]
+
+    # -- maintenance -----------------------------------------------------
+    def compact(self) -> "SqliteBackend":
+        """Reclaim free pages (``VACUUM``); returns self for chaining."""
+        with self._connect() as conn:
+            conn.execute("VACUUM")
+        return self
+
+
+def open_backend(path: Path | str, kind: str = "auto") -> ResultsBackend:
+    """Resolve a path (or backend locator) to a results backend.
+
+    ``kind`` forces ``"json"`` or ``"sqlite"``; the default ``"auto"``
+    sniffs: an existing file, a ``.sqlite``/``.sqlite3``/``.db`` suffix,
+    or a directory containing ``store.sqlite`` (the compaction layout)
+    selects :class:`SqliteBackend`, anything else the JSON directory
+    backend.  Workers use this to re-open the orchestrator's store from
+    its locator string alone.
+    """
+    path = Path(path)
+    if kind == "json":
+        return JsonDirBackend(path)
+    if kind == "sqlite":
+        return SqliteBackend(path)
+    if kind != "auto":
+        raise ConfigurationError(
+            f"unknown results-backend kind {kind!r} (expected auto/json/sqlite)"
+        )
+    if path.is_file():
+        return SqliteBackend(path)
+    if path.suffix in _SQLITE_SUFFIXES:
+        return SqliteBackend(path)
+    if (path / _SQLITE_BASENAME).exists():
+        return SqliteBackend(path / _SQLITE_BASENAME)
+    return JsonDirBackend(path)

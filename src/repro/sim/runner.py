@@ -43,7 +43,10 @@ def resolve_runs(runs: int | None, default: int, env_value: str | None) -> int:
     """Resolve a run count from explicit argument, env override, default.
 
     Priority: explicit ``runs`` > ``env_value`` (e.g. ``REPRO_RUNS``) >
-    ``default``.
+    ``default``.  A bad explicit argument is caller error
+    (``ValueError``); *any* bad env-sourced value — non-integer or
+    < 1 alike — is environment misconfiguration and raises
+    :class:`ConfigurationError`.
     """
     if runs is not None:
         if runs < 1:
@@ -58,7 +61,10 @@ def resolve_runs(runs: int | None, default: int, env_value: str | None) -> int:
                 "(set e.g. REPRO_RUNS=10)"
             ) from None
         if parsed < 1:
-            raise ValueError(f"run-count env override must be >= 1, got {parsed}")
+            raise ConfigurationError(
+                f"run-count env override must be >= 1, got {parsed} "
+                "(set e.g. REPRO_RUNS=10)"
+            )
         return parsed
     return default
 

@@ -59,6 +59,7 @@ __all__ = [
     "place_nodes",
     "resolve_sweep",
     "run_scenario",
+    "scenario_from_dict",
     "scenario_phases",
     "scenario_trace",
 ]
@@ -297,6 +298,33 @@ def resolve_sweep(spec: ScenarioSpec, value: float) -> ScenarioSpec:
     return _SWEEP_AXES[spec.sweep_axis](spec, value)
 
 
+def scenario_from_dict(data: dict) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from ``dataclasses.asdict`` output.
+
+    The inverse of ``dataclasses.asdict`` for the spec tree (nested
+    placement/mobility/churn/power specs, tuple-valued fields), used to
+    round-trip fully resolved sweep points through the task descriptors
+    of the worker executor.  Validation re-runs on construction, so a
+    tampered descriptor fails loudly.
+    """
+    spec = dict(data)
+    try:
+        return ScenarioSpec(
+            **{
+                **spec,
+                "area": tuple(spec["area"]),
+                "placement": PlacementSpec(**spec["placement"]),
+                "mobility": MobilitySpec(**spec["mobility"]),
+                "churn": ChurnSpec(**spec["churn"]),
+                "power": PowerSpec(**spec["power"]),
+                "strategies": tuple(spec["strategies"]),
+                "sweep_values": tuple(spec["sweep_values"]),
+            }
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed scenario payload: {exc}") from exc
+
+
 # ----------------------------------------------------------------------
 # Placement
 # ----------------------------------------------------------------------
@@ -474,14 +502,16 @@ def run_scenario(
     processes: int | None = None,
     store=None,
     resume: bool = True,
+    executor=None,
+    warm_start: bool | None = None,
 ):
     """Run a scenario sweep and return its ``ExperimentSeries``.
 
     ``scenario`` is a spec or a registered name.  This is a thin alias
     of :func:`repro.sim.sweep.run_sweep` — every scenario, paper figure
-    or extended workload, goes through the same single-pass
-    multi-strategy orchestrator (and, when ``store`` is given, the same
-    resumable results store).
+    or extended workload, goes through the same plan → claim → execute
+    → collect pipeline (and, when ``store`` is given, the same
+    resumable results backend).
     """
     from repro.sim.sweep import run_sweep
 
@@ -493,6 +523,8 @@ def run_scenario(
         processes=processes,
         store=store,
         resume=resume,
+        executor=executor,
+        warm_start=warm_start,
     )
 
 

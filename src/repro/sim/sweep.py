@@ -1,26 +1,29 @@
 """The unified experiment orchestrator: one pipeline for every sweep.
 
 Every evaluation in this repo — the paper's five figure experiments and
-each registered extended scenario — runs through :func:`run_sweep`:
+each registered extended scenario — runs through :func:`run_sweep`,
+which stages the work through four pluggable layers:
 
-1. the scenario spec is resolved once per sweep value (axis × value),
-2. per-run seeds are derived from one master ``SeedSequence`` (paired
-   across sweep values when the spec asks for it),
-3. each (point, run) pair becomes one task; tasks already present in
-   the :class:`~repro.sim.results.ResultsStore` are served from cache,
-   the rest are fanned out through
-   :func:`~repro.sim.runner.parallel_map`,
-4. a task replays the point's phased workload *single-pass* against all
-   strategies with :class:`~repro.sim.network.MultiStrategyReplay` —
-   topology mutation and conflict-delta computation happen once per
-   event, not once per strategy,
-5. results are assembled into an
-   :class:`~repro.analysis.series.ExperimentSeries` (and persisted to
-   the store together with a run manifest when one is given).
+1. **plan** — the scenario spec is resolved once per sweep value, per-run
+   seeds derive from one master ``SeedSequence`` (paired across sweep
+   values when the spec asks for it), and every (point, run) becomes a
+   content-addressed :class:`~repro.sim.executor.TaskGroup`.  Paired
+   delta sweeps group each run's points into one *warm-start* group
+   that builds the shared baseline network once and forks it per point;
+2. **claim** — tasks whose artifacts already exist in the results
+   backend (:mod:`repro.sim.results`) are served from cache;
+3. **execute** — pending groups run on an
+   :class:`~repro.sim.executor.Executor` (serial, process pool, or the
+   store-queue worker drain), each replaying its workload *single-pass*
+   against all strategies with
+   :class:`~repro.sim.network.MultiStrategyReplay`;
+4. **collect** — results fold into an
+   :class:`~repro.analysis.series.ExperimentSeries` (persisted together
+   with a run manifest when a store is given).
 
 :class:`SweepSpec` is the frozen execution plan (scenario × runs ×
 seed); the legacy ``run_*_experiment`` functions in
-:mod:`repro.sim.experiments` are now thin builders of such plans.
+:mod:`repro.sim.experiments` are thin builders of such plans.
 """
 
 from __future__ import annotations
@@ -32,14 +35,14 @@ import numpy as np
 
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
-from repro.sim.network import MultiStrategyReplay
+from repro.sim.executor import Executor, TaskGroup, resolve_executor
 from repro.sim.registry import get_scenario
-from repro.sim.results import ResultsStore, seed_token, spec_digest
-from repro.sim.runner import parallel_map, resolve_runs
-from repro.sim.scenarios import ScenarioSpec, resolve_sweep, scenario_phases
-from repro.strategies import make_strategy
+from repro.sim.results import ResultsBackend, seed_token, spec_digest
+from repro.sim.results import point_key as _point_key
+from repro.sim.runner import resolve_runs
+from repro.sim.scenarios import ScenarioSpec, resolve_sweep
 
-__all__ = ["SweepSpec", "build_sweep", "run_sweep"]
+__all__ = ["SweepSpec", "build_sweep", "plan_tasks", "run_sweep"]
 
 #: Metric names of the absolute measure (end-state totals).
 ABS_METRICS = ("max_color", "recodings", "messages")
@@ -48,6 +51,12 @@ DELTA_METRICS = ("delta_max_color", "delta_recodings", "delta_messages")
 
 _DEFAULT_RUNS = 5
 _DEFAULT_SEED = 2001
+
+#: Sweep axes that perturb the trace *before* any placement draw, so a
+#: paired delta sweep over them shares one baseline network per run
+#: seed.  ``n`` and ``avg_range`` change the placement itself and are
+#: excluded (warm grouping would always fall back to cold rebuilds).
+_WARM_SAFE_AXES = ("steps", "maxdisp", "fraction", "cycles", "raisefactor")
 
 
 @dataclass(frozen=True)
@@ -119,69 +128,119 @@ def build_sweep(
 
 
 # ----------------------------------------------------------------------
-# Per-point replay (runs in worker processes; must stay module-level)
+# Stage 1: plan
 # ----------------------------------------------------------------------
-def _replay_point(args: tuple) -> list:
-    """Compute one (point, run): single-pass multi-strategy replay.
+def _warm_eligible(spec: ScenarioSpec, n_points: int, warm_start: bool | None) -> bool:
+    """Whether this sweep's runs share a baseline worth forking."""
+    if warm_start is False:
+        return False
+    return (
+        spec.paired_runs
+        and spec.measure == "delta"
+        and n_points > 1
+        and spec.sweep_axis in _WARM_SAFE_AXES
+    )
 
-    Returns, per strategy, either one ``[max_color, recodings,
-    messages]`` triple (absolute / delta measures) or one triple per
-    perturbation round (``delta_rounds``).  When a store root is given
-    the artifact is persisted *here*, in the worker, so every completed
-    point survives an interrupted sweep (resume recovers it even if the
-    orchestrating process never returns from the fan-out).
+
+def _task_context(spec: ScenarioSpec, point: ScenarioSpec, i: int, r: int, seed) -> dict:
+    return {
+        "experiment": spec.series_id,
+        "scenario": spec.name,
+        "sweep_axis": spec.sweep_axis,
+        "sweep_value": spec.sweep_values[i],
+        "run": r,
+        "seed": seed_token(seed),
+        "measure": spec.measure,
+        "strategies": list(point.strategies),
+    }
+
+
+def plan_tasks(sweep: SweepSpec, *, warm_start: bool | None = None) -> list[TaskGroup]:
+    """Plan stage: every (point, run) as content-addressed task groups.
+
+    Returns one singleton group per (point, run) — or, when the sweep
+    is warm-start eligible (``paired_runs`` delta sweeps over a
+    perturbation-only axis), one group per run holding that run's whole
+    point row, so executors build the shared baseline network once per
+    run seed.
     """
-    point, seed, store_root, key, context = args
-    result = _compute_point(point, seed)
-    if store_root is not None:
-        ResultsStore(store_root).save_point(key, result, context=context)
-    return result
-
-
-def _compute_point(point: ScenarioSpec, seed) -> list:
-    phases = scenario_phases(point, np.random.default_rng(seed))
-    replay = MultiStrategyReplay([make_strategy(name) for name in point.strategies])
-    for event in phases.baseline:
-        replay.apply(event)
-    if point.measure == "absolute":
-        for round_events in phases.rounds:
-            for event in round_events:
-                replay.apply(event)
-        return [
-            [
-                float(lane.assignment.max_color()),
-                float(lane.metrics.total_recodings),
-                float(lane.metrics.total_messages),
-            ]
-            for lane in replay.lanes
-        ]
-    baselines = [lane.metrics.snapshot() for lane in replay.lanes]
-    if point.measure == "delta":
-        for round_events in phases.rounds:
-            for event in round_events:
-                replay.apply(event)
-        return [_delta_triple(before, lane) for before, lane in zip(baselines, replay.lanes)]
-    # delta_rounds: cumulative deltas sampled after every round.
-    out: list[list[list[float]]] = [[] for _ in replay.lanes]
-    for round_events in phases.rounds:
-        for event in round_events:
-            replay.apply(event)
-        for i, (before, lane) in enumerate(zip(baselines, replay.lanes)):
-            out[i].append(_delta_triple(before, lane))
-    return out
-
-
-def _delta_triple(before, lane) -> list[float]:
-    delta = before.delta(lane.metrics.snapshot())
-    return [
-        float(delta.max_color),
-        float(delta.total_recodings),
-        float(delta.total_messages),
-    ]
+    spec = sweep.scenario
+    keys = {(i, r): _point_key(point, point_seed) for i, r, point, point_seed in sweep.tasks()}
+    contexts = {
+        (i, r): _task_context(spec, point, i, r, point_seed)
+        for i, r, point, point_seed in sweep.tasks()
+    }
+    groups: list[TaskGroup] = []
+    if _warm_eligible(spec, len(sweep.points), warm_start):
+        for r in range(sweep.runs):
+            indices = tuple((i, r) for i in range(len(sweep.points)))
+            groups.append(
+                TaskGroup(
+                    indices=indices,
+                    points=sweep.points,
+                    seed=sweep.seeds[0][r],
+                    keys=tuple(keys[ix] for ix in indices),
+                    contexts=tuple(contexts[ix] for ix in indices),
+                    warm=True,
+                )
+            )
+        return groups
+    for i, r, point, point_seed in sweep.tasks():
+        groups.append(
+            TaskGroup(
+                indices=((i, r),),
+                points=(point,),
+                seed=point_seed,
+                keys=(keys[(i, r)],),
+                contexts=(contexts[(i, r)],),
+            )
+        )
+    return groups
 
 
 # ----------------------------------------------------------------------
-# Orchestration
+# Stage 2: claim
+# ----------------------------------------------------------------------
+def claim_cached(
+    groups: Sequence[TaskGroup], store: ResultsBackend | None, resume: bool
+) -> tuple[dict[tuple[int, int], list], list[TaskGroup]]:
+    """Claim stage: split planned groups into cached results and pending work.
+
+    Partially cached warm groups shrink to their missing members (the
+    shared baseline is still built only once for what remains).
+    """
+    results: dict[tuple[int, int], list] = {}
+    if store is None or not resume:
+        return results, list(groups)
+    cached_points = store.load_points([key for group in groups for key in group.keys])
+    pending: list[TaskGroup] = []
+    for group in groups:
+        missing = []
+        for m, key in enumerate(group.keys):
+            cached = cached_points.get(key)
+            if cached is None:
+                missing.append(m)
+            else:
+                results[group.indices[m]] = cached
+        if not missing:
+            continue
+        if len(missing) == len(group.keys):
+            pending.append(group)
+        else:
+            pending.append(
+                replace(
+                    group,
+                    indices=tuple(group.indices[m] for m in missing),
+                    points=tuple(group.points[m] for m in missing),
+                    keys=tuple(group.keys[m] for m in missing),
+                    contexts=tuple(group.contexts[m] for m in missing),
+                )
+            )
+    return results, pending
+
+
+# ----------------------------------------------------------------------
+# Stages 3+4: execute, collect
 # ----------------------------------------------------------------------
 def run_sweep(
     scenario: ScenarioSpec | str,
@@ -190,17 +249,25 @@ def run_sweep(
     seed: int = _DEFAULT_SEED,
     strategies: Sequence[str] | None = None,
     processes: int | None = None,
-    store: ResultsStore | None = None,
+    store: ResultsBackend | None = None,
     resume: bool = True,
+    executor: Executor | str | None = None,
+    warm_start: bool | None = None,
 ) -> ExperimentSeries:
     """Run one sweep through the unified pipeline; return its series.
 
     ``scenario`` is a spec or registered name; ``runs`` defaults to 5
-    (``REPRO_RUNS`` overrides).  With a ``store``, completed points are
-    loaded instead of recomputed (unless ``resume=False``), fresh
-    points are persisted as they land, and the assembled series plus a
-    run manifest are written.  The series ``notes`` field records the
-    computed/cached split of this invocation.
+    (``REPRO_RUNS`` overrides).  ``executor`` selects the execution
+    layer (``"serial"`` / ``"process"`` / ``"worker"`` or an
+    :class:`~repro.sim.executor.Executor` instance); the default keeps
+    the historical behavior of ``processes``.  ``warm_start=False``
+    disables baseline forking for paired delta sweeps (``None`` enables
+    it whenever eligible; results are identical either way).  With a
+    ``store``, completed points are loaded instead of recomputed
+    (unless ``resume=False``), fresh points are persisted as they land,
+    and the assembled series plus a run manifest are written.  The
+    series ``notes`` field records the computed/cached split of this
+    invocation.
     """
     import os
 
@@ -214,42 +281,18 @@ def run_sweep(
     spec = sweep.scenario
     tasks = sweep.tasks()
 
-    results: dict[tuple[int, int], list] = {}
-    pending: list[tuple] = []
-    pending_index: list[tuple[int, int]] = []
-    keys: dict[tuple[int, int], str] = {}
-    for i, r, point, point_seed in tasks:
-        key = None
-        context = None
-        if store is not None:
-            key = keys[(i, r)] = store.point_key(point, point_seed)
-            if resume:
-                cached = store.load_point(key)
-                if cached is not None:
-                    results[(i, r)] = cached
-                    continue
-            context = {
-                "experiment": spec.series_id,
-                "scenario": spec.name,
-                "sweep_axis": spec.sweep_axis,
-                "sweep_value": spec.sweep_values[i],
-                "run": r,
-                "seed": seed_token(point_seed),
-                "measure": spec.measure,
-                "strategies": list(point.strategies),
-            }
-        store_root = None if store is None else str(store.root)
-        pending.append((point, point_seed, store_root, key, context))
-        pending_index.append((i, r))
-
-    fresh = parallel_map(_replay_point, pending, processes=processes)
-    for (i, r), result in zip(pending_index, fresh):
-        results[(i, r)] = result
+    groups = plan_tasks(sweep, warm_start=warm_start)
+    results, pending = claim_cached(groups, store, resume)
+    exec_ = resolve_executor(executor, processes)
+    results.update(exec_.execute(pending, backend=store, resume=resume))
 
     series = _assemble_series(sweep, results)
-    computed, cached = len(pending), len(tasks) - len(pending)
+    computed = sum(len(g.indices) for g in pending)
+    cached = len(tasks) - computed
     series.notes = f"{computed} points computed, {cached} from cache"
     if store is not None:
+        # plan_tasks already hashed every point key; harvest, don't rehash
+        keys = {ix: key for g in groups for ix, key in zip(g.indices, g.keys)}
         store.save_series(series)
         store.save_manifest(
             sweep.sweep_key,
@@ -262,11 +305,12 @@ def run_sweep(
                 "strategies": list(spec.strategies),
                 "runs": sweep.runs,
                 "seed": sweep.seed,
+                "executor": exec_.name,
                 "points": [keys[(i, r)] for i, r, _, _ in tasks],
                 "computed": computed,
                 "cached": cached,
-                "series_path": str(store.series_path(spec.series_id)),
-                # The series/<id>.json slot is latest-wins; this copy is
+                "series_locator": f"{store.locator}::series/{spec.series_id}",
+                # The series/<id> slot is latest-wins; this copy is
                 # keyed by the sweep's content hash and never clobbered.
                 "series": series.to_dict(),
             },
@@ -275,7 +319,7 @@ def run_sweep(
 
 
 def _assemble_series(sweep: SweepSpec, results: dict[tuple[int, int], list]) -> ExperimentSeries:
-    """Fold point results into an :class:`ExperimentSeries`."""
+    """Collect stage: fold point results into an :class:`ExperimentSeries`."""
     spec = sweep.scenario
     runs = sweep.runs
     strategies = spec.strategies

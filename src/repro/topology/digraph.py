@@ -424,6 +424,93 @@ class AdHocDigraph:
         for event in events:
             yield self.apply_event(event)
 
+    # ------------------------------------------------------------------
+    # Snapshots (warm starts)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialize the full topology state to a JSON-able dict.
+
+        Captures everything :meth:`restore` needs to resume replay
+        byte-identically: node configurations (in slot order, so the
+        CA2 counter block stays aligned), the directed edge list, the
+        incremental CA2 witness counters, the spatial grid's current
+        cell size, and the topology version.  Derived caches (the query
+        memo, the dense conflict matrix) are rebuilt on demand and are
+        not part of the state.
+        """
+        n = len(self._ids)
+        rows, cols = np.nonzero(self._adj[:n, :n])
+        return {
+            "schema": 1,
+            "dense": self._dense,
+            "version": self._version,
+            "explicit_cell": self._grid_cell,
+            "grid_cell_size": None if self._grid is None else self._grid.cell_size,
+            "nodes": [
+                [
+                    int(self._ids[i]),
+                    float(self._pos[i, 0]),
+                    float(self._pos[i, 1]),
+                    float(self._range[i]),
+                ]
+                for i in range(n)
+            ],
+            "edges": [[int(r), int(c)] for r, c in zip(rows.tolist(), cols.tolist())],
+            "c2": None if self._c2 is None else self._c2[:n, :n].tolist(),
+        }
+
+    @classmethod
+    def restore(
+        cls, snapshot: dict, *, propagation: PropagationModel | None = None
+    ) -> "AdHocDigraph":
+        """Rebuild a graph from a :meth:`snapshot` dict.
+
+        The restored graph continues exactly where the snapshot was
+        taken: same slot layout, adjacency, CA2 counters, grid cell
+        size and topology version, so subsequent events produce results
+        byte-identical to the original instance's (pinned by
+        ``tests/sim/test_warmstart.py``).
+        """
+        from repro.errors import ConfigurationError
+
+        if snapshot.get("schema") != 1:
+            raise ConfigurationError(
+                f"unsupported digraph snapshot schema {snapshot.get('schema')!r}"
+            )
+        g = cls(
+            propagation,
+            dense_conflicts=snapshot["dense"],
+            grid_cell_size=snapshot["explicit_cell"],
+        )
+        nodes = snapshot["nodes"]
+        n = len(nodes)
+        g._ensure_capacity(max(n, 1))
+        for slot, (node_id, x, y, tx_range) in enumerate(nodes):
+            g._pos[slot] = (x, y)
+            g._range[slot] = tx_range
+            g._ids.append(node_id)
+            g._ida[slot] = node_id
+            g._index[node_id] = slot
+        for src, dst in snapshot["edges"]:
+            g._adj[src, dst] = True
+        if g._c2 is not None and n:
+            c2 = snapshot["c2"]
+            if c2 is None:  # snapshot came from a dense-mode graph
+                a = g._adj[:n, :n]
+                g._c2[:n, :n] = (a.astype(np.int32) @ a.T.astype(np.int32))
+                np.fill_diagonal(g._c2[:n, :n], 0)
+            else:
+                g._c2[:n, :n] = np.asarray(c2, dtype=np.int32)
+        if g._use_grid and n:
+            cell = snapshot["grid_cell_size"]
+            if cell is None:
+                cell = float(g._range[:n].max())
+            g._grid = UniformGridIndex(cell)
+            for slot in range(n):
+                g._grid.insert(g._ids[slot], float(g._pos[slot, 0]), float(g._pos[slot, 1]))
+        g._version = snapshot["version"]
+        return g
+
     def copy(self) -> "AdHocDigraph":
         """Deep copy (same propagation model object, copied arrays)."""
         g = AdHocDigraph.__new__(AdHocDigraph)

@@ -140,8 +140,69 @@ class TestBenchCommand:
         assert "fig10-join" in printed and "speedup" in printed
         assert "multi-strategy-replay" in printed
         entries = json.loads(out_path.read_text())
-        assert {e["mode"] for e in entries} == {"grid", "dense", "per-strategy", "shared"}
+        assert {e["mode"] for e in entries} == {
+            "grid",
+            "dense",
+            "per-strategy",
+            "shared",
+            "cold",
+            "warm",
+        }
         for e in entries:
             assert {"scenario", "n", "wall_seconds", "events_per_sec"} <= set(e)
         shared = [e for e in entries if e["mode"] == "shared"]
         assert len(shared) == 1 and shared[0]["speedup_vs_per_strategy"] > 0
+        warm = [e for e in entries if e["mode"] == "warm"]
+        assert len(warm) == 1 and warm[0]["speedup_vs_cold"] > 0
+
+
+class TestWorkerAndStoreCommands:
+    def _seed_store(self, path, executor="serial"):
+        rc = main(
+            [
+                "scenario",
+                "sparse-long-range",
+                "--runs",
+                "1",
+                "--strategies",
+                "Minim",
+                "--results",
+                str(path),
+                "--executor",
+                executor,
+            ]
+        )
+        assert rc == 0
+
+    def test_worker_once_on_empty_store_exits_clean(self, tmp_path, capsys):
+        rc = main(["worker", "--results", str(tmp_path / "store.sqlite"), "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "computed 0 task group(s)" in out
+
+    def test_sqlite_results_flag_and_store_ls(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        self._seed_store(db, executor="worker")
+        rc = main(["store", "ls", str(db)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sqlite store" in out
+        assert "scenario-sparse-long-range" in out
+
+    def test_store_compact_and_migrate(self, tmp_path, capsys):
+        src = tmp_path / "json-store"
+        self._seed_store(src)
+        rc = main(["store", "migrate", str(src), str(tmp_path / "copy.sqlite")])
+        assert rc == 0
+        assert "migrated 3 point(s)" in capsys.readouterr().out
+        rc = main(["store", "compact", str(src)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "compacted 3 point file(s)" in out
+        assert (src / "store.sqlite").exists()
+        assert not (src / "points").exists()
+
+    def test_store_migrate_requires_dest(self, tmp_path, capsys):
+        rc = main(["store", "migrate", str(tmp_path / "x")])
+        assert rc == 2
+        assert "DEST" in capsys.readouterr().err

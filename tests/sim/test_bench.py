@@ -48,3 +48,31 @@ class TestBenchHarness:
     def test_bad_runs_rejected(self):
         with pytest.raises(ValueError):
             run_event_loop_bench(n=8, runs=0)
+
+
+class TestWarmstartBench:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        from repro.sim.bench import run_warmstart_bench
+
+        return run_warmstart_bench(n=20, runs=1, sweep_points=3, lanes=2, seed=5)
+
+    def test_entry_schema(self, entries):
+        assert [e["mode"] for e in entries] == ["cold", "warm"]
+        for e in entries:
+            assert e["scenario"] == "warmstart-delta-sweep"
+            assert e["wall_seconds"] > 0 and e["events_per_sec"] > 0
+
+    def test_both_modes_report_logical_events(self, entries):
+        # same logical sweep either way, so events counts must match and
+        # the events/sec ratio equals the recorded speedup
+        assert entries[0]["events"] == entries[1]["events"]
+        assert entries[1]["speedup_vs_cold"] > 0
+
+    def test_bad_args_rejected(self):
+        from repro.sim.bench import run_warmstart_bench
+
+        with pytest.raises(ValueError):
+            run_warmstart_bench(n=8, runs=0)
+        with pytest.raises(ValueError):
+            run_warmstart_bench(n=8, sweep_points=0)

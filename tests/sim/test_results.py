@@ -1,4 +1,4 @@
-"""The results store: artifacts, manifests, series, and sweep resume."""
+"""The results backends: artifacts, manifests, series, and sweep resume."""
 
 from __future__ import annotations
 
@@ -10,7 +10,15 @@ import pytest
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
 from repro.sim.registry import get_scenario
-from repro.sim.results import ResultsStore, seed_token, spec_digest
+from repro.sim.results import (
+    JsonDirBackend,
+    ResultsStore,
+    SqliteBackend,
+    migrate_store,
+    open_backend,
+    seed_token,
+    spec_digest,
+)
 from repro.sim.sweep import build_sweep, run_sweep
 
 
@@ -79,6 +87,150 @@ class TestStoreIO:
         store = ResultsStore(tmp_path)
         with pytest.raises(ConfigurationError, match="no stored series"):
             store.load_series("nope")
+
+    def test_results_store_is_the_json_backend(self):
+        # backwards compatibility: the pre-refactor class name resolves
+        assert ResultsStore is JsonDirBackend
+
+    def test_corrupt_manifest_raises_with_path(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.manifest_path("bad")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match=str(path)):
+            store.load_manifest("bad")
+
+    def test_corrupt_series_raises_with_path(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        path = store.series_path("bad")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match=str(path)):
+            store.load_series("bad")
+
+
+class TestSqliteBackend:
+    def test_point_roundtrip(self, tmp_path):
+        store = SqliteBackend(tmp_path / "s.sqlite")
+        assert store.load_point("abc") is None
+        store.save_point("abc", [[1.0, 2.0, 3.0]], context={"run": 0})
+        assert store.load_point("abc") == [[1.0, 2.0, 3.0]]
+        assert store.load_point_record("abc")["context"] == {"run": 0}
+        assert store.list_points() == ["abc"]
+
+    def test_manifest_and_series_roundtrip(self, tmp_path):
+        store = SqliteBackend(tmp_path / "s.sqlite")
+        store.save_manifest("sw", {"runs": 2})
+        assert store.load_manifest("sw") == {"runs": 2}
+        series = ExperimentSeries(
+            experiment="exp-s",
+            x_label="N",
+            x_values=[1.0],
+            metrics={"recodings": {"Minim": [1.0]}},
+            runs=1,
+        )
+        store.save_series(series)
+        assert store.load_series("exp-s") == series
+        assert store.list_series() == ["exp-s"]
+        with pytest.raises(ConfigurationError, match="no stored series"):
+            store.load_series("nope")
+
+    def test_tasks_roundtrip(self, tmp_path):
+        store = SqliteBackend(tmp_path / "s.sqlite")
+        assert store.pending_task_keys() == []
+        store.save_task("t1", {"k": 1})
+        assert store.load_task("t1") == {"k": 1}
+        assert store.pending_task_keys() == ["t1"]
+        store.delete_task("t1")
+        store.delete_task("t1")  # idempotent
+        assert store.load_task("t1") is None
+
+    def test_directory_path_resolves_to_store_sqlite(self, tmp_path):
+        store = SqliteBackend(tmp_path)
+        assert store.path.name == "store.sqlite"
+
+    def test_load_points_bulk_matches_per_key(self, tmp_path):
+        store = SqliteBackend(tmp_path / "s.sqlite")
+        keys = [f"k{i}" for i in range(7)]
+        for i, key in enumerate(keys[:5]):
+            store.save_point(key, [[float(i)]])
+        bulk = store.load_points(keys)
+        assert bulk == {key: store.load_point(key) for key in keys[:5]}
+        assert store.load_points([]) == {}
+
+    def test_reads_never_create_the_database(self, tmp_path):
+        store = SqliteBackend(tmp_path / "s.sqlite")
+        assert store.load_point("x") is None
+        assert store.load_manifest("x") is None
+        assert store.list_points() == []
+        assert store.list_claims() == []
+        assert not store.path.exists()
+
+
+class TestOpenBackend:
+    def test_sniffs_sqlite_suffix_and_existing_file(self, tmp_path):
+        assert open_backend(tmp_path / "a.sqlite").kind == "sqlite"
+        assert open_backend(tmp_path / "a.db").kind == "sqlite"
+        assert open_backend(tmp_path / "plain-dir").kind == "json"
+        sq = SqliteBackend(tmp_path / "made.sqlite")
+        sq.save_task("t", {})
+        assert open_backend(sq.path).kind == "sqlite"
+
+    def test_dir_with_store_sqlite_routes_to_sqlite(self, tmp_path):
+        SqliteBackend(tmp_path / "store.sqlite").save_task("t", {})
+        backend = open_backend(tmp_path)
+        assert backend.kind == "sqlite"
+
+    def test_forced_kinds_and_bad_kind(self, tmp_path):
+        assert open_backend(tmp_path, "json").kind == "json"
+        assert open_backend(tmp_path / "x", "sqlite").kind == "sqlite"
+        with pytest.raises(ConfigurationError, match="unknown results-backend"):
+            open_backend(tmp_path, "parquet")
+
+    def test_locator_round_trips(self, tmp_path):
+        for backend in (JsonDirBackend(tmp_path / "j"), SqliteBackend(tmp_path / "s.sqlite")):
+            reopened = open_backend(backend.locator)
+            assert reopened.kind == backend.kind
+            assert reopened.locator == backend.locator
+
+
+class TestBackendParity:
+    def test_sweep_series_identical_on_json_and_sqlite(self, tmp_path):
+        # the ISSUE acceptance criterion: same spec+seed, either backend
+        spec = tiny_spec()
+        js = run_sweep(spec, runs=2, seed=3, store=JsonDirBackend(tmp_path / "j"))
+        sq = run_sweep(spec, runs=2, seed=3, store=SqliteBackend(tmp_path / "s.sqlite"))
+        assert js.metrics == sq.metrics
+        assert js.stderr == sq.stderr
+        assert js.x_values == sq.x_values
+
+    def test_migrate_json_to_sqlite_preserves_everything(self, tmp_path):
+        src = JsonDirBackend(tmp_path / "j")
+        run_sweep(tiny_spec(), runs=1, seed=3, store=src)
+        dst = SqliteBackend(tmp_path / "s.sqlite")
+        counts = migrate_store(src, dst)
+        assert counts["points"] == 2 and counts["series"] == 1 and counts["manifests"] == 1
+        for key in src.list_points():
+            assert dst.load_point_record(key) == src.load_point_record(key)
+        exp = src.list_series()[0]
+        assert dst.load_series(exp) == src.load_series(exp)
+        # and back again
+        back = JsonDirBackend(tmp_path / "j2")
+        migrate_store(dst, back)
+        assert back.load_series(exp) == src.load_series(exp)
+
+    def test_compact_folds_points_and_resume_survives(self, tmp_path):
+        store = JsonDirBackend(tmp_path / "st")
+        spec = tiny_spec()
+        run_sweep(spec, runs=1, seed=3, store=store)
+        compacted = store.compact()
+        assert compacted.kind == "sqlite"
+        assert not (tmp_path / "st" / "points").exists()
+        # open_backend on the original root now finds the sqlite store
+        reopened = open_backend(tmp_path / "st")
+        assert reopened.kind == "sqlite"
+        again = run_sweep(spec, runs=1, seed=3, store=reopened)
+        assert "0 points computed, 2 from cache" in again.notes
 
 
 class TestSweepResume:

@@ -48,11 +48,17 @@ class TestResolveRuns:
     def test_default_fallback(self):
         assert resolve_runs(None, 5, None) == 5
 
-    def test_rejects_nonpositive(self):
+    def test_rejects_nonpositive_explicit(self):
         with pytest.raises(ValueError):
             resolve_runs(0, 5, None)
-        with pytest.raises(ValueError):
+
+    def test_nonpositive_env_raises_configuration_error(self):
+        # every env-derived failure is environment misconfiguration, so
+        # "0" must match the non-integer case, not surface as ValueError
+        with pytest.raises(ConfigurationError, match=">= 1"):
             resolve_runs(None, 5, "0")
+        with pytest.raises(ConfigurationError, match="-2"):
+            resolve_runs(None, 5, "-2")
 
     def test_non_numeric_env_raises_configuration_error(self):
         # e.g. REPRO_RUNS=ten must not surface as a bare ValueError
