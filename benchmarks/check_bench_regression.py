@@ -4,7 +4,8 @@ Usage::
 
     python benchmarks/check_bench_regression.py \
         --baseline BENCH_eventloop.json --fresh bench-fresh.json [--min-ratio 0.5] \
-        [--min-speedup speedup_vs_cold=1.2 --min-speedup speedup_vs_per_strategy=1.2]
+        [--min-speedup speedup_vs_cold=1.2 --min-speedup speedup_vs_per_strategy=1.2 \
+         --min-speedup run_savings_vs_fixed=1.2]
 
 Entries are matched by ``(scenario, mode)`` and compared on
 ``events_per_sec``.  The gate fails (exit 1) when any matched entry
@@ -15,11 +16,13 @@ fast path silently falling back to dense scans (those regressions are
 but do not fail the gate (bench coverage may grow PR over PR).
 
 ``--min-speedup FIELD=MIN`` (repeatable) additionally gates the fresh
-run's *intra-run* speedup ratios — e.g. the warm-start-vs-cold-rebuild
-and shared-vs-per-strategy replay comparisons — which are measured on
-one machine in one process and therefore hold a much tighter floor than
-cross-run throughput: every fresh entry carrying ``FIELD`` must report
-at least ``MIN``.
+run's *intra-run* ratios — the warm-start-vs-cold-rebuild and
+shared-vs-per-strategy replay speedups, and the adaptive controller's
+``run_savings_vs_fixed`` run-budget ratio (a seeded run-count ratio,
+not a timing, so it is exactly reproducible) — which don't depend on
+runner hardware and therefore hold a much tighter floor than cross-run
+throughput: every fresh entry carrying ``FIELD`` must report at least
+``MIN``.
 """
 
 from __future__ import annotations

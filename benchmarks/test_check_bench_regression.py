@@ -49,6 +49,24 @@ class TestGate:
         assert gate(ok + ["--min-speedup", "speedup_vs_cold=1.5"]) == 0
         assert gate(ok + ["--min-speedup", "speedup_vs_cold=2.5"]) == 1
 
+    def test_run_savings_floor_gates_the_adaptive_entry(self, files, tmp_path):
+        # the adaptive controller's run-budget ratio is gated exactly
+        # like the timing speedups
+        entries = [
+            {"scenario": "adaptive-sweep", "mode": "fixed", "events_per_sec": 700.0},
+            {
+                "scenario": "adaptive-sweep",
+                "mode": "adaptive",
+                "events_per_sec": 700.0,
+                "run_savings_vs_fixed": 1.8,
+            },
+        ]
+        baseline = _write(tmp_path / "ab.json", entries)
+        fresh = _write(tmp_path / "af.json", entries)
+        args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+        assert gate(args + ["--min-speedup", "run_savings_vs_fixed=1.2"]) == 0
+        assert gate(args + ["--min-speedup", "run_savings_vs_fixed=2.5"]) == 1
+
     def test_floor_matching_no_entry_fails_the_gate(self, files):
         # a typo'd field (or a bench that stopped emitting it) must not
         # silently disable the speedup gate

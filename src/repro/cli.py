@@ -9,8 +9,13 @@ Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
     minim-cdma scenario --list
     minim-cdma scenario poisson-cluster --runs 5
     minim-cdma scenario uniform-churn --results store.sqlite --executor worker
+    minim-cdma scenario uniform-churn --runs 2 --ci-target 0.2 --max-runs 32
     minim-cdma worker --results store.sqlite
     minim-cdma store ls store.sqlite
+    minim-cdma store stats store.sqlite
+    minim-cdma store watch store.sqlite --interval 2
+    minim-cdma store requeue store.sqlite
+    minim-cdma store export store.sqlite --csv points.csv
     minim-cdma store compact results-store/
     minim-cdma store migrate results-store/ store.sqlite
     minim-cdma bench --runs 3 --n 120
@@ -25,11 +30,17 @@ backend (JSON directory or SQLite file, sniffed from the path —
 ``--store-backend`` forces one) and re-invocations resume from cache.
 ``--executor worker`` publishes a sweep's tasks into the shared store
 so any number of ``minim-cdma worker`` processes (or hosts sharing the
-store) drain them concurrently.  ``store`` inspects (``ls``), folds a
-JSON directory into one SQLite table (``compact``) or copies between
-backends (``migrate``).  ``bench`` times the topology event loop (grid
-fast path vs the ``REPRO_DENSE`` hatch), shared vs per-strategy
-multi-strategy replay, and cold vs warm-start paired sweeps, writing
+store) drain them concurrently.  ``--ci-target``/``--ci-abs`` switch a
+sweep to adaptive run counts: starting from ``--runs``, each point gets
+additional runs until its confidence interval meets the target (capped
+by ``--max-runs``).  ``store`` inspects (``ls``), reports live
+drain/quarantine state (``stats`` / ``watch``), releases quarantined
+tasks back into the queue (``requeue``), dumps point-level CSV rows
+(``export --csv``), folds a JSON directory into one SQLite table
+(``compact``) or copies between backends (``migrate``).  ``bench``
+times the topology event loop (grid fast path vs the ``REPRO_DENSE``
+hatch), shared vs per-strategy multi-strategy replay, cold vs
+warm-start paired sweeps, and adaptive vs fixed run budgets, writing
 ``BENCH_eventloop.json``.  Each experiment command prints metric tables
 plus shape checks; ``--out DIR`` additionally writes markdown tables.
 """
@@ -96,6 +107,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable baseline forking for paired delta sweeps (results are "
         "identical either way)",
     )
+    common.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="adaptive run counts: add runs per point until the 95%% CI "
+        "half-width is within REL * |mean| (--runs becomes the starting "
+        "budget)",
+    )
+    common.add_argument(
+        "--ci-abs",
+        type=float,
+        default=None,
+        metavar="ABS",
+        help="absolute CI half-width floor for adaptive sweeps (a point also "
+        "converges when the half-width is within ABS; keeps near-zero means "
+        "from demanding the run cap)",
+    )
+    common.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="hard cap on runs per point for adaptive sweeps (default 32; "
+        "needs --ci-target/--ci-abs)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="minim-cdma",
@@ -146,9 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after this many seconds without finding work (default 10)",
     )
     pw.add_argument("--once", action="store_true", help="one queue scan, then exit (no idle wait)")
+    pw.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        help="park a task after this many broken leases instead of claiming "
+        "it (0 or less disables; default 3)",
+    )
 
-    pst = sub.add_parser("store", help="inspect / compact / migrate a results store")
-    pst.add_argument("action", choices=("ls", "compact", "migrate"))
+    pst = sub.add_parser(
+        "store",
+        help="inspect / watch / requeue / export / compact / migrate a results store",
+    )
+    pst.add_argument(
+        "action", choices=("ls", "stats", "watch", "requeue", "export", "compact", "migrate")
+    )
     pst.add_argument("path", type=Path, help="the store (JSON directory or SQLite file)")
     pst.add_argument(
         "dest", type=Path, nargs="?", default=None, help="migration target (migrate only)"
@@ -164,6 +212,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "json", "sqlite"),
         default="auto",
         help="backend kind of DEST (default: sniff)",
+    )
+    pst.add_argument(
+        "--interval", type=float, default=2.0, help="watch: seconds between snapshots (default 2)"
+    )
+    pst.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="watch: stop after this many snapshots (default: until Ctrl-C)",
+    )
+    pst.add_argument(
+        "--no-workers",
+        action="store_true",
+        help="stats/watch: skip per-worker throughput (cheaper on huge stores)",
+    )
+    pst.add_argument(
+        "--key",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="requeue: release only this quarantined task (repeatable; "
+        "default: all quarantined tasks)",
+    )
+    pst.add_argument(
+        "--csv", type=Path, default=None, help="export: CSV output path ('-' for stdout)"
     )
 
     pb = sub.add_parser(
@@ -211,6 +284,28 @@ def _emit(series: ExperimentSeries, kind: str | None, out: Path | None) -> None:
         print(f"wrote {path}")
 
 
+def _precision_of(args: argparse.Namespace):
+    """Build the adaptive-sweep target from ``--ci-target``/``--ci-abs``."""
+    rel = getattr(args, "ci_target", None)
+    abs_tol = getattr(args, "ci_abs", None)
+    max_runs = getattr(args, "max_runs", None)
+    if rel is None and abs_tol is None:
+        if max_runs is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--max-runs caps an adaptive sweep; set --ci-target and/or "
+                "--ci-abs to enable one"
+            )
+        return None
+    from repro.sim.control import PrecisionTarget
+
+    kwargs: dict = {"rel": rel, "abs_tol": abs_tol}
+    if max_runs is not None:
+        kwargs["max_runs"] = max_runs
+    return PrecisionTarget(**kwargs)
+
+
 def _sweep_kwargs(args: argparse.Namespace) -> dict:
     return dict(
         runs=args.runs,
@@ -220,6 +315,7 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         resume=not args.no_resume,
         executor=getattr(args, "executor", None),
         warm_start=False if getattr(args, "no_warm_start", False) else None,
+        precision=_precision_of(args),
     )
 
 
@@ -277,6 +373,7 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
 def _run_bench_cmd(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
     from repro.sim.bench import (
+        run_adaptive_bench,
         run_event_loop_bench,
         run_replay_bench,
         run_warmstart_bench,
@@ -291,6 +388,9 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         entries.extend(
             run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed)
         )
+        # no n: the adaptive bench pins its own small noisy sweep (the
+        # controller, not the event loop, is what it measures)
+        entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -299,7 +399,12 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     print("-" * len(header))
     for e in entries:
         speedup = ""
-        for field in ("speedup_vs_dense", "speedup_vs_per_strategy", "speedup_vs_cold"):
+        for field in (
+            "speedup_vs_dense",
+            "speedup_vs_per_strategy",
+            "speedup_vs_cold",
+            "run_savings_vs_fixed",
+        ):
             if field in e:
                 speedup = f"{e[field]:.2f}x"
                 break
@@ -319,7 +424,13 @@ def _run_worker_cmd(args: argparse.Namespace) -> int:
     backend = open_backend(args.results, args.store_backend)
     print(f"worker draining {backend.kind} store {backend.locator}")
     try:
-        computed = run_worker(backend, poll=args.poll, max_idle=args.max_idle, once=args.once)
+        computed = run_worker(
+            backend,
+            poll=args.poll,
+            max_idle=args.max_idle,
+            once=args.once,
+            quarantine_after=args.quarantine_after,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -336,11 +447,47 @@ def _run_store_cmd(args: argparse.Namespace) -> int:
         if args.action == "ls":
             info = backend.describe()
             print(f"{info['backend']} store {info['locator']}")
-            for field in ("points", "manifests", "tasks", "claims"):
-                print(f"  {field:<10} {info[field]}")
-            print(f"  {'series':<10} {len(info['series'])}")
+            for field in ("points", "manifests", "tasks", "claims", "quarantined"):
+                print(f"  {field:<11} {info[field]}")
+            print(f"  {'series':<11} {len(info['series'])}")
             for experiment_id in info["series"]:
                 print(f"    {experiment_id}")
+            return 0
+        if args.action in ("stats", "watch"):
+            from repro.sim.monitor import StoreMonitor
+
+            monitor = StoreMonitor(backend)
+            if args.action == "stats":
+                print(monitor.stats(workers=not args.no_workers).render())
+                return 0
+            monitor.watch(
+                interval=args.interval,
+                iterations=args.iterations,
+                workers=not args.no_workers,
+            )
+            return 0
+        if args.action == "requeue":
+            keys = args.key if args.key else backend.list_quarantined()
+            released = 0
+            for key in keys:
+                if backend.requeue_quarantined(key):
+                    print(f"requeued {key}")
+                    released += 1
+                else:
+                    print(f"error: {key} is not quarantined", file=sys.stderr)
+            print(f"released {released} task(s) back into {backend.locator}")
+            return 0 if released == len(keys) else 2
+        if args.action == "export":
+            from repro.sim.monitor import export_csv
+
+            if args.csv is None:
+                print("error: export needs --csv PATH ('-' for stdout)", file=sys.stderr)
+                return 2
+            if str(args.csv) == "-":
+                rows = export_csv(backend, sys.stdout)
+            else:
+                rows = export_csv(backend, args.csv)
+                print(f"wrote {rows} row(s) to {args.csv}")
             return 0
         if args.action == "compact":
             if not isinstance(backend, JsonDirBackend):
@@ -373,6 +520,8 @@ def _run_store_cmd(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.errors import ConfigurationError
+
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
         return _run_scenario_cmd(args)
@@ -382,6 +531,18 @@ def main(argv: list[str] | None = None) -> int:
         return _run_worker_cmd(args)
     if args.command == "store":
         return _run_store_cmd(args)
+    try:
+        return _run_figures(args)
+    except ConfigurationError as exc:
+        # mis-set flags (e.g. --max-runs without --ci-target) and env
+        # misconfiguration get the same clean error the scenario
+        # command prints, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    """Dispatch the paper-figure commands (``fig10``/``fig11``/``fig12``/``all``)."""
     if args.command == "fig10":
         _run_fig10(args)
     elif args.command == "fig11":
@@ -399,6 +560,9 @@ def main(argv: list[str] | None = None) -> int:
             no_resume=args.no_resume,
             executor=args.executor,
             no_warm_start=args.no_warm_start,
+            ci_target=args.ci_target,
+            ci_abs=args.ci_abs,
+            max_runs=args.max_runs,
             n_values=[40, 60, 80, 100, 120],
             avg_ranges=[5, 15, 25, 35, 45, 55, 65],
             skip_range_sweep=False,

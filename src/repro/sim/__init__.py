@@ -1,5 +1,6 @@
 """Simulation harness: networks, workloads, scenarios and experiments."""
 
+from repro.sim.control import PrecisionTarget, RunController, resolve_precision
 from repro.sim.executor import (
     Executor,
     ProcessExecutor,
@@ -9,6 +10,7 @@ from repro.sim.executor import (
     run_worker,
 )
 from repro.sim.metrics import EventRecord, MetricsCollector, MetricsSnapshot
+from repro.sim.monitor import StoreMonitor, StoreStats, export_csv
 from repro.sim.network import AdHocNetwork, MultiStrategyReplay, StrategyLane
 from repro.sim.random_networks import sample_configs
 from repro.sim.registry import available_scenarios, get_scenario, register_scenario
@@ -32,7 +34,13 @@ from repro.sim.scenarios import (
     scenario_phases,
     scenario_trace,
 )
-from repro.sim.sweep import SweepSpec, build_sweep, plan_tasks, run_sweep
+from repro.sim.sweep import (
+    SweepSpec,
+    build_sweep,
+    plan_additional_tasks,
+    plan_tasks,
+    run_sweep,
+)
 from repro.sim.workloads import (
     join_workload,
     movement_rounds,
@@ -51,12 +59,16 @@ __all__ = [
     "MultiStrategyReplay",
     "PlacementSpec",
     "PowerSpec",
+    "PrecisionTarget",
     "ProcessExecutor",
     "ResultsBackend",
     "ResultsStore",
+    "RunController",
     "ScenarioSpec",
     "SerialExecutor",
     "SqliteBackend",
+    "StoreMonitor",
+    "StoreStats",
     "StrategyLane",
     "SweepSpec",
     "TaskGroup",
@@ -64,14 +76,17 @@ __all__ = [
     "WorkerExecutor",
     "available_scenarios",
     "build_sweep",
+    "export_csv",
     "get_scenario",
     "join_workload",
     "migrate_store",
     "movement_rounds",
     "open_backend",
+    "plan_additional_tasks",
     "plan_tasks",
     "power_raise_workload",
     "register_scenario",
+    "resolve_precision",
     "rng_from",
     "run_scenario",
     "run_sweep",

@@ -32,6 +32,15 @@ baseline network for every sweep value, ``warm`` builds it once and
 replays each value's perturbation round on a
 :meth:`~repro.sim.network.MultiStrategyReplay.fork`.
 
+A fourth comparison (:func:`run_adaptive_bench`) measures what the
+adaptive run-count controller saves on the *sampling* budget: ``fixed``
+runs every sweep point at the worst-case run count, ``adaptive`` starts
+small and adds runs per point only until the confidence-interval target
+is met (:mod:`repro.sim.control`).  Here ``events`` counts simulation
+runs, and the adaptive entry's ``run_savings_vs_fixed`` is the
+fixed/adaptive run-count ratio — deterministic for a given seed, so CI
+can gate it like the other intra-run speedups.
+
 Results land in ``BENCH_eventloop.json`` (one entry per trace × mode
 with ``scenario``, ``n``, ``wall_seconds``, ``events_per_sec``) so the
 perf trajectory is machine-readable from CI artifacts.
@@ -60,6 +69,7 @@ from repro.types import Color, NodeId
 
 __all__ = [
     "drive_event_loop",
+    "run_adaptive_bench",
     "run_event_loop_bench",
     "run_replay_bench",
     "run_warmstart_bench",
@@ -349,6 +359,90 @@ def run_warmstart_bench(
             }
         )
     entries[-1]["speedup_vs_cold"] = timings["cold"] / timings["warm"]
+    return entries
+
+
+def run_adaptive_bench(
+    *,
+    runs: int = 3,
+    fixed_runs: int = 12,
+    seed: int = 2001,
+) -> list[dict]:
+    """Time a fixed-budget sweep against its adaptive equivalent.
+
+    Both modes run the same seeded smoke sweep through
+    :func:`repro.sim.sweep.run_sweep` without a store, so every
+    repetition honestly recomputes.  Unlike the event-loop benches this
+    one deliberately ignores ``--n``: it measures the *controller*, so
+    the workload is pinned to a small, genuinely noisy sweep (tiny
+    ``paper-join`` networks, variance large relative to the means)
+    where the growth loop actually has to iterate — at large ``n`` the
+    means dwarf the noise, every point converges at the starting budget
+    and the gated ratio would degenerate into the constant
+    ``fixed_runs / min_runs``, blind to controller regressions.
+
+    ``fixed`` spends ``fixed_runs`` runs on every sweep point;
+    ``adaptive`` starts at 2 runs per point and lets the
+    :class:`~repro.sim.control.RunController` add runs until the CI
+    target is met, capped at the same ``fixed_runs``.  ``events``
+    counts simulation runs and the adaptive entry carries
+    ``run_savings_vs_fixed`` — the run-budget ratio the controller
+    saves, which is deterministic for a given seed (same samples, same
+    convergence decisions) and therefore CI-gateable.  ``wall_seconds``
+    is the median over ``runs`` repetitions.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if fixed_runs < 2:
+        raise ValueError(f"fixed_runs must be >= 2, got {fixed_runs}")
+    from repro.sim.control import PrecisionTarget, RunController
+    from repro.sim.sweep import run_sweep
+
+    spec = replace(
+        get_scenario("paper-join"),
+        n=16,
+        strategies=("Minim",),
+        sweep_values=(6.0, 8.0, 10.0),
+    )
+    target = PrecisionTarget(rel=0.5, abs_tol=2.0, min_runs=2, max_runs=fixed_runs)
+
+    def drive_fixed() -> tuple[float, int]:
+        start = time.perf_counter()
+        run_sweep(spec, runs=fixed_runs, seed=seed)
+        return time.perf_counter() - start, fixed_runs * len(spec.sweep_values)
+
+    def drive_adaptive() -> tuple[float, int]:
+        controller = RunController(target)
+        start = time.perf_counter()
+        run_sweep(spec, runs=2, seed=seed, precision=controller)
+        assert controller.total_runs is not None
+        return time.perf_counter() - start, controller.total_runs
+
+    entries: list[dict] = []
+    totals: dict[str, int] = {}
+    for mode, drive in (("fixed", drive_fixed), ("adaptive", drive_adaptive)):
+        drive()  # warmup
+        samples = [drive() for _ in range(runs)]
+        walls = [w for w, _ in samples]
+        run_counts = {t for _, t in samples}
+        if len(run_counts) != 1:  # pragma: no cover - seeded, hence stable
+            raise RuntimeError(f"non-deterministic {mode} run count: {run_counts}")
+        total = run_counts.pop()
+        wall = float(np.median(walls))
+        totals[mode] = total
+        entries.append(
+            {
+                "scenario": "adaptive-sweep",
+                "n": spec.n,
+                "mode": mode,
+                "sweep_points": len(spec.sweep_values),
+                "events": total,
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": total / wall if wall > 0 else float("inf"),
+            }
+        )
+    entries[-1]["run_savings_vs_fixed"] = totals["fixed"] / totals["adaptive"]
     return entries
 
 

@@ -1,0 +1,231 @@
+"""Adaptive run-count control: precision-targeted sequential sampling.
+
+A fixed-run sweep spends the same simulation budget on every point, no
+matter how noisy it is.  The control plane inverts that: after each
+collect pass, :class:`RunController` inspects per-point mean/stderr and
+plans *additional* runs only for points whose confidence interval is
+still wider than the target — the sequential sampling large
+power-control studies use to keep per-point estimates
+confidence-bounded without paying worst-case run counts everywhere.
+
+:class:`PrecisionTarget` is the declarative goal: a point is converged
+when, for every (strategy, metric) sample mean, the two-sided
+``confidence`` CI half-width ``z * sem`` is within ``rel * |mean|``
+*or* within ``abs_tol`` (the absolute floor keeps near-zero means from
+demanding infinite runs).  ``max_runs`` hard-caps the budget per point
+and ``growth`` sets the batch factor per pass (planning run counts in
+geometric batches keeps the number of plan→execute→collect passes
+logarithmic in the final run count).
+
+Because every run task stays content-addressed (the seed of run ``r``
+depends only on the master seed and ``r``, never on how many runs were
+planned — see :func:`repro.sim.sweep.build_sweep`), incremental
+planning reuses the results store: re-running an adaptive sweep serves
+every previously computed run from cache and re-derives the same
+decisions, so the assembled series is byte-identical.
+
+This module is pure policy — it holds no reference to sweeps, stores or
+executors.  :func:`repro.sim.sweep.run_sweep` owns the loop and feeds
+the controller raw per-point sample arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PrecisionTarget", "RunController", "resolve_precision", "z_score"]
+
+
+def z_score(confidence: float) -> float:
+    """The two-sided normal critical value for ``confidence``.
+
+    Solves ``erf(z / sqrt(2)) = confidence`` by bisection on the stdlib
+    ``math.erf`` — no SciPy dependency, deterministic to double
+    precision (0.95 → 1.9599…).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    lo, hi = 0.0, 40.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if math.erf(mid / math.sqrt(2.0)) < confidence:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class PrecisionTarget:
+    """The declarative convergence goal of an adaptive sweep.
+
+    Attributes
+    ----------
+    rel:
+        Target relative CI half-width: converged where
+        ``z * sem <= rel * |mean|``.  ``None`` disables the relative
+        criterion (then ``abs_tol`` must be set).
+    abs_tol:
+        Absolute CI half-width floor: a cell is also converged where
+        ``z * sem <= abs_tol``.  Keeps near-zero means (delta metrics
+        that round to 0) from demanding unbounded runs.
+    confidence:
+        Two-sided confidence level the half-width is computed at.
+    min_runs:
+        Never judge convergence on fewer samples than this (and never
+        below 2 — a single run has no variance estimate at all, so
+        ``n = 1`` always counts as "needs more runs", not "converged").
+    max_runs:
+        Hard cap on runs per point; a point that still hasn't converged
+        at the cap is reported as-is rather than planned further.
+    growth:
+        Batch factor per plan pass: an unconverged point at ``n`` runs
+        is planned up to ``ceil(n * growth)`` (capped), so the number
+        of sequential passes stays logarithmic in the final run count.
+    """
+
+    rel: float | None = 0.05
+    abs_tol: float | None = None
+    confidence: float = 0.95
+    min_runs: int = 2
+    max_runs: int = 32
+    growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rel is None and self.abs_tol is None:
+            raise ConfigurationError(
+                "precision target needs a criterion: set rel (relative CI "
+                "half-width) and/or abs_tol (absolute half-width)"
+            )
+        if self.rel is not None and self.rel <= 0:
+            raise ConfigurationError(f"rel must be > 0, got {self.rel}")
+        if self.abs_tol is not None and self.abs_tol <= 0:
+            raise ConfigurationError(f"abs_tol must be > 0, got {self.abs_tol}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.min_runs < 1:
+            raise ConfigurationError(f"min_runs must be >= 1, got {self.min_runs}")
+        if self.max_runs < self.min_runs:
+            raise ConfigurationError(
+                f"max_runs ({self.max_runs}) must be >= min_runs ({self.min_runs})"
+            )
+        if self.growth <= 1.0:
+            raise ConfigurationError(f"growth must be > 1, got {self.growth}")
+
+    @property
+    def z(self) -> float:
+        """The critical value matching ``confidence``."""
+        return z_score(self.confidence)
+
+
+class RunController:
+    """Plans additional runs per sweep point until the target is met.
+
+    The controller is deliberately stateless between passes except for
+    bookkeeping the sweep fills in afterwards (``runs_per_point``,
+    ``passes``, ``total_runs``) — every decision derives from the
+    sample arrays handed to :meth:`plan`, so identical data always
+    yields identical plans (the property that makes adaptive sweeps
+    cache-stable across re-runs).
+    """
+
+    def __init__(self, target: PrecisionTarget | None = None) -> None:
+        self.target = target or PrecisionTarget()
+        #: Final per-point run counts; filled in by ``run_sweep``.
+        self.runs_per_point: list[int] | None = None
+        #: Number of extra plan→execute passes; filled in by ``run_sweep``.
+        self.passes: int = 0
+
+    @property
+    def total_runs(self) -> int | None:
+        """Total runs of the last controlled sweep (``None`` before one)."""
+        return None if self.runs_per_point is None else sum(self.runs_per_point)
+
+    def converged(self, samples: np.ndarray) -> bool:
+        """Whether one point's sample block meets the precision target.
+
+        ``samples`` has the run axis first (shape ``(n, ...)``); the
+        remaining axes are (strategy, metric) cells — every cell must
+        meet the target.  ``n`` below ``min_runs`` (or 2) is never
+        converged: with one run there is no variance estimate, and
+        treating it as converged would freeze every point at its first
+        sample.
+        """
+        data = np.asarray(samples, dtype=np.float64)
+        n = data.shape[0]
+        if n < max(2, self.target.min_runs):
+            return False
+        mean = data.mean(axis=0)
+        half = self.target.z * data.std(axis=0, ddof=1) / math.sqrt(n)
+        tol = np.full_like(mean, -np.inf)
+        if self.target.rel is not None:
+            tol = np.maximum(tol, self.target.rel * np.abs(mean))
+        if self.target.abs_tol is not None:
+            tol = np.maximum(tol, self.target.abs_tol)
+        return bool(np.all(half <= tol))
+
+    def plan(
+        self,
+        samples: Sequence[np.ndarray],
+        runs_per_point: Sequence[int],
+        *,
+        paired: bool = False,
+    ) -> dict[int, int]:
+        """``{point index: new run count}`` for points needing more runs.
+
+        ``samples[i]`` holds point ``i``'s collected results with the
+        run axis first.  Points at ``max_runs`` are left alone; an
+        unconverged point grows by the target's batch factor.  With
+        ``paired`` every point is raised to the same (maximum) count,
+        because paired sweeps share seed rows across points — ragged
+        counts would silently unpair the extra runs and break the
+        common-random-numbers variance reduction (and warm-start row
+        grouping) the pairing exists for.
+        """
+        if len(samples) != len(runs_per_point):
+            raise ConfigurationError(
+                f"plan needs one sample block per point: got {len(samples)} "
+                f"blocks for {len(runs_per_point)} points"
+            )
+        want: dict[int, int] = {}
+        for i, (block, n) in enumerate(zip(samples, runs_per_point)):
+            if n >= self.target.max_runs:
+                continue
+            if self.converged(block):
+                continue
+            grown = max(n + 1, math.ceil(n * self.target.growth))
+            want[i] = min(self.target.max_runs, max(grown, self.target.min_runs))
+        if paired and want:
+            top = max(want.values())
+            want = {i: top for i, n in enumerate(runs_per_point) if n < top}
+        return want
+
+
+def resolve_precision(
+    precision: "RunController | PrecisionTarget | float | None",
+) -> RunController | None:
+    """Resolve ``run_sweep``'s ``precision`` argument to a controller.
+
+    ``None`` keeps the fixed-run pipeline; a float is shorthand for a
+    relative-CI target at the defaults; targets and controllers pass
+    through (handing in a controller instance additionally exposes the
+    run bookkeeping to the caller afterwards).
+    """
+    if precision is None:
+        return None
+    if isinstance(precision, RunController):
+        return precision
+    if isinstance(precision, PrecisionTarget):
+        return RunController(precision)
+    if isinstance(precision, (int, float)) and not isinstance(precision, bool):
+        return RunController(PrecisionTarget(rel=float(precision)))
+    raise ConfigurationError(
+        f"not a precision target: {precision!r} (expected a float, "
+        "PrecisionTarget, RunController, or None)"
+    )

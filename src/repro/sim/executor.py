@@ -55,6 +55,7 @@ from repro.sim.scenarios import (
 from repro.strategies import make_strategy
 
 __all__ = [
+    "DEFAULT_QUARANTINE_AFTER",
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
@@ -68,6 +69,10 @@ __all__ = [
 ]
 
 _PAYLOAD_SCHEMA = 1
+
+#: Default lease-break threshold after which a task group is parked in
+#: the store's quarantine table instead of being re-claimed (0 disables).
+DEFAULT_QUARANTINE_AFTER = 3
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +261,17 @@ def compute_group(group: TaskGroup, on_member=None) -> list[list]:
     return results
 
 
+def _provenance(context: dict, worker: str) -> dict:
+    """Stamp execution provenance onto a planned task context.
+
+    Adds *who* computed the point and *when* it landed.  The monitor's
+    per-worker throughput view and ``store export`` read these back; the
+    planned part of the context (scenario, sweep value, run, seed) stays
+    untouched, so point keys and results are unaffected.
+    """
+    return {**context, "worker": worker, "saved_at": time.time()}
+
+
 def _claimed_compute(
     backend: ResultsBackend, group: TaskGroup, gkey: str, owner: str
 ) -> list[list]:
@@ -268,7 +284,7 @@ def _claimed_compute(
     """
 
     def landed(m: int, out: list) -> None:
-        backend.save_point(group.keys[m], out, context=group.contexts[m])
+        backend.save_point(group.keys[m], out, context=_provenance(group.contexts[m], owner))
         backend.renew_claim(gkey, owner)
 
     return compute_group(group, on_member=landed)
@@ -288,9 +304,10 @@ def _execute_group_task(args: tuple) -> list[list]:
     if locator is None:
         return compute_group(group)
     backend = _reopen(locator)
+    worker = f"proc-{os.getpid()}"
 
     def landed(m: int, out: list) -> None:
-        backend.save_point(group.keys[m], out, context=group.contexts[m])
+        backend.save_point(group.keys[m], out, context=_provenance(group.contexts[m], worker))
 
     return compute_group(group, on_member=landed)
 
@@ -420,6 +437,13 @@ class WorkerExecutor:
     max_wait:
         Upper bound on waiting *without any progress* before the sweep
         errors out (the deadline resets every time a group completes).
+    quarantine_after:
+        Park a group in the store's quarantine table once its lease has
+        been broken this many times (a broken lease means a claimant
+        died mid-computation, so repeated breaks mark a poison task).
+        The sweep then fails loudly instead of feeding the group to
+        workers forever; ``minim-cdma store requeue`` releases it after
+        inspection.  ``<= 0`` disables quarantining.
     """
 
     name = "worker"
@@ -431,11 +455,13 @@ class WorkerExecutor:
         claim_ttl: float = DEFAULT_CLAIM_TTL,
         drain: bool = True,
         max_wait: float = 600.0,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
         self.poll = poll
         self.claim_ttl = claim_ttl
         self.drain = drain
         self.max_wait = max_wait
+        self.quarantine_after = quarantine_after
 
     def execute(
         self,
@@ -476,20 +502,36 @@ class WorkerExecutor:
                 outs: list[list] | None = None
                 if all(key in present for key in group.keys):
                     outs = [present[key] for key in group.keys]
-                elif self.drain and backend.try_claim(gkey, owner, ttl=self.claim_ttl):
-                    try:
-                        # Double-check under the claim (a worker may have
-                        # landed the points since the probe above).
-                        outs = _load_group_points(backend, group)
-                        if outs is None:
-                            outs = _claimed_compute(backend, group, gkey, owner)
-                    finally:
-                        backend.release_claim(gkey)
+                elif self.drain and not _maybe_quarantine(
+                    backend, gkey, self.quarantine_after, claim_ttl=self.claim_ttl
+                ):
+                    if backend.try_claim(gkey, owner, ttl=self.claim_ttl):
+                        try:
+                            # Double-check under the claim (a worker may
+                            # have landed the points since the probe).
+                            outs = _load_group_points(backend, group)
+                            if outs is None:
+                                outs = _claimed_compute(backend, group, gkey, owner)
+                        finally:
+                            backend.release_claim(gkey)
                 if outs is not None:
                     backend.delete_task(gkey)
                     results.update(zip(group.indices, outs))
                     del missing[gkey]
                     progressed = True
+            # checked *after* the serve pass, so a parked group whose
+            # points all landed anyway still completes the sweep
+            parked = sorted(set(backend.list_quarantined()) & set(missing))
+            if parked:
+                # a group this sweep still needs was parked (by us or by
+                # an external worker): fail loudly, point at the lever
+                raise ConfigurationError(
+                    f"{len(parked)} task group(s) quarantined after repeated lease "
+                    f"breaks: {', '.join(parked[:3])}"
+                    f"{', …' if len(parked) > 3 else ''} — inspect with "
+                    f"`minim-cdma store stats {backend.locator}` and release with "
+                    f"`minim-cdma store requeue {backend.locator}`"
+                )
             if progressed or len(present) != last_present:
                 # max_wait bounds time *without progress* — and progress
                 # includes individual members landed by a worker still
@@ -518,6 +560,40 @@ def _load_group_points(backend: ResultsBackend, group: TaskGroup) -> list[list] 
     return outs
 
 
+def _maybe_quarantine(
+    backend: ResultsBackend,
+    gkey: str,
+    quarantine_after: int,
+    *,
+    claim_ttl: float = DEFAULT_CLAIM_TTL,
+) -> bool:
+    """Park ``gkey`` when its lease-break count crossed the threshold.
+
+    Returns ``True`` when the task is (now) quarantined and must not be
+    claimed.  Shared by the worker loop and the orchestrator's drain so
+    every claimant applies the same poison-task policy.  A threshold
+    ``<= 0`` disables quarantining entirely.
+
+    A task holding a *fresh* lease (younger than ``claim_ttl``) is never
+    parked: its breaks necessarily count previous holders, and the
+    current claimant is still making progress — quarantining would yank
+    a live computation's claim.  This check-then-park window is
+    best-effort, not atomic; a lost race only re-exposes the task to
+    the at-least-once machinery, which stays safe because point saves
+    are idempotent.
+    """
+    if quarantine_after <= 0:
+        return False
+    breaks = backend.lease_breaks(gkey)
+    if breaks < quarantine_after:
+        return False
+    age = backend.claim_age(gkey)
+    if age is not None and age <= claim_ttl:
+        return False
+    backend.quarantine_task(gkey, reason=f"{breaks} broken leases")
+    return True
+
+
 # ----------------------------------------------------------------------
 # The worker loop (``minim-cdma worker``)
 # ----------------------------------------------------------------------
@@ -529,6 +605,7 @@ def run_worker(
     claim_ttl: float = DEFAULT_CLAIM_TTL,
     once: bool = False,
     owner: str | None = None,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
 ) -> int:
     """Drain published task groups from a shared results backend.
 
@@ -536,32 +613,45 @@ def run_worker(
     an unowned task, recompute it from its descriptor, persist the
     member points, delete the task, release the claim.  Tasks whose
     points already exist (computed by a faster peer) are cleaned up
-    without recomputation.  An undecodable descriptor (wrong schema,
-    tampered payload) is reported once and skipped — one poison task
-    must not kill the whole fleet.  Returns the number of groups this
-    worker computed; exits after ``max_idle`` seconds without finding
-    work (or after one scan with ``once``).
+    without recomputation.  Poison tasks are *parked*, not retried
+    forever: an undecodable descriptor (wrong schema, tampered payload)
+    is quarantined immediately, and a task whose lease has been broken
+    ``quarantine_after`` times (every break is a claimant that died
+    mid-computation) is quarantined instead of claimed — one poison
+    task must not grind down the whole fleet.  ``minim-cdma store
+    requeue`` releases quarantined tasks after inspection;
+    ``quarantine_after <= 0`` disables churn-based parking.  Returns the
+    number of groups this worker computed; exits after ``max_idle``
+    seconds without finding work (or after one scan with ``once``).
     """
     owner = owner or f"worker-{os.getpid()}"
     computed = 0
     idle_since: float | None = None
-    poisoned: set[str] = set()
     while True:
         worked = False
         for gkey in backend.pending_task_keys():
-            if gkey in poisoned:
-                continue
             payload = backend.load_task(gkey)
             if payload is None:
                 continue  # finished (and deleted) by a peer mid-scan
             try:
                 group = group_from_payload(payload)
             except ConfigurationError as exc:
-                poisoned.add(gkey)
-                print(f"worker: skipping undecodable task {gkey}: {exc}")
+                backend.quarantine_task(gkey, reason=f"undecodable descriptor: {exc}")
+                print(f"worker: quarantined undecodable task {gkey}: {exc}")
+                worked = True
                 continue
             if _load_group_points(backend, group) is not None:
+                # completed work is cleaned up, never quarantined — a
+                # claimant that saved every point but died before
+                # delete_task must not look like poison
                 backend.delete_task(gkey)
+                worked = True
+                continue
+            if _maybe_quarantine(backend, gkey, quarantine_after, claim_ttl=claim_ttl):
+                print(
+                    f"worker: quarantined task {gkey} after "
+                    f"{backend.lease_breaks(gkey)} broken leases"
+                )
                 worked = True
                 continue
             if not backend.try_claim(gkey, owner, ttl=claim_ttl):

@@ -26,6 +26,7 @@ from dataclasses import replace
 
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
+from repro.sim.control import PrecisionTarget, RunController
 from repro.sim.random_networks import DEFAULT_MAX_RANGE, DEFAULT_MIN_RANGE
 from repro.sim.executor import Executor
 from repro.sim.registry import get_scenario
@@ -66,6 +67,7 @@ def run_join_experiment(
     resume: bool = True,
     executor: Executor | str | None = None,
     warm_start: bool | None = None,
+    precision: "RunController | PrecisionTarget | float | None" = None,
 ) -> ExperimentSeries:
     """Fig 10(a-c): N nodes join one by one; final metrics vs N."""
     spec = replace(
@@ -84,6 +86,7 @@ def run_join_experiment(
         resume=resume,
         executor=executor,
         warm_start=warm_start,
+        precision=precision,
     )
 
 
@@ -100,6 +103,7 @@ def run_range_sweep_experiment(
     resume: bool = True,
     executor: Executor | str | None = None,
     warm_start: bool | None = None,
+    precision: "RunController | PrecisionTarget | float | None" = None,
 ) -> ExperimentSeries:
     """Fig 10(d-f): fixed N, sweep the average transmission range.
 
@@ -130,6 +134,7 @@ def run_range_sweep_experiment(
         resume=resume,
         executor=executor,
         warm_start=warm_start,
+        precision=precision,
     )
 
 
@@ -151,6 +156,7 @@ def run_power_experiment(
     resume: bool = True,
     executor: Executor | str | None = None,
     warm_start: bool | None = None,
+    precision: "RunController | PrecisionTarget | float | None" = None,
 ) -> ExperimentSeries:
     """Fig 11(a-c): raise a random half's ranges by ``raisefactor``.
 
@@ -177,6 +183,7 @@ def run_power_experiment(
         resume=resume,
         executor=executor,
         warm_start=warm_start,
+        precision=precision,
     )
 
 
@@ -198,6 +205,7 @@ def run_movement_disp_experiment(
     resume: bool = True,
     executor: Executor | str | None = None,
     warm_start: bool | None = None,
+    precision: "RunController | PrecisionTarget | float | None" = None,
 ) -> ExperimentSeries:
     """Fig 12(a): one round of moves, sweeping the max displacement.
 
@@ -222,6 +230,7 @@ def run_movement_disp_experiment(
         resume=resume,
         executor=executor,
         warm_start=warm_start,
+        precision=precision,
     )
 
 
@@ -240,6 +249,7 @@ def run_movement_rounds_experiment(
     resume: bool = True,
     executor: Executor | str | None = None,
     warm_start: bool | None = None,
+    precision: "RunController | PrecisionTarget | float | None" = None,
 ) -> ExperimentSeries:
     """Fig 12(b-d): cumulative deltas after each of ``round_count`` rounds."""
     spec = replace(
@@ -260,4 +270,5 @@ def run_movement_rounds_experiment(
         resume=resume,
         executor=executor,
         warm_start=warm_start,
+        precision=precision,
     )

@@ -1,0 +1,298 @@
+"""Live observability over a results store: stats, watch, CSV export.
+
+An operator running a worker fleet against a shared store previously
+had no view into the drain: which tasks are pending, who holds claims
+and for how long, which workers are actually producing points, and
+whether anything got quarantined.  :class:`StoreMonitor` answers all of
+that from the :class:`~repro.sim.results.ResultsBackend` alone — no
+side channel to the workers — powering ``minim-cdma store stats`` (one
+snapshot) and ``store watch`` (a polling loop).
+
+Two data sources feed a snapshot:
+
+* the backend's cheap aggregates
+  (:meth:`~repro.sim.results.ResultsBackend.claim_info`, quarantine
+  listings, break counters and key counts — each fetched once per
+  snapshot; :meth:`~repro.sim.results.ResultsBackend.queue_stats` is
+  the one-call programmatic equivalent): task, claim, quarantine and
+  lease-break counts plus claim owners/ages — safe to poll every
+  second on large stores;
+* the point records' provenance contexts (``worker`` / ``saved_at``,
+  stamped by the execution layer as each point lands), from which
+  per-worker throughput is derived.  This walks every point record, so
+  :meth:`StoreMonitor.stats` can skip it with ``workers=False`` and
+  ``store watch`` exposes the same switch.
+
+:func:`export_csv` is the point-level analytics escape hatch: one CSV
+row per (point, strategy[, round]) with the sweep coordinates, run
+index, metric triple and worker provenance — the lightweight first step
+of the ROADMAP's columnar-analytics item, consumable by any dataframe
+library without new dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+from repro.errors import ConfigurationError
+from repro.sim.results import ResultsBackend
+
+__all__ = ["StoreMonitor", "StoreStats", "WorkerStats", "export_csv"]
+
+#: Column order of ``store export`` rows (stable: scripts parse this).
+CSV_COLUMNS = (
+    "point_key",
+    "experiment",
+    "scenario",
+    "sweep_axis",
+    "sweep_value",
+    "run",
+    "seed",
+    "measure",
+    "strategy",
+    "round",
+    "max_color",
+    "recodings",
+    "messages",
+    "worker",
+    "saved_at",
+)
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Throughput of one worker, derived from point provenance."""
+
+    worker: str
+    points: int
+    first_saved_at: float
+    last_saved_at: float
+
+    @property
+    def points_per_sec(self) -> float | None:
+        """Observed save rate; ``None`` below two timestamped points."""
+        span = self.last_saved_at - self.first_saved_at
+        if self.points < 2 or span <= 0:
+            return None
+        return (self.points - 1) / span
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One observability snapshot of a results store."""
+
+    backend: str
+    locator: str
+    points: int
+    manifests: int
+    series: int
+    tasks: int
+    claims: int
+    oldest_claim_age: float
+    quarantined: int
+    lease_breaks: int
+    claim_details: dict[str, dict] = field(default_factory=dict)
+    quarantine_reasons: dict[str, str] = field(default_factory=dict)
+    workers: tuple[WorkerStats, ...] = ()
+
+    @property
+    def tasks_pending(self) -> int:
+        """Published tasks not currently under claim."""
+        return max(0, self.tasks - self.claims)
+
+    def render(self) -> str:
+        """The human view ``store stats`` / ``store watch`` print."""
+        lines = [
+            f"{self.backend} store {self.locator}",
+            f"  points      {self.points}",
+            f"  manifests   {self.manifests}",
+            f"  series      {self.series}",
+            f"  tasks       {self.tasks} ({self.tasks_pending} pending, "
+            f"{self.claims} claimed)",
+            f"  quarantined {self.quarantined}",
+            f"  lease breaks {self.lease_breaks}",
+        ]
+        if self.claim_details:
+            lines.append("  claims:")
+            for key, info in sorted(self.claim_details.items()):
+                lines.append(f"    {key}  owner={info['owner']}  age={info['age']:.1f}s")
+        if self.quarantine_reasons:
+            lines.append("  quarantine:")
+            for key, reason in sorted(self.quarantine_reasons.items()):
+                lines.append(f"    {key}  {reason or '<no reason recorded>'}")
+        if self.workers:
+            lines.append("  workers:")
+            for w in sorted(self.workers, key=lambda w: w.worker):
+                rate = f"{w.points_per_sec:.2f}/s" if w.points_per_sec is not None else "-"
+                lines.append(f"    {w.worker:<24} {w.points:>6} point(s)  {rate}")
+        return "\n".join(lines)
+
+
+class StoreMonitor:
+    """Observability over one results backend (``store stats/watch``)."""
+
+    def __init__(self, backend: ResultsBackend) -> None:
+        self.backend = backend
+
+    def stats(self, *, workers: bool = True) -> StoreStats:
+        """Take one snapshot.
+
+        ``workers=False`` skips the point-record walk (per-worker
+        throughput and nothing else), keeping the snapshot cheap on
+        very large stores.  Claim and quarantine state are fetched
+        exactly once and handed to
+        :meth:`~repro.sim.results.ResultsBackend.queue_stats` for the
+        aggregate counts — one snapshot never pays the backend twice
+        for the same scan, and SQLite keeps its single-connection count
+        path.
+        """
+        backend = self.backend
+        claim_details = backend.claim_info()
+        parked = backend.list_quarantined()
+        aggregate = backend.queue_stats(claim_info=claim_details, quarantined=parked)
+        quarantine_reasons = {
+            key: (backend.load_quarantined(key) or {}).get("reason", "") for key in parked
+        }
+        return StoreStats(
+            backend=aggregate["backend"],
+            locator=aggregate["locator"],
+            points=aggregate["points"],
+            manifests=aggregate["manifests"],
+            series=aggregate["series"],
+            tasks=aggregate["tasks"],
+            claims=aggregate["claims"],
+            oldest_claim_age=aggregate["oldest_claim_age"],
+            quarantined=aggregate["quarantined"],
+            lease_breaks=aggregate["lease_breaks"],
+            claim_details=claim_details,
+            quarantine_reasons=quarantine_reasons,
+            workers=self.worker_stats() if workers else (),
+        )
+
+    def worker_stats(self) -> tuple[WorkerStats, ...]:
+        """Per-worker throughput from the points' provenance contexts.
+
+        Points computed before provenance stamping existed (or saved
+        directly through ``save_point``) have no worker id and are
+        grouped under ``"<unattributed>"``.
+        """
+        per_worker: dict[str, list[float]] = {}
+        counts: dict[str, int] = {}
+        for _, record in self.backend.iter_point_records():
+            context = record.get("context") or {}
+            worker = str(context.get("worker") or "<unattributed>")
+            counts[worker] = counts.get(worker, 0) + 1
+            saved_at = context.get("saved_at")
+            if isinstance(saved_at, (int, float)):
+                per_worker.setdefault(worker, []).append(float(saved_at))
+        out = []
+        for worker, n in counts.items():
+            stamps = per_worker.get(worker, [])
+            first = min(stamps) if stamps else 0.0
+            last = max(stamps) if stamps else 0.0
+            out.append(
+                WorkerStats(worker=worker, points=n, first_saved_at=first, last_saved_at=last)
+            )
+        return tuple(sorted(out, key=lambda w: w.worker))
+
+    def watch(
+        self,
+        *,
+        interval: float = 2.0,
+        iterations: int | None = None,
+        workers: bool = True,
+        stream: IO[str] | None = None,
+    ) -> int:
+        """Poll and print snapshots until interrupted (``store watch``).
+
+        ``iterations`` bounds the loop (``None`` runs until Ctrl-C —
+        the KeyboardInterrupt is absorbed so a watch session exits
+        cleanly); returns the number of snapshots printed.
+        """
+        if interval <= 0:
+            raise ConfigurationError(f"watch interval must be > 0, got {interval}")
+        stream = stream if stream is not None else sys.stdout
+        printed = 0
+        try:
+            while iterations is None or printed < iterations:
+                if printed:
+                    time.sleep(interval)
+                    print(file=stream)
+                snapshot = self.stats(workers=workers)
+                print(f"[{time.strftime('%H:%M:%S')}]", file=stream)
+                print(snapshot.render(), file=stream)
+                printed += 1
+        except KeyboardInterrupt:
+            pass
+        return printed
+
+
+def _csv_rows_for_point(key: str, record: dict):
+    """Flatten one point record into CSV rows (one per strategy/round)."""
+    context = record.get("context") or {}
+    result = record.get("result")
+    if not isinstance(result, list):
+        return
+    strategies = context.get("strategies") or []
+    base = {
+        "point_key": key,
+        "experiment": context.get("experiment", ""),
+        "scenario": context.get("scenario", ""),
+        "sweep_axis": context.get("sweep_axis", ""),
+        "sweep_value": context.get("sweep_value", ""),
+        "run": context.get("run", ""),
+        "seed": context.get("seed", ""),
+        "measure": context.get("measure", ""),
+        "worker": context.get("worker", ""),
+        "saved_at": context.get("saved_at", ""),
+    }
+    for si, lane in enumerate(result):
+        strategy = strategies[si] if si < len(strategies) else f"s{si}"
+        if lane and isinstance(lane[0], list):  # delta_rounds: one triple per round
+            rounds = [(t + 1, triple) for t, triple in enumerate(lane)]
+        else:
+            rounds = [("", lane)]
+        for round_no, triple in rounds:
+            if not (isinstance(triple, list) and len(triple) == 3):
+                continue
+            yield {
+                **base,
+                "strategy": strategy,
+                "round": round_no,
+                "max_color": triple[0],
+                "recodings": triple[1],
+                "messages": triple[2],
+            }
+
+
+def export_csv(backend: ResultsBackend, out: Path | str | IO[str]) -> int:
+    """Dump point-level rows from any backend as CSV; returns row count.
+
+    Columns are :data:`CSV_COLUMNS`.  For absolute/delta measures the
+    metric columns hold the point's triple (deltas for delta measures —
+    the ``measure`` column says which) and ``round`` is empty; for
+    ``delta_rounds`` points each perturbation round becomes its own row
+    with the 1-based round number.
+    """
+    if hasattr(out, "write"):
+        return _write_csv(backend, out)  # type: ignore[arg-type]
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        return _write_csv(backend, fh)
+
+
+def _write_csv(backend: ResultsBackend, fh: IO[str]) -> int:
+    writer = csv.DictWriter(fh, fieldnames=list(CSV_COLUMNS))
+    writer.writeheader()
+    rows = 0
+    for key, record in backend.iter_point_records():
+        for row in _csv_rows_for_point(key, record):
+            writer.writerow(row)
+            rows += 1
+    return rows

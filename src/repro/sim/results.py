@@ -21,6 +21,12 @@ A sweep persists four kinds of artifact through one
   (:mod:`repro.sim.executor`): pending task descriptors plus lease
   claims with a TTL, giving multiple worker processes (or hosts on a
   shared filesystem) at-least-once draining of one sweep.
+* **churn + quarantine** — the control plane's health state: per-task
+  lease-break counters (bumped whenever :meth:`~ResultsBackend.try_claim`
+  breaks a stale lease) and a quarantine table holding descriptors that
+  churned too often or failed to decode, so one poison task stops being
+  re-claimed forever.  ``minim-cdma store stats`` surfaces both and
+  ``store requeue`` releases quarantined tasks back into the queue.
 
 Two backends implement the interface:
 
@@ -294,9 +300,164 @@ class ResultsBackend(abc.ABC):
     def list_claims(self) -> list[str]:
         """Keys currently under claim, ascending."""
 
+    @abc.abstractmethod
+    def claim_info(self) -> dict[str, dict]:
+        """``{key: {"owner": str, "age": seconds}}`` for every live claim.
+
+        ``age`` counts from the last grant *or renewal*, i.e. it is the
+        time the lease has gone without progress — the quantity the TTL
+        staleness check and ``store stats`` both care about.
+        """
+
+    def claim_age(self, key: str) -> float | None:
+        """Age of one key's claim in seconds, or ``None`` when unclaimed.
+
+        The O(1) lookup the quarantine check polls per task; backends
+        override the full-table default with a single stat/row read.
+        """
+        info = self.claim_info().get(key)
+        return None if info is None else info["age"]
+
+    # ------------------------------------------------------------------
+    # Lease churn + quarantine
+    # ------------------------------------------------------------------
+    # A lease "break" is try_claim evicting a stale claim: the previous
+    # holder stopped renewing for a whole TTL, i.e. it most likely died
+    # mid-computation.  Tasks whose leases break repeatedly are poison
+    # (they kill whoever claims them) and get parked in the quarantine
+    # table instead of being re-claimed forever.
+
+    @abc.abstractmethod
+    def record_lease_break(self, key: str) -> int:
+        """Count one broken lease for ``key``; returns the new total.
+
+        Called by ``try_claim`` implementations whenever they evict a
+        stale claim, so churn accounting is uniform across callers.
+        """
+
+    @abc.abstractmethod
+    def lease_breaks(self, key: str) -> int:
+        """How many times ``key``'s lease has been broken (0 if never)."""
+
+    @abc.abstractmethod
+    def lease_break_counts(self) -> dict[str, int]:
+        """``{key: breaks}`` for every key with at least one break."""
+
+    @abc.abstractmethod
+    def reset_lease_breaks(self, key: str) -> None:
+        """Forget ``key``'s break counter (requeue gives a clean slate)."""
+
+    def quarantine_task(self, key: str, *, reason: str = "") -> bool:
+        """Park ``key``'s pending descriptor in the quarantine table.
+
+        Moves the task out of the queue (drain loops no longer see it),
+        releases any claim, and records why.  Returns ``True`` when the
+        key is quarantined after the call — including when a peer parked
+        it first — and ``False`` when there is nothing to park.
+        """
+        if self.load_quarantined(key) is not None:
+            self.delete_task(key)  # a peer parked it mid-scan
+            return True
+        payload = self.load_task(key)
+        if payload is None:
+            return False
+        self.save_quarantined(
+            key,
+            {
+                "schema": _SCHEMA_VERSION,
+                "payload": payload,
+                "reason": reason,
+                "lease_breaks": self.lease_breaks(key),
+                "quarantined_at": time.time(),
+            },
+        )
+        self.delete_task(key)
+        self.release_claim(key)
+        return True
+
+    def requeue_quarantined(self, key: str) -> bool:
+        """Release a quarantined descriptor back into the task queue.
+
+        Restores the descriptor, clears the quarantine record and the
+        break counter (the operator decided it deserves a clean slate).
+        Returns ``False`` when ``key`` is not quarantined.
+        """
+        record = self.load_quarantined(key)
+        if record is None:
+            return False
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"quarantine record {key!r} in {self.locator} has no task payload"
+            )
+        self.save_task(key, payload)
+        self.delete_quarantined(key)
+        self.reset_lease_breaks(key)
+        self.release_claim(key)
+        return True
+
+    @abc.abstractmethod
+    def save_quarantined(self, key: str, record: dict) -> None:
+        """Persist one quarantine record."""
+
+    @abc.abstractmethod
+    def load_quarantined(self, key: str) -> dict | None:
+        """The quarantine record for ``key``, or ``None``."""
+
+    @abc.abstractmethod
+    def delete_quarantined(self, key: str) -> None:
+        """Remove a quarantine record (no-op when already gone)."""
+
+    @abc.abstractmethod
+    def list_quarantined(self) -> list[str]:
+        """Keys currently quarantined, ascending."""
+
     # ------------------------------------------------------------------
     # Introspection / migration
     # ------------------------------------------------------------------
+    def iter_point_records(self) -> Iterator[tuple[str, dict]]:
+        """Yield ``(key, record)`` for every stored point.
+
+        The monitor and ``store export`` walk this for point-level
+        contexts (sweep value, run, worker, save time); backends with a
+        cheaper bulk path (SQLite) override the per-key default.
+        """
+        for key in self.list_points():
+            record = self.load_point_record(key)
+            if record is not None:
+                yield key, record
+
+    def queue_stats(
+        self,
+        *,
+        claim_info: dict[str, dict] | None = None,
+        quarantined: "list[str] | None" = None,
+    ) -> dict:
+        """Cheap aggregate counts for ``store stats`` / ``store watch``.
+
+        Everything here is a count or an age — no point payloads are
+        read, so polling this in a watch loop stays cheap even on
+        10⁴+-point stores.  A caller that already fetched the claim
+        table or the quarantine listing for its own display (the
+        monitor does both) passes them in, so one snapshot never pays
+        the backend twice for the same scan.
+        """
+        info = self.claim_info() if claim_info is None else claim_info
+        parked = self.list_quarantined() if quarantined is None else quarantined
+        ages = [c["age"] for c in info.values()]
+        return {
+            "backend": self.kind,
+            "locator": self.locator,
+            "points": len(self.list_points()),
+            "manifests": len(self.list_manifests()),
+            "series": len(self.list_series()),
+            "tasks": len(self.pending_task_keys()),
+            "claims": len(info),
+            "oldest_claim_age": max(ages, default=0.0),
+            "quarantined": len(parked),
+            "lease_breaks": sum(self.lease_break_counts().values()),
+        }
+
     def describe(self) -> dict:
         """Artifact counts for ``minim-cdma store ls``."""
         return {
@@ -307,6 +468,7 @@ class ResultsBackend(abc.ABC):
             "series": self.list_series(),
             "tasks": len(self.pending_task_keys()),
             "claims": len(self.list_claims()),
+            "quarantined": len(self.list_quarantined()),
         }
 
     def migrate_to(self, dst: "ResultsBackend") -> dict:
@@ -467,6 +629,7 @@ class JsonDirBackend(ResultsBackend):
         """
         path = self.claim_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        broke_stale = False
         for attempt in range(2):
             try:
                 fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
@@ -480,10 +643,18 @@ class JsonDirBackend(ResultsBackend):
                 if not stale:
                     return False
                 path.unlink(missing_ok=True)  # break the abandoned lease
+                broke_stale = True
                 continue
             with os.fdopen(fd, "w") as fh:
                 json.dump({"owner": owner, "claimed_at": time.time()}, fh)
-            return self._claim_owner(path) == owner
+            won = self._claim_owner(path) == owner
+            if won and broke_stale:
+                # counted only by the breaker that went on to *win* the
+                # claim: racing breakers may both unlink, but one real
+                # eviction must not count as two (the counter feeds the
+                # quarantine threshold)
+                self.record_lease_break(key)
+            return won
         return False  # pragma: no cover - loop always returns
 
     def _claim_owner(self, path: Path) -> str | None:
@@ -509,6 +680,83 @@ class JsonDirBackend(ResultsBackend):
         """Keys currently under claim, ascending."""
         return sorted(p.stem for p in self.root.glob("claims/*.lease"))
 
+    def claim_info(self) -> dict[str, dict]:
+        """Owner (from the lease body) and age (from the lease mtime).
+
+        The mtime is what ``renew_claim`` bumps, so age measures time
+        since the holder last made progress.
+        """
+        now = time.time()
+        out: dict[str, dict] = {}
+        for path in sorted(self.root.glob("claims/*.lease")):
+            try:
+                mtime = path.stat().st_mtime
+            except FileNotFoundError:  # released mid-scan
+                continue
+            out[path.stem] = {
+                "owner": self._claim_owner(path) or "<unknown>",
+                "age": max(0.0, now - mtime),
+            }
+        return out
+
+    def claim_age(self, key: str) -> float | None:
+        """One stat call on the lease file (no table scan)."""
+        try:
+            mtime = self.claim_path(key).stat().st_mtime
+        except FileNotFoundError:
+            return None
+        return max(0.0, time.time() - mtime)
+
+    # ------------------------------------------------------------------
+    # Lease churn + quarantine
+    # ------------------------------------------------------------------
+    def churn_path(self, key: str) -> Path:
+        """Where the break counter for ``key`` lives."""
+        return self.root / "churn" / f"{key}.json"
+
+    def record_lease_break(self, key: str) -> int:
+        """Bump the break counter file (read-modify-write; advisory)."""
+        breaks = self.lease_breaks(key) + 1
+        self._write_json(self.churn_path(key), {"breaks": breaks})
+        return breaks
+
+    def lease_breaks(self, key: str) -> int:
+        """The break counter for ``key`` (0 if never broken)."""
+        record = self._read_json(self.churn_path(key), "lease-break counter")
+        return int(record.get("breaks", 0)) if record else 0
+
+    def lease_break_counts(self) -> dict[str, int]:
+        """Break counters of every churned key."""
+        return {
+            p.stem: breaks
+            for p in sorted(self.root.glob("churn/*.json"))
+            if (breaks := self.lease_breaks(p.stem)) > 0
+        }
+
+    def reset_lease_breaks(self, key: str) -> None:
+        """Drop the break counter file (idempotent)."""
+        self.churn_path(key).unlink(missing_ok=True)
+
+    def quarantine_path(self, key: str) -> Path:
+        """Where the quarantine record for ``key`` lives."""
+        return self.root / "quarantine" / f"{key}.json"
+
+    def save_quarantined(self, key: str, record: dict) -> None:
+        """Write one quarantine record atomically."""
+        self._write_json(self.quarantine_path(key), record)
+
+    def load_quarantined(self, key: str) -> dict | None:
+        """The quarantine record for ``key``, or ``None``."""
+        return self._read_json(self.quarantine_path(key), "quarantine record")
+
+    def delete_quarantined(self, key: str) -> None:
+        """Remove a quarantine record (idempotent)."""
+        self.quarantine_path(key).unlink(missing_ok=True)
+
+    def list_quarantined(self) -> list[str]:
+        """Keys currently quarantined, ascending."""
+        return sorted(p.stem for p in self.root.glob("quarantine/*.json"))
+
     # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
@@ -520,13 +768,15 @@ class JsonDirBackend(ResultsBackend):
         :func:`open_backend` routes a directory containing
         ``store.sqlite`` to :class:`SqliteBackend`, existing
         ``--results <root>`` invocations keep resolving (and resuming)
-        transparently after compaction.
+        transparently after compaction.  Queue state (tasks, claims,
+        churn counters, quarantine) is transient and is dropped, like
+        in :func:`migrate_store`.
         """
         import shutil
 
         dst = SqliteBackend(self.root / _SQLITE_BASENAME)
         migrate_store(self, dst)
-        for sub in ("points", "sweeps", "series", "tasks", "claims"):
+        for sub in ("points", "sweeps", "series", "tasks", "claims", "churn", "quarantine"):
             shutil.rmtree(self.root / sub, ignore_errors=True)
         return dst
 
@@ -572,7 +822,8 @@ class SqliteBackend(ResultsBackend):
 
     kind = "sqlite"
 
-    _TABLES = ("points", "manifests", "series", "tasks")
+    #: Artifact kinds stored as rows of the ``artifacts`` table.
+    _TABLES = ("points", "manifests", "series", "tasks", "churn", "quarantine")
 
     def __init__(self, path: Path | str) -> None:
         path = Path(path)
@@ -740,10 +991,19 @@ class SqliteBackend(ResultsBackend):
         return self._keys("tasks")
 
     def try_claim(self, key: str, owner: str, *, ttl: float = DEFAULT_CLAIM_TTL) -> bool:
-        """Claim via ``INSERT OR IGNORE``; stale rows are purged first."""
+        """Claim via ``INSERT OR IGNORE``; stale rows are purged first.
+
+        Purging a stale row counts one lease break in the same
+        transaction, so exactly the claimant that evicted the dead
+        holder does the churn accounting.
+        """
         now = time.time()
         with self._connect() as conn:
-            conn.execute("DELETE FROM claims WHERE key = ? AND claimed_at < ?", (key, now - ttl))
+            cur = conn.execute(
+                "DELETE FROM claims WHERE key = ? AND claimed_at < ?", (key, now - ttl)
+            )
+            if cur.rowcount > 0:
+                self._bump_churn(conn, key)
             cur = conn.execute(
                 "INSERT OR IGNORE INTO claims (key, owner, claimed_at) VALUES (?, ?, ?)",
                 (key, owner, now),
@@ -774,6 +1034,157 @@ class SqliteBackend(ResultsBackend):
         with self._connect() as conn:
             rows = conn.execute("SELECT key FROM claims ORDER BY key").fetchall()
         return [r[0] for r in rows]
+
+    def claim_info(self) -> dict[str, dict]:
+        """Owner and age straight from the claim rows."""
+        if not self.path.exists():
+            return {}
+        now = time.time()
+        with self._connect() as conn:
+            rows = conn.execute("SELECT key, owner, claimed_at FROM claims ORDER BY key").fetchall()
+        return {key: {"owner": owner, "age": max(0.0, now - at)} for key, owner, at in rows}
+
+    def claim_age(self, key: str) -> float | None:
+        """One indexed row read (no table scan)."""
+        if not self.path.exists():
+            return None
+        with self._connect() as conn:
+            row = conn.execute("SELECT claimed_at FROM claims WHERE key = ?", (key,)).fetchone()
+        return None if row is None else max(0.0, time.time() - row[0])
+
+    # -- lease churn + quarantine ----------------------------------------
+    def _bump_churn(self, conn: sqlite3.Connection, key: str) -> int:
+        """Increment the churn row inside the caller's transaction."""
+        row = conn.execute(
+            "SELECT payload FROM artifacts WHERE kind = 'churn' AND key = ?", (key,)
+        ).fetchone()
+        breaks = (int(json.loads(row[0]).get("breaks", 0)) if row else 0) + 1
+        conn.execute(
+            "INSERT OR REPLACE INTO artifacts (kind, key, payload) VALUES ('churn', ?, ?)",
+            (key, json.dumps({"breaks": breaks})),
+        )
+        return breaks
+
+    def record_lease_break(self, key: str) -> int:
+        """Bump the churn row in its own short transaction."""
+        with self._connect() as conn:
+            return self._bump_churn(conn, key)
+
+    def lease_breaks(self, key: str) -> int:
+        """The break counter for ``key`` (0 if never broken)."""
+        if not self.path.exists():
+            return 0
+        record = self._get("churn", key)
+        return int(record.get("breaks", 0)) if record else 0
+
+    def lease_break_counts(self) -> dict[str, int]:
+        """Break counters of every churned key, one query."""
+        if not self.path.exists():
+            return {}
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT key, payload FROM artifacts WHERE kind = 'churn' ORDER BY key"
+            ).fetchall()
+        out: dict[str, int] = {}
+        for key, payload in rows:
+            breaks = int(json.loads(payload).get("breaks", 0))
+            if breaks > 0:
+                out[key] = breaks
+        return out
+
+    def reset_lease_breaks(self, key: str) -> None:
+        """Drop the churn row (idempotent)."""
+        self._delete("churn", key)
+
+    def save_quarantined(self, key: str, record: dict) -> None:
+        """Upsert one quarantine row."""
+        self._put("quarantine", key, record)
+
+    def load_quarantined(self, key: str) -> dict | None:
+        """The quarantine record for ``key``, or ``None``."""
+        if not self.path.exists():
+            return None
+        return self._get("quarantine", key)
+
+    def delete_quarantined(self, key: str) -> None:
+        """Remove a quarantine row (idempotent)."""
+        self._delete("quarantine", key)
+
+    def list_quarantined(self) -> list[str]:
+        """Keys currently quarantined, ascending."""
+        return self._keys("quarantine")
+
+    # -- introspection ---------------------------------------------------
+    def iter_point_records(self) -> Iterator[tuple[str, dict]]:
+        """One query over all point rows (cheaper than per-key loads)."""
+        if not self.path.exists():
+            return
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT key, payload FROM artifacts WHERE kind = 'points' ORDER BY key"
+            ).fetchall()
+        for key, payload in rows:
+            try:
+                yield key, json.loads(payload)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"corrupt points row {key!r} in {self.path}: {exc}"
+                ) from exc
+
+    def queue_stats(
+        self,
+        *,
+        claim_info: dict[str, dict] | None = None,
+        quarantined: "list[str] | None" = None,
+    ) -> dict:
+        """All aggregate counts in one connection (watch-loop friendly).
+
+        Prefetched ``claim_info``/``quarantined`` (see the base method)
+        take precedence over the freshly queried values, so a caller's
+        snapshot stays internally consistent.
+        """
+        stats = {
+            "backend": self.kind,
+            "locator": self.locator,
+            "points": 0,
+            "manifests": 0,
+            "series": 0,
+            "tasks": 0,
+            "claims": len(claim_info) if claim_info is not None else 0,
+            "oldest_claim_age": 0.0,
+            "quarantined": len(quarantined) if quarantined is not None else 0,
+            "lease_breaks": 0,
+        }
+        if claim_info is not None:
+            ages = [c["age"] for c in claim_info.values()]
+            stats["oldest_claim_age"] = max(ages, default=0.0)
+        if not self.path.exists():
+            return stats
+        with self._connect() as conn:
+            kind_counts = dict(
+                conn.execute("SELECT kind, COUNT(*) FROM artifacts GROUP BY kind").fetchall()
+            )
+            if claim_info is None:
+                n_claims, oldest = conn.execute(
+                    "SELECT COUNT(*), MIN(claimed_at) FROM claims"
+                ).fetchone()
+                stats["claims"] = int(n_claims)
+                stats["oldest_claim_age"] = (
+                    max(0.0, time.time() - oldest) if oldest is not None else 0.0
+                )
+            churn_rows = conn.execute(
+                "SELECT payload FROM artifacts WHERE kind = 'churn'"
+            ).fetchall()
+        stats.update(
+            points=int(kind_counts.get("points", 0)),
+            manifests=int(kind_counts.get("manifests", 0)),
+            series=int(kind_counts.get("series", 0)),
+            tasks=int(kind_counts.get("tasks", 0)),
+            lease_breaks=sum(int(json.loads(p).get("breaks", 0)) for (p,) in churn_rows),
+        )
+        if quarantined is None:
+            stats["quarantined"] = int(kind_counts.get("quarantine", 0))
+        return stats
 
     # -- maintenance -----------------------------------------------------
     def compact(self) -> "SqliteBackend":

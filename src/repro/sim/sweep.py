@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
+from repro.sim.control import PrecisionTarget, RunController, resolve_precision
 from repro.sim.executor import Executor, TaskGroup, resolve_executor
 from repro.sim.registry import get_scenario
 from repro.sim.results import ResultsBackend, seed_token, spec_digest
@@ -42,7 +43,7 @@ from repro.sim.results import point_key as _point_key
 from repro.sim.runner import resolve_runs
 from repro.sim.scenarios import ScenarioSpec, resolve_sweep
 
-__all__ = ["SweepSpec", "build_sweep", "plan_tasks", "run_sweep"]
+__all__ = ["SweepSpec", "build_sweep", "plan_additional_tasks", "plan_tasks", "run_sweep"]
 
 #: Metric names of the absolute measure (end-state totals).
 ABS_METRICS = ("max_color", "recodings", "messages")
@@ -117,6 +118,11 @@ def build_sweep(
         )
     runs = resolve_runs(runs, _DEFAULT_RUNS, env_runs)
     points = tuple(resolve_sweep(spec, value) for value in spec.sweep_values)
+    # Seed derivation is prefix-stable in `runs`: SeedSequence.spawn
+    # numbers children from zero, so run r's seed depends only on
+    # (seed, point, r) — never on how many runs were planned.  The
+    # adaptive controller relies on this to extend a sweep's run count
+    # while every already-computed point key stays valid.
     master = np.random.SeedSequence(seed)
     if spec.paired_runs:
         row = tuple(master.spawn(runs))
@@ -198,6 +204,46 @@ def plan_tasks(sweep: SweepSpec, *, warm_start: bool | None = None) -> list[Task
     return groups
 
 
+def plan_additional_tasks(
+    sweep: SweepSpec,
+    runs_per_point: Sequence[int],
+    want: dict[int, int],
+    *,
+    warm_start: bool | None = None,
+) -> list[TaskGroup]:
+    """Plan only the *new* run tasks raising each point to ``want[i]``.
+
+    Rebuilds the sweep at the highest requested run count (seed
+    derivation is prefix-stable, so existing run seeds — and hence
+    point keys — are unchanged) and keeps exactly the group members
+    with ``runs_per_point[i] <= r < want[i]``.  Warm-start row groups
+    survive intact when the controller raises whole paired rows.
+    """
+    if not want:
+        return []
+    new_runs = max(want.values())
+    extended = build_sweep(sweep.scenario, runs=new_runs, seed=sweep.seed)
+    target = {i: want.get(i, runs_per_point[i]) for i in range(len(sweep.points))}
+    groups: list[TaskGroup] = []
+    for group in plan_tasks(extended, warm_start=warm_start):
+        keep = [m for m, (i, r) in enumerate(group.indices) if runs_per_point[i] <= r < target[i]]
+        if not keep:
+            continue
+        if len(keep) == len(group.indices):
+            groups.append(group)
+        else:
+            groups.append(
+                replace(
+                    group,
+                    indices=tuple(group.indices[m] for m in keep),
+                    points=tuple(group.points[m] for m in keep),
+                    keys=tuple(group.keys[m] for m in keep),
+                    contexts=tuple(group.contexts[m] for m in keep),
+                )
+            )
+    return groups
+
+
 # ----------------------------------------------------------------------
 # Stage 2: claim
 # ----------------------------------------------------------------------
@@ -253,6 +299,7 @@ def run_sweep(
     resume: bool = True,
     executor: Executor | str | None = None,
     warm_start: bool | None = None,
+    precision: RunController | PrecisionTarget | float | None = None,
 ) -> ExperimentSeries:
     """Run one sweep through the unified pipeline; return its series.
 
@@ -268,6 +315,18 @@ def run_sweep(
     and the assembled series plus a run manifest are written.  The
     series ``notes`` field records the computed/cached split of this
     invocation.
+
+    ``precision`` switches on adaptive run counts: ``runs`` becomes the
+    *starting* budget per point and, after each collect pass, a
+    :class:`~repro.sim.control.RunController` plans additional
+    content-addressed run tasks for every point whose confidence
+    interval is still wider than the target (a float is shorthand for a
+    relative-CI target; see :class:`~repro.sim.control.PrecisionTarget`
+    for the full knob set, including the ``max_runs`` hard cap).
+    Incremental runs flow through the same claim/execute stages, so a
+    store serves previously computed runs from cache and a repeated
+    adaptive sweep reproduces the identical series without computing
+    anything.
     """
     import os
 
@@ -279,71 +338,157 @@ def run_sweep(
         env_runs=os.environ.get("REPRO_RUNS"),
     )
     spec = sweep.scenario
-    tasks = sweep.tasks()
+    controller = resolve_precision(precision)
+    exec_ = resolve_executor(executor, processes)
 
     groups = plan_tasks(sweep, warm_start=warm_start)
     results, pending = claim_cached(groups, store, resume)
-    exec_ = resolve_executor(executor, processes)
     results.update(exec_.execute(pending, backend=store, resume=resume))
-
-    series = _assemble_series(sweep, results)
     computed = sum(len(g.indices) for g in pending)
-    cached = len(tasks) - computed
+    # plan_tasks already hashed every point key; harvest, don't rehash
+    keys = {ix: key for g in groups for ix, key in zip(g.indices, g.keys)}
+
+    runs_per_point = [sweep.runs] * len(sweep.points)
+    passes = 0
+    if controller is not None:
+        while True:
+            want = controller.plan(
+                _point_samples(sweep, results, runs_per_point),
+                runs_per_point,
+                paired=spec.paired_runs,
+            )
+            extra = plan_additional_tasks(sweep, runs_per_point, want, warm_start=warm_start)
+            if not extra:
+                break
+            extra_cached, extra_pending = claim_cached(extra, store, resume)
+            results.update(extra_cached)
+            results.update(exec_.execute(extra_pending, backend=store, resume=resume))
+            computed += sum(len(g.indices) for g in extra_pending)
+            keys.update({ix: key for g in extra for ix, key in zip(g.indices, g.keys)})
+            for i, n in want.items():
+                runs_per_point[i] = n
+            passes += 1
+        controller.runs_per_point = list(runs_per_point)
+        controller.passes = passes
+
+    series = _assemble_series(sweep, results, runs_per_point)
+    cached = len(keys) - computed
     series.notes = f"{computed} points computed, {cached} from cache"
-    if store is not None:
-        # plan_tasks already hashed every point key; harvest, don't rehash
-        keys = {ix: key for g in groups for ix, key in zip(g.indices, g.keys)}
-        store.save_series(series)
-        store.save_manifest(
-            sweep.sweep_key,
-            {
-                "experiment": spec.series_id,
-                "scenario": spec.name,
-                "measure": spec.measure,
-                "sweep_axis": spec.sweep_axis,
-                "sweep_values": list(spec.sweep_values),
-                "strategies": list(spec.strategies),
-                "runs": sweep.runs,
-                "seed": sweep.seed,
-                "executor": exec_.name,
-                "points": [keys[(i, r)] for i, r, _, _ in tasks],
-                "computed": computed,
-                "cached": cached,
-                "series_locator": f"{store.locator}::series/{spec.series_id}",
-                # The series/<id> slot is latest-wins; this copy is
-                # keyed by the sweep's content hash and never clobbered.
-                "series": series.to_dict(),
-            },
+    if controller is not None:
+        series.notes += (
+            f"; adaptive: {sum(runs_per_point)} total runs "
+            f"({passes} extra pass{'es' if passes != 1 else ''})"
         )
+    if store is not None:
+        manifest = {
+            "experiment": spec.series_id,
+            "scenario": spec.name,
+            "measure": spec.measure,
+            "sweep_axis": spec.sweep_axis,
+            "sweep_values": list(spec.sweep_values),
+            "strategies": list(spec.strategies),
+            "runs": sweep.runs,
+            "seed": sweep.seed,
+            "executor": exec_.name,
+            "points": [
+                keys[(i, r)]
+                for i in range(len(sweep.points))
+                for r in range(runs_per_point[i])
+            ],
+            "computed": computed,
+            "cached": cached,
+            "series_locator": f"{store.locator}::series/{spec.series_id}",
+            # The series/<id> slot is latest-wins; this copy is
+            # keyed by the sweep's content hash and never clobbered.
+            "series": series.to_dict(),
+        }
+        manifest_key = sweep.sweep_key
+        if controller is not None:
+            import dataclasses
+
+            target = dataclasses.asdict(controller.target)
+            manifest["adaptive"] = {
+                "target": target,
+                "runs_per_point": list(runs_per_point),
+                "total_runs": sum(runs_per_point),
+                "passes": passes,
+            }
+            # a fixed and an adaptive sweep from the same base spec are
+            # different computations; key their manifests apart
+            manifest_key = spec_digest(
+                spec, extra={"runs": sweep.runs, "seed": sweep.seed, "precision": target}
+            )
+        store.save_series(series)
+        store.save_manifest(manifest_key, manifest)
     return series
 
 
-def _assemble_series(sweep: SweepSpec, results: dict[tuple[int, int], list]) -> ExperimentSeries:
-    """Collect stage: fold point results into an :class:`ExperimentSeries`."""
-    spec = sweep.scenario
-    runs = sweep.runs
-    strategies = spec.strategies
-    if spec.measure == "delta_rounds":
-        # results[(0, r)][strategy][round][metric]
-        raw = [results[(0, r)] for r in range(runs)]
-        data = np.asarray(raw, dtype=np.float64)  # run, strategy, round, metric
+def _point_samples(
+    sweep: SweepSpec, results: dict[tuple[int, int], list], runs_per_point: Sequence[int]
+) -> list[np.ndarray]:
+    """Per point, that point's collected results with the run axis first.
+
+    The shared substrate of the collect stage and the run controller:
+    ``samples[i]`` has shape ``(runs_per_point[i], strategies, metrics)``
+    (plus a rounds axis for ``delta_rounds`` scenarios, which have a
+    single point).
+    """
+    if sweep.scenario.measure == "delta_rounds":
+        data = np.asarray([results[(0, r)] for r in range(runs_per_point[0])], dtype=np.float64)
         if data.ndim != 4:
             raise ConfigurationError(
-                f"scenario {spec.name!r} produced no perturbation rounds to sample"
+                f"scenario {sweep.scenario.name!r} produced no perturbation rounds to sample"
             )
-        data = data.transpose(2, 0, 1, 3)  # round, run, strategy, metric
-        x_values = [float(t) for t in range(1, data.shape[0] + 1)]
+        return [data]
+    return [
+        np.asarray([results[(i, r)] for r in range(runs_per_point[i])], dtype=np.float64)
+        for i in range(len(sweep.points))
+    ]
+
+
+def _assemble_series(
+    sweep: SweepSpec,
+    results: dict[tuple[int, int], list],
+    runs_per_point: Sequence[int] | None = None,
+) -> ExperimentSeries:
+    """Collect stage: fold point results into an :class:`ExperimentSeries`.
+
+    Run counts may differ per point (adaptive sweeps), so means and
+    standard errors are computed per point over that point's own runs.
+    A single-run point reports stderr 0.0 — ``ddof=1`` on one sample
+    would put NaN into the stored series, and the controller separately
+    refuses to treat ``n = 1`` as converged, so the guard never hides a
+    point that still needs runs.
+    """
+    spec = sweep.scenario
+    strategies = spec.strategies
+    if runs_per_point is None:
+        runs_per_point = [sweep.runs] * len(sweep.points)
+    counts = list(runs_per_point)
+    samples = _point_samples(sweep, results, counts)
+
+    def _mean_sem(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = block.shape[0]
+        mean = block.mean(axis=0)
+        if n > 1:
+            sem = block.std(axis=0, ddof=1) / np.sqrt(n)
+        else:  # no variance estimate from one run; never NaN in a store
+            sem = np.zeros_like(mean)
+        return mean, sem
+
+    if spec.measure == "delta_rounds":
+        # samples[0]: run, strategy, round, metric -> x-axis is the round
+        mean, sem = _mean_sem(samples[0])
+        means = mean.transpose(1, 0, 2)  # round, strategy, metric
+        sems = sem.transpose(1, 0, 2)
+        x_values = [float(t) for t in range(1, means.shape[0] + 1)]
         metric_names = DELTA_METRICS
     else:
-        raw = [[results[(i, r)] for r in range(runs)] for i in range(len(sweep.points))]
-        data = np.asarray(raw, dtype=np.float64)  # x, run, strategy, metric
+        stats = [_mean_sem(block) for block in samples]
+        means = np.stack([m for m, _ in stats])  # x, strategy, metric
+        sems = np.stack([s for _, s in stats])
         x_values = [float(v) for v in spec.sweep_values]
         metric_names = DELTA_METRICS if spec.measure == "delta" else ABS_METRICS
-    means = data.mean(axis=1)
-    if runs > 1:
-        sems = data.std(axis=1, ddof=1) / np.sqrt(runs)
-    else:
-        sems = np.zeros_like(means)
     metrics = {
         m: {s: means[:, si, mi].tolist() for si, s in enumerate(strategies)}
         for mi, m in enumerate(metric_names)
@@ -357,6 +502,6 @@ def _assemble_series(sweep: SweepSpec, results: dict[tuple[int, int], list]) -> 
         x_label=spec.series_x_label,
         x_values=x_values,
         metrics=metrics,
-        runs=runs,
+        runs=max(counts),
         stderr=stderr,
     )

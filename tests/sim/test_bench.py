@@ -76,3 +76,45 @@ class TestWarmstartBench:
             run_warmstart_bench(n=8, runs=0)
         with pytest.raises(ValueError):
             run_warmstart_bench(n=8, sweep_points=0)
+
+
+class TestAdaptiveBench:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        from repro.sim.bench import run_adaptive_bench
+
+        return run_adaptive_bench(runs=1, fixed_runs=8, seed=5)
+
+    def test_entry_schema(self, entries):
+        assert [e["mode"] for e in entries] == ["fixed", "adaptive"]
+        for e in entries:
+            assert e["scenario"] == "adaptive-sweep"
+            assert e["wall_seconds"] > 0 and e["events_per_sec"] > 0
+
+    def test_adaptive_never_exceeds_the_fixed_budget(self, entries):
+        fixed, adaptive = entries
+        assert fixed["events"] == 8 * fixed["sweep_points"]
+        assert adaptive["events"] <= fixed["events"]
+        assert adaptive["run_savings_vs_fixed"] == fixed["events"] / adaptive["events"]
+        assert adaptive["run_savings_vs_fixed"] >= 1.0
+
+    def test_workload_is_noisy_enough_to_exercise_the_growth_loop(self, entries):
+        # if every point converged at the 2-run starting budget the gated
+        # ratio would be the constant fixed_runs/2, blind to controller
+        # regressions — the pinned spec must force at least one extra pass
+        _, adaptive = entries
+        assert adaptive["events"] > 2 * adaptive["sweep_points"]
+
+    def test_run_counts_are_seed_deterministic(self, entries):
+        from repro.sim.bench import run_adaptive_bench
+
+        again = run_adaptive_bench(runs=1, fixed_runs=8, seed=5)
+        assert [e["events"] for e in again] == [e["events"] for e in entries]
+
+    def test_bad_args_rejected(self):
+        from repro.sim.bench import run_adaptive_bench
+
+        with pytest.raises(ValueError):
+            run_adaptive_bench(runs=0)
+        with pytest.raises(ValueError):
+            run_adaptive_bench(fixed_runs=1)

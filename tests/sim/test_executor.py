@@ -207,14 +207,78 @@ class TestWorkerLoop:
         assert run_worker(backend, once=True) == 0  # cleaned up, not recomputed
         assert backend.pending_task_keys() == []
 
-    def test_worker_skips_poison_task_and_drains_the_rest(self, tmp_path, capsys):
+    def test_worker_quarantines_poison_task_and_drains_the_rest(self, tmp_path, capsys):
         backend = SqliteBackend(tmp_path / "store")
         groups = _publish(backend, tiny_spec())
         backend.save_task("poison", {"schema": 99, "garbage": True})
         computed = run_worker(backend, once=True)
         assert computed == len(groups)
-        assert backend.pending_task_keys() == ["poison"]  # left for inspection
-        assert "skipping undecodable task poison" in capsys.readouterr().out
+        # the undecodable task is parked durably, not rescanned forever
+        assert backend.pending_task_keys() == []
+        assert backend.list_quarantined() == ["poison"]
+        assert "undecodable" in backend.load_quarantined("poison")["reason"]
+        assert "quarantined undecodable task poison" in capsys.readouterr().out
+        # an operator can release it back into the queue after inspection
+        assert backend.requeue_quarantined("poison")
+        assert backend.pending_task_keys() == ["poison"]
+
+    def test_worker_quarantines_churned_task_instead_of_claiming(self, tmp_path, capsys):
+        backend = SqliteBackend(tmp_path / "store")
+        groups = _publish(backend, tiny_spec())
+        churned = groups[0].key
+        for _ in range(3):  # three claimants died holding this group
+            backend.record_lease_break(churned)
+        computed = run_worker(backend, once=True, quarantine_after=3)
+        assert computed == len(groups) - 1  # the poison group was not computed
+        assert backend.list_quarantined() == [churned]
+        assert "broken leases" in backend.load_quarantined(churned)["reason"]
+        assert f"quarantined task {churned}" in capsys.readouterr().out
+        for key in groups[0].keys:
+            assert backend.load_point(key) is None
+
+    @pytest.mark.parametrize("threshold", [0, -1])
+    def test_quarantine_disabled_with_non_positive_threshold(self, tmp_path, threshold):
+        backend = SqliteBackend(tmp_path / "store")
+        groups = _publish(backend, tiny_spec())
+        for _ in range(5):
+            backend.record_lease_break(groups[0].key)
+        computed = run_worker(backend, once=True, quarantine_after=threshold)
+        assert computed == len(groups)
+        assert backend.list_quarantined() == []
+
+    def test_completed_group_is_cleaned_up_not_quarantined(self, tmp_path):
+        # a claimant that saved every point but died before delete_task
+        # leaves a churned-looking descriptor over finished work — the
+        # next scan must clean it up, not park it as poison
+        backend = SqliteBackend(tmp_path / "store")
+        groups = _publish(backend, tiny_spec())
+        dead = groups[0]
+        from repro.sim.executor import _claimed_compute
+
+        _claimed_compute(backend, dead, dead.key, "doomed-worker")
+        for _ in range(3):  # ...and its predecessors all broke leases
+            backend.record_lease_break(dead.key)
+        computed = run_worker(backend, once=True, quarantine_after=3)
+        assert computed == len(groups) - 1  # finished group only cleaned up
+        assert backend.list_quarantined() == []
+        assert backend.pending_task_keys() == []
+
+    def test_live_claim_blocks_quarantine(self, tmp_path):
+        # a healthy claimant mid-computation must not have the task (and
+        # its claim) yanked away just because *previous* holders died
+        from repro.sim.executor import _maybe_quarantine
+
+        backend = SqliteBackend(tmp_path / "store")
+        groups = _publish(backend, tiny_spec())
+        gkey = groups[0].key
+        for _ in range(3):
+            backend.record_lease_break(gkey)
+        assert backend.try_claim(gkey, "healthy-worker", ttl=60.0)
+        assert not _maybe_quarantine(backend, gkey, 3, claim_ttl=60.0)
+        assert backend.list_claims() == [gkey]  # the live claim survived
+        backend.release_claim(gkey)
+        assert _maybe_quarantine(backend, gkey, 3, claim_ttl=60.0)
+        assert backend.list_quarantined() == [gkey]
 
     def test_payload_schema_is_gated(self):
         groups = plan_tasks(build_sweep(tiny_spec(), runs=1, seed=3))
@@ -228,6 +292,59 @@ class TestWorkerLoop:
         start = time.monotonic()
         assert run_worker(backend, poll=0.01, max_idle=0.05) == 0
         assert time.monotonic() - start < 5.0
+
+    def test_worker_exits_after_max_idle_even_with_finished_history(self, tmp_path):
+        # idle means "no pending work", not "the store is empty": a
+        # drained queue with points/quarantine history must still exit
+        backend = SqliteBackend(tmp_path / "store")
+        _publish(backend, tiny_spec())
+        run_worker(backend, once=True)
+        start = time.monotonic()
+        assert run_worker(backend, poll=0.01, max_idle=0.1) == 0
+        assert time.monotonic() - start < 5.0
+
+    def test_late_published_group_is_picked_up_within_poll(self, tmp_path):
+        # a group published mid-drain (another sweep joining the store)
+        # must be found by the poll loop before the idle timer fires
+        import threading
+
+        backend = SqliteBackend(tmp_path / "store")
+        groups = plan_tasks(build_sweep(tiny_spec(), runs=1, seed=3))
+
+        def publish_later():
+            time.sleep(0.3)
+            for group in groups:
+                backend.save_task(group.key, group_payload(group))
+
+        publisher = threading.Thread(target=publish_later)
+        publisher.start()
+        try:
+            computed = run_worker(backend, poll=0.05, max_idle=3.0)
+        finally:
+            publisher.join()
+        assert computed == len(groups)
+        assert backend.pending_task_keys() == []
+
+    def test_computed_points_carry_worker_provenance(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "store")
+        groups = _publish(backend, tiny_spec())
+        run_worker(backend, once=True, owner="worker-test-7")
+        for group in groups:
+            context = backend.load_point_record(group.keys[0])["context"]
+            assert context["worker"] == "worker-test-7"
+            assert context["saved_at"] > 0
+
+    def test_worker_executor_fails_loudly_on_quarantined_group(self, tmp_path):
+        # the orchestrator must not wait forever on a parked group — it
+        # points the operator at `store requeue` instead
+        backend = SqliteBackend(tmp_path / "store")
+        spec = tiny_spec()
+        groups = plan_tasks(build_sweep(spec, runs=1, seed=3))
+        for _ in range(3):
+            backend.record_lease_break(groups[0].key)
+        with pytest.raises(ConfigurationError, match="store requeue"):
+            run_sweep(spec, runs=1, seed=3, store=backend, executor=WorkerExecutor(max_wait=30.0))
+        assert backend.list_quarantined() == [groups[0].key]
 
     def test_two_worker_processes_share_one_store(self, tmp_path):
         # The ISSUE's distributed story end to end: the orchestrator

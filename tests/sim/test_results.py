@@ -233,6 +233,116 @@ class TestBackendParity:
         assert "0 points computed, 2 from cache" in again.notes
 
 
+class TestChurnAndQuarantine:
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_lease_break_counters(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        assert backend.lease_breaks("k") == 0
+        assert backend.record_lease_break("k") == 1
+        assert backend.record_lease_break("k") == 2
+        assert backend.record_lease_break("other") == 1
+        assert backend.lease_break_counts() == {"k": 2, "other": 1}
+        backend.reset_lease_breaks("k")
+        backend.reset_lease_breaks("k")  # idempotent
+        assert backend.lease_breaks("k") == 0
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_breaking_a_stale_lease_is_counted(self, tmp_path, backend_cls):
+        import time as _time
+
+        backend = backend_cls(tmp_path / "store")
+        assert backend.try_claim("k", "dead", ttl=0.05)
+        _time.sleep(0.1)
+        assert backend.try_claim("k", "breaker", ttl=0.05)
+        assert backend.lease_breaks("k") == 1
+        # a vanilla release-then-claim cycle is not churn
+        backend.release_claim("k")
+        assert backend.try_claim("k", "next", ttl=60.0)
+        assert backend.lease_breaks("k") == 1
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_quarantine_round_trip(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        backend.save_task("k", {"schema": 1, "x": 2})
+        backend.record_lease_break("k")
+        assert backend.quarantine_task("k", reason="why")
+        assert backend.load_task("k") is None
+        assert backend.pending_task_keys() == []
+        record = backend.load_quarantined("k")
+        assert record["payload"] == {"schema": 1, "x": 2}
+        assert record["reason"] == "why" and record["lease_breaks"] == 1
+        assert backend.quarantine_task("k") is True  # idempotent re-park
+        assert backend.requeue_quarantined("k")
+        assert backend.load_task("k") == {"schema": 1, "x": 2}
+        assert backend.list_quarantined() == []
+        assert backend.lease_breaks("k") == 0
+        assert backend.requeue_quarantined("k") is False
+        assert backend.quarantine_task("never-published") is False
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_claim_info_reports_owner_and_age(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        assert backend.claim_info() == {}
+        assert backend.try_claim("k", "worker-x", ttl=60.0)
+        info = backend.claim_info()
+        assert list(info) == ["k"]
+        assert info["k"]["owner"] == "worker-x"
+        assert 0.0 <= info["k"]["age"] < 30.0
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_claim_age_single_key_lookup(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        assert backend.claim_age("k") is None
+        assert backend.try_claim("k", "worker-x", ttl=60.0)
+        age = backend.claim_age("k")
+        assert age is not None and 0.0 <= age < 30.0
+        backend.release_claim("k")
+        assert backend.claim_age("k") is None
+
+    def test_racing_breakers_count_one_eviction_once(self, tmp_path):
+        # the breaker that goes on to WIN the claim does the accounting;
+        # a breaker that loses the race must not also bump the counter
+        import time as _time
+
+        backend = JsonDirBackend(tmp_path / "store")
+        assert backend.try_claim("k", "dead", ttl=0.05)
+        _time.sleep(0.1)
+        # simulate the losing breaker: the lease vanished under it (a
+        # peer broke it first) and the peer's fresh claim now exists
+        backend.claim_path("k").unlink()
+        assert backend.try_claim("k", "winner", ttl=0.05)
+        assert backend.lease_breaks("k") == 0  # winner saw no stale lease
+        # the normal single-breaker path still counts exactly once
+        _time.sleep(0.1)
+        assert backend.try_claim("k", "breaker", ttl=0.05)
+        assert backend.lease_breaks("k") == 1
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_queue_stats_aggregates(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        empty = backend.queue_stats()
+        assert empty["tasks"] == empty["claims"] == empty["quarantined"] == 0
+        backend.save_task("a", {"schema": 1})
+        backend.save_task("b", {"schema": 1})
+        backend.try_claim("a", "w", ttl=60.0)
+        backend.record_lease_break("b")
+        backend.quarantine_task("b", reason="r")
+        backend.save_point("p", [[1.0, 2.0, 3.0]])
+        stats = backend.queue_stats()
+        assert stats["points"] == 1 and stats["tasks"] == 1
+        assert stats["claims"] == 1 and stats["oldest_claim_age"] >= 0.0
+        assert stats["quarantined"] == 1 and stats["lease_breaks"] == 1
+        assert stats["backend"] == backend.kind and stats["locator"] == backend.locator
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_iter_point_records_matches_per_key_loads(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        for i in range(3):
+            backend.save_point(f"k{i}", [[float(i)]], context={"run": i})
+        records = dict(backend.iter_point_records())
+        assert records == {k: backend.load_point_record(k) for k in backend.list_points()}
+
+
 class TestSweepResume:
     def test_identical_rerun_hits_cache_entirely(self, tmp_path):
         store = ResultsStore(tmp_path)
