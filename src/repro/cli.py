@@ -14,8 +14,10 @@ Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
     minim-cdma store ls store.sqlite
     minim-cdma store stats store.sqlite
     minim-cdma store watch store.sqlite --interval 2
+    minim-cdma store inspect store.sqlite TASKKEY
     minim-cdma store requeue store.sqlite
     minim-cdma store export store.sqlite --csv points.csv
+    minim-cdma store export store.sqlite --parquet points.parquet
     minim-cdma store compact results-store/
     minim-cdma store migrate results-store/ store.sqlite
     minim-cdma bench --runs 3 --n 120
@@ -34,13 +36,16 @@ store) drain them concurrently.  ``--ci-target``/``--ci-abs`` switch a
 sweep to adaptive run counts: starting from ``--runs``, each point gets
 additional runs until its confidence interval meets the target (capped
 by ``--max-runs``).  ``store`` inspects (``ls``), reports live
-drain/quarantine state (``stats`` / ``watch``), releases quarantined
-tasks back into the queue (``requeue``), dumps point-level CSV rows
-(``export --csv``), folds a JSON directory into one SQLite table
-(``compact``) or copies between backends (``migrate``).  ``bench``
-times the topology event loop (grid fast path vs the ``REPRO_DENSE``
-hatch), shared vs per-strategy multi-strategy replay, cold vs
-warm-start paired sweeps, and adaptive vs fixed run budgets, writing
+drain/quarantine state (``stats`` / ``watch``), replays a quarantined
+task under the serial executor with full traceback and requeues it on
+success (``inspect KEY``), releases quarantined tasks back into the
+queue (``requeue``), dumps point-level rows (``export --csv`` /
+``export --parquet``, the latter with sweep-level join columns, gated
+on pyarrow), folds a JSON directory into one SQLite table (``compact``)
+or copies between backends (``migrate``).  ``bench`` times the topology
+event loop (grid fast path vs the ``REPRO_DENSE`` hatch), shared vs
+per-strategy multi-strategy replay, checkpoint-timeline prefix sharing
+vs per-point round replay, and adaptive vs fixed run budgets, writing
 ``BENCH_eventloop.json``.  Each experiment command prints metric tables
 plus shape checks; ``--out DIR`` additionally writes markdown tables.
 """
@@ -195,11 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect / watch / requeue / export / compact / migrate a results store",
     )
     pst.add_argument(
-        "action", choices=("ls", "stats", "watch", "requeue", "export", "compact", "migrate")
+        "action",
+        choices=("ls", "stats", "watch", "inspect", "requeue", "export", "compact", "migrate"),
     )
     pst.add_argument("path", type=Path, help="the store (JSON directory or SQLite file)")
     pst.add_argument(
-        "dest", type=Path, nargs="?", default=None, help="migration target (migrate only)"
+        "dest",
+        nargs="?",
+        default=None,
+        metavar="DEST|KEY",
+        help="migration target (migrate) or quarantined task key (inspect)",
     )
     pst.add_argument(
         "--store-backend",
@@ -237,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pst.add_argument(
         "--csv", type=Path, default=None, help="export: CSV output path ('-' for stdout)"
+    )
+    pst.add_argument(
+        "--parquet",
+        type=Path,
+        default=None,
+        help="export: Parquet output path with sweep-level join columns "
+        "(needs pyarrow installed)",
     )
 
     pb = sub.add_parser(
@@ -376,6 +393,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         run_adaptive_bench,
         run_event_loop_bench,
         run_replay_bench,
+        run_timeline_bench,
         run_warmstart_bench,
         write_bench_json,
     )
@@ -388,6 +406,9 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         entries.extend(
             run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed)
         )
+        # pinned n: the timeline bench measures round sharing on the
+        # real strategy pipeline; its trace size is its own knob
+        entries.extend(run_timeline_bench(runs=args.runs, seed=args.seed))
         # no n: the adaptive bench pins its own small noisy sweep (the
         # controller, not the event loop, is what it measures)
         entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
@@ -403,6 +424,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
             "speedup_vs_dense",
             "speedup_vs_per_strategy",
             "speedup_vs_cold",
+            "timeline_prefix_sharing",
             "run_savings_vs_fixed",
         ):
             if field in e:
@@ -466,6 +488,16 @@ def _run_store_cmd(args: argparse.Namespace) -> int:
                 workers=not args.no_workers,
             )
             return 0
+        if args.action == "inspect":
+            from repro.sim.monitor import inspect_quarantined
+
+            if args.dest is None:
+                print("error: inspect needs a quarantined task KEY", file=sys.stderr)
+                return 2
+            # non-ConfigurationError failures propagate with their full
+            # traceback — surfacing the crash is the point of triage
+            inspect_quarantined(backend, args.dest)
+            return 0
         if args.action == "requeue":
             keys = args.key if args.key else backend.list_quarantined()
             released = 0
@@ -478,16 +510,24 @@ def _run_store_cmd(args: argparse.Namespace) -> int:
             print(f"released {released} task(s) back into {backend.locator}")
             return 0 if released == len(keys) else 2
         if args.action == "export":
-            from repro.sim.monitor import export_csv
+            from repro.sim.monitor import export_csv, export_parquet
 
-            if args.csv is None:
-                print("error: export needs --csv PATH ('-' for stdout)", file=sys.stderr)
+            if args.csv is None and args.parquet is None:
+                print(
+                    "error: export needs --csv PATH ('-' for stdout) and/or "
+                    "--parquet PATH",
+                    file=sys.stderr,
+                )
                 return 2
-            if str(args.csv) == "-":
-                rows = export_csv(backend, sys.stdout)
-            else:
-                rows = export_csv(backend, args.csv)
-                print(f"wrote {rows} row(s) to {args.csv}")
+            if args.csv is not None:
+                if str(args.csv) == "-":
+                    export_csv(backend, sys.stdout)
+                else:
+                    rows = export_csv(backend, args.csv)
+                    print(f"wrote {rows} row(s) to {args.csv}")
+            if args.parquet is not None:
+                rows = export_parquet(backend, args.parquet)
+                print(f"wrote {rows} row(s) to {args.parquet}")
             return 0
         if args.action == "compact":
             if not isinstance(backend, JsonDirBackend):
@@ -505,7 +545,7 @@ def _run_store_cmd(args: argparse.Namespace) -> int:
         if args.dest is None:
             print("error: migrate needs a DEST path", file=sys.stderr)
             return 2
-        dest = open_backend(args.dest, args.dest_backend)
+        dest = open_backend(Path(args.dest), args.dest_backend)
         counts = migrate_store(backend, dest)
         print(
             f"migrated {counts['points']} point(s), {counts['manifests']} "

@@ -41,6 +41,13 @@ from repro.sim.sweep import (
     plan_tasks,
     run_sweep,
 )
+from repro.sim.timeline import (
+    CheckpointTree,
+    Stage,
+    TracePlan,
+    build_plan,
+    prefix_token,
+)
 from repro.sim.workloads import (
     join_workload,
     movement_rounds,
@@ -49,6 +56,7 @@ from repro.sim.workloads import (
 
 __all__ = [
     "AdHocNetwork",
+    "CheckpointTree",
     "ChurnSpec",
     "EventRecord",
     "Executor",
@@ -67,14 +75,17 @@ __all__ = [
     "ScenarioSpec",
     "SerialExecutor",
     "SqliteBackend",
+    "Stage",
     "StoreMonitor",
     "StoreStats",
     "StrategyLane",
     "SweepSpec",
     "TaskGroup",
     "TracePhases",
+    "TracePlan",
     "WorkerExecutor",
     "available_scenarios",
+    "build_plan",
     "build_sweep",
     "export_csv",
     "get_scenario",
@@ -85,6 +96,7 @@ __all__ = [
     "plan_additional_tasks",
     "plan_tasks",
     "power_raise_workload",
+    "prefix_token",
     "register_scenario",
     "resolve_precision",
     "rng_from",

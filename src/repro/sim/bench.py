@@ -41,6 +41,16 @@ runs, and the adaptive entry's ``run_savings_vs_fixed`` is the
 fixed/adaptive run-count ratio — deterministic for a given seed, so CI
 can gate it like the other intra-run speedups.
 
+A fifth comparison (:func:`run_timeline_bench`) times what the
+checkpoint-tree execution timeline saves beyond the PR 3 warm path on
+round-structured sweeps — a ``delta_rounds``-style sweep whose point
+``k`` samples the cumulative delta after round ``k``.  ``warm-rounds``
+forks the shared baseline once per point and replays rounds ``1..k``
+cold (the PR 3 behavior, Σk rounds total); ``timeline`` walks the same
+members over the checkpoint tree, so point ``k`` forks from point
+``k-1``'s last shared round and the sweep replays max(k) rounds total.
+The timeline entry's ``timeline_prefix_sharing`` ratio is gated in CI.
+
 Results land in ``BENCH_eventloop.json`` (one entry per trace × mode
 with ``scenario``, ``n``, ``wall_seconds``, ``events_per_sec``) so the
 perf trajectory is machine-readable from CI artifacts.
@@ -72,6 +82,7 @@ __all__ = [
     "run_adaptive_bench",
     "run_event_loop_bench",
     "run_replay_bench",
+    "run_timeline_bench",
     "run_warmstart_bench",
     "write_bench_json",
 ]
@@ -359,6 +370,95 @@ def run_warmstart_bench(
             }
         )
     entries[-1]["speedup_vs_cold"] = timings["cold"] / timings["warm"]
+    return entries
+
+
+def run_timeline_bench(
+    *,
+    n: int = 60,
+    runs: int = 3,
+    sweep_points: int = 6,
+    seed: int = 2001,
+) -> list[dict]:
+    """Time checkpoint-tree round sharing against per-point round replay.
+
+    The workload is a ``delta_rounds`` sweep decomposed into points: a
+    paired delta sweep over ``steps`` in ``2, 4, …, 2·sweep_points``
+    (jump mobility on ``n`` nodes), where sampling round ``k`` is point
+    ``k`` of the sweep.  ``warm-rounds`` is the PR 3 warm path — the
+    shared baseline is forked once per point and every point replays
+    its own rounds cold, Σk rounds in total; ``timeline`` executes the
+    identical members through :func:`repro.sim.timeline.compute_group`,
+    whose checkpoint tree lets each point fork from the previous one's
+    last shared round, max(k) rounds in total.  Both modes run the real
+    strategy pipeline and report the sweep's *logical* event count, so
+    the events/sec ratio equals ``timeline_prefix_sharing`` on the
+    timeline entry.  ``wall_seconds`` is the median over ``runs``
+    repetitions.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if sweep_points < 2:
+        raise ValueError(f"sweep_points must be >= 2, got {sweep_points}")
+    from repro.sim.scenarios import MobilitySpec
+    from repro.sim.sweep import build_sweep, plan_tasks
+    from repro.sim.timeline import _ExecState, build_plan, compute_group
+
+    spec = replace(
+        get_scenario("fig12-move-rounds"),
+        n=n,
+        strategies=("Minim",),
+        mobility=MobilitySpec(kind="jumps", steps=2, maxdisp=40.0),
+        sweep_axis="steps",
+        sweep_values=tuple(float(2 * k) for k in range(1, sweep_points + 1)),
+        measure="delta",
+    )
+    sweep = build_sweep(spec, runs=1, seed=seed)
+    (group,) = plan_tasks(sweep)
+    assert group.warm and len(group.points) == sweep_points
+    logical_events = sum(
+        len(build_plan(point, group.seed).events) for point in group.points
+    )
+
+    def drive_warm_rounds() -> None:
+        # PR 3: one baseline build, then every point replays its own
+        # rounds from a baseline fork
+        plans = [build_plan(point, group.seed) for point in group.points]
+        base = _ExecState.fresh(plans[0].strategies)
+        base.apply_stage(plans[0].stages[0], plans[0].measure)
+        for plan in plans:
+            state = base.fork()
+            for stage in plan.stages[1:]:
+                state.apply_stage(stage, plan.measure)
+            state.result(plan.measure)
+
+    def drive_timeline() -> None:
+        compute_group(group.points, group.seed)
+
+    entries: list[dict] = []
+    timings: dict[str, float] = {}
+    for mode, drive in (("warm-rounds", drive_warm_rounds), ("timeline", drive_timeline)):
+        drive()  # warmup
+        walls = []
+        for _ in range(runs):
+            start = time.perf_counter()
+            drive()
+            walls.append(time.perf_counter() - start)
+        wall = float(np.median(walls))
+        timings[mode] = wall
+        entries.append(
+            {
+                "scenario": "timeline-prefix-sharing",
+                "n": n,
+                "mode": mode,
+                "sweep_points": sweep_points,
+                "events": logical_events,
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": logical_events / wall if wall > 0 else float("inf"),
+            }
+        )
+    entries[-1]["timeline_prefix_sharing"] = timings["warm-rounds"] / timings["timeline"]
     return entries
 
 

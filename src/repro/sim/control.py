@@ -12,10 +12,17 @@ confidence-bounded without paying worst-case run counts everywhere.
 when, for every (strategy, metric) sample mean, the two-sided
 ``confidence`` CI half-width ``z * sem`` is within ``rel * |mean|``
 *or* within ``abs_tol`` (the absolute floor keeps near-zero means from
-demanding infinite runs).  ``max_runs`` hard-caps the budget per point
-and ``growth`` sets the batch factor per pass (planning run counts in
-geometric batches keeps the number of plan→execute→collect passes
-logarithmic in the final run count).
+demanding infinite runs).  ``max_runs`` hard-caps the budget per point.
+
+Planning jumps straight to the *predicted* run count: the CI half-width
+shrinks as ``z·σ/√n``, so the smallest converging budget is
+``n* = (z·σ/tol)²`` for the point's worst (strategy, metric) cell — one
+plan→execute→collect pass typically lands the target instead of
+doubling toward it.  ``growth`` remains the per-pass floor (an
+unconverged point always grows at least geometrically), which caps the
+number of passes logarithmically even when early, small-sample variance
+estimates undershoot; ``predict=False`` restores the pure geometric
+schedule.
 
 Because every run task stays content-addressed (the seed of run ``r``
 depends only on the master seed and ``r``, never on how many runs were
@@ -85,9 +92,15 @@ class PrecisionTarget:
         Hard cap on runs per point; a point that still hasn't converged
         at the cap is reported as-is rather than planned further.
     growth:
-        Batch factor per plan pass: an unconverged point at ``n`` runs
-        is planned up to ``ceil(n * growth)`` (capped), so the number
-        of sequential passes stays logarithmic in the final run count.
+        Per-pass growth *floor*: an unconverged point at ``n`` runs is
+        always planned to at least ``ceil(n * growth)``, so even when
+        the variance prediction undershoots (σ estimated from few
+        samples) the number of sequential passes stays logarithmic in
+        the final run count.
+    predict:
+        Jump straight to the variance-predicted run count
+        ``n* = (z·σ/tol)²`` instead of growing purely geometrically
+        (the default).  ``False`` restores the pre-prediction schedule.
     """
 
     rel: float | None = 0.05
@@ -96,6 +109,7 @@ class PrecisionTarget:
     min_runs: int = 2
     max_runs: int = 32
     growth: float = 2.0
+    predict: bool = True
 
     def __post_init__(self) -> None:
         if self.rel is None and self.abs_tol is None:
@@ -163,12 +177,47 @@ class RunController:
             return False
         mean = data.mean(axis=0)
         half = self.target.z * data.std(axis=0, ddof=1) / math.sqrt(n)
+        return bool(np.all(half <= self._tolerances(mean)))
+
+    def _tolerances(self, mean: np.ndarray) -> np.ndarray:
+        """Per-cell CI half-width tolerance (the rel/abs maximum)."""
         tol = np.full_like(mean, -np.inf)
         if self.target.rel is not None:
             tol = np.maximum(tol, self.target.rel * np.abs(mean))
         if self.target.abs_tol is not None:
             tol = np.maximum(tol, self.target.abs_tol)
-        return bool(np.all(half <= tol))
+        return tol
+
+    def required_runs(self, samples: np.ndarray) -> int:
+        """The variance-predicted converging run count of one point.
+
+        The CI half-width at ``n`` runs is ``z·σ/√n``, so the smallest
+        budget meeting a tolerance ``tol`` is ``n* = (z·σ/tol)²``; the
+        prediction takes the worst (strategy, metric) cell.  Cells with
+        zero spread need one run; a cell whose tolerance is non-positive
+        (a zero mean under a rel-only target) can never converge and
+        predicts ``max_runs`` outright.  The estimate trusts the current
+        σ — :meth:`plan` re-checks convergence on the fresh samples, so
+        an undershoot only costs another (geometrically-floored) pass.
+        """
+        data = np.asarray(samples, dtype=np.float64)
+        n = data.shape[0]
+        if n < 2:  # no variance estimate yet: nothing to predict from
+            return max(2, self.target.min_runs)
+        sd = data.std(axis=0, ddof=1)
+        tol = self._tolerances(data.mean(axis=0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            need = np.square(self.target.z * sd / tol)
+        need = np.where(tol <= 0.0, float(self.target.max_runs), need)
+        # a zero-spread cell is satisfied at any tolerance (half-width 0),
+        # including tol == 0 — the sd mask must win over the tol mask, or
+        # a constant-zero metric under a rel-only target would burn the
+        # whole run budget despite already counting as converged
+        need = np.where(sd <= 0.0, 1.0, need)
+        worst = float(np.max(need, initial=1.0))
+        if not math.isfinite(worst):
+            return self.target.max_runs
+        return min(self.target.max_runs, max(1, math.ceil(worst)))
 
     def plan(
         self,
@@ -181,12 +230,15 @@ class RunController:
 
         ``samples[i]`` holds point ``i``'s collected results with the
         run axis first.  Points at ``max_runs`` are left alone; an
-        unconverged point grows by the target's batch factor.  With
-        ``paired`` every point is raised to the same (maximum) count,
-        because paired sweeps share seed rows across points — ragged
-        counts would silently unpair the extra runs and break the
-        common-random-numbers variance reduction (and warm-start row
-        grouping) the pairing exists for.
+        unconverged point jumps straight to its variance-predicted
+        count (:meth:`required_runs`), floored by the target's
+        geometric batch factor so progress is guaranteed even when a
+        small-sample σ underestimates (``predict=False`` keeps the pure
+        geometric schedule).  With ``paired`` every point is raised to
+        the same (maximum) count, because paired sweeps share seed rows
+        across points — ragged counts would silently unpair the extra
+        runs and break the common-random-numbers variance reduction
+        (and checkpoint-tree row grouping) the pairing exists for.
         """
         if len(samples) != len(runs_per_point):
             raise ConfigurationError(
@@ -200,6 +252,8 @@ class RunController:
             if self.converged(block):
                 continue
             grown = max(n + 1, math.ceil(n * self.target.growth))
+            if self.target.predict:
+                grown = max(grown, self.required_runs(block))
             want[i] = min(self.target.max_runs, max(grown, self.target.min_runs))
         if paired and want:
             top = max(want.values())

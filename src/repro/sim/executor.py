@@ -22,13 +22,16 @@ task payloads, so a sweep produces an identical
 spec + seed regardless of executor (pinned by
 ``tests/sim/test_executor.py``).
 
-A :class:`TaskGroup` usually holds one (point, run).  Paired delta
-sweeps (``paired_runs`` + ``measure="delta"``) group *all* sweep points
-of one run seed into a single warm-start group: the shared baseline
-network is built once and each point replays only its perturbation
-rounds from a :meth:`~repro.sim.network.MultiStrategyReplay.fork` —
-byte-equivalent to a cold rebuild (``tests/sim/test_warmstart.py``) and
-measurably faster (``minim-cdma bench``).
+A :class:`TaskGroup` usually holds one (point, run).  Groups whose
+members share a simulation prefix (paired sweeps over axes that leave
+the placement draw untouched) hold one run seed's whole point row, and
+execution walks the **checkpoint tree** of :mod:`repro.sim.timeline`:
+each member's trace is segmented into content-keyed stages (placement
+draw → join trace → per-round perturbations), stage boundaries
+traversed by more than one member are checkpointed, and every member
+forks from the deepest checkpoint on its own chain — byte-equivalent to
+a cold rebuild (``tests/sim/test_timeline.py``) and measurably faster
+(``minim-cdma bench``).
 """
 
 from __future__ import annotations
@@ -43,16 +46,11 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.sim.network import MultiStrategyReplay
 from repro.sim.results import DEFAULT_CLAIM_TTL, ResultsBackend, open_backend
 from repro.sim.runner import parallel_map
-from repro.sim.scenarios import (
-    ScenarioSpec,
-    TracePhases,
-    scenario_from_dict,
-    scenario_phases,
-)
-from repro.strategies import make_strategy
+from repro.sim.scenarios import ScenarioSpec, scenario_from_dict
+from repro.sim.timeline import compute_group as _compute_group_timeline
+from repro.sim.timeline import prefix_token
 
 __all__ = [
     "DEFAULT_QUARANTINE_AFTER",
@@ -85,10 +83,15 @@ class TaskGroup:
     ``indices[m]`` is the ``(point index, run index)`` of member ``m``,
     ``points[m]`` its fully resolved spec and ``keys[m]`` its
     content-addressed artifact key.  All members share ``seed`` (a
-    group either holds a single (point, run) or the whole paired row of
-    one run).  With ``warm`` the members share their baseline phase:
-    the base network is built once and each member replays only its
-    perturbation rounds from a fork.
+    group either holds a single (point, run) or one run seed's whole
+    shared-prefix point row).  ``stage_tokens[m]`` is member ``m``'s
+    plan-time placement-prefix token
+    (:func:`repro.sim.timeline.prefix_token`) — equal tokens are why
+    the members were grouped, and the tokens travel in worker
+    descriptors so any drain can see the intended sharing.  With
+    ``warm`` execution walks the checkpoint tree of
+    :mod:`repro.sim.timeline`, resuming each member from the deepest
+    stage checkpoint its content-key chain hits.
     """
 
     indices: tuple[tuple[int, int], ...]
@@ -97,12 +100,35 @@ class TaskGroup:
     keys: tuple[str, ...]
     contexts: tuple[dict, ...]
     warm: bool = False
+    stage_tokens: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not (len(self.indices) == len(self.points) == len(self.keys) == len(self.contexts)):
             raise ConfigurationError("TaskGroup member tuples must be parallel")
+        if self.stage_tokens and len(self.stage_tokens) != len(self.indices):
+            raise ConfigurationError("TaskGroup stage_tokens must parallel the members")
         if not self.indices:
             raise ConfigurationError("TaskGroup needs at least one member")
+
+    def subset(self, members: Sequence[int]) -> "TaskGroup":
+        """The group restricted to the given member positions.
+
+        The shrink primitive of the claim stage and incremental planning:
+        all parallel member tuples shrink together, the shared seed and
+        the warm flag survive (a shrunken warm group still shares the
+        prefix among whatever remains).
+        """
+        from dataclasses import replace
+
+        tokens = tuple(self.stage_tokens[m] for m in members) if self.stage_tokens else ()
+        return replace(
+            self,
+            indices=tuple(self.indices[m] for m in members),
+            points=tuple(self.points[m] for m in members),
+            keys=tuple(self.keys[m] for m in members),
+            contexts=tuple(self.contexts[m] for m in members),
+            stage_tokens=tokens,
+        )
 
     @property
     def key(self) -> str:
@@ -135,6 +161,7 @@ def group_payload(group: TaskGroup) -> dict:
         "keys": list(group.keys),
         "contexts": list(group.contexts),
         "warm": group.warm,
+        "stage_tokens": list(group.stage_tokens),
     }
 
 
@@ -151,13 +178,17 @@ def group_from_payload(payload: dict) -> TaskGroup:
             entropy=payload["seed"]["entropy"],
             spawn_key=tuple(payload["seed"]["spawn_key"]),
         )
+        points = tuple(scenario_from_dict(p) for p in payload["points"])
+        # older descriptors carry no tokens; recompute from the specs
+        tokens = payload.get("stage_tokens") or (prefix_token(p, seed) for p in points)
         return TaskGroup(
             indices=tuple((int(i), int(r)) for i, r in payload["indices"]),
-            points=tuple(scenario_from_dict(p) for p in payload["points"]),
+            points=points,
             seed=seed,
             keys=tuple(payload["keys"]),
             contexts=tuple(payload["contexts"]),
             warm=bool(payload.get("warm", False)),
+            stage_tokens=tuple(tokens),
         )
     except (KeyError, TypeError) as exc:
         raise ConfigurationError(f"malformed task descriptor: {exc}") from exc
@@ -166,99 +197,26 @@ def group_from_payload(payload: dict) -> TaskGroup:
 # ----------------------------------------------------------------------
 # Computation kernel (runs in orchestrators, pool processes and workers)
 # ----------------------------------------------------------------------
-def _measure_rounds(replay: MultiStrategyReplay, phases: TracePhases, measure: str) -> list:
-    """Replay the perturbation rounds on a post-baseline network.
-
-    Returns, per strategy lane, either one ``[max_color, recodings,
-    messages]`` triple (absolute / delta measures) or one triple per
-    perturbation round (``delta_rounds``).
-    """
-    if measure == "absolute":
-        for round_events in phases.rounds:
-            for event in round_events:
-                replay.apply(event)
-        return [
-            [
-                float(lane.assignment.max_color()),
-                float(lane.metrics.total_recodings),
-                float(lane.metrics.total_messages),
-            ]
-            for lane in replay.lanes
-        ]
-    baselines = [lane.metrics.snapshot() for lane in replay.lanes]
-    if measure == "delta":
-        for round_events in phases.rounds:
-            for event in round_events:
-                replay.apply(event)
-        return [_delta_triple(before, lane) for before, lane in zip(baselines, replay.lanes)]
-    # delta_rounds: cumulative deltas sampled after every round.
-    out: list[list[list[float]]] = [[] for _ in replay.lanes]
-    for round_events in phases.rounds:
-        for event in round_events:
-            replay.apply(event)
-        for i, (before, lane) in enumerate(zip(baselines, replay.lanes)):
-            out[i].append(_delta_triple(before, lane))
-    return out
-
-
-def _delta_triple(before, lane) -> list[float]:
-    delta = before.delta(lane.metrics.snapshot())
-    return [
-        float(delta.max_color),
-        float(delta.total_recodings),
-        float(delta.total_messages),
-    ]
-
-
-def _compute_point(point: ScenarioSpec, seed) -> list:
-    """Cold-compute one (point, run): baseline replay + measurement."""
-    phases = scenario_phases(point, np.random.default_rng(seed))
-    replay = MultiStrategyReplay([make_strategy(name) for name in point.strategies])
-    for event in phases.baseline:
-        replay.apply(event)
-    return _measure_rounds(replay, phases, point.measure)
-
-
 def compute_group(group: TaskGroup, on_member=None) -> list[list]:
     """Compute every member of a group; returns results in member order.
 
-    Warm groups build the shared baseline network once, then fork it per
-    member and replay only that member's perturbation rounds.  A member
-    whose baseline phase diverges from the group's (a sweep axis that
-    turned out to affect placement after all) falls back to a cold
-    rebuild, so warm grouping can never change results — only skip
-    redundant work.
+    The execute-stage kernel every executor (and worker drain) runs:
+    delegate to the timeline walker of :mod:`repro.sim.timeline`.  Warm
+    groups share stage checkpoints along their members' content-key
+    chains (placement/join prefix, and any perturbation rounds whose
+    keys coincide); non-warm groups and singletons replay cold.  Because
+    stage keys are content-derived, a member whose trace diverges (a
+    sweep axis that turned out to affect placement after all) shares
+    nothing and recomputes from scratch — sharing can never change
+    results, only skip redundant work.
 
     ``on_member(index, result)``, when given, fires after each member
     completes — the hook drain loops use to persist points and renew
     their lease incrementally instead of once at the end.
     """
-    results: list[list] = []
-
-    def _landed(out: list) -> list:
-        if on_member is not None:
-            on_member(len(results), out)
-        results.append(out)
-        return out
-
-    if not group.warm or len(group.points) == 1:
-        for point in group.points:
-            _landed(_compute_point(point, group.seed))
-        return results
-    phase_list = [
-        scenario_phases(point, np.random.default_rng(group.seed)) for point in group.points
-    ]
-    base_phases = phase_list[0]
-    base = MultiStrategyReplay([make_strategy(name) for name in group.points[0].strategies])
-    for event in base_phases.baseline:
-        base.apply(event)
-    base_strategies = group.points[0].strategies
-    for point, phases in zip(group.points, phase_list):
-        if phases.baseline == base_phases.baseline and point.strategies == base_strategies:
-            _landed(_measure_rounds(base.fork(), phases, point.measure))
-        else:  # divergent baseline: cold fallback keeps results identical
-            _landed(_compute_point(point, group.seed))
-    return results
+    return _compute_group_timeline(
+        group.points, group.seed, share=group.warm, on_member=on_member
+    )
 
 
 def _provenance(context: dict, worker: str) -> dict:

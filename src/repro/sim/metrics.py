@@ -89,6 +89,23 @@ class MetricsCollector:
         """Max color index after the most recent event (0 if none)."""
         return self._max_color
 
+    @classmethod
+    def from_records(cls, records: "list[EventRecord]") -> "MetricsCollector":
+        """Rebuild a collector from a recorded history.
+
+        The deserialization half of checkpoint restores: totals are
+        re-accumulated from the records, so a restored collector is
+        indistinguishable from one that recorded the events live.
+        """
+        fresh = cls()
+        fresh.records = list(records)
+        for r in fresh.records:
+            fresh._total_recodings += r.recodings
+            fresh._total_messages += r.messages
+        if fresh.records:
+            fresh._max_color = fresh.records[-1].max_color_after
+        return fresh
+
     def clone(self) -> "MetricsCollector":
         """An independent copy (records list and totals).
 

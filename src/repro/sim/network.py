@@ -28,7 +28,7 @@ from repro.coloring.assignment import CodeAssignment
 from repro.coloring.verify import assert_valid
 from repro.errors import ConfigurationError, ConnectivityError
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
-from repro.sim.metrics import MetricsCollector
+from repro.sim.metrics import EventRecord, MetricsCollector
 from repro.strategies.base import RecodeResult, RecodingStrategy
 from repro.topology.connectivity import has_minimal_connectivity
 from repro.topology.digraph import AdHocDigraph, TopologyDelta
@@ -73,6 +73,45 @@ class StrategyLane:
         clone.assignment = self.assignment.copy()
         clone.metrics = self.metrics.clone()
         return clone
+
+    def state_dict(self) -> dict:
+        """Serialize the lane's per-strategy state to a JSON-able dict.
+
+        Captures the strategy *name* (strategies are stateless between
+        events, so the name rebuilds an equivalent object), the full
+        assignment, and the metrics history — everything
+        :meth:`load_state` needs to continue byte-identically.
+        """
+        return {
+            "strategy": self.name,
+            "assignment": [[int(node), int(color)] for node, color in self.assignment.items()],
+            "metrics": [
+                [r.kind, int(r.node), int(r.recodings), int(r.messages), int(r.max_color_after)]
+                for r in self.metrics.records
+            ],
+        }
+
+    def load_state(self, state: dict) -> "StrategyLane":
+        """Adopt a :meth:`state_dict`; returns self for chaining."""
+        if state.get("strategy") != self.name:
+            raise ConfigurationError(
+                f"lane state is for strategy {state.get('strategy')!r}, "
+                f"this lane runs {self.name!r}"
+            )
+        self.assignment = CodeAssignment({node: color for node, color in state["assignment"]})
+        self.metrics = MetricsCollector.from_records(
+            [
+                EventRecord(
+                    kind=kind,
+                    node=node,
+                    recodings=recodings,
+                    messages=messages,
+                    max_color_after=max_color_after,
+                )
+                for kind, node, recodings, messages, max_color_after in state["metrics"]
+            ]
+        )
+        return self
 
     def react(self, graph: AdHocDigraph, delta: TopologyDelta) -> RecodeResult:
         """Handle one applied event: recode, commit, record metrics."""
@@ -312,6 +351,54 @@ class MultiStrategyReplay(_TopologyOwner):
         clone.graph = self.graph.copy()
         clone.enforce_connectivity = self.enforce_connectivity
         clone.lanes = [lane.fork() for lane in self.lanes]
+        return clone
+
+    def snapshot(self) -> dict:
+        """Serialize the whole replay state to a JSON-able dict.
+
+        A serializable checkpoint: the graph's
+        :meth:`~repro.topology.digraph.AdHocDigraph.snapshot` plus every
+        lane's :meth:`~StrategyLane.state_dict`.  :meth:`restore` at any
+        point of an event chain — mid-sweep, between perturbation
+        rounds — continues byte-identically to the live instance
+        (pinned by ``tests/sim/test_timeline.py``), so checkpoints can
+        outlive the process that took them.
+        """
+        return {
+            "schema": 1,
+            "graph": self.graph.snapshot(),
+            "enforce_connectivity": self.enforce_connectivity,
+            "lanes": [lane.state_dict() for lane in self.lanes],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        *,
+        propagation: PropagationModel | None = None,
+        validate: bool = False,
+    ) -> "MultiStrategyReplay":
+        """Rebuild a replay from a :meth:`snapshot` dict.
+
+        Strategy objects are reconstructed by name (strategies carry no
+        inter-event state); the graph restore enforces the snapshot's
+        propagation contract, so a checkpoint taken under a non-default
+        model cannot be silently resumed under free space.
+        """
+        from repro.strategies import make_strategy
+
+        if snapshot.get("schema") != 1:
+            raise ConfigurationError(
+                f"unsupported replay snapshot schema {snapshot.get('schema')!r}"
+            )
+        clone = cls.__new__(cls)
+        clone.graph = AdHocDigraph.restore(snapshot["graph"], propagation=propagation)
+        clone.enforce_connectivity = bool(snapshot["enforce_connectivity"])
+        clone.lanes = [
+            StrategyLane(make_strategy(state["strategy"]), validate=validate).load_state(state)
+            for state in snapshot["lanes"]
+        ]
         return clone
 
     def apply(self, event: Event) -> list[RecodeResult]:

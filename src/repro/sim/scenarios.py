@@ -61,6 +61,7 @@ __all__ = [
     "run_scenario",
     "scenario_from_dict",
     "scenario_phases",
+    "scenario_plan",
     "scenario_trace",
 ]
 
@@ -488,6 +489,22 @@ def scenario_trace(
     """
     phases = scenario_phases(spec, rng)
     return list(phases.configs), phases.events
+
+
+def scenario_plan(spec: ScenarioSpec, rng: np.random.Generator):
+    """One run's staged, content-keyed :class:`~repro.sim.timeline.TracePlan`.
+
+    The checkpoint-timeline view of :func:`scenario_phases`: the same
+    events, segmented into stages (placement/join, then one stage per
+    perturbation round) whose chained content keys are what the
+    execution layer shares across tasks.  Plans round-trip through
+    :func:`repro.sim.trace.save_trace` with their keys intact.
+    """
+    from repro.sim.timeline import plan_from_phases
+
+    return plan_from_phases(
+        scenario_phases(spec, rng), strategies=spec.strategies, measure=spec.measure
+    )
 
 
 # ----------------------------------------------------------------------

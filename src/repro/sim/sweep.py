@@ -7,9 +7,11 @@ which stages the work through four pluggable layers:
 1. **plan** — the scenario spec is resolved once per sweep value, per-run
    seeds derive from one master ``SeedSequence`` (paired across sweep
    values when the spec asks for it), and every (point, run) becomes a
-   content-addressed :class:`~repro.sim.executor.TaskGroup`.  Paired
-   delta sweeps group each run's points into one *warm-start* group
-   that builds the shared baseline network once and forks it per point;
+   content-addressed :class:`~repro.sim.executor.TaskGroup`.  Tasks
+   sharing an execution-timeline prefix (same run seed, same
+   placement/join prefix token — see :mod:`repro.sim.timeline`) are
+   grouped so execution walks them over one checkpoint tree instead of
+   replaying the shared prefix per point;
 2. **claim** — tasks whose artifacts already exist in the results
    backend (:mod:`repro.sim.results`) are served from cache;
 3. **execute** — pending groups run on an
@@ -52,12 +54,6 @@ DELTA_METRICS = ("delta_max_color", "delta_recodings", "delta_messages")
 
 _DEFAULT_RUNS = 5
 _DEFAULT_SEED = 2001
-
-#: Sweep axes that perturb the trace *before* any placement draw, so a
-#: paired delta sweep over them shares one baseline network per run
-#: seed.  ``n`` and ``avg_range`` change the placement itself and are
-#: excluded (warm grouping would always fall back to cold rebuilds).
-_WARM_SAFE_AXES = ("steps", "maxdisp", "fraction", "cycles", "raisefactor")
 
 
 @dataclass(frozen=True)
@@ -136,18 +132,6 @@ def build_sweep(
 # ----------------------------------------------------------------------
 # Stage 1: plan
 # ----------------------------------------------------------------------
-def _warm_eligible(spec: ScenarioSpec, n_points: int, warm_start: bool | None) -> bool:
-    """Whether this sweep's runs share a baseline worth forking."""
-    if warm_start is False:
-        return False
-    return (
-        spec.paired_runs
-        and spec.measure == "delta"
-        and n_points > 1
-        and spec.sweep_axis in _WARM_SAFE_AXES
-    )
-
-
 def _task_context(spec: ScenarioSpec, point: ScenarioSpec, i: int, r: int, seed) -> dict:
     return {
         "experiment": spec.series_id,
@@ -164,41 +148,51 @@ def _task_context(spec: ScenarioSpec, point: ScenarioSpec, i: int, r: int, seed)
 def plan_tasks(sweep: SweepSpec, *, warm_start: bool | None = None) -> list[TaskGroup]:
     """Plan stage: every (point, run) as content-addressed task groups.
 
-    Returns one singleton group per (point, run) — or, when the sweep
-    is warm-start eligible (``paired_runs`` delta sweeps over a
-    perturbation-only axis), one group per run holding that run's whole
-    point row, so executors build the shared baseline network once per
-    run seed.
+    Tasks that share an execution-timeline prefix — the same run seed
+    *and* the same placement/join prefix token
+    (:func:`repro.sim.timeline.prefix_token`, a digest of exactly the
+    spec fields the placement draw consumes) — are planned into one
+    group per run, so executors walk them over a shared checkpoint tree
+    instead of replaying the common prefix per point.  In practice that
+    groups paired sweeps over perturbation axes (``maxdisp``,
+    ``raisefactor``, ``steps``, …); axes that touch the placement
+    (``n``, ``avg_range``) key apart and stay singleton groups, as does
+    every unpaired sweep (distinct seeds never share a draw).
+    ``warm_start=False`` disables grouping entirely (results are
+    identical either way).
     """
+    from repro.sim.timeline import prefix_token
+
     spec = sweep.scenario
     keys = {(i, r): _point_key(point, point_seed) for i, r, point, point_seed in sweep.tasks()}
     contexts = {
         (i, r): _task_context(spec, point, i, r, point_seed)
         for i, r, point, point_seed in sweep.tasks()
     }
-    groups: list[TaskGroup] = []
-    if _warm_eligible(spec, len(sweep.points), warm_start):
-        for r in range(sweep.runs):
-            indices = tuple((i, r) for i in range(len(sweep.points)))
-            groups.append(
-                TaskGroup(
-                    indices=indices,
-                    points=sweep.points,
-                    seed=sweep.seeds[0][r],
-                    keys=tuple(keys[ix] for ix in indices),
-                    contexts=tuple(contexts[ix] for ix in indices),
-                    warm=True,
-                )
-            )
-        return groups
+    tokens = {
+        (i, r): prefix_token(point, point_seed) for i, r, point, point_seed in sweep.tasks()
+    }
+    # group per run by (seed, placement prefix); insertion order keeps
+    # groups sorted by first (point, run) appearance
+    rows: dict[tuple, list[tuple[int, int, ScenarioSpec]]] = {}
     for i, r, point, point_seed in sweep.tasks():
+        if warm_start is False:
+            row_key = ("solo", i, r)
+        else:
+            row_key = (r, seed_token(point_seed), tokens[(i, r)])
+        rows.setdefault(row_key, []).append((i, r, point))
+    groups: list[TaskGroup] = []
+    for members in rows.values():
+        indices = tuple((i, r) for i, r, _ in members)
         groups.append(
             TaskGroup(
-                indices=((i, r),),
-                points=(point,),
-                seed=point_seed,
-                keys=(keys[(i, r)],),
-                contexts=(contexts[(i, r)],),
+                indices=indices,
+                points=tuple(point for _, _, point in members),
+                seed=sweep.seeds[members[0][0]][members[0][1]],
+                keys=tuple(keys[ix] for ix in indices),
+                contexts=tuple(contexts[ix] for ix in indices),
+                warm=len(members) > 1,
+                stage_tokens=tuple(tokens[ix] for ix in indices),
             )
         )
     return groups
@@ -229,18 +223,7 @@ def plan_additional_tasks(
         keep = [m for m, (i, r) in enumerate(group.indices) if runs_per_point[i] <= r < target[i]]
         if not keep:
             continue
-        if len(keep) == len(group.indices):
-            groups.append(group)
-        else:
-            groups.append(
-                replace(
-                    group,
-                    indices=tuple(group.indices[m] for m in keep),
-                    points=tuple(group.points[m] for m in keep),
-                    keys=tuple(group.keys[m] for m in keep),
-                    contexts=tuple(group.contexts[m] for m in keep),
-                )
-            )
+        groups.append(group if len(keep) == len(group.indices) else group.subset(keep))
     return groups
 
 
@@ -270,18 +253,7 @@ def claim_cached(
                 results[group.indices[m]] = cached
         if not missing:
             continue
-        if len(missing) == len(group.keys):
-            pending.append(group)
-        else:
-            pending.append(
-                replace(
-                    group,
-                    indices=tuple(group.indices[m] for m in missing),
-                    points=tuple(group.points[m] for m in missing),
-                    keys=tuple(group.keys[m] for m in missing),
-                    contexts=tuple(group.contexts[m] for m in missing),
-                )
-            )
+        pending.append(group if len(missing) == len(group.keys) else group.subset(missing))
     return results, pending
 
 
@@ -308,8 +280,9 @@ def run_sweep(
     layer (``"serial"`` / ``"process"`` / ``"worker"`` or an
     :class:`~repro.sim.executor.Executor` instance); the default keeps
     the historical behavior of ``processes``.  ``warm_start=False``
-    disables baseline forking for paired delta sweeps (``None`` enables
-    it whenever eligible; results are identical either way).  With a
+    disables checkpoint-tree prefix sharing — every (point, run)
+    replays cold (``None`` shares whenever tasks' timelines allow it;
+    results are identical either way).  With a
     ``store``, completed points are loaded instead of recomputed
     (unless ``resume=False``), fresh points are persisted as they land,
     and the assembled series plus a run manifest are written.  The

@@ -1,0 +1,451 @@
+"""The execution timeline: content-keyed stages and the checkpoint tree.
+
+The sweep pipeline's heaviest experiments replay near-identical
+simulation prefixes: every point of a paired delta sweep rebuilds the
+same baseline network, and a sweep over round counts rebuilds rounds
+``1..k-1`` to sample round ``k``.  This module generalizes the PR 3
+"baseline phase → perturbation phase" warm start into an explicit
+**execution timeline**:
+
+* :func:`build_plan` turns one (point, seed)'s
+  :func:`~repro.sim.scenarios.scenario_phases` output into a
+  :class:`TracePlan` — a list of :class:`Stage`\\ s (the placement/join
+  stage followed by one stage per perturbation round), each carrying a
+  **content key** chained from its predecessor's.  Two tasks share a
+  prefix *iff* their stage-key chains share a prefix, so sharing is
+  decided from what the traces actually contain, never from which sweep
+  axis produced them — a divergent trace (an axis that turns out to
+  affect placement or earlier rounds) simply keys apart and executes
+  cold.
+* :func:`compute_group` executes a set of plans over one
+  :class:`CheckpointTree`: each stage boundary whose key more than one
+  plan traverses is checkpointed (a
+  :meth:`~repro.sim.network.MultiStrategyReplay.fork` of the full
+  replay state), and every plan resumes from the deepest checkpoint its
+  chain hits instead of replaying from cold.  Results are byte-identical
+  to cold execution (pinned by ``tests/sim/test_timeline.py``); only
+  redundant work is skipped.
+
+This subsumes the former warm-group special case: a paired delta sweep's
+points share their placement/join stage exactly as before, while sweeps
+over round-structured axes (``steps``, ``cycles``) additionally chain
+through the shared earlier rounds — point ``k`` forks from point
+``k-1``'s last common round instead of replaying ``k-1`` rounds from the
+baseline.  :func:`prefix_token` is the *plan-time* shadow of the join
+stage's content key: a digest of exactly the spec fields the placement
+draw and join trace consume, letting
+:func:`repro.sim.sweep.plan_tasks` group tasks by shared prefix without
+drawing any traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.network import MultiStrategyReplay
+from repro.sim.scenarios import ScenarioSpec, TracePhases, scenario_plan
+from repro.sim.trace import event_to_dict
+from repro.strategies import make_strategy
+
+__all__ = [
+    "CheckpointTree",
+    "Stage",
+    "TracePlan",
+    "build_plan",
+    "compute_group",
+    "compute_point",
+    "plan_from_phases",
+    "prefix_token",
+    "stage_key",
+]
+
+
+# ----------------------------------------------------------------------
+# Stages and plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Stage:
+    """One checkpointable segment of a run's event trace.
+
+    ``kind`` is ``"join"`` (the placement draw's sequential join phase)
+    or ``"round"`` (one perturbation round); ``index`` is 0 for the join
+    stage and the 1-based round number otherwise.  ``key`` is the
+    content hash of the *chain up to and including* this stage — it
+    commits to every event applied so far plus the strategy lineup, so
+    equal keys guarantee byte-identical replay state.
+    """
+
+    kind: str
+    index: int
+    events: tuple
+    key: str
+
+
+@dataclass(frozen=True)
+class TracePlan:
+    """One run's workload as a staged, content-keyed timeline.
+
+    The staged successor of :class:`~repro.sim.scenarios.TracePhases`:
+    same events in the same order, but segmented into
+    :class:`Stage`\\ s whose key chain is what the checkpoint tree
+    shares across tasks.  ``measure`` and ``strategies`` ride along so a
+    plan is self-contained for execution and serialization
+    (:func:`repro.sim.trace.save_trace` round-trips staged plans).
+    """
+
+    stages: tuple[Stage, ...]
+    strategies: tuple[str, ...]
+    measure: str
+
+    @property
+    def stage_keys(self) -> tuple[str, ...]:
+        """The content-key chain, one entry per stage."""
+        return tuple(stage.key for stage in self.stages)
+
+    @property
+    def baseline(self) -> tuple:
+        """The join stage's events (empty for a stage-less plan)."""
+        return self.stages[0].events if self.stages else ()
+
+    @property
+    def rounds(self) -> tuple[tuple, ...]:
+        """The perturbation rounds' event tuples, in order."""
+        return tuple(stage.events for stage in self.stages[1:])
+
+    @property
+    def events(self) -> list:
+        """The flat event sequence (all stages, in order)."""
+        return [event for stage in self.stages for event in stage.events]
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+
+def stage_key(parent: str, kind: str, index: int, events: Sequence) -> str:
+    """The content key of one stage, chained from its predecessor's.
+
+    Hashes the serialized events together with the parent key, so a key
+    commits to the entire event prefix: two stages compare equal exactly
+    when everything replayed up to their boundary is byte-identical.
+    """
+    return _digest(
+        {
+            "parent": parent,
+            "kind": kind,
+            "index": index,
+            "events": [event_to_dict(event) for event in events],
+        }
+    )
+
+
+def plan_from_phases(
+    phases: TracePhases, *, strategies: Sequence[str], measure: str
+) -> TracePlan:
+    """Segment a phased trace into a content-keyed :class:`TracePlan`.
+
+    The chain root commits to the strategy lineup *and* the measure
+    (checkpointed replay state embeds one lane per strategy plus
+    measure-shaped sampling state — the per-round sample lists of
+    ``delta_rounds`` — so states are only interchangeable between
+    identically-configured walks); the join stage commits to the
+    placement draw via its join events, and every round stage extends
+    the chain.
+    """
+    root = _digest({"strategies": list(strategies), "measure": measure})
+    stages = [Stage("join", 0, tuple(phases.baseline), stage_key(root, "join", 0, phases.baseline))]
+    for t, round_events in enumerate(phases.rounds, start=1):
+        stages.append(
+            Stage(
+                "round",
+                t,
+                tuple(round_events),
+                stage_key(stages[-1].key, "round", t, round_events),
+            )
+        )
+    return TracePlan(stages=tuple(stages), strategies=tuple(strategies), measure=measure)
+
+
+def build_plan(point: ScenarioSpec, seed) -> TracePlan:
+    """One (resolved point, seed)'s staged workload.
+
+    Draws the trace exactly as cold execution would
+    (:func:`~repro.sim.scenarios.scenario_plan` under
+    ``np.random.default_rng(seed)``), so the plan's flat event sequence
+    is byte-identical to the unstaged one.
+    """
+    return scenario_plan(point, np.random.default_rng(seed))
+
+
+def prefix_token(point: ScenarioSpec, seed) -> str:
+    """Plan-time token of the placement/join prefix, without drawing it.
+
+    Digests exactly what the placement draw and join trace consume — the
+    node count, arena, range interval, placement law, the seed, and the
+    strategy lineup the checkpointed state embeds.  Two (point, seed)
+    tasks with equal tokens produce byte-identical join stages, so the
+    planner groups them for prefix sharing; fields the token excludes
+    (mobility, churn, power, measure) only shape *later* stages, whose
+    sharing the content keys decide at execution time.
+    """
+    from repro.sim.results import seed_token
+
+    placement = point.placement
+    return _digest(
+        {
+            "seed": seed_token(seed),
+            "n": point.n,
+            "area": list(point.area),
+            "min_range": point.min_range,
+            "max_range": point.max_range,
+            "placement": [
+                placement.kind,
+                placement.cluster_rate,
+                placement.cluster_sigma,
+                placement.hotspot_fraction,
+                placement.hotspot_radius,
+            ],
+            "strategies": list(point.strategies),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution state and the checkpoint tree
+# ----------------------------------------------------------------------
+class _ExecState:
+    """The full execution cursor of one task at a stage boundary.
+
+    Wraps the replay (graph + lanes) together with the measurement state
+    the walk accumulates: the post-join metric baselines delta measures
+    subtract from, and the per-round samples of ``delta_rounds``
+    measures.  Forking copies all three, so a checkpoint taken at any
+    boundary resumes with the measurement context intact — a task that
+    forks at round ``j`` still reports deltas against the join-stage
+    baseline it never replayed itself.
+    """
+
+    __slots__ = ("replay", "baselines", "samples")
+
+    def __init__(
+        self,
+        replay: MultiStrategyReplay,
+        baselines: list | None = None,
+        samples: list[list[list[float]]] | None = None,
+    ) -> None:
+        self.replay = replay
+        self.baselines = baselines
+        self.samples = [] if samples is None else samples
+
+    @classmethod
+    def fresh(cls, strategies: Sequence[str]) -> "_ExecState":
+        return cls(MultiStrategyReplay([make_strategy(name) for name in strategies]))
+
+    def fork(self) -> "_ExecState":
+        """An independent continuation (snapshots are immutable, samples copied)."""
+        return _ExecState(
+            self.replay.fork(),
+            None if self.baselines is None else list(self.baselines),
+            [list(lane_samples) for lane_samples in self.samples],
+        )
+
+    def apply_stage(self, stage: Stage, measure: str) -> None:
+        """Replay one stage's events and record its measurement state."""
+        replay = self.replay
+        for event in stage.events:
+            replay.apply(event)
+        if stage.kind == "join":
+            # the post-baseline snapshot every delta measure subtracts from
+            self.baselines = [lane.metrics.snapshot() for lane in replay.lanes]
+            if measure == "delta_rounds":
+                self.samples = [[] for _ in replay.lanes]
+        elif measure == "delta_rounds":
+            for i, (before, lane) in enumerate(zip(self.baselines, replay.lanes)):
+                self.samples[i].append(_delta_triple(before, lane))
+
+    def result(self, measure: str) -> list:
+        """The member result in the executor's wire shape."""
+        lanes = self.replay.lanes
+        if measure == "absolute":
+            return [
+                [
+                    float(lane.assignment.max_color()),
+                    float(lane.metrics.total_recodings),
+                    float(lane.metrics.total_messages),
+                ]
+                for lane in lanes
+            ]
+        if measure == "delta":
+            return [_delta_triple(before, lane) for before, lane in zip(self.baselines, lanes)]
+        return [list(lane_samples) for lane_samples in self.samples]
+
+
+def _delta_triple(before, lane) -> list[float]:
+    delta = before.delta(lane.metrics.snapshot())
+    return [
+        float(delta.max_color),
+        float(delta.total_recodings),
+        float(delta.total_messages),
+    ]
+
+
+class CheckpointTree:
+    """Checkpointed replay states, addressed by stage key.
+
+    The tree of one task group's execution: node identity is the stage
+    key (which commits to the whole event prefix, so the "tree"
+    structure is implicit in the key chains), node payload is a frozen
+    :class:`_ExecState` fork.  A checkpoint stored with a ``consumers``
+    budget is reference-counted: each resume decrements it, the final
+    consumer takes the stored state *by move* (no fork), and the node
+    is evicted — so a K-point round chain holds one live checkpoint at
+    a time instead of K.  Checkpoints stored without a budget are
+    pinned (externally threaded trees).  ``hits``/``stored``/``evicted``
+    feed the bench and tests.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[str, _ExecState] = {}
+        self._consumers: dict[str, int] = {}
+        self.hits = 0
+        self.stored = 0
+        self.evicted = 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def checkpoint(self, key: str, state: _ExecState, *, consumers: int | None = None) -> None:
+        """Freeze a fork of ``state`` under ``key`` (first writer wins).
+
+        ``consumers`` is the number of resumes expected at this
+        boundary; ``None`` pins the checkpoint for the tree's lifetime.
+        """
+        if key not in self._states:
+            self._states[key] = state.fork()
+            self.stored += 1
+            if consumers is not None:
+                self._consumers[key] = consumers
+
+    def resume(self, plan: TracePlan) -> tuple[_ExecState, int]:
+        """Continue from the deepest checkpoint on ``plan``'s chain.
+
+        Returns ``(state, start)`` where ``start`` is the index of the
+        first stage still to replay — ``(fresh state, 0)`` when no
+        prefix is checkpointed.  A consumer-counted checkpoint's final
+        resume receives the stored state itself and evicts the node;
+        earlier resumes (and pinned checkpoints) receive forks.
+        """
+        for i in range(len(plan.stages) - 1, -1, -1):
+            key = plan.stages[i].key
+            cached = self._states.get(key)
+            if cached is None:
+                continue
+            self.hits += 1
+            left = self._consumers.get(key)
+            if left is not None and left <= 1:
+                del self._states[key]
+                del self._consumers[key]
+                self.evicted += 1
+                return cached, i + 1  # last consumer: take it by move
+            if left is not None:
+                self._consumers[key] = left - 1
+            return cached.fork(), i + 1
+        return _ExecState.fresh(plan.strategies), 0
+
+
+# ----------------------------------------------------------------------
+# Computation kernel
+# ----------------------------------------------------------------------
+def compute_point(point: ScenarioSpec, seed) -> list:
+    """Cold-compute one (point, run): the unshared timeline walk."""
+    plan = build_plan(point, seed)
+    state = _ExecState.fresh(plan.strategies)
+    for stage in plan.stages:
+        state.apply_stage(stage, plan.measure)
+    return state.result(plan.measure)
+
+
+def compute_group(
+    points: Sequence[ScenarioSpec],
+    seed,
+    *,
+    share: bool = True,
+    on_member=None,
+    tree: CheckpointTree | None = None,
+) -> list[list]:
+    """Execute one task group's members; returns results in member order.
+
+    With ``share`` (the default for warm-planned groups) all members'
+    plans are built first, every stage key traversed by more than one
+    plan becomes a checkpoint when first reached, and each member
+    resumes from the deepest checkpoint its chain hits.  Because keys
+    are content-derived, a member whose trace diverges (a sweep axis
+    that does affect placement or an earlier round) shares nothing and
+    replays cold — sharing can only skip redundant work, never change
+    results.
+
+    ``on_member(index, result)`` fires after each member completes (the
+    executors' persist-and-renew hook); ``tree`` lets callers thread one
+    checkpoint tree through several calls (the bench does).
+    """
+    results: list[list] = []
+
+    def _landed(out: list) -> list:
+        if on_member is not None:
+            on_member(len(results), out)
+        results.append(out)
+        return out
+
+    if not share or len(points) == 1:
+        for point in points:
+            _landed(compute_point(point, seed))
+        return results
+    plans = [build_plan(point, seed) for point in points]
+    needed = _resume_boundaries(plans)
+    if tree is None:
+        tree = CheckpointTree()
+    for plan in plans:
+        state, start = tree.resume(plan)
+        for stage in plan.stages[start:]:
+            state.apply_stage(stage, plan.measure)
+            consumers = needed.get(stage.key)
+            if consumers:
+                tree.checkpoint(stage.key, state, consumers=consumers)
+        _landed(state.result(plan.measure))
+    return results
+
+
+def _resume_boundaries(plans: Sequence[TracePlan]) -> dict[str, int]:
+    """``{stage key: resume count}`` for boundaries later plans fork from.
+
+    Checkpointing is a full state fork (graph arrays + every lane's
+    history), so storing every shared boundary wastes most of the work:
+    in a linear round chain only the *deepest* boundary a plan shares
+    with its predecessors is ever forked — shallower shared stages are
+    shadowed.  Because stage keys chain (a key commits to its parent),
+    a plan's chain diverges from the already-walked set at exactly one
+    depth, so each later plan contributes exactly one resume at its
+    deepest shared key.  The counts let the tree evict each checkpoint
+    after its final consumer.
+    """
+    needed: dict[str, int] = {}
+    walked: set[str] = set(plans[0].stage_keys) if plans else set()
+    for plan in plans[1:]:
+        deepest = None
+        for key in plan.stage_keys:
+            if key not in walked:
+                break  # chained keys: once diverged, stays diverged
+            deepest = key
+        if deepest is not None:
+            needed[deepest] = needed.get(deepest, 0) + 1
+        walked.update(plan.stage_keys)
+    return needed

@@ -4,6 +4,19 @@ Reproducibility plumbing: any event sequence (generated workloads,
 mobility traces, hand-written scenarios) can be written to JSON and
 replayed later against any strategy, so experiments can be archived and
 re-examined without re-rolling RNG state.
+
+Two document shapes share one format name:
+
+* **flat traces** (version 1) — a plain event list, the historical
+  shape;
+* **staged plans** (version 2) — a
+  :class:`~repro.sim.timeline.TracePlan`: the same events segmented
+  into content-keyed stages, with stage keys, strategy lineup and
+  measure preserved verbatim, so an archived plan re-enters the
+  checkpoint-tree machinery with its sharing identity intact.
+
+:func:`save_trace` picks the version from what it is given;
+:func:`load_trace` returns whichever shape the file holds.
 """
 
 from __future__ import annotations
@@ -11,6 +24,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable, Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
@@ -18,9 +32,13 @@ from repro.sim.network import AdHocNetwork
 from repro.strategies.base import RecodeResult
 from repro.topology.node import NodeConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle: timeline imports us
+    from repro.sim.timeline import TracePlan
+
 __all__ = ["event_to_dict", "event_from_dict", "save_trace", "load_trace", "replay"]
 
 _FORMAT_VERSION = 1
+_STAGED_VERSION = 2
 
 
 def event_to_dict(event: Event) -> dict:
@@ -59,27 +77,82 @@ def event_from_dict(data: dict) -> Event:
     raise ConfigurationError(f"unknown event kind {kind!r}")
 
 
-def save_trace(events: Iterable[Event], path: str | Path, *, note: str = "") -> None:
-    """Write an event trace to ``path`` as JSON."""
-    doc = {
-        "format": "minim-cdma-trace",
-        "version": _FORMAT_VERSION,
-        "note": note,
-        "events": [event_to_dict(e) for e in events],
-    }
+def save_trace(
+    events: Iterable[Event] | TracePlan, path: str | Path, *, note: str = ""
+) -> None:
+    """Write an event trace — flat or staged — to ``path`` as JSON.
+
+    A plain event iterable writes the historical flat document
+    (version 1); a :class:`~repro.sim.timeline.TracePlan` writes a
+    staged document (version 2) that preserves every stage's kind,
+    index, events *and content key*, plus the plan's strategy lineup
+    and measure — :func:`load_trace` reproduces the plan exactly, keys
+    included.
+    """
+    from repro.sim.timeline import TracePlan
+
+    if isinstance(events, TracePlan):
+        doc = {
+            "format": "minim-cdma-trace",
+            "version": _STAGED_VERSION,
+            "note": note,
+            "strategies": list(events.strategies),
+            "measure": events.measure,
+            "stages": [
+                {
+                    "kind": stage.kind,
+                    "index": stage.index,
+                    "key": stage.key,
+                    "events": [event_to_dict(e) for e in stage.events],
+                }
+                for stage in events.stages
+            ],
+        }
+    else:
+        doc = {
+            "format": "minim-cdma-trace",
+            "version": _FORMAT_VERSION,
+            "note": note,
+            "events": [event_to_dict(e) for e in events],
+        }
     Path(path).write_text(json.dumps(doc, indent=1))
 
 
-def load_trace(path: str | Path) -> list[Event]:
-    """Read an event trace written by :func:`save_trace`."""
+def load_trace(path: str | Path) -> list[Event] | TracePlan:
+    """Read a trace written by :func:`save_trace`.
+
+    Returns a plain event list for flat (version 1) documents and a
+    :class:`~repro.sim.timeline.TracePlan` for staged (version 2) ones;
+    staged plans keep their serialized stage keys verbatim, so an
+    archived plan shares checkpoints with freshly built plans of the
+    same content.
+    """
     doc = json.loads(Path(path).read_text())
     if doc.get("format") != "minim-cdma-trace":
         raise ConfigurationError(f"{path}: not a minim-cdma trace file")
-    if doc.get("version") != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"{path}: unsupported trace version {doc.get('version')!r}"
-        )
-    return [event_from_dict(d) for d in doc["events"]]
+    version = doc.get("version")
+    if version == _FORMAT_VERSION:
+        return [event_from_dict(d) for d in doc["events"]]
+    if version == _STAGED_VERSION:
+        from repro.sim.timeline import Stage, TracePlan
+
+        try:
+            return TracePlan(
+                stages=tuple(
+                    Stage(
+                        kind=s["kind"],
+                        index=int(s["index"]),
+                        events=tuple(event_from_dict(d) for d in s["events"]),
+                        key=s["key"],
+                    )
+                    for s in doc["stages"]
+                ),
+                strategies=tuple(doc["strategies"]),
+                measure=doc["measure"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"{path}: malformed staged trace: {exc}") from exc
+    raise ConfigurationError(f"{path}: unsupported trace version {version!r}")
 
 
 def replay(

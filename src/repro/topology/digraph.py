@@ -437,11 +437,21 @@ class AdHocDigraph:
         cell size, and the topology version.  Derived caches (the query
         memo, the dense conflict matrix) are rebuilt on demand and are
         not part of the state.
+
+        Schema 2 additionally records the propagation model's name, so
+        chained restores (snapshot → restore → replay → snapshot → …,
+        the checkpoint-timeline pattern) cannot silently swap the edge
+        semantics mid-chain: restoring a snapshot taken under a
+        non-default model without supplying that model is an error, not
+        a free-space reinterpretation.  Snapshots are idempotent across
+        the chain — re-snapshotting a restored graph reproduces the
+        original dict byte-for-byte.
         """
         n = len(self._ids)
         rows, cols = np.nonzero(self._adj[:n, :n])
         return {
-            "schema": 1,
+            "schema": 2,
+            "propagation": type(self._prop).__name__,
             "dense": self._dense,
             "version": self._version,
             "explicit_cell": self._grid_cell,
@@ -468,14 +478,29 @@ class AdHocDigraph:
         The restored graph continues exactly where the snapshot was
         taken: same slot layout, adjacency, CA2 counters, grid cell
         size and topology version, so subsequent events produce results
-        byte-identical to the original instance's (pinned by
-        ``tests/sim/test_warmstart.py``).
+        byte-identical to the original instance's — and so do chained
+        restores, where the restored graph is replayed further,
+        re-snapshotted and restored again (pinned by
+        ``tests/sim/test_timeline.py``).  Accepts schema 1 (pre-PR 5
+        snapshots, which did not record the propagation model) and
+        schema 2, which refuses to restore a snapshot taken under a
+        non-default propagation model unless that model is supplied.
         """
         from repro.errors import ConfigurationError
 
-        if snapshot.get("schema") != 1:
+        schema = snapshot.get("schema")
+        if schema not in (1, 2):
+            raise ConfigurationError(f"unsupported digraph snapshot schema {schema!r}")
+        recorded = snapshot.get("propagation")
+        if propagation is None and recorded not in (None, FreeSpacePropagation.__name__):
             raise ConfigurationError(
-                f"unsupported digraph snapshot schema {snapshot.get('schema')!r}"
+                f"snapshot was taken under propagation model {recorded!r}; pass a "
+                "matching model to restore() instead of defaulting to free space"
+            )
+        if propagation is not None and recorded not in (None, type(propagation).__name__):
+            raise ConfigurationError(
+                f"snapshot was taken under propagation model {recorded!r}, but "
+                f"restore() was given {type(propagation).__name__!r}"
             )
         g = cls(
             propagation,

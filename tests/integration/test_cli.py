@@ -147,6 +147,8 @@ class TestBenchCommand:
             "shared",
             "cold",
             "warm",
+            "warm-rounds",
+            "timeline",
             "fixed",
             "adaptive",
         }
@@ -156,6 +158,8 @@ class TestBenchCommand:
         assert len(shared) == 1 and shared[0]["speedup_vs_per_strategy"] > 0
         warm = [e for e in entries if e["mode"] == "warm"]
         assert len(warm) == 1 and warm[0]["speedup_vs_cold"] > 0
+        timeline = [e for e in entries if e["mode"] == "timeline"]
+        assert len(timeline) == 1 and timeline[0]["timeline_prefix_sharing"] > 0
         adaptive = [e for e in entries if e["mode"] == "adaptive"]
         assert len(adaptive) == 1 and adaptive[0]["run_savings_vs_fixed"] >= 1.0
 

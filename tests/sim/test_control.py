@@ -105,11 +105,46 @@ class TestRunController:
         assert ctrl.converged(block)
 
     def test_plan_grows_unconverged_points_geometrically(self):
-        ctrl = RunController(PrecisionTarget(rel=0.01, max_runs=32, growth=2.0))
+        # predict=False keeps the pre-prediction schedule: batch factor
+        # growth, converged points untouched
+        ctrl = RunController(PrecisionTarget(rel=0.01, max_runs=32, growth=2.0, predict=False))
         noisy = np.array([[1.0], [100.0]]).reshape(2, 1, 1)
         flat = np.full((2, 1, 1), 5.0)
         want = ctrl.plan([noisy, flat], [2, 2])
         assert want == {0: 4}  # converged point untouched, other doubled
+
+    def test_plan_jumps_to_the_variance_prediction(self):
+        ctrl = RunController(PrecisionTarget(rel=None, abs_tol=0.5, max_runs=64))
+        block = np.array([[1.0], [3.0]]).reshape(2, 1, 1)  # sd=sqrt(2), mean 2
+        predicted = math.ceil((z_score(0.95) * math.sqrt(2.0) / 0.5) ** 2)
+        assert ctrl.required_runs(block) == predicted
+        assert ctrl.plan([block], [2]) == {0: predicted}  # straight jump, one pass
+
+    def test_prediction_never_undershoots_the_geometric_floor(self):
+        # a barely-unconverged point predicts ~n runs; growth still
+        # guarantees progress
+        ctrl = RunController(PrecisionTarget(rel=None, abs_tol=1.0, max_runs=64, growth=2.0))
+        block = np.array([[4.4], [5.6]]).reshape(2, 1, 1)  # half-width just over 1.0
+        assert ctrl.required_runs(block) <= 4
+        assert ctrl.plan([block], [2]) == {0: 4}  # floored at ceil(2 * growth)
+
+    def test_prediction_handles_zero_spread_and_zero_tolerance(self):
+        ctrl = RunController(PrecisionTarget(rel=0.05, max_runs=32))
+        assert ctrl.required_runs(np.full((3, 1, 1), 7.0)) == 1  # no variance
+        # zero mean under a rel-only target can never converge: predict the cap
+        dead = np.array([[-1.0], [1.0]]).reshape(2, 1, 1)
+        assert ctrl.required_runs(dead) == 32
+
+    def test_constant_zero_cell_does_not_burn_the_budget(self):
+        # regression: a metric identically 0.0 across runs (sd=0, tol=0
+        # under a rel-only target) is converged (half-width 0 <= 0) and
+        # must not drag the prediction to max_runs
+        ctrl = RunController(PrecisionTarget(rel=0.2, max_runs=32))
+        block = np.array([[0.0, 7.5], [0.0, 12.5], [0.0, 10.0]]).reshape(3, 1, 2)
+        noisy_only = np.array([[7.5], [12.5], [10.0]]).reshape(3, 1, 1)
+        assert ctrl.required_runs(block) == ctrl.required_runs(noisy_only)
+        assert ctrl.plan([block], [3]) == ctrl.plan([noisy_only], [3])
+        assert ctrl.plan([block], [3])[0] < 32
 
     def test_plan_respects_the_hard_cap(self):
         ctrl = RunController(PrecisionTarget(rel=0.0001, max_runs=6, growth=2.0))
@@ -123,7 +158,9 @@ class TestRunController:
         noisy = np.array([[1.0], [100.0]]).reshape(2, 1, 1)
         flat = np.full((2, 1, 1), 5.0)
         want = ctrl.plan([noisy, flat], [2, 2], paired=True)
-        assert want == {0: 4, 1: 4}  # pairing keeps run counts uniform
+        # the noisy point's prediction hits the cap; pairing raises the
+        # converged point with it
+        assert want == {0: 16, 1: 16}
 
     def test_plan_block_count_mismatch_rejected(self):
         ctrl = RunController()
@@ -221,6 +258,21 @@ class TestAdaptiveRunSweep:
         fixed = run_sweep(paired_spec(), runs=ctrl.runs_per_point[0], seed=5)
         assert series.metrics == fixed.metrics
         assert series.stderr == fixed.stderr
+
+    def test_prediction_converges_in_fewer_passes_than_geometric(self):
+        # the satellite criterion: jumping to n ∝ (z·σ/tol)² reaches the
+        # same final budget in fewer plan→collect passes than doubling
+        spec = noisy_spec()
+        jump = RunController(PrecisionTarget(rel=0.0001, min_runs=2, max_runs=16))
+        run_sweep(spec, runs=2, seed=3, precision=jump)
+        slow = RunController(
+            PrecisionTarget(rel=0.0001, min_runs=2, max_runs=16, predict=False)
+        )
+        run_sweep(spec, runs=2, seed=3, precision=slow)
+        assert jump.runs_per_point == slow.runs_per_point == [16, 16, 16]
+        assert jump.passes == 1  # straight to the cap
+        assert slow.passes == 3  # 2 -> 4 -> 8 -> 16
+        assert jump.passes < slow.passes
 
     def test_tight_target_stops_at_the_cap(self):
         ctrl = RunController(PrecisionTarget(rel=0.0001, min_runs=2, max_runs=4))

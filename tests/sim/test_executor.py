@@ -150,27 +150,27 @@ class TestTaskPayload:
 
     def test_warm_group_members_persist_as_they_land(self, tmp_path, monkeypatch):
         # a crash mid-group must not lose the members already computed
-        import repro.sim.executor as executor_mod
         from repro.sim.executor import _execute_group_task, group_payload
+        from repro.sim.timeline import _ExecState
 
         backend = JsonDirBackend(tmp_path / "store")
         (group,) = plan_tasks(build_sweep(paired_spec(), runs=1, seed=5))
         assert group.warm and len(group.points) == 2
-        real = executor_mod._measure_rounds
+        real = _ExecState.result
         calls = []
 
-        def dying_measure(replay, phases, measure):
+        def dying_result(self, measure):
             if len(calls) == 1:
                 raise RuntimeError("simulated crash on member 2")
             calls.append(1)
-            return real(replay, phases, measure)
+            return real(self, measure)
 
-        monkeypatch.setattr(executor_mod, "_measure_rounds", dying_measure)
+        monkeypatch.setattr(_ExecState, "result", dying_result)
         with pytest.raises(RuntimeError, match="simulated crash"):
             _execute_group_task((group_payload(group), (backend.locator, backend.kind)))
         assert backend.load_point(group.keys[0]) is not None  # member 1 survived
         assert backend.load_point(group.keys[1]) is None
-        monkeypatch.setattr(executor_mod, "_measure_rounds", real)
+        monkeypatch.setattr(_ExecState, "result", real)
         resumed = run_sweep(paired_spec(), runs=1, seed=5, store=backend)
         assert "1 points computed, 1 from cache" in resumed.notes
 

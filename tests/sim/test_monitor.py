@@ -180,6 +180,123 @@ class TestExportCsv:
         assert row["strategy"] == "s0" and row["max_color"] == "1.0"
 
 
+class TestInspectQuarantined:
+    """``store inspect KEY``: serial replay + auto-requeue triage."""
+
+    def _parked_real_group(self, backend):
+        """Publish one real task group and park it as poison."""
+        from repro.sim.executor import group_payload
+        from repro.sim.sweep import build_sweep, plan_tasks
+
+        (group, *rest) = plan_tasks(build_sweep(tiny_spec(), runs=1, seed=3))
+        backend.save_task(group.key, group_payload(group))
+        for _ in range(3):
+            backend.record_lease_break(group.key)
+        assert backend.quarantine_task(group.key, reason="3 broken leases")
+        return group
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_success_saves_points_and_requeues(self, tmp_path, backend_cls):
+        from repro.sim.monitor import inspect_quarantined
+
+        backend = backend_cls(tmp_path / "store")
+        group = self._parked_real_group(backend)
+        stream = io.StringIO()
+        summary = inspect_quarantined(backend, group.key, stream=stream)
+        assert summary["members"] == 1 and summary["requeued"]
+        assert summary["reason"] == "3 broken leases"
+        assert backend.list_quarantined() == []
+        assert backend.load_point(group.keys[0]) is not None
+        assert backend.lease_breaks(group.key) == 0  # clean slate
+        assert "replaying 1 member(s)" in stream.getvalue()
+        # the requeued task now looks complete: one worker scan cleans it
+        from repro.sim.executor import run_worker
+
+        assert run_worker(backend, once=True) == 0  # cleaned, not recomputed
+        assert backend.pending_task_keys() == []
+
+    def test_inspecting_a_healthy_key_is_an_error(self, tmp_path):
+        from repro.sim.monitor import inspect_quarantined
+
+        backend = SqliteBackend(tmp_path / "s.sqlite")
+        with pytest.raises(ConfigurationError, match="not quarantined"):
+            inspect_quarantined(backend, "nope")
+
+    def test_undecodable_descriptor_surfaces_the_decode_error(self, tmp_path):
+        from repro.sim.monitor import inspect_quarantined
+
+        backend = SqliteBackend(tmp_path / "s.sqlite")
+        backend.save_task("t-bogus", {"schema": 1})  # malformed: no members
+        backend.quarantine_task("t-bogus", reason="undecodable descriptor")
+        with pytest.raises(ConfigurationError, match="malformed task descriptor"):
+            inspect_quarantined(backend, "t-bogus", stream=io.StringIO())
+        # triage failed: the task stays parked for the operator
+        assert backend.list_quarantined() == ["t-bogus"]
+
+    def test_store_inspect_cli_success(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        backend = SqliteBackend(db)
+        group = self._parked_real_group(backend)
+        assert main(["store", "inspect", str(db), group.key]) == 0
+        out = capsys.readouterr().out
+        assert "replay ok" in out and "requeued with a clean slate" in out
+
+    def test_store_inspect_cli_needs_a_key(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        SqliteBackend(db)
+        assert main(["store", "inspect", str(db)]) == 2
+        assert "KEY" in capsys.readouterr().err
+
+    def test_store_inspect_cli_undecodable_is_a_clean_error(self, tmp_path, capsys):
+        db = tmp_path / "store.sqlite"
+        backend = SqliteBackend(db)
+        backend.save_task("t-bogus", {"schema": 1})
+        backend.quarantine_task("t-bogus", reason="undecodable")
+        assert main(["store", "inspect", str(db), "t-bogus"]) == 2
+        assert "malformed task descriptor" in capsys.readouterr().err
+
+
+class TestExportParquet:
+    def test_missing_pyarrow_is_a_clean_configuration_error(self, tmp_path, monkeypatch):
+        import sys as _sys
+
+        from repro.sim.monitor import export_parquet
+
+        # poison the import whether or not pyarrow is installed
+        monkeypatch.setitem(_sys.modules, "pyarrow", None)
+        backend = SqliteBackend(tmp_path / "s.sqlite")
+        with pytest.raises(ConfigurationError, match="needs pyarrow"):
+            export_parquet(backend, tmp_path / "points.parquet")
+
+    def test_parquet_rows_carry_sweep_join_columns(self, tmp_path):
+        pa = pytest.importorskip("pyarrow")
+        pq = pytest.importorskip("pyarrow.parquet")
+
+        from repro.sim.monitor import PARQUET_SWEEP_COLUMNS, export_parquet
+
+        backend = SqliteBackend(tmp_path / "s.sqlite")
+        run_sweep(tiny_spec(), runs=1, seed=3, store=backend)
+        out = tmp_path / "points.parquet"
+        rows = export_parquet(backend, out)
+        table = pq.read_table(out)
+        assert table.num_rows == rows == 2
+        assert set(CSV_COLUMNS) | set(PARQUET_SWEEP_COLUMNS) == set(table.column_names)
+        (sweep_key,) = backend.list_manifests()
+        assert table.column("sweep_key").to_pylist() == [sweep_key, sweep_key]
+        assert table.column("sweep_seed").to_pylist() == [3, 3]
+        del pa  # importorskip handle
+
+    def test_parquet_cli_flag_gates_cleanly_without_pyarrow(self, tmp_path, capsys, monkeypatch):
+        import sys as _sys
+
+        monkeypatch.setitem(_sys.modules, "pyarrow", None)
+        db = tmp_path / "store.sqlite"
+        run_sweep(tiny_spec(), runs=1, seed=3, store=SqliteBackend(db))
+        rc = main(["store", "export", str(db), "--parquet", str(tmp_path / "p.parquet")])
+        assert rc == 2
+        assert "needs pyarrow" in capsys.readouterr().err
+
+
 class TestStoreCliActions:
     def _quarantined_store(self, tmp_path):
         db = tmp_path / "store.sqlite"

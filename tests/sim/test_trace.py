@@ -60,6 +60,59 @@ class TestRoundtrip:
             load_trace(path)
 
 
+class TestStagedPlanRoundtrip:
+    def _plan(self):
+        from dataclasses import replace
+
+        from repro.sim.registry import get_scenario
+        from repro.sim.timeline import build_plan
+
+        spec = replace(
+            get_scenario("fig12-move-rounds"),
+            n=8,
+            strategies=("Minim", "CP"),
+            sweep_values=(3.0,),
+        )
+        return build_plan(spec, np.random.SeedSequence(4))
+
+    def test_staged_plan_round_trips_with_keys_intact(self, tmp_path):
+        from repro.sim.timeline import TracePlan
+
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        save_trace(plan, path, note="staged")
+        loaded = load_trace(path)
+        assert isinstance(loaded, TracePlan)
+        assert loaded == plan  # stages, events, keys, strategies, measure
+        assert loaded.stage_keys == plan.stage_keys
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 2 and doc["note"] == "staged"
+
+    def test_flat_consumers_see_the_same_events(self, tmp_path):
+        plan = self._plan()
+        staged, flat = tmp_path / "staged.json", tmp_path / "flat.json"
+        save_trace(plan, staged)
+        save_trace(plan.events, flat)
+        assert load_trace(staged).events == load_trace(flat)
+        assert json.loads(flat.read_text())["version"] == 1
+
+    def test_malformed_staged_doc_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "minim-cdma-trace",
+                    "version": 2,
+                    "strategies": ["Minim"],
+                    "measure": "delta",
+                    "stages": [{"kind": "join"}],  # no index/key/events
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError, match="malformed staged trace"):
+            load_trace(path)
+
+
 class TestReplay:
     def test_replay_reproduces_live_run(self, tmp_path):
         rng = np.random.default_rng(5)
