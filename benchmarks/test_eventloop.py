@@ -1,9 +1,9 @@
-"""Event-loop bench: grid/incremental fast path vs the dense hatch.
+"""Event-loop bench: array core vs dict core vs the dense hatch.
 
 Times the strategy-independent event loop (topology mutation + V1
-conflict derivation) in both conflict-maintenance modes, mirroring what
-``minim-cdma bench`` reports, so `--benchmark-compare` runs track the
-fast path's advantage over time.
+conflict derivation) in all three conflict-maintenance modes, mirroring
+what ``minim-cdma bench`` reports, so `--benchmark-compare` runs track
+the array core's advantage over time.
 """
 
 import numpy as np
@@ -23,11 +23,16 @@ def join_trace():
     return [JoinEvent(c) for c in sample_configs(N, rng)]
 
 
+def test_eventloop_join_array(benchmark, join_trace):
+    wall = benchmark(drive_event_loop, join_trace, mode="array")
+    assert wall > 0.0
+
+
 def test_eventloop_join_grid(benchmark, join_trace):
-    wall = benchmark(drive_event_loop, join_trace, dense_conflicts=False)
+    wall = benchmark(drive_event_loop, join_trace, mode="grid")
     assert wall > 0.0
 
 
 def test_eventloop_join_dense(benchmark, join_trace):
-    wall = benchmark(drive_event_loop, join_trace, dense_conflicts=True)
+    wall = benchmark(drive_event_loop, join_trace, mode="dense")
     assert wall > 0.0

@@ -1,0 +1,150 @@
+"""Execute the fenced ``minim-cdma`` CLI examples in README.md and docs/.
+
+The documentation's code blocks are executable claims: this script
+extracts every ``minim-cdma`` command from fenced ``sh``/``bash``
+blocks, rewrites it into smoke mode (``--runs N`` becomes ``--runs 1``)
+and runs it via ``python -m repro`` with the repo's ``src/`` on the
+path, one fresh working directory per source file (so a block that
+seeds ``store.sqlite`` can be followed by blocks that read it).
+
+A block immediately preceded by ``<!-- doc-check: skip -->`` is exempt
+— for install lines, daemon sessions, and deliberately slow commands
+already covered elsewhere in CI.  ``console`` blocks (transcripts with
+prompts and output) are never executed.
+
+Usage::
+
+    python docs/check_examples.py            # run everything (CI mode)
+    python docs/check_examples.py --list     # just print the commands
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SKIP_MARKER = "<!-- doc-check: skip -->"
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_RUNS = re.compile(r"(--runs)\s+\d+")
+
+
+@dataclass(frozen=True)
+class Example:
+    """One runnable command extracted from a doc file."""
+
+    source: Path
+    line: int
+    command: str  # the original text, continuations joined
+
+    @property
+    def smoke_argv(self) -> list[str]:
+        """The command as argv, rewritten for smoke execution."""
+        text = _RUNS.sub(r"\1 1", self.command)
+        args = shlex.split(text, comments=True)
+        assert args[0] == "minim-cdma"
+        return [sys.executable, "-m", "repro", *args[1:]]
+
+
+def doc_files() -> list[Path]:
+    """README plus every markdown file under docs/, stable order."""
+    return [ROOT / "README.md", *sorted((ROOT / "docs").rglob("*.md"))]
+
+
+def extract_examples(path: Path) -> list[Example]:
+    """The ``minim-cdma`` commands in ``path``'s sh/bash fences."""
+    examples: list[Example] = []
+    lines = path.read_text().splitlines()
+    in_block = False
+    runnable = skip_next = False
+    pending: list[str] = []
+    pending_line = 0
+    for lineno, raw in enumerate(lines, start=1):
+        fence = _FENCE.match(raw.strip())
+        if fence and not in_block:
+            in_block = True
+            runnable = fence.group(1) in ("sh", "bash") and not skip_next
+            skip_next = False
+            continue
+        if fence and in_block:
+            in_block = False
+            pending = []
+            continue
+        if not in_block:
+            if raw.strip() == SKIP_MARKER:
+                skip_next = True
+            elif raw.strip():
+                skip_next = False
+            continue
+        if not runnable:
+            continue
+        stripped = raw.strip()
+        if pending:
+            pending.append(stripped.rstrip("\\").strip())
+            if not stripped.endswith("\\"):
+                examples.append(Example(path, pending_line, " ".join(pending)))
+                pending = []
+        elif stripped.startswith("minim-cdma"):
+            if stripped.endswith("\\"):
+                pending = [stripped.rstrip("\\").strip()]
+                pending_line = lineno
+            else:
+                examples.append(Example(path, lineno, stripped))
+    return examples
+
+
+def run_examples(examples: list[Example]) -> int:
+    """Run every example, one cwd per source file; return failure count."""
+    import os
+
+    env = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+    failures = 0
+    cwds: dict[Path, str] = {}
+    with tempfile.TemporaryDirectory(prefix="doc-check-") as scratch:
+        for example in examples:
+            cwd = cwds.setdefault(
+                example.source, tempfile.mkdtemp(dir=scratch, prefix=example.source.stem + "-")
+            )
+            rel = example.source.relative_to(ROOT)
+            started = time.perf_counter()
+            proc = subprocess.run(
+                example.smoke_argv, cwd=cwd, env=env, capture_output=True, text=True
+            )
+            wall = time.perf_counter() - started
+            status = "ok" if proc.returncode == 0 else f"FAILED (rc={proc.returncode})"
+            print(f"{rel}:{example.line}: {example.command}  [{wall:.1f}s] {status}")
+            if proc.returncode != 0:
+                failures += 1
+                sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:] + "\n")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--list", action="store_true", help="print commands without running")
+    args = parser.parse_args(argv)
+    examples = [ex for path in doc_files() for ex in extract_examples(path)]
+    if not examples:
+        print("no minim-cdma examples found — the docs lost their fences?", file=sys.stderr)
+        return 1
+    if args.list:
+        for ex in examples:
+            print(f"{ex.source.relative_to(ROOT)}:{ex.line}: {' '.join(ex.smoke_argv[3:])}")
+        return 0
+    failures = run_examples(examples)
+    if failures:
+        print(f"\ndoc check FAILED: {failures} example(s) broke", file=sys.stderr)
+        return 1
+    print(f"\ndoc check passed: {len(examples)} example(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

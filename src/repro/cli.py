@@ -258,11 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     pb = sub.add_parser(
         "bench",
-        help="time the event loop (grid vs REPRO_DENSE, shared vs per-strategy "
-        "replay, cold vs warm-start sweeps)",
+        help="time the event loop (array vs dict vs REPRO_DENSE cores, shared "
+        "vs per-strategy replay, cold vs warm-start sweeps)",
     )
     pb.add_argument("--runs", type=int, default=3, help="timing repetitions per trace")
     pb.add_argument("--n", type=int, default=120, help="node count for the benchmark traces")
+    pb.add_argument(
+        "--large-n",
+        type=int,
+        default=2000,
+        help="node count for the array-core scale trace (0 skips it)",
+    )
     pb.add_argument(
         "--scenario", default="random-waypoint", help="registered scenario for the second trace"
     )
@@ -392,6 +398,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     from repro.sim.bench import (
         run_adaptive_bench,
         run_event_loop_bench,
+        run_large_n_bench,
         run_replay_bench,
         run_timeline_bench,
         run_warmstart_bench,
@@ -402,6 +409,8 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         entries = run_event_loop_bench(
             n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
         )
+        if args.large_n:
+            entries.extend(run_large_n_bench(n=args.large_n, runs=1, seed=args.seed))
         entries.extend(run_replay_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
         entries.extend(
             run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed)
@@ -412,7 +421,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         # no n: the adaptive bench pins its own small noisy sweep (the
         # controller, not the event loop, is what it measures)
         entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
-    except ConfigurationError as exc:
+    except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     header = f"{'scenario':<22} {'n':>5} {'mode':>12} {'events':>7} {'ev/sec':>10} {'speedup':>8}"
@@ -421,6 +430,7 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     for e in entries:
         speedup = ""
         for field in (
+            "speedup_vs_dict",
             "speedup_vs_dense",
             "speedup_vs_per_strategy",
             "speedup_vs_cold",

@@ -8,7 +8,7 @@ the recoding strategies, and centralized coloring heuristics, including
 the BBB baseline used by the paper's evaluation.
 """
 
-from repro.coloring.assignment import CodeAssignment
+from repro.coloring.assignment import ArrayCodeAssignment, CodeAssignment
 from repro.coloring.bbb import bbb_coloring
 from repro.coloring.bounds import clique_lower_bound, greedy_clique
 from repro.coloring.constraints import forbidden_colors, lowest_available_color
@@ -18,6 +18,7 @@ from repro.coloring.smallest_last import smallest_last_coloring, smallest_last_o
 from repro.coloring.verify import Violation, assert_valid, find_violations, is_valid
 
 __all__ = [
+    "ArrayCodeAssignment",
     "CodeAssignment",
     "Violation",
     "assert_valid",

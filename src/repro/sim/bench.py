@@ -9,9 +9,14 @@ in-neighbors, i.e. the ``V1`` of Fig 3) — over two traces:
 * one registered scenario's full event trace (default
   ``random-waypoint``, re-based to ``--n`` nodes so moves dominate).
 
-Each trace runs once per mode: the grid-accelerated incremental
-conflict maintenance (default) and the ``REPRO_DENSE=1`` escape hatch
-that re-derives the dense conflict matrix per event.
+Each trace runs once per conflict core: the array-native core (flat
+numpy slots, batched conflict rows — the default), the dict-keyed
+incremental core (``REPRO_ARRAY=0``, labeled ``grid``), and the
+``REPRO_DENSE=1`` escape hatch that re-derives the dense conflict
+matrix per event.  The array entries carry ``speedup_vs_dict`` — the
+CI-gated ratio of the tentpole rewrite — and a separate
+:func:`run_large_n_bench` drives an N≥2000 join trace on the array
+core alone, a regime where the dict path is no longer interactive.
 
 A second comparison (:func:`run_replay_bench`) times what the unified
 sweep pipeline deduplicates: replaying one workload against several
@@ -81,6 +86,7 @@ __all__ = [
     "drive_event_loop",
     "run_adaptive_bench",
     "run_event_loop_bench",
+    "run_large_n_bench",
     "run_replay_bench",
     "run_timeline_bench",
     "run_warmstart_bench",
@@ -89,16 +95,42 @@ __all__ = [
 
 _DEFAULT_OUT = Path("BENCH_eventloop.json")
 
+_EVENT_LOOP_MODES = ("array", "grid", "dense")
 
-def drive_event_loop(events: list[Event], *, dense_conflicts: bool) -> float:
+
+def drive_event_loop(
+    events: list[Event],
+    *,
+    mode: str | None = None,
+    dense_conflicts: bool | None = None,
+) -> float:
     """Apply ``events`` to a fresh digraph; return the wall seconds.
 
     Per event, after the topology mutation, the conflict sets of the
     event node and its in-neighbors are derived — the exact queries a
     recoding strategy issues as its first step (constraint collection
-    over ``V1``), so both modes answer the same workload.
+    over ``V1``), so every mode answers the same workload:
+
+    - ``"array"`` — the array core; V1 is gathered as a slot index
+      array and all its conflict rows come from one batched
+      :meth:`~repro.topology.digraph.AdHocDigraph.conflict_masks` call.
+    - ``"grid"`` — the dict core (``REPRO_ARRAY=0`` equivalent); one
+      :meth:`~repro.topology.digraph.AdHocDigraph.conflict_neighbor_ids`
+      query per V1 member.
+    - ``"dense"`` — the per-event dense re-derivation escape hatch.
+
+    ``dense_conflicts`` is the legacy boolean spelling (``True`` →
+    ``"dense"``, ``False`` → ``"grid"``) kept for callers predating the
+    array core.
     """
-    graph = AdHocDigraph(dense_conflicts=dense_conflicts)
+    if mode is None:
+        if dense_conflicts is None:
+            raise ValueError("pass mode= ('array' | 'grid' | 'dense')")
+        mode = "dense" if dense_conflicts else "grid"
+    if mode not in _EVENT_LOOP_MODES:
+        raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_EVENT_LOOP_MODES}")
+    graph = AdHocDigraph(dense_conflicts=mode == "dense", array_core=mode == "array")
+    batched = mode == "array"
     start = time.perf_counter()
     for ev in events:
         if isinstance(ev, JoinEvent):
@@ -110,9 +142,13 @@ def drive_event_loop(events: list[Event], *, dense_conflicts: bool) -> float:
         elif isinstance(ev, LeaveEvent):
             graph.remove_node(ev.node_id)
             continue  # nothing to recode around a departed node
-        for u in graph.in_neighbors(ev.node_id):
-            graph.conflict_neighbor_ids(u)
-        graph.conflict_neighbor_ids(ev.node_id)
+        if batched:
+            s = graph.slot_of(ev.node_id)
+            graph.conflict_masks(graph.v1_slots(s))
+        else:
+            for u in graph.in_neighbors(ev.node_id):
+                graph.conflict_neighbor_ids(u)
+            graph.conflict_neighbor_ids(ev.node_id)
     return time.perf_counter() - start
 
 
@@ -135,23 +171,22 @@ def run_event_loop_bench(
     scenario: str = "random-waypoint",
     seed: int = 2001,
 ) -> list[dict]:
-    """Time all traces in both modes; return the result entries.
+    """Time all traces in all three conflict cores; return the entries.
 
     Each entry is ``{scenario, n, mode, events, runs, wall_seconds,
     events_per_sec}`` with ``wall_seconds`` the median over ``runs``
-    repetitions; grid-mode entries additionally carry
-    ``speedup_vs_dense``.
+    repetitions.  Array-mode entries carry ``speedup_vs_dict`` (the
+    array core over the dict core, the CI-gated tentpole ratio);
+    grid-mode entries keep the historical ``speedup_vs_dense``.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     entries: list[dict] = []
     for label, trace_n, events in _traces(n, scenario, seed):
         timings: dict[str, float] = {}
-        for mode, dense in (("grid", False), ("dense", True)):
-            drive_event_loop(events, dense_conflicts=dense)  # warmup
-            wall = float(
-                np.median([drive_event_loop(events, dense_conflicts=dense) for _ in range(runs)])
-            )
+        for mode in _EVENT_LOOP_MODES:
+            drive_event_loop(events, mode=mode)  # warmup
+            wall = float(np.median([drive_event_loop(events, mode=mode) for _ in range(runs)]))
             timings[mode] = wall
             entries.append(
                 {
@@ -164,9 +199,45 @@ def run_event_loop_bench(
                     "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
                 }
             )
-        grid_entry = entries[-2]
+        array_entry, grid_entry = entries[-3], entries[-2]
+        array_entry["speedup_vs_dict"] = timings["grid"] / timings["array"]
         grid_entry["speedup_vs_dense"] = timings["dense"] / timings["grid"]
     return entries
+
+
+def run_large_n_bench(
+    *,
+    n: int = 2000,
+    runs: int = 1,
+    seed: int = 2001,
+) -> list[dict]:
+    """Time an N≥2000 join trace on the array core alone.
+
+    The regime the array rewrite unlocks: at ``n=2000`` the dict core
+    needs minutes per trace (and the dense hatch far longer), so this
+    bench drives only the array mode and reports a single
+    ``large-join`` entry shaped like the event-loop bench's.  CI gates
+    its absolute ``events_per_sec`` floor rather than a speedup ratio.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if n < 2000:
+        raise ValueError(f"large-n bench needs n >= 2000, got {n}")
+    rng = np.random.default_rng(seed)
+    events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng)]
+    drive_event_loop(events[: n // 4], mode="array")  # warmup on a prefix
+    wall = float(np.median([drive_event_loop(events, mode="array") for _ in range(runs)]))
+    return [
+        {
+            "scenario": "large-join",
+            "n": n,
+            "mode": "array",
+            "events": len(events),
+            "runs": runs,
+            "wall_seconds": wall,
+            "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+        }
+    ]
 
 
 class _FirstFitLane(RecodingStrategy):

@@ -51,6 +51,7 @@ from repro.sim.runner import parallel_map
 from repro.sim.scenarios import ScenarioSpec, scenario_from_dict
 from repro.sim.timeline import compute_group as _compute_group_timeline
 from repro.sim.timeline import prefix_token
+from repro.topology.digraph import default_core
 
 __all__ = [
     "DEFAULT_QUARANTINE_AFTER",
@@ -222,12 +223,15 @@ def compute_group(group: TaskGroup, on_member=None) -> list[list]:
 def _provenance(context: dict, worker: str) -> dict:
     """Stamp execution provenance onto a planned task context.
 
-    Adds *who* computed the point and *when* it landed.  The monitor's
+    Adds *who* computed the point, *when* it landed, and which conflict
+    core (``array`` / ``dict`` / ``dense``) the executing process ran —
+    the cores are byte-identical by contract, so the stamp is an audit
+    trail for that claim, not a result discriminator.  The monitor's
     per-worker throughput view and ``store export`` read these back; the
     planned part of the context (scenario, sweep value, run, seed) stays
     untouched, so point keys and results are unaffected.
     """
-    return {**context, "worker": worker, "saved_at": time.time()}
+    return {**context, "worker": worker, "saved_at": time.time(), "core": default_core()}
 
 
 def _claimed_compute(

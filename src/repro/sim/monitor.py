@@ -78,6 +78,7 @@ CSV_COLUMNS = (
     "messages",
     "worker",
     "saved_at",
+    "core",
 )
 
 
@@ -267,6 +268,7 @@ def _csv_rows_for_point(key: str, record: dict):
         "measure": context.get("measure", ""),
         "worker": context.get("worker", ""),
         "saved_at": context.get("saved_at", ""),
+        "core": context.get("core", ""),
     }
     for si, lane in enumerate(result):
         strategy = strategies[si] if si < len(strategies) else f"s{si}"
@@ -321,7 +323,7 @@ def _write_csv(backend: ResultsBackend, fh: IO[str]) -> int:
 #: Sweep-level join columns appended to :data:`CSV_COLUMNS` in Parquet
 #: exports, resolved by joining each point key against the stored sweep
 #: manifests.
-PARQUET_SWEEP_COLUMNS = ("sweep_key", "sweep_runs", "sweep_seed", "sweep_executor")
+PARQUET_SWEEP_COLUMNS = ("sweep_key", "sweep_runs", "sweep_seed", "sweep_executor", "sweep_core")
 
 
 def _sweep_join_index(backend: ResultsBackend) -> dict[str, dict]:
@@ -339,6 +341,7 @@ def _sweep_join_index(backend: ResultsBackend) -> dict[str, dict]:
             "sweep_runs": manifest.get("runs"),
             "sweep_seed": manifest.get("seed"),
             "sweep_executor": manifest.get("executor"),
+            "sweep_core": manifest.get("core"),
         }
         for point_key in manifest.get("points", []):
             index[point_key] = columns
@@ -366,10 +369,12 @@ _PARQUET_TYPES = {
     "messages": "float64",
     "worker": "string",
     "saved_at": "float64",
+    "core": "string",
     "sweep_key": "string",
     "sweep_runs": "int64",
     "sweep_seed": "int64",
     "sweep_executor": "string",
+    "sweep_core": "string",
 }
 
 

@@ -24,14 +24,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.coloring.assignment import CodeAssignment
+from repro.coloring.assignment import ArrayCodeAssignment, CodeAssignment
 from repro.coloring.verify import assert_valid
 from repro.errors import ConfigurationError, ConnectivityError
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
 from repro.sim.metrics import EventRecord, MetricsCollector
 from repro.strategies.base import RecodeResult, RecodingStrategy
 from repro.topology.connectivity import has_minimal_connectivity
-from repro.topology.digraph import AdHocDigraph, TopologyDelta
+from repro.topology.digraph import AdHocDigraph, TopologyDelta, default_core
 from repro.topology.node import NodeConfig
 from repro.topology.propagation import PropagationModel
 from repro.types import NodeId
@@ -47,13 +47,29 @@ class StrategyLane:
     the graph: :meth:`react` consumes a :class:`TopologyDelta` produced
     by the graph's ``apply_event`` and turns it into color changes,
     which makes any number of lanes safely shareable over one digraph.
+
+    The color container matches the digraph's conflict core:
+    ``array_colors=True`` (the default under the array core, see
+    :func:`repro.topology.digraph.default_core`) stores the lane's
+    colors in a contiguous id-indexed :class:`ArrayCodeAssignment` with
+    an O(1) ``max_color``; ``False`` keeps the dict-backed reference
+    container.  The two are observably identical and serialize to the
+    same :meth:`state_dict`, so the choice never leaks into results.
     """
 
     __slots__ = ("strategy", "assignment", "metrics", "validate")
 
-    def __init__(self, strategy: RecodingStrategy, *, validate: bool = False) -> None:
+    def __init__(
+        self,
+        strategy: RecodingStrategy,
+        *,
+        validate: bool = False,
+        array_colors: bool | None = None,
+    ) -> None:
+        if array_colors is None:
+            array_colors = default_core() == "array"
         self.strategy = strategy
-        self.assignment = CodeAssignment()
+        self.assignment = ArrayCodeAssignment() if array_colors else CodeAssignment()
         self.metrics = MetricsCollector()
         self.validate = validate
 
@@ -69,7 +85,11 @@ class StrategyLane:
         events — configuration only); the assignment and metrics are
         deep-copied so the fork and the original diverge freely.
         """
-        clone = StrategyLane(self.strategy, validate=self.validate)
+        clone = StrategyLane(
+            self.strategy,
+            validate=self.validate,
+            array_colors=isinstance(self.assignment, ArrayCodeAssignment),
+        )
         clone.assignment = self.assignment.copy()
         clone.metrics = self.metrics.clone()
         return clone
@@ -98,7 +118,12 @@ class StrategyLane:
                 f"lane state is for strategy {state.get('strategy')!r}, "
                 f"this lane runs {self.name!r}"
             )
-        self.assignment = CodeAssignment({node: color for node, color in state["assignment"]})
+        # Rebuild with the lane's own container class: lane state is
+        # core-independent, so a dict-core checkpoint loads into an
+        # array-color lane (and vice versa) without translation.
+        self.assignment = type(self.assignment)(
+            {node: color for node, color in state["assignment"]}
+        )
         self.metrics = MetricsCollector.from_records(
             [
                 EventRecord(
@@ -211,7 +236,7 @@ class AdHocNetwork(_TopologyOwner):
             enforce_connectivity=enforce_connectivity,
             dense_conflicts=dense_conflicts,
         )
-        self.lane = StrategyLane(strategy, validate=validate)
+        self.lane = StrategyLane(strategy, validate=validate, array_colors=self.graph.array_core)
 
     # ------------------------------------------------------------------
     # Lane delegation (the pre-split public attributes)
@@ -326,7 +351,8 @@ class MultiStrategyReplay(_TopologyOwner):
             enforce_connectivity=enforce_connectivity,
             dense_conflicts=dense_conflicts,
         )
-        self.lanes = [StrategyLane(s, validate=validate) for s in strategies]
+        array = self.graph.array_core
+        self.lanes = [StrategyLane(s, validate=validate, array_colors=array) for s in strategies]
 
     def lane(self, name: str) -> StrategyLane:
         """The lane whose strategy is named ``name`` (first match)."""
@@ -362,7 +388,13 @@ class MultiStrategyReplay(_TopologyOwner):
         point of an event chain — mid-sweep, between perturbation
         rounds — continues byte-identically to the live instance
         (pinned by ``tests/sim/test_timeline.py``), so checkpoints can
-        outlive the process that took them.
+        outlive the process that took them.  Snapshots are
+        core-independent: the digraph records topology state, not the
+        conflict core that produced it, and lane assignments serialize
+        as sorted ``(node, color)`` pairs whichever container holds
+        them, so a checkpoint written under the dict core restores
+        under the array core byte-identically (and vice versa) —
+        pinned by ``tests/sim/test_array_replay.py``.
         """
         return {
             "schema": 1,
@@ -395,8 +427,11 @@ class MultiStrategyReplay(_TopologyOwner):
         clone = cls.__new__(cls)
         clone.graph = AdHocDigraph.restore(snapshot["graph"], propagation=propagation)
         clone.enforce_connectivity = bool(snapshot["enforce_connectivity"])
+        array = clone.graph.array_core
         clone.lanes = [
-            StrategyLane(make_strategy(state["strategy"]), validate=validate).load_state(state)
+            StrategyLane(
+                make_strategy(state["strategy"]), validate=validate, array_colors=array
+            ).load_state(state)
             for state in snapshot["lanes"]
         ]
         return clone

@@ -44,6 +44,7 @@ from repro.sim.results import ResultsBackend, seed_token, spec_digest
 from repro.sim.results import point_key as _point_key
 from repro.sim.runner import resolve_runs
 from repro.sim.scenarios import ScenarioSpec, resolve_sweep
+from repro.topology.digraph import default_core
 
 __all__ = ["SweepSpec", "build_sweep", "plan_additional_tasks", "plan_tasks", "run_sweep"]
 
@@ -285,9 +286,10 @@ def run_sweep(
     results are identical either way).  With a
     ``store``, completed points are loaded instead of recomputed
     (unless ``resume=False``), fresh points are persisted as they land,
-    and the assembled series plus a run manifest are written.  The
-    series ``notes`` field records the computed/cached split of this
-    invocation.
+    and the assembled series plus a run manifest (spec fields, runs,
+    seed, executor name, the orchestrator's conflict core, point keys,
+    computed/cached split) are written.  The series ``notes`` field
+    records the computed/cached split of this invocation.
 
     ``precision`` switches on adaptive run counts: ``runs`` becomes the
     *starting* budget per point and, after each collect pass, a
@@ -363,6 +365,10 @@ def run_sweep(
             "runs": sweep.runs,
             "seed": sweep.seed,
             "executor": exec_.name,
+            # the orchestrator's conflict core (array/dict/dense) — an
+            # audit stamp, never a result discriminator: cores are
+            # byte-identical by contract
+            "core": default_core(),
             "points": [
                 keys[(i, r)]
                 for i in range(len(sweep.points))

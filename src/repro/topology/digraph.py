@@ -12,22 +12,39 @@ Implementation notes (per the hpc-parallel guides):
   active block contiguous (cache-friendly row/column operations).
 * All neighbor queries return id lists sorted ascending for determinism.
 
-Two conflict-maintenance modes exist, selected at construction (or by
-the ``REPRO_DENSE`` environment variable):
+Three conflict-maintenance cores exist, selected at construction (or by
+the ``REPRO_DENSE`` / ``REPRO_ARRAY`` environment variables):
 
-* **Incremental (default).**  A :class:`UniformGridIndex` over node
-  positions narrows edge recomputation after a join / move / power
-  change to the grid cells a transmission disc can reach, and a dense
-  counter matrix ``C2[u, v] = |out(u) ∩ out(v)|`` is updated from the
-  edge deltas of each event.  Conflict queries then read one row:
-  ``CA1 ∪ CA2 = A[u] | A[:, u] | (C2[u] > 0)`` — no matmul, no scan of
-  unrelated nodes' discs.
+* **Array (default).**  The array-native core: a :class:`SlotGridIndex`
+  buckets node *slots* (row indices of the flat arrays) per grid cell,
+  so a candidate query returns a numpy index array with no id→slot
+  translation; each join/move recomputes out- and in-edges from **one**
+  candidate fetch and **one** pairwise distance pass
+  (:func:`repro.topology.propagation.pairwise_masks`); and the CA1/CA2
+  delta update is batched — the CA2 witness counters ``C2[u, v] =
+  |out(u) ∩ out(v)|`` are adjusted only for the in-neighbor pairs that
+  actually changed, via broadcast index arithmetic.  Disable with
+  ``REPRO_ARRAY=0`` (or ``array_core=False``).
+* **Dict (``REPRO_ARRAY=0``).**  The object-level incremental core: a
+  :class:`UniformGridIndex` over node positions keyed by node id, two
+  separate coverage/covered queries per event, and clique
+  retract/assert CA2 updates.  Kept as the reference the array core is
+  pinned byte-identical against
+  (``tests/topology/test_array_equivalence.py``).
 * **Dense (``REPRO_DENSE=1`` or ``dense_conflicts=True``).**  The
   original behavior: every event rescans all N nodes, and conflict sets
   are re-derived from the canonical dense expression
   ``A | Aᵀ | (A·Aᵀ > 0)`` (:func:`repro.topology.conflicts.conflict_matrix`)
   once per event.  Kept as the obviously-correct escape hatch and as the
   oracle the equivalence tests compare against.
+
+All three cores answer the same object-level API (``out_neighbors``,
+``conflict_neighbor_ids``, …) with byte-identical results; the array
+core additionally exposes the array-native query surface
+(:meth:`AdHocDigraph.slot_of`, :meth:`AdHocDigraph.in_slots`,
+:meth:`AdHocDigraph.conflict_masks`) that vectorized consumers — the
+bench driver, whole-network recolors — use to skip per-node Python
+entirely.
 
 The grid fast path is only engaged when the propagation model declares
 ``disc_bounded = True`` (coverage is a subset of the transmission disc,
@@ -45,15 +62,19 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import DuplicateNodeError, InvalidEventError, UnknownNodeError
-from repro.geometry.grid_index import UniformGridIndex
+from repro.geometry.grid_index import SlotGridIndex, UniformGridIndex
 from repro.topology.node import NodeConfig
-from repro.topology.propagation import FreeSpacePropagation, PropagationModel
+from repro.topology.propagation import (
+    FreeSpacePropagation,
+    PropagationModel,
+    pairwise_masks,
+)
 from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; events imports topology.node
     from repro.events.base import Event
 
-__all__ = ["AdHocDigraph", "TopologyDelta"]
+__all__ = ["AdHocDigraph", "TopologyDelta", "default_core"]
 
 _INITIAL_CAPACITY = 16
 #: Memo key of the assembled conflict-adjacency pair (node ids are ints,
@@ -67,6 +88,46 @@ _REGRID_FACTOR = 4.0
 def _dense_from_env() -> bool:
     """Whether ``REPRO_DENSE`` requests the dense escape hatch."""
     return os.environ.get("REPRO_DENSE", "") not in ("", "0")
+
+
+def _array_from_env() -> bool:
+    """Whether ``REPRO_ARRAY`` requests the array core (default: yes)."""
+    return os.environ.get("REPRO_ARRAY", "1") not in ("", "0")
+
+
+#: The array core defers building its slot grid until this many nodes
+#: are live: below it the selectivity gate falls back to full scans
+#: anyway, so per-event grid upkeep would be pure overhead.
+_GRID_LAZY_MIN = 256
+
+#: Below this many occupied grid cells a disc query ring (~5×5 cells
+#: with the guard) covers most of the population, so candidate gathering
+#: cannot beat a vectorized full scan and the array core skips the grid.
+_MIN_SELECTIVE_CELLS = 32
+
+_IOTA = np.arange(256, dtype=np.intp)
+
+
+def _iota(k: int) -> np.ndarray:
+    """A shared ``arange(k)`` view (grown on demand) for diagonal writes."""
+    global _IOTA
+    if k > len(_IOTA):
+        _IOTA = np.arange(2 * k, dtype=np.intp)
+    return _IOTA[:k]
+
+
+def default_core() -> str:
+    """The conflict core a default-constructed graph would run.
+
+    ``"dense"``, ``"dict"`` or ``"array"``, resolved from the
+    ``REPRO_DENSE`` / ``REPRO_ARRAY`` environment variables exactly as
+    :class:`AdHocDigraph` resolves them at construction.  Execution
+    provenance (sweep manifests, stored point records) stamps this so
+    results record which core produced them.
+    """
+    if _dense_from_env():
+        return "dense"
+    return "array" if _array_from_env() else "dict"
 
 
 @dataclass(frozen=True)
@@ -117,6 +178,13 @@ class AdHocDigraph:
         ``True`` forces the dense per-event conflict derivation,
         ``False`` the grid-accelerated incremental one.  ``None``
         (default) consults the ``REPRO_DENSE`` environment variable.
+    array_core:
+        ``True`` runs the array-native incremental core (slot-bucketed
+        grid, fused pairwise edge recomputation, batched CA2 deltas),
+        ``False`` the object-level dict core.  ``None`` (default)
+        consults ``REPRO_ARRAY`` (on unless set to ``0``).  Ignored in
+        dense mode.  Both cores are byte-identical in every query and
+        in snapshots; the choice is purely an execution-speed knob.
     grid_cell_size:
         Explicit spatial-grid cell size.  Default: sized from observed
         transmission ranges (a disc query then touches O(1) cells).
@@ -127,14 +195,21 @@ class AdHocDigraph:
         propagation: PropagationModel | None = None,
         *,
         dense_conflicts: bool | None = None,
+        array_core: bool | None = None,
         grid_cell_size: float | None = None,
     ) -> None:
         self._prop: PropagationModel = (
             propagation if propagation is not None else FreeSpacePropagation()
         )
+        # Exactly free space (not a subclass): gates the inlined
+        # distance kernel on the array fast path.
+        self._fs = type(self._prop) is FreeSpacePropagation
         if dense_conflicts is None:
             dense_conflicts = _dense_from_env()
         self._dense = bool(dense_conflicts)
+        if array_core is None:
+            array_core = _array_from_env()
+        self._array = bool(array_core) and not self._dense
         cap = _INITIAL_CAPACITY
         self._pos = np.zeros((cap, 2), dtype=np.float64)
         self._range = np.zeros(cap, dtype=np.float64)
@@ -145,8 +220,18 @@ class AdHocDigraph:
         # Incremental mode: CA2 witness counts C2[u, v] = |out(u) ∩ out(v)|.
         self._c2 = None if self._dense else np.zeros((cap, cap), dtype=np.int32)
         self._use_grid = (not self._dense) and bool(getattr(self._prop, "disc_bounded", False))
-        self._grid: UniformGridIndex | None = None
+        self._grid: UniformGridIndex | SlotGridIndex | None = None
         self._grid_cell = grid_cell_size
+        # The cell size the grid has — or, while the array core defers
+        # building it (below _GRID_LAZY_MIN nodes), *would* have — under
+        # the first-insert / regrid-factor rules.  Maintained on every
+        # insert and power raise so snapshots and the deferred build see
+        # the same geometry the dict core's eager grid evolves.
+        self._cell_live: float | None = None
+        # Cached upper bound on max(range); may be stale-high after a
+        # removal or power decrease, which only widens candidate discs
+        # (still a superset — results unchanged).
+        self._max_range = 0.0
         # Dense mode: conflict matrix re-derived once per topology version.
         self._version = 0
         self._cm_cache: np.ndarray | None = None
@@ -171,8 +256,33 @@ class AdHocDigraph:
         return self._dense
 
     @property
-    def grid_index(self) -> UniformGridIndex | None:
-        """The spatial index backing the fast path (``None`` if unused)."""
+    def array_core(self) -> bool:
+        """Whether this graph runs the array-native incremental core."""
+        return self._array
+
+    @property
+    def core(self) -> str:
+        """The active conflict core: ``"dense"``, ``"dict"`` or ``"array"``.
+
+        Stamped into sweep manifests and stored point provenance so
+        results record which core produced them.
+        """
+        if self._dense:
+            return "dense"
+        return "array" if self._array else "dict"
+
+    @property
+    def grid_index(self) -> UniformGridIndex | SlotGridIndex | None:
+        """The spatial index backing the fast path (``None`` if unused).
+
+        The dict core indexes node *ids* (:class:`UniformGridIndex`);
+        the array core indexes node *slots* (:class:`SlotGridIndex`) and
+        defers building it until the population is large enough for
+        candidate queries to pay — accessing this property forces the
+        deferred build so callers always observe a complete index.
+        """
+        if self._grid is None and self._use_grid and self._cell_live is not None and self._ids:
+            self._build_grid(self._cell_live)
         return self._grid
 
     def __len__(self) -> int:
@@ -286,14 +396,18 @@ class AdHocDigraph:
         i = n - 1
         self._pos[i] = (cfg.x, cfg.y)
         self._range[i] = cfg.tx_range
+        if cfg.tx_range > self._max_range:
+            self._max_range = float(cfg.tx_range)
         self._ids.append(cfg.node_id)
         self._ida[i] = cfg.node_id
         self._index[cfg.node_id] = i
         if self._use_grid:
-            self._grid_insert(cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
+            self._grid_insert(i, cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
         if self._dense:
             self._recompute_row(i)
             self._recompute_col(i)
+        elif self._array:
+            self._insert_edges_array(i)
         else:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
@@ -314,7 +428,7 @@ class AdHocDigraph:
                 c2[np.ix_(src, src)] -= 1
                 c2[src, src] += 1
         if self._grid is not None:
-            self._grid.remove(node_id)
+            self._grid.remove(i if self._array else node_id)
         self._index.pop(node_id)
         last = n - 1
         if i != last:
@@ -332,6 +446,10 @@ class AdHocDigraph:
             self._ids[i] = moved
             self._ida[i] = moved
             self._index[moved] = i
+            if self._array and self._grid is not None:
+                # The slot grid tracks slots, not ids: follow the
+                # swap-delete renumbering of the last slot into i.
+                self._grid.rename(last, i)
         self._ids.pop()
         self._adj[last, : last + 1] = False
         self._adj[: last + 1, last] = False
@@ -346,10 +464,12 @@ class AdHocDigraph:
         i = self._idx(node_id)
         self._pos[i] = (float(x), float(y))
         if self._grid is not None:
-            self._grid.move(node_id, float(x), float(y))
+            self._grid.move(i if self._array else node_id, float(x), float(y))
         if self._dense:
             self._recompute_row(i)
             self._recompute_col(i)
+        elif self._array:
+            self._refresh_edges_array(i)
         else:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
@@ -367,10 +487,21 @@ class AdHocDigraph:
             raise ConfigurationError(f"tx_range must be positive, got {tx_range}")
         i = self._idx(node_id)
         self._range[i] = float(tx_range)
-        if self._grid is not None:
-            self._maybe_regrid(float(tx_range))
+        if tx_range > self._max_range:
+            self._max_range = float(tx_range)
+        if (
+            self._use_grid
+            and self._grid_cell is None
+            and self._cell_live is not None
+            and tx_range > _REGRID_FACTOR * self._cell_live
+        ):
+            self._cell_live = float(tx_range)
+            if self._grid is not None:
+                self._build_grid(self._cell_live)
         if self._dense:
             self._recompute_row(i)
+        elif self._array:
+            self._apply_row_delta_array(i, self._coverage_mask(i))
         else:
             self._apply_row_delta(i, self._coverage_mask(i))
         self._version += 1
@@ -455,7 +586,7 @@ class AdHocDigraph:
             "dense": self._dense,
             "version": self._version,
             "explicit_cell": self._grid_cell,
-            "grid_cell_size": None if self._grid is None else self._grid.cell_size,
+            "grid_cell_size": self._cell_live if self._use_grid else None,
             "nodes": [
                 [
                     int(self._ids[i]),
@@ -471,7 +602,11 @@ class AdHocDigraph:
 
     @classmethod
     def restore(
-        cls, snapshot: dict, *, propagation: PropagationModel | None = None
+        cls,
+        snapshot: dict,
+        *,
+        propagation: PropagationModel | None = None,
+        array_core: bool | None = None,
     ) -> "AdHocDigraph":
         """Rebuild a graph from a :meth:`snapshot` dict.
 
@@ -485,6 +620,12 @@ class AdHocDigraph:
         snapshots, which did not record the propagation model) and
         schema 2, which refuses to restore a snapshot taken under a
         non-default propagation model unless that model is supplied.
+
+        Snapshots are core-independent: the conflict core (array /
+        dict) is an execution knob, not state, so a snapshot written by
+        either core restores into whichever core is ambient (or the
+        explicit ``array_core``) and re-snapshots byte-identically —
+        pinned by ``tests/sim/test_array_replay.py``.
         """
         from repro.errors import ConfigurationError
 
@@ -506,6 +647,7 @@ class AdHocDigraph:
             propagation,
             dense_conflicts=snapshot["dense"],
             grid_cell_size=snapshot["explicit_cell"],
+            array_core=array_core,
         )
         nodes = snapshot["nodes"]
         n = len(nodes)
@@ -526,13 +668,15 @@ class AdHocDigraph:
                 np.fill_diagonal(g._c2[:n, :n], 0)
             else:
                 g._c2[:n, :n] = np.asarray(c2, dtype=np.int32)
-        if g._use_grid and n:
+        if g._use_grid:
             cell = snapshot["grid_cell_size"]
-            if cell is None:
+            if cell is None and n:  # schema-1 snapshots did not record it
                 cell = float(g._range[:n].max())
-            g._grid = UniformGridIndex(cell)
-            for slot in range(n):
-                g._grid.insert(g._ids[slot], float(g._pos[slot, 0]), float(g._pos[slot, 1]))
+            if cell is not None:
+                g._cell_live = float(cell)
+                if n and not (g._array and n < _GRID_LAZY_MIN):
+                    g._build_grid(g._cell_live)
+        g._max_range = float(g._range[:n].max()) if n else 0.0
         g._version = snapshot["version"]
         return g
 
@@ -540,7 +684,9 @@ class AdHocDigraph:
         """Deep copy (same propagation model object, copied arrays)."""
         g = AdHocDigraph.__new__(AdHocDigraph)
         g._prop = self._prop
+        g._fs = self._fs
         g._dense = self._dense
+        g._array = self._array
         g._pos = self._pos.copy()
         g._range = self._range.copy()
         g._adj = self._adj.copy()
@@ -551,6 +697,8 @@ class AdHocDigraph:
         g._use_grid = self._use_grid
         g._grid = None if self._grid is None else self._grid.copy()
         g._grid_cell = self._grid_cell
+        g._cell_live = self._cell_live
+        g._max_range = self._max_range
         g._version = self._version
         g._cm_cache = None
         g._cm_version = -1
@@ -615,6 +763,73 @@ class AdHocDigraph:
             memo[_CONFLICT_ADJ_KEY] = cached
         ids, block = cached
         return list(ids), block.copy()
+
+    # ------------------------------------------------------------------
+    # Array-native query surface
+    # ------------------------------------------------------------------
+    # Slot-indexed variants of the id-based queries above.  A *slot* is
+    # the node's row index in the contiguous storage blocks (``_pos``,
+    # ``_adj``, ``_c2``); slots stay dense 0..n-1 under swap-delete, so
+    # a node's slot is stable only between removals.  Batch consumers
+    # (the bench's vectorized event loop, array color lanes) translate
+    # ids to slots once per event and then work purely on index arrays.
+
+    def slot_of(self, node_id: NodeId) -> int:
+        """The storage slot of ``node_id`` (valid until the next removal)."""
+        return self._idx(node_id)
+
+    def slot_ids(self) -> np.ndarray:
+        """Node ids by slot — ``slot_ids()[s]`` is slot ``s``'s id.
+
+        A read-only int64 view over live slots; copy before storing.
+        """
+        n = len(self._ids)
+        out = self._ida[:n]
+        out.flags.writeable = False
+        return out
+
+    def out_slots(self, slot: int) -> np.ndarray:
+        """Slots of ``slot``'s out-neighbors (unsorted index array)."""
+        n = len(self._ids)
+        return self._adj[slot, :n].nonzero()[0]
+
+    def in_slots(self, slot: int) -> np.ndarray:
+        """Slots of ``slot``'s in-neighbors (unsorted index array)."""
+        n = len(self._ids)
+        return self._adj[:n, slot].nonzero()[0]
+
+    def v1_slots(self, slot: int) -> np.ndarray:
+        """Slots of ``slot``'s closed in-neighborhood (``slot`` + in-neighbors).
+
+        The "one-hop upstream vicinity" every event handler revisits:
+        the nodes whose conflict rows an event at ``slot`` can change.
+        Fused so the hot loop pays one column copy, one bit set and one
+        ``nonzero`` instead of an ``in_slots`` + ``np.append`` round trip.
+        """
+        n = len(self._ids)
+        col = self._adj[:n, slot].copy()
+        col[slot] = True
+        return col.nonzero()[0]
+
+    def conflict_masks(self, slots: np.ndarray) -> np.ndarray:
+        """Batched CA1 ∪ CA2 conflict rows for many slots at once.
+
+        Returns a ``(k, n)`` boolean block whose row ``j`` marks the
+        slots conflicting with ``slots[j]`` (diagonal cleared).  One
+        fused boolean expression over the adjacency and witness blocks
+        replaces ``k`` separate :meth:`conflict_neighbor_ids` calls —
+        the array core's replacement for the per-node frozenset query
+        in strategy inner loops.
+        """
+        s = np.asarray(slots, dtype=np.intp)
+        n = len(self._ids)
+        if self._dense:
+            rows = self._dense_conflict_block()[s]
+        else:
+            a = self._adj
+            rows = a[s, :n] | a[:n, s].T | (self._c2[s, :n] > 0)
+            rows[_iota(len(s)), s] = False
+        return rows
 
     def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
         """BFS hop counts from ``src`` over the undirected support.
@@ -688,40 +903,62 @@ class AdHocDigraph:
             self._c2 = c2
 
     # -- spatial grid ---------------------------------------------------
-    def _grid_insert(self, node_id: NodeId, x: float, y: float, tx_range: float) -> None:
-        """Insert into the spatial index, creating/resizing it as needed."""
-        if self._grid is None:
-            cell = self._grid_cell if self._grid_cell is not None else float(tx_range)
-            self._grid = UniformGridIndex(cell)
-        self._grid.insert(node_id, float(x), float(y))
-        self._maybe_regrid(float(tx_range))
+    def _grid_insert(self, slot: int, node_id: NodeId, x: float, y: float, tx_range: float) -> None:
+        """Track ``slot`` in the spatial index (array core: maybe lazily).
 
-    def _maybe_regrid(self, tx_range: float) -> None:
-        """Rebuild the grid when ranges outgrow the cell size.
-
-        Keeps a disc query touching O(1) cells even as transmission
-        power rises (e.g. the paper's raisefactor sweep).  Rebuilds are
-        O(N) and only triggered by a new maximum range, so the cost
-        amortizes away.
+        The array core indexes the node by ``slot``, the dict core by
+        ``node_id``; cell geometry is identical either way.  While the
+        array core's population is below ``_GRID_LAZY_MIN`` only the
+        cell-size scalar is advanced — per-node upkeep would cost more
+        than the full scans the small graph uses anyway — and the grid
+        is bulk-built from the position block on first need.
         """
-        if self._grid_cell is not None:  # explicit cell size wins
+        if self._grid_cell is not None:
+            if self._cell_live is None:
+                self._cell_live = self._grid_cell  # explicit cell size wins
+        else:
+            live = self._cell_live
+            if live is None or tx_range > _REGRID_FACTOR * live:
+                # Regrid rule: a new maximum range outgrowing the cell
+                # re-cells the grid so disc queries stay O(1) cells
+                # (e.g. the paper's raisefactor sweep).
+                self._cell_live = float(tx_range)
+        if self._grid is None:
+            if self._array and len(self._ids) < _GRID_LAZY_MIN:
+                return
+            self._build_grid(self._cell_live)
             return
-        grid = self._grid
-        if grid is not None and tx_range > _REGRID_FACTOR * grid.cell_size:
-            rebuilt = UniformGridIndex(tx_range)
-            for item in grid:
-                rebuilt.insert(item, *grid.position_of(item))
-            self._grid = rebuilt
+        self._grid.insert(slot if self._array else node_id, float(x), float(y))
+        if self._grid.cell_size != self._cell_live:
+            self._build_grid(self._cell_live)
+
+    def _build_grid(self, cell: float) -> None:
+        """(Re)build the spatial index over all live slots at ``cell`` size."""
+        n = len(self._ids)
+        if self._array:
+            grid: UniformGridIndex | SlotGridIndex = SlotGridIndex(cell)
+            for slot in range(n):
+                grid.insert(slot, float(self._pos[slot, 0]), float(self._pos[slot, 1]))
+        else:
+            grid = UniformGridIndex(cell)
+            for slot in range(n):
+                grid.insert(self._ids[slot], float(self._pos[slot, 0]), float(self._pos[slot, 1]))
+        self._grid = grid
 
     def _candidate_slots(self, i: int, radius: float) -> np.ndarray | None:
         """Slots of nodes within ``radius`` of slot ``i`` (grid superset).
 
         ``None`` means the grid is unavailable (dense mode, non-disc
         propagation, or an empty graph) and the caller must scan all N.
+        The array core reads slot arrays straight out of the grid
+        buckets; the dict core translates the id list through the index
+        dict — same membership, so downstream masks are identical.
         """
         if not self._use_grid or self._grid is None:
             return None
         x, y = self._pos[i]
+        if self._array:
+            return self._grid.candidate_slots(float(x), float(y), radius)
         ids = self._grid.candidates_in_box(float(x), float(y), radius)
         index = self._index
         return np.asarray([index[v] for v in ids], dtype=np.intp)
@@ -761,6 +998,176 @@ class AdHocDigraph:
                 mask[cand[covered]] = True
         mask[i] = False
         return mask
+
+    # -- array-core edge recomputation ----------------------------------
+    def _refresh_edges_array(self, i: int) -> None:
+        """Recompute slot ``i``'s out- and in-edges (array fast path).
+
+        One candidate fetch at the current maximum range (any node that
+        covers or is covered by ``i`` lies within it) and one pairwise
+        distance pass answer both directions, then the batched CA1/CA2
+        delta appliers fold the changes into the adjacency block and
+        witness counters.  Byte-identical to the dict core's separate
+        ``_coverage_mask`` / ``_covered_mask`` queries.
+        """
+        n = len(self._ids)
+        cand = self._candidate_slots_array(i)
+        free_space = self._fs
+        if cand is None:
+            if free_space:
+                # Inline free-space kernel: identical arithmetic to
+                # within_disc / covered_by (same subtraction, einsum and
+                # closed-disc compares), one distance pass, no model
+                # dispatch.
+                diff = self._pos[:n] - self._pos[i]
+                d2 = np.einsum("ij,ij->i", diff, diff)
+                r = float(self._range[i])
+                new_row = d2 <= r * r
+                rr = self._range[:n]
+                new_col = d2 <= rr * rr
+            else:
+                cov, covby = pairwise_masks(
+                    self._prop, self._pos[i], float(self._range[i]), self._pos[:n], self._range[:n]
+                )
+                new_row = np.asarray(cov, dtype=bool).copy()
+                new_col = np.asarray(covby, dtype=bool).copy()
+        else:
+            new_row = np.zeros(n, dtype=bool)
+            new_col = np.zeros(n, dtype=bool)
+            if cand.size:
+                if free_space:
+                    diff = self._pos[cand] - self._pos[i]
+                    d2 = np.einsum("ij,ij->i", diff, diff)
+                    r = float(self._range[i])
+                    cov = d2 <= r * r
+                    rr = self._range[cand]
+                    covby = d2 <= rr * rr
+                else:
+                    cov, covby = pairwise_masks(
+                        self._prop,
+                        self._pos[i],
+                        float(self._range[i]),
+                        self._pos[cand],
+                        self._range[cand],
+                    )
+                new_row[cand[cov]] = True
+                new_col[cand[covby]] = True
+        new_row[i] = False
+        new_col[i] = False
+        self._apply_row_delta_array(i, new_row)
+        self._apply_col_delta_array(i, new_col)
+
+    def _insert_edges_array(self, i: int) -> None:
+        """Create slot ``i``'s edges on join (array fast path).
+
+        The join specialization of :meth:`_refresh_edges_array`: the
+        fresh slot's row, column and witness counters are all zero, so
+        the old/new comparisons degenerate — every out-edge contributes
+        ``+1`` (the witness counts with ``i`` are straight sums over the
+        receivers' columns) and the in-neighbor clique is asserted
+        without a retraction.  Same arithmetic as the general deltas on
+        an empty old state, so the result is byte-identical.
+        """
+        if not self._fs or self._candidate_slots_array(i) is not None:
+            self._refresh_edges_array(i)
+            return
+        n = len(self._ids)
+        diff = self._pos[:n] - self._pos[i]
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        r = float(self._range[i])
+        new_row = d2 <= r * r
+        rr = self._range[:n]
+        new_col = d2 <= rr * rr
+        new_row[i] = False
+        new_col[i] = False
+        a = self._adj
+        c2 = self._c2
+        idx = new_row.nonzero()[0]
+        if idx.size:
+            cnt = a[:n, idx].sum(axis=1, dtype=np.int32)
+            # cnt[i] is 0 by construction: row i is still empty.
+            c2[i, :n] = cnt
+            c2[:n, i] = cnt
+        a[i, :n] = new_row
+        new = new_col.nonzero()[0]
+        if new.size:
+            c2[new[:, None], new] += 1
+            c2[new, new] -= 1
+        a[:n, i] = new_col
+
+    def _candidate_slots_array(self, i: int) -> np.ndarray | None:
+        """Candidate fetch for the array refresh; ``None`` = scan all N.
+
+        Uses the cached maximum range as the radius (covers both edge
+        directions) and tells the grid to bail out to a full scan when
+        at least 3/4 of all slots fall in the query box — at that
+        density the gather costs more than testing everyone, and the
+        masks are identical either way (grid candidates are supersets).
+        When the whole population occupies no more cells than a single
+        query ring (~5×5 with the guard), no query can be selective and
+        the grid is skipped outright.
+        """
+        if not self._use_grid or self._grid is None:
+            return None
+        if self._grid.cell_count <= _MIN_SELECTIVE_CELLS:
+            return None
+        n = len(self._ids)
+        x, y = self._pos[i]
+        return self._grid.candidate_slots(
+            float(x), float(y), self._max_range, cutoff=max(1, (3 * n) // 4)
+        )
+
+    def _apply_row_delta_array(self, i: int, new_row: np.ndarray) -> None:
+        """Batched out-edge replacement for slot ``i`` (array core).
+
+        Same counter math as :meth:`_apply_row_delta` — when ``i``
+        starts (stops) covering a receiver ``w``, every other
+        in-neighbor of ``w`` gains (loses) one CA2 witness with ``i`` —
+        but fused into a single signed matvec: gather the changed
+        receivers' in-neighbor columns once and multiply by ±1 per
+        receiver.  Exact integer arithmetic, so the counters are
+        byte-identical to the dict core's two-pass form.
+        """
+        n = len(self._ids)
+        a = self._adj
+        old_row = a[i, :n]
+        idx = (old_row != new_row).nonzero()[0]
+        if idx.size:
+            sign = np.where(new_row[idx], np.int32(1), np.int32(-1))
+            cnt = a[:n, idx] @ sign
+            cnt[i] = 0  # no (i, i) pair; i's own row is the one changing
+            c2 = self._c2
+            c2[i, :n] += cnt
+            c2[:n, i] += cnt
+        a[i, :n] = new_row
+
+    def _apply_col_delta_array(self, i: int, new_col: np.ndarray) -> None:
+        """Batched in-edge replacement for slot ``i`` (array core).
+
+        The in-neighbor set of ``i`` changes from ``old`` to ``new``;
+        a pair ``(u, v)`` holds a CA2 witness at ``i`` iff both are
+        in-neighbors, so the counter block update is "retract the old
+        clique, assert the new one": ``C2[old × old] -= 1`` then
+        ``C2[new × new] += 1``.  Pairs kept in both cancel exactly
+        (integer adds commute), so the result is byte-identical to any
+        finer-grained delta, with just two broadcast writes plus two
+        diagonal corrections (the diagonal stays 0 by convention).
+        """
+        n = len(self._ids)
+        a = self._adj
+        old_col = a[:n, i]
+        changed = old_col != new_col
+        if changed.any():
+            c2 = self._c2
+            old = old_col.nonzero()[0]
+            new = new_col.nonzero()[0]
+            if old.size:
+                c2[old[:, None], old] -= 1
+                c2[old, old] += 1
+            if new.size:
+                c2[new[:, None], new] += 1
+                c2[new, new] -= 1
+        a[:n, i] = new_col
 
     # -- incremental CA2 maintenance ------------------------------------
     def _apply_row_delta(self, i: int, new_row: np.ndarray) -> None:

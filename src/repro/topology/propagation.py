@@ -16,7 +16,12 @@ import numpy as np
 from repro.geometry.distance import within_disc
 from repro.geometry.obstacles import RectObstacle, los_mask
 
-__all__ = ["PropagationModel", "FreeSpacePropagation", "ObstructedPropagation"]
+__all__ = [
+    "PropagationModel",
+    "FreeSpacePropagation",
+    "ObstructedPropagation",
+    "pairwise_masks",
+]
 
 
 @runtime_checkable
@@ -48,6 +53,34 @@ class PropagationModel(Protocol):
         join or move).
         """
         ...  # pragma: no cover - protocol
+
+
+def pairwise_masks(
+    model: PropagationModel,
+    position: np.ndarray,
+    tx_range: float,
+    positions: np.ndarray,
+    ranges: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(coverage, covered_by)`` masks of one node against candidates.
+
+    The fused query of the array conflict core: after a join or move of
+    a node both its out-edges (*which candidates does it cover?*) and
+    its in-edges (*which candidates cover it?*) must be recomputed over
+    the same candidate set.  Models exposing a ``pairwise`` method (the
+    built-in free-space and obstructed models do) answer both from one
+    distance pass; other models fall back to two independent queries.
+    Either way the masks are bitwise identical to separate
+    ``coverage``/``covered_by`` calls — the array and dict cores must
+    produce byte-identical edges.
+    """
+    native = getattr(model, "pairwise", None)
+    if native is not None:
+        return native(position, tx_range, positions, ranges)
+    return (
+        model.coverage(position, tx_range, positions),
+        model.covered_by(position, positions, ranges),
+    )
 
 
 @dataclass(frozen=True)
@@ -86,6 +119,30 @@ class FreeSpacePropagation:
         d2 = np.einsum("ij,ij->i", diff, diff)
         r = np.asarray(src_ranges, dtype=np.float64)
         return d2 <= r * r
+
+    def pairwise(
+        self,
+        position: np.ndarray,
+        tx_range: float,
+        positions: np.ndarray,
+        ranges: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(coverage, covered_by)`` from a single distance pass.
+
+        The array core's fused edge recomputation: the squared distances
+        to the candidate set are computed once and compared against the
+        node's own range (out-edges) and the candidates' ranges
+        (in-edges).  Bitwise identical to separate ``coverage`` /
+        ``covered_by`` calls.
+        """
+        if len(positions) == 0:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty
+        pos = np.asarray(positions, dtype=np.float64)
+        diff = pos - np.asarray(position, dtype=np.float64).reshape(2)
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        r = np.asarray(ranges, dtype=np.float64)
+        return d2 <= float(tx_range) * float(tx_range), d2 <= r * r
 
 
 @dataclass(frozen=True)
@@ -142,3 +199,37 @@ class ObstructedPropagation:
             mask = mask.copy()
             mask[idx] = visible
         return mask
+
+    def pairwise(
+        self,
+        position: np.ndarray,
+        tx_range: float,
+        positions: np.ndarray,
+        ranges: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(coverage, covered_by)`` sharing one distance and LOS pass.
+
+        Distances are computed once; line-of-sight (symmetric between a
+        pair of points) is tested once over the union of in-range
+        candidates and applied to both directions — bitwise identical
+        to separate ``coverage`` / ``covered_by`` calls.
+        """
+        if len(positions) == 0:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty
+        pos = np.asarray(positions, dtype=np.float64)
+        origin = np.asarray(position, dtype=np.float64).reshape(2)
+        diff = pos - origin
+        d2 = np.einsum("ij,ij->i", diff, diff)
+        r = np.asarray(ranges, dtype=np.float64)
+        cov = d2 <= float(tx_range) * float(tx_range)
+        covby = d2 <= r * r
+        if self.obstacles:
+            either = cov | covby
+            if either.any():
+                idx = np.flatnonzero(either)
+                visible = np.ones(len(pos), dtype=bool)
+                visible[idx] = los_mask(origin, pos[idx], self.obstacles)
+                cov = cov & visible
+                covby = covby & visible
+        return cov, covby

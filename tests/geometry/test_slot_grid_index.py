@@ -1,0 +1,173 @@
+"""The array-native slot grid (`SlotGridIndex`).
+
+Membership parity with :class:`UniformGridIndex` (shared cell
+geometry), slot lifecycle under swap-delete renaming, and the
+``cutoff`` / bounding-box short-circuits of :meth:`candidate_slots` —
+which may only ever widen the candidate superset, never shrink it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.geometry.grid_index import SlotGridIndex, UniformGridIndex
+
+
+def _scatter(rng, n, span=100.0):
+    return [(float(rng.uniform(0, span)), float(rng.uniform(0, span))) for _ in range(n)]
+
+
+class TestLifecycle:
+    def test_insert_contains_len(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 55.0, 5.0)
+        assert len(g) == 2 and 0 in g and 1 in g and 2 not in g
+
+    def test_reinsert_moves(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(0, 95.0, 95.0)
+        assert len(g) == 1
+        assert g.candidate_slots(95.0, 95.0, 1.0).tolist() == [0]
+
+    def test_remove_and_unknown_raises(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.remove(0)
+        assert len(g) == 0 and 0 not in g
+        with pytest.raises(UnknownNodeError):
+            g.remove(0)
+        with pytest.raises(UnknownNodeError):
+            g.move(0, 1.0, 1.0)
+
+    def test_rename_follows_swap_delete(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 55.0, 55.0)
+        g.remove(0)
+        g.rename(1, 0)  # the digraph renumbers the last slot into the hole
+        assert 0 in g and 1 not in g
+        assert g.candidate_slots(55.0, 55.0, 1.0).tolist() == [0]
+
+    def test_rename_onto_live_slot_rejected(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 55.0, 55.0)
+        with pytest.raises(ConfigurationError):
+            g.rename(0, 1)
+
+    def test_negative_slot_and_bad_cell_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlotGridIndex(0.0)
+        g = SlotGridIndex(10.0)
+        with pytest.raises(ConfigurationError):
+            g.insert(-1, 0.0, 0.0)
+
+    def test_slot_capacity_grows_on_demand(self):
+        g = SlotGridIndex(10.0)
+        g.insert(500, 5.0, 5.0)  # far beyond the initial record capacity
+        assert 500 in g and len(g) == 1
+
+    def test_copy_is_independent(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        clone = g.copy()
+        clone.remove(0)
+        clone.insert(7, 90.0, 90.0)
+        assert 0 in g and 7 not in g
+        assert 0 not in clone and 7 in clone
+
+
+class TestCandidateQueries:
+    def test_negative_radius_rejected(self):
+        g = SlotGridIndex(10.0)
+        with pytest.raises(ConfigurationError):
+            g.candidate_slots(0.0, 0.0, -1.0)
+
+    def test_empty_grid_returns_empty_array(self):
+        g = SlotGridIndex(10.0)
+        out = g.candidate_slots(0.0, 0.0, 50.0)
+        assert out.size == 0 and out.dtype == np.intp
+
+    @pytest.mark.parametrize("cell", [3.0, 11.0, 40.0])
+    def test_candidates_are_a_superset_of_the_disc(self, cell):
+        rng = np.random.default_rng(1)
+        pts = _scatter(rng, 120)
+        g = SlotGridIndex(cell)
+        for slot, (x, y) in enumerate(pts):
+            g.insert(slot, x, y)
+        arr = np.asarray(pts)
+        for qx, qy, r in [(50.0, 50.0, 12.0), (0.0, 0.0, 30.0), (99.0, 10.0, 5.0)]:
+            cand = g.candidate_slots(qx, qy, r)
+            d2 = ((arr - (qx, qy)) ** 2).sum(axis=1)
+            inside = set(np.flatnonzero(d2 <= r * r).tolist())
+            assert inside <= set(cand.tolist())
+
+    @pytest.mark.parametrize("cell", [3.0, 11.0])
+    def test_membership_matches_uniform_grid(self, cell):
+        rng = np.random.default_rng(2)
+        pts = _scatter(rng, 80)
+        slot_grid, id_grid = SlotGridIndex(cell), UniformGridIndex(cell)
+        for slot, (x, y) in enumerate(pts):
+            slot_grid.insert(slot, x, y)
+            id_grid.insert(slot, x, y)
+        for qx, qy, r in [(20.0, 80.0, 9.0), (60.0, 30.0, 25.0)]:
+            a = sorted(slot_grid.candidate_slots(qx, qy, r).tolist())
+            b = sorted(id_grid.candidates_in_box(qx, qy, r))
+            assert a == b  # shared cell geometry, identical supersets
+
+    def test_result_is_never_a_bucket_view(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        out = g.candidate_slots(5.0, 5.0, 1.0)
+        out[0] = 999  # mutating the result must not corrupt the grid
+        assert g.candidate_slots(5.0, 5.0, 1.0).tolist() == [0]
+
+
+class TestCutoff:
+    def test_cutoff_reached_returns_none(self):
+        g = SlotGridIndex(10.0)
+        for slot in range(10):
+            g.insert(slot, float(slot), 0.0)
+        assert g.candidate_slots(5.0, 0.0, 50.0, cutoff=3) is None
+
+    def test_cutoff_not_reached_returns_candidates(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 95.0, 95.0)  # far away: outside the query box
+        out = g.candidate_slots(5.0, 5.0, 1.0, cutoff=2)
+        assert out is not None and out.tolist() == [0]
+
+    def test_bbox_short_circuit_only_fires_at_cutoff(self):
+        # the ring covers every occupied cell, so with a reachable
+        # cutoff the gather is skipped outright (None), while without a
+        # cutoff the full membership comes back
+        g = SlotGridIndex(10.0)
+        for slot in range(6):
+            g.insert(slot, 10.0 * slot, 10.0 * slot)
+        assert g.candidate_slots(25.0, 25.0, 100.0, cutoff=6) is None
+        full = g.candidate_slots(25.0, 25.0, 100.0)
+        assert sorted(full.tolist()) == list(range(6))
+
+    def test_bbox_stays_conservative_after_removals(self):
+        # the bbox is grow-only: after clearing a far corner the
+        # short-circuit may stop firing, but results stay exact
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 995.0, 995.0)
+        g.remove(1)
+        out = g.candidate_slots(5.0, 5.0, 20.0, cutoff=1)
+        assert out is None or out.tolist() == [0]
+
+    def test_cell_count_tracks_occupancy(self):
+        g = SlotGridIndex(10.0)
+        assert g.cell_count == 0
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 6.0, 6.0)  # same cell
+        g.insert(2, 55.0, 55.0)
+        assert g.cell_count == 2
+        g.remove(2)
+        assert g.cell_count == 1

@@ -134,13 +134,17 @@ class TestScenarioCommand:
 class TestBenchCommand:
     def test_bench_writes_json(self, tmp_path, capsys):
         out_path = tmp_path / "BENCH_eventloop.json"
-        rc = main(["bench", "--runs", "1", "--n", "24", "--out", str(out_path)])
+        # --large-n 0 skips the N=2000 scale trace: this test covers the
+        # harness plumbing, not the ~10 s large-join measurement (CI's
+        # smoke-bench job runs it through the default CLI invocation).
+        rc = main(["bench", "--runs", "1", "--n", "24", "--large-n", "0", "--out", str(out_path)])
         printed = capsys.readouterr().out
         assert rc == 0
         assert "fig10-join" in printed and "speedup" in printed
         assert "multi-strategy-replay" in printed
         entries = json.loads(out_path.read_text())
         assert {e["mode"] for e in entries} == {
+            "array",
             "grid",
             "dense",
             "per-strategy",
@@ -154,6 +158,9 @@ class TestBenchCommand:
         }
         for e in entries:
             assert {"scenario", "n", "wall_seconds", "events_per_sec"} <= set(e)
+        array = [e for e in entries if e["mode"] == "array"]
+        assert len(array) == 2 and all(e["speedup_vs_dict"] > 0 for e in array)
+        assert not any(e["scenario"] == "large-join" for e in entries)
         shared = [e for e in entries if e["mode"] == "shared"]
         assert len(shared) == 1 and shared[0]["speedup_vs_per_strategy"] > 0
         warm = [e for e in entries if e["mode"] == "warm"]
@@ -162,6 +169,11 @@ class TestBenchCommand:
         assert len(timeline) == 1 and timeline[0]["timeline_prefix_sharing"] > 0
         adaptive = [e for e in entries if e["mode"] == "adaptive"]
         assert len(adaptive) == 1 and adaptive[0]["run_savings_vs_fixed"] >= 1.0
+
+    def test_bench_rejects_small_large_n(self, capsys):
+        rc = main(["bench", "--runs", "1", "--n", "24", "--large-n", "100"])
+        assert rc == 2
+        assert "large-n" in capsys.readouterr().err
 
 
 class TestWorkerAndStoreCommands:

@@ -1,0 +1,84 @@
+"""The documentation's CLI examples stay real.
+
+``docs/check_examples.py`` executes every fenced ``minim-cdma`` example
+in CI (smoke mode).  The tier-1 suite pins the cheap half: extraction
+finds the examples, skip markers are honored, the smoke rewrite works,
+and — crucially — every extracted command still *parses* against the
+live argument parser, so a renamed flag breaks here in seconds instead
+of in the slow CI job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_examples", ROOT / "docs" / "check_examples.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module  # dataclasses resolve through sys.modules
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return _load_checker()
+
+
+@pytest.fixture(scope="module")
+def examples(checker):
+    return [ex for path in checker.doc_files() for ex in checker.extract_examples(path)]
+
+
+class TestExtraction:
+    def test_doc_files_exist(self, checker):
+        files = checker.doc_files()
+        assert (ROOT / "README.md") in files
+        names = {f.name for f in files}
+        assert "benchmarks.md" in names and "event-loop.md" in names
+
+    def test_readme_examples_found(self, examples):
+        readme = [ex for ex in examples if ex.source.name == "README.md"]
+        assert len(readme) >= 8
+        assert any("fig10" in ex.command for ex in readme)
+        assert any(ex.command.startswith("minim-cdma bench") for ex in readme)
+
+    def test_skip_marker_honored(self, examples):
+        # the install lines, worker daemon session and pytest calls are
+        # all under skip markers or non-sh fences
+        for ex in examples:
+            assert ex.command.startswith("minim-cdma")
+            assert "worker" not in ex.command.split()
+            assert "&" not in ex.command
+
+    def test_continuation_lines_joined(self, examples):
+        churn = [ex for ex in examples if "uniform-churn" in ex.command]
+        assert churn and "--results" in churn[0].command  # spanned a backslash
+
+    def test_smoke_rewrite_forces_runs_1(self, examples):
+        for ex in examples:
+            argv = ex.smoke_argv
+            if "--runs" in argv:
+                assert argv[argv.index("--runs") + 1] == "1"
+
+
+class TestCommandsParse:
+    def test_every_example_parses_against_the_live_cli(self, examples):
+        parser = build_parser()
+        for ex in examples:
+            args = ex.smoke_argv[3:]  # drop `python -m repro`
+            try:
+                parser.parse_args(args)
+            except SystemExit as exc:  # pragma: no cover - failure path
+                pytest.fail(f"{ex.source.name}:{ex.line} no longer parses: {ex.command} ({exc})")

@@ -1,0 +1,130 @@
+"""Array core on vs off: byte-identical sweeps, replays and checkpoints.
+
+The array conflict core and the contiguous color lanes are execution
+knobs, not state: every registered scenario must produce byte-identical
+series with ``REPRO_ARRAY`` on and off — including through the
+checkpoint-tree timeline — and snapshots written by either core must
+restore into the other and continue identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.coloring.assignment import ArrayCodeAssignment, CodeAssignment
+from repro.sim.network import MultiStrategyReplay
+from repro.sim.registry import available_scenarios, get_scenario
+from repro.sim.scenarios import resolve_sweep, scenario_trace
+from repro.sim.sweep import run_sweep
+from repro.strategies import make_strategy
+from repro.topology.digraph import AdHocDigraph
+
+
+def _shrunk(name):
+    spec = get_scenario(name)
+    return replace(
+        spec,
+        n=min(spec.n, 12),
+        strategies=("Minim",),
+        sweep_values=spec.sweep_values[: 1 if spec.measure == "delta_rounds" else 2],
+    )
+
+
+def _series_dict(spec, *, seed=23, warm_start=None):
+    series = run_sweep(spec, runs=2, seed=seed, warm_start=warm_start)
+    out = series.to_dict()
+    out.pop("notes")  # notes record the computed/cached split, not results
+    return json.dumps(out, sort_keys=True)
+
+
+class TestSweepsIdenticalAcrossCores:
+    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    def test_registered_scenario_is_core_independent(self, name, monkeypatch):
+        # the tentpole acceptance criterion: array-on output is
+        # byte-identical to array-off for every registered scenario,
+        # through the default checkpoint-tree timeline
+        spec = _shrunk(name)
+        monkeypatch.setenv("REPRO_ARRAY", "1")
+        with_array = _series_dict(spec)
+        monkeypatch.setenv("REPRO_ARRAY", "0")
+        without = _series_dict(spec)
+        assert with_array == without
+
+    def test_core_independent_through_cold_replay_too(self, monkeypatch):
+        spec = _shrunk("fig12-move-rounds")
+        monkeypatch.setenv("REPRO_ARRAY", "1")
+        warm = _series_dict(spec, warm_start=True)
+        monkeypatch.setenv("REPRO_ARRAY", "0")
+        cold = _series_dict(spec, warm_start=False)
+        assert warm == cold
+
+
+def _replay_events(n=14, seed=5):
+    spec = resolve_sweep(replace(get_scenario("random-waypoint"), n=n), 4.0)
+    _, events = scenario_trace(spec, np.random.default_rng(seed))
+    return events
+
+
+def _lane_states(replay):
+    return [lane.state_dict() for lane in replay.lanes]
+
+
+class TestCrossCoreSnapshots:
+    @pytest.mark.parametrize("writer,reader", [(True, False), (False, True)])
+    def test_digraph_snapshot_round_trips_between_cores(self, writer, reader):
+        events = _replay_events()
+        g = AdHocDigraph(array_core=writer)
+        for ev in events[:10]:
+            g.apply_event(ev)
+        snap = g.snapshot()
+        restored = AdHocDigraph.restore(snap, array_core=reader)
+        assert restored.core == ("array" if reader else "dict")
+        assert restored.snapshot() == snap  # idempotent across the core swap
+        # both continue identically from the restore point
+        cont = AdHocDigraph.restore(snap, array_core=writer)
+        for ev in events[10:]:
+            restored.apply_event(ev)
+            cont.apply_event(ev)
+        assert restored.snapshot() == cont.snapshot()
+
+    @pytest.mark.parametrize("writer", ["0", "1"])
+    def test_replay_checkpoint_restores_under_either_core(self, writer, monkeypatch):
+        events = _replay_events()
+        monkeypatch.setenv("REPRO_ARRAY", writer)
+        replay = MultiStrategyReplay([make_strategy("Minim"), make_strategy("CP")])
+        replay.run(events[:10])
+        checkpoint = replay.snapshot()
+        states = _lane_states(replay)
+        for reader in ("0", "1"):
+            monkeypatch.setenv("REPRO_ARRAY", reader)
+            resumed = MultiStrategyReplay.restore(checkpoint)
+            assert resumed.snapshot() == checkpoint
+            assert _lane_states(resumed) == states
+            resumed.run(events[10:])
+            monkeypatch.setenv("REPRO_ARRAY", writer)
+            straight = MultiStrategyReplay.restore(checkpoint).run(events[10:])
+            assert resumed.snapshot() == straight.snapshot()
+            assert _lane_states(resumed) == _lane_states(straight)
+
+
+class TestLaneContainers:
+    def test_lanes_follow_the_graph_core(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY", "1")
+        replay = MultiStrategyReplay([make_strategy("Minim")])
+        assert isinstance(replay.lanes[0].assignment, ArrayCodeAssignment)
+        monkeypatch.setenv("REPRO_ARRAY", "0")
+        replay = MultiStrategyReplay([make_strategy("Minim")])
+        assert isinstance(replay.lanes[0].assignment, CodeAssignment)
+        assert not isinstance(replay.lanes[0].assignment, ArrayCodeAssignment)
+
+    def test_fork_preserves_the_container_kind(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY", "1")
+        replay = MultiStrategyReplay([make_strategy("Minim")])
+        replay.run(_replay_events(n=8)[:6])
+        fork = replay.fork()
+        assert isinstance(fork.lanes[0].assignment, ArrayCodeAssignment)
+        assert fork.lanes[0].assignment.as_dict() == replay.lanes[0].assignment.as_dict()

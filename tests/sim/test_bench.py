@@ -13,8 +13,14 @@ from repro.sim.random_networks import sample_configs
 
 
 class TestDrive:
-    def test_drive_runs_both_modes(self):
+    def test_drive_runs_all_modes(self):
         events = [JoinEvent(c) for c in sample_configs(15, np.random.default_rng(0))]
+        assert drive_event_loop(events, mode="array") > 0.0
+        assert drive_event_loop(events, mode="grid") > 0.0
+        assert drive_event_loop(events, mode="dense") > 0.0
+
+    def test_legacy_dense_conflicts_kwarg_still_maps(self):
+        events = [JoinEvent(c) for c in sample_configs(10, np.random.default_rng(0))]
         assert drive_event_loop(events, dense_conflicts=False) > 0.0
         assert drive_event_loop(events, dense_conflicts=True) > 0.0
 
@@ -25,7 +31,7 @@ class TestBenchHarness:
         return run_event_loop_bench(n=24, runs=1, seed=5)
 
     def test_entry_schema(self, entries):
-        assert len(entries) == 4  # 2 traces x 2 modes
+        assert len(entries) == 6  # 2 traces x 3 modes
         for e in entries:
             assert {"scenario", "n", "mode", "events", "wall_seconds", "events_per_sec"} <= set(e)
             assert e["events_per_sec"] > 0
@@ -33,7 +39,13 @@ class TestBenchHarness:
 
     def test_traces_and_modes_present(self, entries):
         assert {e["scenario"] for e in entries} == {"fig10-join", "random-waypoint"}
-        assert {e["mode"] for e in entries} == {"grid", "dense"}
+        assert {e["mode"] for e in entries} == {"array", "grid", "dense"}
+
+    def test_speedup_on_array_entries(self, entries):
+        array = [e for e in entries if e["mode"] == "array"]
+        assert len(array) == 2
+        assert all("speedup_vs_dict" in e and e["speedup_vs_dict"] > 0 for e in array)
+        assert all("speedup_vs_dict" not in e for e in entries if e["mode"] != "array")
 
     def test_speedup_on_grid_entries(self, entries):
         grid = [e for e in entries if e["mode"] == "grid"]
@@ -48,6 +60,18 @@ class TestBenchHarness:
     def test_bad_runs_rejected(self):
         with pytest.raises(ValueError):
             run_event_loop_bench(n=8, runs=0)
+
+
+class TestLargeNBench:
+    def test_rejects_sub_scale_n(self):
+        from repro.sim.bench import run_large_n_bench
+
+        # the real n>=2000 measurement runs in CI's smoke-bench job; the
+        # tier-1 suite only pins the guard rails of the harness
+        with pytest.raises(ValueError):
+            run_large_n_bench(n=500)
+        with pytest.raises(ValueError):
+            run_large_n_bench(runs=0)
 
 
 class TestWarmstartBench:

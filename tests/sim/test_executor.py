@@ -333,6 +333,7 @@ class TestWorkerLoop:
             context = backend.load_point_record(group.keys[0])["context"]
             assert context["worker"] == "worker-test-7"
             assert context["saved_at"] > 0
+            assert context["core"] in {"array", "dict", "dense"}
 
     def test_worker_executor_fails_loudly_on_quarantined_group(self, tmp_path):
         # the orchestrator must not wait forever on a parked group — it

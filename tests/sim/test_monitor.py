@@ -154,6 +154,7 @@ class TestExportCsv:
         assert {row["run"] for row in rows} == {"0", "1"}
         assert all(row["strategy"] == "Minim" for row in rows)
         assert all(row["worker"].startswith("proc-") for row in rows)
+        assert all(row["core"] in {"array", "dict", "dense"} for row in rows)
         assert all(float(row["recodings"]) >= 0 for row in rows)
 
     def test_delta_rounds_points_get_one_row_per_round(self, tmp_path):

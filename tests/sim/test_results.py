@@ -398,6 +398,7 @@ class TestSweepResume:
         manifest = store.load_manifest(sweep.sweep_key)
         assert manifest is not None
         assert manifest["computed"] == 4 and manifest["cached"] == 0
+        assert manifest["core"] in {"array", "dict", "dense"}
         assert len(manifest["points"]) == 4
         for key in manifest["points"]:
             assert store.point_path(key).exists()

@@ -1,0 +1,204 @@
+"""Array conflict core vs the dict core and dense escape hatch.
+
+The acceptance bar for the array rewrite (flat adjacency/C2 blocks,
+batched delta appliers, slot grid): on randomized event traces the
+array core must produce adjacency, conflict sets AND snapshots
+*byte-identical* to the dict core's, with the dense path as a third
+witness.  The slot-indexed query surface (``v1_slots``,
+``conflict_masks``) must agree with the id-level queries it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid_index import SlotGridIndex
+from repro.geometry.obstacles import RectObstacle
+from repro.topology.conflicts import conflict_matrix
+from repro.topology.digraph import AdHocDigraph
+from repro.topology.node import NodeConfig
+from repro.topology.propagation import ObstructedPropagation
+
+
+def _random_trace(graphs, seed, steps, check, area=100.0, first_id=1, alive=None):
+    rng = np.random.default_rng(seed)
+    alive = list(alive) if alive is not None else []
+    next_id = first_id
+    for _ in range(steps):
+        op = int(rng.integers(0, 5))
+        if op in (0, 1) or not alive:
+            cfg = NodeConfig(
+                next_id,
+                float(rng.uniform(0, area)),
+                float(rng.uniform(0, area)),
+                float(rng.uniform(5, 40)),
+            )
+            for g in graphs:
+                g.add_node(cfg)
+            alive.append(next_id)
+            next_id += 1
+        elif op == 2 and len(alive) > 1:
+            v = alive.pop(int(rng.integers(0, len(alive))))
+            for g in graphs:
+                g.remove_node(v)
+        elif op == 3:
+            v = alive[int(rng.integers(0, len(alive)))]
+            x, y = float(rng.uniform(0, area)), float(rng.uniform(0, area))
+            for g in graphs:
+                g.move_node(v, x, y)
+        else:
+            v = alive[int(rng.integers(0, len(alive)))]
+            r = float(rng.uniform(5, 40)) * (6.0 if rng.random() < 0.1 else 1.0)
+            for g in graphs:
+                g.set_range(v, r)
+        check(graphs, alive)
+
+
+def _assert_cores_agree(graphs, alive):
+    array = graphs[0]
+    ids_a, adj_a = array.adjacency()
+    oracle = conflict_matrix(adj_a)
+    assert (array.conflict_adjacency()[1] == oracle).all()
+    for other in graphs[1:]:
+        ids_o, adj_o = other.adjacency()
+        assert ids_a == ids_o
+        assert (adj_a == adj_o).all()
+        for v in alive:
+            assert array.conflict_neighbor_ids(v) == other.conflict_neighbor_ids(v)
+
+
+def _assert_snapshots_identical(graphs, alive):
+    _assert_cores_agree(graphs, alive)
+    # array-on vs array-off snapshots must agree byte-for-byte (the
+    # dense hatch legitimately differs: it never records a grid cell)
+    assert graphs[0].snapshot() == graphs[1].snapshot()
+
+
+class TestRandomizedArrayEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_free_space_traces_identical(self, seed):
+        graphs = [
+            AdHocDigraph(array_core=True),
+            AdHocDigraph(array_core=False),
+            AdHocDigraph(dense_conflicts=True),
+        ]
+        assert [g.core for g in graphs] == ["array", "dict", "dense"]
+        _random_trace(graphs, seed, steps=70, check=_assert_snapshots_identical)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_obstructed_propagation_identical(self, seed):
+        prop = ObstructedPropagation((RectObstacle(30.0, 30.0, 60.0, 40.0),))
+        graphs = [
+            AdHocDigraph(prop, array_core=True),
+            AdHocDigraph(prop, array_core=False),
+        ]
+        _random_trace(graphs, seed, steps=45, check=_assert_snapshots_identical)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_sparse_area_engages_grid_candidates(self, seed):
+        # a huge area with short ranges spreads nodes over many cells,
+        # pushing the array core past its selectivity gate so the
+        # candidate-gather path itself is equivalence-checked
+        rng = np.random.default_rng(seed)
+        graphs = [AdHocDigraph(array_core=True), AdHocDigraph(array_core=False)]
+        for node_id in range(1, 400):
+            cfg = NodeConfig(
+                node_id,
+                float(rng.uniform(0, 2000)),
+                float(rng.uniform(0, 2000)),
+                float(rng.uniform(20, 40)),
+            )
+            for g in graphs:
+                g.add_node(cfg)
+        array = graphs[0]
+        assert isinstance(array.grid_index, SlotGridIndex)
+        assert array.grid_index.cell_count > 32  # gate open: gathers engage
+        _random_trace(
+            graphs,
+            seed,
+            steps=30,
+            check=_assert_snapshots_identical,
+            area=2000.0,
+            first_id=400,
+            alive=range(1, 400),
+        )
+
+    def test_copy_preserves_array_core(self):
+        g = AdHocDigraph(array_core=True)
+        rng = np.random.default_rng(3)
+        for i in range(1, 30):
+            g.add_node(
+                NodeConfig(i, float(rng.uniform(0, 100)), float(rng.uniform(0, 100)), 25.0)
+            )
+        clone = g.copy()
+        assert clone.core == "array"
+        clone.remove_node(2)
+        clone.move_node(7, 0.0, 0.0)
+        assert g.snapshot() != clone.snapshot()  # copies diverge independently
+        for graph in (g, clone):
+            _, adj = graph.adjacency()
+            assert (graph.conflict_adjacency()[1] == conflict_matrix(adj)).all()
+
+
+class TestSlotQuerySurface:
+    @pytest.fixture()
+    def graph(self):
+        g = AdHocDigraph(array_core=True)
+        rng = np.random.default_rng(11)
+        for i in range(1, 40):
+            g.add_node(
+                NodeConfig(
+                    i,
+                    float(rng.uniform(0, 100)),
+                    float(rng.uniform(0, 100)),
+                    float(rng.uniform(10, 35)),
+                )
+            )
+        return g
+
+    def test_slot_ids_and_slot_of_are_inverse(self, graph):
+        ids = graph.slot_ids()
+        assert not ids.flags.writeable
+        for slot, node_id in enumerate(ids.tolist()):
+            assert graph.slot_of(node_id) == slot
+
+    def test_out_in_slots_match_id_queries(self, graph):
+        ids = graph.slot_ids()
+        for node_id in graph.node_ids():
+            s = graph.slot_of(node_id)
+            assert sorted(ids[graph.out_slots(s)].tolist()) == graph.out_neighbors(node_id)
+            assert sorted(ids[graph.in_slots(s)].tolist()) == graph.in_neighbors(node_id)
+
+    def test_v1_slots_is_closed_in_neighborhood(self, graph):
+        for node_id in graph.node_ids():
+            s = graph.slot_of(node_id)
+            expected = sorted(set(graph.in_slots(s).tolist()) | {s})
+            assert graph.v1_slots(s).tolist() == expected
+
+    def test_conflict_masks_match_conflict_neighbor_ids(self, graph):
+        ids = graph.slot_ids()
+        slots = np.arange(len(ids), dtype=np.intp)
+        rows = graph.conflict_masks(slots)
+        assert rows.shape == (len(ids), len(ids))
+        assert not rows.diagonal().any()
+        for s in slots.tolist():
+            got = set(ids[rows[s]].tolist())
+            assert got == graph.conflict_neighbor_ids(int(ids[s]))
+
+
+class TestArrayCoreDefaults:
+    def test_env_flag_flips_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY", "0")
+        assert AdHocDigraph().core == "dict"
+        monkeypatch.setenv("REPRO_ARRAY", "1")
+        assert AdHocDigraph().core == "array"
+        monkeypatch.delenv("REPRO_ARRAY")
+        assert AdHocDigraph().core == "array"  # array is the default core
+
+    def test_dense_wins_over_array(self):
+        assert AdHocDigraph(dense_conflicts=True, array_core=True).core == "dense"
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY", "1")
+        assert AdHocDigraph(array_core=False).core == "dict"
