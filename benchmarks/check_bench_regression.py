@@ -17,12 +17,19 @@ but do not fail the gate (bench coverage may grow PR over PR).
 
 ``--min-speedup FIELD=MIN`` (repeatable) additionally gates the fresh
 run's *intra-run* ratios — the warm-start-vs-cold-rebuild and
-shared-vs-per-strategy replay speedups, and the adaptive controller's
+shared-vs-per-strategy replay speedups, the sparse core's
+``speedup_vs_array``, and the adaptive controller's
 ``run_savings_vs_fixed`` run-budget ratio (a seeded run-count ratio,
 not a timing, so it is exactly reproducible) — which don't depend on
 runner hardware and therefore hold a much tighter floor than cross-run
 throughput: every fresh entry carrying ``FIELD`` must report at least
 ``MIN``.
+
+``--max-mem SCENARIO/MODE=MB`` (repeatable) puts a ceiling on one
+fresh entry's ``peak_mem_mb`` — the memory gate of the sparse large-N
+regime (e.g. ``--max-mem large-join/sparse=512``).  A spec that
+matches no fresh entry fails the gate: a silently vanished entry must
+not turn the ceiling into a no-op.
 """
 
 from __future__ import annotations
@@ -55,6 +62,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when a fresh entry's FIELD speedup is below MIN "
         "(repeatable, e.g. speedup_vs_cold=1.2)",
     )
+    parser.add_argument(
+        "--max-mem",
+        action="append",
+        default=[],
+        metavar="SCENARIO/MODE=MB",
+        help="fail when the named fresh entry's peak_mem_mb exceeds MB "
+        "(repeatable, e.g. large-join/sparse=512)",
+    )
     args = parser.parse_args(argv)
 
     speedup_floors: dict[str, float] = {}
@@ -66,6 +81,17 @@ def main(argv: list[str] | None = None) -> int:
             speedup_floors[field] = float(minimum)
         except ValueError:
             parser.error(f"--min-speedup minimum must be a number, got {item!r}")
+
+    mem_ceilings: dict[tuple[str, str], float] = {}
+    for item in args.max_mem:
+        key, _, ceiling = item.partition("=")
+        scenario, slash, mode = key.partition("/")
+        if not scenario or not slash or not mode or not ceiling:
+            parser.error(f"--max-mem expects SCENARIO/MODE=MB, got {item!r}")
+        try:
+            mem_ceilings[(scenario, mode)] = float(ceiling)
+        except ValueError:
+            parser.error(f"--max-mem ceiling must be a number, got {item!r}")
 
     baseline = _by_key(json.loads(args.baseline.read_text()))
     fresh = _by_key(json.loads(args.fresh.read_text()))
@@ -104,6 +130,23 @@ def main(argv: list[str] | None = None) -> int:
             )
             if value < minimum:
                 failures.append(f"{scenario}/{mode} {field} at {value:.2f}x (< {minimum}x)")
+    for (scenario, mode), ceiling in sorted(mem_ceilings.items()):
+        entry = fresh.get((scenario, mode))
+        if entry is None or "peak_mem_mb" not in entry:
+            missing = "entry" if entry is None else "peak_mem_mb"
+            failures.append(f"--max-mem {scenario}/{mode}: no fresh {missing} to gate")
+            continue
+        peak = entry["peak_mem_mb"]
+        verdict = "ok" if peak <= ceiling else "REGRESSION"
+        print(
+            f"{scenario:<22} {mode:>12}: peak_mem {peak:.1f} MiB "
+            f"(ceiling {ceiling:.1f} MiB) {verdict}"
+        )
+        if peak > ceiling:
+            failures.append(
+                f"{scenario}/{mode} peak_mem_mb at {peak:.1f} MiB (> {ceiling:.1f} MiB)"
+            )
+
     for field, matched in floors_matched.items():
         if matched == 0:
             # an unmatched floor means the bench stopped emitting the

@@ -1,9 +1,10 @@
-"""Event-loop bench: array core vs dict core vs the dense hatch.
+"""Event-loop bench: the four conflict cores, head to head.
 
 Times the strategy-independent event loop (topology mutation + V1
-conflict derivation) in all three conflict-maintenance modes, mirroring
+conflict derivation) in all four conflict-maintenance modes, mirroring
 what ``minim-cdma bench`` reports, so `--benchmark-compare` runs track
-the array core's advantage over time.
+the array core's advantage (and the sparse core's small-N overhead)
+over time.
 """
 
 import numpy as np
@@ -35,4 +36,9 @@ def test_eventloop_join_grid(benchmark, join_trace):
 
 def test_eventloop_join_dense(benchmark, join_trace):
     wall = benchmark(drive_event_loop, join_trace, mode="dense")
+    assert wall > 0.0
+
+
+def test_eventloop_join_sparse(benchmark, join_trace):
+    wall = benchmark(drive_event_loop, join_trace, mode="sparse")
     assert wall > 0.0

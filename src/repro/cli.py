@@ -258,16 +258,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     pb = sub.add_parser(
         "bench",
-        help="time the event loop (array vs dict vs REPRO_DENSE cores, shared "
-        "vs per-strategy replay, cold vs warm-start sweeps)",
+        help="time the event loop (array vs dict vs dense vs sparse cores, "
+        "shared vs per-strategy replay, cold vs warm-start sweeps)",
     )
     pb.add_argument("--runs", type=int, default=3, help="timing repetitions per trace")
     pb.add_argument("--n", type=int, default=120, help="node count for the benchmark traces")
     pb.add_argument(
         "--large-n",
         type=int,
-        default=2000,
-        help="node count for the array-core scale trace (0 skips it)",
+        default=10000,
+        help="node count for the large-N array-vs-sparse traces (0 skips them)",
+    )
+    pb.add_argument(
+        "--max-mem",
+        type=float,
+        default=512.0,
+        help="tracemalloc ceiling in MiB for the sparse large-N run (0 disables)",
+    )
+    pb.add_argument(
+        "--large-n-only",
+        action="store_true",
+        help="run only the large-N bench (the sparse-core CI job's smoke mode)",
     )
     pb.add_argument(
         "--scenario", default="random-waypoint", help="registered scenario for the second trace"
@@ -405,12 +416,25 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    max_mem = args.max_mem if args.max_mem > 0 else None
     try:
+        if args.large_n_only:
+            if not args.large_n:
+                raise ConfigurationError("--large-n-only needs --large-n > 0")
+            entries = run_large_n_bench(
+                n=args.large_n, runs=1, seed=args.seed, max_mem_mb=max_mem
+            )
+            path = write_bench_json(entries, args.out)
+            _print_bench_table(entries)
+            print(f"wrote {path}")
+            return 0
         entries = run_event_loop_bench(
             n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
         )
         if args.large_n:
-            entries.extend(run_large_n_bench(n=args.large_n, runs=1, seed=args.seed))
+            entries.extend(
+                run_large_n_bench(n=args.large_n, runs=1, seed=args.seed, max_mem_mb=max_mem)
+            )
         entries.extend(run_replay_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
         entries.extend(
             run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed)
@@ -424,7 +448,17 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    header = f"{'scenario':<22} {'n':>5} {'mode':>12} {'events':>7} {'ev/sec':>10} {'speedup':>8}"
+    _print_bench_table(entries)
+    path = write_bench_json(entries, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _print_bench_table(entries: list[dict]) -> None:
+    header = (
+        f"{'scenario':<22} {'n':>5} {'mode':>12} {'events':>7} {'ev/sec':>10} "
+        f"{'peak MiB':>9} {'speedup':>8}"
+    )
     print(header)
     print("-" * len(header))
     for e in entries:
@@ -432,6 +466,8 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         for field in (
             "speedup_vs_dict",
             "speedup_vs_dense",
+            "speedup_vs_array",
+            "round_batch_speedup",
             "speedup_vs_per_strategy",
             "speedup_vs_cold",
             "timeline_prefix_sharing",
@@ -440,13 +476,11 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
             if field in e:
                 speedup = f"{e[field]:.2f}x"
                 break
+        mem = f"{e['peak_mem_mb']:.1f}" if "peak_mem_mb" in e else ""
         print(
             f"{e['scenario']:<22} {e['n']:>5} {e['mode']:>12} {e['events']:>7} "
-            f"{e['events_per_sec']:>10.0f} {speedup:>8}"
+            f"{e['events_per_sec']:>10.0f} {mem:>9} {speedup:>8}"
         )
-    path = write_bench_json(entries, args.out)
-    print(f"wrote {path}")
-    return 0
 
 
 def _run_worker_cmd(args: argparse.Namespace) -> int:

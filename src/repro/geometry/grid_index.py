@@ -490,3 +490,43 @@ class SlotGridIndex:
         if len(parts) == 1:
             return parts[0].copy()
         return np.concatenate(parts)
+
+    def iter_candidate_blocks(self, x: float, y: float, radius: float) -> Iterator[np.ndarray]:
+        """Yield one slot block per occupied cell overlapping the disc box.
+
+        The streaming counterpart of :meth:`candidate_slots` for
+        consumers that must never materialize an N-wide mask (the sparse
+        conflict core): each yielded block is the bucket of one occupied
+        cell inside the query's bounding box (plus the usual guard
+        ring), so a caller can accumulate exact per-block filter results
+        and bail out early once the running candidate count proves the
+        query unselective.  The union of the yielded blocks has exactly
+        the membership :meth:`candidate_slots` would return.
+
+        Blocks are **read-only views into live buckets** — valid only
+        until the next grid mutation; callers must copy (or concatenate,
+        which copies) anything they keep.
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        cs = self._cell_size
+        cx_lo = math.floor((x - radius) / cs) - _GUARD_CELLS
+        cx_hi = math.floor((x + radius) / cs) + _GUARD_CELLS
+        cy_lo = math.floor((y - radius) / cs) - _GUARD_CELLS
+        cy_hi = math.floor((y + radius) / cs) + _GUARD_CELLS
+        cells = self._cells
+        if (cx_hi - cx_lo + 1) * (cy_hi - cy_lo + 1) > len(cells):
+            # Huge query relative to the occupancy: scan occupied cells.
+            for (cx, cy), bucket in cells.items():
+                if cx_lo <= cx <= cx_hi and cy_lo <= cy <= cy_hi:
+                    block = bucket.data[: bucket.count]
+                    block.flags.writeable = False
+                    yield block
+            return
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bucket = cells.get((cx, cy))
+                if bucket is not None:
+                    block = bucket.data[: bucket.count]
+                    block.flags.writeable = False
+                    yield block

@@ -11,12 +11,20 @@ in-neighbors, i.e. the ``V1`` of Fig 3) — over two traces:
 
 Each trace runs once per conflict core: the array-native core (flat
 numpy slots, batched conflict rows — the default), the dict-keyed
-incremental core (``REPRO_ARRAY=0``, labeled ``grid``), and the
+incremental core (``REPRO_ARRAY=0``, labeled ``grid``), the
 ``REPRO_DENSE=1`` escape hatch that re-derives the dense conflict
-matrix per event.  The array entries carry ``speedup_vs_dict`` — the
-CI-gated ratio of the tentpole rewrite — and a separate
-:func:`run_large_n_bench` drives an N≥2000 join trace on the array
-core alone, a regime where the dict path is no longer interactive.
+matrix per event, and the sparse CSR-row core (``REPRO_SPARSE=1``).
+The array entries carry ``speedup_vs_dict`` — the CI-gated ratio of
+the PR 6 rewrite — and a separate :func:`run_large_n_bench` drives
+N≥2000 join traces at constant node density on the array and sparse
+cores, the regime where the dense blocks' O(N²) memory and N-wide
+masks collapse; its sparse entry carries the CI-gated
+``speedup_vs_array`` and a tracemalloc memory ceiling, and a
+round-structured mobility entry measures
+:meth:`~repro.topology.digraph.AdHocDigraph.apply_round` batching.
+Every entry records ``peak_mem_mb`` (the traced warmup's peak), so
+``BENCH_eventloop.json`` tracks the memory trajectory alongside
+events/sec.
 
 A second comparison (:func:`run_replay_bench`) times what the unified
 sweep pipeline deduplicates: replaying one workload against several
@@ -64,8 +72,10 @@ perf trajectory is machine-readable from CI artifacts.
 from __future__ import annotations
 
 import json
+import math
 import time
-from collections.abc import Set
+import tracemalloc
+from collections.abc import Callable, Set
 from dataclasses import replace
 from pathlib import Path
 
@@ -73,6 +83,7 @@ import numpy as np
 
 from repro.coloring.assignment import CodeAssignment
 from repro.coloring.constraints import lowest_available_color
+from repro.errors import ConfigurationError
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
 from repro.sim.network import AdHocNetwork, MultiStrategyReplay
 from repro.sim.random_networks import sample_configs
@@ -84,6 +95,7 @@ from repro.types import Color, NodeId
 
 __all__ = [
     "drive_event_loop",
+    "drive_event_rounds",
     "run_adaptive_bench",
     "run_event_loop_bench",
     "run_large_n_bench",
@@ -95,7 +107,35 @@ __all__ = [
 
 _DEFAULT_OUT = Path("BENCH_eventloop.json")
 
-_EVENT_LOOP_MODES = ("array", "grid", "dense")
+_EVENT_LOOP_MODES = ("array", "grid", "dense", "sparse")
+
+
+def _traced_peak_mb(fn: Callable[[], object]) -> float:
+    """Run ``fn`` under :mod:`tracemalloc`; return its peak MiB.
+
+    Used on the *untimed* warmup repetition of every bench, so each
+    entry records a ``peak_mem_mb`` without perturbing the timed runs
+    (tracemalloc hooks every allocation).  Python-level peak, which is
+    what distinguishes the dense O(N²) conflict blocks from the sparse
+    core's O(N+E) rows — both allocate through numpy, which tracemalloc
+    sees.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024.0 * 1024.0)
+
+
+def _bench_graph(mode: str) -> AdHocDigraph:
+    """A fresh digraph pinned to the named conflict core."""
+    if mode == "sparse":
+        return AdHocDigraph(sparse_core=True)
+    # explicit array_core pins the core (and disarms auto-promotion),
+    # so large-n array entries honestly measure the dense blocks
+    return AdHocDigraph(dense_conflicts=mode == "dense", array_core=mode == "array")
 
 
 def drive_event_loop(
@@ -103,6 +143,7 @@ def drive_event_loop(
     *,
     mode: str | None = None,
     dense_conflicts: bool | None = None,
+    setup: list[Event] | None = None,
 ) -> float:
     """Apply ``events`` to a fresh digraph; return the wall seconds.
 
@@ -118,19 +159,31 @@ def drive_event_loop(
       :meth:`~repro.topology.digraph.AdHocDigraph.conflict_neighbor_ids`
       query per V1 member.
     - ``"dense"`` — the per-event dense re-derivation escape hatch.
+    - ``"sparse"`` — the sparse (CSR rows) core; one
+      :meth:`~repro.topology.digraph.AdHocDigraph.conflict_slots` call
+      per V1 member, its row-native query that never widens to an
+      N-sized mask.
 
-    ``dense_conflicts`` is the legacy boolean spelling (``True`` →
-    ``"dense"``, ``False`` → ``"grid"``) kept for callers predating the
-    array core.
+    Each mode drives its *native* query pattern deliberately: the bench
+    compares the end-to-end event loop a strategy replay would run on
+    that core, not one query API transplanted across cores.
+
+    ``setup`` events, when given, build the starting topology *outside*
+    the timed region (plain ``apply_event``, no conflict queries) — the
+    mobility benches use this to time churn over an already-joined
+    population.  ``dense_conflicts`` is the legacy boolean spelling
+    (``True`` → ``"dense"``, ``False`` → ``"grid"``) kept for callers
+    predating the array core.
     """
     if mode is None:
         if dense_conflicts is None:
-            raise ValueError("pass mode= ('array' | 'grid' | 'dense')")
+            raise ValueError("pass mode= ('array' | 'grid' | 'dense' | 'sparse')")
         mode = "dense" if dense_conflicts else "grid"
     if mode not in _EVENT_LOOP_MODES:
         raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_EVENT_LOOP_MODES}")
-    graph = AdHocDigraph(dense_conflicts=mode == "dense", array_core=mode == "array")
-    batched = mode == "array"
+    graph = _bench_graph(mode)
+    for ev in setup or ():
+        graph.apply_event(ev)
     start = time.perf_counter()
     for ev in events:
         if isinstance(ev, JoinEvent):
@@ -142,13 +195,54 @@ def drive_event_loop(
         elif isinstance(ev, LeaveEvent):
             graph.remove_node(ev.node_id)
             continue  # nothing to recode around a departed node
-        if batched:
+        if mode == "array":
             s = graph.slot_of(ev.node_id)
             graph.conflict_masks(graph.v1_slots(s))
+        elif mode == "sparse":
+            s = graph.slot_of(ev.node_id)
+            for u in graph.v1_slots(s).tolist():
+                graph.conflict_slots(int(u))
         else:
             for u in graph.in_neighbors(ev.node_id):
                 graph.conflict_neighbor_ids(u)
             graph.conflict_neighbor_ids(ev.node_id)
+    return time.perf_counter() - start
+
+
+def drive_event_rounds(
+    rounds: list[list[Event]],
+    *,
+    mode: str = "sparse",
+    setup: list[Event] | None = None,
+) -> float:
+    """Apply round-structured ``rounds`` via batched application.
+
+    The round-commit counterpart of :func:`drive_event_loop`: each
+    round goes through
+    :meth:`~repro.topology.digraph.AdHocDigraph.apply_round` (one
+    batched topology commit under the sparse core), then the same V1
+    conflict queries run per event against the post-round graph.
+    ``setup`` builds the starting topology untimed, as in
+    :func:`drive_event_loop`.  Used by the large-n bench's
+    ``sparse-rounds`` entry.
+    """
+    if mode not in _EVENT_LOOP_MODES:
+        raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_EVENT_LOOP_MODES}")
+    graph = _bench_graph(mode)
+    for ev in setup or ():
+        graph.apply_event(ev)
+    start = time.perf_counter()
+    for round_events in rounds:
+        deltas = graph.apply_round(round_events)
+        for delta in deltas:
+            if delta.kind == "leave" or delta.node_id not in graph:
+                continue
+            s = graph.slot_of(delta.node_id)
+            if mode == "sparse":
+                for u in graph.v1_slots(s).tolist():
+                    graph.conflict_slots(int(u))
+            else:
+                graph.conflict_masks(graph.v1_slots(s))
     return time.perf_counter() - start
 
 
@@ -174,70 +268,170 @@ def run_event_loop_bench(
     """Time all traces in all three conflict cores; return the entries.
 
     Each entry is ``{scenario, n, mode, events, runs, wall_seconds,
-    events_per_sec}`` with ``wall_seconds`` the median over ``runs``
-    repetitions.  Array-mode entries carry ``speedup_vs_dict`` (the
-    array core over the dict core, the CI-gated tentpole ratio);
-    grid-mode entries keep the historical ``speedup_vs_dense``.
+    events_per_sec, peak_mem_mb}`` with ``wall_seconds`` the median
+    over ``runs`` repetitions and ``peak_mem_mb`` the tracemalloc peak
+    of the untimed warmup repetition.  Array-mode entries carry
+    ``speedup_vs_dict`` (the array core over the dict core, the
+    CI-gated tentpole ratio of PR 6); grid-mode entries keep the
+    historical ``speedup_vs_dense``.  Sparse entries at this scale
+    carry no gated ratio — the sparse core's regime is
+    :func:`run_large_n_bench`, where ``speedup_vs_array`` is gated.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     entries: list[dict] = []
     for label, trace_n, events in _traces(n, scenario, seed):
         timings: dict[str, float] = {}
+        per_mode: dict[str, dict] = {}
         for mode in _EVENT_LOOP_MODES:
-            drive_event_loop(events, mode=mode)  # warmup
+            peak = _traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
             wall = float(np.median([drive_event_loop(events, mode=mode) for _ in range(runs)]))
             timings[mode] = wall
-            entries.append(
-                {
-                    "scenario": label,
-                    "n": trace_n,
-                    "mode": mode,
-                    "events": len(events),
-                    "runs": runs,
-                    "wall_seconds": wall,
-                    "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
-                }
-            )
-        array_entry, grid_entry = entries[-3], entries[-2]
-        array_entry["speedup_vs_dict"] = timings["grid"] / timings["array"]
-        grid_entry["speedup_vs_dense"] = timings["dense"] / timings["grid"]
+            entry = {
+                "scenario": label,
+                "n": trace_n,
+                "mode": mode,
+                "events": len(events),
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peak,
+            }
+            per_mode[mode] = entry
+            entries.append(entry)
+        per_mode["array"]["speedup_vs_dict"] = timings["grid"] / timings["array"]
+        per_mode["grid"]["speedup_vs_dense"] = timings["dense"] / timings["grid"]
     return entries
 
 
 def run_large_n_bench(
     *,
-    n: int = 2000,
+    n: int = 10000,
     runs: int = 1,
     seed: int = 2001,
+    max_mem_mb: float | None = 512.0,
 ) -> list[dict]:
-    """Time an N≥2000 join trace on the array core alone.
+    """Time an N≥2000 join trace: array vs sparse core, plus rounds.
 
-    The regime the array rewrite unlocks: at ``n=2000`` the dict core
-    needs minutes per trace (and the dense hatch far longer), so this
-    bench drives only the array mode and reports a single
-    ``large-join`` entry shaped like the event-loop bench's.  CI gates
-    its absolute ``events_per_sec`` floor rather than a speedup ratio.
+    The large-N regime the sparse core unlocks.  The arena scales with
+    ``n`` at the paper's node density (side ∝ √n, so average degree
+    stays at the paper's ≈23 instead of the graph degenerating toward a
+    clique), and three ``large-join``-family entries are produced:
+
+    - ``large-join/array`` — the dense-block array core, whose O(N²)
+      adjacency/C2 blocks and N-wide candidate masks dominate here;
+    - ``large-join/sparse`` — the CSR-row core, carrying the CI-gated
+      ``speedup_vs_array`` ratio and subject to ``max_mem_mb``: the
+      bench *fails* (:class:`ConfigurationError`) if the sparse run's
+      tracemalloc peak exceeds the ceiling, which pins the O(N+E)
+      memory claim, not just the speed;
+    - ``large-rounds/sparse-rounds`` — waypoint-style substep mobility
+      rounds (each round moves a cohort through several intermediate
+      positions) driven through
+      :meth:`~repro.topology.digraph.AdHocDigraph.apply_round`,
+      reporting ``round_batch_speedup`` over applying the same rounds
+      event-by-event.  Batching wins exactly when rounds revisit nodes
+      — intermediate edge flips cancel before any C2 work happens.
+
+    Every entry records ``peak_mem_mb`` from its untimed traced
+    warmup.  ``n`` below 2000 is a configuration error: smaller traces
+    measure the event-loop bench's regime, not this one.
     """
     if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
+        raise ConfigurationError(f"runs must be >= 1, got {runs}")
     if n < 2000:
-        raise ValueError(f"large-n bench needs n >= 2000, got {n}")
+        raise ConfigurationError(f"large-n bench needs n >= 2000, got {n}")
+    side = 100.0 * math.sqrt(n / 120.0)
     rng = np.random.default_rng(seed)
-    events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng)]
-    drive_event_loop(events[: n // 4], mode="array")  # warmup on a prefix
-    wall = float(np.median([drive_event_loop(events, mode="array") for _ in range(runs)]))
-    return [
+    events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng, area=(side, side))]
+    entries: list[dict] = []
+    timings: dict[str, float] = {}
+    peaks: dict[str, float] = {}
+    for mode in ("array", "sparse"):
+        peaks[mode] = _traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
+        wall = float(np.median([drive_event_loop(events, mode=mode) for _ in range(runs)]))
+        timings[mode] = wall
+        entries.append(
+            {
+                "scenario": "large-join",
+                "n": n,
+                "mode": mode,
+                "events": len(events),
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peaks[mode],
+            }
+        )
+    entries[-1]["speedup_vs_array"] = timings["array"] / timings["sparse"]
+    if max_mem_mb is not None and peaks["sparse"] > max_mem_mb:
+        raise ConfigurationError(
+            f"sparse large-join peaked at {peaks['sparse']:.1f} MiB, "
+            f"over the {max_mem_mb:.1f} MiB ceiling — the O(N+E) memory "
+            "contract of the sparse core is broken"
+        )
+
+    rounds = _substep_rounds(events, side, seed=seed + 1)
+    round_events = sum(len(r) for r in rounds)
+    flat = [ev for r in rounds for ev in r]
+
+    def drive_rounds() -> float:
+        return drive_event_rounds(rounds, mode="sparse", setup=events)
+
+    peak = _traced_peak_mb(drive_rounds)  # warmup
+    seq_wall = float(
+        np.median([drive_event_loop(flat, mode="sparse", setup=events) for _ in range(runs)])
+    )
+    wall = float(np.median([drive_rounds() for _ in range(runs)]))
+    entries.append(
         {
-            "scenario": "large-join",
+            "scenario": "large-rounds",
             "n": n,
-            "mode": "array",
-            "events": len(events),
+            "mode": "sparse-rounds",
+            "events": round_events,
             "runs": runs,
             "wall_seconds": wall,
-            "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+            "events_per_sec": round_events / wall if wall > 0 else float("inf"),
+            "peak_mem_mb": peak,
+            "round_batch_speedup": seq_wall / wall if wall > 0 else float("inf"),
         }
-    ]
+    )
+    return entries
+
+
+def _substep_rounds(
+    join_events: list[Event],
+    side: float,
+    *,
+    seed: int,
+    rounds: int = 20,
+    cohort: int = 16,
+    substeps: int = 8,
+) -> list[list[Event]]:
+    """Waypoint substep mobility rounds over the joined population.
+
+    Each round picks a cohort of nodes and walks every member toward a
+    fresh waypoint in ``substeps`` intermediate moves — the round shape
+    where batched application shines, because only each walker's final
+    position survives the round.
+    """
+    rng = np.random.default_rng(seed)
+    ids = [ev.config.node_id for ev in join_events]
+    out: list[list[Event]] = []
+    for _ in range(rounds):
+        sel = rng.choice(ids, size=min(cohort, len(ids)), replace=False)
+        starts = rng.uniform(0.0, side, size=(len(sel), 2))
+        targets = rng.uniform(0.0, side, size=(len(sel), 2))
+        round_events: list[Event] = []
+        for step in range(1, substeps + 1):
+            frac = step / substeps
+            pos = starts + frac * (targets - starts)
+            round_events.extend(
+                MoveEvent(int(nid), float(x), float(y))
+                for nid, (x, y) in zip(sel.tolist(), pos.tolist())
+            )
+        out.append(round_events)
+    return out
 
 
 class _FirstFitLane(RecodingStrategy):
@@ -343,7 +537,7 @@ def run_replay_bench(
     entries: list[dict] = []
     timings: dict[str, float] = {}
     for mode, drive in (("per-strategy", _drive_per_strategy), ("shared", _drive_shared)):
-        drive(events, lanes)  # warmup
+        peak = _traced_peak_mb(lambda: drive(events, lanes))  # warmup
         wall = float(np.median([drive(events, lanes) for _ in range(runs)]))
         timings[mode] = wall
         entries.append(
@@ -356,6 +550,7 @@ def run_replay_bench(
                 "runs": runs,
                 "wall_seconds": wall,
                 "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peak,
             }
         )
     entries[-1]["speedup_vs_per_strategy"] = timings["per-strategy"] / timings["shared"]
@@ -424,7 +619,7 @@ def run_warmstart_bench(
     entries: list[dict] = []
     timings: dict[str, float] = {}
     for mode, drive in (("cold", _drive_cold_sweep), ("warm", _drive_warm_sweep)):
-        drive(baseline, rounds, lanes)  # warmup
+        peak = _traced_peak_mb(lambda: drive(baseline, rounds, lanes))  # warmup
         wall = float(np.median([drive(baseline, rounds, lanes) for _ in range(runs)]))
         timings[mode] = wall
         entries.append(
@@ -438,6 +633,7 @@ def run_warmstart_bench(
                 "runs": runs,
                 "wall_seconds": wall,
                 "events_per_sec": logical_events / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peak,
             }
         )
     entries[-1]["speedup_vs_cold"] = timings["cold"] / timings["warm"]
@@ -509,7 +705,7 @@ def run_timeline_bench(
     entries: list[dict] = []
     timings: dict[str, float] = {}
     for mode, drive in (("warm-rounds", drive_warm_rounds), ("timeline", drive_timeline)):
-        drive()  # warmup
+        peak = _traced_peak_mb(drive)  # warmup
         walls = []
         for _ in range(runs):
             start = time.perf_counter()
@@ -527,6 +723,7 @@ def run_timeline_bench(
                 "runs": runs,
                 "wall_seconds": wall,
                 "events_per_sec": logical_events / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peak,
             }
         )
     entries[-1]["timeline_prefix_sharing"] = timings["warm-rounds"] / timings["timeline"]
@@ -592,7 +789,7 @@ def run_adaptive_bench(
     entries: list[dict] = []
     totals: dict[str, int] = {}
     for mode, drive in (("fixed", drive_fixed), ("adaptive", drive_adaptive)):
-        drive()  # warmup
+        peak = _traced_peak_mb(drive)  # warmup
         samples = [drive() for _ in range(runs)]
         walls = [w for w, _ in samples]
         run_counts = {t for _, t in samples}
@@ -611,6 +808,7 @@ def run_adaptive_bench(
                 "runs": runs,
                 "wall_seconds": wall,
                 "events_per_sec": total / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peak,
             }
         )
     entries[-1]["run_savings_vs_fixed"] = totals["fixed"] / totals["adaptive"]

@@ -49,9 +49,9 @@ class StrategyLane:
     which makes any number of lanes safely shareable over one digraph.
 
     The color container matches the digraph's conflict core:
-    ``array_colors=True`` (the default under the array core, see
-    :func:`repro.topology.digraph.default_core`) stores the lane's
-    colors in a contiguous id-indexed :class:`ArrayCodeAssignment` with
+    ``array_colors=True`` (the default under the array and sparse
+    cores, see :func:`repro.topology.digraph.default_core`) stores the
+    lane's colors in a contiguous id-indexed :class:`ArrayCodeAssignment` with
     an O(1) ``max_color``; ``False`` keeps the dict-backed reference
     container.  The two are observably identical and serialize to the
     same :meth:`state_dict`, so the choice never leaks into results.
@@ -67,7 +67,7 @@ class StrategyLane:
         array_colors: bool | None = None,
     ) -> None:
         if array_colors is None:
-            array_colors = default_core() == "array"
+            array_colors = default_core() in ("array", "sparse")
         self.strategy = strategy
         self.assignment = ArrayCodeAssignment() if array_colors else CodeAssignment()
         self.metrics = MetricsCollector()
@@ -236,7 +236,9 @@ class AdHocNetwork(_TopologyOwner):
             enforce_connectivity=enforce_connectivity,
             dense_conflicts=dense_conflicts,
         )
-        self.lane = StrategyLane(strategy, validate=validate, array_colors=self.graph.array_core)
+        self.lane = StrategyLane(
+            strategy, validate=validate, array_colors=self.graph.core in ("array", "sparse")
+        )
 
     # ------------------------------------------------------------------
     # Lane delegation (the pre-split public attributes)
@@ -351,7 +353,7 @@ class MultiStrategyReplay(_TopologyOwner):
             enforce_connectivity=enforce_connectivity,
             dense_conflicts=dense_conflicts,
         )
-        array = self.graph.array_core
+        array = self.graph.core in ("array", "sparse")
         self.lanes = [StrategyLane(s, validate=validate, array_colors=array) for s in strategies]
 
     def lane(self, name: str) -> StrategyLane:
@@ -427,7 +429,7 @@ class MultiStrategyReplay(_TopologyOwner):
         clone = cls.__new__(cls)
         clone.graph = AdHocDigraph.restore(snapshot["graph"], propagation=propagation)
         clone.enforce_connectivity = bool(snapshot["enforce_connectivity"])
-        array = clone.graph.array_core
+        array = clone.graph.core in ("array", "sparse")
         clone.lanes = [
             StrategyLane(
                 make_strategy(state["strategy"]), validate=validate, array_colors=array
@@ -446,4 +448,56 @@ class MultiStrategyReplay(_TopologyOwner):
         """Apply ``events`` in order; returns self for chaining."""
         for event in events:
             self.apply(event)
+        return self
+
+    def apply_round(self, events: Iterable[Event]) -> list[list[RecodeResult]]:
+        """Apply one churn round with batched topology commit.
+
+        **Round-commit semantics**: the whole round's topology mutations
+        land first via :meth:`AdHocDigraph.apply_round` (one batched
+        pass under the sparse core, sequential otherwise), then every
+        per-event :class:`TopologyDelta` fans out to the lanes in event
+        order — so lane reactions observe the *post-round* graph rather
+        than each intermediate state.  Under the sparse core this is
+        what makes sustained-churn replay scale: a receiver row touched
+        by ``k`` events in the round reconciles once, not ``k`` times.
+
+        This is deliberately **not** byte-identical to :meth:`run` on
+        traces where strategies read the graph between events of the
+        same round (recode choices may differ while both stay valid);
+        registered scenario sweeps therefore keep the sequential path.
+        Connectivity policing likewise moves to the round boundary: each
+        delta's node is checked against the post-round graph (leaves,
+        and nodes that left later in the same round, are skipped).
+
+        Returns the per-event lists of lane results, in event order.
+        """
+        deltas = self.graph.apply_round(events)
+        graph = self.graph
+        if self.enforce_connectivity:
+            for delta in deltas:
+                if delta.kind != "leave" and delta.node_id in graph:
+                    self._check_connectivity(delta.node_id, delta.kind)
+        results: list[list[RecodeResult]] = []
+        ephemeral: set[NodeId] = set()
+        for delta in deltas:
+            if delta.kind != "leave" and delta.node_id not in graph:
+                # The node joined/moved and then left within this round:
+                # reacting against the post-round graph would query a
+                # departed node, so the lanes never see it (nor its
+                # matching leave below — it was never assigned a code).
+                ephemeral.add(delta.node_id)
+                results.append([])
+                continue
+            if delta.kind == "leave" and delta.node_id in ephemeral:
+                ephemeral.discard(delta.node_id)
+                results.append([])
+                continue
+            results.append([lane.react(graph, delta) for lane in self.lanes])
+        return results
+
+    def run_rounds(self, rounds: Iterable[Iterable[Event]]) -> "MultiStrategyReplay":
+        """Apply round-structured events via :meth:`apply_round`."""
+        for round_events in rounds:
+            self.apply_round(round_events)
         return self

@@ -39,10 +39,19 @@ def duplicated_members(
     assignment: CodeAssignment,
     members: frozenset[NodeId],
 ) -> set[NodeId]:
-    """Members of ``members`` whose color is shared with another member."""
+    """Members of ``members`` whose color is shared with another member.
+
+    Members with no assigned code place no constraints and cannot
+    duplicate — the same mid-protocol tolerance as
+    :func:`repro.coloring.constraints.forbidden_colors` (under
+    round-commit replay a member may have joined later in the same
+    round and not yet selected its color).
+    """
     classes: dict[Color, list[NodeId]] = {}
     for u in members:
-        classes.setdefault(assignment[u], []).append(u)
+        color = assignment.get(u)
+        if color is not None:
+            classes.setdefault(color, []).append(u)
     return {u for nodes in classes.values() if len(nodes) > 1 for u in nodes}
 
 

@@ -38,7 +38,9 @@ def plan_cp_power_increase(
     """
     own = assignment[node]
     new_conflicts = conflict_neighbors(graph, node) - set(old_conflict_neighbors)
-    duplicates = {w for w in new_conflicts if assignment[w] == own}
+    # .get: an uncolored conflict neighbor (joined later in the same
+    # round-commit round) has no color to duplicate yet
+    duplicates = {w for w in new_conflicts if assignment.get(w) == own}
     reselect = duplicates | {node}
     new_colors = reselect_colors(
         graph,

@@ -12,8 +12,9 @@ Implementation notes (per the hpc-parallel guides):
   active block contiguous (cache-friendly row/column operations).
 * All neighbor queries return id lists sorted ascending for determinism.
 
-Three conflict-maintenance cores exist, selected at construction (or by
-the ``REPRO_DENSE`` / ``REPRO_ARRAY`` environment variables):
+Four conflict-maintenance cores exist, selected at construction (or by
+the ``REPRO_DENSE`` / ``REPRO_ARRAY`` / ``REPRO_SPARSE`` environment
+variables):
 
 * **Array (default).**  The array-native core: a :class:`SlotGridIndex`
   buckets node *slots* (row indices of the flat arrays) per grid cell,
@@ -25,6 +26,21 @@ the ``REPRO_DENSE`` / ``REPRO_ARRAY`` environment variables):
   |out(u) ∩ out(v)|`` are adjusted only for the in-neighbor pairs that
   actually changed, via broadcast index arithmetic.  Disable with
   ``REPRO_ARRAY=0`` (or ``array_core=False``).
+* **Sparse (``REPRO_SPARSE=1`` or ``sparse_core=True``).**  The
+  large-N core: adjacency lives in CSR-style per-slot rows (sorted
+  slot-index arrays with amortized-doubling growth, one out-row and one
+  in-row per node) and the CA2 witness counters in per-slot dicts keyed
+  by the *touched* columns only, so memory is O(N + E) instead of the
+  dense cores' O(N²) blocks and an edge flip updates
+  ``deg(u)·deg(v)``-bounded counter entries instead of a full ``(cap,)``
+  row.  Candidate gathering streams per-cell slot blocks from the grid
+  (:meth:`SlotGridIndex.iter_candidate_blocks`) — no query ever
+  materializes an N-wide mask.  An array-core graph constructed with
+  every knob at its default **auto-promotes** to sparse when the
+  population reaches ``_SPARSE_AUTO_MIN`` nodes; pass
+  ``sparse_core=False`` (or ``REPRO_SPARSE=0``) to pin the dense-block
+  array core.  The sparse core additionally answers
+  :meth:`AdHocDigraph.apply_round` with true multi-event batching.
 * **Dict (``REPRO_ARRAY=0``).**  The object-level incremental core: a
   :class:`UniformGridIndex` over node positions keyed by node id, two
   separate coverage/covered queries per event, and clique
@@ -38,7 +54,7 @@ the ``REPRO_DENSE`` / ``REPRO_ARRAY`` environment variables):
   once per event.  Kept as the obviously-correct escape hatch and as the
   oracle the equivalence tests compare against.
 
-All three cores answer the same object-level API (``out_neighbors``,
+All four cores answer the same object-level API (``out_neighbors``,
 ``conflict_neighbor_ids``, …) with byte-identical results; the array
 core additionally exposes the array-native query surface
 (:meth:`AdHocDigraph.slot_of`, :meth:`AdHocDigraph.in_slots`,
@@ -95,6 +111,16 @@ def _array_from_env() -> bool:
     return os.environ.get("REPRO_ARRAY", "1") not in ("", "0")
 
 
+def _sparse_from_env() -> bool:
+    """Whether ``REPRO_SPARSE`` requests the sparse core from the start."""
+    return os.environ.get("REPRO_SPARSE", "") not in ("", "0")
+
+
+def _sparse_auto_allowed() -> bool:
+    """Whether auto-promotion to sparse is permitted (``REPRO_SPARSE`` ≠ 0)."""
+    return os.environ.get("REPRO_SPARSE", "") != "0"
+
+
 #: The array core defers building its slot grid until this many nodes
 #: are live: below it the selectivity gate falls back to full scans
 #: anyway, so per-event grid upkeep would be pure overhead.
@@ -105,7 +131,17 @@ _GRID_LAZY_MIN = 256
 #: cannot beat a vectorized full scan and the array core skips the grid.
 _MIN_SELECTIVE_CELLS = 32
 
+#: Population at which a default-knobbed array-core graph auto-promotes
+#: itself to the sparse core: past this size the dense (cap, cap)
+#: adjacency/C2 blocks cost O(N²) memory and full-row C2 updates, while
+#: the sparse rows stay O(N + E).  Chosen well above every scenario the
+#: registry sweeps (≤ a few hundred nodes) and below the large-N bench.
+_SPARSE_AUTO_MIN = 4096
+
 _IOTA = np.arange(256, dtype=np.intp)
+
+_EMPTY_SLOTS = np.empty(0, dtype=np.intp)
+_EMPTY_SLOTS.flags.writeable = False
 
 
 def _iota(k: int) -> np.ndarray:
@@ -116,18 +152,123 @@ def _iota(k: int) -> np.ndarray:
     return _IOTA[:k]
 
 
-def default_core() -> str:
+def default_core(n: int | None = None) -> str:
     """The conflict core a default-constructed graph would run.
 
-    ``"dense"``, ``"dict"`` or ``"array"``, resolved from the
-    ``REPRO_DENSE`` / ``REPRO_ARRAY`` environment variables exactly as
-    :class:`AdHocDigraph` resolves them at construction.  Execution
-    provenance (sweep manifests, stored point records) stamps this so
-    results record which core produced them.
+    ``"dense"``, ``"dict"``, ``"array"`` or ``"sparse"``, resolved from
+    the ``REPRO_DENSE`` / ``REPRO_ARRAY`` / ``REPRO_SPARSE`` environment
+    variables exactly as :class:`AdHocDigraph` resolves them at
+    construction.  Pass the expected population ``n`` to account for
+    auto-promotion: with every knob at its default the array core hands
+    off to sparse once ``n >= _SPARSE_AUTO_MIN``.  Execution provenance
+    (sweep manifests, stored point records) stamps this so results
+    record which core produced them.
     """
     if _dense_from_env():
         return "dense"
-    return "array" if _array_from_env() else "dict"
+    if _sparse_from_env():
+        return "sparse"
+    if not _array_from_env():
+        return "dict"
+    if n is not None and n >= _SPARSE_AUTO_MIN and _sparse_auto_allowed():
+        return "sparse"
+    return "array"
+
+
+class _SlotRow:
+    """One CSR-style adjacency row: a sorted, growable slot-index array.
+
+    The sparse core keeps one out-row and one in-row per node slot.
+    Entries are node slots sorted ascending (so set algebra runs through
+    ``np.setdiff1d(..., assume_unique=True)`` and membership through
+    ``searchsorted``); the backing array doubles on demand and never
+    shrinks, matching the amortized-growth discipline of the digraph's
+    flat blocks.
+    """
+
+    __slots__ = ("data", "count")
+
+    def __init__(self, capacity: int = 4) -> None:
+        self.data = np.empty(capacity, dtype=np.intp)
+        self.count = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def view(self) -> np.ndarray:
+        """The live sorted entries (a view — copy anything you keep)."""
+        return self.data[: self.count]
+
+    def values(self) -> np.ndarray:
+        """A fresh copy of the sorted entries."""
+        return self.data[: self.count].copy()
+
+    def contains(self, slot: int) -> bool:
+        pos = int(np.searchsorted(self.data[: self.count], slot))
+        return pos < self.count and int(self.data[pos]) == slot
+
+    def insert(self, slot: int) -> None:
+        """Insert ``slot`` keeping sort order (must not be present)."""
+        n = self.count
+        if n == len(self.data):
+            grown = np.empty(2 * len(self.data), dtype=np.intp)
+            grown[:n] = self.data[:n]
+            self.data = grown
+        pos = int(np.searchsorted(self.data[:n], slot))
+        self.data[pos + 1 : n + 1] = self.data[pos:n]
+        self.data[pos] = slot
+        self.count = n + 1
+
+    def remove(self, slot: int) -> None:
+        """Remove ``slot`` (must be present)."""
+        n = self.count
+        pos = int(np.searchsorted(self.data[:n], slot))
+        self.data[pos : n - 1] = self.data[pos + 1 : n]
+        self.count = n - 1
+
+    def replace(self, old_slot: int, new_slot: int) -> None:
+        """Swap one entry for another (swap-delete slot renumbering)."""
+        self.remove(old_slot)
+        self.insert(new_slot)
+
+    def set_sorted(self, slots: np.ndarray) -> None:
+        """Replace the whole row with an already-sorted slot array."""
+        k = len(slots)
+        if k > len(self.data):
+            cap = len(self.data)
+            while cap < k:
+                cap *= 2
+            self.data = np.empty(cap, dtype=np.intp)
+        self.data[:k] = slots
+        self.count = k
+
+    def clear(self) -> None:
+        self.count = 0
+
+    def copy(self) -> "_SlotRow":
+        clone = _SlotRow(len(self.data))
+        clone.data[: self.count] = self.data[: self.count]
+        clone.count = self.count
+        return clone
+
+
+def _c2_inc(entries: dict[int, int], key: int, by: int = 1) -> None:
+    """Add ``by`` witnesses to one C2 counter entry."""
+    entries[key] = entries.get(key, 0) + by
+
+
+def _c2_dec(entries: dict[int, int], key: int, by: int = 1) -> None:
+    """Retract ``by`` witnesses; entries never store zero (pruned here).
+
+    A missing key raises ``KeyError`` — by the maintenance invariant a
+    retraction always targets a positive counter, so silent tolerance
+    would only hide a bookkeeping bug.
+    """
+    left = entries[key] - by
+    if left:
+        entries[key] = left
+    else:
+        del entries[key]
 
 
 @dataclass(frozen=True)
@@ -183,8 +324,16 @@ class AdHocDigraph:
         grid, fused pairwise edge recomputation, batched CA2 deltas),
         ``False`` the object-level dict core.  ``None`` (default)
         consults ``REPRO_ARRAY`` (on unless set to ``0``).  Ignored in
-        dense mode.  Both cores are byte-identical in every query and
-        in snapshots; the choice is purely an execution-speed knob.
+        dense and sparse modes.  All cores are byte-identical in every
+        query and in snapshots; the choice is purely an
+        execution-speed/memory knob.
+    sparse_core:
+        ``True`` runs the sparse large-N core (CSR-style sorted slot
+        rows, per-slot C2 witness dicts, O(N + E) memory), ``False``
+        pins a dense-block core and disables auto-promotion.  ``None``
+        (default) consults ``REPRO_SPARSE`` — and, when that is unset,
+        lets a default array-core graph auto-promote to sparse once it
+        reaches ``_SPARSE_AUTO_MIN`` nodes.  Ignored in dense mode.
     grid_cell_size:
         Explicit spatial-grid cell size.  Default: sized from observed
         transmission ranges (a disc query then touches O(1) cells).
@@ -196,6 +345,7 @@ class AdHocDigraph:
         *,
         dense_conflicts: bool | None = None,
         array_core: bool | None = None,
+        sparse_core: bool | None = None,
         grid_cell_size: float | None = None,
     ) -> None:
         self._prop: PropagationModel = (
@@ -207,18 +357,45 @@ class AdHocDigraph:
         if dense_conflicts is None:
             dense_conflicts = _dense_from_env()
         self._dense = bool(dense_conflicts)
+        if sparse_core is None:
+            # An explicit array_core choice pins that exact core — the
+            # REPRO_SPARSE env only steers default-knobbed graphs.
+            sparse = array_core is None and _sparse_from_env()
+            # Auto-promotion stays armed only while every core knob is
+            # at its default: an explicit array/sparse choice (or the
+            # REPRO_SPARSE=0 pin) is a request for that exact core.
+            self._sparse_auto = (
+                not self._dense and not sparse and array_core is None and _sparse_auto_allowed()
+            )
+        else:
+            sparse = bool(sparse_core)
+            self._sparse_auto = False
+        self._sparse = sparse and not self._dense
         if array_core is None:
             array_core = _array_from_env()
-        self._array = bool(array_core) and not self._dense
+        self._array = bool(array_core) and not self._dense and not self._sparse
+        #: Whether the spatial index (if any) is keyed by slot
+        #: (:class:`SlotGridIndex`) rather than node id.
+        self._slotgrid = self._array or self._sparse
         cap = _INITIAL_CAPACITY
         self._pos = np.zeros((cap, 2), dtype=np.float64)
         self._range = np.zeros(cap, dtype=np.float64)
-        self._adj = np.zeros((cap, cap), dtype=bool)
         self._ids: list[NodeId] = []  # index -> id, for the active block
         self._ida = np.zeros(cap, dtype=np.int64)  # slot-aligned ids (hot queries)
         self._index: dict[NodeId, int] = {}
-        # Incremental mode: CA2 witness counts C2[u, v] = |out(u) ∩ out(v)|.
-        self._c2 = None if self._dense else np.zeros((cap, cap), dtype=np.int32)
+        if self._sparse:
+            self._adj = None
+            self._c2 = None
+            # CSR-style per-slot rows and per-slot CA2 witness dicts
+            # (key: other slot, value: |out(u) ∩ out(v)| > 0).
+            self._outr: list[_SlotRow] = []
+            self._inr: list[_SlotRow] = []
+            self._c2s: list[dict[int, int]] = []
+        else:
+            self._adj = np.zeros((cap, cap), dtype=bool)
+            # Incremental mode: CA2 witness counts C2[u, v] = |out(u) ∩ out(v)|.
+            self._c2 = None if self._dense else np.zeros((cap, cap), dtype=np.int32)
+            self._outr = self._inr = self._c2s = None  # type: ignore[assignment]
         self._use_grid = (not self._dense) and bool(getattr(self._prop, "disc_bounded", False))
         self._grid: UniformGridIndex | SlotGridIndex | None = None
         self._grid_cell = grid_cell_size
@@ -261,14 +438,22 @@ class AdHocDigraph:
         return self._array
 
     @property
+    def sparse_core(self) -> bool:
+        """Whether this graph runs the sparse (CSR rows) conflict core."""
+        return self._sparse
+
+    @property
     def core(self) -> str:
-        """The active conflict core: ``"dense"``, ``"dict"`` or ``"array"``.
+        """The active core: ``"dense"``, ``"dict"``, ``"array"`` or ``"sparse"``.
 
         Stamped into sweep manifests and stored point provenance so
-        results record which core produced them.
+        results record which core produced them.  Note an auto-promoted
+        graph reports ``"sparse"`` from the promotion event on.
         """
         if self._dense:
             return "dense"
+        if self._sparse:
+            return "sparse"
         return "array" if self._array else "dict"
 
     @property
@@ -320,23 +505,33 @@ class AdHocDigraph:
     # ------------------------------------------------------------------
     def has_edge(self, src: NodeId, dst: NodeId) -> bool:
         """Whether the directed edge ``src -> dst`` exists."""
-        return bool(self._adj[self._idx(src), self._idx(dst)])
+        si, di = self._idx(src), self._idx(dst)
+        if self._sparse:
+            return self._outr[si].contains(di)
+        return bool(self._adj[si, di])
 
     def out_neighbors(self, node_id: NodeId) -> list[NodeId]:
         """Nodes within ``node_id``'s transmission range (sorted)."""
         i = self._idx(node_id)
+        if self._sparse:
+            return sorted(self._ida[self._outr[i].view()].tolist())
         n = len(self._ids)
         return sorted(self._ida[:n][self._adj[i, :n]].tolist())
 
     def in_neighbors(self, node_id: NodeId) -> list[NodeId]:
         """Nodes whose transmissions reach ``node_id`` (sorted)."""
         i = self._idx(node_id)
+        if self._sparse:
+            return sorted(self._ida[self._inr[i].view()].tolist())
         n = len(self._ids)
         return sorted(self._ida[:n][self._adj[:n, i]].tolist())
 
     def undirected_neighbors(self, node_id: NodeId) -> list[NodeId]:
         """Union of in- and out-neighbors (sorted)."""
         i = self._idx(node_id)
+        if self._sparse:
+            both = np.union1d(self._outr[i].view(), self._inr[i].view())
+            return sorted(self._ida[both].tolist())
         n = len(self._ids)
         mask = self._adj[i, :n] | self._adj[:n, i]
         return sorted(self._ida[:n][mask].tolist())
@@ -344,16 +539,30 @@ class AdHocDigraph:
     def out_degree(self, node_id: NodeId) -> int:
         """Number of out-neighbors."""
         i = self._idx(node_id)
+        if self._sparse:
+            return len(self._outr[i])
         return int(self._adj[i, : len(self._ids)].sum())
 
     def in_degree(self, node_id: NodeId) -> int:
         """Number of in-neighbors."""
         i = self._idx(node_id)
+        if self._sparse:
+            return len(self._inr[i])
         return int(self._adj[: len(self._ids), i].sum())
 
     def edges(self) -> Iterator[tuple[NodeId, NodeId]]:
-        """Iterate all directed edges as ``(src, dst)`` id pairs."""
+        """Iterate all directed edges as ``(src, dst)`` id pairs.
+
+        Row-major slot order (identical across cores: out-rows are
+        sorted, matching ``np.nonzero`` on the dense block).
+        """
         n = len(self._ids)
+        if self._sparse:
+            for r in range(n):
+                src = self._ids[r]
+                for c in self._outr[r].view().tolist():
+                    yield (src, self._ids[c])
+            return
         rows, cols = np.nonzero(self._adj[:n, :n])
         for r, c in zip(rows.tolist(), cols.tolist()):
             yield (self._ids[r], self._ids[c])
@@ -361,6 +570,8 @@ class AdHocDigraph:
     def edge_count(self) -> int:
         """Total number of directed edges."""
         n = len(self._ids)
+        if self._sparse:
+            return sum(row.count for row in self._outr)
         return int(self._adj[:n, :n].sum())
 
     def adjacency(self) -> tuple[list[NodeId], np.ndarray]:
@@ -368,12 +579,14 @@ class AdHocDigraph:
 
         ``ids`` is ascending; ``A`` is a copy safe to mutate.  This is the
         entry point for vectorized consumers (conflict-matrix builds,
-        whole-network recoloring).
+        whole-network recoloring).  The sparse core densifies its rows
+        here — this is an O(N²) materialization by contract, meant for
+        whole-network consumers, not per-event hot paths.
         """
         order = sorted(range(len(self._ids)), key=lambda j: self._ids[j])
         ids = [self._ids[j] for j in order]
         n = len(self._ids)
-        block = self._adj[:n, :n]
+        block = self._adj_block() if self._sparse else self._adj[:n, :n]
         perm = np.asarray(order, dtype=np.intp)
         return ids, block[np.ix_(perm, perm)].copy()
 
@@ -406,8 +619,15 @@ class AdHocDigraph:
         if self._dense:
             self._recompute_row(i)
             self._recompute_col(i)
+        elif self._sparse:
+            self._ensure_sparse_slot(i)
+            new_out, new_in = self._sparse_edge_sets(i)
+            self._sparse_apply_row(i, new_out)
+            self._sparse_apply_col(i, new_in)
         elif self._array:
             self._insert_edges_array(i)
+            if self._sparse_auto and n >= _SPARSE_AUTO_MIN:
+                self._promote_to_sparse()
         else:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
@@ -418,56 +638,88 @@ class AdHocDigraph:
         cfg = self.config(node_id)
         n = len(self._ids)
         i = self._index[node_id]
-        c2 = self._c2
-        if c2 is not None:
-            # The receiver clique at i dissolves: every pair of its
-            # in-neighbors loses one common-out-neighbor witness.  Pairs
-            # involving i itself vanish with its row/column below.
-            src = np.flatnonzero(self._adj[:n, i])
-            if src.size > 1:
-                c2[np.ix_(src, src)] -= 1
-                c2[src, src] += 1
+        if self._sparse:
+            self._sparse_unlink(i)
+        else:
+            c2 = self._c2
+            if c2 is not None:
+                # The receiver clique at i dissolves: every pair of its
+                # in-neighbors loses one common-out-neighbor witness.  Pairs
+                # involving i itself vanish with its row/column below.
+                src = np.flatnonzero(self._adj[:n, i])
+                if src.size > 1:
+                    c2[np.ix_(src, src)] -= 1
+                    c2[src, src] += 1
+        self._vacate_slot(i)
+        self._version += 1
+        return cfg
+
+    def _vacate_slot(self, i: int) -> None:
+        """Release slot ``i`` by swap-deleting the last slot into it.
+
+        The shared tail of every removal: unlinks the slot from the
+        spatial index and the id↔slot maps, moves the last slot's
+        entries into ``i`` across **all** per-slot tables (positions,
+        ranges, dense adjacency/C2 blocks or sparse rows/witness dicts,
+        id arrays, grid membership), and clears the freed trailing slot.
+        The caller must already have retracted the departing node's
+        conflict contributions (dense C2 clique / sparse unlink) —
+        this helper only renumbers and zeroes storage.
+        """
+        n = len(self._ids)
+        node_id = self._ids[i]
         if self._grid is not None:
-            self._grid.remove(i if self._array else node_id)
+            self._grid.remove(i if self._slotgrid else node_id)
         self._index.pop(node_id)
         last = n - 1
+        c2 = self._c2
         if i != last:
             # Swap-delete: move the last slot into i.
             self._pos[i] = self._pos[last]
             self._range[i] = self._range[last]
-            self._adj[i, : last + 1] = self._adj[last, : last + 1]
-            self._adj[: last + 1, i] = self._adj[: last + 1, last]
-            self._adj[i, i] = False
+            if self._adj is not None:
+                self._adj[i, : last + 1] = self._adj[last, : last + 1]
+                self._adj[: last + 1, i] = self._adj[: last + 1, last]
+                self._adj[i, i] = False
             if c2 is not None:
                 c2[i, : last + 1] = c2[last, : last + 1]
                 c2[: last + 1, i] = c2[: last + 1, last]
                 c2[i, i] = 0
+            if self._sparse:
+                self._sparse_rename_slot(last, i)
             moved = self._ids[last]
             self._ids[i] = moved
             self._ida[i] = moved
             self._index[moved] = i
-            if self._array and self._grid is not None:
+            if self._slotgrid and self._grid is not None:
                 # The slot grid tracks slots, not ids: follow the
                 # swap-delete renumbering of the last slot into i.
                 self._grid.rename(last, i)
         self._ids.pop()
-        self._adj[last, : last + 1] = False
-        self._adj[: last + 1, last] = False
+        if self._adj is not None:
+            self._adj[last, : last + 1] = False
+            self._adj[: last + 1, last] = False
         if c2 is not None:
             c2[last, : last + 1] = 0
             c2[: last + 1, last] = 0
-        self._version += 1
-        return cfg
+        if self._sparse:
+            self._outr.pop()
+            self._inr.pop()
+            self._c2s.pop()
 
     def move_node(self, node_id: NodeId, x: float, y: float) -> None:
         """Relocate ``node_id``; recomputes its out- and in-edges."""
         i = self._idx(node_id)
         self._pos[i] = (float(x), float(y))
         if self._grid is not None:
-            self._grid.move(i if self._array else node_id, float(x), float(y))
+            self._grid.move(i if self._slotgrid else node_id, float(x), float(y))
         if self._dense:
             self._recompute_row(i)
             self._recompute_col(i)
+        elif self._sparse:
+            new_out, new_in = self._sparse_edge_sets(i)
+            self._sparse_apply_row(i, new_out)
+            self._sparse_apply_col(i, new_in)
         elif self._array:
             self._refresh_edges_array(i)
         else:
@@ -500,6 +752,8 @@ class AdHocDigraph:
                 self._build_grid(self._cell_live)
         if self._dense:
             self._recompute_row(i)
+        elif self._sparse:
+            self._sparse_apply_row(i, self._sparse_out_set(i))
         elif self._array:
             self._apply_row_delta_array(i, self._coverage_mask(i))
         else:
@@ -555,6 +809,59 @@ class AdHocDigraph:
         for event in events:
             yield self.apply_event(event)
 
+    def apply_round(self, events: Iterable["Event"]) -> list[TopologyDelta]:
+        """Apply one churn round of events with multi-event batching.
+
+        Returns one :class:`TopologyDelta` per event, with the same
+        kinds, node ids and version numbers :meth:`apply_event` would
+        produce, and leaves the graph in **exactly** the state
+        sequential application would (the final topology depends only on
+        each live node's final configuration, which batching preserves).
+        The intermediate graph states between the round's events are
+        *not* materialized — callers that must observe them (per-event
+        strategy reactions with sequential semantics) should stay on
+        :meth:`replay_events`.
+
+        Only the sparse core batches; the other cores fall back to
+        sequential application (identical results either way).  Within
+        the round, contiguous runs of join/move events are vectorized —
+        one geometry/grid commit pass, one final edge-set requery per
+        touched slot, grouped edge flips, and a single fused C2
+        reconciliation per touched receiver row, so a receiver hit by
+        ``k`` events in the round reconciles once instead of ``k``
+        times.  Leave and power-change events flush the run (a leave
+        renumbers slots and must capture the departing configuration; a
+        power delta must capture the pre-event conflict set) and apply
+        sequentially.
+        """
+        events = list(events)
+        if not self._sparse or len(events) < 2:
+            return [self.apply_event(ev) for ev in events]
+        from repro.events.base import JoinEvent, MoveEvent
+
+        deltas: list[TopologyDelta] = []
+        batch: list[Event] = []
+        for ev in events:
+            if isinstance(ev, (JoinEvent, MoveEvent)):
+                batch.append(ev)
+            else:
+                self._flush_round_batch(batch, deltas)
+                deltas.append(self.apply_event(ev))
+        self._flush_round_batch(batch, deltas)
+        return deltas
+
+    def replay_rounds(
+        self, rounds: Iterable[Iterable["Event"]]
+    ) -> Iterator[list[TopologyDelta]]:
+        """Lazily apply round-structured events via :meth:`apply_round`.
+
+        Yields the per-round delta lists; the graph advances one round
+        at a time, so derived queries between yields observe the
+        just-committed round (round-commit semantics).
+        """
+        for round_events in rounds:
+            yield self.apply_round(round_events)
+
     # ------------------------------------------------------------------
     # Snapshots (warm starts)
     # ------------------------------------------------------------------
@@ -579,7 +886,20 @@ class AdHocDigraph:
         original dict byte-for-byte.
         """
         n = len(self._ids)
-        rows, cols = np.nonzero(self._adj[:n, :n])
+        if self._sparse:
+            # Row-major edge order with ascending columns — exactly the
+            # np.nonzero order of the dense block, so sparse snapshots
+            # are byte-identical to array/dict ones.  The C2 dicts are
+            # densified for the shared schema; snapshots are a
+            # checkpoint-scale operation, not a large-N hot path.
+            edges = [
+                [r, int(c)] for r in range(n) for c in self._outr[r].view().tolist()
+            ]
+            c2: list | None = self._c2_block().tolist()
+        else:
+            rows, cols = np.nonzero(self._adj[:n, :n])
+            edges = [[int(r), int(c)] for r, c in zip(rows.tolist(), cols.tolist())]
+            c2 = None if self._c2 is None else self._c2[:n, :n].tolist()
         return {
             "schema": 2,
             "propagation": type(self._prop).__name__,
@@ -596,8 +916,8 @@ class AdHocDigraph:
                 ]
                 for i in range(n)
             ],
-            "edges": [[int(r), int(c)] for r, c in zip(rows.tolist(), cols.tolist())],
-            "c2": None if self._c2 is None else self._c2[:n, :n].tolist(),
+            "edges": edges,
+            "c2": c2,
         }
 
     @classmethod
@@ -607,6 +927,7 @@ class AdHocDigraph:
         *,
         propagation: PropagationModel | None = None,
         array_core: bool | None = None,
+        sparse_core: bool | None = None,
     ) -> "AdHocDigraph":
         """Rebuild a graph from a :meth:`snapshot` dict.
 
@@ -648,9 +969,15 @@ class AdHocDigraph:
             dense_conflicts=snapshot["dense"],
             grid_cell_size=snapshot["explicit_cell"],
             array_core=array_core,
+            sparse_core=sparse_core,
         )
         nodes = snapshot["nodes"]
         n = len(nodes)
+        if g._array and g._sparse_auto and n >= _SPARSE_AUTO_MIN:
+            # A default-knobbed graph this large would have auto-promoted
+            # during replay; restore straight into the sparse core rather
+            # than allocating the O(N²) blocks just to convert them.
+            g._activate_sparse()
         g._ensure_capacity(max(n, 1))
         for slot, (node_id, x, y, tx_range) in enumerate(nodes):
             g._pos[slot] = (x, y)
@@ -658,23 +985,26 @@ class AdHocDigraph:
             g._ids.append(node_id)
             g._ida[slot] = node_id
             g._index[node_id] = slot
-        for src, dst in snapshot["edges"]:
-            g._adj[src, dst] = True
-        if g._c2 is not None and n:
-            c2 = snapshot["c2"]
-            if c2 is None:  # snapshot came from a dense-mode graph
-                a = g._adj[:n, :n]
-                g._c2[:n, :n] = (a.astype(np.int32) @ a.T.astype(np.int32))
-                np.fill_diagonal(g._c2[:n, :n], 0)
-            else:
-                g._c2[:n, :n] = np.asarray(c2, dtype=np.int32)
+        if g._sparse:
+            g._restore_sparse_state(n, snapshot["edges"], snapshot["c2"])
+        else:
+            for src, dst in snapshot["edges"]:
+                g._adj[src, dst] = True
+            if g._c2 is not None and n:
+                c2 = snapshot["c2"]
+                if c2 is None:  # snapshot came from a dense-mode graph
+                    a = g._adj[:n, :n]
+                    g._c2[:n, :n] = (a.astype(np.int32) @ a.T.astype(np.int32))
+                    np.fill_diagonal(g._c2[:n, :n], 0)
+                else:
+                    g._c2[:n, :n] = np.asarray(c2, dtype=np.int32)
         if g._use_grid:
             cell = snapshot["grid_cell_size"]
             if cell is None and n:  # schema-1 snapshots did not record it
                 cell = float(g._range[:n].max())
             if cell is not None:
                 g._cell_live = float(cell)
-                if n and not (g._array and n < _GRID_LAZY_MIN):
+                if n and not (g._slotgrid and n < _GRID_LAZY_MIN):
                     g._build_grid(g._cell_live)
         g._max_range = float(g._range[:n].max()) if n else 0.0
         g._version = snapshot["version"]
@@ -687,13 +1017,22 @@ class AdHocDigraph:
         g._fs = self._fs
         g._dense = self._dense
         g._array = self._array
+        g._sparse = self._sparse
+        g._sparse_auto = self._sparse_auto
+        g._slotgrid = self._slotgrid
         g._pos = self._pos.copy()
         g._range = self._range.copy()
-        g._adj = self._adj.copy()
+        g._adj = None if self._adj is None else self._adj.copy()
         g._ids = list(self._ids)
         g._ida = self._ida.copy()
         g._index = dict(self._index)
         g._c2 = None if self._c2 is None else self._c2.copy()
+        if self._sparse:
+            g._outr = [row.copy() for row in self._outr]
+            g._inr = [row.copy() for row in self._inr]
+            g._c2s = [dict(d) for d in self._c2s]
+        else:
+            g._outr = g._inr = g._c2s = None
         g._use_grid = self._use_grid
         g._grid = None if self._grid is None else self._grid.copy()
         g._grid_cell = self._grid_cell
@@ -725,6 +1064,10 @@ class AdHocDigraph:
         if cached is None:
             i = self._idx(node_id)
             n = len(self._ids)
+            if self._sparse:
+                cached = frozenset(self._ida[self._sparse_conflict_slots(i)].tolist())
+                memo[node_id] = cached
+                return set(cached)
             if self._dense:
                 mask = self._dense_conflict_block()[i]
             else:
@@ -734,6 +1077,26 @@ class AdHocDigraph:
             cached = frozenset(self._ida[:n][mask].tolist())
             memo[node_id] = cached
         return set(cached)
+
+    def conflict_slots(self, slot: int) -> np.ndarray:
+        """Slots conflicting with ``slot`` under CA1 ∪ CA2 (sorted).
+
+        The slot-native counterpart of :meth:`conflict_neighbor_ids`:
+        on the sparse core it unions the out-row, in-row and the C2
+        witness keys — O(deg) work with no N-wide mask — which is what
+        lets large-N event loops query conflicts at constant density
+        without touching O(N) memory per query.  The dense-block cores
+        derive it from their row masks; membership is identical.
+        """
+        if self._sparse:
+            return self._sparse_conflict_slots(slot)
+        n = len(self._ids)
+        if self._dense:
+            return np.flatnonzero(self._dense_conflict_block()[slot])
+        a = self._adj
+        mask = a[slot, :n] | a[:n, slot] | (self._c2[slot, :n] > 0)
+        mask[slot] = False
+        return np.flatnonzero(mask)
 
     def conflict_adjacency(self) -> tuple[list[NodeId], np.ndarray]:
         """``(ids, C)`` — the symmetric CA1 ∪ CA2 conflict matrix.
@@ -754,6 +1117,13 @@ class AdHocDigraph:
             ids = [self._ids[j] for j in order]
             if self._dense:
                 block = self._dense_conflict_block()
+            elif self._sparse:
+                a = self._adj_block()
+                block = a | a.T
+                for u, entries in enumerate(self._c2s):
+                    if entries:
+                        block[u, list(entries)] = True
+                np.fill_diagonal(block, False)
             else:
                 a = self._adj[:n, :n]
                 block = a | a.T | (self._c2[:n, :n] > 0)
@@ -789,12 +1159,16 @@ class AdHocDigraph:
         return out
 
     def out_slots(self, slot: int) -> np.ndarray:
-        """Slots of ``slot``'s out-neighbors (unsorted index array)."""
+        """Slots of ``slot``'s out-neighbors (ascending index array)."""
+        if self._sparse:
+            return self._outr[slot].values()
         n = len(self._ids)
         return self._adj[slot, :n].nonzero()[0]
 
     def in_slots(self, slot: int) -> np.ndarray:
-        """Slots of ``slot``'s in-neighbors (unsorted index array)."""
+        """Slots of ``slot``'s in-neighbors (ascending index array)."""
+        if self._sparse:
+            return self._inr[slot].values()
         n = len(self._ids)
         return self._adj[:n, slot].nonzero()[0]
 
@@ -804,8 +1178,13 @@ class AdHocDigraph:
         The "one-hop upstream vicinity" every event handler revisits:
         the nodes whose conflict rows an event at ``slot`` can change.
         Fused so the hot loop pays one column copy, one bit set and one
-        ``nonzero`` instead of an ``in_slots`` + ``np.append`` round trip.
+        ``nonzero`` instead of an ``in_slots`` + ``np.append`` round trip
+        (sparse core: one sorted insertion into the in-row copy).
         """
+        if self._sparse:
+            row = self._inr[slot].view()
+            pos = int(np.searchsorted(row, slot))
+            return np.insert(row, pos, slot)
         n = len(self._ids)
         col = self._adj[:n, slot].copy()
         col[slot] = True
@@ -819,10 +1198,18 @@ class AdHocDigraph:
         fused boolean expression over the adjacency and witness blocks
         replaces ``k`` separate :meth:`conflict_neighbor_ids` calls —
         the array core's replacement for the per-node frozenset query
-        in strategy inner loops.
+        in strategy inner loops.  The sparse core scatters its O(deg)
+        conflict rows into the requested block (the result is O(k·N) by
+        contract — large-N consumers should iterate
+        :meth:`conflict_slots` instead).
         """
         s = np.asarray(slots, dtype=np.intp)
         n = len(self._ids)
+        if self._sparse:
+            rows = np.zeros((len(s), n), dtype=bool)
+            for j, slot in enumerate(s.tolist()):
+                rows[j, self._sparse_conflict_slots(slot)] = True
+            return rows
         if self._dense:
             rows = self._dense_conflict_block()[s]
         else:
@@ -840,9 +1227,24 @@ class AdHocDigraph:
         """
         n = len(self._ids)
         i = self._idx(src)
-        undirected = self._adj[:n, :n] | self._adj[:n, :n].T
         dist = np.full(n, -1, dtype=np.int64)
         dist[i] = 0
+        if self._sparse:
+            # Frontier BFS over the CSR rows: O(E reached), no dense block.
+            frontier_slots = [i]
+            hops = 0
+            while frontier_slots:
+                hops += 1
+                parts = []
+                for u in frontier_slots:
+                    parts.append(self._outr[u].view())
+                    parts.append(self._inr[u].view())
+                reached = np.unique(np.concatenate(parts)) if parts else _EMPTY_SLOTS
+                fresh = reached[dist[reached] < 0]
+                dist[fresh] = hops
+                frontier_slots = fresh.tolist()
+            return {self._ids[j]: int(dist[j]) for j in range(n) if dist[j] >= 0}
+        undirected = self._adj[:n, :n] | self._adj[:n, :n].T
         frontier = np.zeros(n, dtype=bool)
         frontier[i] = True
         hops = 0
@@ -889,14 +1291,16 @@ class AdHocDigraph:
             new_cap *= 2
         pos = np.zeros((new_cap, 2), dtype=np.float64)
         rng = np.zeros(new_cap, dtype=np.float64)
-        adj = np.zeros((new_cap, new_cap), dtype=bool)
         n = len(self._ids)
         pos[:n] = self._pos[:n]
         rng[:n] = self._range[:n]
-        adj[:n, :n] = self._adj[:n, :n]
         ida = np.zeros(new_cap, dtype=np.int64)
         ida[:n] = self._ida[:n]
-        self._pos, self._range, self._adj, self._ida = pos, rng, adj, ida
+        self._pos, self._range, self._ida = pos, rng, ida
+        if self._adj is not None:
+            adj = np.zeros((new_cap, new_cap), dtype=bool)
+            adj[:n, :n] = self._adj[:n, :n]
+            self._adj = adj
         if self._c2 is not None:
             c2 = np.zeros((new_cap, new_cap), dtype=np.int32)
             c2[:n, :n] = self._c2[:n, :n]
@@ -924,18 +1328,18 @@ class AdHocDigraph:
                 # (e.g. the paper's raisefactor sweep).
                 self._cell_live = float(tx_range)
         if self._grid is None:
-            if self._array and len(self._ids) < _GRID_LAZY_MIN:
+            if self._slotgrid and len(self._ids) < _GRID_LAZY_MIN:
                 return
             self._build_grid(self._cell_live)
             return
-        self._grid.insert(slot if self._array else node_id, float(x), float(y))
+        self._grid.insert(slot if self._slotgrid else node_id, float(x), float(y))
         if self._grid.cell_size != self._cell_live:
             self._build_grid(self._cell_live)
 
     def _build_grid(self, cell: float) -> None:
         """(Re)build the spatial index over all live slots at ``cell`` size."""
         n = len(self._ids)
-        if self._array:
+        if self._slotgrid:
             grid: UniformGridIndex | SlotGridIndex = SlotGridIndex(cell)
             for slot in range(n):
                 grid.insert(slot, float(self._pos[slot, 0]), float(self._pos[slot, 1]))
@@ -957,7 +1361,7 @@ class AdHocDigraph:
         if not self._use_grid or self._grid is None:
             return None
         x, y = self._pos[i]
-        if self._array:
+        if self._slotgrid:
             return self._grid.candidate_slots(float(x), float(y), radius)
         ids = self._grid.candidates_in_box(float(x), float(y), radius)
         index = self._index
@@ -1209,6 +1613,475 @@ class AdHocDigraph:
             c2[np.ix_(new, new)] += 1
             c2[new, new] -= 1
         a[:n, i] = new_col
+
+    # -- sparse (CSR rows) core -----------------------------------------
+    def _activate_sparse(self) -> None:
+        """Switch the core flags and storage to sparse (no data carried)."""
+        self._sparse = True
+        self._array = False
+        self._sparse_auto = False
+        self._slotgrid = True
+        self._adj = None
+        self._c2 = None
+        self._outr = []
+        self._inr = []
+        self._c2s = []
+
+    def _ensure_sparse_slot(self, slot: int) -> None:
+        """Grow the per-slot row/witness tables to include ``slot``."""
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        while len(outr) <= slot:
+            outr.append(_SlotRow())
+            inr.append(_SlotRow())
+            c2s.append({})
+
+    def _promote_to_sparse(self) -> None:
+        """Convert the dense array-core blocks into sparse rows in place.
+
+        Triggered by :meth:`add_node` when a default-knobbed array-core
+        graph reaches ``_SPARSE_AUTO_MIN`` nodes: from here on the
+        O(N²) blocks would dominate memory and every C2 delta would
+        touch full rows.  The conversion is pure re-representation —
+        queries, snapshots and subsequent events are byte-identical to
+        both the array core (had it continued) and a from-scratch
+        sparse graph.  The slot grid is already slot-keyed and carries
+        over untouched.
+        """
+        n = len(self._ids)
+        a, c2 = self._adj, self._c2
+        self._activate_sparse()
+        if not n:
+            return
+        self._ensure_sparse_slot(n - 1)
+        for i in range(n):
+            self._outr[i].set_sorted(np.flatnonzero(a[i, :n]))
+            self._inr[i].set_sorted(np.flatnonzero(a[:n, i]))
+        rows, cols = np.nonzero(c2[:n, :n])
+        vals = c2[rows, cols]
+        c2s = self._c2s
+        for u, v, count in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+            c2s[u][v] = count
+
+    def _restore_sparse_state(self, n: int, edges: list, c2: list | None) -> None:
+        """Populate the sparse rows/witness dicts from snapshot fields."""
+        if not n:
+            return
+        self._ensure_sparse_slot(n - 1)
+        out_lists: list[list[int]] = [[] for _ in range(n)]
+        in_lists: list[list[int]] = [[] for _ in range(n)]
+        for src, dst in edges:
+            out_lists[src].append(dst)
+            in_lists[dst].append(src)
+        for slot in range(n):
+            # snapshot edges are row-major with ascending columns
+            self._outr[slot].set_sorted(np.asarray(out_lists[slot], dtype=np.intp))
+            self._inr[slot].set_sorted(np.asarray(sorted(in_lists[slot]), dtype=np.intp))
+        c2s = self._c2s
+        if c2 is None:
+            # Dense-mode snapshot (no counters recorded): re-derive them
+            # from the in-rows — each receiver's in-clique contributes
+            # one witness per ordered pair.
+            for slot in range(n):
+                members = self._inr[slot].view().tolist()
+                for a in members:
+                    da = c2s[a]
+                    for b in members:
+                        if b != a:
+                            _c2_inc(da, b)
+            return
+        arr = np.asarray(c2, dtype=np.int64)
+        rows, cols = np.nonzero(arr)
+        vals = arr[rows, cols]
+        for u, v, count in zip(rows.tolist(), cols.tolist(), vals.tolist()):
+            c2s[u][v] = int(count)
+
+    def _adj_block(self) -> np.ndarray:
+        """Densify the sparse out-rows into an (n, n) boolean block.
+
+        O(N²) by contract — only whole-network consumers (``adjacency``,
+        ``conflict_adjacency``, snapshots) call it, never per-event paths.
+        """
+        n = len(self._ids)
+        block = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            block[i, self._outr[i].view()] = True
+        return block
+
+    def _c2_block(self) -> np.ndarray:
+        """Densify the per-slot witness dicts into an (n, n) int32 block."""
+        n = len(self._ids)
+        block = np.zeros((n, n), dtype=np.int32)
+        for u, entries in enumerate(self._c2s):
+            if entries:
+                block[u, list(entries)] = list(entries.values())
+        return block
+
+    def _sparse_candidates(self, i: int, radius: float) -> np.ndarray | None:
+        """Per-cell candidate gather for slot ``i``; ``None`` = full scan.
+
+        Streams the occupied cell blocks near ``i`` from
+        :meth:`SlotGridIndex.iter_candidate_blocks` and bails out to a
+        full scan the moment the running count reaches the 3/4-of-N
+        selectivity cutoff — so an unselective query never concatenates
+        (and a selective one never allocates an N-wide mask; the exact
+        filter runs on the gathered index array directly).  Requires the
+        propagation model to evaluate targets elementwise
+        (``elementwise`` contract in ``topology/propagation.py``), which
+        every disc-bounded model satisfies.
+        """
+        if not self._use_grid or self._grid is None:
+            return None
+        grid = self._grid
+        if grid.cell_count <= _MIN_SELECTIVE_CELLS:
+            return None
+        if not getattr(self._prop, "elementwise", True):
+            return None
+        n = len(self._ids)
+        cutoff = max(1, (3 * n) // 4)
+        x, y = self._pos[i]
+        blocks: list[np.ndarray] = []
+        total = 0
+        for block in grid.iter_candidate_blocks(float(x), float(y), radius):
+            total += len(block)
+            if total >= cutoff:
+                return None
+            blocks.append(block)
+        if not blocks:
+            return _EMPTY_SLOTS
+        return np.concatenate(blocks)
+
+    def _sparse_edge_sets(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Final (out, in) slot sets of ``i`` under the current geometry.
+
+        Sorted ascending, ``i`` excluded.  One candidate gather at the
+        cached maximum range answers both directions (any node that
+        covers or is covered by ``i`` lies within it), mirroring the
+        array core's fused refresh; the fallback full scan computes the
+        same membership, so downstream deltas are identical either way.
+        """
+        n = len(self._ids)
+        r = float(self._range[i])
+        cand = self._sparse_candidates(i, self._max_range)
+        if cand is None:
+            pos = self._pos[:n]
+            if self._fs:
+                diff = pos - self._pos[i]
+                d2 = np.einsum("ij,ij->i", diff, diff)
+                cov = d2 <= r * r
+                rr = self._range[:n]
+                covby = d2 <= rr * rr
+            else:
+                cov, covby = pairwise_masks(self._prop, self._pos[i], r, pos, self._range[:n])
+                cov = np.asarray(cov, dtype=bool).copy()
+                covby = np.asarray(covby, dtype=bool).copy()
+            cov[i] = False
+            covby[i] = False
+            return np.flatnonzero(cov), np.flatnonzero(covby)
+        if not cand.size:
+            return _EMPTY_SLOTS.copy(), _EMPTY_SLOTS.copy()
+        if self._fs:
+            diff = self._pos[cand] - self._pos[i]
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            cov = d2 <= r * r
+            rr = self._range[cand]
+            covby = d2 <= rr * rr
+        else:
+            cov, covby = pairwise_masks(
+                self._prop, self._pos[i], r, self._pos[cand], self._range[cand]
+            )
+        out = cand[cov]
+        inn = cand[covby]
+        out = np.sort(out[out != i])
+        inn = np.sort(inn[inn != i])
+        return out, inn
+
+    def _sparse_out_set(self, i: int) -> np.ndarray:
+        """Final out slot set of ``i`` only (power changes: in-edges fixed)."""
+        n = len(self._ids)
+        r = float(self._range[i])
+        cand = self._sparse_candidates(i, r)
+        if cand is None:
+            mask = np.asarray(
+                self._prop.coverage(self._pos[i], r, self._pos[:n]), dtype=bool
+            ).copy()
+            mask[i] = False
+            return np.flatnonzero(mask)
+        if not cand.size:
+            return _EMPTY_SLOTS.copy()
+        covered = np.asarray(self._prop.coverage(self._pos[i], r, self._pos[cand]), dtype=bool)
+        out = cand[covered]
+        return np.sort(out[out != i])
+
+    def _sparse_conflict_slots(self, i: int) -> np.ndarray:
+        """CA1 ∪ CA2 conflict slots of ``i``: out ∪ in ∪ witness keys."""
+        out = self._outr[i].view()
+        inn = self._inr[i].view()
+        entries = self._c2s[i]
+        if entries:
+            keys = np.fromiter(entries.keys(), dtype=np.intp, count=len(entries))
+            return np.unique(np.concatenate((out, inn, keys)))
+        return np.union1d(out, inn)
+
+    def _sparse_apply_row(self, i: int, new_out: np.ndarray) -> None:
+        """Replace slot ``i``'s out-row, bucketing the C2 witness deltas.
+
+        When ``i`` starts (stops) covering a receiver ``w``, every other
+        in-neighbor of ``w`` gains (loses) one common-out-neighbor
+        witness with ``i`` — ``deg(w)`` counter entries per changed
+        receiver, touched directly in the per-slot dicts instead of a
+        full (cap,) row.
+        """
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        old_out = outr[i].view()
+        added = np.setdiff1d(new_out, old_out, assume_unique=True)
+        removed = np.setdiff1d(old_out, new_out, assume_unique=True)
+        if added.size or removed.size:
+            di = c2s[i]
+            for w in removed.tolist():
+                row = inr[w]
+                row.remove(i)
+                for u in row.view().tolist():
+                    _c2_dec(di, u)
+                    _c2_dec(c2s[u], i)
+            for w in added.tolist():
+                row = inr[w]
+                for u in row.view().tolist():
+                    _c2_inc(di, u)
+                    _c2_inc(c2s[u], i)
+                row.insert(i)
+        outr[i].set_sorted(new_out)
+
+    def _sparse_apply_col(self, i: int, new_in: np.ndarray) -> None:
+        """Replace slot ``i``'s in-row: reconcile the receiver clique."""
+        outr, inr = self._outr, self._inr
+        old_in = inr[i].values()
+        self._reconcile_receiver(i, old_in, new_in)
+        for u in np.setdiff1d(new_in, old_in, assume_unique=True).tolist():
+            outr[u].insert(i)
+        for u in np.setdiff1d(old_in, new_in, assume_unique=True).tolist():
+            outr[u].remove(i)
+        inr[i].set_sorted(new_in)
+
+    def _reconcile_receiver(self, w: int, old: np.ndarray, new: np.ndarray) -> None:
+        """Fused C2 update for receiver ``w``'s in-set change old → new.
+
+        The in-neighbors of ``w`` form a CA2 clique; with ``A = new \\
+        old`` (arrivals), ``R = old \\ new`` (departures) and ``K = old
+        ∩ new`` (keepers), the ordered-pair witness deltas are exactly:
+        retract ``(r, u)`` for every ``r ∈ R, u ∈ old \\ {r}`` plus
+        ``(k, r)`` for every ``k ∈ K, r ∈ R``; assert the mirror-image
+        pairs over ``new`` and ``A``.  Pairs among the keepers cancel —
+        they are never touched — so the work is O((|A|+|R|)·deg(w))
+        dict operations, not a clique-sized broadcast.
+        """
+        if len(old) == len(new) and np.array_equal(old, new):
+            return
+        c2s = self._c2s
+        added = np.setdiff1d(new, old, assume_unique=True)
+        removed = np.setdiff1d(old, new, assume_unique=True)
+        kept = np.setdiff1d(old, removed, assume_unique=True).tolist()
+        olds = old.tolist()
+        for r in removed.tolist():
+            dr = c2s[r]
+            for u in olds:
+                if u != r:
+                    _c2_dec(dr, u)
+            for k in kept:
+                _c2_dec(c2s[k], r)
+        news = new.tolist()
+        for a in added.tolist():
+            da = c2s[a]
+            for u in news:
+                if u != a:
+                    _c2_inc(da, u)
+            for k in kept:
+                _c2_inc(c2s[k], a)
+
+    def _sparse_unlink(self, i: int) -> None:
+        """Retract slot ``i``'s conflict contributions before removal.
+
+        The receiver clique at ``i`` dissolves (fused retraction), the
+        incident rows drop ``i``, and every witness pair involving ``i``
+        vanishes wholesale by dropping its dict and the mirror keys —
+        no per-receiver retraction needed for pairs that die with the
+        node.
+        """
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        old_in = inr[i].values()
+        self._reconcile_receiver(i, old_in, _EMPTY_SLOTS)
+        for u in old_in.tolist():
+            outr[u].remove(i)
+        inr[i].clear()
+        for w in outr[i].view().tolist():
+            inr[w].remove(i)
+        outr[i].clear()
+        entries = c2s[i]
+        for u in entries:
+            del c2s[u][i]
+        c2s[i] = {}
+
+    def _sparse_rename_slot(self, last: int, i: int) -> None:
+        """Renumber slot ``last`` to the vacated ``i`` across all rows.
+
+        The sparse half of the swap-delete: the moved node's own row
+        objects transfer by reference, and every referencing row and
+        witness dict swaps the ``last`` entry for ``i``.  ``i`` must
+        already be fully unlinked.
+        """
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        row = outr[last]
+        for w in row.view().tolist():
+            inr[w].replace(last, i)
+        col = inr[last]
+        for u in col.view().tolist():
+            outr[u].replace(last, i)
+        entries = c2s[last]
+        for v in entries:
+            mirror = c2s[v]
+            mirror[i] = mirror.pop(last)
+        outr[i] = row
+        inr[i] = col
+        c2s[i] = entries
+
+    def _flush_round_batch(self, batch: list, deltas: list[TopologyDelta]) -> None:
+        """Commit a contiguous join/move run as one batched mutation.
+
+        The sparse half of :meth:`apply_round`: one geometry/grid commit
+        pass over the run, one final edge-set requery per touched slot,
+        grouped edge flips, and a single fused C2 reconciliation per
+        changed receiver row.  Exact because the final adjacency depends
+        only on each live node's final (position, range) — joins and
+        moves neither renumber slots nor consult pre-event conflict
+        state, which is why leaves and power changes flush the run.
+        """
+        if not batch:
+            return
+        if len(batch) == 1:
+            deltas.append(self.apply_event(batch[0]))
+            batch.clear()
+            return
+        from repro.events.base import JoinEvent
+
+        # Pre-validate the whole run: sequential application reports
+        # these per event; batched geometry must not fail half-written.
+        live = set(self._index)
+        for ev in batch:
+            if isinstance(ev, JoinEvent):
+                if ev.config.node_id in live:
+                    raise DuplicateNodeError(ev.config.node_id)
+                live.add(ev.config.node_id)
+            elif ev.node_id not in live:
+                raise UnknownNodeError(ev.node_id)
+
+        # Phase 1 — commit geometry (positions, ranges, ids, grid) for
+        # the whole run, in order, emitting the per-event deltas.
+        dirty: dict[int, None] = {}
+        for ev in batch:
+            if isinstance(ev, JoinEvent):
+                cfg = ev.config
+                n = len(self._ids) + 1
+                self._ensure_capacity(n)
+                i = n - 1
+                self._pos[i] = (cfg.x, cfg.y)
+                self._range[i] = cfg.tx_range
+                if cfg.tx_range > self._max_range:
+                    self._max_range = float(cfg.tx_range)
+                self._ids.append(cfg.node_id)
+                self._ida[i] = cfg.node_id
+                self._index[cfg.node_id] = i
+                self._ensure_sparse_slot(i)
+                if self._use_grid:
+                    self._grid_insert(i, cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
+                dirty[i] = None
+                self._version += 1
+                deltas.append(TopologyDelta("join", cfg.node_id, self._version))
+            else:  # MoveEvent
+                i = self._index[ev.node_id]
+                self._pos[i] = (float(ev.x), float(ev.y))
+                if self._grid is not None:
+                    self._grid.move(i, float(ev.x), float(ev.y))
+                dirty[i] = None
+                self._version += 1
+                deltas.append(TopologyDelta("move", ev.node_id, self._version))
+
+        outr, inr = self._outr, self._inr
+        dirty_slots = list(dirty)
+        dirty_set = set(dirty_slots)
+
+        # Phase 2 — capture old rows, then requery the final edge sets
+        # of every touched slot against the committed round geometry.
+        old_out = {i: outr[i].values() for i in dirty_slots}
+        old_in = {i: inr[i].values() for i in dirty_slots}
+        new_out: dict[int, np.ndarray] = {}
+        new_in: dict[int, np.ndarray] = {}
+        for i in dirty_slots:
+            new_out[i], new_in[i] = self._sparse_edge_sets(i)
+
+        # Phase 3 — group the out-row diffs by receiver, so a non-dirty
+        # receiver hit by k events reconciles once, not k times.
+        recv_add: dict[int, list[int]] = {}
+        recv_del: dict[int, list[int]] = {}
+        for i in dirty_slots:
+            for w in np.setdiff1d(new_out[i], old_out[i], assume_unique=True).tolist():
+                if w not in dirty_set:
+                    recv_add.setdefault(w, []).append(i)
+            for w in np.setdiff1d(old_out[i], new_out[i], assume_unique=True).tolist():
+                if w not in dirty_set:
+                    recv_del.setdefault(w, []).append(i)
+
+        # Phase 4 — C2 reconciliation, one pass per changed receiver
+        # row.  Dirty receivers get the full old → new reconcile; an
+        # outside receiver hit by a single event takes the same cheap
+        # incremental update the sequential path would (the common case
+        # in spread-out rounds), and only receivers hit by several
+        # events pay the fused array reconcile — which is exactly where
+        # fusing wins, because the k hits reconcile once.
+        c2s = self._c2s
+        for w in dirty_slots:
+            self._reconcile_receiver(w, old_in[w], new_in[w])
+        for w in set(recv_add) | set(recv_del):
+            adds = recv_add.get(w, ())
+            dels = recv_del.get(w, ())
+            row = inr[w]
+            if len(adds) + len(dels) == 1:
+                if adds:
+                    i = adds[0]
+                    di = c2s[i]
+                    for u in row.view().tolist():
+                        _c2_inc(di, u)
+                        _c2_inc(c2s[u], i)
+                    row.insert(i)
+                else:
+                    i = dels[0]
+                    row.remove(i)
+                    di = c2s[i]
+                    for u in row.view().tolist():
+                        _c2_dec(di, u)
+                        _c2_dec(c2s[u], i)
+                continue
+            old = row.values()
+            new = old
+            if dels:
+                new = np.setdiff1d(
+                    new, np.asarray(sorted(dels), dtype=np.intp), assume_unique=True
+                )
+            if adds:
+                new = np.union1d(new, np.asarray(adds, dtype=np.intp))
+            self._reconcile_receiver(w, old, new)
+            row.set_sorted(new)
+
+        # Phase 5 — structural flips: dirty rows replaced wholesale,
+        # non-dirty sources get their grouped out-row edits.
+        for i in dirty_slots:
+            for u in np.setdiff1d(new_in[i], old_in[i], assume_unique=True).tolist():
+                if u not in dirty_set:
+                    outr[u].insert(i)
+            for u in np.setdiff1d(old_in[i], new_in[i], assume_unique=True).tolist():
+                if u not in dirty_set:
+                    outr[u].remove(i)
+            outr[i].set_sorted(new_out[i])
+            inr[i].set_sorted(new_in[i])
+        batch.clear()
 
     # -- dense escape hatch ---------------------------------------------
     def _dense_conflict_block(self) -> np.ndarray:

@@ -21,6 +21,7 @@ __all__ = [
     "FreeSpacePropagation",
     "ObstructedPropagation",
     "pairwise_masks",
+    "ELEMENTWISE_DEFAULT",
 ]
 
 
@@ -53,6 +54,20 @@ class PropagationModel(Protocol):
         join or move).
         """
         ...  # pragma: no cover - protocol
+
+
+#: The *elementwise* contract: a model evaluates each target row
+#: independently — mask entry ``k`` is a pure function of the source
+#: and target ``k`` alone, never of which other targets appear in the
+#: batch.  Both built-in models satisfy it (distance and line-of-sight
+#: tests are per-pair), and the sparse conflict core depends on it to
+#: evaluate grid-bucketed candidate *subsets*: partitioning the targets
+#: across per-cell blocks and concatenating the filtered results must
+#: equal one whole-array evaluation.  A model that breaks the contract
+#: (e.g. capacity-limited coverage of the nearest k targets) must set
+#: ``elementwise = False`` on the class, which pins such graphs to
+#: whole-population evaluation (the grid prefilter is skipped).
+ELEMENTWISE_DEFAULT = True
 
 
 def pairwise_masks(
@@ -93,6 +108,8 @@ class FreeSpacePropagation:
     """
 
     disc_bounded: ClassVar[bool] = True
+    #: Per-target purity — see ``ELEMENTWISE_DEFAULT`` above.
+    elementwise: ClassVar[bool] = True
 
     def coverage(
         self,
@@ -156,6 +173,8 @@ class ObstructedPropagation:
     """
 
     disc_bounded: ClassVar[bool] = True
+    #: LOS is a per-pair test, so blockwise evaluation stays exact.
+    elementwise: ClassVar[bool] = True
 
     obstacles: tuple[RectObstacle, ...] = field(default_factory=tuple)
 

@@ -171,3 +171,48 @@ class TestCutoff:
         assert g.cell_count == 2
         g.remove(2)
         assert g.cell_count == 1
+
+
+class TestIterCandidateBlocks:
+    """The streaming per-cell counterpart of ``candidate_slots``."""
+
+    def test_negative_radius_rejected(self):
+        g = SlotGridIndex(10.0)
+        with pytest.raises(ConfigurationError):
+            list(g.iter_candidate_blocks(0.0, 0.0, -1.0))
+
+    def test_empty_grid_yields_nothing(self):
+        g = SlotGridIndex(10.0)
+        assert list(g.iter_candidate_blocks(0.0, 0.0, 50.0)) == []
+
+    @pytest.mark.parametrize("cell", [3.0, 11.0, 40.0])
+    def test_block_union_matches_candidate_slots(self, cell):
+        rng = np.random.default_rng(5)
+        pts = _scatter(rng, 150)
+        g = SlotGridIndex(cell)
+        for slot, (x, y) in enumerate(pts):
+            g.insert(slot, x, y)
+        for qx, qy, r in [(50.0, 50.0, 12.0), (0.0, 0.0, 30.0), (99.0, 10.0, 5.0)]:
+            blocks = list(g.iter_candidate_blocks(qx, qy, r))
+            union = sorted(np.concatenate(blocks).tolist()) if blocks else []
+            assert len(union) == len(set(union))  # cells never overlap
+            assert union == sorted(g.candidate_slots(qx, qy, r).tolist())
+
+    def test_huge_query_takes_the_occupied_cell_scan(self):
+        # a query box wider than the occupancy flips to iterating the
+        # occupied cells; membership must not change
+        g = SlotGridIndex(1.0)
+        for slot in range(8):
+            g.insert(slot, float(10 * slot), 0.0)
+        blocks = list(g.iter_candidate_blocks(35.0, 0.0, 1e6))
+        union = sorted(np.concatenate(blocks).tolist())
+        assert union == sorted(g.candidate_slots(35.0, 0.0, 1e6).tolist())
+
+    def test_blocks_are_read_only_bucket_views(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, 6.0, 6.0)
+        (block,) = g.iter_candidate_blocks(5.0, 5.0, 1.0)
+        assert not block.flags.writeable  # live views: callers must copy
+        with pytest.raises(ValueError):
+            block[0] = 99

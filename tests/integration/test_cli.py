@@ -134,9 +134,10 @@ class TestScenarioCommand:
 class TestBenchCommand:
     def test_bench_writes_json(self, tmp_path, capsys):
         out_path = tmp_path / "BENCH_eventloop.json"
-        # --large-n 0 skips the N=2000 scale trace: this test covers the
-        # harness plumbing, not the ~10 s large-join measurement (CI's
-        # smoke-bench job runs it through the default CLI invocation).
+        # --large-n 0 skips the N=10⁴ scale trace: this test covers the
+        # harness plumbing, not the ~minutes large-join measurement
+        # (CI's smoke-bench job runs it through the default CLI
+        # invocation, and the sparse-core job smokes it at N=4000).
         rc = main(["bench", "--runs", "1", "--n", "24", "--large-n", "0", "--out", str(out_path)])
         printed = capsys.readouterr().out
         assert rc == 0
@@ -147,6 +148,7 @@ class TestBenchCommand:
             "array",
             "grid",
             "dense",
+            "sparse",
             "per-strategy",
             "shared",
             "cold",
@@ -174,6 +176,11 @@ class TestBenchCommand:
         rc = main(["bench", "--runs", "1", "--n", "24", "--large-n", "100"])
         assert rc == 2
         assert "large-n" in capsys.readouterr().err
+
+    def test_large_n_only_requires_a_large_n(self, capsys):
+        rc = main(["bench", "--runs", "1", "--large-n", "0", "--large-n-only"])
+        assert rc == 2
+        assert "large-n-only" in capsys.readouterr().err
 
 
 class TestWorkerAndStoreCommands:

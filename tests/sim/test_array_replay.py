@@ -1,10 +1,11 @@
-"""Array core on vs off: byte-identical sweeps, replays and checkpoints.
+"""Conflict cores on vs off: byte-identical sweeps, replays, checkpoints.
 
-The array conflict core and the contiguous color lanes are execution
-knobs, not state: every registered scenario must produce byte-identical
-series with ``REPRO_ARRAY`` on and off — including through the
-checkpoint-tree timeline — and snapshots written by either core must
-restore into the other and continue identically.
+The conflict cores (dict, array, sparse) and the contiguous color
+lanes are execution knobs, not state: every registered scenario must
+produce byte-identical series under ``REPRO_ARRAY`` on/off and
+``REPRO_SPARSE=1`` — including through the checkpoint-tree timeline —
+and snapshots written by any core must restore into any other and
+continue identically.
 """
 
 from __future__ import annotations
@@ -22,6 +23,11 @@ from repro.sim.scenarios import resolve_sweep, scenario_trace
 from repro.sim.sweep import run_sweep
 from repro.strategies import make_strategy
 from repro.topology.digraph import AdHocDigraph
+
+
+def _set_core_env(monkeypatch, core):
+    monkeypatch.setenv("REPRO_ARRAY", "0" if core == "dict" else "1")
+    monkeypatch.setenv("REPRO_SPARSE", "1" if core == "sparse" else "0")
 
 
 def _shrunk(name):
@@ -44,15 +50,18 @@ def _series_dict(spec, *, seed=23, warm_start=None):
 class TestSweepsIdenticalAcrossCores:
     @pytest.mark.parametrize("name", sorted(available_scenarios()))
     def test_registered_scenario_is_core_independent(self, name, monkeypatch):
-        # the tentpole acceptance criterion: array-on output is
-        # byte-identical to array-off for every registered scenario,
-        # through the default checkpoint-tree timeline
+        # the tentpole acceptance criterion: array-on and sparse-on
+        # output is byte-identical to array-off for every registered
+        # scenario, through the default checkpoint-tree timeline
         spec = _shrunk(name)
-        monkeypatch.setenv("REPRO_ARRAY", "1")
+        _set_core_env(monkeypatch, "array")
         with_array = _series_dict(spec)
-        monkeypatch.setenv("REPRO_ARRAY", "0")
+        _set_core_env(monkeypatch, "dict")
         without = _series_dict(spec)
         assert with_array == without
+        _set_core_env(monkeypatch, "sparse")
+        with_sparse = _series_dict(spec)
+        assert with_sparse == with_array
 
     def test_core_independent_through_cold_replay_too(self, monkeypatch):
         spec = _shrunk("fig12-move-rounds")
@@ -73,39 +82,49 @@ def _lane_states(replay):
     return [lane.state_dict() for lane in replay.lanes]
 
 
+_CORE_KWARGS = {
+    "dict": dict(array_core=False),
+    "array": dict(array_core=True),
+    "sparse": dict(sparse_core=True),
+}
+
+
 class TestCrossCoreSnapshots:
-    @pytest.mark.parametrize("writer,reader", [(True, False), (False, True)])
+    @pytest.mark.parametrize(
+        "writer,reader",
+        [(w, r) for w in _CORE_KWARGS for r in _CORE_KWARGS if w != r],
+    )
     def test_digraph_snapshot_round_trips_between_cores(self, writer, reader):
         events = _replay_events()
-        g = AdHocDigraph(array_core=writer)
+        g = AdHocDigraph(**_CORE_KWARGS[writer])
         for ev in events[:10]:
             g.apply_event(ev)
         snap = g.snapshot()
-        restored = AdHocDigraph.restore(snap, array_core=reader)
-        assert restored.core == ("array" if reader else "dict")
+        restored = AdHocDigraph.restore(snap, **_CORE_KWARGS[reader])
+        assert restored.core == reader
         assert restored.snapshot() == snap  # idempotent across the core swap
         # both continue identically from the restore point
-        cont = AdHocDigraph.restore(snap, array_core=writer)
+        cont = AdHocDigraph.restore(snap, **_CORE_KWARGS[writer])
         for ev in events[10:]:
             restored.apply_event(ev)
             cont.apply_event(ev)
         assert restored.snapshot() == cont.snapshot()
 
-    @pytest.mark.parametrize("writer", ["0", "1"])
-    def test_replay_checkpoint_restores_under_either_core(self, writer, monkeypatch):
+    @pytest.mark.parametrize("writer", ["dict", "array", "sparse"])
+    def test_replay_checkpoint_restores_under_any_core(self, writer, monkeypatch):
         events = _replay_events()
-        monkeypatch.setenv("REPRO_ARRAY", writer)
+        _set_core_env(monkeypatch, writer)
         replay = MultiStrategyReplay([make_strategy("Minim"), make_strategy("CP")])
         replay.run(events[:10])
         checkpoint = replay.snapshot()
         states = _lane_states(replay)
-        for reader in ("0", "1"):
-            monkeypatch.setenv("REPRO_ARRAY", reader)
+        for reader in ("dict", "array", "sparse"):
+            _set_core_env(monkeypatch, reader)
             resumed = MultiStrategyReplay.restore(checkpoint)
             assert resumed.snapshot() == checkpoint
             assert _lane_states(resumed) == states
             resumed.run(events[10:])
-            monkeypatch.setenv("REPRO_ARRAY", writer)
+            _set_core_env(monkeypatch, writer)
             straight = MultiStrategyReplay.restore(checkpoint).run(events[10:])
             assert resumed.snapshot() == straight.snapshot()
             assert _lane_states(resumed) == _lane_states(straight)
@@ -113,6 +132,7 @@ class TestCrossCoreSnapshots:
 
 class TestLaneContainers:
     def test_lanes_follow_the_graph_core(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPARSE", raising=False)
         monkeypatch.setenv("REPRO_ARRAY", "1")
         replay = MultiStrategyReplay([make_strategy("Minim")])
         assert isinstance(replay.lanes[0].assignment, ArrayCodeAssignment)
@@ -120,6 +140,11 @@ class TestLaneContainers:
         replay = MultiStrategyReplay([make_strategy("Minim")])
         assert isinstance(replay.lanes[0].assignment, CodeAssignment)
         assert not isinstance(replay.lanes[0].assignment, ArrayCodeAssignment)
+        # the sparse core keeps the contiguous slot-aligned lanes
+        monkeypatch.setenv("REPRO_SPARSE", "1")
+        replay = MultiStrategyReplay([make_strategy("Minim")])
+        assert replay.graph.core == "sparse"
+        assert isinstance(replay.lanes[0].assignment, ArrayCodeAssignment)
 
     def test_fork_preserves_the_container_kind(self, monkeypatch):
         monkeypatch.setenv("REPRO_ARRAY", "1")
@@ -128,3 +153,62 @@ class TestLaneContainers:
         fork = replay.fork()
         assert isinstance(fork.lanes[0].assignment, ArrayCodeAssignment)
         assert fork.lanes[0].assignment.as_dict() == replay.lanes[0].assignment.as_dict()
+
+
+def _rounds(events, size):
+    return [events[i : i + size] for i in range(0, len(events), size)]
+
+
+class TestRoundReplay:
+    """``MultiStrategyReplay.apply_round``: round-commit semantics.
+
+    Lane reactions observe the post-round graph, so recode *choices*
+    may legitimately differ from the sequential path — but the graph
+    itself must land byte-identically, every assignment must stay
+    conflict-free, and the per-event result lists must stay aligned
+    with the round's events.
+    """
+
+    @pytest.mark.parametrize("core", ["array", "sparse"])
+    def test_rounds_land_on_the_sequential_graph_state(self, core, monkeypatch):
+        _set_core_env(monkeypatch, core)
+        events = _replay_events(n=16, seed=9)
+        rounds = _rounds(events, 5)
+        batched = MultiStrategyReplay([make_strategy("Minim")]).run_rounds(rounds)
+        sequential = MultiStrategyReplay([make_strategy("Minim")]).run(events)
+        assert batched.graph.snapshot() == sequential.graph.snapshot()
+        from repro.coloring.verify import is_valid
+
+        for lane in batched.lanes:
+            assert is_valid(batched.graph, lane.assignment)  # recodes stay valid
+
+    def test_result_lists_align_with_events(self, monkeypatch):
+        _set_core_env(monkeypatch, "sparse")
+        events = _replay_events(n=12, seed=3)
+        replay = MultiStrategyReplay([make_strategy("Minim"), make_strategy("CP")])
+        for round_events in _rounds(events, 4):
+            results = replay.apply_round(round_events)
+            assert len(results) == len(round_events)
+
+    def test_node_joining_and_leaving_within_a_round_is_skipped(self, monkeypatch):
+        from repro.events.base import JoinEvent, LeaveEvent
+        from repro.topology.node import NodeConfig
+
+        _set_core_env(monkeypatch, "sparse")
+        replay = MultiStrategyReplay([make_strategy("Minim")])
+        replay.run(_replay_events(n=8, seed=1)[:8])
+        base = replay.graph.snapshot()
+        round_events = [
+            JoinEvent(NodeConfig(901, 5.0, 5.0, 20.0)),
+            JoinEvent(NodeConfig(902, 8.0, 5.0, 20.0)),
+            LeaveEvent(901),  # ephemeral: lanes never saw it
+        ]
+        results = replay.apply_round(round_events)
+        assert len(results) == 3
+        assert results[0] == [] and results[2] == []  # join+leave suppressed
+        assert 901 not in replay.graph and 902 in replay.graph
+        assert replay.graph.snapshot() != base
+        from repro.coloring.verify import is_valid
+
+        for lane in replay.lanes:
+            assert is_valid(replay.graph, lane.assignment)

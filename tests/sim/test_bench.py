@@ -7,8 +7,14 @@ import json
 import numpy as np
 import pytest
 
-from repro.events.base import JoinEvent
-from repro.sim.bench import drive_event_loop, run_event_loop_bench, write_bench_json
+from repro.errors import ConfigurationError
+from repro.events.base import JoinEvent, MoveEvent
+from repro.sim.bench import (
+    drive_event_loop,
+    drive_event_rounds,
+    run_event_loop_bench,
+    write_bench_json,
+)
 from repro.sim.random_networks import sample_configs
 
 
@@ -18,6 +24,23 @@ class TestDrive:
         assert drive_event_loop(events, mode="array") > 0.0
         assert drive_event_loop(events, mode="grid") > 0.0
         assert drive_event_loop(events, mode="dense") > 0.0
+        assert drive_event_loop(events, mode="sparse") > 0.0
+
+    def test_setup_events_are_untimed_but_applied(self):
+        configs = sample_configs(12, np.random.default_rng(0))
+        setup = [JoinEvent(c) for c in configs]
+        moves = [MoveEvent(c.node_id, c.x + 1.0, c.y) for c in configs[:4]]
+        assert drive_event_loop(moves, mode="sparse", setup=setup) > 0.0
+
+    def test_drive_rounds(self):
+        configs = sample_configs(12, np.random.default_rng(0))
+        setup = [JoinEvent(c) for c in configs]
+        rounds = [
+            [MoveEvent(c.node_id, c.x + dx, c.y) for c in configs[:5]]
+            for dx in (1.0, 2.0, 3.0)
+        ]
+        assert drive_event_rounds(rounds, mode="sparse", setup=setup) > 0.0
+        assert drive_event_rounds(rounds, mode="array", setup=setup) > 0.0
 
     def test_legacy_dense_conflicts_kwarg_still_maps(self):
         events = [JoinEvent(c) for c in sample_configs(10, np.random.default_rng(0))]
@@ -31,15 +54,16 @@ class TestBenchHarness:
         return run_event_loop_bench(n=24, runs=1, seed=5)
 
     def test_entry_schema(self, entries):
-        assert len(entries) == 6  # 2 traces x 3 modes
+        assert len(entries) == 8  # 2 traces x 4 modes
         for e in entries:
             assert {"scenario", "n", "mode", "events", "wall_seconds", "events_per_sec"} <= set(e)
             assert e["events_per_sec"] > 0
             assert e["wall_seconds"] > 0
+            assert e["peak_mem_mb"] > 0  # every entry tracks its memory
 
     def test_traces_and_modes_present(self, entries):
         assert {e["scenario"] for e in entries} == {"fig10-join", "random-waypoint"}
-        assert {e["mode"] for e in entries} == {"array", "grid", "dense"}
+        assert {e["mode"] for e in entries} == {"array", "grid", "dense", "sparse"}
 
     def test_speedup_on_array_entries(self, entries):
         array = [e for e in entries if e["mode"] == "array"]
@@ -66,11 +90,11 @@ class TestLargeNBench:
     def test_rejects_sub_scale_n(self):
         from repro.sim.bench import run_large_n_bench
 
-        # the real n>=2000 measurement runs in CI's smoke-bench job; the
-        # tier-1 suite only pins the guard rails of the harness
-        with pytest.raises(ValueError):
+        # the real n>=2000 measurement runs in CI's smoke-bench and
+        # sparse-core jobs; the tier-1 suite only pins the guard rails
+        with pytest.raises(ConfigurationError):
             run_large_n_bench(n=500)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             run_large_n_bench(runs=0)
 
 

@@ -1,11 +1,14 @@
-"""Array conflict core vs the dict core and dense escape hatch.
+"""Four-way conflict-core equivalence: dict, dense, array and sparse.
 
-The acceptance bar for the array rewrite (flat adjacency/C2 blocks,
-batched delta appliers, slot grid): on randomized event traces the
-array core must produce adjacency, conflict sets AND snapshots
-*byte-identical* to the dict core's, with the dense path as a third
-witness.  The slot-indexed query surface (``v1_slots``,
-``conflict_masks``) must agree with the id-level queries it replaces.
+The acceptance bar for every core rewrite (the array core's flat
+adjacency/C2 blocks, the sparse core's CSR rows and witness dicts): on
+randomized event traces all cores must produce adjacency, conflict
+sets AND snapshots *byte-identical* to the dict core's, with the dense
+path as an independent witness.  The slot-indexed query surface
+(``v1_slots``, ``conflict_masks``) must agree with the id-level
+queries it replaces, and the sparse core's round batching
+(:meth:`AdHocDigraph.apply_round`) must land on exactly the state
+sequential application produces.
 """
 
 from __future__ import annotations
@@ -13,10 +16,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.events.base import JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
 from repro.geometry.grid_index import SlotGridIndex
 from repro.geometry.obstacles import RectObstacle
 from repro.topology.conflicts import conflict_matrix
-from repro.topology.digraph import AdHocDigraph
+from repro.topology.digraph import AdHocDigraph, default_core
 from repro.topology.node import NodeConfig
 from repro.topology.propagation import ObstructedPropagation
 
@@ -70,9 +74,16 @@ def _assert_cores_agree(graphs, alive):
 
 def _assert_snapshots_identical(graphs, alive):
     _assert_cores_agree(graphs, alive)
-    # array-on vs array-off snapshots must agree byte-for-byte (the
+    # every non-dense core's snapshot must agree byte-for-byte (the
     # dense hatch legitimately differs: it never records a grid cell)
-    assert graphs[0].snapshot() == graphs[1].snapshot()
+    reference = None
+    for g in graphs:
+        if g.core == "dense":
+            continue
+        if reference is None:
+            reference = g.snapshot()
+        else:
+            assert g.snapshot() == reference
 
 
 class TestRandomizedArrayEquivalence:
@@ -82,8 +93,9 @@ class TestRandomizedArrayEquivalence:
             AdHocDigraph(array_core=True),
             AdHocDigraph(array_core=False),
             AdHocDigraph(dense_conflicts=True),
+            AdHocDigraph(sparse_core=True),
         ]
-        assert [g.core for g in graphs] == ["array", "dict", "dense"]
+        assert [g.core for g in graphs] == ["array", "dict", "dense", "sparse"]
         _random_trace(graphs, seed, steps=70, check=_assert_snapshots_identical)
 
     @pytest.mark.parametrize("seed", range(2))
@@ -92,6 +104,7 @@ class TestRandomizedArrayEquivalence:
         graphs = [
             AdHocDigraph(prop, array_core=True),
             AdHocDigraph(prop, array_core=False),
+            AdHocDigraph(prop, sparse_core=True),
         ]
         _random_trace(graphs, seed, steps=45, check=_assert_snapshots_identical)
 
@@ -101,7 +114,11 @@ class TestRandomizedArrayEquivalence:
         # pushing the array core past its selectivity gate so the
         # candidate-gather path itself is equivalence-checked
         rng = np.random.default_rng(seed)
-        graphs = [AdHocDigraph(array_core=True), AdHocDigraph(array_core=False)]
+        graphs = [
+            AdHocDigraph(array_core=True),
+            AdHocDigraph(array_core=False),
+            AdHocDigraph(sparse_core=True),
+        ]
         for node_id in range(1, 400):
             cfg = NodeConfig(
                 node_id,
@@ -187,8 +204,121 @@ class TestSlotQuerySurface:
             assert got == graph.conflict_neighbor_ids(int(ids[s]))
 
 
+class TestSparseCoreEquivalence:
+    def test_copy_preserves_sparse_core(self):
+        g = AdHocDigraph(sparse_core=True)
+        rng = np.random.default_rng(7)
+        for i in range(1, 30):
+            g.add_node(
+                NodeConfig(i, float(rng.uniform(0, 100)), float(rng.uniform(0, 100)), 25.0)
+            )
+        clone = g.copy()
+        assert clone.core == "sparse"
+        clone.remove_node(4)
+        clone.move_node(9, 0.0, 0.0)
+        assert g.snapshot() != clone.snapshot()  # copies diverge independently
+        witness = AdHocDigraph(array_core=True)
+        for node_id, x, y, r in clone.snapshot()["nodes"]:
+            witness.add_node(NodeConfig(node_id, x, y, r))
+        _assert_cores_agree([witness, clone], clone.node_ids())
+
+    @pytest.mark.parametrize(
+        ("src", "dst"),
+        [("array", "sparse"), ("sparse", "array"), ("sparse", "dict"), ("dict", "sparse")],
+    )
+    def test_cross_core_snapshot_restore(self, src, dst):
+        kwargs = {
+            "array": dict(array_core=True),
+            "dict": dict(array_core=False),
+            "sparse": dict(sparse_core=True),
+        }
+        origin = AdHocDigraph(**kwargs[src])
+        _random_trace([origin], seed=13, steps=50, check=lambda *_: None)
+        snap = origin.snapshot()
+        restored = AdHocDigraph.restore(snap, **kwargs[dst])
+        assert restored.core == dst
+        assert restored.snapshot() == snap  # round-trip is byte-identical
+        # and the restored graph *continues* identically under churn
+        _random_trace(
+            [origin, restored],
+            seed=17,
+            steps=25,
+            check=_assert_snapshots_identical,
+            first_id=1000,
+            alive=origin.node_ids(),
+        )
+
+    def test_auto_promotion_matches_pinned_cores(self, monkeypatch):
+        import repro.topology.digraph as digraph_mod
+
+        monkeypatch.delenv("REPRO_SPARSE", raising=False)
+        monkeypatch.setattr(digraph_mod, "_SPARSE_AUTO_MIN", 10)
+        graphs = [
+            AdHocDigraph(),  # default knobs: auto-promotion armed
+            AdHocDigraph(array_core=True),
+            AdHocDigraph(array_core=False),
+        ]
+        assert graphs[0].core == "array"
+        _random_trace(graphs, seed=5, steps=80, check=_assert_snapshots_identical)
+        assert graphs[0].core == "sparse"  # crossed the threshold mid-trace
+        assert graphs[1].core == "array"  # an explicit pin never promotes
+
+
+class TestSparseRoundBatching:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_apply_round_matches_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        batched = AdHocDigraph(sparse_core=True)
+        sequential = AdHocDigraph(sparse_core=True)
+        witness = AdHocDigraph(array_core=True)
+        alive: list[int] = []
+        next_id = 1
+        for _ in range(8):
+            round_events = []
+            for _ in range(int(rng.integers(5, 15))):
+                op = int(rng.integers(0, 6))
+                if op in (0, 1) or not alive:
+                    cfg = NodeConfig(
+                        next_id,
+                        float(rng.uniform(0, 100)),
+                        float(rng.uniform(0, 100)),
+                        float(rng.uniform(5, 40)),
+                    )
+                    round_events.append(JoinEvent(cfg))
+                    alive.append(next_id)
+                    next_id += 1
+                elif op == 2 and len(alive) > 1:
+                    v = alive.pop(int(rng.integers(0, len(alive))))
+                    round_events.append(LeaveEvent(v))
+                elif op in (3, 4):
+                    v = alive[int(rng.integers(0, len(alive)))]
+                    x, y = float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+                    round_events.append(MoveEvent(v, x, y))
+                else:
+                    v = alive[int(rng.integers(0, len(alive)))]
+                    round_events.append(PowerChangeEvent(v, float(rng.uniform(5, 40))))
+            got = batched.apply_round(round_events)
+            want = [sequential.apply_event(ev) for ev in round_events]
+            for ev in round_events:
+                witness.apply_event(ev)
+            assert got == want  # per-event deltas, byte-for-byte
+            assert batched.snapshot() == sequential.snapshot() == witness.snapshot()
+
+    def test_non_sparse_cores_fall_back_to_sequential(self):
+        g = AdHocDigraph(array_core=True)
+        events = [
+            JoinEvent(NodeConfig(1, 10.0, 10.0, 30.0)),
+            JoinEvent(NodeConfig(2, 20.0, 10.0, 30.0)),
+            MoveEvent(1, 15.0, 12.0),
+        ]
+        deltas = g.apply_round(events)
+        assert [d.kind for d in deltas] == ["join", "join", "move"]
+        assert [d.version for d in deltas] == [1, 2, 3]
+
+
 class TestArrayCoreDefaults:
     def test_env_flag_flips_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPARSE", raising=False)
         monkeypatch.setenv("REPRO_ARRAY", "0")
         assert AdHocDigraph().core == "dict"
         monkeypatch.setenv("REPRO_ARRAY", "1")
@@ -202,3 +332,32 @@ class TestArrayCoreDefaults:
     def test_explicit_argument_wins_over_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_ARRAY", "1")
         assert AdHocDigraph(array_core=False).core == "dict"
+
+    def test_sparse_env_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAY", raising=False)
+        monkeypatch.setenv("REPRO_SPARSE", "1")
+        assert AdHocDigraph().core == "sparse"
+        assert default_core() == "sparse"
+        # explicit core pins beat the env knob
+        assert AdHocDigraph(array_core=True).core == "array"
+        assert AdHocDigraph(array_core=False).core == "dict"
+        assert AdHocDigraph(sparse_core=False).core == "array"
+
+    def test_dense_wins_over_sparse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE", "1")
+        monkeypatch.setenv("REPRO_DENSE", "1")
+        assert AdHocDigraph().core == "dense"
+        assert default_core() == "dense"
+        assert AdHocDigraph(dense_conflicts=True, sparse_core=True).core == "dense"
+
+    def test_default_core_accounts_for_population(self, monkeypatch):
+        import repro.topology.digraph as digraph_mod
+
+        for knob in ("REPRO_SPARSE", "REPRO_ARRAY", "REPRO_DENSE"):
+            monkeypatch.delenv(knob, raising=False)
+        threshold = digraph_mod._SPARSE_AUTO_MIN
+        assert default_core() == "array"
+        assert default_core(threshold - 1) == "array"
+        assert default_core(threshold) == "sparse"
+        monkeypatch.setenv("REPRO_SPARSE", "0")  # pin disables auto-promotion
+        assert default_core(threshold) == "array"

@@ -1,0 +1,152 @@
+"""Property-based slot-table invariants under randomized churn.
+
+``AdHocDigraph._vacate_slot`` is the shared swap-delete tail of every
+removal: it renumbers the last slot into the freed one across *all*
+per-slot tables (positions, ranges, id maps, dense blocks, sparse rows
+and witness dicts, grid membership).  These tests hammer it with
+seeded random add/remove/move/set-range sequences and assert the full
+set of structural invariants after every step, for every conflict
+core — the class of bug a swap-delete rewrite can introduce (a stale
+slot reference, an uncleared trailing row, an asymmetric witness
+count) surfaces here rather than as a downstream equivalence drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.digraph import AdHocDigraph
+from repro.topology.node import NodeConfig
+
+CORES = {
+    "dict": dict(array_core=False),
+    "dense": dict(dense_conflicts=True),
+    "array": dict(array_core=True),
+    "sparse": dict(sparse_core=True),
+}
+
+
+def _check_slot_tables(g: AdHocDigraph) -> None:
+    """The id↔slot maps agree and every per-slot table is aligned."""
+    n = len(g.node_ids())
+    ids = list(g._ids)
+    assert len(ids) == n == len(g._index)
+    assert g._ida[:n].tolist() == ids
+    for node_id, slot in g._index.items():
+        assert ids[slot] == node_id
+    for node_id in ids:
+        cfg = g.config(node_id)
+        slot = g._index[node_id]
+        assert (g._pos[slot] == (cfg.x, cfg.y)).all()
+        assert g._range[slot] == cfg.tx_range
+
+
+def _check_adjacency_oracle(g: AdHocDigraph) -> None:
+    """Edges match the geometric definition: u→v iff dist ≤ range(u)."""
+    ids, adj = g.adjacency()
+    if not ids:
+        return
+    perm = np.asarray([g._index[v] for v in ids], dtype=np.intp)
+    pos = g._pos[perm]
+    rng = g._range[perm]
+    d2 = ((pos[:, None, :] - pos[None, :, :]) ** 2).sum(axis=2)
+    want = d2 <= (rng[:, None] ** 2)
+    np.fill_diagonal(want, False)
+    assert (adj == want).all()
+
+
+def _check_trailing_slots_clear(g: AdHocDigraph) -> None:
+    """Swap-delete must zero the freed trailing rows, not just hide them."""
+    n = len(g.node_ids())
+    if g._adj is not None:
+        assert not g._adj[n:].any()
+        assert not g._adj[:, n:].any()
+    if g._c2 is not None:
+        assert not g._c2[n:].any()
+        assert not g._c2[:, n:].any()
+
+
+def _check_sparse_rows(g: AdHocDigraph) -> None:
+    """CSR rows are sorted/unique/in-range, mirrored, and the witness
+    dicts hold exactly the positive |out(u) ∩ out(v)| counts."""
+    n = len(g.node_ids())
+    assert len(g._outr) == len(g._inr) == len(g._c2s) == n
+    outs = []
+    for u in range(n):
+        for row in (g._outr[u], g._inr[u]):
+            entries = row.view()
+            assert (np.diff(entries) > 0).all()  # strictly ascending = unique
+            if entries.size:
+                assert 0 <= int(entries[0]) and int(entries[-1]) < n
+                assert u not in entries.tolist()  # no self-loops
+        outs.append(set(g._outr[u].view().tolist()))
+        for v in g._outr[u].view().tolist():
+            assert u in g._inr[v].view().tolist()  # out/in mirror
+        for v in g._inr[u].view().tolist():
+            assert u in g._outr[v].view().tolist()
+    for u in range(n):
+        for v, count in g._c2s[u].items():
+            assert v != u and count > 0  # zero entries must be deleted
+            assert g._c2s[v][u] == count  # symmetric mirror
+    for u in range(n):  # completeness: every overlapping pair is witnessed
+        for v in range(u + 1, n):
+            assert g._c2s[u].get(v, 0) == len(outs[u] & outs[v])
+
+
+def _check_all(g: AdHocDigraph) -> None:
+    _check_slot_tables(g)
+    _check_adjacency_oracle(g)
+    _check_trailing_slots_clear(g)
+    if g.core == "sparse":
+        _check_sparse_rows(g)
+
+
+class TestSlotInvariantsUnderChurn:
+    @pytest.mark.parametrize("core", sorted(CORES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_churn_preserves_invariants(self, core, seed):
+        g = AdHocDigraph(**CORES[core])
+        rng = np.random.default_rng(seed)
+        alive: list[int] = []
+        next_id = 1
+        for _ in range(90):
+            op = int(rng.integers(0, 6))
+            if op in (0, 1) or not alive:
+                g.add_node(
+                    NodeConfig(
+                        next_id,
+                        float(rng.uniform(0, 120)),
+                        float(rng.uniform(0, 120)),
+                        float(rng.uniform(5, 45)),
+                    )
+                )
+                alive.append(next_id)
+                next_id += 1
+            elif op in (2, 3):
+                v = alive.pop(int(rng.integers(0, len(alive))))
+                g.remove_node(v)
+            elif op == 4:
+                v = alive[int(rng.integers(0, len(alive)))]
+                g.move_node(v, float(rng.uniform(0, 120)), float(rng.uniform(0, 120)))
+            else:
+                v = alive[int(rng.integers(0, len(alive)))]
+                g.set_range(v, float(rng.uniform(5, 45)))
+            _check_all(g)
+        assert sorted(g.node_ids()) == sorted(alive)
+
+    @pytest.mark.parametrize("core", sorted(CORES))
+    def test_remove_last_slot_and_drain_to_empty(self, core):
+        # the i == last branch (no swap), then drain through repeated
+        # swap-deletes of slot 0, then rebuild on the emptied tables
+        g = AdHocDigraph(**CORES[core])
+        for i in range(1, 13):
+            g.add_node(NodeConfig(i, float(3 * i), float(2 * i), 20.0))
+        g.remove_node(12)  # departing node *is* the last slot
+        _check_all(g)
+        while g.node_ids():
+            g.remove_node(g._ids[0])  # always vacate slot 0
+            _check_all(g)
+        for i in range(20, 26):
+            g.add_node(NodeConfig(i, float(i), float(i), 15.0))
+        _check_all(g)
