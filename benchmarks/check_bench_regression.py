@@ -15,15 +15,20 @@ fast path silently falling back to dense scans (those regressions are
 2-4x, not 2x variance).  Entries present on only one side are reported
 but do not fail the gate (bench coverage may grow PR over PR).
 
-``--min-speedup FIELD=MIN`` (repeatable) additionally gates the fresh
-run's *intra-run* ratios — the warm-start-vs-cold-rebuild and
-shared-vs-per-strategy replay speedups, the sparse core's
-``speedup_vs_array``, and the adaptive controller's
-``run_savings_vs_fixed`` run-budget ratio (a seeded run-count ratio,
-not a timing, so it is exactly reproducible) — which don't depend on
-runner hardware and therefore hold a much tighter floor than cross-run
-throughput: every fresh entry carrying ``FIELD`` must report at least
-``MIN``.
+``--min-speedup [SCENARIO/MODE:]FIELD=MIN`` (repeatable) additionally
+gates the fresh run's *intra-run* ratios — the
+warm-start-vs-cold-rebuild and shared-vs-per-strategy replay speedups,
+the sparse core's ``speedup_vs_array`` and ``speedup_vs_pr7``, and the
+adaptive controller's ``run_savings_vs_fixed`` run-budget ratio (a
+seeded run-count ratio, not a timing, so it is exactly reproducible) —
+which don't depend on runner hardware and therefore hold a much
+tighter floor than cross-run throughput.  Unscoped, every fresh entry
+carrying ``FIELD`` must report at least ``MIN``; with the optional
+``SCENARIO/MODE:`` scope only that one entry is gated (needed since
+small-N sparse entries deliberately publish a ``speedup_vs_array``
+*below* 1 — the honest small-N regression record — while the large-N
+entry holds a hard floor).  Either way, a floor that matches no fresh
+entry fails the gate.
 
 ``--max-mem SCENARIO/MODE=MB`` (repeatable) puts a ceiling on one
 fresh entry's ``peak_mem_mb`` — the memory gate of the sparse large-N
@@ -58,9 +63,10 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup",
         action="append",
         default=[],
-        metavar="FIELD=MIN",
+        metavar="[SCENARIO/MODE:]FIELD=MIN",
         help="fail when a fresh entry's FIELD speedup is below MIN "
-        "(repeatable, e.g. speedup_vs_cold=1.2)",
+        "(repeatable, e.g. speedup_vs_cold=1.2 or "
+        "large-join/sparse:speedup_vs_pr7=3)",
     )
     parser.add_argument(
         "--max-mem",
@@ -72,13 +78,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    speedup_floors: dict[str, float] = {}
+    # (scope, field) -> floor, where scope is a (scenario, mode) pair or
+    # None for "every entry carrying the field"
+    speedup_floors: dict[tuple[tuple[str, str] | None, str], float] = {}
     for item in args.min_speedup:
-        field, _, minimum = item.partition("=")
+        spec, _, minimum = item.partition("=")
+        scope_part, colon, field = spec.rpartition(":")
+        scope: tuple[str, str] | None = None
+        if colon:
+            scenario, slash, mode = scope_part.partition("/")
+            if not scenario or not slash or not mode:
+                parser.error(f"--min-speedup scope expects SCENARIO/MODE:, got {item!r}")
+            scope = (scenario, mode)
         if not field or not minimum:
-            parser.error(f"--min-speedup expects FIELD=MIN, got {item!r}")
+            parser.error(f"--min-speedup expects [SCENARIO/MODE:]FIELD=MIN, got {item!r}")
         try:
-            speedup_floors[field] = float(minimum)
+            speedup_floors[(scope, field)] = float(minimum)
         except ValueError:
             parser.error(f"--min-speedup minimum must be a number, got {item!r}")
 
@@ -118,10 +133,10 @@ def main(argv: list[str] | None = None) -> int:
     for key in sorted(fresh):
         entry = fresh[key]
         scenario, mode = key
-        for field, minimum in speedup_floors.items():
-            if field not in entry:
+        for (scope, field), minimum in speedup_floors.items():
+            if field not in entry or (scope is not None and scope != key):
                 continue
-            floors_matched[field] += 1
+            floors_matched[(scope, field)] += 1
             value = entry[field]
             verdict = "ok" if value >= minimum else "REGRESSION"
             print(
@@ -147,12 +162,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{scenario}/{mode} peak_mem_mb at {peak:.1f} MiB (> {ceiling:.1f} MiB)"
             )
 
-    for field, matched in floors_matched.items():
+    for (scope, field), matched in floors_matched.items():
         if matched == 0:
             # an unmatched floor means the bench stopped emitting the
             # field (or the CI arg is typo'd) — the gate must not
             # silently become a no-op
-            failures.append(f"--min-speedup {field}: no fresh entry carries this field")
+            label = field if scope is None else f"{scope[0]}/{scope[1]}:{field}"
+            failures.append(f"--min-speedup {label}: no fresh entry carries this field")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

@@ -281,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the large-N bench (the sparse-core CI job's smoke mode)",
     )
     pb.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap the timed benches in cProfile and write the top-25 "
+        "cumulative rows next to the JSON output",
+    )
+    pb.add_argument(
         "--scenario", default="random-waypoint", help="registered scenario for the second trace"
     )
     pb.add_argument(
@@ -404,7 +410,8 @@ def _run_scenario_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_bench_cmd(args: argparse.Namespace) -> int:
+def _collect_bench_entries(args: argparse.Namespace, max_mem: float | None) -> list[dict]:
+    """Run the bench suites selected by ``args``; return their entries."""
     from repro.errors import ConfigurationError
     from repro.sim.bench import (
         run_adaptive_bench,
@@ -413,44 +420,74 @@ def _run_bench_cmd(args: argparse.Namespace) -> int:
         run_replay_bench,
         run_timeline_bench,
         run_warmstart_bench,
-        write_bench_json,
     )
 
-    max_mem = args.max_mem if args.max_mem > 0 else None
-    try:
-        if args.large_n_only:
-            if not args.large_n:
-                raise ConfigurationError("--large-n-only needs --large-n > 0")
-            entries = run_large_n_bench(
-                n=args.large_n, runs=1, seed=args.seed, max_mem_mb=max_mem
-            )
-            path = write_bench_json(entries, args.out)
-            _print_bench_table(entries)
-            print(f"wrote {path}")
-            return 0
-        entries = run_event_loop_bench(
-            n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
-        )
-        if args.large_n:
-            entries.extend(
-                run_large_n_bench(n=args.large_n, runs=1, seed=args.seed, max_mem_mb=max_mem)
-            )
-        entries.extend(run_replay_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
+    if args.large_n_only:
+        if not args.large_n:
+            raise ConfigurationError("--large-n-only needs --large-n > 0")
+        return run_large_n_bench(n=args.large_n, runs=1, seed=args.seed, max_mem_mb=max_mem)
+    entries = run_event_loop_bench(
+        n=args.n, runs=args.runs, scenario=args.scenario, seed=args.seed
+    )
+    if args.large_n:
         entries.extend(
-            run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed)
+            run_large_n_bench(n=args.large_n, runs=1, seed=args.seed, max_mem_mb=max_mem)
         )
-        # pinned n: the timeline bench measures round sharing on the
-        # real strategy pipeline; its trace size is its own knob
-        entries.extend(run_timeline_bench(runs=args.runs, seed=args.seed))
-        # no n: the adaptive bench pins its own small noisy sweep (the
-        # controller, not the event loop, is what it measures)
-        entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
+    entries.extend(run_replay_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
+    entries.extend(run_warmstart_bench(n=args.n, runs=args.runs, lanes=args.lanes, seed=args.seed))
+    # pinned n: the timeline bench measures round sharing on the
+    # real strategy pipeline; its trace size is its own knob
+    entries.extend(run_timeline_bench(runs=args.runs, seed=args.seed))
+    # no n: the adaptive bench pins its own small noisy sweep (the
+    # controller, not the event loop, is what it measures)
+    entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
+    return entries
+
+
+def _write_bench_profile(profiler, json_path: Path) -> Path:
+    """Write the top-25 cumulative profile rows next to the bench JSON.
+
+    The rows reproduce the hot-path evidence perf PRs cite: anyone can
+    re-derive "X dominates the large-join profile" from
+    ``minim-cdma bench --profile`` instead of trusting the PR text.
+    """
+    import io
+    import pstats
+
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(25)
+    prof_path = json_path.with_name(json_path.stem + "_profile.txt")
+    prof_path.write_text(buf.getvalue())
+    return prof_path
+
+
+def _run_bench_cmd(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.sim.bench import write_bench_json
+
+    max_mem = args.max_mem if args.max_mem > 0 else None
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+    try:
+        if profiler is not None:
+            profiler.enable()
+        try:
+            entries = _collect_bench_entries(args, max_mem)
+        finally:
+            if profiler is not None:
+                profiler.disable()
     except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _print_bench_table(entries)
     path = write_bench_json(entries, args.out)
     print(f"wrote {path}")
+    if profiler is not None:
+        prof_path = _write_bench_profile(profiler, path)
+        print(f"wrote {prof_path}")
     return 0
 
 
@@ -466,6 +503,7 @@ def _print_bench_table(entries: list[dict]) -> None:
         for field in (
             "speedup_vs_dict",
             "speedup_vs_dense",
+            "speedup_vs_pr7",
             "speedup_vs_array",
             "round_batch_speedup",
             "speedup_vs_per_strategy",

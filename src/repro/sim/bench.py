@@ -18,7 +18,9 @@ The array entries carry ``speedup_vs_dict`` — the CI-gated ratio of
 the PR 6 rewrite — and a separate :func:`run_large_n_bench` drives
 N≥2000 join traces at constant node density on the array and sparse
 cores, the regime where the dense blocks' O(N²) memory and N-wide
-masks collapse; its sparse entry carries the CI-gated
+masks collapse; its sparse entry drives the whole trace through the
+streaming bulk-join path and carries the CI-gated ``speedup_vs_pr7``
+(over the per-event scalar kernels it replaced) plus
 ``speedup_vs_array`` and a tracemalloc memory ceiling, and a
 round-structured mobility entry measures
 :meth:`~repro.topology.digraph.AdHocDigraph.apply_round` batching.
@@ -109,6 +111,20 @@ _DEFAULT_OUT = Path("BENCH_eventloop.json")
 
 _EVENT_LOOP_MODES = ("array", "grid", "dense", "sparse")
 
+#: Modes the drivers accept beyond the small-N matrix: ``sparse-scalar``
+#: pins the PR 7 per-event kernels (``sparse_scalar=True``), the oracle
+#: and same-machine baseline for the large-n ``speedup_vs_pr7`` ratio.
+_DRIVER_MODES = (*_EVENT_LOOP_MODES, "sparse-scalar")
+
+#: The array core's dense blocks need ~1.5 GB at N=10⁴ and grow O(N²);
+#: above this the large-n bench drops the array leg rather than OOM.
+_ARRAY_MAX_LARGE_N = 10000
+
+#: The per-event scalar baseline runs ~1.7k events/sec; above this the
+#: comparison leg would dominate the bench wall clock, so the large-n
+#: bench skips it (no ``speedup_vs_pr7`` on those entries).
+_SCALAR_MAX_LARGE_N = 20000
+
 
 def _traced_peak_mb(fn: Callable[[], object]) -> float:
     """Run ``fn`` under :mod:`tracemalloc`; return its peak MiB.
@@ -133,9 +149,29 @@ def _bench_graph(mode: str) -> AdHocDigraph:
     """A fresh digraph pinned to the named conflict core."""
     if mode == "sparse":
         return AdHocDigraph(sparse_core=True)
+    if mode == "sparse-scalar":
+        return AdHocDigraph(sparse_core=True, sparse_scalar=True)
     # explicit array_core pins the core (and disarms auto-promotion),
     # so large-n array entries honestly measure the dense blocks
     return AdHocDigraph(dense_conflicts=mode == "dense", array_core=mode == "array")
+
+
+def _apply_setup(graph: AdHocDigraph, setup: list[Event] | None, mode: str) -> None:
+    """Build the untimed starting topology for a bench driver.
+
+    Sparse-core graphs admit it through one
+    :meth:`~repro.topology.digraph.AdHocDigraph.apply_round` (the bulk
+    join path — byte-identical to sequential application and the only
+    way an N=10⁵ setup finishes in bench-friendly time); other cores
+    replay it event by event.
+    """
+    if not setup:
+        return
+    if mode == "sparse":
+        graph.apply_round(setup)
+    else:
+        for ev in setup:
+            graph.apply_event(ev)
 
 
 def drive_event_loop(
@@ -159,31 +195,35 @@ def drive_event_loop(
       :meth:`~repro.topology.digraph.AdHocDigraph.conflict_neighbor_ids`
       query per V1 member.
     - ``"dense"`` — the per-event dense re-derivation escape hatch.
-    - ``"sparse"`` — the sparse (CSR rows) core; one
+    - ``"sparse"`` — the sparse (CSR rows) core; V1's conflict rows
+      come from one batched
+      :meth:`~repro.topology.digraph.AdHocDigraph.conflict_slot_lists`
+      call, its row-native query that never widens to an N-sized mask.
+    - ``"sparse-scalar"`` — the sparse core pinned to the PR 7 scalar
+      kernels (``sparse_scalar=True``), one
       :meth:`~repro.topology.digraph.AdHocDigraph.conflict_slots` call
-      per V1 member, its row-native query that never widens to an
-      N-sized mask.
+      per V1 member; the same-machine baseline behind the large-n
+      bench's ``speedup_vs_pr7``.
 
     Each mode drives its *native* query pattern deliberately: the bench
     compares the end-to-end event loop a strategy replay would run on
     that core, not one query API transplanted across cores.
 
     ``setup`` events, when given, build the starting topology *outside*
-    the timed region (plain ``apply_event``, no conflict queries) — the
-    mobility benches use this to time churn over an already-joined
-    population.  ``dense_conflicts`` is the legacy boolean spelling
-    (``True`` → ``"dense"``, ``False`` → ``"grid"``) kept for callers
-    predating the array core.
+    the timed region (no conflict queries) — the mobility benches use
+    this to time churn over an already-joined population.
+    ``dense_conflicts`` is the legacy boolean spelling (``True`` →
+    ``"dense"``, ``False`` → ``"grid"``) kept for callers predating the
+    array core.
     """
     if mode is None:
         if dense_conflicts is None:
             raise ValueError("pass mode= ('array' | 'grid' | 'dense' | 'sparse')")
         mode = "dense" if dense_conflicts else "grid"
-    if mode not in _EVENT_LOOP_MODES:
-        raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_EVENT_LOOP_MODES}")
+    if mode not in _DRIVER_MODES:
+        raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_DRIVER_MODES}")
     graph = _bench_graph(mode)
-    for ev in setup or ():
-        graph.apply_event(ev)
+    _apply_setup(graph, setup, mode)
     start = time.perf_counter()
     for ev in events:
         if isinstance(ev, JoinEvent):
@@ -199,6 +239,9 @@ def drive_event_loop(
             s = graph.slot_of(ev.node_id)
             graph.conflict_masks(graph.v1_slots(s))
         elif mode == "sparse":
+            s = graph.slot_of(ev.node_id)
+            graph.conflict_slot_lists(graph.v1_slots(s))
+        elif mode == "sparse-scalar":
             s = graph.slot_of(ev.node_id)
             for u in graph.v1_slots(s).tolist():
                 graph.conflict_slots(int(u))
@@ -220,17 +263,19 @@ def drive_event_rounds(
     The round-commit counterpart of :func:`drive_event_loop`: each
     round goes through
     :meth:`~repro.topology.digraph.AdHocDigraph.apply_round` (one
-    batched topology commit under the sparse core), then the same V1
-    conflict queries run per event against the post-round graph.
-    ``setup`` builds the starting topology untimed, as in
-    :func:`drive_event_loop`.  Used by the large-n bench's
-    ``sparse-rounds`` entry.
+    batched topology commit — all-join rounds take the sparse core's
+    streaming :meth:`~repro.topology.digraph.AdHocDigraph.bulk_join`
+    path), then the same V1 conflict queries run per delta against the
+    post-round graph, batched through
+    :meth:`~repro.topology.digraph.AdHocDigraph.conflict_slot_lists`
+    under the sparse core.  ``setup`` builds the starting topology
+    untimed, as in :func:`drive_event_loop`.  Used by the large-n
+    bench's ``sparse`` and ``sparse-rounds`` entries.
     """
-    if mode not in _EVENT_LOOP_MODES:
-        raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_EVENT_LOOP_MODES}")
+    if mode not in _DRIVER_MODES:
+        raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_DRIVER_MODES}")
     graph = _bench_graph(mode)
-    for ev in setup or ():
-        graph.apply_event(ev)
+    _apply_setup(graph, setup, mode)
     start = time.perf_counter()
     for round_events in rounds:
         deltas = graph.apply_round(round_events)
@@ -239,6 +284,8 @@ def drive_event_rounds(
                 continue
             s = graph.slot_of(delta.node_id)
             if mode == "sparse":
+                graph.conflict_slot_lists(graph.v1_slots(s))
+            elif mode == "sparse-scalar":
                 for u in graph.v1_slots(s).tolist():
                     graph.conflict_slots(int(u))
             else:
@@ -273,9 +320,12 @@ def run_event_loop_bench(
     of the untimed warmup repetition.  Array-mode entries carry
     ``speedup_vs_dict`` (the array core over the dict core, the
     CI-gated tentpole ratio of PR 6); grid-mode entries keep the
-    historical ``speedup_vs_dense``.  Sparse entries at this scale
-    carry no gated ratio — the sparse core's regime is
-    :func:`run_large_n_bench`, where ``speedup_vs_array`` is gated.
+    historical ``speedup_vs_dense``.  Sparse entries carry an ungated
+    ``speedup_vs_array`` that is *below 1 at this scale* — honest
+    visibility for the small-N regression (per-row bookkeeping beats
+    dense blocks only once N is large; auto-promotion therefore waits
+    for N≥4096).  The sparse core's gated regime is
+    :func:`run_large_n_bench`.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
@@ -301,6 +351,7 @@ def run_event_loop_bench(
             entries.append(entry)
         per_mode["array"]["speedup_vs_dict"] = timings["grid"] / timings["array"]
         per_mode["grid"]["speedup_vs_dense"] = timings["dense"] / timings["grid"]
+        per_mode["sparse"]["speedup_vs_array"] = timings["array"] / timings["sparse"]
     return entries
 
 
@@ -316,15 +367,24 @@ def run_large_n_bench(
     The large-N regime the sparse core unlocks.  The arena scales with
     ``n`` at the paper's node density (side ∝ √n, so average degree
     stays at the paper's ≈23 instead of the graph degenerating toward a
-    clique), and three ``large-join``-family entries are produced:
+    clique), and the ``large-join``-family entries are produced:
 
     - ``large-join/array`` — the dense-block array core, whose O(N²)
       adjacency/C2 blocks and N-wide candidate masks dominate here;
-    - ``large-join/sparse`` — the CSR-row core, carrying the CI-gated
-      ``speedup_vs_array`` ratio and subject to ``max_mem_mb``: the
-      bench *fails* (:class:`ConfigurationError`) if the sparse run's
-      tracemalloc peak exceeds the ceiling, which pins the O(N+E)
-      memory claim, not just the speed;
+      dropped above N=10⁴ (its blocks alone would need several GiB);
+    - ``large-join/sparse-scalar`` — the PR 7 per-event kernels
+      (``sparse_scalar=True``), the same-machine baseline for
+      ``speedup_vs_pr7``; dropped above N=2·10⁴ where the ~1.7k
+      events/sec scalar loop would dominate the bench wall clock;
+    - ``large-join/sparse`` — the vectorized CSR-row core driving the
+      whole join trace as *one* :func:`drive_event_rounds` round (the
+      streaming ``bulk_join`` path) with per-delta batched V1 queries.
+      Carries the CI-gated ``speedup_vs_pr7`` (bulk wall over the
+      scalar baseline's) and ``speedup_vs_array`` when those legs ran,
+      and is subject to ``max_mem_mb``: the bench *fails*
+      (:class:`ConfigurationError`) if the sparse run's tracemalloc
+      peak exceeds the ceiling, which pins the O(N+E) memory claim,
+      not just the speed;
     - ``large-rounds/sparse-rounds`` — waypoint-style substep mobility
       rounds (each round moves a cohort through several intermediate
       positions) driven through
@@ -333,6 +393,9 @@ def run_large_n_bench(
       event-by-event.  Batching wins exactly when rounds revisit nodes
       — intermediate edge flips cancel before any C2 work happens.
 
+    Away from the canonical N=10⁴ point the scenario labels carry the
+    node count (``large-join-100000``), so the regression gate's
+    ``(scenario, mode)`` keys never mix entries from different N.
     Every entry records ``peak_mem_mb`` from its untimed traced
     warmup.  ``n`` below 2000 is a configuration error: smaller traces
     measure the event-loop bench's regime, not this one.
@@ -344,16 +407,23 @@ def run_large_n_bench(
     side = 100.0 * math.sqrt(n / 120.0)
     rng = np.random.default_rng(seed)
     events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng, area=(side, side))]
+    join_label = "large-join" if n == 10000 else f"large-join-{n}"
+    rounds_label = "large-rounds" if n == 10000 else f"large-rounds-{n}"
     entries: list[dict] = []
     timings: dict[str, float] = {}
     peaks: dict[str, float] = {}
-    for mode in ("array", "sparse"):
+    legs = [
+        mode
+        for mode, ceiling in (("array", _ARRAY_MAX_LARGE_N), ("sparse-scalar", _SCALAR_MAX_LARGE_N))
+        if n <= ceiling
+    ]
+    for mode in legs:
         peaks[mode] = _traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
         wall = float(np.median([drive_event_loop(events, mode=mode) for _ in range(runs)]))
         timings[mode] = wall
         entries.append(
             {
-                "scenario": "large-join",
+                "scenario": join_label,
                 "n": n,
                 "mode": mode,
                 "events": len(events),
@@ -363,10 +433,31 @@ def run_large_n_bench(
                 "peak_mem_mb": peaks[mode],
             }
         )
-    entries[-1]["speedup_vs_array"] = timings["array"] / timings["sparse"]
+
+    def drive_bulk() -> float:
+        return drive_event_rounds([events], mode="sparse")
+
+    peaks["sparse"] = _traced_peak_mb(drive_bulk)  # warmup
+    wall = float(np.median([drive_bulk() for _ in range(runs)]))
+    timings["sparse"] = wall
+    sparse_entry = {
+        "scenario": join_label,
+        "n": n,
+        "mode": "sparse",
+        "events": len(events),
+        "runs": runs,
+        "wall_seconds": wall,
+        "events_per_sec": len(events) / wall if wall > 0 else float("inf"),
+        "peak_mem_mb": peaks["sparse"],
+    }
+    if "array" in timings:
+        sparse_entry["speedup_vs_array"] = timings["array"] / wall
+    if "sparse-scalar" in timings:
+        sparse_entry["speedup_vs_pr7"] = timings["sparse-scalar"] / wall
+    entries.append(sparse_entry)
     if max_mem_mb is not None and peaks["sparse"] > max_mem_mb:
         raise ConfigurationError(
-            f"sparse large-join peaked at {peaks['sparse']:.1f} MiB, "
+            f"sparse {join_label} peaked at {peaks['sparse']:.1f} MiB, "
             f"over the {max_mem_mb:.1f} MiB ceiling — the O(N+E) memory "
             "contract of the sparse core is broken"
         )
@@ -385,7 +476,7 @@ def run_large_n_bench(
     wall = float(np.median([drive_rounds() for _ in range(runs)]))
     entries.append(
         {
-            "scenario": "large-rounds",
+            "scenario": rounds_label,
             "n": n,
             "mode": "sparse-rounds",
             "events": round_events,

@@ -461,6 +461,12 @@ class MultiStrategyReplay(_TopologyOwner):
         than each intermediate state.  Under the sparse core this is
         what makes sustained-churn replay scale: a receiver row touched
         by ``k`` events in the round reconciles once, not ``k`` times.
+        All-join rounds go further and stream through
+        :meth:`AdHocDigraph.bulk_join` — flash-crowd admission (e.g. a
+        whole 10⁵-node population as one round) costs one grid-bucketed
+        candidate sweep instead of one candidate query per joiner,
+        with per-event deltas and final state byte-identical to
+        sequential joins, so lane reactions are unaffected.
 
         This is deliberately **not** byte-identical to :meth:`run` on
         traces where strategies read the graph between events of the

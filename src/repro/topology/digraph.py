@@ -72,6 +72,7 @@ from __future__ import annotations
 
 import os
 from collections.abc import Iterable, Iterator
+from itertools import chain
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -83,6 +84,7 @@ from repro.topology.node import NodeConfig
 from repro.topology.propagation import (
     FreeSpacePropagation,
     PropagationModel,
+    block_masks,
     pairwise_masks,
 )
 from repro.types import NodeId
@@ -119,6 +121,24 @@ def _sparse_from_env() -> bool:
 def _sparse_auto_allowed() -> bool:
     """Whether auto-promotion to sparse is permitted (``REPRO_SPARSE`` ≠ 0)."""
     return os.environ.get("REPRO_SPARSE", "") != "0"
+
+
+def _sparse_scalar_from_env() -> bool:
+    """Whether ``REPRO_SPARSE_SCALAR`` pins the scalar (PR 7) sparse kernels."""
+    return os.environ.get("REPRO_SPARSE_SCALAR", "") not in ("", "0")
+
+
+try:
+    # CPython's Counter backend: C-speed "+1 per occurrence" into an
+    # exact dict.  The sparse core's clique asserts only ever *increase*
+    # counters, so bulk-counting keys this way preserves the
+    # never-store-zero invariant (minus the self-entry, fixed by hand).
+    from collections import _count_elements
+except ImportError:  # pragma: no cover - non-CPython fallback
+
+    def _count_elements(mapping: dict, iterable) -> None:
+        for key in iterable:
+            mapping[key] = mapping.get(key, 0) + 1
 
 
 #: The array core defers building its slot grid until this many nodes
@@ -204,7 +224,9 @@ class _SlotRow:
         return self.data[: self.count].copy()
 
     def contains(self, slot: int) -> bool:
-        pos = int(np.searchsorted(self.data[: self.count], slot))
+        # ndarray.searchsorted skips the np.searchsorted dispatch layer —
+        # this runs hundreds of thousands of times per large-N trace.
+        pos = int(self.data[: self.count].searchsorted(slot))
         return pos < self.count and int(self.data[pos]) == slot
 
     def insert(self, slot: int) -> None:
@@ -214,7 +236,7 @@ class _SlotRow:
             grown = np.empty(2 * len(self.data), dtype=np.intp)
             grown[:n] = self.data[:n]
             self.data = grown
-        pos = int(np.searchsorted(self.data[:n], slot))
+        pos = self.data[:n].searchsorted(slot)
         self.data[pos + 1 : n + 1] = self.data[pos:n]
         self.data[pos] = slot
         self.count = n + 1
@@ -222,7 +244,7 @@ class _SlotRow:
     def remove(self, slot: int) -> None:
         """Remove ``slot`` (must be present)."""
         n = self.count
-        pos = int(np.searchsorted(self.data[:n], slot))
+        pos = self.data[:n].searchsorted(slot)
         self.data[pos : n - 1] = self.data[pos + 1 : n]
         self.count = n - 1
 
@@ -334,6 +356,16 @@ class AdHocDigraph:
         (default) consults ``REPRO_SPARSE`` — and, when that is unset,
         lets a default array-core graph auto-promote to sparse once it
         reaches ``_SPARSE_AUTO_MIN`` nodes.  Ignored in dense mode.
+    sparse_scalar:
+        ``True`` pins the sparse core's *scalar* kernels — the per-slot
+        ``searchsorted`` row edits, per-pair witness-dict updates and
+        per-cell candidate streaming exactly as PR 7 shipped them —
+        instead of the batched row-rebuild/aggregated-counter kernels
+        that replaced them.  ``None`` (default) consults
+        ``REPRO_SPARSE_SCALAR``.  Both paths are byte-identical in every
+        query, snapshot and delta; the scalar path exists as the
+        equivalence oracle and as the same-machine baseline the
+        ``speedup_vs_pr7`` bench ratio is measured against.
     grid_cell_size:
         Explicit spatial-grid cell size.  Default: sized from observed
         transmission ranges (a disc query then touches O(1) cells).
@@ -346,6 +378,7 @@ class AdHocDigraph:
         dense_conflicts: bool | None = None,
         array_core: bool | None = None,
         sparse_core: bool | None = None,
+        sparse_scalar: bool | None = None,
         grid_cell_size: float | None = None,
     ) -> None:
         self._prop: PropagationModel = (
@@ -371,6 +404,9 @@ class AdHocDigraph:
             sparse = bool(sparse_core)
             self._sparse_auto = False
         self._sparse = sparse and not self._dense
+        if sparse_scalar is None:
+            sparse_scalar = _sparse_scalar_from_env()
+        self._sparse_scalar = bool(sparse_scalar)
         if array_core is None:
             array_core = _array_from_env()
         self._array = bool(array_core) and not self._dense and not self._sparse
@@ -418,6 +454,11 @@ class AdHocDigraph:
         # topology events; the memo makes repeats O(1).
         self._memo: dict = {}
         self._memo_version = -1
+        # Per-slot conflict-row cache for conflict_slot_lists, keyed by
+        # topology version like the id-based memo (slots and node ids
+        # are both ints, so the two caches cannot share one dict).
+        self._crow_cache: dict[int, np.ndarray] = {}
+        self._crow_version = -1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -441,6 +482,11 @@ class AdHocDigraph:
     def sparse_core(self) -> bool:
         """Whether this graph runs the sparse (CSR rows) conflict core."""
         return self._sparse
+
+    @property
+    def sparse_scalar(self) -> bool:
+        """Whether the sparse core runs the scalar (PR 7 oracle) kernels."""
+        return self._sparse_scalar
 
     @property
     def core(self) -> str:
@@ -632,6 +678,64 @@ class AdHocDigraph:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
         self._version += 1
+
+    def bulk_join(self, configs: Iterable[NodeConfig]) -> list[TopologyDelta]:
+        """Admit a whole join round as one streaming batched mutation.
+
+        Returns one ``join`` delta per config, with the same version
+        numbers sequential :meth:`add_node` calls would assign, and
+        leaves the graph in exactly the state they would (final
+        adjacency depends only on the final configurations).  On the
+        sparse core the round is committed in three streaming passes —
+        geometry for every joiner, one grid-bucketed edge-set sweep
+        (:meth:`_bulk_edge_sets`: co-located joiners share one candidate
+        gather and one block distance pass), and one grouped
+        structural/C2 commit per touched receiver — so admission cost
+        scales with touched neighborhoods, never with N per event.
+        Other cores (and trivial rounds) fall back to sequential
+        :meth:`add_node`, which preserves auto-promotion semantics.
+
+        :meth:`apply_round` routes all-join runs here; calling it
+        directly is useful for flash-crowd initialization (build a
+        10⁵-node network without 10⁵ separate candidate queries).
+        """
+        configs = list(configs)
+        if not self._sparse or len(configs) < 2:
+            deltas = []
+            for cfg in configs:
+                self.add_node(cfg)
+                deltas.append(TopologyDelta("join", cfg.node_id, self._version))
+            return deltas
+        # Pre-validate: batched geometry must not fail half-written.
+        live = set(self._index)
+        for cfg in configs:
+            if cfg.node_id in live:
+                raise DuplicateNodeError(cfg.node_id)
+            live.add(cfg.node_id)
+        deltas = []
+        dirty_slots: list[int] = []
+        for cfg in configs:
+            n = len(self._ids) + 1
+            self._ensure_capacity(n)
+            i = n - 1
+            self._pos[i] = (cfg.x, cfg.y)
+            self._range[i] = cfg.tx_range
+            if cfg.tx_range > self._max_range:
+                self._max_range = float(cfg.tx_range)
+            self._ids.append(cfg.node_id)
+            self._ida[i] = cfg.node_id
+            self._index[cfg.node_id] = i
+            self._ensure_sparse_slot(i)
+            if self._use_grid:
+                self._grid_insert(i, cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
+            dirty_slots.append(i)
+            self._version += 1
+            deltas.append(TopologyDelta("join", cfg.node_id, self._version))
+        # Fresh slots have empty rows, so the old sides are all empty.
+        old = dict.fromkeys(dirty_slots, _EMPTY_SLOTS)
+        new_out, new_in = self._bulk_edge_sets(dirty_slots)
+        self._commit_dirty_rows(dirty_slots, set(dirty_slots), old, old, new_out, new_in)
+        return deltas
 
     def remove_node(self, node_id: NodeId) -> NodeConfig:
         """Remove ``node_id`` and all incident edges; returns its config."""
@@ -825,8 +929,9 @@ class AdHocDigraph:
         Only the sparse core batches; the other cores fall back to
         sequential application (identical results either way).  Within
         the round, contiguous runs of join/move events are vectorized —
-        one geometry/grid commit pass, one final edge-set requery per
-        touched slot, grouped edge flips, and a single fused C2
+        one geometry/grid commit pass, one grid-bucketed edge-set sweep
+        over the touched slots (pure join runs route through
+        :meth:`bulk_join`), grouped edge flips, and a single fused C2
         reconciliation per touched receiver row, so a receiver hit by
         ``k`` events in the round reconciles once instead of ``k``
         times.  Leave and power-change events flush the run (a leave
@@ -1018,6 +1123,7 @@ class AdHocDigraph:
         g._dense = self._dense
         g._array = self._array
         g._sparse = self._sparse
+        g._sparse_scalar = self._sparse_scalar
         g._sparse_auto = self._sparse_auto
         g._slotgrid = self._slotgrid
         g._pos = self._pos.copy()
@@ -1043,6 +1149,8 @@ class AdHocDigraph:
         g._cm_version = -1
         g._memo = {}
         g._memo_version = -1
+        g._crow_cache = {}
+        g._crow_version = -1
         return g
 
     # ------------------------------------------------------------------
@@ -1183,8 +1291,13 @@ class AdHocDigraph:
         """
         if self._sparse:
             row = self._inr[slot].view()
-            pos = int(np.searchsorted(row, slot))
-            return np.insert(row, pos, slot)
+            k = len(row)
+            pos = int(row.searchsorted(slot))
+            out = np.empty(k + 1, dtype=np.intp)
+            out[:pos] = row[:pos]
+            out[pos] = slot
+            out[pos + 1 :] = row[pos:]
+            return out
         n = len(self._ids)
         col = self._adj[:n, slot].copy()
         col[slot] = True
@@ -1217,6 +1330,90 @@ class AdHocDigraph:
             rows = a[s, :n] | a[:n, s].T | (self._c2[s, :n] > 0)
             rows[_iota(len(s)), s] = False
         return rows
+
+    def conflict_slot_lists(self, slots: np.ndarray) -> list[np.ndarray]:
+        """Per-slot CA1 ∪ CA2 conflict arrays for many slots in one pass.
+
+        Returns ``[conflict_slots(s) for s in slots]`` — same membership
+        and the same sorted-ascending order — but on the sparse core the
+        rows are **read-only and version-cached**: between two topology
+        mutations every slot's row is derived at most once (neighboring
+        V1 queries overlap heavily, so a round-commit consumer touching
+        each slot ≈deg times pays the derivation once), and uncached
+        slots are answered by **one** sort-and-dedup pass over their
+        concatenated rows instead of one ``np.unique`` per slot — each
+        slot's members are offset into a disjoint ``[j·n, (j+1)·n)``
+        band, the union is deduplicated globally, and band boundaries
+        are found with a single ``searchsorted``.  This is the batched
+        V1 query of the large-N event loop; at ≈20 members per call the
+        per-slot query overhead was a top-three profile line before
+        batching.  Do not mutate the returned arrays (they are frozen
+        and shared across calls); the dense-block cores fall back to
+        the per-slot query — identical membership either way.
+        """
+        s = np.asarray(slots, dtype=np.intp)
+        if not self._sparse or not len(s):
+            return [self.conflict_slots(int(u)) for u in s.tolist()]
+        cache = self._crow_cache
+        if self._crow_version != self._version:
+            cache = self._crow_cache = {}
+            self._crow_version = self._version
+        requested = s.tolist()
+        members = [u for u in dict.fromkeys(requested) if u not in cache]
+        if not members:
+            return [cache[u] for u in requested]
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        n = len(self._ids)
+        k = len(members)
+        row_parts: list[np.ndarray] = []
+        row_lens: list[int] = []
+        key_lens: list[int] = []
+        total_keys = 0
+        for u in members:
+            ov = outr[u].view()
+            iv = inr[u].view()
+            row_parts.append(ov)
+            row_parts.append(iv)
+            row_lens.append(ov.size + iv.size)
+            m = len(c2s[u])
+            key_lens.append(m)
+            total_keys += m
+        bands = np.arange(k, dtype=np.intp) * n
+        rows_flat = np.concatenate(row_parts)
+        rows_flat += np.repeat(bands, row_lens)
+        if total_keys:
+            # One fromiter over every member's witness keys beats one
+            # array materialization per dict by a wide margin.
+            keys_flat = np.fromiter(
+                chain.from_iterable(c2s[u] for u in members),
+                dtype=np.intp,
+                count=total_keys,
+            )
+            keys_flat += np.repeat(bands, key_lens)
+            flat = np.concatenate((rows_flat, keys_flat))
+        else:
+            flat = rows_flat
+        if flat.size:
+            # Explicit sort + adjacent-dedup: the bands are already
+            # near-sorted runs, which quicksort exploits, and it avoids
+            # np.unique's hash path (measured ~5x slower on these sizes).
+            flat.sort()
+            keep = np.empty(flat.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(flat[1:], flat[:-1], out=keep[1:])
+            merged = flat[keep]
+            bounds = merged.searchsorted(bands[1:]).tolist()
+            bounds.append(merged.size)
+            lo = 0
+            for j, hi in enumerate(bounds):
+                row = merged[lo:hi] - j * n  # strips the band offset
+                row.flags.writeable = False
+                cache[members[j]] = row
+                lo = hi
+        else:
+            for u in members:
+                cache[u] = _EMPTY_SLOTS
+        return [cache[u] for u in requested]
 
     def undirected_hop_distances(self, src: NodeId) -> dict[NodeId, int]:
         """BFS hop counts from ``src`` over the undirected support.
@@ -1739,16 +1936,23 @@ class AdHocDigraph:
         n = len(self._ids)
         cutoff = max(1, (3 * n) // 4)
         x, y = self._pos[i]
-        blocks: list[np.ndarray] = []
-        total = 0
-        for block in grid.iter_candidate_blocks(float(x), float(y), radius):
-            total += len(block)
-            if total >= cutoff:
-                return None
-            blocks.append(block)
-        if not blocks:
-            return _EMPTY_SLOTS
-        return np.concatenate(blocks)
+        if self._sparse_scalar:
+            # PR 7 oracle: stream per-cell blocks, bail at the cutoff.
+            blocks: list[np.ndarray] = []
+            total = 0
+            for block in grid.iter_candidate_blocks(float(x), float(y), radius):
+                total += len(block)
+                if total >= cutoff:
+                    return None
+                blocks.append(block)
+            if not blocks:
+                return _EMPTY_SLOTS
+            return np.concatenate(blocks)
+        # Batched kernel: the grid concatenates the same candidate
+        # blocks itself (identical membership and cutoff semantics,
+        # pinned by tests/geometry) without the generator round trips
+        # and per-block flag writes of the streaming form.
+        return grid.candidate_slots(float(x), float(y), radius, cutoff=cutoff)
 
     def _sparse_edge_sets(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         """Final (out, in) slot sets of ``i`` under the current geometry.
@@ -1795,6 +1999,72 @@ class AdHocDigraph:
         inn = np.sort(inn[inn != i])
         return out, inn
 
+    def _bulk_edge_sets(
+        self, slots: list[int]
+    ) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+        """Final (out, in) edge sets of many slots from one bucketed sweep.
+
+        The streaming kernel behind :meth:`bulk_join` and the round
+        batcher: the dirty slots are grouped by grid cell, each occupied
+        cell makes **one** candidate-window gather
+        (:meth:`SlotGridIndex.candidate_slots_cell`) and **one** block
+        distance pass (:func:`block_masks`) for all its members, and the
+        per-member exact filters cut the shared superset down — so a
+        whole join round streams cell by cell without materializing a
+        per-node candidate array per event, and co-located joiners share
+        their gather.  Every subtraction and comparison is the same
+        IEEE-754 operation :meth:`_sparse_edge_sets` performs for the
+        corresponding pair, and both candidate windows are supersets of
+        the exact disc, so the filtered membership is byte-identical to
+        the per-slot path.  Unselective cells (the 3n/4 cutoff), scalar
+        mode (the PR 7 oracle), non-elementwise models and gridless
+        graphs all fall back to that path.
+        """
+        new_out: dict[int, np.ndarray] = {}
+        new_in: dict[int, np.ndarray] = {}
+        grid = self._grid
+        if (
+            self._sparse_scalar
+            or not self._use_grid
+            or grid is None
+            or grid.cell_count <= _MIN_SELECTIVE_CELLS
+            or not getattr(self._prop, "elementwise", True)
+        ):
+            for i in slots:
+                new_out[i], new_in[i] = self._sparse_edge_sets(i)
+            return new_out, new_in
+        n = len(self._ids)
+        cutoff = max(1, (3 * n) // 4)
+        radius = self._max_range
+        pos, rng = self._pos, self._range
+        groups: dict[tuple[int, int], list[int]] = {}
+        for i in slots:
+            groups.setdefault(grid.cell_of(i), []).append(i)
+        for (cx, cy), members in groups.items():
+            cand = grid.candidate_slots_cell(cx, cy, radius, cutoff=cutoff)
+            if cand is None:
+                for i in members:
+                    new_out[i], new_in[i] = self._sparse_edge_sets(i)
+                continue
+            g = np.asarray(members, dtype=np.intp)
+            ps = pos[g]
+            rs = rng[g]
+            cps = pos[cand]
+            crs = rng[cand]
+            if self._fs:
+                diff = cps[None, :, :] - ps[:, None, :]
+                d2 = np.einsum("gcj,gcj->gc", diff, diff)
+                cov = d2 <= (rs * rs)[:, None]
+                covby = d2 <= (crs * crs)[None, :]
+            else:
+                cov, covby = block_masks(self._prop, ps, rs, cps, crs)
+            for j, i in enumerate(members):
+                o = cand[cov[j]]
+                new_out[i] = np.sort(o[o != i])
+                s = cand[covby[j]]
+                new_in[i] = np.sort(s[s != i])
+        return new_out, new_in
+
     def _sparse_out_set(self, i: int) -> np.ndarray:
         """Final out slot set of ``i`` only (power changes: in-edges fixed)."""
         n = len(self._ids)
@@ -1823,13 +2093,90 @@ class AdHocDigraph:
         return np.union1d(out, inn)
 
     def _sparse_apply_row(self, i: int, new_out: np.ndarray) -> None:
-        """Replace slot ``i``'s out-row, bucketing the C2 witness deltas.
+        """Replace slot ``i``'s out-row, batching the C2 witness deltas.
 
         When ``i`` starts (stops) covering a receiver ``w``, every other
         in-neighbor of ``w`` gains (loses) one common-out-neighbor
-        witness with ``i`` — ``deg(w)`` counter entries per changed
-        receiver, touched directly in the per-slot dicts instead of a
-        full (cap,) row.
+        witness with ``i``.  The batched kernel aggregates those deltas
+        *per co-parent* before touching any dict: the changed receivers'
+        in-rows are concatenated into one flat slot array, one
+        ``np.unique`` collapses them to distinct co-parents, and signed
+        occurrence counts (``np.bincount`` over the unique inverse —
+        grouped ``np.add.at``-style accumulation) become one merged
+        update per ``(i, u)`` pair instead of one dict call per witness.
+        Exact integer arithmetic and the same never-store-zero /
+        fail-on-negative invariant as :func:`_c2_dec`, so counters stay
+        byte-identical to the scalar oracle
+        (:meth:`_sparse_apply_row_scalar`).
+        """
+        if self._sparse_scalar:
+            self._sparse_apply_row_scalar(i, new_out)
+            return
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        row_i = outr[i]
+        old_out = row_i.view()
+        if old_out.size:
+            added = np.setdiff1d(new_out, old_out, assume_unique=True)
+            removed = np.setdiff1d(old_out, new_out, assume_unique=True)
+        else:
+            added, removed = new_out, old_out
+        if added.size or removed.size:
+            # Gather every changed receiver's co-parents.  Removals drop
+            # ``i`` from the in-row first (the remaining members are the
+            # losers); additions read the row before ``i`` joins it (the
+            # existing members are the gainers) — their structural
+            # inserts are deferred below, because the gathered views
+            # alias the rows' live buffers until the concatenate copies.
+            added_list = added.tolist()
+            parts: list[np.ndarray] = []
+            gained = 0
+            for w in added_list:
+                v = inr[w].view()
+                if v.size:
+                    parts.append(v)
+                    gained += v.size
+            for w in removed.tolist():
+                row = inr[w]
+                row.remove(i)
+                v = row.view()
+                if v.size:
+                    parts.append(v)
+            if parts:
+                flat = np.concatenate(parts)
+                uniq, inv = np.unique(flat, return_inverse=True)
+                delta = np.bincount(inv[:gained], minlength=uniq.size)
+                delta -= np.bincount(inv[gained:], minlength=uniq.size)
+                di = c2s[i]
+                get_i = di.get
+                for u, d in zip(uniq.tolist(), delta.tolist()):
+                    if d == 0:
+                        continue  # gains and losses at u cancelled exactly
+                    left = get_i(u, 0) + d
+                    if left > 0:
+                        di[u] = left
+                    elif left == 0:
+                        del di[u]
+                    else:  # a witness count went negative: bookkeeping bug
+                        raise KeyError(u)
+                    du = c2s[u]
+                    left = du.get(i, 0) + d
+                    if left > 0:
+                        du[i] = left
+                    elif left == 0:
+                        del du[i]
+                    else:
+                        raise KeyError(i)
+            for w in added_list:
+                inr[w].insert(i)
+        row_i.set_sorted(new_out)
+
+    def _sparse_apply_row_scalar(self, i: int, new_out: np.ndarray) -> None:
+        """The PR 7 per-witness form of :meth:`_sparse_apply_row`.
+
+        One dict operation per ``(pair, direction)`` witness delta —
+        kept verbatim as the byte-identity oracle the batched kernel is
+        pinned against, and as the same-machine baseline behind the
+        bench's ``speedup_vs_pr7`` ratio.
         """
         outr, inr, c2s = self._outr, self._inr, self._c2s
         old_out = outr[i].view()
@@ -1856,9 +2203,14 @@ class AdHocDigraph:
         outr, inr = self._outr, self._inr
         old_in = inr[i].values()
         self._reconcile_receiver(i, old_in, new_in)
-        for u in np.setdiff1d(new_in, old_in, assume_unique=True).tolist():
+        if old_in.size:
+            arrived = np.setdiff1d(new_in, old_in, assume_unique=True)
+            departed = np.setdiff1d(old_in, new_in, assume_unique=True)
+        else:  # join fast path: every in-neighbor is new
+            arrived, departed = new_in, old_in
+        for u in arrived.tolist():
             outr[u].insert(i)
-        for u in np.setdiff1d(old_in, new_in, assume_unique=True).tolist():
+        for u in departed.tolist():
             outr[u].remove(i)
         inr[i].set_sorted(new_in)
 
@@ -1877,9 +2229,12 @@ class AdHocDigraph:
         if len(old) == len(new) and np.array_equal(old, new):
             return
         c2s = self._c2s
-        added = np.setdiff1d(new, old, assume_unique=True)
-        removed = np.setdiff1d(old, new, assume_unique=True)
-        kept = np.setdiff1d(old, removed, assume_unique=True).tolist()
+        if old.size:
+            added = np.setdiff1d(new, old, assume_unique=True)
+            removed = np.setdiff1d(old, new, assume_unique=True)
+            kept = np.setdiff1d(old, removed, assume_unique=True).tolist()
+        else:  # join fast path: the whole new clique is asserted
+            added, removed, kept = new, old, []
         olds = old.tolist()
         for r in removed.tolist():
             dr = c2s[r]
@@ -1889,11 +2244,28 @@ class AdHocDigraph:
             for k in kept:
                 _c2_dec(c2s[k], r)
         news = new.tolist()
+        if self._sparse_scalar:
+            for a in added.tolist():
+                da = c2s[a]
+                for u in news:
+                    if u != a:
+                        _c2_inc(da, u)
+                for k in kept:
+                    _c2_inc(c2s[k], a)
+            return
         for a in added.tolist():
+            # Assertions only ever increase counters, so the whole
+            # member list can be bulk-counted at C speed; the one
+            # self-count (``a ∈ news``) is backed out by hand — the
+            # diagonal is never stored, so backing it out either
+            # restores the prior entry or deletes the fresh ``+1``.
             da = c2s[a]
-            for u in news:
-                if u != a:
-                    _c2_inc(da, u)
+            _count_elements(da, news)
+            left = da[a] - 1
+            if left:
+                da[a] = left
+            else:
+                del da[a]
             for k in kept:
                 _c2_inc(c2s[k], a)
 
@@ -1962,6 +2334,13 @@ class AdHocDigraph:
             return
         from repro.events.base import JoinEvent
 
+        if all(isinstance(ev, JoinEvent) for ev in batch):
+            # Pure join runs take the streaming bulk-join path: one
+            # grid-bucketed sweep instead of per-slot candidate queries.
+            deltas.extend(self.bulk_join([ev.config for ev in batch]))
+            batch.clear()
+            return
+
         # Pre-validate the whole run: sequential application reports
         # these per event; batched geometry must not fail half-written.
         live = set(self._index)
@@ -2006,28 +2385,75 @@ class AdHocDigraph:
 
         outr, inr = self._outr, self._inr
         dirty_slots = list(dirty)
-        dirty_set = set(dirty_slots)
 
         # Phase 2 — capture old rows, then requery the final edge sets
-        # of every touched slot against the committed round geometry.
+        # of every touched slot against the committed round geometry
+        # (one grid-bucketed sweep; co-located slots share a gather).
         old_out = {i: outr[i].values() for i in dirty_slots}
         old_in = {i: inr[i].values() for i in dirty_slots}
-        new_out: dict[int, np.ndarray] = {}
-        new_in: dict[int, np.ndarray] = {}
-        for i in dirty_slots:
-            new_out[i], new_in[i] = self._sparse_edge_sets(i)
+        new_out, new_in = self._bulk_edge_sets(dirty_slots)
 
-        # Phase 3 — group the out-row diffs by receiver, so a non-dirty
-        # receiver hit by k events reconciles once, not k times.
-        recv_add: dict[int, list[int]] = {}
-        recv_del: dict[int, list[int]] = {}
+        self._commit_dirty_rows(dirty_slots, set(dirty), old_out, old_in, new_out, new_in)
+        batch.clear()
+
+    def _commit_dirty_rows(
+        self,
+        dirty_slots: list[int],
+        dirty_set: set[int],
+        old_out: dict[int, np.ndarray],
+        old_in: dict[int, np.ndarray],
+        new_out: dict[int, np.ndarray],
+        new_in: dict[int, np.ndarray],
+    ) -> None:
+        """Commit requeried rows for the dirty slots (structural + C2).
+
+        The shared tail of :meth:`bulk_join` and the round batcher:
+        given every dirty slot's old and final (out, in) sets, flip the
+        structural edges and reconcile the C2 witness counters so the
+        graph is exactly what sequential application would leave.
+
+        Phase 3 — group the out-row diffs by outside receiver, so a
+        receiver hit by k events reconciles once, not k times.  The
+        grouping is vectorized: every dirty row's asserted and
+        retracted receivers concatenate into one (receiver, source)
+        array pair — retractions carry ``~source`` so one intp array
+        holds both signs — dirty receivers are masked out in one
+        indexed lookup, and a single stable argsort over the receivers
+        yields the per-receiver runs.
+        """
+        outr, inr, c2s = self._outr, self._inr, self._c2s
+        recv_parts: list[np.ndarray] = []
+        src_parts: list[np.ndarray] = []
         for i in dirty_slots:
-            for w in np.setdiff1d(new_out[i], old_out[i], assume_unique=True).tolist():
-                if w not in dirty_set:
-                    recv_add.setdefault(w, []).append(i)
-            for w in np.setdiff1d(old_out[i], new_out[i], assume_unique=True).tolist():
-                if w not in dirty_set:
-                    recv_del.setdefault(w, []).append(i)
+            old = old_out[i]
+            if old.size:
+                add = np.setdiff1d(new_out[i], old, assume_unique=True)
+                rem = np.setdiff1d(old, new_out[i], assume_unique=True)
+            else:  # join fast path: every receiver is newly asserted
+                add, rem = new_out[i], old
+            if add.size:
+                recv_parts.append(add)
+                src_parts.append(np.full(add.size, i, dtype=np.intp))
+            if rem.size:
+                recv_parts.append(rem)
+                src_parts.append(np.full(rem.size, ~i, dtype=np.intp))
+        groups: list[tuple[int, np.ndarray]] = []
+        if recv_parts:
+            recv = np.concatenate(recv_parts)
+            src = np.concatenate(src_parts)
+            is_dirty = np.zeros(len(self._ids), dtype=bool)
+            is_dirty[dirty_slots] = True
+            keep = ~is_dirty[recv]
+            if keep.any():
+                recv = recv[keep]
+                src = src[keep]
+                order = recv.argsort(kind="stable")
+                recv = recv[order]
+                src = src[order]
+                starts = np.flatnonzero(np.diff(recv)) + 1
+                receivers = recv[np.concatenate((np.zeros(1, dtype=np.intp), starts))]
+                for w, seg in zip(receivers.tolist(), np.split(src, starts)):
+                    groups.append((w, seg))
 
         # Phase 4 — C2 reconciliation, one pass per changed receiver
         # row.  Dirty receivers get the full old → new reconcile; an
@@ -2036,52 +2462,54 @@ class AdHocDigraph:
         # in spread-out rounds), and only receivers hit by several
         # events pay the fused array reconcile — which is exactly where
         # fusing wins, because the k hits reconcile once.
-        c2s = self._c2s
         for w in dirty_slots:
             self._reconcile_receiver(w, old_in[w], new_in[w])
-        for w in set(recv_add) | set(recv_del):
-            adds = recv_add.get(w, ())
-            dels = recv_del.get(w, ())
+        for w, seg in groups:
             row = inr[w]
-            if len(adds) + len(dels) == 1:
-                if adds:
-                    i = adds[0]
+            if seg.size == 1:
+                i = int(seg[0])
+                if i >= 0:
                     di = c2s[i]
                     for u in row.view().tolist():
                         _c2_inc(di, u)
                         _c2_inc(c2s[u], i)
                     row.insert(i)
                 else:
-                    i = dels[0]
+                    i = ~i
                     row.remove(i)
                     di = c2s[i]
                     for u in row.view().tolist():
                         _c2_dec(di, u)
                         _c2_dec(c2s[u], i)
                 continue
+            adds = seg[seg >= 0]
+            dels = ~seg[seg < 0]
             old = row.values()
             new = old
-            if dels:
-                new = np.setdiff1d(
-                    new, np.asarray(sorted(dels), dtype=np.intp), assume_unique=True
-                )
-            if adds:
-                new = np.union1d(new, np.asarray(adds, dtype=np.intp))
+            if dels.size:
+                new = np.setdiff1d(new, np.sort(dels), assume_unique=True)
+            if adds.size:
+                new = np.union1d(new, adds)
             self._reconcile_receiver(w, old, new)
             row.set_sorted(new)
 
         # Phase 5 — structural flips: dirty rows replaced wholesale,
         # non-dirty sources get their grouped out-row edits.
         for i in dirty_slots:
-            for u in np.setdiff1d(new_in[i], old_in[i], assume_unique=True).tolist():
+            old = old_in[i]
+            if old.size:
+                arrived = np.setdiff1d(new_in[i], old, assume_unique=True)
+                departed = np.setdiff1d(old, new_in[i], assume_unique=True)
+            else:  # join fast path: every in-neighbor is new
+                arrived, departed = new_in[i], old
+            for u in arrived.tolist():
                 if u not in dirty_set:
                     outr[u].insert(i)
-            for u in np.setdiff1d(old_in[i], new_in[i], assume_unique=True).tolist():
+            for u in departed.tolist():
                 if u not in dirty_set:
                     outr[u].remove(i)
             outr[i].set_sorted(new_out[i])
             inr[i].set_sorted(new_in[i])
-        batch.clear()
 
     # -- dense escape hatch ---------------------------------------------
     def _dense_conflict_block(self) -> np.ndarray:

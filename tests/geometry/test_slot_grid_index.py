@@ -216,3 +216,100 @@ class TestIterCandidateBlocks:
         assert not block.flags.writeable  # live views: callers must copy
         with pytest.raises(ValueError):
             block[0] = 99
+
+
+class TestBoundaryAndBailout:
+    """Exact cell-edge radii, queries outside the grown bbox, and the
+    3n/4 full-scan bailout the sparse core's candidate gathers rely on.
+    """
+
+    def test_radius_exactly_on_cell_edge_keeps_boundary_points(self):
+        xs = [10.0, 20.0, 30.0]
+        g = SlotGridIndex(10.0)
+        for slot, x in enumerate(xs):
+            g.insert(slot, x, 0.0)  # every point on a cell corner
+        for r in xs:  # radius lands exactly on cell edges too
+            cand = set(g.candidate_slots(0.0, 0.0, r).tolist())
+            blocks = list(g.iter_candidate_blocks(0.0, 0.0, r))
+            union = set(np.concatenate(blocks).tolist()) if blocks else set()
+            assert union == cand
+            inside = {s for s, x in enumerate(xs) if x <= r}
+            assert inside <= union  # d == r members survive the window
+
+    def test_query_bbox_entirely_outside_grown_bbox(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        g.insert(1, -45.0, 32.0)
+        for qx, qy in [(1e6, 1e6), (-1e6, 40.0), (50.0, -1e6)]:
+            assert g.candidate_slots(qx, qy, 25.0).size == 0
+            assert list(g.iter_candidate_blocks(qx, qy, 25.0)) == []
+            # the integer cell-window spelling agrees
+            cx, cy = int(qx // 10.0), int(qy // 10.0)
+            out = g.candidate_slots_cell(cx, cy, 25.0)
+            assert out is not None and out.size == 0
+
+    def test_three_quarter_full_scan_bailout(self):
+        # the sparse core hands the grid cutoff = 3n/4: a gather that
+        # reaches it must bail to None (callers scan every slot instead)
+        n = 16
+        g = SlotGridIndex(10.0)
+        for slot in range(n):
+            g.insert(slot, float(slot % 4), float(slot // 4))  # one dense corner
+        cutoff = max(1, (3 * n) // 4)
+        assert g.candidate_slots(2.0, 2.0, 50.0, cutoff=cutoff) is None
+        # an unreachable cutoff gathers the identical full membership
+        full = g.candidate_slots(2.0, 2.0, 50.0, cutoff=n + 1)
+        assert full is not None and sorted(full.tolist()) == list(range(n))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_block_union_equals_brute_force_on_random_placements(self, seed):
+        rng = np.random.default_rng(seed)
+        cell = float(rng.uniform(2.0, 15.0))
+        g = SlotGridIndex(cell)
+        pts = rng.uniform(-50.0, 150.0, size=(200, 2))
+        for slot, (x, y) in enumerate(pts.tolist()):
+            g.insert(slot, x, y)
+        for _ in range(20):
+            qx = float(rng.uniform(-60.0, 160.0))
+            qy = float(rng.uniform(-60.0, 160.0))
+            r = float(rng.choice([cell, 2.0 * cell, rng.uniform(0.0, 60.0)]))
+            blocks = list(g.iter_candidate_blocks(qx, qy, r))
+            union = sorted(np.concatenate(blocks).tolist()) if blocks else []
+            assert len(union) == len(set(union))  # cells never overlap
+            assert union == sorted(g.candidate_slots(qx, qy, r).tolist())
+            d2 = ((pts - (qx, qy)) ** 2).sum(axis=1)
+            inside = set(np.flatnonzero(d2 <= r * r).tolist())
+            assert inside <= set(union)  # brute-force disc is covered
+
+
+class TestCellWindowQueries:
+    """``cell_of`` + ``candidate_slots_cell`` — the bulk-join surface."""
+
+    def test_cell_of_matches_insert_position(self):
+        g = SlotGridIndex(10.0)
+        g.insert(3, 25.0, -7.0)
+        assert g.cell_of(3) == (2, -1)
+        with pytest.raises(UnknownNodeError):
+            g.cell_of(99)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cell_window_covers_every_member_window(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        cell = float(rng.uniform(3.0, 12.0))
+        g = SlotGridIndex(cell)
+        pts = [(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))) for _ in range(120)]
+        for slot, (x, y) in enumerate(pts):
+            g.insert(slot, x, y)
+        radius = float(rng.uniform(0.0, 30.0))
+        for slot, (x, y) in list(enumerate(pts))[::17]:
+            cx, cy = g.cell_of(slot)
+            cell_cand = set(g.candidate_slots_cell(cx, cy, radius).tolist())
+            point_cand = set(g.candidate_slots(x, y, radius).tolist())
+            assert point_cand <= cell_cand  # covers each member's window
+
+    def test_cell_window_negative_radius_and_cutoff(self):
+        g = SlotGridIndex(10.0)
+        g.insert(0, 5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            g.candidate_slots_cell(0, 0, -1.0)
+        assert g.candidate_slots_cell(0, 0, 100.0, cutoff=1) is None

@@ -137,10 +137,31 @@ class TestBenchCommand:
         # --large-n 0 skips the N=10⁴ scale trace: this test covers the
         # harness plumbing, not the ~minutes large-join measurement
         # (CI's smoke-bench job runs it through the default CLI
-        # invocation, and the sparse-core job smokes it at N=4000).
-        rc = main(["bench", "--runs", "1", "--n", "24", "--large-n", "0", "--out", str(out_path)])
+        # invocation, and the sparse-core job smokes it at N=20000).
+        rc = main(
+            [
+                "bench",
+                "--runs",
+                "1",
+                "--n",
+                "24",
+                "--large-n",
+                "0",
+                "--profile",
+                "--out",
+                str(out_path),
+            ]
+        )
         printed = capsys.readouterr().out
         assert rc == 0
+        profile_path = tmp_path / "BENCH_eventloop_profile.txt"
+        assert profile_path.exists()  # --profile: top-25 rows beside the JSON
+        profile_text = profile_path.read_text()
+        # sorted by cumulative time and showing real harness frames —
+        # which exact function tops the list depends on n, so pin the
+        # module rather than one row
+        assert "Ordered by: cumulative time" in profile_text
+        assert "repro/sim/bench.py" in profile_text
         assert "fig10-join" in printed and "speedup" in printed
         assert "multi-strategy-replay" in printed
         entries = json.loads(out_path.read_text())

@@ -25,6 +25,14 @@ class TestDrive:
         assert drive_event_loop(events, mode="grid") > 0.0
         assert drive_event_loop(events, mode="dense") > 0.0
         assert drive_event_loop(events, mode="sparse") > 0.0
+        assert drive_event_loop(events, mode="sparse-scalar") > 0.0
+
+    def test_unknown_mode_rejected(self):
+        events = [JoinEvent(c) for c in sample_configs(5, np.random.default_rng(0))]
+        with pytest.raises(ValueError):
+            drive_event_loop(events, mode="bogus")
+        with pytest.raises(ValueError):
+            drive_event_rounds([events], mode="bogus")
 
     def test_setup_events_are_untimed_but_applied(self):
         configs = sample_configs(12, np.random.default_rng(0))
@@ -76,6 +84,15 @@ class TestBenchHarness:
         assert all("speedup_vs_dense" in e and e["speedup_vs_dense"] > 0 for e in grid)
         assert all("speedup_vs_dense" not in e for e in entries if e["mode"] == "dense")
 
+    def test_small_n_sparse_entries_publish_their_array_ratio(self, entries):
+        # the honest small-N record: the sparse core is slower than the
+        # array core here (ratio typically < 1), which is exactly why
+        # auto-promotion waits for N >= 4096 — the field must be present
+        # either way so the regression is visible in the artifact
+        sparse = [e for e in entries if e["mode"] == "sparse"]
+        assert len(sparse) == 2
+        assert all("speedup_vs_array" in e and e["speedup_vs_array"] > 0 for e in sparse)
+
     def test_json_written(self, entries, tmp_path):
         path = write_bench_json(entries, tmp_path / "BENCH_eventloop.json")
         loaded = json.loads(path.read_text())
@@ -96,6 +113,53 @@ class TestLargeNBench:
             run_large_n_bench(n=500)
         with pytest.raises(ConfigurationError):
             run_large_n_bench(runs=0)
+
+    @pytest.fixture(scope="class")
+    def entries(self):
+        from repro.sim.bench import run_large_n_bench
+
+        # the floor of the large-n regime: big enough to exercise every
+        # leg (array, scalar baseline, bulk sparse, rounds) in seconds
+        return run_large_n_bench(n=2000, runs=1, seed=5, max_mem_mb=256.0)
+
+    def test_labels_carry_the_node_count_off_the_canonical_point(self, entries):
+        # the regression gate keys on (scenario, mode): only the
+        # canonical N=10^4 point may use the bare labels
+        assert {e["scenario"] for e in entries} == {"large-join-2000", "large-rounds-2000"}
+        assert all(e["n"] == 2000 for e in entries)
+
+    def test_all_legs_and_gated_ratios_present(self, entries):
+        assert [e["mode"] for e in entries] == [
+            "array",
+            "sparse-scalar",
+            "sparse",
+            "sparse-rounds",
+        ]
+        sparse = entries[2]
+        assert sparse["speedup_vs_array"] > 0
+        assert sparse["speedup_vs_pr7"] > 0  # bulk join vs the PR 7 loop
+        assert entries[3]["round_batch_speedup"] > 0
+        assert all(e["peak_mem_mb"] > 0 for e in entries)
+
+    def test_comparison_legs_drop_beyond_their_ceilings(self, monkeypatch):
+        import repro.sim.bench as bench
+
+        # above the array/scalar ceilings (N=10^5 regime) only the bulk
+        # sparse legs run, and the ratio fields vanish with their legs
+        monkeypatch.setattr(bench, "_ARRAY_MAX_LARGE_N", 0)
+        monkeypatch.setattr(bench, "_SCALAR_MAX_LARGE_N", 0)
+        entries = bench.run_large_n_bench(n=2000, runs=1, seed=5, max_mem_mb=None)
+        assert [e["mode"] for e in entries] == ["sparse", "sparse-rounds"]
+        assert "speedup_vs_array" not in entries[0]
+        assert "speedup_vs_pr7" not in entries[0]
+
+    def test_memory_ceiling_enforced(self, monkeypatch):
+        import repro.sim.bench as bench
+
+        monkeypatch.setattr(bench, "_ARRAY_MAX_LARGE_N", 0)
+        monkeypatch.setattr(bench, "_SCALAR_MAX_LARGE_N", 0)
+        with pytest.raises(ConfigurationError, match="ceiling"):
+            bench.run_large_n_bench(n=2000, runs=1, seed=5, max_mem_mb=0.001)
 
 
 class TestWarmstartBench:

@@ -316,6 +316,149 @@ class TestSparseRoundBatching:
         assert [d.version for d in deltas] == [1, 2, 3]
 
 
+class TestSparseScalarEquivalence:
+    """The vectorized sparse kernels against the PR 7 scalar oracle.
+
+    ``sparse_scalar=True`` pins the per-event scalar kernels the
+    batched row-rebuild / bulk-join paths replaced; the vectorized core
+    must stay byte-identical to it on randomized churn, including under
+    a propagation model with no native block kernel (the
+    ``block_masks`` fallback loop).
+    """
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_free_space_traces_identical(self, seed):
+        graphs = [
+            AdHocDigraph(sparse_core=True),
+            AdHocDigraph(sparse_core=True, sparse_scalar=True),
+            AdHocDigraph(array_core=True),
+        ]
+        assert graphs[1].sparse_scalar and not graphs[0].sparse_scalar
+        _random_trace(graphs, seed, steps=60, check=_assert_snapshots_identical)
+
+    def test_obstructed_propagation_identical(self):
+        prop = ObstructedPropagation((RectObstacle(30.0, 30.0, 60.0, 40.0),))
+        graphs = [
+            AdHocDigraph(prop, sparse_core=True),
+            AdHocDigraph(prop, sparse_core=True, sparse_scalar=True),
+        ]
+        _random_trace(graphs, seed=9, steps=40, check=_assert_snapshots_identical)
+
+    def test_scalar_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_SCALAR", "1")
+        assert AdHocDigraph(sparse_core=True).sparse_scalar
+        monkeypatch.setenv("REPRO_SPARSE_SCALAR", "0")
+        assert not AdHocDigraph(sparse_core=True).sparse_scalar
+
+
+class TestBulkJoin:
+    def _configs(self, n, seed, area=300.0):
+        rng = np.random.default_rng(seed)
+        return [
+            NodeConfig(
+                i + 1,
+                float(rng.uniform(0, area)),
+                float(rng.uniform(0, area)),
+                float(rng.uniform(5, 40)),
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bulk_join_matches_sequential(self, seed):
+        configs = self._configs(120, seed)
+        bulk = AdHocDigraph(sparse_core=True)
+        sequential = AdHocDigraph(sparse_core=True, sparse_scalar=True)
+        deltas = bulk.bulk_join(configs)
+        for cfg in configs:
+            sequential.add_node(cfg)
+        assert [(d.kind, d.node_id, d.version) for d in deltas] == [
+            ("join", cfg.node_id, v + 1) for v, cfg in enumerate(configs)
+        ]
+        assert bulk.snapshot() == sequential.snapshot()
+
+    def test_apply_round_routes_all_join_rounds(self):
+        configs = self._configs(40, seed=4)
+        routed = AdHocDigraph(sparse_core=True)
+        sequential = AdHocDigraph(sparse_core=True)
+        got = routed.apply_round([JoinEvent(cfg) for cfg in configs])
+        want = [sequential.apply_event(JoinEvent(cfg)) for cfg in configs]
+        assert got == want
+        assert routed.snapshot() == sequential.snapshot()
+
+    def test_duplicate_join_fails_before_any_mutation(self):
+        from repro.errors import DuplicateNodeError
+
+        g = AdHocDigraph(sparse_core=True)
+        configs = self._configs(10, seed=2)
+        snap = None
+        g.bulk_join(configs)
+        snap = g.snapshot()
+        dupe = [NodeConfig(100, 1.0, 1.0, 10.0), configs[3]]
+        with pytest.raises(DuplicateNodeError):
+            g.bulk_join(dupe)
+        assert g.snapshot() == snap  # pre-validation left no half-commit
+
+    def test_non_sparse_core_falls_back_to_sequential(self):
+        configs = self._configs(12, seed=6)
+        g = AdHocDigraph(array_core=True)
+        deltas = g.bulk_join(configs)
+        assert [d.version for d in deltas] == list(range(1, 13))
+        witness = AdHocDigraph(array_core=True)
+        for cfg in configs:
+            witness.add_node(cfg)
+        assert g.snapshot() == witness.snapshot()
+
+
+class TestConflictSlotLists:
+    @pytest.fixture()
+    def graph(self):
+        g = AdHocDigraph(sparse_core=True)
+        rng = np.random.default_rng(21)
+        for i in range(1, 80):
+            g.add_node(
+                NodeConfig(
+                    i,
+                    float(rng.uniform(0, 200)),
+                    float(rng.uniform(0, 200)),
+                    float(rng.uniform(10, 45)),
+                )
+            )
+        return g
+
+    def test_matches_per_slot_query(self, graph):
+        slots = np.arange(len(graph.slot_ids()), dtype=np.intp)
+        rows = graph.conflict_slot_lists(slots)
+        assert len(rows) == len(slots)
+        for s, row in zip(slots.tolist(), rows):
+            np.testing.assert_array_equal(row, graph.conflict_slots(int(s)))
+
+    def test_rows_are_frozen_and_cached(self, graph):
+        slots = np.asarray([0, 3, 0, 7], dtype=np.intp)
+        first = graph.conflict_slot_lists(slots)
+        assert not first[0].flags.writeable
+        assert first[0] is first[2]  # duplicate request, one derivation
+        again = graph.conflict_slot_lists(slots)
+        assert all(a is b for a, b in zip(first, again))  # version cache hit
+
+    def test_mutation_invalidates_cache(self, graph):
+        slots = np.asarray([0, 1, 2], dtype=np.intp)
+        stale = graph.conflict_slot_lists(slots)
+        graph.move_node(3, 0.0, 0.0)
+        fresh = graph.conflict_slot_lists(slots)
+        for s, row in zip(slots.tolist(), fresh):
+            np.testing.assert_array_equal(row, graph.conflict_slots(int(s)))
+        assert not any(a is b for a, b in zip(stale, fresh))
+
+    def test_empty_and_non_sparse_fallback(self, graph):
+        assert graph.conflict_slot_lists(np.asarray([], dtype=np.intp)) == []
+        dense = AdHocDigraph(array_core=True)
+        dense.add_node(NodeConfig(1, 10.0, 10.0, 30.0))
+        dense.add_node(NodeConfig(2, 20.0, 10.0, 30.0))
+        (row,) = dense.conflict_slot_lists(np.asarray([0], dtype=np.intp))
+        np.testing.assert_array_equal(row, dense.conflict_slots(0))
+
+
 class TestArrayCoreDefaults:
     def test_env_flag_flips_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_SPARSE", raising=False)
