@@ -21,6 +21,9 @@ Usage (installed as ``minim-cdma`` or via ``python -m repro``)::
     minim-cdma store compact results-store/
     minim-cdma store migrate results-store/ store.sqlite
     minim-cdma bench --runs 3 --n 120
+    minim-cdma scenario fig10-join --trace trace.jsonl
+    minim-cdma report trace.jsonl
+    minim-cdma report trace.jsonl --check --chrome trace.chrome.json
 
 ``fig10``/``fig11``/``fig12``/``all`` reproduce the paper's evaluation
 and ``scenario`` runs a registered workload from the declarative
@@ -42,7 +45,15 @@ success (``inspect KEY``), releases quarantined tasks back into the
 queue (``requeue``), dumps point-level rows (``export --csv`` /
 ``export --parquet``, the latter with sweep-level join columns, gated
 on pyarrow), folds a JSON directory into one SQLite table (``compact``)
-or copies between backends (``migrate``).  ``bench`` times the topology
+or copies between backends (``migrate``).  ``--trace PATH`` turns on
+the observability layer (:mod:`repro.obs`) for any sweep, worker, or
+bench invocation: phase/task spans, queue events, and conflict-core /
+timeline / store counters stream to a JSONL file (child processes
+write ``PATH.<pid>`` sidecars), and ``report TRACE`` summarizes it —
+top spans by self-time, cache-hit ratios, checkpoint replay savings,
+per-worker timelines — with ``--chrome OUT`` exporting a
+chrome://tracing / Perfetto file and ``--check`` failing the exit code
+when planned tasks are missing closed spans.  ``bench`` times the topology
 event loop (grid fast path vs the ``REPRO_DENSE`` hatch), shared vs
 per-strategy multi-strategy replay, checkpoint-timeline prefix sharing
 vs per-point round replay, and adaptive vs fixed run budgets, writing
@@ -137,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard cap on runs per point for adaptive sweeps (default 32; "
         "needs --ci-target/--ci-abs)",
     )
+    common.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write observability spans/events/metrics to this JSONL file "
+        "(summarize with 'minim-cdma report PATH')",
+    )
 
     parser = argparse.ArgumentParser(
         prog="minim-cdma",
@@ -193,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="park a task after this many broken leases instead of claiming "
         "it (0 or less disables; default 3)",
+    )
+    pw.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write observability spans/events/metrics to this JSONL file",
     )
 
     pst = sub.add_parser(
@@ -295,6 +321,47 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--seed", type=int, default=2001, help="trace-generation seed")
     pb.add_argument(
         "--out", type=Path, default=None, help="output path (default BENCH_eventloop.json)"
+    )
+    pb.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="also measure tracing overhead (obs-overhead off/on entries "
+        "with the on/off throughput ratio)",
+    )
+    pb.add_argument(
+        "--obs-overhead-only",
+        action="store_true",
+        help="run only the tracing-overhead bench (the obs-trace CI job's mode)",
+    )
+    pb.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write observability spans/events/metrics to this JSONL file",
+    )
+
+    pr = sub.add_parser(
+        "report",
+        help="summarize a --trace JSONL file (top spans, cache-hit ratios, "
+        "replay savings, per-worker timelines)",
+    )
+    pr.add_argument("trace", type=Path, help="trace file written by --trace")
+    pr.add_argument(
+        "--top", type=int, default=15, help="span rows to show, by self-time (default 15)"
+    )
+    pr.add_argument(
+        "--check",
+        action="store_true",
+        help="verify trace completeness (every planned task has a closed "
+        "span); exit 1 on problems",
+    )
+    pr.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        metavar="OUT",
+        help="also export a Chrome trace-event file for chrome://tracing / Perfetto",
     )
     return parser
 
@@ -417,11 +484,14 @@ def _collect_bench_entries(args: argparse.Namespace, max_mem: float | None) -> l
         run_adaptive_bench,
         run_event_loop_bench,
         run_large_n_bench,
+        run_obs_overhead_bench,
         run_replay_bench,
         run_timeline_bench,
         run_warmstart_bench,
     )
 
+    if args.obs_overhead_only:
+        return run_obs_overhead_bench(n=args.n, runs=args.runs, seed=args.seed)
     if args.large_n_only:
         if not args.large_n:
             raise ConfigurationError("--large-n-only needs --large-n > 0")
@@ -441,6 +511,8 @@ def _collect_bench_entries(args: argparse.Namespace, max_mem: float | None) -> l
     # no n: the adaptive bench pins its own small noisy sweep (the
     # controller, not the event loop, is what it measures)
     entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
+    if args.obs_overhead:
+        entries.extend(run_obs_overhead_bench(n=args.n, seed=args.seed))
     return entries
 
 
@@ -510,6 +582,7 @@ def _print_bench_table(entries: list[dict]) -> None:
             "speedup_vs_cold",
             "timeline_prefix_sharing",
             "run_savings_vs_fixed",
+            "trace_on_vs_off",
         ):
             if field in e:
                 speedup = f"{e[field]:.2f}x"
@@ -519,6 +592,29 @@ def _print_bench_table(entries: list[dict]) -> None:
             f"{e['scenario']:<22} {e['n']:>5} {e['mode']:>12} {e['events']:>7} "
             f"{e['events_per_sec']:>10.0f} {mem:>9} {speedup:>8}"
         )
+
+
+def _run_report_cmd(args: argparse.Namespace) -> int:
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.report import check_trace, render_report
+    from repro.obs.tracing import load_trace
+
+    if not args.trace.exists():
+        print(f"error: no trace file at {args.trace}", file=sys.stderr)
+        return 2
+    records = load_trace(args.trace)
+    print(render_report(records, top=args.top))
+    if args.chrome is not None:
+        write_chrome_trace(records, args.chrome)
+        print(f"wrote {args.chrome}")
+    if args.check:
+        problems = check_trace(records)
+        if problems:
+            for problem in problems:
+                print(f"trace check: {problem}", file=sys.stderr)
+            return 1
+        print("trace check: ok")
+    return 0
 
 
 def _run_worker_cmd(args: argparse.Namespace) -> int:
@@ -645,22 +741,36 @@ def main(argv: list[str] | None = None) -> int:
     from repro.errors import ConfigurationError
 
     args = build_parser().parse_args(argv)
-    if args.command == "scenario":
-        return _run_scenario_cmd(args)
-    if args.command == "bench":
-        return _run_bench_cmd(args)
-    if args.command == "worker":
-        return _run_worker_cmd(args)
-    if args.command == "store":
-        return _run_store_cmd(args)
+    if args.command == "report":
+        return _run_report_cmd(args)
+    tracing = getattr(args, "trace", None) is not None
+    if tracing:
+        from repro import obs
+
+        obs.enable(args.trace)
     try:
-        return _run_figures(args)
-    except ConfigurationError as exc:
-        # mis-set flags (e.g. --max-runs without --ci-target) and env
-        # misconfiguration get the same clean error the scenario
-        # command prints, not a traceback
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        if args.command == "scenario":
+            return _run_scenario_cmd(args)
+        if args.command == "bench":
+            return _run_bench_cmd(args)
+        if args.command == "worker":
+            return _run_worker_cmd(args)
+        if args.command == "store":
+            return _run_store_cmd(args)
+        try:
+            return _run_figures(args)
+        except ConfigurationError as exc:
+            # mis-set flags (e.g. --max-runs without --ci-target) and env
+            # misconfiguration get the same clean error the scenario
+            # command prints, not a traceback
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if tracing:
+            from repro import obs
+
+            obs.close()
+            print(f"wrote trace {args.trace}")
 
 
 def _run_figures(args: argparse.Namespace) -> int:

@@ -1,0 +1,47 @@
+"""Shared clocks for benchmarks and trace records.
+
+Every timed code path in the repo — span durations in
+:mod:`repro.obs.tracing`, the bench drivers' wall-clock medians, the
+``peak_mem_mb`` tracemalloc probe — reads time through this module so
+that a bench row and a trace span of the same work agree by
+construction.  ``perf_seconds`` is the monotonic duration clock;
+``wall_seconds`` is the epoch clock used only to anchor trace files to
+calendar time (heartbeats, trace headers).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Any, Callable
+
+__all__ = ["perf_seconds", "wall_seconds", "time_call", "traced_peak_mb"]
+
+# Bound once so hot loops pay one global load, and so a test can fake
+# time by monkeypatching the module attributes rather than ``time``.
+perf_seconds: Callable[[], float] = time.perf_counter
+wall_seconds: Callable[[], float] = time.time
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """``(seconds, result)`` of one call, on the shared duration clock."""
+    start = perf_seconds()
+    result = fn()
+    return perf_seconds() - start, result
+
+
+def traced_peak_mb(fn: Callable[[], Any]) -> float:
+    """Peak traced allocation of one ``fn()`` call, in MiB.
+
+    Runs ``fn`` under :mod:`tracemalloc` — a dedicated untimed call,
+    since tracemalloc slows allocation several-fold and must never
+    overlap a timed run.  This is the single ``peak_mem_mb`` code path
+    shared by the bench drivers.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)

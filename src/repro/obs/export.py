@@ -1,0 +1,92 @@
+"""Chrome trace-event export: open a sweep in chrome://tracing / Perfetto.
+
+Maps the JSONL records of :mod:`repro.obs.tracing` onto the Trace
+Event Format's JSON array flavor: spans become complete events
+(``ph: "X"``, microsecond ``ts``/``dur``), instants become ``ph: "i"``,
+and the final per-process metrics snapshots become counter tracks
+(``ph: "C"``) so cache-hit and bailout counters are visible on the
+same timeline as the spans that produced them.  Timestamps are epoch
+seconds in the JSONL, so spans from every process in a fleet land on
+one shared axis; the export rebases them to the earliest record to
+keep the numbers small.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+
+def chrome_trace(records: Iterable[dict]) -> dict:
+    """Trace Event Format dict (``{"traceEvents": [...]}``) from records."""
+    records = list(records)
+    stamps = [r["ts"] for r in records if "ts" in r] + [
+        r["wall"] for r in records if r.get("type") == "meta"
+    ]
+    origin = min(stamps) if stamps else 0.0
+    events: list[dict] = []
+    last_metrics: dict[int, dict] = {}
+    for rec in records:
+        pid = rec.get("pid", 0)
+        kind = rec.get("type")
+        if kind == "meta":
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"pid {pid}"},
+                }
+            )
+        elif kind == "span":
+            events.append(
+                {
+                    "name": rec["name"],
+                    "cat": rec.get("cat") or "span",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": (rec["ts"] - origin) * 1e6,
+                    "dur": rec["dur"] * 1e6,
+                    "args": dict(rec.get("args") or {}, span_id=rec.get("id")),
+                }
+            )
+        elif kind == "event":
+            events.append(
+                {
+                    "name": rec["name"],
+                    "cat": rec.get("cat") or "event",
+                    "ph": "i",
+                    "s": "p",  # process-scoped instant
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": (rec["ts"] - origin) * 1e6,
+                    "args": rec.get("args") or {},
+                }
+            )
+        elif kind == "metrics":
+            last_metrics[pid] = rec  # counters: keep the final snapshot
+    for pid, rec in sorted(last_metrics.items()):
+        ts = (rec["ts"] - origin) * 1e6
+        for name, value in sorted(rec.get("data", {}).get("counters", {}).items()):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {"value": value},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[dict], out: str | os.PathLike[str]) -> None:
+    """Write ``records`` to ``out`` as a Chrome trace JSON file."""
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(records), fh)

@@ -1,0 +1,290 @@
+"""JSONL span tracing with chained span ids, fork- and fleet-safe.
+
+A trace is a line-delimited JSON file.  Each process writes its own
+file — the enabling process (the CLI, normally) writes the path the
+user asked for, and every other process (pool workers, ``minim-cdma
+worker`` fleets) writes a ``PATH.<pid>`` sidecar next to it —
+and :func:`load_trace` merges them.  Records:
+
+``{"type": "meta", ...}``
+    One header per file segment: pid, wall-clock anchor, argv.
+``{"type": "span", "id", "parent", "name", "cat", "ts", "dur", "args"}``
+    A closed span.  ``id`` is ``"<pid>:<n>"``; ``parent`` chains spans
+    into a per-process tree (``None`` at the root).  ``ts`` is epoch
+    seconds (so spans from different processes on one machine share a
+    timeline); ``dur`` is seconds on the monotonic clock.
+``{"type": "event", "name", "cat", "ts", "parent", "args"}``
+    An instant (queue claim, lease break, heartbeat, ...).
+``{"type": "metrics", "ts", "data"}``
+    A cumulative snapshot of this process's metrics registry.  Flushed
+    after every task and at close, so a killed worker loses at most the
+    tail; readers keep the *last* snapshot per pid.
+
+Records are appended and flushed one line at a time: span/event volume
+is task- and queue-granular (never per simulation event), so write
+cost is negligible and a crashed process leaves a readable prefix.
+
+Enablement travels through the environment: ``enable(path)`` exports
+``REPRO_TRACE`` (+ ``REPRO_TRACE_PID`` marking the primary writer), and
+:mod:`repro.obs` auto-enables on import in any process that sees the
+variable — that is the entire multi-process story.  A process that
+forks while tracing is detected by pid change and rerouted to a fresh
+sidecar with a cleared registry, so nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.obs import metrics
+from repro.obs.clock import perf_seconds, wall_seconds
+
+__all__ = [
+    "ENV_TRACE",
+    "ENV_TRACE_PID",
+    "enable",
+    "close",
+    "enabled",
+    "trace_path",
+    "span",
+    "event",
+    "flush_metrics",
+    "load_trace",
+    "trace_files",
+]
+
+ENV_TRACE = "REPRO_TRACE"
+ENV_TRACE_PID = "REPRO_TRACE_PID"
+
+
+class _Tracer:
+    """Per-process trace writer.  Use the module functions, not this."""
+
+    def __init__(self, base: str, *, primary: bool) -> None:
+        self.base = base
+        self.pid = os.getpid()
+        self.path = base if primary else f"{base}.{self.pid}"
+        self.stack: list[str] = []
+        self._next_id = 0
+        self._file: IO[str] | None = None
+
+    # -- plumbing ----------------------------------------------------
+
+    def _out(self) -> IO[str]:
+        """The open segment file, re-routed to a sidecar after a fork."""
+        pid = os.getpid()
+        if pid != self.pid:
+            # Forked child: inherit nothing — parent owns the old file,
+            # the old span stack, and the registry contents so far.
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+            self.pid = pid
+            self.path = f"{self.base}.{pid}"
+            self.stack = []
+            self._next_id = 0
+            self._file = None
+            metrics.REGISTRY.clear()
+        if self._file is None:
+            parent = Path(self.path).parent
+            if parent and not parent.exists():
+                parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._write(
+                {
+                    "type": "meta",
+                    "pid": self.pid,
+                    "wall": wall_seconds(),
+                    "argv": sys.argv,
+                }
+            )
+        return self._file
+
+    def _write(self, record: dict) -> None:
+        assert self._file is not None
+        self._file.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        self._file.flush()
+
+    def emit(self, record: dict) -> None:
+        self._out()
+        record["pid"] = self.pid
+        self._write(record)
+
+    def new_id(self) -> str:
+        self._next_id += 1
+        return f"{self.pid}:{self._next_id}"
+
+    def close(self) -> None:
+        if self._file is not None and os.getpid() == self.pid:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+        self._file = None
+
+
+_tracer: _Tracer | None = None
+
+
+def enabled() -> bool:
+    """Whether observability (metrics + tracing) is on in this process."""
+    return _tracer is not None
+
+
+def trace_path() -> str | None:
+    """This process's trace segment path, or ``None`` when disabled."""
+    return _tracer.path if _tracer is not None else None
+
+
+def enable(path: str | os.PathLike[str], *, export_env: bool = True) -> None:
+    """Turn on tracing + metrics, writing to ``path`` (or a sidecar).
+
+    The first process to enable on a given environment becomes the
+    *primary* writer of ``path`` itself; any process inheriting the
+    exported ``REPRO_TRACE`` becomes a sidecar writer.  Idempotent
+    within a process.
+    """
+    global _tracer
+    if _tracer is not None:
+        return
+    base = os.fspath(path)
+    owner = os.environ.get(ENV_TRACE_PID)
+    primary = owner is None or owner == str(os.getpid())
+    if export_env:
+        os.environ[ENV_TRACE] = base
+        if primary:
+            os.environ[ENV_TRACE_PID] = str(os.getpid())
+    _tracer = _Tracer(base, primary=primary)
+    metrics.ENABLED = True
+
+
+def close() -> None:
+    """Flush the final metrics snapshot and stop tracing (idempotent)."""
+    global _tracer
+    if _tracer is None:
+        return
+    try:
+        flush_metrics()
+    finally:
+        tracer, _tracer = _tracer, None
+        metrics.ENABLED = False
+        metrics.REGISTRY.clear()
+        if os.environ.get(ENV_TRACE_PID) == str(tracer.pid):
+            os.environ.pop(ENV_TRACE_PID, None)
+            os.environ.pop(ENV_TRACE, None)
+        tracer.close()
+
+
+def maybe_enable_from_env() -> None:
+    """Enable tracing when ``REPRO_TRACE`` is present in the environment.
+
+    Called on :mod:`repro.obs` import so pool workers and ``worker``
+    fleet processes join a trace with zero wiring.
+    """
+    base = os.environ.get(ENV_TRACE)
+    if base:
+        enable(base)
+
+
+@contextmanager
+def span(name: str, cat: str = "", **args: object) -> Iterator[None]:
+    """Time a block as a span chained under the current span.
+
+    A cheap no-op context when disabled.  ``args`` land in the record
+    verbatim (keep them JSON-scalar).
+    """
+    tracer = _tracer
+    if tracer is None:
+        yield None
+        return
+    tracer._out()  # resolve fork re-routing before we allocate an id
+    sid = tracer.new_id()
+    parent = tracer.stack[-1] if tracer.stack else None
+    tracer.stack.append(sid)
+    wall0 = wall_seconds()
+    t0 = perf_seconds()
+    try:
+        yield None
+    finally:
+        dur = perf_seconds() - t0
+        if tracer.stack and tracer.stack[-1] == sid:
+            tracer.stack.pop()
+        tracer.emit(
+            {
+                "type": "span",
+                "id": sid,
+                "parent": parent,
+                "name": name,
+                "cat": cat,
+                "ts": wall0,
+                "dur": dur,
+                "args": args or {},
+            }
+        )
+
+
+def event(name: str, cat: str = "", **args: object) -> None:
+    """Record an instant event (no-op when disabled)."""
+    tracer = _tracer
+    if tracer is None:
+        return
+    tracer._out()
+    tracer.emit(
+        {
+            "type": "event",
+            "name": name,
+            "cat": cat,
+            "ts": wall_seconds(),
+            "parent": tracer.stack[-1] if tracer.stack else None,
+            "args": args or {},
+        }
+    )
+
+
+def flush_metrics() -> None:
+    """Write a cumulative metrics snapshot record (no-op when disabled)."""
+    tracer = _tracer
+    if tracer is None:
+        return
+    tracer._out()
+    tracer.emit({"type": "metrics", "ts": wall_seconds(), "data": metrics.REGISTRY.snapshot()})
+
+
+def trace_files(path: str | os.PathLike[str]) -> list[Path]:
+    """The primary file plus every per-process sidecar, stable order."""
+    base = Path(path)
+    files = [base] if base.exists() else []
+    if base.parent.exists():
+        files.extend(sorted(p for p in base.parent.glob(base.name + ".*") if p.is_file()))
+    return files
+
+
+def load_trace(path: str | os.PathLike[str]) -> list[dict]:
+    """All records of a trace — primary + sidecars, file order.
+
+    Tolerates a truncated final line per file (a worker killed
+    mid-write leaves a readable prefix, not a corrupt trace).
+    """
+    records: list[dict] = []
+    for file in trace_files(path):
+        with open(file, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn tail write
+    return records
+
+
+atexit.register(close)

@@ -66,6 +66,11 @@ members over the checkpoint tree, so point ``k`` forks from point
 ``k-1``'s last shared round and the sweep replays max(k) rounds total.
 The timeline entry's ``timeline_prefix_sharing`` ratio is gated in CI.
 
+A sixth comparison (:func:`run_obs_overhead_bench`) prices the
+observability layer itself: the same join trace with tracing off and
+on, the ``on`` entry carrying the CI-gated ``trace_on_vs_off``
+throughput ratio (the ≤3%-overhead contract of :mod:`repro.obs`).
+
 Results land in ``BENCH_eventloop.json`` (one entry per trace × mode
 with ``scenario``, ``n``, ``wall_seconds``, ``events_per_sec``) so the
 perf trajectory is machine-readable from CI artifacts.
@@ -75,9 +80,7 @@ from __future__ import annotations
 
 import json
 import math
-import time
-import tracemalloc
-from collections.abc import Callable, Set
+from collections.abc import Set
 from dataclasses import replace
 from pathlib import Path
 
@@ -87,6 +90,7 @@ from repro.coloring.assignment import CodeAssignment
 from repro.coloring.constraints import lowest_available_color
 from repro.errors import ConfigurationError
 from repro.events.base import Event, JoinEvent, LeaveEvent, MoveEvent, PowerChangeEvent
+from repro.obs.clock import perf_seconds, traced_peak_mb
 from repro.sim.network import AdHocNetwork, MultiStrategyReplay
 from repro.sim.random_networks import sample_configs
 from repro.sim.registry import get_scenario
@@ -101,6 +105,7 @@ __all__ = [
     "run_adaptive_bench",
     "run_event_loop_bench",
     "run_large_n_bench",
+    "run_obs_overhead_bench",
     "run_replay_bench",
     "run_timeline_bench",
     "run_warmstart_bench",
@@ -124,25 +129,6 @@ _ARRAY_MAX_LARGE_N = 10000
 #: comparison leg would dominate the bench wall clock, so the large-n
 #: bench skips it (no ``speedup_vs_pr7`` on those entries).
 _SCALAR_MAX_LARGE_N = 20000
-
-
-def _traced_peak_mb(fn: Callable[[], object]) -> float:
-    """Run ``fn`` under :mod:`tracemalloc`; return its peak MiB.
-
-    Used on the *untimed* warmup repetition of every bench, so each
-    entry records a ``peak_mem_mb`` without perturbing the timed runs
-    (tracemalloc hooks every allocation).  Python-level peak, which is
-    what distinguishes the dense O(N²) conflict blocks from the sparse
-    core's O(N+E) rows — both allocate through numpy, which tracemalloc
-    sees.
-    """
-    tracemalloc.start()
-    try:
-        fn()
-        _, peak = tracemalloc.get_traced_memory()
-    finally:
-        tracemalloc.stop()
-    return peak / (1024.0 * 1024.0)
 
 
 def _bench_graph(mode: str) -> AdHocDigraph:
@@ -224,7 +210,7 @@ def drive_event_loop(
         raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_DRIVER_MODES}")
     graph = _bench_graph(mode)
     _apply_setup(graph, setup, mode)
-    start = time.perf_counter()
+    start = perf_seconds()
     for ev in events:
         if isinstance(ev, JoinEvent):
             graph.add_node(ev.config)
@@ -249,7 +235,7 @@ def drive_event_loop(
             for u in graph.in_neighbors(ev.node_id):
                 graph.conflict_neighbor_ids(u)
             graph.conflict_neighbor_ids(ev.node_id)
-    return time.perf_counter() - start
+    return perf_seconds() - start
 
 
 def drive_event_rounds(
@@ -276,7 +262,7 @@ def drive_event_rounds(
         raise ValueError(f"unknown event-loop mode {mode!r}; expected one of {_DRIVER_MODES}")
     graph = _bench_graph(mode)
     _apply_setup(graph, setup, mode)
-    start = time.perf_counter()
+    start = perf_seconds()
     for round_events in rounds:
         deltas = graph.apply_round(round_events)
         for delta in deltas:
@@ -290,7 +276,7 @@ def drive_event_rounds(
                     graph.conflict_slots(int(u))
             else:
                 graph.conflict_masks(graph.v1_slots(s))
-    return time.perf_counter() - start
+    return perf_seconds() - start
 
 
 def _traces(n: int, scenario: str, seed: int) -> list[tuple[str, int, list[Event]]]:
@@ -334,7 +320,7 @@ def run_event_loop_bench(
         timings: dict[str, float] = {}
         per_mode: dict[str, dict] = {}
         for mode in _EVENT_LOOP_MODES:
-            peak = _traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
+            peak = traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
             wall = float(np.median([drive_event_loop(events, mode=mode) for _ in range(runs)]))
             timings[mode] = wall
             entry = {
@@ -418,7 +404,7 @@ def run_large_n_bench(
         if n <= ceiling
     ]
     for mode in legs:
-        peaks[mode] = _traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
+        peaks[mode] = traced_peak_mb(lambda: drive_event_loop(events, mode=mode))  # warmup
         wall = float(np.median([drive_event_loop(events, mode=mode) for _ in range(runs)]))
         timings[mode] = wall
         entries.append(
@@ -437,7 +423,7 @@ def run_large_n_bench(
     def drive_bulk() -> float:
         return drive_event_rounds([events], mode="sparse")
 
-    peaks["sparse"] = _traced_peak_mb(drive_bulk)  # warmup
+    peaks["sparse"] = traced_peak_mb(drive_bulk)  # warmup
     wall = float(np.median([drive_bulk() for _ in range(runs)]))
     timings["sparse"] = wall
     sparse_entry = {
@@ -469,7 +455,7 @@ def run_large_n_bench(
     def drive_rounds() -> float:
         return drive_event_rounds(rounds, mode="sparse", setup=events)
 
-    peak = _traced_peak_mb(drive_rounds)  # warmup
+    peak = traced_peak_mb(drive_rounds)  # warmup
     seq_wall = float(
         np.median([drive_event_loop(flat, mode="sparse", setup=events) for _ in range(runs)])
     )
@@ -588,20 +574,20 @@ class _FirstFitLane(RecodingStrategy):
 
 def _drive_per_strategy(events: list[Event], lanes: int) -> float:
     """Replay ``events`` once per lane on independent networks."""
-    start = time.perf_counter()
+    start = perf_seconds()
     for _ in range(lanes):
         net = AdHocNetwork(_FirstFitLane())
         for ev in events:
             net.apply(ev)
-    return time.perf_counter() - start
+    return perf_seconds() - start
 
 
 def _drive_shared(events: list[Event], lanes: int) -> float:
     """Replay ``events`` single-pass against ``lanes`` strategy lanes."""
-    start = time.perf_counter()
+    start = perf_seconds()
     replay = MultiStrategyReplay([_FirstFitLane() for _ in range(lanes)])
     replay.run(events)
-    return time.perf_counter() - start
+    return perf_seconds() - start
 
 
 def run_replay_bench(
@@ -628,7 +614,7 @@ def run_replay_bench(
     entries: list[dict] = []
     timings: dict[str, float] = {}
     for mode, drive in (("per-strategy", _drive_per_strategy), ("shared", _drive_shared)):
-        peak = _traced_peak_mb(lambda: drive(events, lanes))  # warmup
+        peak = traced_peak_mb(lambda: drive(events, lanes))  # warmup
         wall = float(np.median([drive(events, lanes) for _ in range(runs)]))
         timings[mode] = wall
         entries.append(
@@ -650,22 +636,22 @@ def run_replay_bench(
 
 def _drive_cold_sweep(baseline: list[Event], rounds: list[list[Event]], lanes: int) -> float:
     """Rebuild the baseline network for every sweep value (pre-warm-start)."""
-    start = time.perf_counter()
+    start = perf_seconds()
     for round_events in rounds:
         replay = MultiStrategyReplay([_FirstFitLane() for _ in range(lanes)])
         replay.run(baseline)
         replay.run(round_events)
-    return time.perf_counter() - start
+    return perf_seconds() - start
 
 
 def _drive_warm_sweep(baseline: list[Event], rounds: list[list[Event]], lanes: int) -> float:
     """Build the baseline once; fork it per sweep value (warm start)."""
-    start = time.perf_counter()
+    start = perf_seconds()
     base = MultiStrategyReplay([_FirstFitLane() for _ in range(lanes)])
     base.run(baseline)
     for round_events in rounds:
         base.fork().run(round_events)
-    return time.perf_counter() - start
+    return perf_seconds() - start
 
 
 def run_warmstart_bench(
@@ -710,7 +696,7 @@ def run_warmstart_bench(
     entries: list[dict] = []
     timings: dict[str, float] = {}
     for mode, drive in (("cold", _drive_cold_sweep), ("warm", _drive_warm_sweep)):
-        peak = _traced_peak_mb(lambda: drive(baseline, rounds, lanes))  # warmup
+        peak = traced_peak_mb(lambda: drive(baseline, rounds, lanes))  # warmup
         wall = float(np.median([drive(baseline, rounds, lanes) for _ in range(runs)]))
         timings[mode] = wall
         entries.append(
@@ -796,12 +782,12 @@ def run_timeline_bench(
     entries: list[dict] = []
     timings: dict[str, float] = {}
     for mode, drive in (("warm-rounds", drive_warm_rounds), ("timeline", drive_timeline)):
-        peak = _traced_peak_mb(drive)  # warmup
+        peak = traced_peak_mb(drive)  # warmup
         walls = []
         for _ in range(runs):
-            start = time.perf_counter()
+            start = perf_seconds()
             drive()
-            walls.append(time.perf_counter() - start)
+            walls.append(perf_seconds() - start)
         wall = float(np.median(walls))
         timings[mode] = wall
         entries.append(
@@ -866,21 +852,21 @@ def run_adaptive_bench(
     target = PrecisionTarget(rel=0.5, abs_tol=2.0, min_runs=2, max_runs=fixed_runs)
 
     def drive_fixed() -> tuple[float, int]:
-        start = time.perf_counter()
+        start = perf_seconds()
         run_sweep(spec, runs=fixed_runs, seed=seed)
-        return time.perf_counter() - start, fixed_runs * len(spec.sweep_values)
+        return perf_seconds() - start, fixed_runs * len(spec.sweep_values)
 
     def drive_adaptive() -> tuple[float, int]:
         controller = RunController(target)
-        start = time.perf_counter()
+        start = perf_seconds()
         run_sweep(spec, runs=2, seed=seed, precision=controller)
         assert controller.total_runs is not None
-        return time.perf_counter() - start, controller.total_runs
+        return perf_seconds() - start, controller.total_runs
 
     entries: list[dict] = []
     totals: dict[str, int] = {}
     for mode, drive in (("fixed", drive_fixed), ("adaptive", drive_adaptive)):
-        peak = _traced_peak_mb(drive)  # warmup
+        peak = traced_peak_mb(drive)  # warmup
         samples = [drive() for _ in range(runs)]
         walls = [w for w, _ in samples]
         run_counts = {t for _, t in samples}
@@ -903,6 +889,98 @@ def run_adaptive_bench(
             }
         )
     entries[-1]["run_savings_vs_fixed"] = totals["fixed"] / totals["adaptive"]
+    return entries
+
+
+def run_obs_overhead_bench(
+    *,
+    n: int = 240,
+    runs: int = 5,
+    inner: int = 10,
+    seed: int = 2001,
+) -> list[dict]:
+    """Time the event loop with tracing off vs on; return both entries.
+
+    The observability layer's contract is that its hot-path guards
+    (``if _met.ENABLED: ...`` in the conflict cores) cost nothing
+    measurable when tracing is off and only a few percent when on.
+    This bench pins that claim: the fig10-style join trace runs through
+    :func:`drive_event_loop` on the array core twice — ``off`` with the
+    obs layer disabled, ``on`` inside an :func:`repro.obs.enable` /
+    :func:`repro.obs.close` window writing to a throwaway trace file —
+    and the ``on`` entry carries ``trace_on_vs_off``, the off/on wall
+    ratio (1.0 = free, 0.97 = 3% slowdown; CI gates the floor).  Each
+    sample drives the trace ``inner`` times, the off and on samples of
+    a round run back to back (so slow machine drift — thermal
+    throttling, noisy CI neighbors — hits both legs equally instead of
+    masquerading as overhead), and ``trace_on_vs_off`` is the *best*
+    per-round ratio over ``runs`` rounds: scheduler noise on a
+    millisecond sample is one-sided and larger than the true overhead,
+    so the gate asks for one clean paired round rather than every round
+    clean — a real unguarded-hot-path regression drags every round down
+    and still fails.  The published ``wall_seconds`` per leg is the
+    minimum over rounds, the timeit convention.
+
+    Runs refuse to start while tracing is already enabled (e.g. under
+    ``bench --trace``): the off leg would silently measure the on
+    configuration and the ratio would gate nothing.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if inner < 1:
+        raise ValueError(f"inner must be >= 1, got {inner}")
+    import tempfile
+
+    from repro import obs
+
+    if obs.enabled():
+        raise ConfigurationError(
+            "the obs-overhead bench toggles tracing itself; rerun without --trace"
+        )
+    rng = np.random.default_rng(seed)
+    events: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng)]
+
+    def drive() -> float:
+        return sum(drive_event_loop(events, mode="array") for _ in range(inner))
+
+    walls = {"off": float("inf"), "on": float("inf")}
+    peaks: dict[str, float] = {}
+    peaks["off"] = traced_peak_mb(drive)  # warmup
+    with tempfile.TemporaryDirectory() as td:
+        sink = Path(td) / "obs-overhead.jsonl"
+        obs.enable(sink)
+        try:
+            peaks["on"] = traced_peak_mb(drive)  # warmup
+        finally:
+            obs.close()
+        round_ratios: list[float] = []
+        for _ in range(runs):
+            off_wall = drive()
+            obs.enable(sink)
+            try:
+                on_wall = drive()
+            finally:
+                obs.close()
+            walls["off"] = min(walls["off"], off_wall)
+            walls["on"] = min(walls["on"], on_wall)
+            round_ratios.append(off_wall / on_wall if on_wall > 0 else 1.0)
+    driven = inner * len(events)
+    entries: list[dict] = []
+    for mode in ("off", "on"):
+        wall = walls[mode]
+        entries.append(
+            {
+                "scenario": "obs-overhead",
+                "n": n,
+                "mode": mode,
+                "events": driven,
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": driven / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peaks[mode],
+            }
+        )
+    entries[-1]["trace_on_vs_off"] = max(round_ratios)
     return entries
 
 

@@ -45,6 +45,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.sim.results import DEFAULT_CLAIM_TTL, ResultsBackend, open_backend
 from repro.sim.runner import parallel_map
@@ -214,10 +215,17 @@ def compute_group(group: TaskGroup, on_member=None) -> list[list]:
     ``on_member(index, result)``, when given, fires after each member
     completes — the hook drain loops use to persist points and renew
     their lease incrementally instead of once at the end.
+
+    This is the single choke point every executor funnels through, so
+    the per-task trace span lives here: one ``task.compute`` span per
+    group, in whichever process ran it.
     """
-    return _compute_group_timeline(
-        group.points, group.seed, share=group.warm, on_member=on_member
-    )
+    with obs.span(
+        "task.compute", cat="executor", key=group.key, members=len(group.indices), warm=group.warm
+    ):
+        return _compute_group_timeline(
+            group.points, group.seed, share=group.warm, on_member=on_member
+        )
 
 
 def _provenance(context: dict, worker: str) -> dict:
@@ -248,8 +256,11 @@ def _claimed_compute(
     def landed(m: int, out: list) -> None:
         backend.save_point(group.keys[m], out, context=_provenance(group.contexts[m], owner))
         backend.renew_claim(gkey, owner)
+        obs.event("queue.lease_renew", cat="queue", key=gkey, owner=owner)
 
-    return compute_group(group, on_member=landed)
+    outs = compute_group(group, on_member=landed)
+    obs.flush_metrics()  # snapshot survives even if this claimant dies next
+    return outs
 
 
 def _execute_group_task(args: tuple) -> list[list]:
@@ -264,14 +275,18 @@ def _execute_group_task(args: tuple) -> list[list]:
     payload, locator = args
     group = group_from_payload(payload)
     if locator is None:
-        return compute_group(group)
+        outs = compute_group(group)
+        obs.flush_metrics()  # pool workers may be torn down without atexit
+        return outs
     backend = _reopen(locator)
     worker = f"proc-{os.getpid()}"
 
     def landed(m: int, out: list) -> None:
         backend.save_point(group.keys[m], out, context=_provenance(group.contexts[m], worker))
 
-    return compute_group(group, on_member=landed)
+    outs = compute_group(group, on_member=landed)
+    obs.flush_metrics()  # pool workers may be torn down without atexit
+    return outs
 
 
 def _reopen(locator: tuple[str, str]) -> ResultsBackend:
@@ -455,8 +470,10 @@ class WorkerExecutor:
         results: dict[tuple[int, int], list] = {}
         deadline = time.monotonic() + self.max_wait
         last_present = -1
+        beat = _HeartbeatClock(self.claim_ttl)
         while missing:
             progressed = False
+            beat.maybe_beat(backend, owner)
             # one batched probe per poll: completed members of every
             # still-missing group (cheap on SQLite's bulk path)
             present = backend.load_points([k for g in missing.values() for k in g.keys])
@@ -468,6 +485,7 @@ class WorkerExecutor:
                     backend, gkey, self.quarantine_after, claim_ttl=self.claim_ttl
                 ):
                     if backend.try_claim(gkey, owner, ttl=self.claim_ttl):
+                        obs.event("queue.claim", cat="queue", key=gkey, owner=owner)
                         try:
                             # Double-check under the claim (a worker may
                             # have landed the points since the probe).
@@ -553,7 +571,30 @@ def _maybe_quarantine(
     if age is not None and age <= claim_ttl:
         return False
     backend.quarantine_task(gkey, reason=f"{breaks} broken leases")
+    obs.event("queue.quarantine", cat="queue", key=gkey, breaks=breaks)
     return True
+
+
+class _HeartbeatClock:
+    """Rate-limits worker heartbeats to a fraction of the lease TTL.
+
+    A beat both stamps the store (so ``store stats``/``watch`` can flag
+    a worker whose last beat is older than the TTL) and emits a trace
+    event.  One third of the TTL keeps a healthy worker comfortably
+    inside the staleness window across scheduling jitter.
+    """
+
+    def __init__(self, claim_ttl: float) -> None:
+        self.every = max(claim_ttl / 3.0, 0.05)
+        self._last: float | None = None
+
+    def maybe_beat(self, backend: ResultsBackend, owner: str) -> None:
+        now = time.monotonic()
+        if self._last is not None and now - self._last < self.every:
+            return
+        self._last = now
+        backend.record_heartbeat(owner)
+        obs.event("worker.heartbeat", cat="worker", owner=owner)
 
 
 # ----------------------------------------------------------------------
@@ -582,15 +623,19 @@ def run_worker(
     mid-computation) is quarantined instead of claimed — one poison
     task must not grind down the whole fleet.  ``minim-cdma store
     requeue`` releases quarantined tasks after inspection;
-    ``quarantine_after <= 0`` disables churn-based parking.  Returns the
-    number of groups this worker computed; exits after ``max_idle``
-    seconds without finding work (or after one scan with ``once``).
+    ``quarantine_after <= 0`` disables churn-based parking.  The loop
+    stamps a heartbeat into the store every third of ``claim_ttl`` so
+    the monitor can flag silently dead workers.  Returns the number of
+    groups this worker computed; exits after ``max_idle`` seconds
+    without finding work (or after one scan with ``once``).
     """
     owner = owner or f"worker-{os.getpid()}"
     computed = 0
     idle_since: float | None = None
+    beat = _HeartbeatClock(claim_ttl)
     while True:
         worked = False
+        beat.maybe_beat(backend, owner)
         for gkey in backend.pending_task_keys():
             payload = backend.load_task(gkey)
             if payload is None:
@@ -618,6 +663,8 @@ def run_worker(
                 continue
             if not backend.try_claim(gkey, owner, ttl=claim_ttl):
                 continue
+            obs.event("queue.claim", cat="queue", key=gkey, owner=owner)
+            beat.maybe_beat(backend, owner)
             try:
                 # Double-check under the claim: a peer may have finished
                 # between the scan and the claim (shrinks, but cannot

@@ -19,7 +19,10 @@ Two data sources feed a snapshot:
   second on large stores;
 * the point records' provenance contexts (``worker`` / ``saved_at``,
   stamped by the execution layer as each point lands), from which
-  per-worker throughput is derived.  This walks every point record, so
+  per-worker throughput is derived, joined with the workers' heartbeat
+  stamps (:meth:`~repro.sim.results.ResultsBackend.heartbeats`) so a
+  worker whose last beat is older than the lease TTL is flagged
+  ``STALE``.  This walks every point record, so
   :meth:`StoreMonitor.stats` can skip it with ``workers=False`` and
   ``store watch`` exposes the same switch.
 
@@ -50,7 +53,7 @@ from pathlib import Path
 from typing import IO
 
 from repro.errors import ConfigurationError
-from repro.sim.results import ResultsBackend
+from repro.sim.results import DEFAULT_CLAIM_TTL, ResultsBackend
 
 __all__ = [
     "StoreMonitor",
@@ -84,12 +87,23 @@ CSV_COLUMNS = (
 
 @dataclass(frozen=True)
 class WorkerStats:
-    """Throughput of one worker, derived from point provenance."""
+    """Throughput of one worker, derived from point provenance.
+
+    ``heartbeat_age`` is seconds since the worker's last heartbeat
+    stamp (:meth:`~repro.sim.results.ResultsBackend.record_heartbeat`),
+    or ``None`` for workers that never stamped one (pre-heartbeat
+    fleets, or points saved outside a worker loop); ``stale`` flags a
+    heartbeat older than the lease TTL — a live worker beats every
+    third of the TTL, so missing a whole TTL means the process is gone
+    or wedged and its claims are heading for a lease break.
+    """
 
     worker: str
     points: int
     first_saved_at: float
     last_saved_at: float
+    heartbeat_age: float | None = None
+    stale: bool = False
 
     @property
     def points_per_sec(self) -> float | None:
@@ -147,15 +161,25 @@ class StoreStats:
             lines.append("  workers:")
             for w in sorted(self.workers, key=lambda w: w.worker):
                 rate = f"{w.points_per_sec:.2f}/s" if w.points_per_sec is not None else "-"
-                lines.append(f"    {w.worker:<24} {w.points:>6} point(s)  {rate}")
+                beat = f"heartbeat {w.heartbeat_age:.0f}s ago" if w.heartbeat_age is not None else ""
+                if w.stale:
+                    beat += "  STALE (no heartbeat within the lease TTL)"
+                lines.append(f"    {w.worker:<24} {w.points:>6} point(s)  {rate}  {beat}".rstrip())
         return "\n".join(lines)
 
 
 class StoreMonitor:
-    """Observability over one results backend (``store stats/watch``)."""
+    """Observability over one results backend (``store stats/watch``).
 
-    def __init__(self, backend: ResultsBackend) -> None:
+    ``lease_ttl`` is the staleness horizon for worker heartbeats: a
+    worker whose last heartbeat is older than this is flagged ``STALE``
+    in snapshots (workers beat every third of the claim TTL, so the
+    monitor's default matches the executors').
+    """
+
+    def __init__(self, backend: ResultsBackend, *, lease_ttl: float = DEFAULT_CLAIM_TTL) -> None:
         self.backend = backend
+        self.lease_ttl = lease_ttl
 
     def stats(self, *, workers: bool = True) -> StoreStats:
         """Take one snapshot.
@@ -197,7 +221,10 @@ class StoreMonitor:
 
         Points computed before provenance stamping existed (or saved
         directly through ``save_point``) have no worker id and are
-        grouped under ``"<unattributed>"``.
+        grouped under ``"<unattributed>"``.  Heartbeat stamps join in
+        (age + staleness against ``lease_ttl``); a worker that has
+        heartbeats but no saved points yet still gets a row, so a
+        wedged worker that never produced anything is visible.
         """
         per_worker: dict[str, list[float]] = {}
         counts: dict[str, int] = {}
@@ -208,13 +235,25 @@ class StoreMonitor:
             saved_at = context.get("saved_at")
             if isinstance(saved_at, (int, float)):
                 per_worker.setdefault(worker, []).append(float(saved_at))
+        beats = self.backend.heartbeats()
+        for worker in beats:
+            counts.setdefault(worker, 0)
+        now = time.time()
         out = []
         for worker, n in counts.items():
             stamps = per_worker.get(worker, [])
             first = min(stamps) if stamps else 0.0
             last = max(stamps) if stamps else 0.0
+            age = now - beats[worker] if worker in beats else None
             out.append(
-                WorkerStats(worker=worker, points=n, first_saved_at=first, last_saved_at=last)
+                WorkerStats(
+                    worker=worker,
+                    points=n,
+                    first_saved_at=first,
+                    last_saved_at=last,
+                    heartbeat_age=age,
+                    stale=age is not None and age > self.lease_ttl,
+                )
             )
         return tuple(sorted(out, key=lambda w: w.worker))
 

@@ -58,7 +58,9 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _met
 
 if TYPE_CHECKING:  # pragma: no cover - type-only
     from repro.analysis.series import ExperimentSeries
@@ -157,6 +159,8 @@ class ResultsBackend(abc.ABC):
     def load_point(self, key: str) -> Any | None:
         """The stored result payload for ``key``, or ``None`` if absent."""
         record = self.load_point_record(key)
+        if _met.ENABLED:
+            _met.REGISTRY.inc("store.point.hit" if record is not None else "store.point.miss")
         if record is None:
             return None
         try:
@@ -176,6 +180,8 @@ class ResultsBackend(abc.ABC):
         self.save_point_record(
             key, {"schema": _SCHEMA_VERSION, "context": context or {}, "result": result}
         )
+        if _met.ENABLED:
+            _met.REGISTRY.inc("store.point.write")
 
     def load_points(self, keys: "list[str]") -> dict[str, Any]:
         """``{key: result}`` for every stored key in ``keys``.
@@ -411,6 +417,34 @@ class ResultsBackend(abc.ABC):
     @abc.abstractmethod
     def list_quarantined(self) -> list[str]:
         """Keys currently quarantined, ascending."""
+
+    # ------------------------------------------------------------------
+    # Worker heartbeats
+    # ------------------------------------------------------------------
+    def record_heartbeat(self, worker: str) -> None:
+        """Stamp ``worker``'s liveness (wall-clock time + pid).
+
+        Workers beat every fraction of the lease TTL (see
+        :mod:`repro.sim.executor`); the monitor flags a worker whose
+        last beat is older than the TTL as stale instead of showing it
+        as silently live.  Latest-wins per worker name.
+        """
+        self.save_heartbeat_record(worker, {"at": time.time(), "pid": os.getpid()})
+
+    def heartbeats(self) -> dict[str, float]:
+        """``{worker: last heartbeat epoch seconds}`` for every worker."""
+        return {
+            worker: float(record.get("at", 0.0))
+            for worker, record in self.heartbeat_records().items()
+        }
+
+    @abc.abstractmethod
+    def save_heartbeat_record(self, worker: str, record: dict) -> None:
+        """Persist one worker's latest heartbeat record."""
+
+    @abc.abstractmethod
+    def heartbeat_records(self) -> dict[str, dict]:
+        """All stored heartbeat records keyed by worker name."""
 
     # ------------------------------------------------------------------
     # Introspection / migration
@@ -718,6 +752,7 @@ class JsonDirBackend(ResultsBackend):
         """Bump the break counter file (read-modify-write; advisory)."""
         breaks = self.lease_breaks(key) + 1
         self._write_json(self.churn_path(key), {"breaks": breaks})
+        obs.event("queue.lease_break", cat="queue", key=key, breaks=breaks)
         return breaks
 
     def lease_breaks(self, key: str) -> int:
@@ -758,6 +793,26 @@ class JsonDirBackend(ResultsBackend):
         return sorted(p.stem for p in self.root.glob("quarantine/*.json"))
 
     # ------------------------------------------------------------------
+    # Worker heartbeats
+    # ------------------------------------------------------------------
+    def heartbeat_path(self, worker: str) -> Path:
+        """Where the heartbeat record for ``worker`` lives."""
+        return self.root / "heartbeats" / f"{worker}.json"
+
+    def save_heartbeat_record(self, worker: str, record: dict) -> None:
+        """Write one heartbeat record atomically (latest-wins)."""
+        self._write_json(self.heartbeat_path(worker), record)
+
+    def heartbeat_records(self) -> dict[str, dict]:
+        """All heartbeat records keyed by worker name."""
+        out: dict[str, dict] = {}
+        for path in sorted(self.root.glob("heartbeats/*.json")):
+            record = self._read_json(path, "heartbeat record")
+            if record is not None:
+                out[path.stem] = record
+        return out
+
+    # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
     def compact(self) -> "SqliteBackend":
@@ -776,7 +831,16 @@ class JsonDirBackend(ResultsBackend):
 
         dst = SqliteBackend(self.root / _SQLITE_BASENAME)
         migrate_store(self, dst)
-        for sub in ("points", "sweeps", "series", "tasks", "claims", "churn", "quarantine"):
+        for sub in (
+            "points",
+            "sweeps",
+            "series",
+            "tasks",
+            "claims",
+            "churn",
+            "quarantine",
+            "heartbeats",
+        ):
             shutil.rmtree(self.root / sub, ignore_errors=True)
         return dst
 
@@ -823,7 +887,7 @@ class SqliteBackend(ResultsBackend):
     kind = "sqlite"
 
     #: Artifact kinds stored as rows of the ``artifacts`` table.
-    _TABLES = ("points", "manifests", "series", "tasks", "churn", "quarantine")
+    _TABLES = ("points", "manifests", "series", "tasks", "churn", "quarantine", "heartbeats")
 
     def __init__(self, path: Path | str) -> None:
         path = Path(path)
@@ -921,6 +985,8 @@ class SqliteBackend(ResultsBackend):
     def load_points(self, keys: list[str]) -> dict[str, object]:
         """Bulk point fetch: one ``IN`` query per chunk of 500 keys."""
         if not keys or not self.path.exists():
+            if _met.ENABLED and keys:
+                _met.REGISTRY.inc("store.point.miss", len(keys))
             return {}
         out: dict[str, object] = {}
         with self._connect() as conn:
@@ -939,6 +1005,9 @@ class SqliteBackend(ResultsBackend):
                         raise ConfigurationError(
                             f"corrupt points row {key!r} in {self.path}: {exc}"
                         ) from exc
+        if _met.ENABLED:
+            _met.REGISTRY.inc("store.point.hit", len(out))
+            _met.REGISTRY.inc("store.point.miss", len(keys) - len(out))
         return out
 
     # -- manifests -------------------------------------------------------
@@ -1063,6 +1132,7 @@ class SqliteBackend(ResultsBackend):
             "INSERT OR REPLACE INTO artifacts (kind, key, payload) VALUES ('churn', ?, ?)",
             (key, json.dumps({"breaks": breaks})),
         )
+        obs.event("queue.lease_break", cat="queue", key=key, breaks=breaks)
         return breaks
 
     def record_lease_break(self, key: str) -> int:
@@ -1113,6 +1183,21 @@ class SqliteBackend(ResultsBackend):
     def list_quarantined(self) -> list[str]:
         """Keys currently quarantined, ascending."""
         return self._keys("quarantine")
+
+    # -- heartbeats ------------------------------------------------------
+    def save_heartbeat_record(self, worker: str, record: dict) -> None:
+        """Upsert one worker's heartbeat row (latest-wins)."""
+        self._put("heartbeats", worker, record)
+
+    def heartbeat_records(self) -> dict[str, dict]:
+        """All heartbeat rows keyed by worker name, one query."""
+        if not self.path.exists():
+            return {}
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT key, payload FROM artifacts WHERE kind = 'heartbeats' ORDER BY key"
+            ).fetchall()
+        return {key: json.loads(payload) for key, payload in rows}
 
     # -- introspection ---------------------------------------------------
     def iter_point_records(self) -> Iterator[tuple[str, dict]]:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
 from repro.sim.control import PrecisionTarget, RunController, resolve_precision
@@ -305,20 +306,28 @@ def run_sweep(
     """
     import os
 
-    sweep = build_sweep(
-        scenario,
-        runs=runs,
-        seed=seed,
-        strategies=strategies,
-        env_runs=os.environ.get("REPRO_RUNS"),
-    )
-    spec = sweep.scenario
-    controller = resolve_precision(precision)
-    exec_ = resolve_executor(executor, processes)
-
-    groups = plan_tasks(sweep, warm_start=warm_start)
-    results, pending = claim_cached(groups, store, resume)
-    results.update(exec_.execute(pending, backend=store, resume=resume))
+    # Phase spans mirror the pipeline stages of the module docstring;
+    # `minim-cdma report` keys its per-phase table off these names, and
+    # the trace-completeness check pairs each execute span's `pending`
+    # count against the task.compute spans the executors emit.
+    with obs.span("sweep.plan", cat="sweep"):
+        sweep = build_sweep(
+            scenario,
+            runs=runs,
+            seed=seed,
+            strategies=strategies,
+            env_runs=os.environ.get("REPRO_RUNS"),
+        )
+        spec = sweep.scenario
+        controller = resolve_precision(precision)
+        exec_ = resolve_executor(executor, processes)
+        groups = plan_tasks(sweep, warm_start=warm_start)
+    with obs.span("sweep.claim", cat="sweep", scenario=spec.name, planned=len(groups)):
+        results, pending = claim_cached(groups, store, resume)
+    with obs.span(
+        "sweep.execute", cat="sweep", scenario=spec.name, pending=len(pending), executor=exec_.name
+    ):
+        results.update(exec_.execute(pending, backend=store, resume=resume))
     computed = sum(len(g.indices) for g in pending)
     # plan_tasks already hashed every point key; harvest, don't rehash
     keys = {ix: key for g in groups for ix, key in zip(g.indices, g.keys)}
@@ -335,9 +344,18 @@ def run_sweep(
             extra = plan_additional_tasks(sweep, runs_per_point, want, warm_start=warm_start)
             if not extra:
                 break
-            extra_cached, extra_pending = claim_cached(extra, store, resume)
+            with obs.span("sweep.claim", cat="sweep", scenario=spec.name, planned=len(extra)):
+                extra_cached, extra_pending = claim_cached(extra, store, resume)
             results.update(extra_cached)
-            results.update(exec_.execute(extra_pending, backend=store, resume=resume))
+            with obs.span(
+                "sweep.execute",
+                cat="sweep",
+                scenario=spec.name,
+                pending=len(extra_pending),
+                executor=exec_.name,
+                adaptive_pass=passes + 1,
+            ):
+                results.update(exec_.execute(extra_pending, backend=store, resume=resume))
             computed += sum(len(g.indices) for g in extra_pending)
             keys.update({ix: key for g in extra for ix, key in zip(g.indices, g.keys)})
             for i, n in want.items():
@@ -346,7 +364,8 @@ def run_sweep(
         controller.runs_per_point = list(runs_per_point)
         controller.passes = passes
 
-    series = _assemble_series(sweep, results, runs_per_point)
+    with obs.span("sweep.collect", cat="sweep", scenario=spec.name):
+        series = _assemble_series(sweep, results, runs_per_point)
     cached = len(keys) - computed
     series.notes = f"{computed} points computed, {cached} from cache"
     if controller is not None:

@@ -56,6 +56,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as _met
 from repro.sim.network import MultiStrategyReplay
 from repro.sim.scenarios import ScenarioSpec, TracePhases, scenario_plan
 from repro.sim.trace import event_to_dict
@@ -380,6 +381,8 @@ def compute_point(point: ScenarioSpec, seed) -> list:
     state = _ExecState.fresh(plan.strategies)
     for stage in plan.stages:
         state.apply_stage(stage, plan.measure)
+    if _met.ENABLED:
+        _met.REGISTRY.inc("timeline.rounds.replayed", len(plan.stages))
     return state.result(plan.measure)
 
 
@@ -422,6 +425,9 @@ def compute_group(
     needed = _resume_boundaries(plans)
     if tree is None:
         tree = CheckpointTree()
+    # tree counters are cumulative (callers may thread one tree through
+    # many groups), so the metrics record this walk's delta only
+    stored0, hits0, evicted0 = tree.stored, tree.hits, tree.evicted
     for plan in plans:
         state, start = tree.resume(plan)
         for stage in plan.stages[start:]:
@@ -429,7 +435,14 @@ def compute_group(
             consumers = needed.get(stage.key)
             if consumers:
                 tree.checkpoint(stage.key, state, consumers=consumers)
+        if _met.ENABLED:
+            _met.REGISTRY.inc("timeline.rounds.saved", start)
+            _met.REGISTRY.inc("timeline.rounds.replayed", len(plan.stages) - start)
         _landed(state.result(plan.measure))
+    if _met.ENABLED:
+        _met.REGISTRY.inc("timeline.checkpoint.stored", tree.stored - stored0)
+        _met.REGISTRY.inc("timeline.checkpoint.hits", tree.hits - hits0)
+        _met.REGISTRY.inc("timeline.checkpoint.evicted", tree.evicted - evicted0)
     return results
 
 

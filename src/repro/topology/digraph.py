@@ -80,6 +80,7 @@ import numpy as np
 
 from repro.errors import DuplicateNodeError, InvalidEventError, UnknownNodeError
 from repro.geometry.grid_index import SlotGridIndex, UniformGridIndex
+from repro.obs import metrics as _met
 from repro.topology.node import NodeConfig
 from repro.topology.propagation import (
     FreeSpacePropagation,
@@ -150,6 +151,21 @@ _GRID_LAZY_MIN = 256
 #: with the guard) covers most of the population, so candidate gathering
 #: cannot beat a vectorized full scan and the array core skips the grid.
 _MIN_SELECTIVE_CELLS = 32
+
+
+def _count_grid_result(cand):
+    """Fold one grid candidate query into the metrics registry.
+
+    ``None`` is the grid's 3n/4-cutoff bailout ("not selective — scan
+    everyone"); an array is a selective window whose size distribution
+    the report surfaces.  Callers guard on ``_met.ENABLED``.
+    """
+    if cand is None:
+        _met.REGISTRY.inc("core.grid.bailout")
+    else:
+        _met.REGISTRY.inc("core.grid.window")
+        _met.REGISTRY.observe("core.grid.candidate_window", int(cand.size))
+    return cand
 
 #: Population at which a default-knobbed array-core graph auto-promotes
 #: itself to the sparse core: past this size the dense (cap, cap)
@@ -678,6 +694,8 @@ class AdHocDigraph:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
         self._version += 1
+        if _met.ENABLED:
+            _met.REGISTRY.inc("core.join.sequential")
 
     def bulk_join(self, configs: Iterable[NodeConfig]) -> list[TopologyDelta]:
         """Admit a whole join round as one streaming batched mutation.
@@ -712,6 +730,9 @@ class AdHocDigraph:
             if cfg.node_id in live:
                 raise DuplicateNodeError(cfg.node_id)
             live.add(cfg.node_id)
+        if _met.ENABLED:
+            _met.REGISTRY.inc("core.join.bulk", len(configs))
+            _met.REGISTRY.inc("core.join.bulk_batches")
         deltas = []
         dirty_slots: list[int] = []
         for cfg in configs:
@@ -1169,6 +1190,8 @@ class AdHocDigraph:
         """
         memo = self._query_memo()
         cached = memo.get(node_id)
+        if _met.ENABLED:
+            _met.REGISTRY.inc("core.memo.miss" if cached is None else "core.memo.hit")
         if cached is None:
             i = self._idx(node_id)
             n = len(self._ids)
@@ -1360,6 +1383,9 @@ class AdHocDigraph:
             self._crow_version = self._version
         requested = s.tolist()
         members = [u for u in dict.fromkeys(requested) if u not in cache]
+        if _met.ENABLED:
+            _met.REGISTRY.inc("core.crow_cache.hit", len(requested) - len(members))
+            _met.REGISTRY.inc("core.crow_cache.miss", len(members))
         if not members:
             return [cache[u] for u in requested]
         outr, inr, c2s = self._outr, self._inr, self._c2s
@@ -1714,9 +1740,12 @@ class AdHocDigraph:
             return None
         n = len(self._ids)
         x, y = self._pos[i]
-        return self._grid.candidate_slots(
+        cand = self._grid.candidate_slots(
             float(x), float(y), self._max_range, cutoff=max(1, (3 * n) // 4)
         )
+        if _met.ENABLED:
+            _count_grid_result(cand)
+        return cand
 
     def _apply_row_delta_array(self, i: int, new_row: np.ndarray) -> None:
         """Batched out-edge replacement for slot ``i`` (array core).
@@ -1943,16 +1972,22 @@ class AdHocDigraph:
             for block in grid.iter_candidate_blocks(float(x), float(y), radius):
                 total += len(block)
                 if total >= cutoff:
+                    if _met.ENABLED:
+                        _count_grid_result(None)
                     return None
                 blocks.append(block)
-            if not blocks:
-                return _EMPTY_SLOTS
-            return np.concatenate(blocks)
+            out = np.concatenate(blocks) if blocks else _EMPTY_SLOTS
+            if _met.ENABLED:
+                _count_grid_result(out)
+            return out
         # Batched kernel: the grid concatenates the same candidate
         # blocks itself (identical membership and cutoff semantics,
         # pinned by tests/geometry) without the generator round trips
         # and per-block flag writes of the streaming form.
-        return grid.candidate_slots(float(x), float(y), radius, cutoff=cutoff)
+        cand = grid.candidate_slots(float(x), float(y), radius, cutoff=cutoff)
+        if _met.ENABLED:
+            _count_grid_result(cand)
+        return cand
 
     def _sparse_edge_sets(self, i: int) -> tuple[np.ndarray, np.ndarray]:
         """Final (out, in) slot sets of ``i`` under the current geometry.
@@ -2042,6 +2077,8 @@ class AdHocDigraph:
             groups.setdefault(grid.cell_of(i), []).append(i)
         for (cx, cy), members in groups.items():
             cand = grid.candidate_slots_cell(cx, cy, radius, cutoff=cutoff)
+            if _met.ENABLED:
+                _count_grid_result(cand)
             if cand is None:
                 for i in members:
                     new_out[i], new_in[i] = self._sparse_edge_sets(i)

@@ -1,0 +1,132 @@
+"""JSONL tracer: round-trip, span chaining, enable/close lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.tracing import ENV_TRACE, ENV_TRACE_PID, trace_files
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """Enable tracing into a temp file; always close afterwards."""
+    path = tmp_path / "trace.jsonl"
+    obs.enable(path)
+    yield path
+    obs.close()
+
+
+def test_disabled_span_and_event_write_nothing(tmp_path):
+    assert not obs.enabled()
+    with obs.span("noop"):
+        obs.event("nothing")
+    obs.flush_metrics()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_round_trip_span_event_metrics(trace_path):
+    with obs.span("outer", cat="test", k=1):
+        with obs.span("inner"):
+            pass
+        obs.event("ping", cat="test", owner="w1")
+    metrics.inc("c", 3)
+    obs.flush_metrics()
+    obs.close()
+
+    records = obs.load_trace(trace_path)
+    kinds = [r["type"] for r in records]
+    assert kinds.count("meta") == 1
+    spans = {r["name"]: r for r in records if r["type"] == "span"}
+    assert set(spans) == {"outer", "inner"}
+    # children close before parents; ids chain inner -> outer
+    assert spans["inner"]["parent"] == spans["outer"]["id"]
+    assert spans["outer"]["parent"] is None
+    assert spans["outer"]["args"] == {"k": 1}
+    assert spans["outer"]["dur"] >= spans["inner"]["dur"] >= 0
+    (ev,) = [r for r in records if r["type"] == "event"]
+    assert ev["name"] == "ping" and ev["args"]["owner"] == "w1"
+    snaps = [r for r in records if r["type"] == "metrics"]
+    assert snaps and snaps[-1]["data"]["counters"]["c"] == 3
+
+
+def test_every_line_is_valid_json(trace_path):
+    with obs.span("s"):
+        obs.event("e")
+    obs.close()
+    for line in trace_path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_torn_tail_line_is_skipped(trace_path):
+    with obs.span("s"):
+        pass
+    obs.close()
+    with open(trace_path, "a") as fh:
+        fh.write('{"type": "span", "name": "torn')  # killed mid-write
+    records = obs.load_trace(trace_path)
+    assert [r["name"] for r in records if r["type"] == "span"] == ["s"]
+
+
+def test_enable_exports_env_and_close_cleans_up(tmp_path):
+    path = tmp_path / "t.jsonl"
+    obs.enable(path)
+    try:
+        assert os.environ[ENV_TRACE] == str(path)
+        assert os.environ[ENV_TRACE_PID] == str(os.getpid())
+        assert obs.enabled()
+        assert metrics.ENABLED
+    finally:
+        obs.close()
+    assert ENV_TRACE not in os.environ
+    assert ENV_TRACE_PID not in os.environ
+    assert not obs.enabled()
+    assert not metrics.ENABLED
+    obs.close()  # idempotent
+
+
+def test_close_clears_registry(tmp_path):
+    obs.enable(tmp_path / "t.jsonl")
+    try:
+        metrics.inc("leftover", 5)
+    finally:
+        obs.close()
+    assert "leftover" not in metrics.REGISTRY.counters
+
+
+def test_enable_close_cycles_append_segments(tmp_path):
+    path = tmp_path / "t.jsonl"
+    for _ in range(2):
+        obs.enable(path)
+        try:
+            with obs.span("s"):
+                pass
+        finally:
+            obs.close()
+    records = obs.load_trace(path)
+    assert sum(1 for r in records if r["type"] == "meta") == 2
+    assert sum(1 for r in records if r["type"] == "span") == 2
+
+
+def test_trace_files_lists_sidecars(tmp_path):
+    base = tmp_path / "t.jsonl"
+    base.write_text("")
+    (tmp_path / "t.jsonl.123").write_text("")
+    (tmp_path / "t.jsonl.99").write_text("")
+    files = trace_files(base)
+    assert files[0] == base and len(files) == 3
+
+
+def test_span_records_epoch_ts(trace_path):
+    import time
+
+    before = time.time()
+    with obs.span("s"):
+        pass
+    obs.close()
+    (span,) = [r for r in obs.load_trace(trace_path) if r["type"] == "span"]
+    assert before - 1 <= span["ts"] <= time.time() + 1
