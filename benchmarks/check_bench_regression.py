@@ -35,6 +35,14 @@ fresh entry's ``peak_mem_mb`` — the memory gate of the sparse large-N
 regime (e.g. ``--max-mem large-join/sparse=512``).  A spec that
 matches no fresh entry fails the gate: a silently vanished entry must
 not turn the ceiling into a no-op.
+
+``--max-field [SCENARIO/MODE:]FIELD=MAX`` (repeatable) is the generic
+*ceiling* counterpart of ``--min-speedup``: every fresh entry carrying
+``FIELD`` (or just the scoped one) must report at most ``MAX``.  The
+checkpoint bench's ``ckpt_bytes_ratio`` gates here — a delta chain
+whose serialized bytes creep toward the full snapshot's has lost its
+O(changes) contract even when the wall clock still looks healthy.
+Like the floors, a ceiling that matches no fresh entry fails the gate.
 """
 
 from __future__ import annotations
@@ -47,6 +55,35 @@ from pathlib import Path
 
 def _by_key(entries: list[dict]) -> dict[tuple[str, str], dict]:
     return {(e["scenario"], e["mode"]): e for e in entries}
+
+
+def _parse_field_specs(
+    parser: argparse.ArgumentParser, items: list[str], flag: str
+) -> dict[tuple[tuple[str, str] | None, str], float]:
+    """Parse repeatable ``[SCENARIO/MODE:]FIELD=BOUND`` specs.
+
+    Returns ``(scope, field) -> bound``, where scope is a
+    ``(scenario, mode)`` pair or None for "every entry carrying the
+    field" — shared by the ``--min-speedup`` floors and the
+    ``--max-field`` ceilings.
+    """
+    specs: dict[tuple[tuple[str, str] | None, str], float] = {}
+    for item in items:
+        spec, _, bound = item.partition("=")
+        scope_part, colon, field = spec.rpartition(":")
+        scope: tuple[str, str] | None = None
+        if colon:
+            scenario, slash, mode = scope_part.partition("/")
+            if not scenario or not slash or not mode:
+                parser.error(f"{flag} scope expects SCENARIO/MODE:, got {item!r}")
+            scope = (scenario, mode)
+        if not field or not bound:
+            parser.error(f"{flag} expects [SCENARIO/MODE:]FIELD=BOUND, got {item!r}")
+        try:
+            specs[(scope, field)] = float(bound)
+        except ValueError:
+            parser.error(f"{flag} bound must be a number, got {item!r}")
+    return specs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,26 +113,18 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when the named fresh entry's peak_mem_mb exceeds MB "
         "(repeatable, e.g. large-join/sparse=512)",
     )
+    parser.add_argument(
+        "--max-field",
+        action="append",
+        default=[],
+        metavar="[SCENARIO/MODE:]FIELD=MAX",
+        help="fail when a fresh entry's FIELD exceeds MAX "
+        "(repeatable, e.g. large-ckpt/delta:ckpt_bytes_ratio=0.2)",
+    )
     args = parser.parse_args(argv)
 
-    # (scope, field) -> floor, where scope is a (scenario, mode) pair or
-    # None for "every entry carrying the field"
-    speedup_floors: dict[tuple[tuple[str, str] | None, str], float] = {}
-    for item in args.min_speedup:
-        spec, _, minimum = item.partition("=")
-        scope_part, colon, field = spec.rpartition(":")
-        scope: tuple[str, str] | None = None
-        if colon:
-            scenario, slash, mode = scope_part.partition("/")
-            if not scenario or not slash or not mode:
-                parser.error(f"--min-speedup scope expects SCENARIO/MODE:, got {item!r}")
-            scope = (scenario, mode)
-        if not field or not minimum:
-            parser.error(f"--min-speedup expects [SCENARIO/MODE:]FIELD=MIN, got {item!r}")
-        try:
-            speedup_floors[(scope, field)] = float(minimum)
-        except ValueError:
-            parser.error(f"--min-speedup minimum must be a number, got {item!r}")
+    speedup_floors = _parse_field_specs(parser, args.min_speedup, "--min-speedup")
+    field_ceilings = _parse_field_specs(parser, args.max_field, "--max-field")
 
     mem_ceilings: dict[tuple[str, str], float] = {}
     for item in args.max_mem:
@@ -130,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{scenario}/{mode} at {ratio:.2f}x (< {args.min_ratio}x)")
 
     floors_matched = dict.fromkeys(speedup_floors, 0)
+    ceilings_matched = dict.fromkeys(field_ceilings, 0)
     for key in sorted(fresh):
         entry = fresh[key]
         scenario, mode = key
@@ -145,6 +175,18 @@ def main(argv: list[str] | None = None) -> int:
             )
             if value < minimum:
                 failures.append(f"{scenario}/{mode} {field} at {value:.2f}x (< {minimum}x)")
+        for (scope, field), maximum in field_ceilings.items():
+            if field not in entry or (scope is not None and scope != key):
+                continue
+            ceilings_matched[(scope, field)] += 1
+            value = entry[field]
+            verdict = "ok" if value <= maximum else "REGRESSION"
+            print(
+                f"{scenario:<22} {mode:>12}: {field} {value:.4g} "
+                f"(ceiling {maximum:.4g}) {verdict}"
+            )
+            if value > maximum:
+                failures.append(f"{scenario}/{mode} {field} at {value:.4g} (> {maximum:.4g})")
     for (scenario, mode), ceiling in sorted(mem_ceilings.items()):
         entry = fresh.get((scenario, mode))
         if entry is None or "peak_mem_mb" not in entry:
@@ -162,13 +204,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"{scenario}/{mode} peak_mem_mb at {peak:.1f} MiB (> {ceiling:.1f} MiB)"
             )
 
-    for (scope, field), matched in floors_matched.items():
-        if matched == 0:
-            # an unmatched floor means the bench stopped emitting the
-            # field (or the CI arg is typo'd) — the gate must not
-            # silently become a no-op
-            label = field if scope is None else f"{scope[0]}/{scope[1]}:{field}"
-            failures.append(f"--min-speedup {label}: no fresh entry carries this field")
+    for flag, matched_by_spec in (
+        ("--min-speedup", floors_matched),
+        ("--max-field", ceilings_matched),
+    ):
+        for (scope, field), matched in matched_by_spec.items():
+            if matched == 0:
+                # an unmatched bound means the bench stopped emitting
+                # the field (or the CI arg is typo'd) — the gate must
+                # not silently become a no-op
+                label = field if scope is None else f"{scope[0]}/{scope[1]}:{field}"
+                failures.append(f"{flag} {label}: no fresh entry carries this field")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

@@ -223,19 +223,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     pst = sub.add_parser(
         "store",
-        help="inspect / watch / requeue / export / compact / migrate a results store",
+        help="inspect / watch / requeue / export / compact / migrate / gc a results store",
     )
     pst.add_argument(
         "action",
-        choices=("ls", "stats", "watch", "inspect", "requeue", "export", "compact", "migrate"),
+        choices=(
+            "ls",
+            "stats",
+            "watch",
+            "inspect",
+            "requeue",
+            "export",
+            "compact",
+            "migrate",
+            "gc",
+            "ckpt",
+        ),
     )
     pst.add_argument("path", type=Path, help="the store (JSON directory or SQLite file)")
     pst.add_argument(
         "dest",
         nargs="?",
         default=None,
-        metavar="DEST|KEY",
-        help="migration target (migrate) or quarantined task key (inspect)",
+        metavar="DEST|KEY|SUB",
+        help="migration target (migrate), quarantined task key (inspect), "
+        "or checkpoint subaction 'ls'/'gc' (ckpt; default ls)",
     )
     pst.add_argument(
         "--store-backend",
@@ -482,6 +494,7 @@ def _collect_bench_entries(args: argparse.Namespace, max_mem: float | None) -> l
     from repro.errors import ConfigurationError
     from repro.sim.bench import (
         run_adaptive_bench,
+        run_checkpoint_bench,
         run_event_loop_bench,
         run_large_n_bench,
         run_obs_overhead_bench,
@@ -511,6 +524,12 @@ def _collect_bench_entries(args: argparse.Namespace, max_mem: float | None) -> l
     # no n: the adaptive bench pins its own small noisy sweep (the
     # controller, not the event loop, is what it measures)
     entries.extend(run_adaptive_bench(runs=args.runs, seed=args.seed))
+    # pinned n=10^4, runs=1: the checkpoint bench prices the delta
+    # chain at the canonical large-N point; its full-snapshot rival
+    # leg is the expensive part, so repetitions stay off by default
+    # and `--large-n 0` skips it along with the other scale traces
+    if args.large_n:
+        entries.extend(run_checkpoint_bench(runs=1, seed=args.seed))
     if args.obs_overhead:
         entries.extend(run_obs_overhead_bench(n=args.n, seed=args.seed))
     return entries
@@ -707,10 +726,42 @@ def _run_store_cmd(args: argparse.Namespace) -> int:
                 rows = export_parquet(backend, args.parquet)
                 print(f"wrote {rows} row(s) to {args.parquet}")
             return 0
+        if args.action == "gc":
+            counts = backend.gc_checkpoints()
+            print(
+                f"pruned {counts['removed']} checkpoint link(s) from "
+                f"{backend.locator} ({counts['kept']} still referenced by manifests)"
+            )
+            return 0
+        if args.action == "ckpt":
+            sub_action = args.dest or "ls"
+            if sub_action == "gc":
+                counts = backend.gc_checkpoints()
+                print(
+                    f"pruned {counts['removed']} checkpoint link(s) "
+                    f"({counts['kept']} kept)"
+                )
+                return 0
+            if sub_action != "ls":
+                print(f"error: unknown ckpt subaction {sub_action!r} (ls/gc)", file=sys.stderr)
+                return 2
+            stats = backend.checkpoint_stats()
+            print(
+                f"{stats['count']} checkpoint link(s), {stats['bytes']} byte(s) "
+                f"({stats['hits']} hit(s), {stats['misses']} miss(es), "
+                f"{stats['writes']} write(s), {stats['gc_removed']} gc-removed)"
+            )
+            for key in backend.list_checkpoints():
+                record = backend.load_checkpoint_record(key) or {}
+                base = record.get("base") or "<fresh>"
+                points = len(record.get("points") or ())
+                print(f"  {key}  base={base}  version={record.get('version')}  points={points}")
+            return 0
         if args.action == "compact":
             if not isinstance(backend, JsonDirBackend):
+                pruned = backend.gc_checkpoints()["removed"]
                 backend.compact()
-                print(f"vacuumed {backend.locator}")
+                print(f"vacuumed {backend.locator} ({pruned} checkpoint link(s) pruned)")
                 return 0
             points = len(backend.list_points())
             compacted = backend.compact()

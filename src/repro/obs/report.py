@@ -24,6 +24,7 @@ _RATIO_ROWS = (
     ("grid index (windowed)", "core.grid.window", "core.grid.bailout"),
     ("join path (bulk rows)", "core.join.bulk", "core.join.sequential"),
     ("store point reads", "store.point.hit", "store.point.miss"),
+    ("store checkpoint reads", "store.ckpt.hit", "store.ckpt.miss"),
 )
 
 
@@ -146,6 +147,10 @@ def render_report(records: Iterable[dict], *, top: int = 15) -> str:
             ("timeline.checkpoint.stored", "checkpoints stored"),
             ("timeline.checkpoint.hits", "checkpoint hits"),
             ("timeline.checkpoint.evicted", "checkpoints evicted"),
+            ("timeline.checkpoint.bytes", "live state bytes"),
+            ("ckpt.delta.stored", "delta links stored"),
+            ("ckpt.delta.applied", "delta links applied"),
+            ("ckpt.delta.bytes", "delta bytes"),
         ):
             if key in counters:
                 lines.append(f"  {label:<20} {counters[key]:>12.0f}")

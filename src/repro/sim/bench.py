@@ -71,6 +71,18 @@ observability layer itself: the same join trace with tracing off and
 on, the ``on`` entry carrying the CI-gated ``trace_on_vs_off``
 throughput ratio (the ≤3%-overhead contract of :mod:`repro.obs`).
 
+A seventh comparison (:func:`run_checkpoint_bench`) prices the
+checkpoint fork/serialize paths at N=10⁴: after each churn round the
+state is captured as a full in-process ``copy`` (the pre-CoW fork), a
+``full`` JSON snapshot round-trip, a ``replay`` of the whole round
+prefix from the shared base (what a consumer pays with no checkpoint
+at all), and a ``delta`` — CoW :meth:`~AdHocDigraph.fork` plus a
+serialized :meth:`~AdHocDigraph.delta_snapshot` /
+:meth:`~AdHocDigraph.apply_delta` round-trip onto a consumer shadow.
+The delta entry carries the CI-gated ``ckpt_delta_speedup`` (the best
+rival wall over the delta wall) and ``ckpt_bytes_ratio`` (delta bytes
+over full-snapshot bytes, a ceiling gate).
+
 Results land in ``BENCH_eventloop.json`` (one entry per trace × mode
 with ``scenario``, ``n``, ``wall_seconds``, ``events_per_sec``) so the
 perf trajectory is machine-readable from CI artifacts.
@@ -103,6 +115,7 @@ __all__ = [
     "drive_event_loop",
     "drive_event_rounds",
     "run_adaptive_bench",
+    "run_checkpoint_bench",
     "run_event_loop_bench",
     "run_large_n_bench",
     "run_obs_overhead_bench",
@@ -981,6 +994,139 @@ def run_obs_overhead_bench(
             }
         )
     entries[-1]["trace_on_vs_off"] = max(round_ratios)
+    return entries
+
+
+_CKPT_MODES = ("copy", "full", "replay", "delta")
+
+
+def _drive_checkpoints(
+    mode: str,
+    template: AdHocDigraph,
+    rounds: list[list[Event]],
+) -> tuple[float, int]:
+    """Advance a producer through ``rounds``, checkpointing each one.
+
+    Returns ``(checkpoint_wall, serialized_bytes)``.  Round application
+    itself is *untimed* — it is identical across modes, and leaving it
+    in would dilute every ratio toward 1 — so the wall isolates what
+    each checkpointing discipline adds per round:
+
+    - ``copy`` — a full in-process :meth:`~AdHocDigraph.copy`, the
+      pre-CoW fork every live checkpoint paid;
+    - ``full`` — a complete JSON snapshot serialize + restore, the
+      cross-process path without deltas (bytes summed);
+    - ``replay`` — no checkpoint: a consumer forks the shared base and
+      replays the whole round prefix, so round ``k`` costs ``k`` round
+      applications (what the delta chain saves a late joiner);
+    - ``delta`` — CoW :meth:`~AdHocDigraph.fork` plus a serialized
+      delta cut against the previous round's version, applied onto a
+      consumer shadow that tracks the chain (bytes summed).
+    """
+    producer = template.copy()
+    shadow = template.copy() if mode == "delta" else None
+    base_version = producer.version
+    wall = 0.0
+    nbytes = 0
+    for idx, round_events in enumerate(rounds):
+        producer.apply_round(round_events)
+        start = perf_seconds()
+        if mode == "copy":
+            producer.copy()
+        elif mode == "full":
+            blob = json.dumps(producer.snapshot(), separators=(",", ":"))
+            nbytes += len(blob)
+            AdHocDigraph.restore(json.loads(blob))
+        elif mode == "replay":
+            consumer = template.fork()
+            for prefix_round in rounds[: idx + 1]:
+                consumer.apply_round(prefix_round)
+        else:
+            producer.fork()
+            blob = json.dumps(producer.delta_snapshot(base_version), separators=(",", ":"))
+            nbytes += len(blob)
+            shadow.apply_delta(json.loads(blob))
+            base_version = producer.version
+        wall += perf_seconds() - start
+    if shadow is not None and shadow.version != producer.version:
+        raise ConfigurationError(
+            f"delta shadow diverged: consumer at version {shadow.version}, "
+            f"producer at {producer.version}"
+        )
+    return wall, nbytes
+
+
+def run_checkpoint_bench(
+    *,
+    n: int = 10000,
+    runs: int = 1,
+    rounds: int = 4,
+    seed: int = 2001,
+) -> list[dict]:
+    """Price the four checkpoint disciplines on an N=10⁴ churn trace.
+
+    Builds the canonical constant-density join population on the
+    sparse core (untimed), then drives ``rounds`` waypoint churn rounds
+    through :func:`_drive_checkpoints` once per mode.  Entries land
+    under scenario ``large-ckpt`` (``large-ckpt-{n}`` away from the
+    canonical point) with ``events`` = checkpoints taken, so
+    ``events_per_sec`` reads as checkpoints/sec.  The ``delta`` entry
+    carries the two CI-gated fields:
+
+    - ``ckpt_delta_speedup`` — min(copy, full, replay wall) over the
+      delta wall.  The floor is 2: the CoW fork + O(changes) delta
+      must beat the *best* rival discipline, not just the strawman.
+    - ``ckpt_bytes_ratio`` — serialized delta bytes over full-snapshot
+      bytes, gated as a *ceiling* (≤0.2): if a delta ever degenerates
+      into a near-full snapshot, the O(changes) claim is broken even
+      if the wall clock still looks fine.
+
+    Absolute byte counts are published alongside
+    (``ckpt_delta_bytes`` / ``ckpt_full_bytes``) so the trajectory of
+    both sides of the ratio stays machine-readable.
+    """
+    if runs < 1:
+        raise ConfigurationError(f"runs must be >= 1, got {runs}")
+    if rounds < 2:
+        raise ConfigurationError(f"checkpoint bench needs rounds >= 2, got {rounds}")
+    side = 100.0 * math.sqrt(n / 120.0)
+    rng = np.random.default_rng(seed)
+    joins: list[Event] = [JoinEvent(c) for c in sample_configs(n, rng, area=(side, side))]
+    template = _bench_graph("sparse")
+    template.apply_round(joins)
+    churn = _substep_rounds(joins, side, seed=seed + 1, rounds=rounds)
+    label = "large-ckpt" if n == 10000 else f"large-ckpt-{n}"
+    entries: list[dict] = []
+    walls: dict[str, float] = {}
+    sizes: dict[str, int] = {}
+    for mode in _CKPT_MODES:
+        peak = traced_peak_mb(lambda: _drive_checkpoints(mode, template, churn))  # warmup
+        samples = [_drive_checkpoints(mode, template, churn) for _ in range(runs)]
+        wall = float(np.median([w for w, _ in samples]))
+        walls[mode] = wall
+        sizes[mode] = samples[0][1]
+        entries.append(
+            {
+                "scenario": label,
+                "n": n,
+                "mode": mode,
+                "events": rounds,
+                "runs": runs,
+                "wall_seconds": wall,
+                "events_per_sec": rounds / wall if wall > 0 else float("inf"),
+                "peak_mem_mb": peak,
+            }
+        )
+    delta_entry = entries[-1]
+    rival = min(walls[m] for m in _CKPT_MODES if m != "delta")
+    delta_entry["ckpt_delta_speedup"] = (
+        rival / walls["delta"] if walls["delta"] > 0 else float("inf")
+    )
+    delta_entry["ckpt_bytes_ratio"] = (
+        sizes["delta"] / sizes["full"] if sizes["full"] > 0 else float("inf")
+    )
+    delta_entry["ckpt_delta_bytes"] = sizes["delta"]
+    delta_entry["ckpt_full_bytes"] = sizes["full"]
     return entries
 
 

@@ -199,7 +199,25 @@ def group_from_payload(payload: dict) -> TaskGroup:
 # ----------------------------------------------------------------------
 # Computation kernel (runs in orchestrators, pool processes and workers)
 # ----------------------------------------------------------------------
-def compute_group(group: TaskGroup, on_member=None) -> list[list]:
+def _ckpt_scope(backend: "ResultsBackend | None", group: "TaskGroup"):
+    """The checkpoint write-through scope for one group, or ``None``.
+
+    Store-backed checkpointing defaults **on** whenever a results
+    backend is present and the group is warm (cold groups and
+    singletons never serialize boundaries); ``REPRO_CKPT_STORE=0``
+    turns it off fleet-wide.  Links are stamped with the group's point
+    keys so ``store gc`` can tie them back to live sweep manifests.
+    """
+    if backend is None or not group.warm:
+        return None
+    if os.environ.get("REPRO_CKPT_STORE", "").strip().lower() in ("0", "off", "false", "no"):
+        return None
+    from repro.sim.results import CheckpointScope
+
+    return CheckpointScope(backend, points=group.keys)
+
+
+def compute_group(group: TaskGroup, on_member=None, store=None) -> list[list]:
     """Compute every member of a group; returns results in member order.
 
     The execute-stage kernel every executor (and worker drain) runs:
@@ -216,6 +234,12 @@ def compute_group(group: TaskGroup, on_member=None) -> list[list]:
     completes — the hook drain loops use to persist points and renew
     their lease incrementally instead of once at the end.
 
+    ``store`` (a :class:`~repro.sim.results.CheckpointScope`) makes the
+    walk's checkpoint tree store-backed: stage boundaries are written
+    through as delta-chain links and resume consults the table, so a
+    boundary some *other* process or host already walked is applied
+    instead of replayed.
+
     This is the single choke point every executor funnels through, so
     the per-task trace span lives here: one ``task.compute`` span per
     group, in whichever process ran it.
@@ -224,7 +248,7 @@ def compute_group(group: TaskGroup, on_member=None) -> list[list]:
         "task.compute", cat="executor", key=group.key, members=len(group.indices), warm=group.warm
     ):
         return _compute_group_timeline(
-            group.points, group.seed, share=group.warm, on_member=on_member
+            group.points, group.seed, share=group.warm, on_member=on_member, store=store
         )
 
 
@@ -258,7 +282,7 @@ def _claimed_compute(
         backend.renew_claim(gkey, owner)
         obs.event("queue.lease_renew", cat="queue", key=gkey, owner=owner)
 
-    outs = compute_group(group, on_member=landed)
+    outs = compute_group(group, on_member=landed, store=_ckpt_scope(backend, group))
     obs.flush_metrics()  # snapshot survives even if this claimant dies next
     return outs
 
@@ -284,7 +308,7 @@ def _execute_group_task(args: tuple) -> list[list]:
     def landed(m: int, out: list) -> None:
         backend.save_point(group.keys[m], out, context=_provenance(group.contexts[m], worker))
 
-    outs = compute_group(group, on_member=landed)
+    outs = compute_group(group, on_member=landed, store=_ckpt_scope(backend, group))
     obs.flush_metrics()  # pool workers may be torn down without atexit
     return outs
 

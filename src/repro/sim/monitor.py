@@ -85,6 +85,16 @@ CSV_COLUMNS = (
 )
 
 
+def _fmt_bytes(n: int | float) -> str:
+    """Human byte size (``1234`` → ``1.2 kB``)."""
+    n = float(n)
+    for unit in ("B", "kB", "MB", "GB"):
+        if n < 1000 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1000
+    return f"{n:.1f} GB"  # pragma: no cover - unreachable
+
+
 @dataclass(frozen=True)
 class WorkerStats:
     """Throughput of one worker, derived from point provenance.
@@ -128,6 +138,7 @@ class StoreStats:
     oldest_claim_age: float
     quarantined: int
     lease_breaks: int
+    checkpoints: dict = field(default_factory=dict)
     claim_details: dict[str, dict] = field(default_factory=dict)
     quarantine_reasons: dict[str, str] = field(default_factory=dict)
     workers: tuple[WorkerStats, ...] = ()
@@ -149,6 +160,14 @@ class StoreStats:
             f"  quarantined {self.quarantined}",
             f"  lease breaks {self.lease_breaks}",
         ]
+        if self.checkpoints:
+            c = self.checkpoints
+            lines.append(
+                f"  checkpoints {c.get('count', 0)} "
+                f"({_fmt_bytes(c.get('bytes', 0))}, "
+                f"{c.get('hits', 0)} hit(s), {c.get('misses', 0)} miss(es), "
+                f"{c.get('gc_removed', 0)} gc-removed)"
+            )
         if self.claim_details:
             lines.append("  claims:")
             for key, info in sorted(self.claim_details.items()):
@@ -211,6 +230,7 @@ class StoreMonitor:
             oldest_claim_age=aggregate["oldest_claim_age"],
             quarantined=aggregate["quarantined"],
             lease_breaks=aggregate["lease_breaks"],
+            checkpoints=aggregate.get("checkpoints", {}),
             claim_details=claim_details,
             quarantine_reasons=quarantine_reasons,
             workers=self.worker_stats() if workers else (),

@@ -369,17 +369,67 @@ class MultiStrategyReplay(_TopologyOwner):
 
         The snapshot/warm-start primitive of paired delta sweeps: build
         the shared baseline network once, then fork it per sweep value
-        and replay only that value's perturbation rounds.  The graph is
-        deep-copied (:meth:`AdHocDigraph.copy`) and every lane's
-        assignment/metrics state is forked, so the continuation is
-        byte-equivalent to replaying the whole trace cold — pinned by
-        ``tests/sim/test_warmstart.py``.
+        and replay only that value's perturbation rounds.  The graph
+        forks copy-on-write (:meth:`AdHocDigraph.fork` — the heavy
+        adjacency/C2 state is shared until either side mutates) and
+        every lane's assignment/metrics state is forked, so the
+        continuation is byte-equivalent to replaying the whole trace
+        cold — pinned by ``tests/sim/test_warmstart.py``.
         """
         clone = MultiStrategyReplay.__new__(MultiStrategyReplay)
-        clone.graph = self.graph.copy()
+        clone.graph = self.graph.fork()
         clone.enforce_connectivity = self.enforce_connectivity
         clone.lanes = [lane.fork() for lane in self.lanes]
         return clone
+
+    @property
+    def version(self) -> int:
+        """The underlying graph's topology version (delta anchor)."""
+        return self.graph.version
+
+    def delta_snapshot(self, base_version: int) -> dict:
+        """Serialize only what changed since graph ``base_version``.
+
+        The O(changes) counterpart of :meth:`snapshot`: the graph
+        contributes a :meth:`~repro.topology.digraph.AdHocDigraph.delta_snapshot`
+        while lane state (assignments, metrics counters) serializes in
+        full — it is O(N) per lane, noise next to the O(N²)/O(N+E)
+        conflict state the graph delta avoids.  :meth:`apply_delta` on
+        a replay forked at ``base_version`` reproduces this replay's
+        state byte-identically; chained deltas compose.
+        """
+        return {
+            "schema": 1,
+            "kind": "replay-delta",
+            "graph": self.graph.delta_snapshot(base_version),
+            "enforce_connectivity": self.enforce_connectivity,
+            "lanes": [lane.state_dict() for lane in self.lanes],
+        }
+
+    def apply_delta(self, delta: dict) -> None:
+        """Replay a :meth:`delta_snapshot` onto this replay instance.
+
+        The graph must sit at the delta's base version (enforced by
+        :meth:`AdHocDigraph.apply_delta`, which names both versions on
+        mismatch); lane state is replaced wholesale, with the strategy
+        name check of :meth:`StrategyLane.load_state` guarding lineup
+        drift.
+        """
+        if delta.get("kind") != "replay-delta":
+            raise ConfigurationError("apply_delta() expects a delta_snapshot() dict")
+        if delta.get("schema") != 1:
+            raise ConfigurationError(
+                f"unsupported replay delta schema {delta.get('schema')!r}"
+            )
+        if len(delta["lanes"]) != len(self.lanes):
+            raise ConfigurationError(
+                f"replay delta carries {len(delta['lanes'])} lanes, "
+                f"this replay has {len(self.lanes)}"
+            )
+        self.graph.apply_delta(delta["graph"])
+        self.enforce_connectivity = bool(delta["enforce_connectivity"])
+        for lane, state in zip(self.lanes, delta["lanes"]):
+            lane.load_state(state)
 
     def snapshot(self) -> dict:
         """Serialize the whole replay state to a JSON-able dict.

@@ -21,6 +21,15 @@ A sweep persists four kinds of artifact through one
   (:mod:`repro.sim.executor`): pending task descriptors plus lease
   claims with a TTL, giving multiple worker processes (or hosts on a
   shared filesystem) at-least-once draining of one sweep.
+* **checkpoints** — content-keyed delta-chain links of the execution
+  timeline (:mod:`repro.sim.timeline`): each row is one stage
+  boundary serialized as an O(changes) delta against its base link.
+  Conditional puts (if-absent) make concurrent workers race-free, and
+  because keys commit to the whole event prefix, any process or host
+  that hits a stored key resumes the shared prefix instead of
+  replaying it.  ``store ckpt <path> ls/gc`` lists and prunes the
+  table; :meth:`~ResultsBackend.gc_checkpoints` keeps only links some
+  live manifest's points reference.
 * **churn + quarantine** — the control plane's health state: per-task
   lease-break counters (bumped whenever :meth:`~ResultsBackend.try_claim`
   breaks a stale lease) and a quarantine table holding descriptors that
@@ -53,7 +62,7 @@ import json
 import os
 import sqlite3
 import time
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -67,6 +76,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only
     from repro.sim.scenarios import ScenarioSpec
 
 __all__ = [
+    "CheckpointScope",
     "JsonDirBackend",
     "ResultsBackend",
     "ResultsStore",
@@ -419,6 +429,118 @@ class ResultsBackend(abc.ABC):
         """Keys currently quarantined, ascending."""
 
     # ------------------------------------------------------------------
+    # Checkpoint table (timeline delta-chain links)
+    # ------------------------------------------------------------------
+    def put_checkpoint(self, key: str, payload: dict) -> bool:
+        """Store one checkpoint chain link if absent; ``True`` if created.
+
+        Keys are stage content keys (they commit to the whole event
+        prefix plus the strategy lineup), so concurrent workers racing
+        the same boundary write byte-identical payloads — the
+        conditional put is a write-amplification saver, not a
+        correctness requirement.
+        """
+        created = self.save_checkpoint_record(key, payload)
+        if created:
+            self._bump_checkpoint_meta("writes")
+        if _met.ENABLED:
+            _met.REGISTRY.inc("store.ckpt.write" if created else "store.ckpt.dup")
+        return created
+
+    def get_checkpoint(self, key: str) -> dict | None:
+        """The chain link stored under ``key``, or ``None`` if absent."""
+        record = self.load_checkpoint_record(key)
+        self._bump_checkpoint_meta("hits" if record is not None else "misses")
+        if _met.ENABLED:
+            _met.REGISTRY.inc("store.ckpt.hit" if record is not None else "store.ckpt.miss")
+        return record
+
+    @abc.abstractmethod
+    def save_checkpoint_record(self, key: str, payload: dict) -> bool:
+        """Persist one chain link if absent; ``True`` when this call won."""
+
+    @abc.abstractmethod
+    def load_checkpoint_record(self, key: str) -> dict | None:
+        """The stored chain link for ``key``, or ``None``."""
+
+    @abc.abstractmethod
+    def list_checkpoints(self) -> list[str]:
+        """All stored checkpoint keys, ascending."""
+
+    @abc.abstractmethod
+    def delete_checkpoint(self, key: str) -> None:
+        """Remove one chain link (no-op when already gone)."""
+
+    def checkpoint_stats(self) -> dict:
+        """``{count, bytes, hits, misses, writes, gc_removed}`` for the table.
+
+        ``count``/``bytes`` are live table state; the rest are
+        cumulative fleet totals from the meta row (best-effort — see
+        :meth:`_bump_checkpoint_meta`).  Backends with a cheaper bulk
+        path (SQLite) override the size scan.
+        """
+        total = 0
+        keys = self.list_checkpoints()
+        for key in keys:
+            record = self.load_checkpoint_record(key)
+            if record is not None:
+                total += len(json.dumps(record, sort_keys=True))
+        return {"count": len(keys), "bytes": total, **self._checkpoint_meta()}
+
+    def _checkpoint_meta(self) -> dict:
+        meta = self.load_checkpoint_meta() or {}
+        return {
+            field: int(meta.get(field, 0)) for field in ("hits", "misses", "writes", "gc_removed")
+        }
+
+    def _bump_checkpoint_meta(self, field: str, by: int = 1) -> None:
+        """Best-effort fleet counter (read-modify-write; races lose ticks).
+
+        The meta row feeds ``store stats``' checkpoint line only — it is
+        never consulted by resume logic, so a lost increment under
+        concurrent workers costs nothing but display precision.
+        """
+        meta = self.load_checkpoint_meta() or {}
+        meta[field] = int(meta.get(field, 0)) + by
+        self.save_checkpoint_meta(meta)
+
+    @abc.abstractmethod
+    def save_checkpoint_meta(self, meta: dict) -> None:
+        """Persist the checkpoint-table counter row (latest-wins)."""
+
+    @abc.abstractmethod
+    def load_checkpoint_meta(self) -> dict | None:
+        """The checkpoint-table counter row, or ``None``."""
+
+    def gc_checkpoints(self) -> dict:
+        """Prune chain links no live sweep manifest references.
+
+        Every link written through an executor is stamped with the point
+        keys of the group that cut it; a link is *live* while any of
+        those points appears in some stored manifest's ``points`` list.
+        Unstamped links (ad-hoc ``compute_group`` calls) and links whose
+        sweeps were migrated away are removed — pruning only costs a
+        future fleet the replay the link would have saved, never
+        correctness.  Returns ``{"kept": n, "removed": n}``.
+        """
+        live: set[str] = set()
+        for sweep_key in self.list_manifests():
+            manifest = self.load_manifest(sweep_key) or {}
+            live.update(manifest.get("points", ()))
+        kept = removed = 0
+        for key in self.list_checkpoints():
+            record = self.load_checkpoint_record(key)
+            refs = (record or {}).get("points") or ()
+            if record is not None and any(point in live for point in refs):
+                kept += 1
+            else:
+                self.delete_checkpoint(key)
+                removed += 1
+        if removed:
+            self._bump_checkpoint_meta("gc_removed", removed)
+        return {"kept": kept, "removed": removed}
+
+    # ------------------------------------------------------------------
     # Worker heartbeats
     # ------------------------------------------------------------------
     def record_heartbeat(self, worker: str) -> None:
@@ -490,6 +612,7 @@ class ResultsBackend(abc.ABC):
             "oldest_claim_age": max(ages, default=0.0),
             "quarantined": len(parked),
             "lease_breaks": sum(self.lease_break_counts().values()),
+            "checkpoints": self.checkpoint_stats(),
         }
 
     def describe(self) -> dict:
@@ -503,6 +626,7 @@ class ResultsBackend(abc.ABC):
             "tasks": len(self.pending_task_keys()),
             "claims": len(self.list_claims()),
             "quarantined": len(self.list_quarantined()),
+            "checkpoints": len(self.list_checkpoints()),
         }
 
     def migrate_to(self, dst: "ResultsBackend") -> dict:
@@ -514,9 +638,11 @@ def migrate_store(src: ResultsBackend, dst: ResultsBackend) -> dict:
     """Copy all points, manifests and series from ``src`` into ``dst``.
 
     Pending tasks and claims are transient queue state and are *not*
-    migrated.  Returns ``{"points": n, "manifests": n, "series": n}``.
+    migrated.  Checkpoint chain links travel with the manifests that
+    reference them, so a migrated fleet keeps its shared prefixes.
+    Returns ``{"points": n, "manifests": n, "series": n, "checkpoints": n}``.
     """
-    counts = {"points": 0, "manifests": 0, "series": 0}
+    counts = {"points": 0, "manifests": 0, "series": 0, "checkpoints": 0}
     for key in src.list_points():
         record = src.load_point_record(key)
         if record is not None:
@@ -532,7 +658,39 @@ def migrate_store(src: ResultsBackend, dst: ResultsBackend) -> dict:
         if data is not None:
             dst.save_series_dict(experiment_id, data)
             counts["series"] += 1
+    for key in src.list_checkpoints():
+        record = src.load_checkpoint_record(key)
+        if record is not None:
+            dst.save_checkpoint_record(key, record)
+            counts["checkpoints"] += 1
     return counts
+
+
+class CheckpointScope:
+    """A backend's checkpoint table scoped to one task group.
+
+    The handle :func:`repro.sim.timeline.compute_group` writes chain
+    links through.  Every link is stamped with the point keys of the
+    group that cut it, which is what ties a content-keyed link back to
+    sweep manifests: :meth:`ResultsBackend.gc_checkpoints` keeps a link
+    while any stamped point appears in a live manifest's ``points``
+    list.  Reads pass through unstamped (links are shared across
+    groups and sweeps by content key).
+    """
+
+    def __init__(self, backend: ResultsBackend, points: Sequence[str] = ()) -> None:
+        self.backend = backend
+        self.points = list(points)
+
+    def put_checkpoint(self, key: str, payload: dict) -> bool:
+        """Write one link through, stamped with this group's points."""
+        if self.points:
+            payload = {**payload, "points": self.points}
+        return self.backend.put_checkpoint(key, payload)
+
+    def get_checkpoint(self, key: str) -> dict | None:
+        """Read one link (pass-through)."""
+        return self.backend.get_checkpoint(key)
 
 
 class JsonDirBackend(ResultsBackend):
@@ -813,6 +971,62 @@ class JsonDirBackend(ResultsBackend):
         return out
 
     # ------------------------------------------------------------------
+    # Checkpoint table
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, key: str) -> Path:
+        """Where the chain link for ``key`` lives."""
+        return self.root / "checkpoints" / f"{key}.json"
+
+    def save_checkpoint_record(self, key: str, payload: dict) -> bool:
+        """If-absent link write: atomic tmp-file + ``os.link`` publish.
+
+        ``link(2)`` fails with ``EEXIST`` when the target exists, which
+        makes create-if-absent atomic even on shared filesystems — and
+        readers never observe a partial file, because the payload is
+        fully written before the name appears.
+        """
+        path = self.checkpoint_path(key)
+        if path.exists():
+            return False
+        tmp = self._write_json(path.with_name(f".{key}.{os.getpid()}.tmp"), payload)
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def load_checkpoint_record(self, key: str) -> dict | None:
+        """Read one chain link, wrapping corrupt JSON with its path."""
+        return self._read_json(self.checkpoint_path(key), "checkpoint link")
+
+    def list_checkpoints(self) -> list[str]:
+        """Stored checkpoint keys, ascending."""
+        return sorted(p.stem for p in self.root.glob("checkpoints/*.json"))
+
+    def delete_checkpoint(self, key: str) -> None:
+        """Remove one chain link (idempotent)."""
+        self.checkpoint_path(key).unlink(missing_ok=True)
+
+    def checkpoint_stats(self) -> dict:
+        """Table stats from file sizes (no payload reads)."""
+        files = list(self.root.glob("checkpoints/*.json"))
+        return {
+            "count": len(files),
+            "bytes": sum(p.stat().st_size for p in files),
+            **self._checkpoint_meta(),
+        }
+
+    def save_checkpoint_meta(self, meta: dict) -> None:
+        """Write the counter row atomically (latest-wins)."""
+        self._write_json(self.root / "meta" / "checkpoints.json", meta)
+
+    def load_checkpoint_meta(self) -> dict | None:
+        """Read the counter row."""
+        return self._read_json(self.root / "meta" / "checkpoints.json", "checkpoint meta")
+
+    # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
     def compact(self) -> "SqliteBackend":
@@ -830,6 +1044,7 @@ class JsonDirBackend(ResultsBackend):
         import shutil
 
         dst = SqliteBackend(self.root / _SQLITE_BASENAME)
+        self.gc_checkpoints()  # only links a live manifest references travel
         migrate_store(self, dst)
         for sub in (
             "points",
@@ -840,6 +1055,8 @@ class JsonDirBackend(ResultsBackend):
             "churn",
             "quarantine",
             "heartbeats",
+            "checkpoints",
+            "meta",
         ):
             shutil.rmtree(self.root / sub, ignore_errors=True)
         return dst
@@ -887,7 +1104,17 @@ class SqliteBackend(ResultsBackend):
     kind = "sqlite"
 
     #: Artifact kinds stored as rows of the ``artifacts`` table.
-    _TABLES = ("points", "manifests", "series", "tasks", "churn", "quarantine", "heartbeats")
+    _TABLES = (
+        "points",
+        "manifests",
+        "series",
+        "tasks",
+        "churn",
+        "quarantine",
+        "heartbeats",
+        "checkpoints",
+        "meta",
+    )
 
     def __init__(self, path: Path | str) -> None:
         path = Path(path)
@@ -1039,6 +1266,52 @@ class SqliteBackend(ResultsBackend):
     def list_series(self) -> list[str]:
         """Experiment ids with an assembled series, ascending."""
         return self._keys("series")
+
+    # -- checkpoints -----------------------------------------------------
+    def save_checkpoint_record(self, key: str, payload: dict) -> bool:
+        """If-absent link write: ``INSERT OR IGNORE`` on the artifacts table."""
+        with self._connect() as conn:
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO artifacts (kind, key, payload) "
+                "VALUES ('checkpoints', ?, ?)",
+                (key, json.dumps(payload, sort_keys=True)),
+            )
+            return cur.rowcount > 0
+
+    def load_checkpoint_record(self, key: str) -> dict | None:
+        """The stored chain link for ``key``, or ``None``."""
+        if not self.path.exists():
+            return None
+        return self._get("checkpoints", key)
+
+    def list_checkpoints(self) -> list[str]:
+        """Stored checkpoint keys, ascending."""
+        return self._keys("checkpoints")
+
+    def delete_checkpoint(self, key: str) -> None:
+        """Remove one chain link row (idempotent)."""
+        self._delete("checkpoints", key)
+
+    def checkpoint_stats(self) -> dict:
+        """Table stats in one aggregate query (no payload reads)."""
+        count, total = 0, 0
+        if self.path.exists():
+            with self._connect() as conn:
+                count, total = conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                    "FROM artifacts WHERE kind = 'checkpoints'"
+                ).fetchone()
+        return {"count": int(count), "bytes": int(total), **self._checkpoint_meta()}
+
+    def save_checkpoint_meta(self, meta: dict) -> None:
+        """Upsert the counter row."""
+        self._put("meta", "checkpoints", meta)
+
+    def load_checkpoint_meta(self) -> dict | None:
+        """The counter row, or ``None``."""
+        if not self.path.exists():
+            return None
+        return self._get("meta", "checkpoints")
 
     # -- tasks + claims --------------------------------------------------
     def save_task(self, key: str, payload: dict) -> None:
@@ -1239,6 +1512,14 @@ class SqliteBackend(ResultsBackend):
             "oldest_claim_age": 0.0,
             "quarantined": len(quarantined) if quarantined is not None else 0,
             "lease_breaks": 0,
+            "checkpoints": {
+                "count": 0,
+                "bytes": 0,
+                "hits": 0,
+                "misses": 0,
+                "writes": 0,
+                "gc_removed": 0,
+            },
         }
         if claim_info is not None:
             ages = [c["age"] for c in claim_info.values()]
@@ -1249,6 +1530,10 @@ class SqliteBackend(ResultsBackend):
             kind_counts = dict(
                 conn.execute("SELECT kind, COUNT(*) FROM artifacts GROUP BY kind").fetchall()
             )
+            ckpt_count, ckpt_bytes = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                "FROM artifacts WHERE kind = 'checkpoints'"
+            ).fetchone()
             if claim_info is None:
                 n_claims, oldest = conn.execute(
                     "SELECT COUNT(*), MIN(claimed_at) FROM claims"
@@ -1266,6 +1551,11 @@ class SqliteBackend(ResultsBackend):
             series=int(kind_counts.get("series", 0)),
             tasks=int(kind_counts.get("tasks", 0)),
             lease_breaks=sum(int(json.loads(p).get("breaks", 0)) for (p,) in churn_rows),
+            checkpoints={
+                "count": int(ckpt_count),
+                "bytes": int(ckpt_bytes),
+                **self._checkpoint_meta(),
+            },
         )
         if quarantined is None:
             stats["quarantined"] = int(kind_counts.get("quarantine", 0))

@@ -51,12 +51,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+from repro.errors import ConfigurationError
 from repro.obs import metrics as _met
+from repro.sim.metrics import MetricsSnapshot
 from repro.sim.network import MultiStrategyReplay
 from repro.sim.scenarios import ScenarioSpec, TracePhases, scenario_plan
 from repro.sim.trace import event_to_dict
@@ -241,7 +245,7 @@ class _ExecState:
     baseline it never replayed itself.
     """
 
-    __slots__ = ("replay", "baselines", "samples")
+    __slots__ = ("replay", "baselines", "samples", "base_key", "base_version")
 
     def __init__(
         self,
@@ -252,18 +256,53 @@ class _ExecState:
         self.replay = replay
         self.baselines = baselines
         self.samples = [] if samples is None else samples
+        # The last *serialized* boundary on this state's lineage — the
+        # anchor the next delta payload is cut against.  ``None``/0 means
+        # "the fresh pre-join state" (graph version 0).
+        self.base_key: str | None = None
+        self.base_version: int = 0
 
     @classmethod
     def fresh(cls, strategies: Sequence[str]) -> "_ExecState":
         return cls(MultiStrategyReplay([make_strategy(name) for name in strategies]))
 
     def fork(self) -> "_ExecState":
-        """An independent continuation (snapshots are immutable, samples copied)."""
-        return _ExecState(
+        """An independent continuation (copy-on-write graph, samples copied)."""
+        clone = _ExecState(
             self.replay.fork(),
             None if self.baselines is None else list(self.baselines),
             [list(lane_samples) for lane_samples in self.samples],
         )
+        clone.base_key = self.base_key
+        clone.base_version = self.base_version
+        return clone
+
+    def delta_payload(self) -> dict:
+        """This boundary serialized as a delta against ``base_key``.
+
+        ``replay`` holds only the graph slots touched since
+        ``base_version`` (plus the full lane state, which is O(N) and
+        dominated by the O(N²)/O(N+E) graph it avoids copying); applying
+        the chain root-to-leaf onto a fresh state reproduces this
+        boundary byte-identically on any conflict core.
+        """
+        return {
+            "schema": 1,
+            "kind": "exec-delta",
+            "base": self.base_key,
+            "base_version": self.base_version,
+            "version": self.replay.version,
+            "replay": self.replay.delta_snapshot(self.base_version),
+            "baselines": _encode_baselines(self.baselines),
+            "samples": [[list(t) for t in lane] for lane in self.samples],
+        }
+
+    def nbytes(self) -> int:
+        """Estimated live footprint (the LRU budget's unit of account)."""
+        total = self.replay.graph.state_nbytes()
+        for lane in self.replay.lanes:
+            total += 64 * len(lane.metrics.records)
+        return total
 
     def apply_stage(self, stage: Stage, measure: str) -> None:
         """Replay one stage's events and record its measurement state."""
@@ -305,6 +344,25 @@ def _delta_triple(before, lane) -> list[float]:
     ]
 
 
+def _encode_baselines(baselines: list | None) -> list | None:
+    if baselines is None:
+        return None
+    return [[b.events, b.total_recodings, b.total_messages, b.max_color] for b in baselines]
+
+
+def _decode_baselines(data: list | None) -> list | None:
+    if data is None:
+        return None
+    return [MetricsSnapshot(int(e), int(r), int(m), int(c)) for e, r, m, c in data]
+
+
+def _ckpt_budget_bytes() -> int | None:
+    raw = os.environ.get("REPRO_CKPT_MEM_MB", "").strip()
+    if not raw:
+        return None
+    return int(float(raw) * 1_000_000)
+
+
 class CheckpointTree:
     """Checkpointed replay states, addressed by stage key.
 
@@ -318,14 +376,35 @@ class CheckpointTree:
     a time instead of K.  Checkpoints stored without a budget are
     pinned (externally threaded trees).  ``hits``/``stored``/``evicted``
     feed the bench and tests.
+
+    With a ``store`` (a results backend exposing
+    ``put_checkpoint``/``get_checkpoint``) or a byte budget
+    (``max_bytes``, defaulting from ``REPRO_CKPT_MEM_MB``), the tree
+    additionally keeps every checkpointed boundary as a **(base key,
+    delta) chain link**: an O(changes) payload cut against the previous
+    serialized boundary on the same lineage.  Chain links make live
+    states evictable (an evicted boundary is rebuilt by walking its
+    chain back to the fresh root and applying payloads forward) and —
+    through the store — durable and shared, so a second process or host
+    resumes a boundary some other worker walked.  Without a store or
+    budget the tree behaves exactly as before: live forks only, no
+    serialization.
     """
 
-    def __init__(self) -> None:
-        self._states: dict[str, _ExecState] = {}
+    def __init__(self, *, store=None, max_bytes: int | None = None) -> None:
+        self._states: dict[str, _ExecState] = {}  # insertion order doubles as LRU order
         self._consumers: dict[str, int] = {}
+        self._nbytes: dict[str, int] = {}
+        self._chains: dict[str, dict] = {}
+        self._store = store
+        self._max_bytes = _ckpt_budget_bytes() if max_bytes is None else max_bytes
         self.hits = 0
         self.stored = 0
         self.evicted = 0
+        self.delta_stored = 0
+        self.delta_applied = 0
+        self.delta_bytes = 0
+        self.rebuilds = 0
 
     def __contains__(self, key: str) -> bool:
         return key in self._states
@@ -333,17 +412,107 @@ class CheckpointTree:
     def __len__(self) -> int:
         return len(self._states)
 
-    def checkpoint(self, key: str, state: _ExecState, *, consumers: int | None = None) -> None:
-        """Freeze a fork of ``state`` under ``key`` (first writer wins).
+    @property
+    def chained(self) -> bool:
+        """Whether boundaries are serialized as delta chains."""
+        return self._store is not None or self._max_bytes is not None
+
+    def checkpoint(
+        self, key: str, state: _ExecState, *, consumers: int | None = None, live: bool = True
+    ) -> None:
+        """Record ``state``'s boundary under ``key`` (first writer wins).
 
         ``consumers`` is the number of resumes expected at this
         boundary; ``None`` pins the checkpoint for the tree's lifetime.
+        When the tree is chained, the boundary is also serialized as a
+        delta link (and written through to the store, if any);
+        ``live=False`` records only the link — used for boundaries no
+        plan in *this* group resumes from, but a later process might.
         """
+        if self.chained and key not in self._chains:
+            self._chains[key] = self._persist(key, state)
+        if not live:
+            return
         if key not in self._states:
             self._states[key] = state.fork()
+            self._nbytes[key] = state.nbytes()
             self.stored += 1
             if consumers is not None:
                 self._consumers[key] = consumers
+            self._enforce_budget(keep=key)
+
+    def _persist(self, key: str, state: _ExecState) -> dict:
+        """Cut ``state``'s delta link, write it through, advance its anchor."""
+        with obs.span("ckpt.serialize", cat="ckpt", key=key):
+            payload = state.delta_payload()
+            self.delta_stored += 1
+            self.delta_bytes += len(json.dumps(payload, separators=(",", ":")))
+            if self._store is not None:
+                self._store.put_checkpoint(key, payload)
+        # Future boundaries on this lineage chain from here.
+        state.base_key = key
+        state.base_version = payload["version"]
+        return payload
+
+    def _chain_entry(self, key: str) -> dict | None:
+        entry = self._chains.get(key)
+        if entry is None and self._store is not None:
+            entry = self._store.get_checkpoint(key)
+            if entry is not None:
+                self._chains[key] = entry
+        return entry
+
+    def _rebuild(self, key: str, strategies: Sequence[str]) -> _ExecState:
+        """Reconstruct an evicted/remote boundary from its delta chain."""
+        chain = []
+        k = key
+        while k is not None:
+            entry = self._chain_entry(k)
+            if entry is None:
+                raise ConfigurationError(
+                    f"checkpoint chain for {key} is broken: link {k} is missing"
+                )
+            chain.append(entry)
+            k = entry["base"]
+        state = _ExecState.fresh(strategies)
+        with obs.span("ckpt.restore", cat="ckpt", key=key, links=len(chain)):
+            for entry in reversed(chain):
+                state.replay.apply_delta(entry["replay"])
+                self.delta_applied += 1
+        leaf = chain[0]
+        state.baselines = _decode_baselines(leaf["baselines"])
+        state.samples = [[list(t) for t in lane] for lane in leaf["samples"]]
+        state.base_key = key
+        state.base_version = leaf["version"]
+        self.rebuilds += 1
+        return state
+
+    def _enforce_budget(self, *, keep: str | None = None) -> None:
+        """Evict least-recently-used live states past ``max_bytes``.
+
+        Only runs when chained (every live state then has a chain link
+        to rebuild from), and never evicts the state just stored.
+        """
+        if self._max_bytes is None:
+            return
+        total = sum(self._nbytes.values())
+        for key in list(self._states):
+            if total <= self._max_bytes:
+                return
+            if key == keep:
+                continue
+            del self._states[key]
+            total -= self._nbytes.pop(key)
+            self.evicted += 1
+
+    def _consume(self, key: str) -> None:
+        """Decrement a rebuilt boundary's consumer budget (no live state)."""
+        left = self._consumers.get(key)
+        if left is not None:
+            if left <= 1:
+                del self._consumers[key]
+            else:
+                self._consumers[key] = left - 1
 
     def resume(self, plan: TracePlan) -> tuple[_ExecState, int]:
         """Continue from the deepest checkpoint on ``plan``'s chain.
@@ -352,22 +521,32 @@ class CheckpointTree:
         first stage still to replay — ``(fresh state, 0)`` when no
         prefix is checkpointed.  A consumer-counted checkpoint's final
         resume receives the stored state itself and evicts the node;
-        earlier resumes (and pinned checkpoints) receive forks.
+        earlier resumes (and pinned checkpoints) receive forks.  On a
+        chained tree, a boundary with no live state (evicted under the
+        byte budget, or written by another process into the store) is
+        rebuilt from its delta chain.
         """
         for i in range(len(plan.stages) - 1, -1, -1):
             key = plan.stages[i].key
             cached = self._states.get(key)
             if cached is None:
+                if self.chained and self._chain_entry(key) is not None:
+                    state = self._rebuild(key, plan.strategies)
+                    self.hits += 1
+                    self._consume(key)
+                    return state, i + 1
                 continue
             self.hits += 1
             left = self._consumers.get(key)
             if left is not None and left <= 1:
                 del self._states[key]
+                self._nbytes.pop(key, None)
                 del self._consumers[key]
                 self.evicted += 1
                 return cached, i + 1  # last consumer: take it by move
             if left is not None:
                 self._consumers[key] = left - 1
+            self._states[key] = self._states.pop(key)  # refresh LRU position
             return cached.fork(), i + 1
         return _ExecState.fresh(plan.strategies), 0
 
@@ -393,6 +572,7 @@ def compute_group(
     share: bool = True,
     on_member=None,
     tree: CheckpointTree | None = None,
+    store=None,
 ) -> list[list]:
     """Execute one task group's members; returns results in member order.
 
@@ -407,7 +587,12 @@ def compute_group(
 
     ``on_member(index, result)`` fires after each member completes (the
     executors' persist-and-renew hook); ``tree`` lets callers thread one
-    checkpoint tree through several calls (the bench does).
+    checkpoint tree through several calls (the bench does).  ``store``
+    (a results backend with a checkpoint table) makes the tree chained:
+    every in-group boundary plus each plan's join and final stages are
+    written through as delta links, and resume consults the store — so
+    a different process or host that already walked a shared prefix
+    saves this group the replay.
     """
     results: list[list] = []
 
@@ -424,17 +609,26 @@ def compute_group(
     plans = [build_plan(point, seed) for point in points]
     needed = _resume_boundaries(plans)
     if tree is None:
-        tree = CheckpointTree()
+        tree = CheckpointTree(store=store)
     # tree counters are cumulative (callers may thread one tree through
     # many groups), so the metrics record this walk's delta only
     stored0, hits0, evicted0 = tree.stored, tree.hits, tree.evicted
+    dstored0, dapplied0, dbytes0 = tree.delta_stored, tree.delta_applied, tree.delta_bytes
+    chained = tree.chained
     for plan in plans:
         state, start = tree.resume(plan)
-        for stage in plan.stages[start:]:
+        last = len(plan.stages) - 1
+        for idx in range(start, len(plan.stages)):
+            stage = plan.stages[idx]
             state.apply_stage(stage, plan.measure)
             consumers = needed.get(stage.key)
             if consumers:
                 tree.checkpoint(stage.key, state, consumers=consumers)
+            elif chained and (idx == 0 or idx == last):
+                # Boundaries no plan here resumes from, but a sibling
+                # worker draining an adjacent group might: the shared
+                # join prefix and the deepest state this plan reaches.
+                tree.checkpoint(stage.key, state, live=False)
         if _met.ENABLED:
             _met.REGISTRY.inc("timeline.rounds.saved", start)
             _met.REGISTRY.inc("timeline.rounds.replayed", len(plan.stages) - start)
@@ -443,6 +637,11 @@ def compute_group(
         _met.REGISTRY.inc("timeline.checkpoint.stored", tree.stored - stored0)
         _met.REGISTRY.inc("timeline.checkpoint.hits", tree.hits - hits0)
         _met.REGISTRY.inc("timeline.checkpoint.evicted", tree.evicted - evicted0)
+        if chained:
+            _met.REGISTRY.inc("timeline.checkpoint.bytes", tree.delta_bytes - dbytes0)
+            _met.REGISTRY.inc("ckpt.delta.stored", tree.delta_stored - dstored0)
+            _met.REGISTRY.inc("ckpt.delta.applied", tree.delta_applied - dapplied0)
+            _met.REGISTRY.inc("ckpt.delta.bytes", tree.delta_bytes - dbytes0)
     return results
 
 

@@ -475,6 +475,21 @@ class AdHocDigraph:
         # are both ints, so the two caches cannot share one dict).
         self._crow_cache: dict[int, np.ndarray] = {}
         self._crow_version = -1
+        # Delta-snapshot bookkeeping: slot -> topology version of the
+        # last mutation that rewrote the slot's occupant/configuration
+        # (edges are derived from endpoint configs, so config-dirty
+        # slots bound every edge change).  ``_delta_floor`` is the
+        # earliest base version :meth:`delta_snapshot` can serve —
+        # tracking starts at construction (or at restore).
+        self._touched: dict[int, int] = {}
+        self._delta_floor = 0
+        # Copy-on-write bookkeeping (see :meth:`fork`): when a graph is
+        # forked, the dense blocks / sparse rows / grid are shared
+        # between the siblings and privatized on first write.
+        self._blocks_shared = False
+        self._grid_shared = False
+        self._rows_cow = False
+        self._owned_slots: set[int] = set()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -517,6 +532,27 @@ class AdHocDigraph:
         if self._sparse:
             return "sparse"
         return "array" if self._array else "dict"
+
+    @property
+    def version(self) -> int:
+        """The topology version (bumped once per applied mutation).
+
+        The anchor of the delta-snapshot protocol: a
+        :meth:`delta_snapshot` is taken *against* a base version and a
+        delta :meth:`apply_delta` refuses to land on any other version,
+        so chained checkpoints can never silently diverge.
+        """
+        return self._version
+
+    @property
+    def delta_floor(self) -> int:
+        """Earliest version :meth:`delta_snapshot` can use as a base.
+
+        ``0`` for a graph built by live mutation; the restored version
+        for a graph rebuilt by :meth:`restore`, whose per-slot history
+        starts there.
+        """
+        return self._delta_floor
 
     @property
     def grid_index(self) -> UniformGridIndex | SlotGridIndex | None:
@@ -660,12 +696,53 @@ class AdHocDigraph:
         return ids, self._pos[perm].copy(), self._range[perm].copy()
 
     # ------------------------------------------------------------------
+    # Copy-on-write plumbing (see fork())
+    # ------------------------------------------------------------------
+    def _own_dense_blocks(self) -> None:
+        """Privatize the shared dense adjacency/C2 blocks before writing.
+
+        Dense-block cores mutate the (cap, cap) arrays on every event,
+        so the first mutation after a fork pays the one deferred block
+        copy; read-only forks (stored checkpoints) never pay it.
+        """
+        if self._blocks_shared:
+            if self._adj is not None:
+                self._adj = self._adj.copy()
+            if self._c2 is not None:
+                self._c2 = self._c2.copy()
+            self._blocks_shared = False
+
+    def _own_grid(self) -> None:
+        """Privatize the shared spatial index before mutating it."""
+        if self._grid_shared:
+            if self._grid is not None:
+                self._grid = self._grid.copy()
+            self._grid_shared = False
+
+    def _own_slot(self, slot: int) -> None:
+        """Privatize one shared sparse slot (rows + witness dict).
+
+        The sparse core's row-level copy-on-write gate: called before
+        any in-place mutation of ``_outr[slot]`` / ``_inr[slot]`` /
+        ``_c2s[slot]``.  Forked graphs share the per-slot objects and
+        copy exactly the slots their replay touches, so a fork's cost
+        is O(touched neighborhoods), not O(N + E).
+        """
+        if self._rows_cow and slot not in self._owned_slots:
+            self._outr[slot] = self._outr[slot].copy()
+            self._inr[slot] = self._inr[slot].copy()
+            self._c2s[slot] = dict(self._c2s[slot])
+            self._owned_slots.add(slot)
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add_node(self, cfg: NodeConfig) -> None:
         """Join ``cfg`` to the network, creating its in/out edges."""
         if cfg.node_id in self._index:
             raise DuplicateNodeError(cfg.node_id)
+        if not self._sparse:
+            self._own_dense_blocks()
         n = len(self._ids) + 1
         self._ensure_capacity(n)
         i = n - 1
@@ -694,6 +771,7 @@ class AdHocDigraph:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
         self._version += 1
+        self._touched[i] = self._version
         if _met.ENABLED:
             _met.REGISTRY.inc("core.join.sequential")
 
@@ -751,6 +829,7 @@ class AdHocDigraph:
                 self._grid_insert(i, cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
             dirty_slots.append(i)
             self._version += 1
+            self._touched[i] = self._version
             deltas.append(TopologyDelta("join", cfg.node_id, self._version))
         # Fresh slots have empty rows, so the old sides are all empty.
         old = dict.fromkeys(dirty_slots, _EMPTY_SLOTS)
@@ -766,6 +845,7 @@ class AdHocDigraph:
         if self._sparse:
             self._sparse_unlink(i)
         else:
+            self._own_dense_blocks()
             c2 = self._c2
             if c2 is not None:
                 # The receiver clique at i dissolves: every pair of its
@@ -777,6 +857,9 @@ class AdHocDigraph:
                     c2[src, src] += 1
         self._vacate_slot(i)
         self._version += 1
+        if i != n - 1:
+            # Swap-delete moved the last slot's occupant into i.
+            self._touched[i] = self._version
         return cfg
 
     def _vacate_slot(self, i: int) -> None:
@@ -794,6 +877,7 @@ class AdHocDigraph:
         n = len(self._ids)
         node_id = self._ids[i]
         if self._grid is not None:
+            self._own_grid()
             self._grid.remove(i if self._slotgrid else node_id)
         self._index.pop(node_id)
         last = n - 1
@@ -835,8 +919,11 @@ class AdHocDigraph:
     def move_node(self, node_id: NodeId, x: float, y: float) -> None:
         """Relocate ``node_id``; recomputes its out- and in-edges."""
         i = self._idx(node_id)
+        if not self._sparse:
+            self._own_dense_blocks()
         self._pos[i] = (float(x), float(y))
         if self._grid is not None:
+            self._own_grid()
             self._grid.move(i if self._slotgrid else node_id, float(x), float(y))
         if self._dense:
             self._recompute_row(i)
@@ -851,6 +938,7 @@ class AdHocDigraph:
             self._apply_row_delta(i, self._coverage_mask(i))
             self._apply_col_delta(i, self._covered_mask(i))
         self._version += 1
+        self._touched[i] = self._version
 
     def set_range(self, node_id: NodeId, tx_range: float) -> None:
         """Change ``node_id``'s transmission range; recomputes out-edges.
@@ -863,6 +951,8 @@ class AdHocDigraph:
 
             raise ConfigurationError(f"tx_range must be positive, got {tx_range}")
         i = self._idx(node_id)
+        if not self._sparse:
+            self._own_dense_blocks()
         self._range[i] = float(tx_range)
         if tx_range > self._max_range:
             self._max_range = float(tx_range)
@@ -884,6 +974,7 @@ class AdHocDigraph:
         else:
             self._apply_row_delta(i, self._coverage_mask(i))
         self._version += 1
+        self._touched[i] = self._version
 
     # ------------------------------------------------------------------
     # Event replay
@@ -1007,27 +1098,43 @@ class AdHocDigraph:
         the checkpoint-timeline pattern) cannot silently swap the edge
         semantics mid-chain: restoring a snapshot taken under a
         non-default model without supplying that model is an error, not
-        a free-space reinterpretation.  Snapshots are idempotent across
-        the chain — re-snapshotting a restored graph reproduces the
-        original dict byte-for-byte.
+        a free-space reinterpretation.  Schema 3 stores the CA2
+        counters as sparse ``[u, v, count]`` triples (row-major,
+        ascending columns — the ``np.nonzero`` order) instead of the
+        dense N×N list, so snapshot size scales with witnesses, not
+        N²; dense-mode graphs keep ``c2 = None`` as before.  Snapshots
+        are idempotent across the chain — re-snapshotting a restored
+        graph reproduces the original dict byte-for-byte.
         """
         n = len(self._ids)
         if self._sparse:
             # Row-major edge order with ascending columns — exactly the
             # np.nonzero order of the dense block, so sparse snapshots
-            # are byte-identical to array/dict ones.  The C2 dicts are
-            # densified for the shared schema; snapshots are a
-            # checkpoint-scale operation, not a large-N hot path.
+            # are byte-identical to array/dict ones.  The per-slot dicts
+            # hold ascending keys only transiently, so each row is
+            # sorted on the way out.
             edges = [
                 [r, int(c)] for r in range(n) for c in self._outr[r].view().tolist()
             ]
-            c2: list | None = self._c2_block().tolist()
+            c2: list | None = [
+                [u, v, int(entries[v])]
+                for u, entries in enumerate(self._c2s[:n])
+                for v in sorted(entries)
+            ]
         else:
             rows, cols = np.nonzero(self._adj[:n, :n])
             edges = [[int(r), int(c)] for r, c in zip(rows.tolist(), cols.tolist())]
-            c2 = None if self._c2 is None else self._c2[:n, :n].tolist()
+            if self._c2 is None:
+                c2 = None
+            else:
+                cr, cc = np.nonzero(self._c2[:n, :n])
+                cv = self._c2[cr, cc]
+                c2 = [
+                    [int(u), int(v), int(k)]
+                    for u, v, k in zip(cr.tolist(), cc.tolist(), cv.tolist())
+                ]
         return {
-            "schema": 2,
+            "schema": 3,
             "propagation": type(self._prop).__name__,
             "dense": self._dense,
             "version": self._version,
@@ -1076,8 +1183,13 @@ class AdHocDigraph:
         """
         from repro.errors import ConfigurationError
 
+        if snapshot.get("kind") == "digraph-delta":
+            raise ConfigurationError(
+                "restore() was given a delta snapshot; deltas apply to a live "
+                "graph at their base version via apply_delta()"
+            )
         schema = snapshot.get("schema")
-        if schema not in (1, 2):
+        if schema not in (1, 2, 3):
             raise ConfigurationError(f"unsupported digraph snapshot schema {schema!r}")
         recorded = snapshot.get("propagation")
         if propagation is None and recorded not in (None, FreeSpacePropagation.__name__):
@@ -1111,8 +1223,9 @@ class AdHocDigraph:
             g._ids.append(node_id)
             g._ida[slot] = node_id
             g._index[node_id] = slot
+        triples = schema == 3
         if g._sparse:
-            g._restore_sparse_state(n, snapshot["edges"], snapshot["c2"])
+            g._restore_sparse_state(n, snapshot["edges"], snapshot["c2"], triples=triples)
         else:
             for src, dst in snapshot["edges"]:
                 g._adj[src, dst] = True
@@ -1122,6 +1235,9 @@ class AdHocDigraph:
                     a = g._adj[:n, :n]
                     g._c2[:n, :n] = (a.astype(np.int32) @ a.T.astype(np.int32))
                     np.fill_diagonal(g._c2[:n, :n], 0)
+                elif triples:
+                    arr = np.asarray(c2, dtype=np.int64).reshape(-1, 3)
+                    g._c2[arr[:, 0], arr[:, 1]] = arr[:, 2]
                 else:
                     g._c2[:n, :n] = np.asarray(c2, dtype=np.int32)
         if g._use_grid:
@@ -1134,6 +1250,9 @@ class AdHocDigraph:
                     g._build_grid(g._cell_live)
         g._max_range = float(g._range[:n].max()) if n else 0.0
         g._version = snapshot["version"]
+        # A freshly restored graph carries no per-slot mutation history,
+        # so the earliest base version it can serve deltas from is its own.
+        g._delta_floor = g._version
         return g
 
     def copy(self) -> "AdHocDigraph":
@@ -1166,6 +1285,12 @@ class AdHocDigraph:
         g._cell_live = self._cell_live
         g._max_range = self._max_range
         g._version = self._version
+        g._touched = dict(self._touched)
+        g._delta_floor = self._delta_floor
+        g._blocks_shared = False
+        g._grid_shared = False
+        g._rows_cow = False
+        g._owned_slots = set()
         g._cm_cache = None
         g._cm_version = -1
         g._memo = {}
@@ -1173,6 +1298,330 @@ class AdHocDigraph:
         g._crow_cache = {}
         g._crow_version = -1
         return g
+
+    def fork(self) -> "AdHocDigraph":
+        """Copy-on-write fork: a clone sharing the heavy conflict state.
+
+        Both siblings keep referencing the same adjacency/C2 blocks
+        (array/dict/dense cores), the same sparse rows and witness
+        dicts (sparse core), and the same spatial grid; the first
+        mutation on either side copies only what it touches — whole
+        blocks for the dense cores, the individual rows of the mutated
+        slots for the sparse core, the grid on its first geometric
+        change.  Flat O(N) per-slot tables (positions, ranges, ids)
+        are copied eagerly; the checkpoint-tree fork rate makes those
+        copies noise next to the O(N²)/O(N+E) state being shared.
+
+        Either sibling may keep mutating; results are byte-identical
+        to a :meth:`copy`-based clone (pinned by the CoW aliasing
+        tests).
+        """
+        g = AdHocDigraph.__new__(AdHocDigraph)
+        g._prop = self._prop
+        g._fs = self._fs
+        g._dense = self._dense
+        g._array = self._array
+        g._sparse = self._sparse
+        g._sparse_scalar = self._sparse_scalar
+        g._sparse_auto = self._sparse_auto
+        g._slotgrid = self._slotgrid
+        g._pos = self._pos.copy()
+        g._range = self._range.copy()
+        g._ids = list(self._ids)
+        g._ida = self._ida.copy()
+        g._index = dict(self._index)
+        # Heavy state transfers by reference; CoW flags arm both sides.
+        g._adj = self._adj
+        g._c2 = self._c2
+        if self._adj is not None or self._c2 is not None:
+            self._blocks_shared = True
+            g._blocks_shared = True
+        else:
+            g._blocks_shared = False
+        if self._sparse:
+            g._outr = list(self._outr)
+            g._inr = list(self._inr)
+            g._c2s = list(self._c2s)
+            # Every row is shared again after a fork — including rows a
+            # previous fork had already privatized on this side.
+            self._rows_cow = True
+            self._owned_slots = set()
+            g._rows_cow = True
+            g._owned_slots = set()
+        else:
+            g._outr = g._inr = g._c2s = None
+            g._rows_cow = False
+            g._owned_slots = set()
+        g._use_grid = self._use_grid
+        g._grid = self._grid
+        if self._grid is not None:
+            self._grid_shared = True
+            g._grid_shared = True
+        else:
+            g._grid_shared = False
+        g._grid_cell = self._grid_cell
+        g._cell_live = self._cell_live
+        g._max_range = self._max_range
+        g._version = self._version
+        g._touched = dict(self._touched)
+        g._delta_floor = self._delta_floor
+        g._cm_cache = None
+        g._cm_version = -1
+        g._memo = {}
+        g._memo_version = -1
+        g._crow_cache = {}
+        g._crow_version = -1
+        return g
+
+    # ------------------------------------------------------------------
+    # Delta snapshots (O(changes) checkpoints)
+    # ------------------------------------------------------------------
+    def delta_snapshot(self, base_version: int) -> dict:
+        """Serialize only the state touched since ``base_version``.
+
+        Returns a JSON-able delta that :meth:`apply_delta` replays on a
+        graph sitting exactly at ``base_version`` (typically a
+        :meth:`fork` taken at that version), reproducing this graph's
+        state byte-identically — including the CA2 witness counters,
+        which are *not* serialized: they are a pure function of the
+        final adjacency, so the applier reconstructs them through the
+        same incremental kernels live mutation uses.  Chained deltas
+        compose: ``delta(v0→v1)`` then ``delta(v1→v2)`` lands on the
+        same state as ``delta(v0→v2)``.
+
+        The per-slot dirty journal is overwrite-to-latest, so any base
+        at or above :attr:`delta_floor` (graph creation, or the version
+        a restore landed on) can be served; earlier bases raise
+        :class:`ConfigurationError` because the history no longer
+        exists.
+        """
+        from repro.errors import ConfigurationError
+
+        if base_version > self._version:
+            raise ConfigurationError(
+                f"delta base version {base_version} is ahead of the graph "
+                f"(version {self._version})"
+            )
+        if base_version < self._delta_floor:
+            raise ConfigurationError(
+                f"delta base version {base_version} predates this graph's "
+                f"history (serveable floor {self._delta_floor})"
+            )
+        n = len(self._ids)
+        dirty = sorted(
+            s for s, v in self._touched.items() if v > base_version and s < n
+        )
+        slots = []
+        for s in dirty:
+            if self._sparse:
+                out = [int(c) for c in self._outr[s].view().tolist()]
+                inn = [int(c) for c in self._inr[s].view().tolist()]
+            else:
+                out = np.flatnonzero(self._adj[s, :n]).tolist()
+                inn = np.flatnonzero(self._adj[:n, s]).tolist()
+            slots.append(
+                [
+                    s,
+                    int(self._ids[s]),
+                    float(self._pos[s, 0]),
+                    float(self._pos[s, 1]),
+                    float(self._range[s]),
+                    out,
+                    inn,
+                ]
+            )
+        return {
+            "schema": 1,
+            "kind": "digraph-delta",
+            "base_version": int(base_version),
+            "version": int(self._version),
+            "n": n,
+            "cell": self._cell_live if self._use_grid else None,
+            "slots": slots,
+        }
+
+    def apply_delta(self, delta: dict) -> None:
+        """Replay a :meth:`delta_snapshot` onto this graph.
+
+        The graph must sit exactly at the delta's recorded base version
+        — anything else means the delta was cut against a different
+        state and would silently diverge, so a mismatch raises
+        :class:`ConfigurationError` naming both versions.
+
+        Application is four-phased: (A) unlink every dirty slot and
+        every slot beyond the delta's population through the live
+        incremental kernels, leaving the untouched induced subgraph;
+        (B) adjust the population tables; (C) commit the dirty slots'
+        final configurations and bring the spatial grid to the
+        recorded cell size — maintained in place (O(dirty) removes and
+        inserts) when the cell size is unchanged, rebuilt from scratch
+        otherwise; (D) apply each dirty slot's final out- and
+        in-rows through the same kernels, which reconstruct the CA2
+        counters exactly (they are a pure function of the final
+        adjacency, and the kernels maintain the invariant at every
+        step, so any application order lands on identical bytes).
+        """
+        from repro.errors import ConfigurationError
+
+        if delta.get("kind") != "digraph-delta":
+            raise ConfigurationError("apply_delta() expects a delta_snapshot() dict")
+        base = delta["base_version"]
+        if base != self._version:
+            raise ConfigurationError(
+                f"delta was cut against base version {base}, but this graph "
+                f"is at version {self._version}"
+            )
+        n0 = len(self._ids)
+        n1 = delta["n"]
+        records = delta["slots"]
+        if not records and n1 == n0:
+            # Version-only advance (e.g. events that net out to nothing
+            # never happen today, but an empty delta is still valid).
+            self._version = delta["version"]
+            return
+        self._own_dense_blocks()
+        version = delta["version"]
+        dirty = [rec[0] for rec in records]
+        dirty_set = set(dirty)
+        for s in range(n0, n1):
+            if s not in dirty_set:
+                raise ConfigurationError(
+                    f"corrupt delta: grown slot {s} has no dirty record"
+                )
+
+        # Grid plan: when the delta's recorded cell size matches the
+        # live grid's, the grid is maintained in place — O(dirty)
+        # removes and inserts — instead of rebuilt over all N slots
+        # (the rebuild, not the kernels, dominated apply_delta at
+        # large N).  A cell-size change (regrid on the producer) or an
+        # absent grid falls back to the full rebuild below.
+        cell = delta["cell"] if self._use_grid else None
+        incremental = (
+            self._use_grid
+            and self._grid is not None
+            and cell is not None
+            and float(cell) == self._grid.cell_size
+        )
+        if incremental:
+            self._own_grid()
+
+        # Phase A — unlink: retract every edge incident to a slot whose
+        # content changes (or vanishes), through the incremental kernels
+        # so the CA2 counters stay exact for the surviving subgraph.
+        unlink = sorted(set(s for s in dirty if s < n0) | set(range(n1, n0)))
+        if self._sparse:
+            for s in unlink:
+                self._sparse_unlink(s)
+        elif self._dense:
+            for s in unlink:
+                self._adj[s, :n0] = False
+                self._adj[:n0, s] = False
+        else:
+            zeros = np.zeros(n0, dtype=bool)
+            row_apply = (
+                self._apply_row_delta_array if self._array else self._apply_row_delta
+            )
+            col_apply = (
+                self._apply_col_delta_array if self._array else self._apply_col_delta
+            )
+            for s in unlink:
+                row_apply(s, zeros)
+                col_apply(s, zeros)
+        for s in unlink:
+            if incremental:
+                self._grid.remove(s if self._slotgrid else self._ids[s])
+            self._index.pop(self._ids[s], None)
+
+        # Phase B — population: shrink or grow the per-slot tables.
+        if n1 < n0:
+            del self._ids[n1:]
+            if self._sparse:
+                del self._outr[n1:]
+                del self._inr[n1:]
+                del self._c2s[n1:]
+        elif n1 > n0:
+            self._ensure_capacity(n1)
+            self._ids.extend(0 for _ in range(n1 - n0))
+            if self._sparse:
+                self._ensure_sparse_slot(n1 - 1)
+
+        # Phase C — configurations: commit each dirty slot's final
+        # (id, position, range) and rebuild the spatial grid.
+        for s, node_id, x, y, r, _out, _inn in records:
+            if s >= n1:
+                raise ConfigurationError(
+                    f"corrupt delta: dirty slot {s} beyond population {n1}"
+                )
+            self._pos[s] = (x, y)
+            self._range[s] = r
+            self._ids[s] = node_id
+            self._ida[s] = node_id
+            self._index[node_id] = s
+            self._touched[s] = version
+            if incremental:
+                self._grid.insert(s if self._slotgrid else node_id, float(x), float(y))
+        self._max_range = float(self._range[:n1].max()) if n1 else 0.0
+        if self._use_grid:
+            self._cell_live = None if cell is None else float(cell)
+        if self._use_grid and not incremental:
+            if self._cell_live is not None and n1 and not (
+                self._slotgrid and n1 < _GRID_LAZY_MIN and self._grid is None
+            ):
+                self._build_grid(self._cell_live)
+            else:
+                self._grid = None
+                self._grid_shared = False
+
+        # Phase D — edges: apply each dirty slot's final out-row and
+        # in-row through the live kernels.  They diff against current
+        # state, so interleaved dirty-dirty edges commit exactly once
+        # no matter the order.
+        if self._sparse:
+            for s, _nid, _x, _y, _r, out, inn in records:
+                self._sparse_apply_row(s, np.asarray(out, dtype=np.intp))
+                self._sparse_apply_col(s, np.asarray(inn, dtype=np.intp))
+        elif self._dense:
+            for s, _nid, _x, _y, _r, out, inn in records:
+                row = np.zeros(n1, dtype=bool)
+                row[out] = True
+                self._adj[s, :n1] = row
+                col = np.zeros(n1, dtype=bool)
+                col[inn] = True
+                self._adj[:n1, s] = col
+        else:
+            row_apply = (
+                self._apply_row_delta_array if self._array else self._apply_row_delta
+            )
+            col_apply = (
+                self._apply_col_delta_array if self._array else self._apply_col_delta
+            )
+            for s, _nid, _x, _y, _r, out, inn in records:
+                row = np.zeros(n1, dtype=bool)
+                row[out] = True
+                col = np.zeros(n1, dtype=bool)
+                col[inn] = True
+                row_apply(s, row)
+                col_apply(s, col)
+        self._version = version
+
+    def state_nbytes(self) -> int:
+        """Rough in-memory footprint of the conflict state, in bytes.
+
+        Used by checkpoint eviction budgets; counts the heavy state
+        (adjacency/C2 blocks or sparse rows + witness dicts) plus the
+        flat per-slot tables, not Python object overhead.
+        """
+        total = self._pos.nbytes + self._range.nbytes + self._ida.nbytes
+        if self._adj is not None:
+            total += self._adj.nbytes
+        if self._c2 is not None:
+            total += self._c2.nbytes
+        if self._sparse:
+            n = len(self._ids)
+            for s in range(n):
+                total += self._outr[s].data.nbytes + self._inr[s].data.nbytes
+                total += 64 * len(self._c2s[s])
+        return total
 
     # ------------------------------------------------------------------
     # Graph algorithms
@@ -1555,6 +2004,7 @@ class AdHocDigraph:
                 return
             self._build_grid(self._cell_live)
             return
+        self._own_grid()
         self._grid.insert(slot if self._slotgrid else node_id, float(x), float(y))
         if self._grid.cell_size != self._cell_live:
             self._build_grid(self._cell_live)
@@ -1571,6 +2021,7 @@ class AdHocDigraph:
             for slot in range(n):
                 grid.insert(self._ids[slot], float(self._pos[slot, 0]), float(self._pos[slot, 1]))
         self._grid = grid
+        self._grid_shared = False
 
     def _candidate_slots(self, i: int, radius: float) -> np.ndarray | None:
         """Slots of nodes within ``radius`` of slot ``i`` (grid superset).
@@ -1857,6 +2308,10 @@ class AdHocDigraph:
         """Grow the per-slot row/witness tables to include ``slot``."""
         outr, inr, c2s = self._outr, self._inr, self._c2s
         while len(outr) <= slot:
+            if self._rows_cow:
+                # Fresh rows are private to this graph, never shared
+                # with a fork sibling.
+                self._owned_slots.add(len(outr))
             outr.append(_SlotRow())
             inr.append(_SlotRow())
             c2s.append({})
@@ -1888,8 +2343,15 @@ class AdHocDigraph:
         for u, v, count in zip(rows.tolist(), cols.tolist(), vals.tolist()):
             c2s[u][v] = count
 
-    def _restore_sparse_state(self, n: int, edges: list, c2: list | None) -> None:
-        """Populate the sparse rows/witness dicts from snapshot fields."""
+    def _restore_sparse_state(
+        self, n: int, edges: list, c2: list | None, *, triples: bool = False
+    ) -> None:
+        """Populate the sparse rows/witness dicts from snapshot fields.
+
+        ``triples`` selects the schema-3 form (``[u, v, count]`` rows)
+        — it cannot be sniffed from the payload, because a dense N×N
+        list at ``n == 3`` is shape-identical to a triple list.
+        """
         if not n:
             return
         self._ensure_sparse_slot(n - 1)
@@ -1914,6 +2376,10 @@ class AdHocDigraph:
                     for b in members:
                         if b != a:
                             _c2_inc(da, b)
+            return
+        if triples:
+            for u, v, count in c2:
+                c2s[u][v] = int(count)
             return
         arr = np.asarray(c2, dtype=np.int64)
         rows, cols = np.nonzero(arr)
@@ -2149,6 +2615,7 @@ class AdHocDigraph:
         if self._sparse_scalar:
             self._sparse_apply_row_scalar(i, new_out)
             return
+        self._own_slot(i)
         outr, inr, c2s = self._outr, self._inr, self._c2s
         row_i = outr[i]
         old_out = row_i.view()
@@ -2173,6 +2640,7 @@ class AdHocDigraph:
                     parts.append(v)
                     gained += v.size
             for w in removed.tolist():
+                self._own_slot(w)
                 row = inr[w]
                 row.remove(i)
                 v = row.view()
@@ -2195,6 +2663,7 @@ class AdHocDigraph:
                         del di[u]
                     else:  # a witness count went negative: bookkeeping bug
                         raise KeyError(u)
+                    self._own_slot(u)
                     du = c2s[u]
                     left = du.get(i, 0) + d
                     if left > 0:
@@ -2204,6 +2673,7 @@ class AdHocDigraph:
                     else:
                         raise KeyError(i)
             for w in added_list:
+                self._own_slot(w)
                 inr[w].insert(i)
         row_i.set_sorted(new_out)
 
@@ -2215,6 +2685,7 @@ class AdHocDigraph:
         pinned against, and as the same-machine baseline behind the
         bench's ``speedup_vs_pr7`` ratio.
         """
+        self._own_slot(i)
         outr, inr, c2s = self._outr, self._inr, self._c2s
         old_out = outr[i].view()
         added = np.setdiff1d(new_out, old_out, assume_unique=True)
@@ -2222,14 +2693,18 @@ class AdHocDigraph:
         if added.size or removed.size:
             di = c2s[i]
             for w in removed.tolist():
+                self._own_slot(w)
                 row = inr[w]
                 row.remove(i)
                 for u in row.view().tolist():
+                    self._own_slot(u)
                     _c2_dec(di, u)
                     _c2_dec(c2s[u], i)
             for w in added.tolist():
+                self._own_slot(w)
                 row = inr[w]
                 for u in row.view().tolist():
+                    self._own_slot(u)
                     _c2_inc(di, u)
                     _c2_inc(c2s[u], i)
                 row.insert(i)
@@ -2237,6 +2712,7 @@ class AdHocDigraph:
 
     def _sparse_apply_col(self, i: int, new_in: np.ndarray) -> None:
         """Replace slot ``i``'s in-row: reconcile the receiver clique."""
+        self._own_slot(i)
         outr, inr = self._outr, self._inr
         old_in = inr[i].values()
         self._reconcile_receiver(i, old_in, new_in)
@@ -2246,8 +2722,10 @@ class AdHocDigraph:
         else:  # join fast path: every in-neighbor is new
             arrived, departed = new_in, old_in
         for u in arrived.tolist():
+            self._own_slot(u)
             outr[u].insert(i)
         for u in departed.tolist():
+            self._own_slot(u)
             outr[u].remove(i)
         inr[i].set_sorted(new_in)
 
@@ -2274,20 +2752,24 @@ class AdHocDigraph:
             added, removed, kept = new, old, []
         olds = old.tolist()
         for r in removed.tolist():
+            self._own_slot(r)
             dr = c2s[r]
             for u in olds:
                 if u != r:
                     _c2_dec(dr, u)
             for k in kept:
+                self._own_slot(k)
                 _c2_dec(c2s[k], r)
         news = new.tolist()
         if self._sparse_scalar:
             for a in added.tolist():
+                self._own_slot(a)
                 da = c2s[a]
                 for u in news:
                     if u != a:
                         _c2_inc(da, u)
                 for k in kept:
+                    self._own_slot(k)
                     _c2_inc(c2s[k], a)
             return
         for a in added.tolist():
@@ -2296,6 +2778,7 @@ class AdHocDigraph:
             # self-count (``a ∈ news``) is backed out by hand — the
             # diagonal is never stored, so backing it out either
             # restores the prior entry or deletes the fresh ``+1``.
+            self._own_slot(a)
             da = c2s[a]
             _count_elements(da, news)
             left = da[a] - 1
@@ -2304,6 +2787,7 @@ class AdHocDigraph:
             else:
                 del da[a]
             for k in kept:
+                self._own_slot(k)
                 _c2_inc(c2s[k], a)
 
     def _sparse_unlink(self, i: int) -> None:
@@ -2315,17 +2799,21 @@ class AdHocDigraph:
         no per-receiver retraction needed for pairs that die with the
         node.
         """
+        self._own_slot(i)
         outr, inr, c2s = self._outr, self._inr, self._c2s
         old_in = inr[i].values()
         self._reconcile_receiver(i, old_in, _EMPTY_SLOTS)
         for u in old_in.tolist():
+            self._own_slot(u)
             outr[u].remove(i)
         inr[i].clear()
         for w in outr[i].view().tolist():
+            self._own_slot(w)
             inr[w].remove(i)
         outr[i].clear()
         entries = c2s[i]
         for u in entries:
+            self._own_slot(u)
             del c2s[u][i]
         c2s[i] = {}
 
@@ -2340,17 +2828,28 @@ class AdHocDigraph:
         outr, inr, c2s = self._outr, self._inr, self._c2s
         row = outr[last]
         for w in row.view().tolist():
+            self._own_slot(w)
             inr[w].replace(last, i)
         col = inr[last]
         for u in col.view().tolist():
+            self._own_slot(u)
             outr[u].replace(last, i)
         entries = c2s[last]
         for v in entries:
+            self._own_slot(v)
             mirror = c2s[v]
             mirror[i] = mirror.pop(last)
         outr[i] = row
         inr[i] = col
         c2s[i] = entries
+        if self._rows_cow:
+            # The moved node's row objects transferred by reference:
+            # slot ``i`` inherits slot ``last``'s ownership status.
+            if last in self._owned_slots:
+                self._owned_slots.discard(last)
+                self._owned_slots.add(i)
+            else:
+                self._owned_slots.discard(i)
 
     def _flush_round_batch(self, batch: list, deltas: list[TopologyDelta]) -> None:
         """Commit a contiguous join/move run as one batched mutation.
@@ -2410,14 +2909,17 @@ class AdHocDigraph:
                     self._grid_insert(i, cfg.node_id, cfg.x, cfg.y, cfg.tx_range)
                 dirty[i] = None
                 self._version += 1
+                self._touched[i] = self._version
                 deltas.append(TopologyDelta("join", cfg.node_id, self._version))
             else:  # MoveEvent
                 i = self._index[ev.node_id]
                 self._pos[i] = (float(ev.x), float(ev.y))
                 if self._grid is not None:
+                    self._own_grid()
                     self._grid.move(i, float(ev.x), float(ev.y))
                 dirty[i] = None
                 self._version += 1
+                self._touched[i] = self._version
                 deltas.append(TopologyDelta("move", ev.node_id, self._version))
 
         outr, inr = self._outr, self._inr
@@ -2502,20 +3004,25 @@ class AdHocDigraph:
         for w in dirty_slots:
             self._reconcile_receiver(w, old_in[w], new_in[w])
         for w, seg in groups:
+            self._own_slot(w)
             row = inr[w]
             if seg.size == 1:
                 i = int(seg[0])
                 if i >= 0:
+                    self._own_slot(i)
                     di = c2s[i]
                     for u in row.view().tolist():
+                        self._own_slot(u)
                         _c2_inc(di, u)
                         _c2_inc(c2s[u], i)
                     row.insert(i)
                 else:
                     i = ~i
                     row.remove(i)
+                    self._own_slot(i)
                     di = c2s[i]
                     for u in row.view().tolist():
+                        self._own_slot(u)
                         _c2_dec(di, u)
                         _c2_dec(c2s[u], i)
                 continue
@@ -2533,6 +3040,7 @@ class AdHocDigraph:
         # Phase 5 — structural flips: dirty rows replaced wholesale,
         # non-dirty sources get their grouped out-row edits.
         for i in dirty_slots:
+            self._own_slot(i)
             old = old_in[i]
             if old.size:
                 arrived = np.setdiff1d(new_in[i], old, assume_unique=True)
@@ -2541,9 +3049,11 @@ class AdHocDigraph:
                 arrived, departed = new_in[i], old
             for u in arrived.tolist():
                 if u not in dirty_set:
+                    self._own_slot(u)
                     outr[u].insert(i)
             for u in departed.tolist():
                 if u not in dirty_set:
+                    self._own_slot(u)
                     outr[u].remove(i)
             outr[i].set_sorted(new_out[i])
             inr[i].set_sorted(new_in[i])

@@ -11,6 +11,7 @@ from repro.analysis.series import ExperimentSeries
 from repro.errors import ConfigurationError
 from repro.sim.registry import get_scenario
 from repro.sim.results import (
+    CheckpointScope,
     JsonDirBackend,
     ResultsStore,
     SqliteBackend,
@@ -341,6 +342,102 @@ class TestChurnAndQuarantine:
             backend.save_point(f"k{i}", [[float(i)]], context={"run": i})
         records = dict(backend.iter_point_records())
         assert records == {k: backend.load_point_record(k) for k in backend.list_points()}
+
+
+class TestCheckpointTable:
+    def _link(self, base=None, version=10, points=None):
+        payload = {
+            "schema": 1,
+            "kind": "exec-delta",
+            "base": base,
+            "base_version": 0,
+            "version": version,
+            "replay": {"schema": 1},
+            "baselines": None,
+            "samples": [],
+        }
+        if points is not None:
+            payload["points"] = points
+        return payload
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_put_is_conditional_first_writer_wins(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        assert backend.get_checkpoint("k1") is None
+        assert backend.put_checkpoint("k1", self._link(version=3)) is True
+        # content keys mean racers carry identical payloads; the loser's
+        # write is simply a no-op, never an overwrite
+        assert backend.put_checkpoint("k1", self._link(version=99)) is False
+        assert backend.get_checkpoint("k1")["version"] == 3
+        assert backend.list_checkpoints() == ["k1"]
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_delete_and_stats(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        backend.put_checkpoint("a", self._link())
+        backend.put_checkpoint("b", self._link(base="a", version=20))
+        backend.get_checkpoint("a")
+        backend.get_checkpoint("missing")
+        stats = backend.checkpoint_stats()
+        assert stats["count"] == 2 and stats["bytes"] > 0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 2
+        backend.delete_checkpoint("a")
+        backend.delete_checkpoint("a")  # idempotent
+        assert backend.list_checkpoints() == ["b"]
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_queue_stats_carries_the_checkpoint_row(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        assert backend.queue_stats()["checkpoints"].get("count", 0) == 0
+        backend.put_checkpoint("a", self._link())
+        stats = backend.queue_stats()["checkpoints"]
+        assert stats["count"] == 1 and stats["bytes"] > 0
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_scope_stamps_the_groups_points(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        scope = CheckpointScope(backend, points=["pA", "pB"])
+        assert scope.put_checkpoint("k", self._link()) is True
+        assert backend.get_checkpoint("k")["points"] == ["pA", "pB"]
+        assert scope.get_checkpoint("k") == backend.get_checkpoint("k")
+        bare = CheckpointScope(backend, points=[])
+        bare.put_checkpoint("k2", self._link())
+        assert "points" not in backend.get_checkpoint("k2")
+
+    @pytest.mark.parametrize("backend_cls", [JsonDirBackend, SqliteBackend])
+    def test_gc_keeps_only_manifest_referenced_links(self, tmp_path, backend_cls):
+        backend = backend_cls(tmp_path / "store")
+        backend.save_manifest("sw", {"points": ["pA", "pB"]})
+        backend.put_checkpoint("live", self._link(points=["pA"]))
+        backend.put_checkpoint("orphan", self._link(points=["gone"]))
+        backend.put_checkpoint("unstamped", self._link())
+        result = backend.gc_checkpoints()
+        assert result == {"kept": 1, "removed": 2}
+        assert backend.list_checkpoints() == ["live"]
+        assert backend.checkpoint_stats()["gc_removed"] == 2
+
+    def test_migrate_carries_checkpoints_both_ways(self, tmp_path):
+        src = JsonDirBackend(tmp_path / "j")
+        src.put_checkpoint("k", self._link(points=["p"]))
+        dst = SqliteBackend(tmp_path / "s.sqlite")
+        counts = migrate_store(src, dst)
+        assert counts["checkpoints"] == 1
+        assert dst.get_checkpoint("k") == src.get_checkpoint("k")
+        back = JsonDirBackend(tmp_path / "j2")
+        assert migrate_store(dst, back)["checkpoints"] == 1
+        assert back.get_checkpoint("k") == src.get_checkpoint("k")
+
+    def test_compact_gcs_then_folds_checkpoints_away(self, tmp_path):
+        store = JsonDirBackend(tmp_path / "st")
+        store.save_manifest("sw", {"points": ["pA"]})
+        store.put_checkpoint("live", self._link(points=["pA"]))
+        store.put_checkpoint("orphan", self._link(points=["zz"]))
+        compacted = store.compact()
+        assert compacted.kind == "sqlite"
+        assert not (tmp_path / "st" / "checkpoints").exists()
+        # the fold prunes unreferenced links and carries the survivors
+        assert compacted.list_checkpoints() == ["live"]
 
 
 class TestSweepResume:

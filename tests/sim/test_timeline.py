@@ -246,6 +246,190 @@ class TestCheckpointTreeEquivalence:
         assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
 
 
+class _DictStore:
+    """Minimal in-memory checkpoint table (the duck type trees need)."""
+
+    def __init__(self):
+        self.links: dict[str, dict] = {}
+        self.puts = 0
+
+    def put_checkpoint(self, key: str, payload: dict) -> bool:
+        self.puts += 1
+        if key in self.links:
+            return False
+        # force the JSON round trip every real store performs
+        self.links[key] = json.loads(json.dumps(payload))
+        return True
+
+    def get_checkpoint(self, key: str) -> dict | None:
+        return self.links.get(key)
+
+
+def steps_point(steps: int):
+    spec = steps_spec()
+    return replace(spec, mobility=replace(spec.mobility, steps=steps))
+
+
+# ----------------------------------------------------------------------
+# Chained trees: delta links, byte budgets, store-backed sharing
+# ----------------------------------------------------------------------
+class TestChainedCheckpointTree:
+    def test_default_tree_is_not_chained(self):
+        assert not CheckpointTree().chained
+
+    def test_env_budget_makes_trees_chained(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CKPT_MEM_MB", "64")
+        tree = CheckpointTree()
+        assert tree.chained
+        assert tree._max_bytes == 64_000_000
+
+    def test_budget_starved_walk_matches_cold(self):
+        # max_bytes=1 evicts every live state the moment the next one
+        # lands; resumes must come back through delta rebuilds and the
+        # member results must stay byte-identical to cold execution
+        (group,) = plan_tasks(build_sweep(steps_spec(), runs=1, seed=3))
+        tree = CheckpointTree(max_bytes=1)
+        shared = compute_group(group.points, group.seed, tree=tree)
+        cold = [compute_point(point, group.seed) for point in group.points]
+        assert json.dumps(shared) == json.dumps(cold)
+        assert tree.delta_stored > 0
+        assert tree.delta_bytes > 0
+
+    def test_rebuild_from_link_only_chain(self):
+        # live=False records the serialized link without keeping state:
+        # resume must walk the chain to the fresh root and apply every
+        # delta forward, landing byte-identical to the cold walk
+        from repro.sim.timeline import _ExecState
+
+        seed = np.random.SeedSequence(3)
+        point = steps_point(4)
+        plan = build_plan(point, seed)
+        tree = CheckpointTree(store=_DictStore())
+        state = _ExecState.fresh(plan.strategies)
+        for stage in plan.stages[:3]:
+            state.apply_stage(stage, plan.measure)
+            tree.checkpoint(stage.key, state, live=False)
+        assert len(tree) == 0  # links only, no live state
+        resumed, start = tree.resume(plan)
+        assert start == 3
+        assert tree.rebuilds == 1
+        assert tree.delta_applied == 3
+        for stage in plan.stages[start:]:
+            resumed.apply_stage(stage, plan.measure)
+        assert resumed.result(plan.measure) == compute_point(point, seed)
+
+    def test_broken_chain_names_the_missing_link(self):
+        from repro.sim.timeline import _ExecState
+
+        store = _DictStore()
+        plan = build_plan(steps_point(4), np.random.SeedSequence(3))
+        tree = CheckpointTree(store=store)
+        state = _ExecState.fresh(plan.strategies)
+        for stage in plan.stages[:2]:
+            state.apply_stage(stage, plan.measure)
+            tree.checkpoint(stage.key, state, live=False)
+        root = plan.stages[0].key
+        del store.links[root]
+        fresh_tree = CheckpointTree(store=store)
+        with pytest.raises(ConfigurationError, match=root):
+            fresh_tree.resume(plan)
+
+    def test_store_backed_chain_is_shared_across_trees(self):
+        # the fleet scenario in miniature: a second tree (a second
+        # process) resumes the prefix a first tree walked, paying only
+        # the rounds beyond the deepest stored boundary
+        store = _DictStore()
+        (g1,) = plan_tasks(build_sweep(steps_spec(sweep_values=(2.0, 4.0)), runs=1, seed=3))
+        compute_group(g1.points, g1.seed, store=store)
+        assert store.links  # join + resume + final boundaries persisted
+        deep = steps_spec(sweep_values=(2.0, 4.0, 6.0, 8.0))
+        (g2,) = plan_tasks(build_sweep(deep, runs=1, seed=3))
+        tree2 = CheckpointTree(store=store)
+        shared = compute_group(g2.points, g2.seed, tree=tree2)
+        assert tree2.rebuilds >= 1  # picked up at least one stored boundary
+        cold = [compute_point(point, g2.seed) for point in g2.points]
+        assert json.dumps(shared) == json.dumps(cold)
+
+    def test_duplicate_checkpoints_write_each_link_once(self):
+        store = _DictStore()
+        (group,) = plan_tasks(build_sweep(steps_spec(), runs=1, seed=3))
+        compute_group(group.points, group.seed, store=store)
+        before = dict(store.links)
+        compute_group(group.points, group.seed, store=store)
+        # second walk resumes from the store; identical content keys
+        # mean no link is ever rewritten with different bytes
+        assert store.links == before
+
+
+class TestExecStateForkIsolation:
+    def _walked(self, upto: int):
+        from repro.sim.timeline import _ExecState
+
+        plan = build_plan(steps_point(4), np.random.SeedSequence(11))
+        state = _ExecState.fresh(plan.strategies)
+        for stage in plan.stages[:upto]:
+            state.apply_stage(stage, plan.measure)
+        return plan, state
+
+    def test_fork_mutations_never_leak_into_the_parent(self):
+        plan, state = self._walked(3)
+        frozen = json.dumps(state.delta_payload(), sort_keys=True)
+        fork = state.fork()
+        for stage in plan.stages[3:]:
+            fork.apply_stage(stage, plan.measure)
+        assert json.dumps(state.delta_payload(), sort_keys=True) == frozen
+
+    def test_stored_checkpoint_is_immune_to_later_walking(self):
+        # the tree stores a fork; the producer keeps walking its own
+        # state — resuming later must replay from the boundary, not
+        # from wherever the producer has wandered to
+        plan, state = self._walked(3)
+        tree = CheckpointTree()
+        tree.checkpoint(plan.stages[2].key, state)
+        for stage in plan.stages[3:]:
+            state.apply_stage(stage, plan.measure)
+        resumed, start = tree.resume(plan)
+        assert start == 3
+        for stage in plan.stages[start:]:
+            resumed.apply_stage(stage, plan.measure)
+        assert resumed.result(plan.measure) == state.result(plan.measure)
+
+    def test_delta_payload_round_trips_measurement_state(self):
+        from repro.sim.timeline import _decode_baselines, _encode_baselines
+
+        _, state = self._walked(3)
+        payload = json.loads(json.dumps(state.delta_payload()))
+        assert payload["kind"] == "exec-delta"
+        assert payload["base"] is None and payload["base_version"] == 0
+        decoded = _decode_baselines(payload["baselines"])
+        assert decoded == state.baselines
+        assert _encode_baselines(decoded) == payload["baselines"]
+
+
+class TestChainedScenarioEquivalence:
+    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    def test_every_scenario_chained_equals_cold(self, name):
+        # the acceptance criterion with delta checkpointing ON: a
+        # store-backed chained walk, and a second walk resuming purely
+        # from stored links (max_bytes=0 evicts all live state), both
+        # byte-identical to cold execution
+        spec = get_scenario(name)
+        shrunk = replace(
+            spec,
+            n=min(spec.n, 12),
+            strategies=("Minim",),
+            sweep_values=spec.sweep_values[: 1 if spec.measure == "delta_rounds" else 2],
+        )
+        store = _DictStore()
+        for group in plan_tasks(build_sweep(shrunk, runs=1, seed=17)):
+            cold = [compute_point(point, group.seed) for point in group.points]
+            first = compute_group(group.points, group.seed, store=store)
+            assert json.dumps(first) == json.dumps(cold)
+            tree = CheckpointTree(store=store, max_bytes=0)
+            again = compute_group(group.points, group.seed, tree=tree)
+            assert json.dumps(again) == json.dumps(cold)
+
+
 class TestGroupStageTokens:
     def test_planned_groups_carry_member_tokens(self):
         sweep = build_sweep(paired_spec(), runs=1, seed=5)
@@ -336,7 +520,7 @@ class TestDigraphSnapshotVersioning:
 
         g = AdHocDigraph()
         snap = g.snapshot()
-        assert snap["schema"] == 2
+        assert snap["schema"] == 3
         assert snap["propagation"] == "FreeSpacePropagation"
         assert AdHocDigraph.restore(snap).snapshot() == snap  # idempotent chain
 
@@ -349,6 +533,12 @@ class TestDigraphSnapshotVersioning:
         snap = g.snapshot()
         legacy = {k: v for k, v in snap.items() if k != "propagation"}
         legacy["schema"] = 1
+        # Schema 1 recorded the dense N×N counter block, not triples.
+        n = len(snap["nodes"])
+        dense = [[0] * n for _ in range(n)]
+        for u, v, count in snap["c2"]:
+            dense[u][v] = count
+        legacy["c2"] = dense
         h = AdHocDigraph.restore(legacy)
         assert h.snapshot()["nodes"] == snap["nodes"]
         assert h.snapshot()["edges"] == snap["edges"]
